@@ -1,0 +1,55 @@
+// Engine micro-benchmarks: iteration-tree construction (Def. 2/3) and
+// end-to-end synthetic execution with provenance capture.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/iteration.h"
+#include "testbed/workbench.h"
+
+namespace {
+
+using namespace provlin;
+
+void BM_CrossProductTree(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::vector<std::string> items;
+  for (int i = 0; i < d; ++i) items.push_back("x" + std::to_string(i));
+  Value a = Value::StringList(items);
+  Value b = Value::StringList(items);
+  for (auto _ : state) {
+    auto tree = engine::BuildIterationTree(
+        {a, b}, {1, 1}, workflow::IterationStrategy::kCross);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * d * d);
+}
+BENCHMARK(BM_CrossProductTree)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_SyntheticRunWithProvenance(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  int run = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto wb = testbed::Workbench::Synthetic(l);
+    if (!wb.ok()) {
+      state.SkipWithError(wb.status().ToString().c_str());
+      break;
+    }
+    state.ResumeTiming();
+    auto r = (*wb)->RunSynthetic(d, "r" + std::to_string(run++));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->total_invocations);
+  }
+}
+BENCHMARK(BM_SyntheticRunWithProvenance)
+    ->Args({10, 10})
+    ->Args({50, 25})
+    ->Args({75, 50});
+
+}  // namespace
+
+BENCHMARK_MAIN();

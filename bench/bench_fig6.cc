@@ -1,0 +1,57 @@
+// Reproduces Fig. 6: NI lineage query response time as a function of the
+// trace database size, obtained by accumulating traces for up to 10 runs
+// of the l=75, d=50 synthetic dataflow while always querying run 0.
+//
+// Expected shape (paper §4.2): a modest increase (~20% in the paper) as
+// records grow 10x, because every trace access is an index probe and no
+// full scans occur.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lineage/naive_lineage.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+
+int main() {
+  using namespace provlin;
+  using bench::CheckResult;
+
+  constexpr int kL = 75;
+  constexpr int kD = 50;
+  constexpr int kRuns = 10;
+
+  std::printf(
+      "Fig. 6: NI single-run query time vs accumulated trace DB size\n"
+      "(l=%d, d=%d; query always targets run 0)\n\n",
+      kL, kD);
+
+  auto wb = CheckResult(testbed::Workbench::Synthetic(kL), "workbench");
+  workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
+  Index q({1, 2});
+  lineage::InterestSet interest{testbed::kListGen};
+
+  bench::TablePrinter table(
+      {"runs_stored", "db_records", "NI_best_ms", "probes", "bindings"});
+  for (int r = 0; r < kRuns; ++r) {
+    CheckResult(wb->RunSynthetic(kD, "run" + std::to_string(r)), "run");
+    provenance::TraceCounts counts =
+        CheckResult(wb->store()->CountAllRecords(), "count");
+    lineage::NaiveLineage naive = wb->Naive();
+    lineage::LineageAnswer answer;
+    double best = CheckResult(
+        bench::BestOfFive([&]() -> Status {
+          auto a = naive.Query("run0", target, q, interest);
+          PROVLIN_RETURN_IF_ERROR(a.status());
+          answer = std::move(a).value();
+          return Status::OK();
+        }),
+        "query");
+    table.AddRow({std::to_string(r + 1),
+                  bench::Num(counts.TotalDependencyRecords()),
+                  bench::Ms(best), bench::Num(answer.timing.trace_probes),
+                  bench::Num(answer.bindings.size())});
+  }
+  table.Print();
+  return 0;
+}

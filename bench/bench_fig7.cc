@@ -1,0 +1,53 @@
+// Reproduces Fig. 7: NI lineage query response time for varying input
+// list size d, at several chain lengths l.
+//
+// Expected shape (paper §4.2): modest growth in d for each l — d affects
+// the size of the trace (and so of the indexes) but not the number of
+// traversal steps, which is governed by l.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lineage/naive_lineage.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+
+int main() {
+  using namespace provlin;
+  using bench::CheckResult;
+
+  const int ls[] = {28, 75, 150};
+  const int ds[] = {10, 25, 50, 75};
+
+  std::printf(
+      "Fig. 7: NI query response time vs input list size d (one run)\n\n");
+
+  bench::TablePrinter table(
+      {"l", "d", "db_records", "NI_best_ms", "probes"});
+  for (int l : ls) {
+    for (int d : ds) {
+      auto wb = CheckResult(testbed::Workbench::Synthetic(l), "workbench");
+      CheckResult(wb->RunSynthetic(d, "r0"), "run");
+      provenance::TraceCounts counts =
+          CheckResult(wb->store()->CountRecords("r0"), "count");
+      workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
+      Index q({1, 2});
+      lineage::InterestSet interest{testbed::kListGen};
+      lineage::NaiveLineage naive = wb->Naive();
+      lineage::LineageAnswer answer;
+      double best = CheckResult(
+          bench::BestOfFive([&]() -> Status {
+            auto a = naive.Query("r0", target, q, interest);
+            PROVLIN_RETURN_IF_ERROR(a.status());
+            answer = std::move(a).value();
+            return Status::OK();
+          }),
+          "query");
+      table.AddRow({std::to_string(l), std::to_string(d),
+                    bench::Num(counts.TotalDependencyRecords()),
+                    bench::Ms(best), bench::Num(answer.timing.trace_probes)});
+    }
+  }
+  table.Print();
+  return 0;
+}

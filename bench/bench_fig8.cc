@@ -1,0 +1,62 @@
+// Reproduces Fig. 8: pre-processing time t1 as a function of the chain
+// length l (graph size 2l+2 nodes), extended to l = 200 as in the paper.
+// t1 covers the work done once per workflow definition / query: Alg. 1
+// depth propagation plus the cold s1 spec-graph traversal that generates
+// the focused trace queries.
+//
+// Expected shape (paper §4.2): well under 1 second below 100 nodes,
+// growing with graph size only.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "lineage/index_proj_lineage.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+#include "workflow/depth_propagation.h"
+
+int main() {
+  using namespace provlin;
+  using bench::CheckResult;
+
+  const int ls[] = {10, 28, 50, 75, 100, 150, 200};
+
+  std::printf(
+      "Fig. 8: pre-processing time vs chain length l (d=10, one run)\n\n");
+
+  bench::TablePrinter table({"l", "graph_nodes", "propagate_ms",
+                             "cold_plan_ms", "graph_steps"});
+  for (int l : ls) {
+    auto wb = CheckResult(testbed::Workbench::Synthetic(l), "workbench");
+    CheckResult(wb->RunSynthetic(10, "r0"), "run");
+
+    // Alg. 1, measured afresh on the flattened graph.
+    double propagate_ms = CheckResult(
+        bench::BestOfFive([&]() -> Status {
+          return workflow::PropagateDepths(*wb->flow()).status();
+        }),
+        "propagate");
+
+    workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
+    Index q({1, 2});
+    lineage::InterestSet interest{testbed::kListGen};
+    uint64_t steps = 0;
+    double plan_ms = CheckResult(
+        bench::BestOfFive([&]() -> Status {
+          wb->IndexProj()->ClearPlanCache();  // measure the cold traversal
+          auto plan = wb->IndexProj()->Plan(target, q, interest);
+          PROVLIN_RETURN_IF_ERROR(plan.status());
+          steps = plan.value()->graph_steps;
+          return Status::OK();
+        }),
+        "plan");
+
+    table.AddRow({std::to_string(l),
+                  std::to_string(testbed::SyntheticNodeCount(l)),
+                  bench::Ms(propagate_ms), bench::Ms(plan_ms),
+                  bench::Num(steps)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Substrate micro-benchmarks: B+tree and table/query-layer operations of
+// the embedded relational engine that stands in for the paper's MySQL.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "storage/bplus_tree.h"
+#include "storage/query.h"
+#include "storage/table.h"
+
+namespace {
+
+using namespace provlin;
+using storage::BPlusTree;
+using storage::Datum;
+using storage::Key;
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    BPlusTree tree;
+    Random rng(7);
+    for (uint64_t i = 0; i < n; ++i) {
+      tree.Insert({Datum(static_cast<int64_t>(rng.Uniform(n * 4)))}, i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  BPlusTree tree;
+  Random rng(7);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Insert({Datum(static_cast<int64_t>(i))}, i);
+  }
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    auto rids = tree.Lookup({Datum(static_cast<int64_t>(probe++ % n))});
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreePrefixScan(benchmark::State& state) {
+  // Composite keys (group, member): prefix scans fetch one group.
+  const int64_t groups = 1000;
+  const int64_t members = state.range(0);
+  BPlusTree tree;
+  uint64_t rid = 0;
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t m = 0; m < members; ++m) {
+      tree.Insert({Datum(g), Datum(m)}, rid++);
+    }
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    auto rids = tree.PrefixLookup({Datum(probe++ % groups)});
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * members);
+}
+BENCHMARK(BM_BPlusTreePrefixScan)->Arg(10)->Arg(100);
+
+void BM_TableIndexedSelect(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::Table table(
+      "t", storage::Schema({{"run", storage::DatumKind::kString},
+                            {"proc", storage::DatumKind::kString},
+                            {"idx", storage::DatumKind::kString}}));
+  {
+    Status st = table.CreateIndex(
+        {"by_proc", {"run", "proc", "idx"}, storage::IndexType::kBTree});
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    auto r = table.Insert({Datum("r0"), Datum("P" + std::to_string(i % 100)),
+                           Datum(std::to_string(i))});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    storage::SelectQuery q;
+    q.equals.push_back({"run", Datum("r0")});
+    q.equals.push_back({"proc", Datum("P" + std::to_string(probe++ % 100))});
+    auto r = storage::ExecuteSelect(table, q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableIndexedSelect)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

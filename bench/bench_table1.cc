@@ -1,0 +1,45 @@
+// Reproduces Table 1: number of trace-database records for one run of
+// each synthetic testbed configuration (l = chain length, d = input list
+// size). The paper's counts fit records = 4*d*l + 2*d^2 + 2*d + 6; our
+// recorder produces 4*d*l + 2*d^2 + 6 — identical dominant terms, with a
+// small O(d) difference from how boundary transfers are counted (see
+// EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "provenance/trace_store.h"
+#include "testbed/workbench.h"
+
+namespace {
+
+int PaperValue(int l, int d) { return 4 * d * l + 2 * d * d + 2 * d + 6; }
+
+}  // namespace
+
+int main() {
+  using namespace provlin;
+  using bench::CheckResult;
+
+  const int ls[] = {10, 28, 50, 75, 100, 150};
+  const int ds[] = {10, 25, 50, 75};
+
+  std::printf("Table 1: trace database records, one run per cell\n");
+  std::printf("(measured / paper-formula 4dl+2d^2+2d+6)\n\n");
+
+  bench::TablePrinter table({"d\\l", "10", "28", "50", "75", "100", "150"});
+  for (int d : ds) {
+    std::vector<std::string> row{std::to_string(d)};
+    for (int l : ls) {
+      auto wb = CheckResult(testbed::Workbench::Synthetic(l), "workbench");
+      CheckResult(wb->RunSynthetic(d, "r0"), "run");
+      provenance::TraceCounts counts =
+          CheckResult(wb->store()->CountRecords("r0"), "count");
+      row.push_back(std::to_string(counts.TotalDependencyRecords()) + "/" +
+                    std::to_string(PaperValue(l, d)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#ifndef PROVLIN_BENCH_BENCH_UTIL_H_
+#define PROVLIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+
+namespace provlin::bench {
+
+/// Paper methodology (§4.2, footnote 10): report the best response time
+/// over a sequence of five identical queries (warm cache).
+inline constexpr int kRepetitions = 5;
+
+/// Runs `fn` kRepetitions times and returns the best elapsed time in
+/// milliseconds. `fn` returns a Status; the first error aborts.
+inline Result<double> BestOfFive(const std::function<Status()>& fn) {
+  double best = -1.0;
+  for (int i = 0; i < kRepetitions; ++i) {
+    WallTimer timer;
+    PROVLIN_RETURN_IF_ERROR(fn());
+    double ms = timer.ElapsedMillis();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Minimal aligned-column table printer for the figure benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(widths[i], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+inline std::string Num(uint64_t v) { return std::to_string(v); }
+
+/// Aborts the bench with a message on error — benches have no recovery.
+inline void CheckOk(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL [%s]: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL [%s]: %s\n", what,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace provlin::bench
+
+#endif  // PROVLIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Iteration-strategy expressions in a realistic shape: a gene-expression
+// study pairs each sample with its condition label (dot product — they
+// advance together) and crosses the pairs with every gene of interest:
+//
+//   score : strategy cross(gene, dot(sample, label))
+//
+// The engine runs |genes| x |samples| elementary invocations; lineage
+// stays exact because each port's index fragment occupies a fixed slot
+// of the output index (generalized Prop. 1).
+//
+// Build & run:  ./build/examples/expression_matrix
+
+#include <cstdio>
+
+#include "engine/builtin_activities.h"
+#include "lineage/naive_lineage.h"
+#include "testbed/workbench.h"
+#include "workflow/builder.h"
+
+using namespace provlin;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void CheckOk(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  // A three-input "scoring service": gene x (sample, label) -> record.
+  CheckOk(registry->Register(
+              "score_expression",
+              [](const engine::ActivityConfig&)
+                  -> Result<std::shared_ptr<engine::Activity>> {
+                return std::shared_ptr<engine::Activity>(
+                    new engine::LambdaActivity(
+                        [](const std::vector<Value>& in)
+                            -> Result<std::vector<Value>> {
+                          return std::vector<Value>{Value::Str(
+                              in[0].atom().AsString() + "@" +
+                              in[1].atom().AsString() + "/" +
+                              in[2].atom().AsString())};
+                        }));
+              }),
+          "register");
+
+  workflow::DataflowBuilder b("expression_matrix");
+  b.Input("genes", PortType::String(1));
+  b.Input("samples", PortType::String(1));
+  b.Input("labels", PortType::String(1));
+  b.Output("matrix", PortType::String(2));
+  auto proc = b.Proc("score");
+  proc.Activity("score_expression")
+      .StrategyTree(Check(
+          workflow::StrategyNode::Parse("cross(gene,dot(sample,label))"),
+          "strategy"))
+      .In("gene", PortType::String(0))
+      .In("sample", PortType::String(0))
+      .In("label", PortType::String(0))
+      .Out("record", PortType::String(0));
+  b.Arc("workflow:genes", "score:gene");
+  b.Arc("workflow:samples", "score:sample");
+  b.Arc("workflow:labels", "score:label");
+  b.Arc("score:record", "workflow:matrix");
+  auto flow = Check(b.Build(), "build");
+
+  auto wb = Check(testbed::Workbench::Create(flow, registry), "workbench");
+  auto run = Check(
+      wb->Run({{"genes", Value::StringList({"BRCA1", "TP53"})},
+               {"samples", Value::StringList({"s1", "s2", "s3"})},
+               {"labels", Value::StringList({"ctrl", "ctrl", "tumor"})}},
+              "study-1"),
+      "execute");
+
+  const Value& matrix = run.outputs.at("matrix");
+  std::printf("expression matrix (%zu genes x %zu samples):\n",
+              matrix.list_size(), matrix.elements()[0].list_size());
+  for (const Value& row : matrix.elements()) {
+    std::printf("   %s\n", row.ToString().c_str());
+  }
+
+  // Lineage of matrix[2][3]: exactly gene TP53 and the (sample, label)
+  // pair at position 3 — the dot lanes resolve together, the crossed
+  // gene independently.
+  auto answer = Check(
+      wb->IndexProj()->Query("study-1",
+                             {workflow::kWorkflowProcessor, "matrix"},
+                             Index({1, 2}), {workflow::kWorkflowProcessor}),
+      "lineage");
+  std::printf("\nlin(matrix[2,3]) =\n");
+  for (const auto& binding : answer.bindings) {
+    std::printf("   %s\n", binding.ToString().c_str());
+  }
+  auto naive = wb->Naive().Query("study-1",
+                                 {workflow::kWorkflowProcessor, "matrix"},
+                                 Index({1, 2}),
+                                 {workflow::kWorkflowProcessor});
+  std::printf("naive engine agrees: %s\n",
+              Check(std::move(naive), "naive").bindings == answer.bindings
+                  ? "yes"
+                  : "NO!");
+  return 0;
+}

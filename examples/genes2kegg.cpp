@@ -1,0 +1,89 @@
+// The paper's motivating scenario (Fig. 1): the genes2Kegg bioinformatics
+// workflow maps nested lists of gene ids to metabolic pathways (KEGG is
+// simulated — see DESIGN.md). Provenance answers the natural question
+// "why is this pathway in the output?" at fine granularity: pathways in
+// sub-list i of paths_per_gene depend only on the genes in input
+// sub-list i, while commonPathways depends on all input genes.
+//
+// Build & run:  ./build/examples/genes2kegg
+
+#include <cstdio>
+
+#include "lineage/naive_lineage.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/workbench.h"
+
+using namespace provlin;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  auto wb = Check(testbed::Workbench::GK(), "workbench");
+
+  Value input = testbed::GkSampleInput();  // [[20816,26416],[328788]]
+  std::printf("input gene lists: %s\n\n", input.ToString().c_str());
+  auto run =
+      Check(wb->Run({{"list_of_geneIDList", input}}, "gk-run"), "execute");
+
+  const Value& per_gene = run.outputs.at("paths_per_gene");
+  const Value& common = run.outputs.at("commonPathways");
+  std::printf("paths_per_gene  = %s\n", per_gene.ToString().c_str());
+  std::printf("commonPathways  = %s\n\n", common.ToString().c_str());
+
+  // "Which of the input lists of genes is involved in this pathway?"
+  // Ask for each sub-list of paths_per_gene, focused on the KEGG lookup.
+  lineage::InterestSet lookup{"get_pathways_by_genes"};
+  for (int i = 0; i < static_cast<int>(per_gene.list_size()); ++i) {
+    auto answer = Check(
+        wb->IndexProj()->Query("gk-run",
+                               {workflow::kWorkflowProcessor,
+                                "paths_per_gene"},
+                               Index({i}), lookup),
+        "lineage");
+    std::printf("lin(paths_per_gene[%d]) =\n", i + 1);
+    for (const auto& b : answer.bindings) {
+      std::printf("   %s\n", b.ToString().c_str());
+    }
+  }
+
+  // commonPathways flows through a flatten step, so its lineage covers
+  // ALL input genes — granularity degrades exactly where the workflow
+  // merged the collections.
+  auto answer = Check(
+      wb->IndexProj()->Query(
+          "gk-run", {workflow::kWorkflowProcessor, "commonPathways"},
+          Index({0}), lineage::InterestSet{"get_common_pathways"}),
+      "lineage");
+  std::printf("\nlin(commonPathways[1]) =\n");
+  for (const auto& b : answer.bindings) {
+    std::printf("   %s\n", b.ToString().c_str());
+  }
+
+  // The naive engine agrees, at higher trace-access cost.
+  auto ni = Check(wb->Naive().Query("gk-run",
+                                    {workflow::kWorkflowProcessor,
+                                     "paths_per_gene"},
+                                    Index({0}), lookup),
+                  "naive lineage");
+  auto ip = Check(wb->IndexProj()->Query("gk-run",
+                                         {workflow::kWorkflowProcessor,
+                                          "paths_per_gene"},
+                                         Index({0}), lookup),
+                  "indexproj lineage");
+  std::printf("\nNI vs IndexProj: same answer (%s), probes %llu vs %llu\n",
+              ni.bindings == ip.bindings ? "yes" : "NO!",
+              static_cast<unsigned long long>(ni.timing.trace_probes),
+              static_cast<unsigned long long>(ip.timing.trace_probes));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Impact analysis (forward lineage): "the KEGG annotation for gene
+// mmu:26416 was retracted — which published results are affected?"
+// Backward lineage answers "where did this output come from"; the dual
+// forward query pushes an input element downstream through the same
+// index-projection machinery (with wildcards for the dimensions other
+// ports contribute).
+//
+// Build & run:  ./build/examples/impact_analysis
+
+#include <cstdio>
+
+#include "lineage/forward_lineage.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/workbench.h"
+
+using namespace provlin;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  auto wb = Check(testbed::Workbench::GK(), "workbench");
+  Value input = testbed::GkSampleInput();  // [[20816,26416],[328788]]
+  auto run = Check(wb->Run({{"list_of_geneIDList", input}}, "gk-run"),
+                   "execute");
+  std::printf("input gene lists  = %s\n", input.ToString().c_str());
+  std::printf("paths_per_gene    = %s\n",
+              run.outputs.at("paths_per_gene").ToString().c_str());
+  std::printf("commonPathways    = %s\n\n",
+              run.outputs.at("commonPathways").ToString().c_str());
+
+  auto fwd = Check(
+      lineage::ForwardIndexProjLineage::Create(wb->flow(), wb->store()),
+      "forward engine");
+
+  // Which workflow outputs depend on gene #2 of sub-list 1 (26416)?
+  workflow::PortRef gene_input{workflow::kWorkflowProcessor,
+                               "list_of_geneIDList"};
+  auto impact = Check(fwd.Query("gk-run", gene_input, Index({0, 1}),
+                                {workflow::kWorkflowProcessor}),
+                      "impact query");
+  std::printf("impact of list_of_geneIDList[1,2] (gene 26416):\n");
+  for (const auto& b : impact.bindings) {
+    std::printf("   %s\n", b.ToString().c_str());
+  }
+
+  // The naive trace-walking engine agrees, at higher probe cost.
+  lineage::NaiveForwardLineage naive(wb->store());
+  auto ni = Check(naive.Query("gk-run", gene_input, Index({0, 1}),
+                              {workflow::kWorkflowProcessor}),
+                  "naive impact");
+  std::printf(
+      "\nagreement with naive forward traversal: %s (probes %llu vs "
+      "%llu)\n",
+      ni.bindings == impact.bindings ? "yes" : "NO!",
+      static_cast<unsigned long long>(ni.timing.trace_probes),
+      static_cast<unsigned long long>(impact.timing.trace_probes));
+
+  // Narrower question: does the retraction touch the per-sub-list view
+  // of the *other* sub-list? (It must not — that is the fine-grained
+  // provenance claim of the paper, applied forward.)
+  bool touches_other = false;
+  for (const auto& b : impact.bindings) {
+    if (b.port.port == "paths_per_gene" && b.index.length() >= 1 &&
+        b.index[0] == 1) {
+      touches_other = true;
+    }
+  }
+  std::printf("does gene 26416 impact paths_per_gene[2]? %s\n",
+              touches_other ? "yes (unexpected!)" : "no — isolated, as the "
+                                                    "fine-grained model "
+                                                    "predicts");
+  return 0;
+}

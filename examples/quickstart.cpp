@@ -1,0 +1,77 @@
+// Quickstart: build a small collection-oriented workflow, execute it with
+// provenance capture, and ask a fine-grained lineage question.
+//
+//   greeting pipeline:  names -> upper -> greet   (element-wise)
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/builtin_activities.h"
+#include "lineage/index_proj_lineage.h"
+#include "testbed/workbench.h"
+#include "workflow/builder.h"
+
+using namespace provlin;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  // 1. Describe the dataflow. Ports declare types with nesting depth;
+  //    feeding a list(string) into a string port makes the engine
+  //    iterate the processor over the elements (Taverna semantics).
+  workflow::DataflowBuilder b("greeter");
+  b.Input("names", PortType::String(1));      // list(string)
+  b.Output("greetings", PortType::String(1));  // list(string)
+  b.Proc("upper")
+      .Activity("to_upper")
+      .In("name", PortType::String(0))   // scalar port <- list input: δ=1
+      .Out("upper", PortType::String(0));
+  b.Proc("greet")
+      .Activity("prefix")
+      .Config("prefix", "hello ")
+      .In("who", PortType::String(0))
+      .Out("greeting", PortType::String(0));
+  b.Arc("workflow:names", "upper:name");
+  b.Arc("upper:upper", "greet:who");
+  b.Arc("greet:greeting", "workflow:greetings");
+  auto flow = Check(b.Build(), "build workflow");
+
+  // 2. Execute with provenance capture. The Workbench bundles the
+  //    activity registry, the embedded trace database and the engines.
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  auto wb = Check(testbed::Workbench::Create(flow, registry), "workbench");
+
+  Value names = Value::StringList({"ada", "grace", "edsger"});
+  auto run = Check(wb->Run({{"names", names}}, "run-1"), "execute");
+  std::printf("greetings = %s\n",
+              run.outputs.at("greetings").ToString().c_str());
+
+  // 3. Lineage: which input produced greetings[2]? The IndexProj engine
+  //    answers by traversing the workflow spec, not the trace.
+  workflow::PortRef target{workflow::kWorkflowProcessor, "greetings"};
+  auto answer = Check(
+      wb->IndexProj()->Query("run-1", target, Index({2}),
+                             {workflow::kWorkflowProcessor}),
+      "lineage query");
+  for (const auto& binding : answer.bindings) {
+    std::printf("lineage of greetings[3]: %s\n", binding.ToString().c_str());
+  }
+  std::printf("cost: t1=%.3fms (spec traversal) t2=%.3fms (%llu trace "
+              "probes)\n",
+              answer.timing.t1_ms, answer.timing.t2_ms,
+              static_cast<unsigned long long>(answer.timing.trace_probes));
+  return 0;
+}

@@ -1,0 +1,453 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "engine/builtin_activities.h"
+#include "engine/executor.h"
+#include "lineage/forward_lineage.h"
+#include "lineage/index_proj_lineage.h"
+#include "lineage/naive_lineage.h"
+#include "provenance/opm_export.h"
+#include "provenance/provenance_graph.h"
+#include "provenance/recorder.h"
+#include "provenance/trace_store.h"
+#include "storage/sql.h"
+#include "storage/wal.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/pd_workflow.h"
+#include "testbed/synthetic.h"
+#include "values/value_parser.h"
+#include "workflow/builder.h"
+#include "workflow/depth_propagation.h"
+#include "workflow/diff.h"
+#include "workflow/validate.h"
+#include "workflow/workflow_io.h"
+
+namespace provlin::cli {
+namespace {
+
+/// Parsed command line: positional command + repeatable flags.
+struct Args {
+  std::string command;
+  std::map<std::string, std::vector<std::string>> flags;
+  std::vector<std::string> positional;
+
+  const std::string* Get(const std::string& flag) const {
+    auto it = flags.find(flag);
+    if (it == flags.end() || it->second.empty()) return nullptr;
+    return &it->second.front();
+  }
+  std::vector<std::string> GetAll(const std::string& flag) const {
+    auto it = flags.find(flag);
+    return it == flags.end() ? std::vector<std::string>{} : it->second;
+  }
+};
+
+Result<Args> ParseArgs(const std::vector<std::string>& argv) {
+  Args args;
+  if (argv.empty()) return Status::InvalidArgument("missing command");
+  args.command = argv[0];
+  for (size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (StartsWith(a, "--")) {
+      std::string flag = a.substr(2);
+      if (i + 1 >= argv.size()) {
+        return Status::InvalidArgument("flag --" + flag + " needs a value");
+      }
+      args.flags[flag].push_back(argv[++i]);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+/// Loaded workflow + matching activity registry.
+struct LoadedWorkflow {
+  std::shared_ptr<const workflow::Dataflow> flow;
+  std::shared_ptr<engine::ActivityRegistry> registry;
+};
+
+Result<LoadedWorkflow> LoadWorkflow(const std::string& spec) {
+  LoadedWorkflow out;
+  if (spec == "builtin:gk") {
+    PROVLIN_ASSIGN_OR_RETURN(out.flow, testbed::MakeGkWorkflow());
+    PROVLIN_ASSIGN_OR_RETURN(out.registry, testbed::MakeGkRegistry());
+    return out;
+  }
+  if (spec == "builtin:pd") {
+    PROVLIN_ASSIGN_OR_RETURN(out.flow, testbed::MakePdWorkflow());
+    PROVLIN_ASSIGN_OR_RETURN(out.registry, testbed::MakePdRegistry());
+    return out;
+  }
+  if (StartsWith(spec, "builtin:synthetic:")) {
+    int64_t l = 0;
+    if (!ParseInt64(spec.substr(18), &l) || l < 1) {
+      return Status::InvalidArgument("bad synthetic chain length in '" +
+                                     spec + "'");
+    }
+    PROVLIN_ASSIGN_OR_RETURN(out.flow, testbed::MakeSyntheticWorkflow(
+                                           static_cast<int>(l)));
+  } else {
+    std::ifstream in(spec);
+    if (!in) return Status::IoError("cannot open workflow file '" + spec + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<workflow::Dataflow> parsed,
+                             workflow::ParseDataflow(ss.str()));
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<workflow::Dataflow> flat,
+                             parsed->Flatten());
+    PROVLIN_RETURN_IF_ERROR(workflow::Validate(*flat));
+    out.flow = std::move(flat);
+  }
+  out.registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(out.registry.get());
+  return out;
+}
+
+/// Parses a 1-based "1,2" index (paper notation); "" or "[]" is whole.
+Result<Index> ParseCliIndex(const std::string& text) {
+  std::string_view t = Trim(text);
+  if (!t.empty() && t.front() == '[') t = t.substr(1);
+  if (!t.empty() && t.back() == ']') t = t.substr(0, t.size() - 1);
+  if (Trim(t).empty()) return Index();
+  std::vector<int32_t> parts;
+  for (const std::string& tok : Split(t, ',')) {
+    int64_t v = 0;
+    if (!ParseInt64(std::string(Trim(tok)), &v) || v < 1) {
+      return Status::InvalidArgument("bad index component '" + tok +
+                                     "' (indices are 1-based)");
+    }
+    parts.push_back(static_cast<int32_t>(v - 1));
+  }
+  return Index(std::move(parts));
+}
+
+Result<storage::Database> OpenDb(const std::string& path) {
+  storage::Database db;
+  std::ifstream probe(path);
+  if (probe.good()) {
+    PROVLIN_RETURN_IF_ERROR(db.Load(path));
+  }
+  return db;
+}
+
+Status RequireFlag(const Args& args, const char* flag) {
+  if (args.Get(flag) == nullptr) {
+    return Status::InvalidArgument(std::string("missing --") + flag);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+Status CmdRun(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "workflow"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
+                           LoadWorkflow(*args.Get("workflow")));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+
+  std::optional<storage::WriteAheadLog> wal;
+  if (const std::string* wal_path = args.Get("wal")) {
+    PROVLIN_ASSIGN_OR_RETURN(storage::WriteAheadLog opened,
+                             storage::WriteAheadLog::Open(*wal_path));
+    wal.emplace(std::move(opened));
+    store.AttachWal(&*wal);
+  }
+
+  std::map<std::string, Value> inputs;
+  for (const std::string& binding : args.GetAll("input")) {
+    size_t eq = binding.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--input expects port=literal, got '" +
+                                     binding + "'");
+    }
+    PROVLIN_ASSIGN_OR_RETURN(Value v, ParseValue(binding.substr(eq + 1)));
+    inputs[binding.substr(0, eq)] = std::move(v);
+  }
+
+  engine::ExecuteOptions options;
+  if (const std::string* coe = args.Get("continue-on-error")) {
+    options.continue_on_error = *coe != "false";
+  }
+
+  provenance::TraceRecorder recorder(&store);
+  engine::Executor executor(loaded.registry.get(), &recorder);
+  PROVLIN_ASSIGN_OR_RETURN(
+      engine::RunResult result,
+      executor.Execute(*loaded.flow, inputs, *args.Get("run"), options));
+  PROVLIN_RETURN_IF_ERROR(recorder.status());
+  PROVLIN_RETURN_IF_ERROR(db.Save(*args.Get("db")));
+
+  out << "run " << result.run_id << " completed ("
+      << result.total_invocations << " invocations";
+  if (result.failed_invocations > 0) {
+    out << ", " << result.failed_invocations << " failed";
+  }
+  out << ")\n";
+  for (const auto& [port, value] : result.outputs) {
+    out << "  " << port << " = " << value.ToString() << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdRuns(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> runs, store.ListRuns());
+  for (const std::string& run : runs) out << run << "\n";
+  return Status::OK();
+}
+
+Status CmdLineage(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "workflow"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "target"));
+  std::vector<std::string> runs = args.GetAll("run");
+  if (runs.empty()) return Status::InvalidArgument("missing --run");
+
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
+                           LoadWorkflow(*args.Get("workflow")));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+
+  PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
+                           workflow::ParsePortRef(*args.Get("target")));
+  Index index;
+  if (const std::string* idx = args.Get("index")) {
+    PROVLIN_ASSIGN_OR_RETURN(index, ParseCliIndex(*idx));
+  }
+  lineage::InterestSet interest;
+  for (const std::string& focus : args.GetAll("focus")) {
+    interest.insert(focus);
+  }
+  std::string engine_name =
+      args.Get("engine") != nullptr ? *args.Get("engine") : "indexproj";
+  bool forward = args.Get("forward") != nullptr &&
+                 *args.Get("forward") != "false";
+
+  bool explain = args.Get("explain") != nullptr &&
+                 *args.Get("explain") != "false";
+
+  lineage::LineageAnswer answer;
+  if (forward) {
+    if (engine_name == "naive") {
+      lineage::NaiveForwardLineage naive(&store);
+      PROVLIN_ASSIGN_OR_RETURN(answer,
+                               naive.Query(runs[0], target, index, interest));
+    } else {
+      PROVLIN_ASSIGN_OR_RETURN(
+          lineage::ForwardIndexProjLineage fwd,
+          lineage::ForwardIndexProjLineage::Create(loaded.flow, &store));
+      PROVLIN_ASSIGN_OR_RETURN(
+          answer, fwd.QueryMultiRun(runs, target, index, interest));
+    }
+  } else if (engine_name == "naive") {
+    lineage::NaiveLineage naive(&store);
+    PROVLIN_ASSIGN_OR_RETURN(
+        answer, naive.QueryMultiRun(runs, target, index, interest));
+  } else if (engine_name == "indexproj") {
+    PROVLIN_ASSIGN_OR_RETURN(
+        lineage::IndexProjLineage engine,
+        lineage::IndexProjLineage::Create(loaded.flow, &store));
+    if (explain) {
+      PROVLIN_ASSIGN_OR_RETURN(const lineage::LineagePlan* plan,
+                               engine.Plan(target, index, interest));
+      out << "plan (" << plan->queries.size() << " trace queries, "
+          << plan->graph_steps << " spec-graph steps):\n";
+      for (const auto& tq : plan->queries) {
+        out << "  " << tq.ToString() << "\n";
+      }
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        answer, engine.QueryMultiRun(runs, target, index, interest));
+  } else {
+    return Status::InvalidArgument("unknown engine '" + engine_name +
+                                   "' (naive|indexproj)");
+  }
+
+  out << (forward ? "impact of " : "lineage of ") << target.ToString()
+      << index.ToString() << ":\n";
+  for (const auto& binding : answer.bindings) {
+    out << "  " << binding.ToString() << "\n";
+  }
+  out << "(" << answer.bindings.size() << " bindings, "
+      << answer.timing.trace_probes << " trace probes, t1="
+      << answer.timing.t1_ms << "ms t2=" << answer.timing.t2_ms << "ms)\n";
+  return Status::OK();
+}
+
+Status CmdSql(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("missing SQL statement");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(storage::SqlResult result,
+                           storage::ExecuteSql(db, args.positional[0]));
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    out << (i > 0 ? " | " : "") << result.columns[i];
+  }
+  out << "\n";
+  for (const storage::Row& row : result.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i > 0 ? " | " : "") << row[i].ToString();
+    }
+    out << "\n";
+  }
+  out << "(" << result.rows.size() << " rows, "
+      << storage::AccessPathName(result.access_path) << ")\n";
+  return Status::OK();
+}
+
+Status CmdDot(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  PROVLIN_ASSIGN_OR_RETURN(
+      provenance::ProvenanceGraph graph,
+      provenance::ProvenanceGraph::Build(store, *args.Get("run")));
+  out << graph.ToDot(*args.Get("run"));
+  return Status::OK();
+}
+
+Status CmdExport(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::string json,
+      provenance::ExportOpmJson(store, *args.Get("run")));
+  out << json;
+  return Status::OK();
+}
+
+Status CmdCounts(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  provenance::TraceCounts counts;
+  if (const std::string* run = args.Get("run")) {
+    PROVLIN_ASSIGN_OR_RETURN(counts, store.CountRecords(*run));
+  } else {
+    PROVLIN_ASSIGN_OR_RETURN(counts, store.CountAllRecords());
+  }
+  out << "xform rows:  " << counts.xform_rows << "\n";
+  out << "xfer rows:   " << counts.xfer_rows << "\n";
+  out << "value rows:  " << counts.value_rows << "\n";
+  out << "dependency records: " << counts.TotalDependencyRecords() << "\n";
+  return Status::OK();
+}
+
+Status CmdWorkflow(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "workflow"));
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
+                           LoadWorkflow(*args.Get("workflow")));
+  out << workflow::SerializeDataflow(*loaded.flow);
+  PROVLIN_ASSIGN_OR_RETURN(workflow::DepthMap depths,
+                           workflow::PropagateDepths(*loaded.flow));
+  out << "# port depths (Alg. 1):\n";
+  for (const workflow::Processor& proc : loaded.flow->processors()) {
+    const workflow::ProcessorDepths& pd = depths.ForProcessor(proc.name);
+    out << "#   " << proc.name << ": l=" << pd.iteration_levels << " deltas=";
+    for (size_t i = 0; i < pd.input_deltas.size(); ++i) {
+      out << (i > 0 ? "," : "") << pd.input_deltas[i];
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdDiff(const Args& args, std::ostream& out) {
+  std::vector<std::string> specs = args.GetAll("workflow");
+  if (specs.size() != 2) {
+    return Status::InvalidArgument("diff expects two --workflow flags");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow before, LoadWorkflow(specs[0]));
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow after, LoadWorkflow(specs[1]));
+  out << workflow::DiffDataflows(*before.flow, *after.flow).ToString();
+  return Status::OK();
+}
+
+Status CmdPrune(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  PROVLIN_ASSIGN_OR_RETURN(size_t removed,
+                           store.DeleteRun(*args.Get("run")));
+  PROVLIN_RETURN_IF_ERROR(db.Save(*args.Get("db")));
+  out << "pruned run '" << *args.Get("run") << "' (" << removed
+      << " rows)\n";
+  return Status::OK();
+}
+
+const char* kUsage =
+    "usage: provlin <command> [flags]\n"
+    "commands: run, runs, lineage, sql, dot, export, counts, workflow, diff,\n"
+    "          prune\n"
+    "see src/cli/cli.h for full flag documentation\n";
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& argv, std::ostream& out,
+           std::ostream& err) {
+  auto args = ParseArgs(argv);
+  if (!args.ok()) {
+    err << args.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  Status st;
+  if (args->command == "run") {
+    st = CmdRun(*args, out);
+  } else if (args->command == "runs") {
+    st = CmdRuns(*args, out);
+  } else if (args->command == "lineage") {
+    st = CmdLineage(*args, out);
+  } else if (args->command == "sql") {
+    st = CmdSql(*args, out);
+  } else if (args->command == "dot") {
+    st = CmdDot(*args, out);
+  } else if (args->command == "export") {
+    st = CmdExport(*args, out);
+  } else if (args->command == "counts") {
+    st = CmdCounts(*args, out);
+  } else if (args->command == "workflow") {
+    st = CmdWorkflow(*args, out);
+  } else if (args->command == "diff") {
+    st = CmdDiff(*args, out);
+  } else if (args->command == "prune") {
+    st = CmdPrune(*args, out);
+  } else if (args->command == "help" || args->command == "--help") {
+    out << kUsage;
+    return 0;
+  } else {
+    err << "unknown command '" << args->command << "'\n" << kUsage;
+    return 2;
+  }
+  if (!st.ok()) {
+    err << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace provlin::cli

@@ -1,0 +1,50 @@
+#ifndef PROVLIN_CLI_CLI_H_
+#define PROVLIN_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace provlin::cli {
+
+/// The provlin command-line tool, factored as a library so tests can
+/// drive it in-process. Commands:
+///
+///   run      --workflow W --db FILE --run ID --input port=literal ...
+///            [--wal FILE]
+///            Execute a workflow with provenance capture and persist the
+///            trace database.
+///   runs     --db FILE
+///            List recorded runs.
+///   lineage  --db FILE --workflow W --run ID [--run ID]* --target P:X
+///            [--index 1,2] [--focus P]* [--engine naive|indexproj]
+///            [--forward]
+///            Answer a (backward or forward) lineage query.
+///   sql      --db FILE "SELECT ..."
+///            Run a SQL query against the trace database.
+///   dot      --db FILE --run ID
+///            Emit the run's provenance graph in Graphviz format.
+///   export   --db FILE --run ID
+///            Emit the run's trace as an OPM-style JSON document.
+///   counts   --db FILE [--run ID]
+///            Trace record statistics.
+///   workflow --workflow W
+///            Print the (flattened) workflow definition and port depths.
+///   diff     --workflow BEFORE --workflow AFTER
+///            Structural diff between two workflow versions.
+///   prune    --db FILE --run ID
+///            Delete a run and all of its trace rows.
+///
+/// Workflow specifier W is either a path to a text definition
+/// (workflow_io format) or one of the builtins: "builtin:gk",
+/// "builtin:pd", "builtin:synthetic:<l>". Query indices are 1-based, as
+/// in the paper's notation.
+///
+/// Returns a process exit code; output goes to `out`, diagnostics to
+/// `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace provlin::cli
+
+#endif  // PROVLIN_CLI_CLI_H_

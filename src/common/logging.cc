@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace provlin {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), file, line,
+               message.c_str());
+}
+
+}  // namespace provlin

@@ -1,0 +1,48 @@
+#ifndef PROVLIN_COMMON_LOGGING_H_
+#define PROVLIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace provlin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr: "[LEVEL] file:line message".
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the PROVLIN_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace provlin
+
+#define PROVLIN_LOG(level)                                       \
+  ::provlin::internal::LogStream(::provlin::LogLevel::k##level,  \
+                                 __FILE__, __LINE__)
+
+#endif  // PROVLIN_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef PROVLIN_COMMON_RESULT_H_
+#define PROVLIN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace provlin {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+/// Access to value() on an error result is a programming error (asserts in
+/// debug builds; undefined in release, as with absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status — enables `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace provlin
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define PROVLIN_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::provlin::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise propagates the error status.
+#define PROVLIN_ASSIGN_OR_RETURN(lhs, expr)                  \
+  PROVLIN_ASSIGN_OR_RETURN_IMPL_(                            \
+      PROVLIN_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define PROVLIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define PROVLIN_CONCAT_(a, b) PROVLIN_CONCAT_IMPL_(a, b)
+#define PROVLIN_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PROVLIN_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef PROVLIN_COMMON_TIMER_H_
+#define PROVLIN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace provlin {
+
+/// Monotonic wall-clock timer used both by the lineage engines (to report
+/// the paper's t1/t2 breakdown) and by the bench harness.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace provlin
+
+#endif  // PROVLIN_COMMON_TIMER_H_

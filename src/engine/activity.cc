@@ -1,0 +1,46 @@
+#include "engine/activity.h"
+
+#include "engine/builtin_activities.h"
+
+namespace provlin::engine {
+
+const ActivityRegistry& ActivityRegistry::BuiltinsOnly() {
+  static const ActivityRegistry* kRegistry = [] {
+    auto* r = new ActivityRegistry();
+    RegisterBuiltinActivities(r);
+    return r;
+  }();
+  return *kRegistry;
+}
+
+Status ActivityRegistry::Register(const std::string& name,
+                                  ActivityFactory factory) {
+  if (factories_.count(name) > 0) {
+    return Status::AlreadyExists("activity '" + name +
+                                 "' already registered");
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+bool ActivityRegistry::Has(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+Result<std::shared_ptr<Activity>> ActivityRegistry::Create(
+    const std::string& name, const ActivityConfig& config) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no activity named '" + name + "'");
+  }
+  return it->second(config);
+}
+
+std::vector<std::string> ActivityRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace provlin::engine

@@ -1,0 +1,76 @@
+#ifndef PROVLIN_ENGINE_ACTIVITY_H_
+#define PROVLIN_ENGINE_ACTIVITY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "values/value.h"
+
+namespace provlin::engine {
+
+/// Per-processor configuration passed to an activity at creation time.
+using ActivityConfig = std::map<std::string, std::string>;
+
+/// A black-box behaviour bound to a processor (paper §1: processors are
+/// black boxes — the provenance layer observes only their inputs and
+/// outputs). One Invoke() call corresponds to one *elementary* processor
+/// instance: every input arrives at the port's declared depth, and one
+/// value per output port must be returned, again at declared depth
+/// (assumption 1 of §3.1).
+class Activity {
+ public:
+  virtual ~Activity() = default;
+
+  /// `inputs` holds one value per input port, in port order.
+  virtual Result<std::vector<Value>> Invoke(
+      const std::vector<Value>& inputs) const = 0;
+};
+
+/// Creates an activity instance from per-processor configuration.
+using ActivityFactory =
+    std::function<Result<std::shared_ptr<Activity>>(const ActivityConfig&)>;
+
+/// Name -> factory registry. Substrate simulators (KEGG, PubMed) register
+/// their service activities here next to the builtins.
+class ActivityRegistry {
+ public:
+  /// Registry pre-populated with the builtin activities.
+  static const ActivityRegistry& BuiltinsOnly();
+
+  ActivityRegistry() = default;
+
+  Status Register(const std::string& name, ActivityFactory factory);
+  bool Has(const std::string& name) const;
+  Result<std::shared_ptr<Activity>> Create(const std::string& name,
+                                           const ActivityConfig& config) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, ActivityFactory> factories_;
+};
+
+/// Adapts a plain function to an Activity (used heavily by tests).
+class LambdaActivity : public Activity {
+ public:
+  using Fn = std::function<Result<std::vector<Value>>(
+      const std::vector<Value>&)>;
+
+  explicit LambdaActivity(Fn fn) : fn_(std::move(fn)) {}
+
+  Result<std::vector<Value>> Invoke(
+      const std::vector<Value>& inputs) const override {
+    return fn_(inputs);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace provlin::engine
+
+#endif  // PROVLIN_ENGINE_ACTIVITY_H_

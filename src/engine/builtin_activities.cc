@@ -1,0 +1,271 @@
+#include "engine/builtin_activities.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+#include "engine/activity.h"
+
+namespace provlin::engine {
+namespace {
+
+Status ExpectArity(const std::vector<Value>& inputs, size_t n) {
+  if (inputs.size() != n) {
+    return Status::InvalidArgument("activity expects " + std::to_string(n) +
+                                   " inputs, got " +
+                                   std::to_string(inputs.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ExpectString(const Value& v) {
+  if (!v.is_atom() || !v.atom().is_string()) {
+    return Status::InvalidArgument("expected a string atom, got " +
+                                   v.ToString());
+  }
+  return v.atom().AsString();
+}
+
+Result<std::vector<std::string>> ExpectStringList(const Value& v) {
+  if (!v.is_list()) {
+    return Status::InvalidArgument("expected a list, got " + v.ToString());
+  }
+  std::vector<std::string> out;
+  out.reserve(v.list_size());
+  for (const Value& e : v.elements()) {
+    PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(e));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ConfigOr(const ActivityConfig& config, const std::string& key,
+                     const std::string& fallback) {
+  auto it = config.find(key);
+  return it == config.end() ? fallback : it->second;
+}
+
+/// Registers a config-free lambda activity.
+void Reg(ActivityRegistry* r, const std::string& name,
+         LambdaActivity::Fn fn) {
+  Status st = r->Register(
+      name, [fn = std::move(fn)](const ActivityConfig&)
+                -> Result<std::shared_ptr<Activity>> {
+        return std::shared_ptr<Activity>(new LambdaActivity(fn));
+      });
+  (void)st;  // duplicate registration is a programming error; ignored here
+}
+
+/// Registers an activity whose lambda captures the config.
+void RegCfg(ActivityRegistry* r, const std::string& name,
+            std::function<LambdaActivity::Fn(const ActivityConfig&)> make) {
+  Status st = r->Register(
+      name, [make = std::move(make)](const ActivityConfig& cfg)
+                -> Result<std::shared_ptr<Activity>> {
+        return std::shared_ptr<Activity>(new LambdaActivity(make(cfg)));
+      });
+  (void)st;
+}
+
+}  // namespace
+
+void RegisterBuiltinActivities(ActivityRegistry* registry) {
+  Reg(registry, "identity",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        return in;
+      });
+
+  RegCfg(registry, "transform", [](const ActivityConfig& cfg) {
+    std::string tag = ConfigOr(cfg, "tag", "f");
+    return [tag](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+      PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+      PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(in[0]));
+      return std::vector<Value>{Value::Str(tag + "(" + s + ")")};
+    };
+  });
+
+  Reg(registry, "to_upper",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(in[0]));
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+          return static_cast<char>(std::toupper(c));
+        });
+        return std::vector<Value>{Value::Str(std::move(s))};
+      });
+
+  Reg(registry, "to_lower",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(in[0]));
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+          return static_cast<char>(std::tolower(c));
+        });
+        return std::vector<Value>{Value::Str(std::move(s))};
+      });
+
+  RegCfg(registry, "prefix", [](const ActivityConfig& cfg) {
+    std::string prefix = ConfigOr(cfg, "prefix", "");
+    return [prefix](
+               const std::vector<Value>& in) -> Result<std::vector<Value>> {
+      PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+      PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(in[0]));
+      return std::vector<Value>{Value::Str(prefix + s)};
+    };
+  });
+
+  Reg(registry, "concat2",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 2));
+        PROVLIN_ASSIGN_OR_RETURN(std::string a, ExpectString(in[0]));
+        PROVLIN_ASSIGN_OR_RETURN(std::string b, ExpectString(in[1]));
+        return std::vector<Value>{Value::Str(a + "+" + b)};
+      });
+
+  RegCfg(registry, "split_words", [](const ActivityConfig& cfg) {
+    std::string sep = ConfigOr(cfg, "sep", " ");
+    char s = sep.empty() ? ' ' : sep[0];
+    return [s](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+      PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+      PROVLIN_ASSIGN_OR_RETURN(std::string text, ExpectString(in[0]));
+      std::vector<Value> words;
+      for (const std::string& w : Split(text, s)) {
+        if (!w.empty()) words.push_back(Value::Str(w));
+      }
+      return std::vector<Value>{Value::List(std::move(words))};
+    };
+  });
+
+  RegCfg(registry, "join", [](const ActivityConfig& cfg) {
+    std::string sep = ConfigOr(cfg, "sep", " ");
+    return
+        [sep](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+          PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                                   ExpectStringList(in[0]));
+          return std::vector<Value>{Value::Str(Join(items, sep))};
+        };
+  });
+
+  Reg(registry, "flatten",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        if (!in[0].is_list()) {
+          return Status::InvalidArgument("flatten expects a list");
+        }
+        std::vector<Value> flat;
+        for (const Value& sub : in[0].elements()) {
+          if (!sub.is_list()) {
+            return Status::InvalidArgument(
+                "flatten expects a list of lists");
+          }
+          for (const Value& e : sub.elements()) flat.push_back(e);
+        }
+        return std::vector<Value>{Value::List(std::move(flat))};
+      });
+
+  Reg(registry, "intersect",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        if (!in[0].is_list()) {
+          return Status::InvalidArgument("intersect expects a list of lists");
+        }
+        bool first = true;
+        std::vector<std::string> common;
+        for (const Value& sub : in[0].elements()) {
+          PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                                   ExpectStringList(sub));
+          if (first) {
+            common = items;
+            first = false;
+            continue;
+          }
+          std::set<std::string> here(items.begin(), items.end());
+          std::vector<std::string> kept;
+          for (const std::string& c : common) {
+            if (here.count(c) > 0) kept.push_back(c);
+          }
+          common = std::move(kept);
+        }
+        std::vector<Value> out;
+        for (const std::string& c : common) out.push_back(Value::Str(c));
+        return std::vector<Value>{Value::List(std::move(out))};
+      });
+
+  Reg(registry, "sort_list",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                                 ExpectStringList(in[0]));
+        std::sort(items.begin(), items.end());
+        return std::vector<Value>{Value::StringList(items)};
+      });
+
+  Reg(registry, "unique_list",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                                 ExpectStringList(in[0]));
+        std::set<std::string> seen;
+        std::vector<std::string> kept;
+        for (const std::string& s : items) {
+          if (seen.insert(s).second) kept.push_back(s);
+        }
+        return std::vector<Value>{Value::StringList(kept)};
+      });
+
+  Reg(registry, "head",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        if (!in[0].is_list() || in[0].list_size() == 0) {
+          return Status::InvalidArgument("head expects a non-empty list");
+        }
+        return std::vector<Value>{in[0].elements().front()};
+      });
+
+  Reg(registry, "count",
+      [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+        PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+        if (!in[0].is_list()) {
+          return Status::InvalidArgument("count expects a list");
+        }
+        return std::vector<Value>{
+            Value::Int(static_cast<int64_t>(in[0].list_size()))};
+      });
+
+  RegCfg(registry, "fail_if", [](const ActivityConfig& cfg) {
+    std::string needle = ConfigOr(cfg, "match", "");
+    return [needle](
+               const std::vector<Value>& in) -> Result<std::vector<Value>> {
+      PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+      PROVLIN_ASSIGN_OR_RETURN(std::string s, ExpectString(in[0]));
+      if (!needle.empty() && s.find(needle) != std::string::npos) {
+        return Status::Internal("fail_if matched '" + needle + "' in '" +
+                                s + "'");
+      }
+      return std::vector<Value>{Value::Str(s)};
+    };
+  });
+
+  RegCfg(registry, "list_gen", [](const ActivityConfig& cfg) {
+    std::string item_prefix = ConfigOr(cfg, "item_prefix", "item");
+    return [item_prefix](
+               const std::vector<Value>& in) -> Result<std::vector<Value>> {
+      PROVLIN_RETURN_IF_ERROR(ExpectArity(in, 1));
+      if (!in[0].is_atom() || !in[0].atom().is_int()) {
+        return Status::InvalidArgument("list_gen expects an int size");
+      }
+      int64_t n = in[0].atom().AsInt();
+      if (n < 0) return Status::InvalidArgument("negative list size");
+      std::vector<Value> items;
+      items.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        items.push_back(Value::Str(item_prefix + std::to_string(i)));
+      }
+      return std::vector<Value>{Value::List(std::move(items))};
+    };
+  });
+}
+
+}  // namespace provlin::engine

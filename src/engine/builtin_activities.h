@@ -1,0 +1,34 @@
+#ifndef PROVLIN_ENGINE_BUILTIN_ACTIVITIES_H_
+#define PROVLIN_ENGINE_BUILTIN_ACTIVITIES_H_
+
+namespace provlin::engine {
+
+class ActivityRegistry;
+
+/// Registers the builtin activity set:
+///
+///   identity       n -> n       pass-through
+///   transform      1 -> 1       string -> "<tag>(<s>)", tag from config
+///   to_upper       1 -> 1       uppercase a string
+///   to_lower       1 -> 1       lowercase a string
+///   prefix         1 -> 1       prepend config "prefix"
+///   concat2        2 -> 1       "<a>+<b>" (the 2-to-1 cross-product join)
+///   split_words    1 -> 1       string -> list(string), config "sep"
+///   join           1 -> 1       list(string) -> string, config "sep"
+///   flatten        1 -> 1       list(list(x)) -> list(x), whole-value
+///   intersect      1 -> 1       list(list(string)) -> common elements
+///   sort_list      1 -> 1       sort a list(string)
+///   unique_list    1 -> 1       deduplicate a list(string), keep order
+///   head           1 -> 1       first element of a list
+///   count          1 -> 1       list -> int length
+///   list_gen       1 -> 1       int n -> list(string) of n items,
+///                               config "item_prefix" (testbed ListGen)
+///
+/// Activities operating on whole lists (flatten, intersect, join, count,
+/// head, sort_list, unique_list) are exactly the paper's "many-to-one /
+/// many-to-many" processors whose traces are coarse-grained.
+void RegisterBuiltinActivities(ActivityRegistry* registry);
+
+}  // namespace provlin::engine
+
+#endif  // PROVLIN_ENGINE_BUILTIN_ACTIVITIES_H_

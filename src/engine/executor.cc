@@ -1,0 +1,314 @@
+#include "engine/executor.h"
+
+#include <optional>
+
+#include "engine/iteration.h"
+#include "values/type.h"
+#include "workflow/depth_propagation.h"
+#include "workflow/graph.h"
+
+namespace provlin::engine {
+namespace {
+
+using workflow::Arc;
+using workflow::Dataflow;
+using workflow::DepthMap;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+using workflow::Processor;
+using workflow::ProcessorDepths;
+
+std::string PortKey(const PortRef& ref) { return ref.ToString(); }
+
+/// Recursively evaluates the iteration tree: invokes the activity at
+/// each leaf, reports an xform event, and assembles one nested output
+/// value per output port (the map of Def. 3).
+class TreeEvaluator {
+ public:
+  TreeEvaluator(const Processor& proc, const Activity& activity,
+                ExecutionObserver* observer, const ExecuteOptions& options)
+      : proc_(proc),
+        activity_(activity),
+        observer_(observer),
+        options_(options) {}
+
+  size_t invocations() const { return invocations_; }
+  size_t failed_invocations() const { return failed_; }
+  const std::vector<Index>& out_indices() const { return out_indices_; }
+
+  /// Returns one value per output port for the subtree at `node`.
+  Result<std::vector<Value>> Eval(const TupleTree& node, const Index& path) {
+    if (node.is_leaf) {
+      std::vector<Value> outs;
+      // Error-token propagation: an invocation whose arguments carry an
+      // upstream error is never attempted; its outputs are error tokens
+      // at declared depth (and the event is still recorded, so lineage
+      // of the error leads back to the failure).
+      std::string upstream_error;
+      for (const Value& arg : node.args) {
+        if (arg.ContainsError()) {
+          upstream_error = arg.FirstError();
+          break;
+        }
+      }
+      if (!upstream_error.empty()) {
+        ++failed_;
+        for (const workflow::Port& out : proc_.outputs) {
+          outs.push_back(
+              WrapSingletons(Value::Error(upstream_error), out.dd()));
+        }
+      } else {
+        Result<std::vector<Value>> invoked = activity_.Invoke(node.args);
+        if (!invoked.ok()) {
+          if (!options_.continue_on_error) return invoked.status();
+          ++failed_;
+          std::string msg = proc_.name + ": " + invoked.status().ToString();
+          for (const workflow::Port& out : proc_.outputs) {
+            outs.push_back(WrapSingletons(Value::Error(msg), out.dd()));
+          }
+        } else {
+          outs = std::move(invoked).value();
+          if (outs.size() != proc_.outputs.size()) {
+            return Status::Internal(
+                "activity '" + proc_.activity + "' returned " +
+                std::to_string(outs.size()) + " values for " +
+                std::to_string(proc_.outputs.size()) + " output ports");
+          }
+          // Assumption 1 (§3.1): outputs arrive at the declared depth.
+          for (size_t j = 0; j < outs.size(); ++j) {
+            if (outs[j].depth() != proc_.outputs[j].dd()) {
+              return Status::Internal(
+                  "activity '" + proc_.activity + "' bound depth-" +
+                  std::to_string(outs[j].depth()) + " value to port '" +
+                  proc_.outputs[j].name + "' of declared depth " +
+                  std::to_string(proc_.outputs[j].dd()));
+            }
+          }
+        }
+      }
+      ++invocations_;
+      out_indices_.push_back(path);
+      if (observer_ != nullptr) {
+        std::vector<BindingEvent> ins;
+        ins.reserve(node.args.size());
+        for (size_t i = 0; i < node.args.size(); ++i) {
+          ins.push_back(BindingEvent{PortRef{proc_.name, proc_.inputs[i].name},
+                                     node.arg_indices[i], node.args[i]});
+        }
+        std::vector<BindingEvent> outbs;
+        outbs.reserve(outs.size());
+        for (size_t j = 0; j < outs.size(); ++j) {
+          outbs.push_back(BindingEvent{
+              PortRef{proc_.name, proc_.outputs[j].name}, path, outs[j]});
+        }
+        observer_->OnXform(proc_.name, ins, outbs);
+      }
+      return outs;
+    }
+    // Internal node: one list level per output port.
+    std::vector<std::vector<Value>> per_child;
+    per_child.reserve(node.children.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<Value> sub,
+          Eval(node.children[i], path.Child(static_cast<int32_t>(i))));
+      per_child.push_back(std::move(sub));
+    }
+    std::vector<Value> outs;
+    outs.reserve(proc_.outputs.size());
+    for (size_t j = 0; j < proc_.outputs.size(); ++j) {
+      std::vector<Value> level;
+      level.reserve(per_child.size());
+      for (auto& sub : per_child) level.push_back(std::move(sub[j]));
+      outs.push_back(Value::List(std::move(level)));
+    }
+    return outs;
+  }
+
+ private:
+  const Processor& proc_;
+  const Activity& activity_;
+  ExecutionObserver* observer_;
+  ExecuteOptions options_;
+  size_t invocations_ = 0;
+  size_t failed_ = 0;
+  std::vector<Index> out_indices_;
+};
+
+}  // namespace
+
+Result<RunResult> Executor::Execute(const Dataflow& dataflow,
+                                    const std::map<std::string, Value>& inputs,
+                                    const std::string& run_id,
+                                    const ExecuteOptions& options) {
+  RunResult result;
+  result.run_id = run_id;
+
+  PROVLIN_ASSIGN_OR_RETURN(DepthMap depths,
+                           workflow::PropagateDepths(dataflow));
+  workflow::ProcessorGraph graph(dataflow);
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                           graph.TopologicalOrder());
+
+  if (observer_ != nullptr) observer_->OnRunStart(run_id, dataflow);
+  auto fail = [&](Status st) -> Status {
+    if (observer_ != nullptr) observer_->OnRunEnd(run_id, st);
+    return st;
+  };
+
+  // Resolved values and production granularity (the out-binding indices
+  // recorded when the port's value was produced) per port.
+  std::map<std::string, Value> port_values;
+  std::map<std::string, std::vector<Index>> port_granularity;
+
+  // Bind workflow inputs (assumption 2: value depth == declared depth).
+  for (const workflow::Port& in : dataflow.inputs()) {
+    auto it = inputs.find(in.name);
+    if (it == inputs.end()) {
+      return fail(Status::InvalidArgument("missing workflow input '" +
+                                          in.name + "'"));
+    }
+    PROVLIN_ASSIGN_OR_RETURN(InferredType t, InferType(it->second));
+    if (t.depth != in.dd()) {
+      return fail(Status::InvalidArgument(
+          "workflow input '" + in.name + "' has depth " +
+          std::to_string(t.depth) + ", declared " + std::to_string(in.dd())));
+    }
+    if (t.base != AtomKind::kNull && t.base != in.declared_type.base) {
+      return fail(Status::InvalidArgument(
+          "workflow input '" + in.name + "' has base type " +
+          std::string(AtomKindName(t.base)) + ", declared " +
+          std::string(AtomKindName(in.declared_type.base))));
+    }
+    std::string key = PortKey(PortRef{kWorkflowProcessor, in.name});
+    port_values[key] = it->second;
+    port_granularity[key] = {Index::Empty()};
+    if (observer_ != nullptr) observer_->OnWorkflowInput(in.name, it->second);
+  }
+
+  // Emits xfer events for one arc at the producer's granularity. Arcs
+  // into workflow outputs transfer coarsely (one whole-value event):
+  // Taverna collects outputs as complete values, and lineage queries on
+  // them keep their fine index because arc transfers are index-identical.
+  auto emit_xfer = [&](const Arc& arc) -> Status {
+    if (observer_ == nullptr) return Status::OK();
+    const std::string src_key = PortKey(arc.src);
+    const Value& value = port_values.at(src_key);
+    if (arc.dst.processor == kWorkflowProcessor) {
+      observer_->OnXfer(arc.src, arc.dst, Index::Empty(), value);
+      return Status::OK();
+    }
+    for (const Index& idx : port_granularity.at(src_key)) {
+      PROVLIN_ASSIGN_OR_RETURN(Value element, value.At(idx));
+      observer_->OnXfer(arc.src, arc.dst, idx, element);
+    }
+    return Status::OK();
+  };
+
+  for (const std::string& pname : order) {
+    const Processor* proc = dataflow.FindProcessor(pname);
+    const ProcessorDepths& pd = depths.ForProcessor(pname);
+
+    // Gather input bindings.
+    std::vector<Value> bound;
+    bound.reserve(proc->inputs.size());
+    for (size_t i = 0; i < proc->inputs.size(); ++i) {
+      const workflow::Port& in = proc->inputs[i];
+      PortRef dst{pname, in.name};
+      std::vector<const Arc*> arcs = dataflow.ArcsInto(dst);
+      if (!arcs.empty()) {
+        const Arc& arc = *arcs.front();
+        auto vit = port_values.find(PortKey(arc.src));
+        if (vit == port_values.end()) {
+          return fail(Status::Internal("arc source " + arc.src.ToString() +
+                                       " unresolved at " + pname));
+        }
+        Status st = emit_xfer(arc);
+        if (!st.ok()) return fail(st);
+        bound.push_back(vit->second);
+      } else {
+        auto dit = proc->defaults.find(in.name);
+        if (dit == proc->defaults.end()) {
+          return fail(Status::FailedPrecondition(
+              "input port " + dst.ToString() +
+              " is unconnected and has no default"));
+        }
+        PROVLIN_ASSIGN_OR_RETURN(InferredType t, InferType(dit->second));
+        if (t.depth != in.dd()) {
+          return fail(Status::InvalidArgument(
+              "default for " + dst.ToString() + " has depth " +
+              std::to_string(t.depth) + ", declared " +
+              std::to_string(in.dd())));
+        }
+        bound.push_back(dit->second);
+      }
+      // Static/actual depth agreement (the property §3.1 relies on).
+      if (bound.back().depth() != pd.input_depths[i]) {
+        return fail(Status::Internal(
+            "port " + dst.ToString() + ": actual depth " +
+            std::to_string(bound.back().depth()) + " != propagated depth " +
+            std::to_string(pd.input_depths[i])));
+      }
+    }
+
+    std::vector<std::string> port_names;
+    port_names.reserve(proc->inputs.size());
+    for (const workflow::Port& in : proc->inputs) {
+      port_names.push_back(in.name);
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        TupleTree tree,
+        BuildStrategyIterationTree(proc->EffectiveStrategy(), port_names,
+                                   bound, pd.input_deltas));
+
+    auto activity = registry_->Create(proc->activity, proc->config);
+    if (!activity.ok()) return fail(activity.status());
+
+    TreeEvaluator evaluator(*proc, *activity.value(), observer_, options);
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<Value> outs,
+                             evaluator.Eval(tree, Index::Empty()));
+    result.total_invocations += evaluator.invocations();
+    result.failed_invocations += evaluator.failed_invocations();
+
+    std::vector<Index> granularity = evaluator.out_indices();
+    if (granularity.empty()) {
+      // Zero invocations (empty iterated list): the ports still carry
+      // their (empty) nested values at whole-value granularity.
+      granularity = {Index::Empty()};
+    }
+    for (size_t j = 0; j < proc->outputs.size(); ++j) {
+      std::string key = PortKey(PortRef{pname, proc->outputs[j].name});
+      port_values[key] = std::move(outs[j]);
+      port_granularity[key] = granularity;
+    }
+  }
+
+  // Collect workflow outputs.
+  for (const workflow::Port& out : dataflow.outputs()) {
+    PortRef dst{kWorkflowProcessor, out.name};
+    std::vector<const Arc*> arcs = dataflow.ArcsInto(dst);
+    if (arcs.empty()) {
+      return fail(Status::FailedPrecondition("workflow output '" + out.name +
+                                             "' has no incoming arc"));
+    }
+    const Arc& arc = *arcs.front();
+    auto vit = port_values.find(PortKey(arc.src));
+    if (vit == port_values.end()) {
+      return fail(Status::Internal("arc source " + arc.src.ToString() +
+                                   " unresolved at workflow output"));
+    }
+    Status st = emit_xfer(arc);
+    if (!st.ok()) return fail(st);
+    result.outputs[out.name] = vit->second;
+    port_values[PortKey(dst)] = vit->second;
+    if (observer_ != nullptr) {
+      observer_->OnWorkflowOutput(out.name, vit->second);
+    }
+  }
+
+  result.port_values = std::move(port_values);
+  if (observer_ != nullptr) observer_->OnRunEnd(run_id, Status::OK());
+  return result;
+}
+
+}  // namespace provlin::engine

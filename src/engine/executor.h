@@ -1,0 +1,68 @@
+#ifndef PROVLIN_ENGINE_EXECUTOR_H_
+#define PROVLIN_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "engine/activity.h"
+#include "engine/observer.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::engine {
+
+/// Execution policy knobs.
+struct ExecuteOptions {
+  /// When true, a failing elementary invocation does not abort the run:
+  /// each of its outputs becomes an *error token* (wrapped to the
+  /// declared depth), downstream invocations consuming an error token
+  /// short-circuit to error tokens without being invoked, and the run
+  /// completes with failures confined to the affected elements — the
+  /// Taverna error-propagation model. Error events are recorded in the
+  /// trace like any other, so lineage queries on an error output lead
+  /// straight to the failing step and its inputs.
+  bool continue_on_error = false;
+};
+
+/// Outcome of one workflow run.
+struct RunResult {
+  std::string run_id;
+  /// Values bound to the workflow output ports.
+  std::map<std::string, Value> outputs;
+  /// Every resolved port value "P:X" -> value (for tests/debugging).
+  std::map<std::string, Value> port_values;
+  /// Total elementary invocations across all processors.
+  size_t total_invocations = 0;
+  /// Invocations that failed (continue_on_error) or were short-circuited
+  /// by an upstream error token.
+  size_t failed_invocations = 0;
+};
+
+/// Data-driven dataflow interpreter implementing the Taverna semantics of
+/// §3.2: processors fire once all connected inputs are bound; depth
+/// mismatches trigger implicit iteration (eval_l, Def. 3); every
+/// elementary invocation and every arc transfer is reported to the
+/// observer as an xform / xfer event.
+class Executor {
+ public:
+  /// `registry` must outlive the executor; `observer` may be null.
+  explicit Executor(const ActivityRegistry* registry,
+                    ExecutionObserver* observer = nullptr)
+      : registry_(registry), observer_(observer) {}
+
+  /// Runs a flattened, validated dataflow on the given workflow-input
+  /// bindings. Each input value must have exactly the declared depth of
+  /// its port (§3.1 assumption 2).
+  Result<RunResult> Execute(const workflow::Dataflow& dataflow,
+                            const std::map<std::string, Value>& inputs,
+                            const std::string& run_id,
+                            const ExecuteOptions& options = {});
+
+ private:
+  const ActivityRegistry* registry_;
+  ExecutionObserver* observer_;
+};
+
+}  // namespace provlin::engine
+
+#endif  // PROVLIN_ENGINE_EXECUTOR_H_

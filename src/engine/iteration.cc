@@ -1,0 +1,268 @@
+#include "engine/iteration.h"
+
+#include <algorithm>
+#include <map>
+
+namespace provlin::engine {
+
+int TupleTree::Depth() const {
+  if (is_leaf) return 0;
+  int d = 1;
+  for (const TupleTree& c : children) {
+    d = std::max(d, 1 + c.Depth());
+  }
+  return d;
+}
+
+size_t TupleTree::CountLeaves() const {
+  if (is_leaf) return 1;
+  size_t n = 0;
+  for (const TupleTree& c : children) n += c.CountLeaves();
+  return n;
+}
+
+Value WrapSingletons(const Value& v, int levels) {
+  Value out = v;
+  for (int i = 0; i < levels; ++i) {
+    out = Value::List({std::move(out)});
+  }
+  return out;
+}
+
+namespace {
+
+using workflow::StrategyNode;
+
+/// Intermediate tree carrying per-port payloads at the leaves; converted
+/// to a TupleTree once the whole strategy expression is evaluated.
+struct PNode {
+  bool leaf = false;
+  std::vector<PNode> children;
+  /// port ordinal -> (element value, element index).
+  std::map<size_t, std::pair<Value, Index>> payload;
+};
+
+void MergeIntoLeaves(PNode* node,
+                     const std::map<size_t, std::pair<Value, Index>>& extra) {
+  if (node->leaf) {
+    for (const auto& [ordinal, pv] : extra) node->payload[ordinal] = pv;
+    return;
+  }
+  for (PNode& c : node->children) MergeIntoLeaves(&c, extra);
+}
+
+/// Mirrors `remaining` levels of `v`, producing leaves carrying the
+/// reached element for `ordinal`. Error tokens standing in for a
+/// collection collapse the subtree to one short-circuiting leaf.
+Status MirrorPort(size_t ordinal, const Value& v, int remaining,
+                  const Index& at, PNode* out) {
+  if (remaining == 0 || (v.is_atom() && v.atom().is_error())) {
+    out->leaf = true;
+    out->payload[ordinal] = {v, at};
+    return Status::OK();
+  }
+  if (!v.is_list()) {
+    return Status::InvalidArgument(
+        "value too shallow for declared iteration depth at index " +
+        at.ToString());
+  }
+  out->leaf = false;
+  out->children.resize(v.list_size());
+  for (size_t i = 0; i < v.list_size(); ++i) {
+    PROVLIN_RETURN_IF_ERROR(MirrorPort(ordinal, v.elements()[i],
+                                       remaining - 1,
+                                       at.Child(static_cast<int32_t>(i)),
+                                       &out->children[i]));
+  }
+  return Status::OK();
+}
+
+/// cross(a, b): a's dimensions outermost; every leaf of a is replaced by
+/// a copy of b whose leaves absorb the a-leaf's payload.
+PNode CrossCombine(const PNode& a, const PNode& b) {
+  if (a.leaf) {
+    PNode out = b;
+    MergeIntoLeaves(&out, a.payload);
+    return out;
+  }
+  PNode out;
+  out.leaf = false;
+  out.children.reserve(a.children.size());
+  for (const PNode& c : a.children) {
+    out.children.push_back(CrossCombine(c, b));
+  }
+  return out;
+}
+
+/// dot(children): shaped (non-leaf) children zip position-wise and must
+/// agree on widths at every level; leaf children (non-iterated ports or
+/// error-collapsed subtrees) broadcast their payload into every result
+/// leaf.
+Status ZipCombine(const std::vector<const PNode*>& nodes, PNode* out) {
+  std::vector<const PNode*> shaped;
+  std::map<size_t, std::pair<Value, Index>> broadcast;
+  for (const PNode* n : nodes) {
+    if (n->leaf) {
+      for (const auto& [ordinal, pv] : n->payload) broadcast[ordinal] = pv;
+    } else {
+      shaped.push_back(n);
+    }
+  }
+  if (shaped.empty()) {
+    out->leaf = true;
+    out->payload = std::move(broadcast);
+    return Status::OK();
+  }
+  size_t width = shaped.front()->children.size();
+  for (const PNode* n : shaped) {
+    if (n->children.size() != width) {
+      return Status::InvalidArgument(
+          "dot iteration over lists of unequal length");
+    }
+  }
+  out->leaf = false;
+  out->children.resize(width);
+  for (size_t i = 0; i < width; ++i) {
+    std::vector<const PNode*> lane;
+    lane.reserve(shaped.size());
+    for (const PNode* n : shaped) lane.push_back(&n->children[i]);
+    PROVLIN_RETURN_IF_ERROR(ZipCombine(lane, &out->children[i]));
+  }
+  if (!broadcast.empty()) MergeIntoLeaves(out, broadcast);
+  return Status::OK();
+}
+
+struct BuildContext {
+  const std::vector<std::string>* ports;
+  const std::vector<Value>* bound;
+  const std::vector<int>* deltas;
+
+  Result<size_t> Ordinal(const std::string& name) const {
+    for (size_t i = 0; i < ports->size(); ++i) {
+      if ((*ports)[i] == name) return i;
+    }
+    return Status::NotFound("strategy references unknown port '" + name +
+                            "'");
+  }
+};
+
+Status BuildNode(const BuildContext& ctx, const StrategyNode& node,
+                 PNode* out) {
+  switch (node.kind) {
+    case StrategyNode::Kind::kPort: {
+      PROVLIN_ASSIGN_OR_RETURN(size_t ordinal, ctx.Ordinal(node.port));
+      int delta = (*ctx.deltas)[ordinal];
+      if (delta <= 0) {
+        out->leaf = true;
+        out->payload[ordinal] = {
+            WrapSingletons((*ctx.bound)[ordinal], -delta), Index()};
+        return Status::OK();
+      }
+      return MirrorPort(ordinal, (*ctx.bound)[ordinal], delta, Index(), out);
+    }
+    case StrategyNode::Kind::kCross: {
+      PNode acc;
+      acc.leaf = true;
+      for (const StrategyNode& child : node.children) {
+        PNode built;
+        PROVLIN_RETURN_IF_ERROR(BuildNode(ctx, child, &built));
+        acc = CrossCombine(acc, built);
+      }
+      *out = std::move(acc);
+      return Status::OK();
+    }
+    case StrategyNode::Kind::kDot: {
+      std::vector<PNode> built(node.children.size());
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        PROVLIN_RETURN_IF_ERROR(BuildNode(ctx, node.children[i], &built[i]));
+      }
+      std::vector<const PNode*> ptrs;
+      ptrs.reserve(built.size());
+      for (const PNode& n : built) ptrs.push_back(&n);
+      return ZipCombine(ptrs, out);
+    }
+  }
+  return Status::Internal("corrupt strategy node");
+}
+
+/// Converts a PNode tree into the public TupleTree: leaves get one arg
+/// per port in port order; ports absent from a leaf's payload (never
+/// referenced by the strategy, or elided by an error collapse) join
+/// whole, at coarse granularity.
+void Finalize(const BuildContext& ctx, const PNode& node, TupleTree* out) {
+  if (node.leaf) {
+    out->is_leaf = true;
+    for (size_t i = 0; i < ctx.ports->size(); ++i) {
+      auto it = node.payload.find(i);
+      if (it != node.payload.end()) {
+        out->args.push_back(it->second.first);
+        out->arg_indices.push_back(it->second.second);
+      } else {
+        int delta = (*ctx.deltas)[i];
+        out->args.push_back(
+            WrapSingletons((*ctx.bound)[i], delta < 0 ? -delta : 0));
+        out->arg_indices.push_back(Index());
+      }
+    }
+    return;
+  }
+  out->is_leaf = false;
+  out->children.resize(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    Finalize(ctx, node.children[i], &out->children[i]);
+  }
+}
+
+}  // namespace
+
+Result<TupleTree> BuildStrategyIterationTree(
+    const workflow::StrategyNode& strategy,
+    const std::vector<std::string>& ports, const std::vector<Value>& bound,
+    const std::vector<int>& deltas) {
+  if (bound.size() != deltas.size() || ports.size() != bound.size()) {
+    return Status::InvalidArgument("ports/bound/deltas arity mismatch");
+  }
+  BuildContext ctx{&ports, &bound, &deltas};
+  PNode root;
+  PROVLIN_RETURN_IF_ERROR(BuildNode(ctx, strategy, &root));
+  TupleTree out;
+  Finalize(ctx, root, &out);
+  return out;
+}
+
+Result<TupleTree> BuildIterationTree(const std::vector<Value>& bound,
+                                     const std::vector<int>& deltas,
+                                     workflow::IterationStrategy strategy) {
+  if (bound.size() != deltas.size()) {
+    return Status::InvalidArgument("bound/deltas arity mismatch");
+  }
+  // Flat strategies are the degenerate expression over all ports in
+  // order; ports are addressed by ordinal-derived names here.
+  std::vector<std::string> ports;
+  std::vector<StrategyNode> leaves;
+  ports.reserve(bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) {
+    ports.push_back("p" + std::to_string(i));
+    leaves.push_back(StrategyNode::Port(ports.back()));
+  }
+  // Flat dot requires equal positive mismatches (checked here for direct
+  // callers; workflow-level validation reports it at build time).
+  if (strategy == workflow::IterationStrategy::kDot) {
+    int common = 0;
+    for (int d : deltas) {
+      if (d <= 0) continue;
+      if (common == 0) {
+        common = d;
+      } else if (d != common) {
+        return Status::InvalidArgument(
+            "dot strategy requires equal positive mismatches");
+      }
+    }
+  }
+  StrategyNode tree = strategy == workflow::IterationStrategy::kCross
+                          ? StrategyNode::Cross(std::move(leaves))
+                          : StrategyNode::Dot(std::move(leaves));
+  return BuildStrategyIterationTree(tree, ports, bound, deltas);
+}
+
+}  // namespace provlin::engine

@@ -1,0 +1,65 @@
+#ifndef PROVLIN_ENGINE_ITERATION_H_
+#define PROVLIN_ENGINE_ITERATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "values/index.h"
+#include "values/value.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::engine {
+
+/// The generalized cross product of Def. 2 / Def. 3, materialized: a
+/// nested "tuple tree" whose internal structure mirrors the iterated
+/// dimensions of the input lists (possibly ragged) and whose leaves are
+/// the argument tuples of the elementary processor invocations.
+///
+/// The path from the root to a leaf is exactly the output index q, and
+/// each leaf records the per-port input indices p_i with |p_i| = max(0,
+/// δs(X_i)) and q = p_1 ··· p_n — the engine-side counterpart of Prop. 1.
+struct TupleTree {
+  /// Internal node: one child per element of the iterated dimension.
+  std::vector<TupleTree> children;
+
+  /// Leaf payload (valid iff is_leaf).
+  bool is_leaf = false;
+  std::vector<Value> args;          // one per input port, at declared depth
+  std::vector<Index> arg_indices;   // p_i; empty index for non-iterated ports
+
+  /// Depth of the tree (0 for a leaf) — the iteration level l of Def. 3.
+  int Depth() const;
+
+  /// Number of leaves = number of elementary invocations.
+  size_t CountLeaves() const;
+};
+
+/// Builds the iteration structure for one processor firing.
+///
+/// `bound[i]` is the value arriving at input port i; `deltas[i]` its
+/// static mismatch δs(X_i). Ports with δ <= 0 join every tuple whole
+/// (negative mismatches wrap the value in -δ singleton lists, per the
+/// Def. 2 remark). Under kCross, iterated dimensions nest left-to-right
+/// in port order; under kDot (footnote 7) all iterated ports must share
+/// one shape, which becomes the tree, and every p_i equals q.
+Result<TupleTree> BuildIterationTree(const std::vector<Value>& bound,
+                                     const std::vector<int>& deltas,
+                                     workflow::IterationStrategy strategy);
+
+/// Generalized construction over an iteration-strategy *expression*
+/// (footnote 7): cross children nest left-to-right, dot children zip
+/// position-wise; ports not referenced by the expression join every
+/// tuple whole. `ports` names the input ports in order, parallel to
+/// `bound`/`deltas`.
+Result<TupleTree> BuildStrategyIterationTree(
+    const workflow::StrategyNode& strategy,
+    const std::vector<std::string>& ports, const std::vector<Value>& bound,
+    const std::vector<int>& deltas);
+
+/// Wraps `v` in `levels` singleton lists (levels >= 0).
+Value WrapSingletons(const Value& v, int levels);
+
+}  // namespace provlin::engine
+
+#endif  // PROVLIN_ENGINE_ITERATION_H_

@@ -1,0 +1,80 @@
+#ifndef PROVLIN_ENGINE_OBSERVER_H_
+#define PROVLIN_ENGINE_OBSERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "values/index.h"
+#include "values/value.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::engine {
+
+/// A binding ⟨P:X[p], v⟩ as it appears in an observable event (paper
+/// §2.3). `value` is the *element* at index `p` of the value bound to
+/// the port — the whole value when p = [].
+struct BindingEvent {
+  workflow::PortRef port;
+  Index index;
+  Value value;
+
+  std::string ToString() const {
+    return "<" + port.ToString() + index.ToString() + ", " +
+           value.ToString() + ">";
+  }
+};
+
+/// Receives the observable events of a workflow execution — exactly the
+/// information the paper's provenance layer records, nothing more (the
+/// black-box assumption). The provenance TraceRecorder implements this;
+/// tests install lightweight observers of their own.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void OnRunStart(const std::string& run_id,
+                          const workflow::Dataflow& dataflow) {
+    (void)run_id;
+    (void)dataflow;
+  }
+
+  /// A user value was bound to a top-level workflow input port.
+  virtual void OnWorkflowInput(const std::string& port, const Value& value) {
+    (void)port;
+    (void)value;
+  }
+
+  /// One elementary processor instance fired: InB_P -> OutB_P (§2.3 (1)).
+  virtual void OnXform(const std::string& processor,
+                       const std::vector<BindingEvent>& inputs,
+                       const std::vector<BindingEvent>& outputs) {
+    (void)processor;
+    (void)inputs;
+    (void)outputs;
+  }
+
+  /// An element moved along an arc (§2.3 (2)). Indices map identically
+  /// on both ends (the arc transfers the value unchanged).
+  virtual void OnXfer(const workflow::PortRef& src,
+                      const workflow::PortRef& dst, const Index& index,
+                      const Value& element) {
+    (void)src;
+    (void)dst;
+    (void)index;
+    (void)element;
+  }
+
+  virtual void OnWorkflowOutput(const std::string& port, const Value& value) {
+    (void)port;
+    (void)value;
+  }
+
+  virtual void OnRunEnd(const std::string& run_id, const Status& status) {
+    (void)run_id;
+    (void)status;
+  }
+};
+
+}  // namespace provlin::engine
+
+#endif  // PROVLIN_ENGINE_OBSERVER_H_

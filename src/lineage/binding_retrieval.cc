@@ -1,0 +1,54 @@
+#include "lineage/binding_retrieval.h"
+
+namespace provlin::lineage {
+
+using provenance::XformRecord;
+
+Status AppendInputBinding(const provenance::TraceStore& store,
+                          const std::string& run, const XformRecord& row,
+                          std::vector<LineageBinding>* out) {
+  if (!row.has_in) return Status::OK();
+  PROVLIN_ASSIGN_OR_RETURN(std::string repr,
+                           store.GetValueRepr(run, row.in_value));
+  out->push_back(LineageBinding{
+      run, workflow::PortRef{row.processor, row.in_port}, row.in_index,
+      std::move(repr)});
+  return Status::OK();
+}
+
+Status AppendSourceBindings(const provenance::TraceStore& store,
+                            const std::string& run,
+                            const std::vector<XformRecord>& rows,
+                            const Index& q,
+                            std::vector<LineageBinding>* out) {
+  for (const XformRecord& row : rows) {
+    if (!row.has_out) continue;
+    PROVLIN_ASSIGN_OR_RETURN(Value whole, store.GetValue(run, row.out_value));
+    if (row.out_index.IsPrefixOf(q)) {
+      // Recorded binding covers the question: report precisely at q.
+      Index residual = q.SubIndex(row.out_index.length(),
+                                  q.length() - row.out_index.length());
+      auto element = whole.At(residual);
+      if (!element.ok()) {
+        // The requested index does not exist in the recorded value; fall
+        // back to the recorded (coarser) binding rather than failing the
+        // whole query.
+        out->push_back(LineageBinding{
+            run, workflow::PortRef{row.processor, row.out_port},
+            row.out_index, whole.ToString()});
+        continue;
+      }
+      out->push_back(LineageBinding{
+          run, workflow::PortRef{row.processor, row.out_port}, q,
+          element.value().ToString()});
+    } else {
+      // Finer than the question (whole-value queries): report as stored.
+      out->push_back(LineageBinding{
+          run, workflow::PortRef{row.processor, row.out_port}, row.out_index,
+          whole.ToString()});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace provlin::lineage

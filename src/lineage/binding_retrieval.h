@@ -1,0 +1,31 @@
+#ifndef PROVLIN_LINEAGE_BINDING_RETRIEVAL_H_
+#define PROVLIN_LINEAGE_BINDING_RETRIEVAL_H_
+
+#include <vector>
+
+#include "lineage/query.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::lineage {
+
+/// Appends the IN binding of one xform dependency row as a lineage
+/// answer element (value resolved through the val table).
+Status AppendInputBinding(const provenance::TraceStore& store,
+                          const std::string& run,
+                          const provenance::XformRecord& row,
+                          std::vector<LineageBinding>* out);
+
+/// Appends bindings for workflow-input source rows. When the query index
+/// `q` is finer than the recorded binding (source rows are recorded at
+/// whole-value granularity), the element at the residual index is
+/// extracted so the reported lineage is as precise as the question —
+/// e.g. lin(paths_per_gene[1]) reports only the gene sub-list involved.
+Status AppendSourceBindings(const provenance::TraceStore& store,
+                            const std::string& run,
+                            const std::vector<provenance::XformRecord>& rows,
+                            const Index& q,
+                            std::vector<LineageBinding>* out);
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_BINDING_RETRIEVAL_H_

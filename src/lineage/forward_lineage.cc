@@ -1,0 +1,422 @@
+#include "lineage/forward_lineage.h"
+
+#include <set>
+
+#include "common/timer.h"
+
+namespace provlin::lineage {
+
+using provenance::XferRecord;
+using provenance::XformRecord;
+using workflow::Dataflow;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+using workflow::Processor;
+
+// ---------------------------------------------------------------------------
+// Naive forward traversal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ForwardTraversal {
+ public:
+  ForwardTraversal(const provenance::TraceStore& store, std::string run,
+                   InterestSet interest)
+      : store_(store), run_(std::move(run)), interest_(std::move(interest)) {}
+
+  /// Producer side: a value sits on an output port (or workflow input);
+  /// hop every outgoing arc.
+  Status VisitProducer(const PortRef& port, const Index& p) {
+    ++steps_;
+    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1fp")
+             .second) {
+      return Status::OK();
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XferRecord> xfers,
+        store_.FindXfersFrom(run_, port.processor, port.port, p));
+    std::set<std::pair<std::string, std::string>> dsts;
+    for (const XferRecord& row : xfers) {
+      dsts.insert({row.dst_proc, row.dst_port});
+    }
+    for (const auto& [dst_proc, dst_port] : dsts) {
+      if (dst_proc == kWorkflowProcessor) {
+        if (IsInteresting(interest_, kWorkflowProcessor)) {
+          PROVLIN_RETURN_IF_ERROR(
+              ReportWorkflowOutput(dst_port, p));
+        }
+        continue;
+      }
+      PROVLIN_RETURN_IF_ERROR(
+          VisitConsumer(PortRef{dst_proc, dst_port}, p));
+    }
+    return Status::OK();
+  }
+
+  /// Consumer side: the value arrived at an input port; the xform rows
+  /// give the elementary events that consumed it and their outputs.
+  Status VisitConsumer(const PortRef& port, const Index& p) {
+    ++steps_;
+    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1f" "c")
+             .second) {
+      return Status::OK();
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> rows,
+        store_.FindConsuming(run_, port.processor, port.port, p));
+    bool interesting = IsInteresting(interest_, port.processor);
+    std::set<std::pair<std::string, std::string>> next;
+    for (const XformRecord& row : rows) {
+      if (!row.has_out) continue;
+      if (interesting) {
+        PROVLIN_ASSIGN_OR_RETURN(std::string repr,
+                                 store_.GetValueRepr(run_, row.out_value));
+        bindings_.push_back(LineageBinding{
+            run_, PortRef{row.processor, row.out_port}, row.out_index,
+            std::move(repr)});
+      }
+      next.insert({row.out_port, row.out_index.Encode()});
+    }
+    for (const auto& [out_port, enc] : next) {
+      PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(enc));
+      PROVLIN_RETURN_IF_ERROR(
+          VisitProducer(PortRef{port.processor, out_port}, idx));
+    }
+    return Status::OK();
+  }
+
+  std::vector<LineageBinding>& bindings() { return bindings_; }
+  uint64_t steps() const { return steps_; }
+
+ private:
+  Status ReportWorkflowOutput(const std::string& out_port, const Index& p) {
+    // The (single, coarse) xfer row into the workflow output carries the
+    // whole value; report the element the arrival index selects.
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XferRecord> rows,
+        store_.FindXfersInto(run_, kWorkflowProcessor, out_port, p));
+    for (const XferRecord& row : rows) {
+      PROVLIN_ASSIGN_OR_RETURN(Value whole,
+                               store_.GetValue(run_, row.value_id));
+      if (!row.dst_index.IsPrefixOf(p)) continue;
+      Index residual =
+          p.SubIndex(row.dst_index.length(), p.length() - row.dst_index.length());
+      auto element = whole.At(residual);
+      if (!element.ok()) continue;  // index beyond the produced value
+      bindings_.push_back(LineageBinding{
+          run_, PortRef{kWorkflowProcessor, out_port}, p,
+          element.value().ToString()});
+    }
+    return Status::OK();
+  }
+
+  const provenance::TraceStore& store_;
+  std::string run_;
+  InterestSet interest_;
+  std::set<std::string> visited_;
+  std::vector<LineageBinding> bindings_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<LineageAnswer> NaiveForwardLineage::Query(
+    const std::string& run, const PortRef& target, const Index& p,
+    const InterestSet& interest) const {
+  LineageAnswer answer;
+  storage::TableStats before = store_->db()->AggregateStats();
+  WallTimer timer;
+
+  ForwardTraversal traversal(*store_, run, interest);
+  // Side detection: ports with outgoing xfer rows or producing xform
+  // rows are producer-side; anything else is consumed.
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<XferRecord> out_xfers,
+      store_->FindXfersFrom(run, target.processor, target.port, p));
+  bool producer = !out_xfers.empty();
+  if (!producer) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> produced,
+        store_->FindProducing(run, target.processor, target.port, p));
+    producer = !produced.empty();
+  }
+  if (producer) {
+    PROVLIN_RETURN_IF_ERROR(traversal.VisitProducer(target, p));
+  } else {
+    PROVLIN_RETURN_IF_ERROR(traversal.VisitConsumer(target, p));
+  }
+
+  answer.bindings = std::move(traversal.bindings());
+  NormalizeBindings(&answer.bindings);
+  answer.timing.t2_ms = timer.ElapsedMillis();
+  answer.timing.graph_steps = traversal.steps();
+  storage::TableStats after = store_->db()->AggregateStats();
+  answer.timing.trace_probes = (after.index_probes - before.index_probes) +
+                               (after.full_scans - before.full_scans);
+  return answer;
+}
+
+// ---------------------------------------------------------------------------
+// Forward IndexProj
+// ---------------------------------------------------------------------------
+
+Result<ForwardIndexProjLineage> ForwardIndexProjLineage::Create(
+    std::shared_ptr<const Dataflow> dataflow,
+    const provenance::TraceStore* store) {
+  PROVLIN_ASSIGN_OR_RETURN(workflow::DepthMap depths,
+                           workflow::PropagateDepths(*dataflow));
+  return ForwardIndexProjLineage(std::move(dataflow), std::move(depths),
+                                 store);
+}
+
+namespace {
+
+std::string ForwardPlanKey(const PortRef& target, const Index& p,
+                           const InterestSet& interest) {
+  std::string key = target.ToString() + "\x1f" + p.Encode() + "\x1f";
+  for (const std::string& s : interest) {
+    key += s;
+    key += ',';
+  }
+  return key;
+}
+
+/// Truncates/pads `pattern` to exactly `len` components (wildcard pad).
+IndexPattern FitPattern(const IndexPattern& pattern, size_t len) {
+  IndexPattern out;
+  for (size_t i = 0; i < len; ++i) {
+    if (i < pattern.length() && pattern.at(i).has_value()) {
+      out.AppendKnown(*pattern.at(i));
+    } else {
+      out.AppendWildcard();
+    }
+  }
+  return out;
+}
+
+class ForwardPlanner {
+ public:
+  ForwardPlanner(const Dataflow& flow, const workflow::DepthMap& depths,
+                 const InterestSet& interest)
+      : flow_(flow), depths_(depths), interest_(interest) {}
+
+  Status VisitProducer(const PortRef& port, const IndexPattern& pattern) {
+    ++steps_;
+    if (!visited_
+             .insert(port.ToString() + "\x1f" + pattern.Encode() + "\x1fp")
+             .second) {
+      return Status::OK();
+    }
+    for (const workflow::Arc* arc : flow_.ArcsFrom(port)) {
+      PROVLIN_RETURN_IF_ERROR(VisitConsumer(arc->dst, pattern));
+    }
+    return Status::OK();
+  }
+
+  Status VisitConsumer(const PortRef& port, const IndexPattern& pattern) {
+    ++steps_;
+    if (!visited_
+             .insert(port.ToString() + "\x1f" + pattern.Encode() + "\x1f" "c")
+             .second) {
+      return Status::OK();
+    }
+    if (port.processor == kWorkflowProcessor) {
+      if (IsInteresting(interest_, kWorkflowProcessor)) {
+        ForwardTraceQuery q;
+        q.processor = kWorkflowProcessor;
+        q.port = port.port;
+        q.pattern = pattern;
+        q.workflow_output = true;
+        AddQuery(std::move(q));
+      }
+      return Status::OK();
+    }
+    const Processor* proc = flow_.FindProcessor(port.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("no processor '" + port.processor + "'");
+    }
+    auto ordinal = proc->InputOrdinal(port.port);
+    if (!ordinal.has_value()) {
+      return Status::NotFound("no input port " + port.ToString());
+    }
+    const workflow::ProcessorDepths& pd = depths_.ForProcessor(proc->name);
+    // The strategy layout gives this port's slot in the output index;
+    // the fragment lands there and everything else is unknown (Prop. 1
+    // inverted, generalized to strategy expressions).
+    workflow::PortSlot slot;
+    auto sit = pd.slots.find(port.port);
+    if (sit != pd.slots.end()) slot = sit->second;
+    IndexPattern fragment = FitPattern(pattern, slot.length);
+    IndexPattern out_pattern;
+    out_pattern.AppendWildcards(slot.offset);
+    for (size_t i = 0; i < fragment.length(); ++i) {
+      if (fragment.at(i).has_value()) {
+        out_pattern.AppendKnown(*fragment.at(i));
+      } else {
+        out_pattern.AppendWildcard();
+      }
+    }
+    out_pattern.AppendWildcards(static_cast<size_t>(pd.iteration_levels) -
+                                slot.offset - slot.length);
+
+    if (IsInteresting(interest_, proc->name)) {
+      for (const workflow::Port& out : proc->outputs) {
+        ForwardTraceQuery q;
+        q.processor = proc->name;
+        q.port = out.name;
+        q.pattern = out_pattern;
+        AddQuery(std::move(q));
+      }
+    }
+    for (const workflow::Port& out : proc->outputs) {
+      PROVLIN_RETURN_IF_ERROR(
+          VisitProducer(PortRef{proc->name, out.name}, out_pattern));
+    }
+    return Status::OK();
+  }
+
+  ForwardPlan TakePlan() {
+    ForwardPlan plan;
+    plan.queries = std::move(queries_);
+    plan.graph_steps = steps_;
+    return plan;
+  }
+
+ private:
+  void AddQuery(ForwardTraceQuery q) {
+    std::string key =
+        q.processor + "\x1f" + q.port + "\x1f" + q.pattern.Encode();
+    if (query_keys_.insert(key).second) queries_.push_back(std::move(q));
+  }
+
+  const Dataflow& flow_;
+  const workflow::DepthMap& depths_;
+  const InterestSet& interest_;
+  std::set<std::string> visited_;
+  std::set<std::string> query_keys_;
+  std::vector<ForwardTraceQuery> queries_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<ForwardPlan> ForwardIndexProjLineage::BuildPlan(
+    const PortRef& target, const Index& p,
+    const InterestSet& interest) const {
+  ForwardPlanner planner(*dataflow_, depths_, interest);
+  IndexPattern pattern(p);
+  if (target.processor == kWorkflowProcessor) {
+    if (dataflow_->FindWorkflowInput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitProducer(target, pattern));
+    } else if (dataflow_->FindWorkflowOutput(target.port) != nullptr) {
+      // Forward from a workflow output: nothing is downstream.
+      return planner.TakePlan();
+    } else {
+      return Status::NotFound("no workflow port '" + target.port + "'");
+    }
+  } else {
+    const Processor* proc = dataflow_->FindProcessor(target.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("no processor '" + target.processor + "'");
+    }
+    if (proc->FindOutput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitProducer(target, pattern));
+    } else if (proc->FindInput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitConsumer(target, pattern));
+    } else {
+      return Status::NotFound("no port " + target.ToString());
+    }
+  }
+  return planner.TakePlan();
+}
+
+Result<const ForwardPlan*> ForwardIndexProjLineage::Plan(
+    const PortRef& target, const Index& p, const InterestSet& interest) {
+  std::string key = ForwardPlanKey(target, p, interest);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) return &it->second;
+  PROVLIN_ASSIGN_OR_RETURN(ForwardPlan plan, BuildPlan(target, p, interest));
+  auto [pos, _] = plan_cache_.emplace(key, std::move(plan));
+  return &pos->second;
+}
+
+Status ForwardIndexProjLineage::ExecutePlan(
+    const ForwardPlan& plan, const std::string& run,
+    std::vector<LineageBinding>* bindings) const {
+  for (const ForwardTraceQuery& q : plan.queries) {
+    if (q.workflow_output) {
+      // The coarse xfer row into the output carries the whole value;
+      // enumerate the concrete indices the pattern selects.
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<XferRecord> rows,
+          store_->FindXfersInto(run, kWorkflowProcessor, q.port,
+                                q.pattern.KnownPrefix()));
+      for (const XferRecord& row : rows) {
+        PROVLIN_ASSIGN_OR_RETURN(Value whole,
+                                 store_->GetValue(run, row.value_id));
+        for (const Index& idx : whole.IndicesAtLevel(q.pattern.length())) {
+          if (!q.pattern.Overlaps(idx)) continue;
+          auto element = whole.At(idx);
+          if (!element.ok()) continue;
+          bindings->push_back(LineageBinding{
+              run, PortRef{kWorkflowProcessor, q.port}, idx,
+              element.value().ToString()});
+        }
+      }
+      continue;
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> rows,
+        store_->FindProducing(run, q.processor, q.port,
+                              q.pattern.KnownPrefix()));
+    std::set<std::string> seen;
+    for (const XformRecord& row : rows) {
+      if (!row.has_out || row.out_port != q.port) continue;
+      if (!q.pattern.Overlaps(row.out_index)) continue;
+      std::string key = row.out_index.Encode() + "\x1f" +
+                        std::to_string(row.out_value);
+      if (!seen.insert(key).second) continue;
+      PROVLIN_ASSIGN_OR_RETURN(std::string repr,
+                               store_->GetValueRepr(run, row.out_value));
+      bindings->push_back(LineageBinding{
+          run, PortRef{q.processor, q.port}, row.out_index,
+          std::move(repr)});
+    }
+  }
+  return Status::OK();
+}
+
+Result<LineageAnswer> ForwardIndexProjLineage::Query(
+    const std::string& run, const PortRef& target, const Index& p,
+    const InterestSet& interest) {
+  return QueryMultiRun({run}, target, p, interest);
+}
+
+Result<LineageAnswer> ForwardIndexProjLineage::QueryMultiRun(
+    const std::vector<std::string>& runs, const PortRef& target,
+    const Index& p, const InterestSet& interest) {
+  LineageAnswer answer;
+  std::string key = ForwardPlanKey(target, p, interest);
+  answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
+  WallTimer t1;
+  PROVLIN_ASSIGN_OR_RETURN(const ForwardPlan* plan,
+                           Plan(target, p, interest));
+  answer.timing.t1_ms = t1.ElapsedMillis();
+  answer.timing.graph_steps = plan->graph_steps;
+
+  storage::TableStats before = store_->db()->AggregateStats();
+  WallTimer t2;
+  for (const std::string& run : runs) {
+    PROVLIN_RETURN_IF_ERROR(ExecutePlan(*plan, run, &answer.bindings));
+  }
+  answer.timing.t2_ms = t2.ElapsedMillis();
+  storage::TableStats after = store_->db()->AggregateStats();
+  answer.timing.trace_probes = (after.index_probes - before.index_probes) +
+                               (after.full_scans - before.full_scans);
+
+  NormalizeBindings(&answer.bindings);
+  return answer;
+}
+
+}  // namespace provlin::lineage

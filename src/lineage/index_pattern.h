@@ -1,0 +1,115 @@
+#ifndef PROVLIN_LINEAGE_INDEX_PATTERN_H_
+#define PROVLIN_LINEAGE_INDEX_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "values/index.h"
+
+namespace provlin::lineage {
+
+/// An index with wildcard components, used by forward (impact) lineage:
+/// propagating an element index *with* the dataflow composes output
+/// indices per Prop. 1, but fragments contributed by the *other* input
+/// ports of a processor are unknown and become wildcards. For example,
+/// pushing input element [2] through a binary cross product on the
+/// second port yields the pattern [*, 2].
+///
+/// Matching is prefix-aware, mirroring the overlap semantics of
+/// backward queries: an index matches when every known component agrees
+/// on the shared prefix (so coarser trace bindings that cover the
+/// pattern, and finer bindings below it, both match).
+class IndexPattern {
+ public:
+  IndexPattern() = default;
+
+  /// A pattern with no wildcards.
+  explicit IndexPattern(const Index& exact) {
+    for (size_t i = 0; i < exact.length(); ++i) {
+      components_.push_back(exact[i]);
+    }
+  }
+
+  static IndexPattern Any() { return IndexPattern(); }
+
+  void AppendKnown(int32_t component) { components_.push_back(component); }
+  void AppendWildcard() { components_.push_back(std::nullopt); }
+  /// Appends all components of `idx`.
+  void AppendIndex(const Index& idx) {
+    for (size_t i = 0; i < idx.length(); ++i) components_.push_back(idx[i]);
+  }
+  /// Appends `n` wildcards.
+  void AppendWildcards(size_t n) {
+    for (size_t i = 0; i < n; ++i) AppendWildcard();
+  }
+
+  size_t length() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  const std::optional<int32_t>& at(size_t i) const { return components_[i]; }
+
+  /// True when the pattern has no known component.
+  bool AllWildcards() const {
+    for (const auto& c : components_) {
+      if (c.has_value()) return false;
+    }
+    return true;
+  }
+
+  /// Overlap test: true iff `idx` and the pattern agree on every
+  /// position both define (either may be shorter than the other).
+  bool Overlaps(const Index& idx) const {
+    size_t n = std::min(length(), idx.length());
+    for (size_t i = 0; i < n; ++i) {
+      if (components_[i].has_value() && *components_[i] != idx[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The longest known prefix (components before the first wildcard) —
+  /// usable as a B+tree probe prefix.
+  Index KnownPrefix() const {
+    std::vector<int32_t> parts;
+    for (const auto& c : components_) {
+      if (!c.has_value()) break;
+      parts.push_back(*c);
+    }
+    return Index(std::move(parts));
+  }
+
+  /// "[*,2]" style rendering (1-based known components, paper style).
+  std::string ToString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += components_[i].has_value()
+                 ? std::to_string(*components_[i] + 1)
+                 : std::string("*");
+    }
+    out += "]";
+    return out;
+  }
+
+  /// Canonical encoding for plan dedup keys.
+  std::string Encode() const {
+    std::string out;
+    for (const auto& c : components_) {
+      out += c.has_value() ? std::to_string(*c) : std::string("*");
+      out += '.';
+    }
+    return out;
+  }
+
+  bool operator==(const IndexPattern& o) const {
+    return components_ == o.components_;
+  }
+
+ private:
+  std::vector<std::optional<int32_t>> components_;
+};
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_INDEX_PATTERN_H_

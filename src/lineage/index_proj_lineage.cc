@@ -1,0 +1,265 @@
+#include "lineage/index_proj_lineage.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "lineage/binding_retrieval.h"
+#include "lineage/index_projection.h"
+
+namespace provlin::lineage {
+
+using provenance::XformRecord;
+using workflow::Dataflow;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+using workflow::Processor;
+
+Result<IndexProjLineage> IndexProjLineage::Create(
+    std::shared_ptr<const Dataflow> dataflow,
+    const provenance::TraceStore* store) {
+  PROVLIN_ASSIGN_OR_RETURN(workflow::DepthMap depths,
+                           workflow::PropagateDepths(*dataflow));
+  return IndexProjLineage(std::move(dataflow), std::move(depths), store);
+}
+
+namespace {
+
+std::string PlanKey(const PortRef& target, const Index& q,
+                    const InterestSet& interest) {
+  std::string key = target.ToString() + "\x1f" + q.Encode() + "\x1f";
+  for (const std::string& p : interest) {
+    key += p;
+    key += ',';
+  }
+  return key;
+}
+
+/// Alg. 2 traversal state.
+class Planner {
+ public:
+  Planner(const Dataflow& flow, const workflow::DepthMap& depths,
+          const InterestSet& interest)
+      : flow_(flow), depths_(depths), interest_(interest) {}
+
+  /// Y ∈ O_P case: apply the projection rule, emit trace queries at
+  /// interesting processors, continue through the inputs. `via` names
+  /// the consuming input port the traversal arrived through (empty for a
+  /// direct query on a workflow input).
+  Status VisitOutput(const PortRef& port, const Index& q,
+                     const PortRef* via = nullptr) {
+    ++steps_;
+    std::string via_key =
+        via == nullptr ? std::string() : via->ToString();
+    if (!visited_
+             .insert(port.ToString() + "\x1f" + q.Encode() + "\x1fo\x1f" +
+                     via_key)
+             .second) {
+      return Status::OK();
+    }
+    if (port.processor == kWorkflowProcessor) {
+      // Reached a top-level workflow input: a lineage source.
+      if (IsInteresting(interest_, kWorkflowProcessor)) {
+        TraceQuery tq;
+        tq.processor = kWorkflowProcessor;
+        tq.port = port.port;
+        tq.index = q;
+        tq.workflow_source = true;
+        if (via != nullptr) {
+          tq.via_processor = via->processor;
+          tq.via_port = via->port;
+        }
+        AddQuery(std::move(tq));
+      }
+      return Status::OK();
+    }
+    const Processor* proc = flow_.FindProcessor(port.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("no processor '" + port.processor +
+                              "' in workflow '" + flow_.name() + "'");
+    }
+    const workflow::ProcessorDepths& pd = depths_.ForProcessor(proc->name);
+    std::vector<Index> projected = ProjectOutputIndex(*proc, pd, q);
+    bool interesting = IsInteresting(interest_, proc->name);
+    for (size_t i = 0; i < proc->inputs.size(); ++i) {
+      if (interesting) {
+        TraceQuery tq;
+        tq.processor = proc->name;
+        tq.port = proc->inputs[i].name;
+        tq.index = projected[i];
+        AddQuery(std::move(tq));
+      }
+      PROVLIN_RETURN_IF_ERROR(VisitInput(
+          PortRef{proc->name, proc->inputs[i].name}, projected[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Y ∉ O_P case: follow the arcs backwards with the index unchanged.
+  Status VisitInput(const PortRef& port, const Index& p) {
+    ++steps_;
+    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1fi")
+             .second) {
+      return Status::OK();
+    }
+    for (const workflow::Arc* arc : flow_.ArcsInto(port)) {
+      PROVLIN_RETURN_IF_ERROR(VisitOutput(arc->src, p, &port));
+    }
+    return Status::OK();
+  }
+
+  LineagePlan TakePlan() {
+    LineagePlan plan;
+    plan.queries = std::move(queries_);
+    plan.graph_steps = steps_;
+    return plan;
+  }
+
+ private:
+  void AddQuery(TraceQuery q) {
+    std::string key = q.processor + "\x1f" + q.port + "\x1f" +
+                      q.index.Encode() + "\x1f" + q.via_processor + "\x1f" +
+                      q.via_port;
+    if (query_keys_.insert(key).second) queries_.push_back(std::move(q));
+  }
+
+  const Dataflow& flow_;
+  const workflow::DepthMap& depths_;
+  const InterestSet& interest_;
+  std::set<std::string> visited_;
+  std::set<std::string> query_keys_;
+  std::vector<TraceQuery> queries_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<LineagePlan> IndexProjLineage::BuildPlan(
+    const PortRef& target, const Index& q,
+    const InterestSet& interest) const {
+  Planner planner(*dataflow_, depths_, interest);
+  if (target.processor == kWorkflowProcessor) {
+    if (dataflow_->FindWorkflowOutput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitInput(target, q));
+    } else if (dataflow_->FindWorkflowInput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitOutput(target, q));
+    } else {
+      return Status::NotFound("no workflow port '" + target.port + "'");
+    }
+  } else {
+    const Processor* proc = dataflow_->FindProcessor(target.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("no processor '" + target.processor + "'");
+    }
+    if (proc->FindOutput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitOutput(target, q));
+    } else if (proc->FindInput(target.port) != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(planner.VisitInput(target, q));
+    } else {
+      return Status::NotFound("no port " + target.ToString());
+    }
+  }
+  return planner.TakePlan();
+}
+
+Result<const LineagePlan*> IndexProjLineage::Plan(const PortRef& target,
+                                                  const Index& q,
+                                                  const InterestSet& interest) {
+  std::string key = PlanKey(target, q, interest);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) return &it->second;
+  PROVLIN_ASSIGN_OR_RETURN(LineagePlan plan, BuildPlan(target, q, interest));
+  auto [pos, _] = plan_cache_.emplace(key, std::move(plan));
+  return &pos->second;
+}
+
+Status IndexProjLineage::ExecutePlan(
+    const LineagePlan& plan, const std::string& run,
+    std::vector<LineageBinding>* bindings) const {
+  for (const TraceQuery& q : plan.queries) {
+    if (q.workflow_source) {
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<XformRecord> src_rows,
+          store_->FindProducing(run, kWorkflowProcessor, q.port, q.index));
+      if (q.via_processor.empty()) {
+        // Direct query on the workflow input port itself.
+        PROVLIN_RETURN_IF_ERROR(
+            AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
+        continue;
+      }
+      // The input reached the query target through (via_processor,
+      // via_port); the consumer's trace rows tell at which granularity
+      // the input elements were actually consumed — the same indices the
+      // naive traversal arrives with.
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<XformRecord> consumed,
+          store_->FindConsuming(run, q.via_processor, q.via_port, q.index));
+      std::set<std::string> arrival_keys;
+      std::vector<Index> arrivals;
+      for (const XformRecord& row : consumed) {
+        if (!row.has_in) continue;
+        if (arrival_keys.insert(row.in_index.Encode()).second) {
+          arrivals.push_back(row.in_index);
+        }
+      }
+      for (const Index& r : arrivals) {
+        PROVLIN_RETURN_IF_ERROR(
+            AppendSourceBindings(*store_, run, src_rows, r, bindings));
+      }
+      continue;
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> rows,
+        store_->FindConsuming(run, q.processor, q.port, q.index));
+    // Dedup identical in-bindings repeated across dependency rows (one
+    // row exists per (in, out) pair of an event).
+    std::set<std::string> seen;
+    for (const XformRecord& row : rows) {
+      if (!row.has_in) continue;
+      std::string key = row.in_port + "\x1f" + row.in_index.Encode() + "\x1f" +
+                        std::to_string(row.in_value);
+      if (!seen.insert(key).second) continue;
+      PROVLIN_RETURN_IF_ERROR(AppendInputBinding(*store_, run, row, bindings));
+    }
+  }
+  return Status::OK();
+}
+
+Result<LineageAnswer> IndexProjLineage::Query(const std::string& run,
+                                              const PortRef& target,
+                                              const Index& q,
+                                              const InterestSet& interest) {
+  return QueryMultiRun({run}, target, q, interest);
+}
+
+Result<LineageAnswer> IndexProjLineage::QueryMultiRun(
+    const std::vector<std::string>& runs, const PortRef& target,
+    const Index& q, const InterestSet& interest) {
+  LineageAnswer answer;
+
+  // s1: one spec-graph traversal, shared by every run in scope.
+  std::string key = PlanKey(target, q, interest);
+  answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
+  WallTimer t1;
+  PROVLIN_ASSIGN_OR_RETURN(const LineagePlan* plan,
+                           Plan(target, q, interest));
+  answer.timing.t1_ms = t1.ElapsedMillis();
+  answer.timing.graph_steps = plan->graph_steps;
+
+  // s2: execute the generated trace queries per run.
+  storage::TableStats before = store_->db()->AggregateStats();
+  WallTimer t2;
+  for (const std::string& run : runs) {
+    PROVLIN_RETURN_IF_ERROR(ExecutePlan(*plan, run, &answer.bindings));
+  }
+  answer.timing.t2_ms = t2.ElapsedMillis();
+  storage::TableStats after = store_->db()->AggregateStats();
+  answer.timing.trace_probes =
+      (after.index_probes - before.index_probes) +
+      (after.full_scans - before.full_scans);
+
+  NormalizeBindings(&answer.bindings);
+  return answer;
+}
+
+}  // namespace provlin::lineage

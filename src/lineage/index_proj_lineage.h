@@ -1,0 +1,105 @@
+#ifndef PROVLIN_LINEAGE_INDEX_PROJ_LINEAGE_H_
+#define PROVLIN_LINEAGE_INDEX_PROJ_LINEAGE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/query.h"
+#include "provenance/trace_store.h"
+#include "workflow/depth_propagation.h"
+
+namespace provlin::lineage {
+
+/// One generated trace query Q(P, X_i, p_i) (§3.3) — or, for
+/// workflow-input sources, a probe of the source rows. A source query
+/// that was reached through a consuming port records it (via_*): at
+/// execution time the consumer's trace rows give the granularity at
+/// which the input was actually consumed, so coarse queries enumerate
+/// exactly the element bindings the naive traversal discovers.
+struct TraceQuery {
+  std::string processor;
+  std::string port;
+  Index index;
+  bool workflow_source = false;
+  std::string via_processor;  // consumer of the workflow input, if any
+  std::string via_port;
+
+  std::string ToString() const {
+    return "Q(" + processor + ", " + port + ", " + index.ToString() + ")";
+  }
+};
+
+/// The product of the s1 spec-graph traversal: the focused trace queries
+/// plus traversal statistics. Plans depend only on (workflow, target,
+/// index, 𝒫) — not on any run — so they are cached and shared across
+/// queries and across runs (§3, §3.4).
+struct LineagePlan {
+  std::vector<TraceQuery> queries;
+  uint64_t graph_steps = 0;
+};
+
+/// The paper's contribution: Alg. 2 INDEXPROJ. Lineage queries are
+/// answered by traversing the *workflow specification graph*, applying
+/// the index projection rule (Def. 4) at each processor, and touching the
+/// trace only to retrieve the values of bindings at interesting
+/// processors. Query cost is therefore (near-)constant in the provenance
+/// path length and in the collection sizes — the scaling behaviour
+/// evaluated in §4.
+class IndexProjLineage {
+ public:
+  /// `dataflow` must be flattened + validated; `store` must outlive the
+  /// engine. Depth propagation (Alg. 1) runs once here.
+  static Result<IndexProjLineage> Create(
+      std::shared_ptr<const workflow::Dataflow> dataflow,
+      const provenance::TraceStore* store);
+
+  /// s1 only: builds (or fetches from cache) the plan for a query.
+  Result<const LineagePlan*> Plan(const workflow::PortRef& target,
+                                  const Index& q, const InterestSet& interest);
+
+  /// Full query over one run: s1 (cached) + s2.
+  Result<LineageAnswer> Query(const std::string& run,
+                              const workflow::PortRef& target, const Index& q,
+                              const InterestSet& interest);
+
+  /// Query across several runs: the s1 traversal is performed once and
+  /// s2 executed per run with the run id as a parameter (§3.4).
+  Result<LineageAnswer> QueryMultiRun(const std::vector<std::string>& runs,
+                                      const workflow::PortRef& target,
+                                      const Index& q,
+                                      const InterestSet& interest);
+
+  /// Wipes the plan cache (used by benches to measure cold planning).
+  void ClearPlanCache() { plan_cache_.clear(); }
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+
+  const workflow::DepthMap& depths() const { return depths_; }
+
+ private:
+  IndexProjLineage(std::shared_ptr<const workflow::Dataflow> dataflow,
+                   workflow::DepthMap depths,
+                   const provenance::TraceStore* store)
+      : dataflow_(std::move(dataflow)),
+        depths_(std::move(depths)),
+        store_(store) {}
+
+  Result<LineagePlan> BuildPlan(const workflow::PortRef& target,
+                                const Index& q,
+                                const InterestSet& interest) const;
+
+  /// Executes a plan's trace queries against one run (step s2).
+  Status ExecutePlan(const LineagePlan& plan, const std::string& run,
+                     std::vector<LineageBinding>* bindings) const;
+
+  std::shared_ptr<const workflow::Dataflow> dataflow_;
+  workflow::DepthMap depths_;
+  const provenance::TraceStore* store_;
+  std::map<std::string, LineagePlan> plan_cache_;
+};
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_INDEX_PROJ_LINEAGE_H_

@@ -1,0 +1,142 @@
+#include "lineage/naive_lineage.h"
+
+#include <set>
+
+#include "common/timer.h"
+#include "lineage/binding_retrieval.h"
+
+namespace provlin::lineage {
+
+using provenance::XferRecord;
+using provenance::XformRecord;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+
+namespace {
+
+/// Which side of a processor a visited binding sits on: output-port
+/// bindings invert xform events (Def. 1 case 1), input-port bindings hop
+/// an arc (case 2).
+enum class Side { kOutput, kInput };
+
+class Traversal {
+ public:
+  Traversal(const provenance::TraceStore& store, std::string run,
+            InterestSet interest)
+      : store_(store), run_(std::move(run)), interest_(std::move(interest)) {}
+
+  Status Visit(const PortRef& port, const Index& q, Side side) {
+    ++steps_;
+    std::string key = port.ToString() + "\x1f" + q.Encode() + "\x1f" +
+                      (side == Side::kOutput ? "o" : "i");
+    if (!visited_.insert(key).second) return Status::OK();
+
+    if (side == Side::kOutput) {
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<XformRecord> rows,
+          store_.FindProducing(run_, port.processor, port.port, q));
+      if (port.processor == kWorkflowProcessor) {
+        // Workflow-input source rows: traversal terminates here.
+        if (IsInteresting(interest_, kWorkflowProcessor)) {
+          PROVLIN_RETURN_IF_ERROR(
+              AppendSourceBindings(store_, run_, rows, q, &bindings_));
+        }
+        return Status::OK();
+      }
+      bool interesting = IsInteresting(interest_, port.processor);
+      std::set<std::pair<std::string, std::string>> next;  // (port, index)
+      for (const XformRecord& row : rows) {
+        if (!row.has_in) continue;
+        if (interesting) {
+          PROVLIN_RETURN_IF_ERROR(
+              AppendInputBinding(store_, run_, row, &bindings_));
+        }
+        next.insert({row.in_port, row.in_index.Encode()});
+      }
+      for (const auto& [in_port, enc] : next) {
+        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(enc));
+        PROVLIN_RETURN_IF_ERROR(
+            Visit(PortRef{port.processor, in_port}, idx, Side::kInput));
+      }
+      return Status::OK();
+    }
+
+    // Input side: hop the arc backwards. Indices transfer identically,
+    // so the recursion keeps q; the xfer rows identify the source port.
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XferRecord> rows,
+        store_.FindXfersInto(run_, port.processor, port.port, q));
+    std::set<std::pair<std::string, std::string>> sources;
+    for (const XferRecord& row : rows) {
+      sources.insert({row.src_proc, row.src_port});
+    }
+    for (const auto& [src_proc, src_port] : sources) {
+      PROVLIN_RETURN_IF_ERROR(
+          Visit(PortRef{src_proc, src_port}, q, Side::kOutput));
+    }
+    return Status::OK();
+  }
+
+  std::vector<LineageBinding>& bindings() { return bindings_; }
+  uint64_t steps() const { return steps_; }
+
+ private:
+  const provenance::TraceStore& store_;
+  std::string run_;
+  InterestSet interest_;
+  std::set<std::string> visited_;
+  std::vector<LineageBinding> bindings_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<LineageAnswer> NaiveLineage::Query(const std::string& run,
+                                          const PortRef& target,
+                                          const Index& q,
+                                          const InterestSet& interest) const {
+  LineageAnswer answer;
+  storage::TableStats before = store_->db()->AggregateStats();
+  WallTimer timer;
+
+  Traversal traversal(*store_, run, interest);
+
+  // Auto-detect the starting side: a port with producing xform rows is an
+  // output (includes workflow inputs via their source rows); anything
+  // else is treated as an arc destination.
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<XformRecord> probe,
+      store_->FindProducing(run, target.processor, target.port, q));
+  Side side = probe.empty() ? Side::kInput : Side::kOutput;
+  PROVLIN_RETURN_IF_ERROR(traversal.Visit(target, q, side));
+
+  answer.bindings = std::move(traversal.bindings());
+  NormalizeBindings(&answer.bindings);
+  answer.timing.t2_ms = timer.ElapsedMillis();
+  answer.timing.graph_steps = traversal.steps();
+  storage::TableStats after = store_->db()->AggregateStats();
+  answer.timing.trace_probes =
+      (after.index_probes - before.index_probes) +
+      (after.full_scans - before.full_scans);
+  return answer;
+}
+
+Result<LineageAnswer> NaiveLineage::QueryMultiRun(
+    const std::vector<std::string>& runs, const PortRef& target,
+    const Index& q, const InterestSet& interest) const {
+  LineageAnswer combined;
+  for (const std::string& run : runs) {
+    PROVLIN_ASSIGN_OR_RETURN(LineageAnswer one,
+                             Query(run, target, q, interest));
+    combined.bindings.insert(combined.bindings.end(), one.bindings.begin(),
+                             one.bindings.end());
+    combined.timing.t1_ms += one.timing.t1_ms;
+    combined.timing.t2_ms += one.timing.t2_ms;
+    combined.timing.trace_probes += one.timing.trace_probes;
+    combined.timing.graph_steps += one.timing.graph_steps;
+  }
+  NormalizeBindings(&combined.bindings);
+  return combined;
+}
+
+}  // namespace provlin::lineage

@@ -1,0 +1,45 @@
+#ifndef PROVLIN_LINEAGE_NAIVE_LINEAGE_H_
+#define PROVLIN_LINEAGE_NAIVE_LINEAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/query.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::lineage {
+
+/// The paper's baseline NI: lin(⟨P:Y[p], v⟩, 𝒫) computed by the mutual
+/// recursion of Def. 1 directly over the *extensional* provenance trace.
+/// Each recursion step issues indexed trace-database probes (xform
+/// inversion at processors, xfer lookup at arcs), so the total cost
+/// grows with the length of the provenance path — the behaviour Fig. 9
+/// quantifies. The workflow specification is never consulted.
+class NaiveLineage {
+ public:
+  /// The store must outlive the engine.
+  explicit NaiveLineage(const provenance::TraceStore* store)
+      : store_(store) {}
+
+  /// Computes the lineage of ⟨target[q]⟩ within one run. `target` may be
+  /// any processor port or a workflow output/input port; the side
+  /// (output vs. input) is auto-detected from the trace.
+  Result<LineageAnswer> Query(const std::string& run,
+                              const workflow::PortRef& target, const Index& q,
+                              const InterestSet& interest) const;
+
+  /// Multi-run form: NI has nothing to share across runs, so this is a
+  /// plain loop — one full provenance-graph traversal per run (§3.4).
+  Result<LineageAnswer> QueryMultiRun(const std::vector<std::string>& runs,
+                                      const workflow::PortRef& target,
+                                      const Index& q,
+                                      const InterestSet& interest) const;
+
+ private:
+  const provenance::TraceStore* store_;
+};
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_NAIVE_LINEAGE_H_

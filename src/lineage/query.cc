@@ -1,0 +1,33 @@
+#include "lineage/query.h"
+
+#include <algorithm>
+
+namespace provlin::lineage {
+
+void NormalizeBindings(std::vector<LineageBinding>* bindings) {
+  std::sort(bindings->begin(), bindings->end());
+  bindings->erase(std::unique(bindings->begin(), bindings->end()),
+                  bindings->end());
+
+  // Drop bindings covered by a strictly coarser binding on the same run
+  // and port. After sorting, a coarser binding precedes its extensions,
+  // but not necessarily adjacently, so test against all kept bindings of
+  // the same (run, port) group.
+  std::vector<LineageBinding> kept;
+  kept.reserve(bindings->size());
+  for (const LineageBinding& b : *bindings) {
+    bool covered = false;
+    for (const LineageBinding& k : kept) {
+      if (k.run_id == b.run_id && k.port == b.port &&
+          k.index.length() < b.index.length() &&
+          k.index.IsPrefixOf(b.index)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) kept.push_back(b);
+  }
+  *bindings = std::move(kept);
+}
+
+}  // namespace provlin::lineage

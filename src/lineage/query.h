@@ -1,0 +1,88 @@
+#ifndef PROVLIN_LINEAGE_QUERY_H_
+#define PROVLIN_LINEAGE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "values/index.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::lineage {
+
+/// The set 𝒫 of "interesting" processors of Def. 1. The reserved name
+/// "workflow" selects the top-level workflow inputs, so queries can ask
+/// for the user-supplied data a result derives from. An empty set means
+/// *unfocused*: every processor (and the workflow inputs) is interesting.
+using InterestSet = std::set<std::string>;
+
+/// True when `processor` is interesting under `interest`.
+inline bool IsInteresting(const InterestSet& interest,
+                          const std::string& processor) {
+  return interest.empty() || interest.count(processor) > 0;
+}
+
+/// One element of a lineage answer: a binding ⟨P:X[p], v⟩ that the
+/// queried value depends on, at an input port of an interesting
+/// processor (or at a workflow input port).
+struct LineageBinding {
+  std::string run_id;
+  workflow::PortRef port;
+  Index index;
+  std::string value_repr;
+
+  std::string ToString() const {
+    return run_id + ":<" + port.ToString() + index.ToString() + ", " +
+           value_repr + ">";
+  }
+
+  bool operator==(const LineageBinding& o) const {
+    return run_id == o.run_id && port == o.port && index == o.index &&
+           value_repr == o.value_repr;
+  }
+  bool operator<(const LineageBinding& o) const {
+    if (run_id != o.run_id) return run_id < o.run_id;
+    if (!(port == o.port)) return port < o.port;
+    if (index != o.index) return index < o.index;
+    return value_repr < o.value_repr;
+  }
+};
+
+/// Instrumented cost breakdown matching the paper's (s1)/(s2) split:
+/// t1 = graph work (spec traversal for IndexProj; zero for NI, whose
+/// whole cost is trace access), t2 = trace-database access.
+struct LineageTiming {
+  double t1_ms = 0.0;
+  double t2_ms = 0.0;
+  /// Index/scan probes issued against the trace database (from the
+  /// storage layer's hardware-independent counters).
+  uint64_t trace_probes = 0;
+  /// Nodes visited on the graph being traversed (provenance graph for
+  /// NI, specification graph for IndexProj).
+  uint64_t graph_steps = 0;
+  /// True when the IndexProj plan was served from the cache.
+  bool plan_cache_hit = false;
+
+  double total_ms() const { return t1_ms + t2_ms; }
+};
+
+/// A lineage answer: the set of interesting bindings, sorted, plus the
+/// cost breakdown.
+struct LineageAnswer {
+  std::vector<LineageBinding> bindings;
+  LineageTiming timing;
+};
+
+/// Normalizes bindings in place: sorts, dedups, and reduces the answer
+/// to its *maximal* bindings — a binding whose index extends the index
+/// of another binding on the same run and port is covered by it (the
+/// coarser binding already states that the whole containing value is in
+/// the lineage) and is dropped. This makes the two lineage engines
+/// return literally identical answers: the naïve traversal naturally
+/// discovers redundant finer bindings when a value reaches a processor
+/// both element-wise and whole (e.g. the GK workflow's two branches).
+void NormalizeBindings(std::vector<LineageBinding>* bindings);
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_QUERY_H_

@@ -1,0 +1,142 @@
+#include "lineage/user_view.h"
+
+namespace provlin::lineage {
+
+using workflow::kWorkflowProcessor;
+
+Result<UserView> UserView::Create(
+    std::shared_ptr<const workflow::Dataflow> dataflow,
+    std::map<std::string, std::set<std::string>> composites) {
+  UserView view;
+  view.dataflow_ = std::move(dataflow);
+
+  for (const auto& [name, members] : composites) {
+    if (name == kWorkflowProcessor) {
+      return Status::InvalidArgument("'workflow' is reserved");
+    }
+    if (view.dataflow_->FindProcessor(name) != nullptr) {
+      return Status::InvalidArgument("composite '" + name +
+                                     "' shadows a processor");
+    }
+    if (members.empty()) {
+      return Status::InvalidArgument("composite '" + name + "' is empty");
+    }
+    for (const std::string& member : members) {
+      if (view.dataflow_->FindProcessor(member) == nullptr) {
+        return Status::NotFound("composite '" + name +
+                                "' references unknown processor '" + member +
+                                "'");
+      }
+      auto [_, inserted] = view.member_to_composite_.emplace(member, name);
+      if (!inserted) {
+        return Status::InvalidArgument("processor '" + member +
+                                       "' belongs to two composites");
+      }
+    }
+  }
+  view.composites_ = std::move(composites);
+
+  // Boundary input ports: arcs crossing into a composite from outside
+  // it (including from the workflow inputs). Unconnected defaulted
+  // ports are internal configuration, not boundaries.
+  for (const auto& [name, members] : view.composites_) {
+    for (const std::string& member : members) {
+      const workflow::Processor* proc = view.dataflow_->FindProcessor(member);
+      for (const workflow::Port& in : proc->inputs) {
+        for (const workflow::Arc* arc :
+             view.dataflow_->ArcsInto({member, in.name})) {
+          bool internal = arc->src.processor != kWorkflowProcessor &&
+                          members.count(arc->src.processor) > 0;
+          if (!internal) {
+            view.boundary_[{member, in.name}] = name;
+          }
+        }
+      }
+    }
+  }
+  return view;
+}
+
+const std::string* UserView::CompositeOf(const std::string& processor) const {
+  auto it = member_to_composite_.find(processor);
+  return it == member_to_composite_.end() ? nullptr : &it->second;
+}
+
+Result<std::set<std::string>> UserView::BoundaryInputs(
+    const std::string& composite) const {
+  if (composites_.count(composite) == 0) {
+    return Status::NotFound("no composite named '" + composite + "'");
+  }
+  std::set<std::string> out;
+  for (const auto& [port, owner] : boundary_) {
+    if (owner == composite) out.insert(port.first + ":" + port.second);
+  }
+  return out;
+}
+
+Result<InterestSet> UserView::Lower(const InterestSet& view_interest) const {
+  InterestSet lowered;
+  for (const std::string& name : view_interest) {
+    auto cit = composites_.find(name);
+    if (cit != composites_.end()) {
+      // Focus the members that own a boundary input port.
+      for (const auto& [port, owner] : boundary_) {
+        if (owner == name) lowered.insert(port.first);
+      }
+      continue;
+    }
+    if (name == kWorkflowProcessor ||
+        dataflow_->FindProcessor(name) != nullptr) {
+      lowered.insert(name);
+      continue;
+    }
+    return Status::NotFound("interest '" + name +
+                            "' names neither a composite nor a processor");
+  }
+  return lowered;
+}
+
+LineageAnswer UserView::Raise(const InterestSet& view_interest,
+                              LineageAnswer answer) const {
+  std::vector<LineageBinding> raised;
+  raised.reserve(answer.bindings.size());
+  for (LineageBinding& b : answer.bindings) {
+    const std::string* composite = CompositeOf(b.port.processor);
+    if (composite == nullptr) {
+      raised.push_back(std::move(b));
+      continue;
+    }
+    // Bindings inside a composite surface only at boundary ports, and
+    // only when the composite (not the member) was asked for.
+    auto bit = boundary_.find({b.port.processor, b.port.port});
+    bool is_boundary = bit != boundary_.end() && bit->second == *composite;
+    bool composite_asked = view_interest.empty() ||
+                           view_interest.count(*composite) > 0;
+    bool member_asked = view_interest.count(b.port.processor) > 0;
+    if (member_asked) {
+      raised.push_back(std::move(b));
+      continue;
+    }
+    if (!composite_asked || !is_boundary) continue;
+    LineageBinding relabeled = std::move(b);
+    relabeled.port = workflow::PortRef{
+        *composite, relabeled.port.processor + "." + relabeled.port.port};
+    raised.push_back(std::move(relabeled));
+  }
+  answer.bindings = std::move(raised);
+  NormalizeBindings(&answer.bindings);
+  return answer;
+}
+
+Result<LineageAnswer> UserView::Query(IndexProjLineage* engine,
+                                      const std::string& run,
+                                      const workflow::PortRef& target,
+                                      const Index& q,
+                                      const InterestSet& view_interest) const {
+  PROVLIN_ASSIGN_OR_RETURN(InterestSet lowered, Lower(view_interest));
+  PROVLIN_ASSIGN_OR_RETURN(LineageAnswer answer,
+                           engine->Query(run, target, q, lowered));
+  return Raise(view_interest, std::move(answer));
+}
+
+}  // namespace provlin::lineage

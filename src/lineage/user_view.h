@@ -1,0 +1,74 @@
+#ifndef PROVLIN_LINEAGE_USER_VIEW_H_
+#define PROVLIN_LINEAGE_USER_VIEW_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "lineage/index_proj_lineage.h"
+#include "lineage/query.h"
+
+namespace provlin::lineage {
+
+/// Zoom-style user views (Biton et al., which the paper cites as
+/// complementary to its approach): the user groups processors into
+/// named *composites* to hide uninteresting internal structure. A
+/// lineage query focused on a composite answers at the composite's
+/// boundary — the input ports of member processors that are fed from
+/// outside the group — and hides member-internal dependencies.
+///
+/// The view is purely a query-rewriting layer on top of the ordinary
+/// engines: interest sets are *lowered* to the underlying processors,
+/// and answers are *raised* by dropping composite-internal bindings and
+/// relabeling boundary ones as "<composite>:<member>.<port>".
+class UserView {
+ public:
+  /// `composites` maps a composite name to its member processors.
+  /// Composites must be disjoint, non-empty, contain only existing
+  /// processors, and must not shadow a processor name or "workflow".
+  static Result<UserView> Create(
+      std::shared_ptr<const workflow::Dataflow> dataflow,
+      std::map<std::string, std::set<std::string>> composites);
+
+  /// Translates a view-level interest set (composite names, plain
+  /// processor names, "workflow") to the underlying processor set.
+  /// Focusing a composite selects exactly the members owning a boundary
+  /// input port. An empty set stays empty (unfocused).
+  Result<InterestSet> Lower(const InterestSet& view_interest) const;
+
+  /// Rewrites an answer for the view-level interest set: bindings on
+  /// composite-internal ports are dropped, bindings on composite
+  /// boundary ports are relabeled. Bindings of plain (non-composite)
+  /// interests pass through unchanged.
+  LineageAnswer Raise(const InterestSet& view_interest,
+                      LineageAnswer answer) const;
+
+  /// Convenience: Lower + engine query + Raise.
+  Result<LineageAnswer> Query(IndexProjLineage* engine,
+                              const std::string& run,
+                              const workflow::PortRef& target,
+                              const Index& q,
+                              const InterestSet& view_interest) const;
+
+  /// Composite owning a processor, or nullptr.
+  const std::string* CompositeOf(const std::string& processor) const;
+
+  /// Boundary input ports of a composite, as "member:port" strings.
+  Result<std::set<std::string>> BoundaryInputs(
+      const std::string& composite) const;
+
+ private:
+  UserView() = default;
+
+  std::shared_ptr<const workflow::Dataflow> dataflow_;
+  std::map<std::string, std::set<std::string>> composites_;
+  std::map<std::string, std::string> member_to_composite_;
+  /// (processor, port) -> owning composite, for boundary ports only.
+  std::map<std::pair<std::string, std::string>, std::string> boundary_;
+};
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_USER_VIEW_H_

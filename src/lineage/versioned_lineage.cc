@@ -1,0 +1,90 @@
+#include "lineage/versioned_lineage.h"
+
+namespace provlin::lineage {
+
+Status WorkflowRegistry::Register(
+    std::shared_ptr<const workflow::Dataflow> flow) {
+  const std::string& name = flow->name();
+  if (flows_.count(name) > 0) {
+    return Status::AlreadyExists("workflow '" + name +
+                                 "' already registered");
+  }
+  flows_[name] = std::move(flow);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const workflow::Dataflow>> WorkflowRegistry::Get(
+    const std::string& name) const {
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    return Status::NotFound("no workflow named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> WorkflowRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(flows_.size());
+  for (const auto& [name, _] : flows_) out.push_back(name);
+  return out;
+}
+
+Result<VersionedLineage::VersionedAnswer>
+VersionedLineage::QueryAcrossVersions(const std::vector<std::string>& runs,
+                                      const workflow::PortRef& target,
+                                      const Index& q,
+                                      const InterestSet& interest) {
+  VersionedAnswer out;
+
+  // Group the runs by recorded workflow version, preserving run order.
+  std::map<std::string, std::vector<std::string>> by_version;
+  for (const std::string& run : runs) {
+    auto version = store_->RunWorkflow(run);
+    if (!version.ok()) {
+      out.skipped_runs[run] = version.status().ToString();
+      continue;
+    }
+    by_version[*version].push_back(run);
+  }
+
+  for (const auto& [version, version_runs] : by_version) {
+    auto flow = registry_->Get(version);
+    if (!flow.ok()) {
+      for (const std::string& run : version_runs) {
+        out.skipped_runs[run] = flow.status().ToString();
+      }
+      continue;
+    }
+    auto eit = engines_.find(version);
+    if (eit == engines_.end()) {
+      PROVLIN_ASSIGN_OR_RETURN(IndexProjLineage engine,
+                               IndexProjLineage::Create(*flow, store_));
+      eit = engines_.emplace(version, std::move(engine)).first;
+    }
+    auto answer =
+        eit->second.QueryMultiRun(version_runs, target, q, interest);
+    if (!answer.ok()) {
+      if (answer.status().IsNotFound()) {
+        // Target missing in this version: skip its runs, keep going.
+        for (const std::string& run : version_runs) {
+          out.skipped_runs[run] = answer.status().ToString();
+        }
+        continue;
+      }
+      return answer.status();
+    }
+    ++out.versions_queried;
+    out.answer.bindings.insert(out.answer.bindings.end(),
+                               answer->bindings.begin(),
+                               answer->bindings.end());
+    out.answer.timing.t1_ms += answer->timing.t1_ms;
+    out.answer.timing.t2_ms += answer->timing.t2_ms;
+    out.answer.timing.trace_probes += answer->timing.trace_probes;
+    out.answer.timing.graph_steps += answer->timing.graph_steps;
+  }
+
+  NormalizeBindings(&out.answer.bindings);
+  return out;
+}
+
+}  // namespace provlin::lineage

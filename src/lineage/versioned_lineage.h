@@ -1,0 +1,68 @@
+#ifndef PROVLIN_LINEAGE_VERSIONED_LINEAGE_H_
+#define PROVLIN_LINEAGE_VERSIONED_LINEAGE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/index_proj_lineage.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::lineage {
+
+/// Workflow definitions known to the query layer, keyed by the name
+/// recorded in the runs table. Different versions register under
+/// different names (e.g. "pipeline-v1", "pipeline-v2").
+class WorkflowRegistry {
+ public:
+  Status Register(std::shared_ptr<const workflow::Dataflow> flow);
+  Result<std::shared_ptr<const workflow::Dataflow>> Get(
+      const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const workflow::Dataflow>> flows_;
+};
+
+/// Lineage queries spanning runs of *different workflow versions* —
+/// the generalization §3.4 sketches: "comparing data products across
+/// multiple runs of the same workflow, as well as across runs of
+/// different versions of a workflow".
+///
+/// Runs are grouped by their recorded workflow name; each group gets
+/// (and caches) its own IndexProj engine, so the s1 traversal happens
+/// once per *version*, and s2 once per run, exactly as in the
+/// single-version multi-run case. Versions in which the query target
+/// does not exist (the port or processor was removed/renamed)
+/// contribute nothing and are reported in `skipped_runs`.
+class VersionedLineage {
+ public:
+  /// Both the registry and the store must outlive this object.
+  VersionedLineage(const WorkflowRegistry* registry,
+                   const provenance::TraceStore* store)
+      : registry_(registry), store_(store) {}
+
+  struct VersionedAnswer {
+    LineageAnswer answer;
+    /// Runs skipped because their version lacks the target (run -> why).
+    std::map<std::string, std::string> skipped_runs;
+    /// Number of distinct versions that contributed.
+    size_t versions_queried = 0;
+  };
+
+  Result<VersionedAnswer> QueryAcrossVersions(
+      const std::vector<std::string>& runs, const workflow::PortRef& target,
+      const Index& q, const InterestSet& interest);
+
+ private:
+  const WorkflowRegistry* registry_;
+  const provenance::TraceStore* store_;
+  /// Per-version engines, created on first use (plan caches persist).
+  std::map<std::string, IndexProjLineage> engines_;
+};
+
+}  // namespace provlin::lineage
+
+#endif  // PROVLIN_LINEAGE_VERSIONED_LINEAGE_H_

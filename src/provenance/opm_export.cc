@@ -1,0 +1,174 @@
+#include "provenance/opm_export.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "provenance/schema.h"
+
+namespace provlin::provenance {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Artifact {
+  std::string processor;
+  std::string port;
+  Index index;
+  int64_t value_id = -1;
+
+  std::string Key() const {
+    return processor + ":" + port + index.ToString();
+  }
+  bool operator<(const Artifact& o) const { return Key() < o.Key(); }
+};
+
+}  // namespace
+
+Result<std::string> ExportOpmJson(const TraceStore& store,
+                                  const std::string& run) {
+  const storage::Database* db = store.db();
+
+  std::set<Artifact> artifacts;
+  // (process id, artifact key, role) triples.
+  std::vector<std::tuple<std::string, std::string, std::string>> used;
+  std::vector<std::tuple<std::string, std::string, std::string>> generated;
+  std::vector<std::pair<std::string, std::string>> derived;
+  std::map<std::string, std::string> processes;  // id -> processor
+
+  {
+    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xform,
+                             db->GetTable(tables::kXform));
+    for (uint64_t rid : xform->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xform->Get(rid));
+      if (row[0].AsString() != run) continue;
+      std::string proc = row[2].AsString();
+      std::string pid = "p" + std::to_string(row[1].AsInt());
+      processes[pid] = proc;
+      if (!row[3].is_null()) {
+        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(row[4].AsString()));
+        Artifact a{proc, row[3].AsString(), idx, row[5].AsInt()};
+        used.emplace_back(pid, a.Key(), row[3].AsString());
+        artifacts.insert(std::move(a));
+      }
+      if (!row[6].is_null()) {
+        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(row[7].AsString()));
+        Artifact a{proc, row[6].AsString(), idx, row[8].AsInt()};
+        generated.emplace_back(a.Key(), pid, row[6].AsString());
+        artifacts.insert(std::move(a));
+      }
+    }
+  }
+  {
+    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xfer,
+                             db->GetTable(tables::kXfer));
+    for (uint64_t rid : xfer->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xfer->Get(rid));
+      if (row[0].AsString() != run) continue;
+      PROVLIN_ASSIGN_OR_RETURN(Index sidx, Index::Decode(row[3].AsString()));
+      PROVLIN_ASSIGN_OR_RETURN(Index didx, Index::Decode(row[6].AsString()));
+      Artifact src{row[1].AsString(), row[2].AsString(), sidx,
+                   row[7].AsInt()};
+      Artifact dst{row[4].AsString(), row[5].AsString(), didx,
+                   row[7].AsInt()};
+      derived.emplace_back(dst.Key(), src.Key());
+      artifacts.insert(src);
+      artifacts.insert(dst);
+    }
+  }
+  if (processes.empty() && artifacts.empty()) {
+    return Status::NotFound("run '" + run + "' has no trace records");
+  }
+
+  std::ostringstream out;
+  out << "{\n  \"opm\": \"1.1\",\n  \"run\": \"" << JsonEscape(run)
+      << "\",\n";
+
+  out << "  \"artifacts\": {\n";
+  bool first = true;
+  for (const Artifact& a : artifacts) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string repr;
+    if (a.value_id >= 0) {
+      auto value = store.GetValueRepr(run, a.value_id);
+      if (value.ok()) repr = *value;
+    }
+    out << "    \"" << JsonEscape(a.Key()) << "\": {\"processor\": \""
+        << JsonEscape(a.processor) << "\", \"port\": \""
+        << JsonEscape(a.port) << "\", \"index\": \""
+        << JsonEscape(a.index.ToString()) << "\", \"value\": \""
+        << JsonEscape(repr) << "\"}";
+  }
+  out << "\n  },\n";
+
+  out << "  \"processes\": {\n";
+  first = true;
+  for (const auto& [pid, proc] : processes) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << pid << "\": {\"processor\": \"" << JsonEscape(proc)
+        << "\"}";
+  }
+  out << "\n  },\n";
+
+  auto emit_edges =
+      [&](const char* name,
+          const std::vector<std::tuple<std::string, std::string,
+                                       std::string>>& edges,
+          const char* from_field, const char* to_field) {
+        out << "  \"" << name << "\": [\n";
+        for (size_t i = 0; i < edges.size(); ++i) {
+          out << "    {\"" << from_field << "\": \""
+              << JsonEscape(std::get<0>(edges[i])) << "\", \"" << to_field
+              << "\": \"" << JsonEscape(std::get<1>(edges[i]))
+              << "\", \"role\": \"" << JsonEscape(std::get<2>(edges[i]))
+              << "\"}" << (i + 1 < edges.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n";
+      };
+  emit_edges("used", used, "process", "artifact");
+  emit_edges("wasGeneratedBy", generated, "artifact", "process");
+
+  out << "  \"wasDerivedFrom\": [\n";
+  for (size_t i = 0; i < derived.size(); ++i) {
+    out << "    {\"artifact\": \"" << JsonEscape(derived[i].first)
+        << "\", \"source\": \"" << JsonEscape(derived[i].second) << "\"}"
+        << (i + 1 < derived.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace provlin::provenance

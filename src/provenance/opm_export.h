@@ -1,0 +1,31 @@
+#ifndef PROVLIN_PROVENANCE_OPM_EXPORT_H_
+#define PROVLIN_PROVENANCE_OPM_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::provenance {
+
+/// Exports one run's trace in an Open Provenance Model style JSON
+/// document — the interchange vocabulary of the provenance challenges
+/// the paper builds on (§1). The mapping:
+///
+///   * every distinct binding ⟨P:X[p]⟩ becomes an OPM *artifact*
+///     (JSON key "artifacts"), annotated with its port, index and value
+///     literal;
+///   * every elementary xform event becomes a *process* keyed by its
+///     event id and processor name;
+///   * xform dependency rows become "used" (process ← input artifact)
+///     and "wasGeneratedBy" (output artifact ← process) edges;
+///   * xfer rows become "wasDerivedFrom" edges between artifacts.
+///
+/// The document is self-contained and deterministic (artifacts are
+/// keyed by binding, sorted), so golden tests can pin it.
+Result<std::string> ExportOpmJson(const TraceStore& store,
+                                  const std::string& run);
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_OPM_EXPORT_H_

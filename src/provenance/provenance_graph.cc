@@ -1,0 +1,131 @@
+#include "provenance/provenance_graph.h"
+
+#include <sstream>
+
+#include "provenance/schema.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::provenance {
+
+Result<ProvenanceGraph> ProvenanceGraph::Build(const TraceStore& store,
+                                               const std::string& run) {
+  ProvenanceGraph graph;
+
+  const storage::Database* db = store.db();
+  {
+    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xform,
+                             db->GetTable(tables::kXform));
+    for (uint64_t rid : xform->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xform->Get(rid));
+      if (row[0].AsString() != run) continue;
+      bool has_in = !row[3].is_null();
+      bool has_out = !row[6].is_null();
+      std::string proc = row[2].AsString();
+      if (has_in && has_out) {
+        PROVLIN_ASSIGN_OR_RETURN(Index in_idx,
+                                 Index::Decode(row[4].AsString()));
+        PROVLIN_ASSIGN_OR_RETURN(Index out_idx,
+                                 Index::Decode(row[7].AsString()));
+        BindingNode from{proc, row[3].AsString(), in_idx};
+        BindingNode to{proc, row[6].AsString(), out_idx};
+        graph.nodes_.insert(from);
+        graph.nodes_.insert(to);
+        graph.edges_.push_back({from, to, EdgeKind::kXform});
+      } else if (has_out) {
+        // Source rows (workflow inputs) contribute a node only.
+        PROVLIN_ASSIGN_OR_RETURN(Index out_idx,
+                                 Index::Decode(row[7].AsString()));
+        graph.nodes_.insert(BindingNode{proc, row[6].AsString(), out_idx});
+      }
+    }
+  }
+  {
+    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xfer,
+                             db->GetTable(tables::kXfer));
+    for (uint64_t rid : xfer->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xfer->Get(rid));
+      if (row[0].AsString() != run) continue;
+      PROVLIN_ASSIGN_OR_RETURN(Index src_idx,
+                               Index::Decode(row[3].AsString()));
+      PROVLIN_ASSIGN_OR_RETURN(Index dst_idx,
+                               Index::Decode(row[6].AsString()));
+      BindingNode from{row[1].AsString(), row[2].AsString(), src_idx};
+      BindingNode to{row[4].AsString(), row[5].AsString(), dst_idx};
+      graph.nodes_.insert(from);
+      graph.nodes_.insert(to);
+      graph.edges_.push_back({from, to, EdgeKind::kXfer});
+    }
+  }
+  // Refinement edges: within each (processor, port) group, link every
+  // binding to its longest strictly-coarser recorded prefix.
+  std::map<std::pair<std::string, std::string>, std::vector<BindingNode>>
+      by_port;
+  for (const BindingNode& n : graph.nodes_) {
+    by_port[{n.processor, n.port}].push_back(n);
+  }
+  for (auto& [key, group] : by_port) {
+    for (const BindingNode& fine : group) {
+      const BindingNode* best = nullptr;
+      for (const BindingNode& coarse : group) {
+        if (coarse.index.length() >= fine.index.length()) continue;
+        if (!coarse.index.IsPrefixOf(fine.index)) continue;
+        if (best == nullptr || coarse.index.length() > best->index.length()) {
+          best = &coarse;
+        }
+      }
+      if (best != nullptr) {
+        graph.edges_.push_back({*best, fine, EdgeKind::kRefine});
+      }
+    }
+  }
+  return graph;
+}
+
+ProvenanceGraphStats ProvenanceGraph::Stats() const {
+  ProvenanceGraphStats stats;
+  stats.nodes = nodes_.size();
+  std::set<BindingNode> has_in;
+  std::set<BindingNode> has_out;
+  for (const ProvenanceEdge& e : edges_) {
+    if (e.kind == EdgeKind::kXform) {
+      ++stats.xform_edges;
+    } else if (e.kind == EdgeKind::kXfer) {
+      ++stats.xfer_edges;
+    } else {
+      ++stats.refine_edges;
+    }
+    has_out.insert(e.from);
+    has_in.insert(e.to);
+  }
+  for (const BindingNode& n : nodes_) {
+    if (has_in.count(n) == 0) ++stats.source_nodes;
+    if (has_out.count(n) == 0) ++stats.sink_nodes;
+  }
+  return stats;
+}
+
+std::string ProvenanceGraph::ToDot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n";
+  out << "  rankdir=LR;\n  node [fontsize=10];\n";
+  std::map<BindingNode, size_t> ids;
+  for (const BindingNode& n : nodes_) {
+    size_t id = ids.size();
+    ids[n] = id;
+    out << "  n" << id << " [label=\"" << n.ToString() << "\"";
+    if (n.processor == workflow::kWorkflowProcessor) {
+      out << ", shape=box";
+    }
+    out << "];\n";
+  }
+  for (const ProvenanceEdge& e : edges_) {
+    out << "  n" << ids.at(e.from) << " -> n" << ids.at(e.to);
+    if (e.kind == EdgeKind::kXfer) out << " [style=dashed]";
+    if (e.kind == EdgeKind::kRefine) out << " [style=dotted]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace provlin::provenance

@@ -1,0 +1,86 @@
+#ifndef PROVLIN_PROVENANCE_PROVENANCE_GRAPH_H_
+#define PROVLIN_PROVENANCE_PROVENANCE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::provenance {
+
+/// A node of the materialized provenance graph: one binding
+/// ⟨P:X[p]⟩ observed in the trace (paper §2.4 builds the graph exactly
+/// this way — bindings as nodes, xform/xfer events as arcs).
+struct BindingNode {
+  std::string processor;
+  std::string port;
+  Index index;
+
+  std::string ToString() const {
+    return processor + ":" + port + index.ToString();
+  }
+  bool operator<(const BindingNode& o) const {
+    if (processor != o.processor) return processor < o.processor;
+    if (port != o.port) return port < o.port;
+    return index < o.index;
+  }
+  bool operator==(const BindingNode& o) const {
+    return processor == o.processor && port == o.port && index == o.index;
+  }
+};
+
+enum class EdgeKind {
+  kXform,   // dependency through an elementary invocation
+  kXfer,    // transfer along an arc
+  kRefine,  // coarse binding to a finer sub-binding of the same port
+};
+
+struct ProvenanceEdge {
+  BindingNode from;
+  BindingNode to;
+  EdgeKind kind = EdgeKind::kXform;
+};
+
+struct ProvenanceGraphStats {
+  size_t nodes = 0;
+  size_t xform_edges = 0;
+  size_t xfer_edges = 0;
+  size_t refine_edges = 0;
+  size_t source_nodes = 0;  // no incoming edges
+  size_t sink_nodes = 0;    // no outgoing edges
+};
+
+/// The explicit provenance graph of one run, materialized from the
+/// trace relations. This is a *post-mortem analysis and debugging* tool
+/// (statistics, Graphviz export) — the lineage engines never build it;
+/// avoiding exactly this materialization is the paper's point.
+class ProvenanceGraph {
+ public:
+  /// Scans the run's trace rows and assembles the graph. Bindings of the
+  /// same port at different granularities (a whole-value transfer next
+  /// to per-element consumptions) are linked by refinement edges from
+  /// each binding to its finest recorded proper prefix, so the graph is
+  /// connected exactly where coverage makes dependencies flow.
+  static Result<ProvenanceGraph> Build(const TraceStore& store,
+                                       const std::string& run);
+
+  const std::vector<ProvenanceEdge>& edges() const { return edges_; }
+  const std::set<BindingNode>& nodes() const { return nodes_; }
+
+  ProvenanceGraphStats Stats() const;
+
+  /// Graphviz rendering: xform edges solid, xfer edges dashed,
+  /// workflow-port nodes boxed.
+  std::string ToDot(const std::string& graph_name = "provenance") const;
+
+ private:
+  std::set<BindingNode> nodes_;
+  std::vector<ProvenanceEdge> edges_;
+};
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_PROVENANCE_GRAPH_H_

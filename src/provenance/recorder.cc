@@ -1,0 +1,112 @@
+#include "provenance/recorder.h"
+
+#include "workflow/dataflow.h"
+
+namespace provlin::provenance {
+
+Result<int64_t> TraceRecorder::Intern(const Value& v) {
+  return store_->InternValue(run_id_, v.ToString());
+}
+
+void TraceRecorder::OnRunStart(const std::string& run_id,
+                               const workflow::Dataflow& dataflow) {
+  run_id_ = run_id;
+  next_event_id_ = 0;
+  Latch(store_->InsertRun(run_id, dataflow.name()));
+}
+
+void TraceRecorder::OnWorkflowInput(const std::string& port,
+                                    const Value& value) {
+  auto id = Intern(value);
+  if (!id.ok()) {
+    Latch(id.status());
+    return;
+  }
+  XformRecord rec;
+  rec.run_id = run_id_;
+  rec.event_id = next_event_id_++;
+  rec.processor = workflow::kWorkflowProcessor;
+  rec.has_in = false;
+  rec.has_out = true;
+  rec.out_port = port;
+  rec.out_index = Index::Empty();
+  rec.out_value = id.value();
+  Latch(store_->InsertXform(rec));
+}
+
+void TraceRecorder::OnXform(const std::string& processor,
+                            const std::vector<engine::BindingEvent>& inputs,
+                            const std::vector<engine::BindingEvent>& outputs) {
+  int64_t event_id = next_event_id_++;
+
+  auto emit = [&](const engine::BindingEvent* in,
+                  const engine::BindingEvent* out) {
+    XformRecord rec;
+    rec.run_id = run_id_;
+    rec.event_id = event_id;
+    rec.processor = processor;
+    if (in != nullptr) {
+      auto id = Intern(in->value);
+      if (!id.ok()) {
+        Latch(id.status());
+        return;
+      }
+      rec.has_in = true;
+      rec.in_port = in->port.port;
+      rec.in_index = in->index;
+      rec.in_value = id.value();
+    }
+    if (out != nullptr) {
+      auto id = Intern(out->value);
+      if (!id.ok()) {
+        Latch(id.status());
+        return;
+      }
+      rec.has_out = true;
+      rec.out_port = out->port.port;
+      rec.out_index = out->index;
+      rec.out_value = id.value();
+    }
+    Latch(store_->InsertXform(rec));
+  };
+
+  if (inputs.empty() && outputs.empty()) return;
+  if (inputs.empty()) {
+    for (const auto& out : outputs) emit(nullptr, &out);
+    return;
+  }
+  if (outputs.empty()) {
+    for (const auto& in : inputs) emit(&in, nullptr);
+    return;
+  }
+  for (const auto& in : inputs) {
+    for (const auto& out : outputs) emit(&in, &out);
+  }
+}
+
+void TraceRecorder::OnXfer(const workflow::PortRef& src,
+                           const workflow::PortRef& dst, const Index& index,
+                           const Value& element) {
+  auto id = Intern(element);
+  if (!id.ok()) {
+    Latch(id.status());
+    return;
+  }
+  XferRecord rec;
+  rec.run_id = run_id_;
+  rec.src_proc = src.processor;
+  rec.src_port = src.port;
+  rec.src_index = index;
+  rec.dst_proc = dst.processor;
+  rec.dst_port = dst.port;
+  rec.dst_index = index;
+  rec.value_id = id.value();
+  Latch(store_->InsertXfer(rec));
+}
+
+void TraceRecorder::OnRunEnd(const std::string& run_id, const Status& status) {
+  (void)run_id;
+  Latch(status);
+}
+
+}  // namespace provlin::provenance

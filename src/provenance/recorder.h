@@ -1,0 +1,56 @@
+#ifndef PROVLIN_PROVENANCE_RECORDER_H_
+#define PROVLIN_PROVENANCE_RECORDER_H_
+
+#include <string>
+
+#include "engine/observer.h"
+#include "provenance/trace_store.h"
+
+namespace provlin::provenance {
+
+/// Execution observer that persists the observable events of a run into
+/// the relational trace store:
+///
+///   * each elementary xform event InB_P -> OutB_P is flattened into
+///     |InB| x |OutB| dependency rows (|OutB| source rows when a
+///     processor has no inputs);
+///   * each workflow-input binding becomes a "source" xform row
+///     (processor = "workflow", NULL in_* columns) so lineage queries can
+///     terminate at — and retrieve — the original user inputs;
+///   * each arc transfer becomes one xfer row at the producer's
+///     granularity;
+///   * every distinct element value is interned once per run in `val`.
+///
+/// Observer callbacks cannot fail, so the first storage error is latched
+/// and exposed via status(); callers check it when the run completes.
+class TraceRecorder : public engine::ExecutionObserver {
+ public:
+  explicit TraceRecorder(TraceStore* store) : store_(store) {}
+
+  const Status& status() const { return status_; }
+
+  void OnRunStart(const std::string& run_id,
+                  const workflow::Dataflow& dataflow) override;
+  void OnWorkflowInput(const std::string& port, const Value& value) override;
+  void OnXform(const std::string& processor,
+               const std::vector<engine::BindingEvent>& inputs,
+               const std::vector<engine::BindingEvent>& outputs) override;
+  void OnXfer(const workflow::PortRef& src, const workflow::PortRef& dst,
+              const Index& index, const Value& element) override;
+  void OnRunEnd(const std::string& run_id, const Status& status) override;
+
+ private:
+  void Latch(const Status& st) {
+    if (status_.ok() && !st.ok()) status_ = st;
+  }
+  Result<int64_t> Intern(const Value& v);
+
+  TraceStore* store_;
+  std::string run_id_;
+  int64_t next_event_id_ = 0;
+  Status status_;
+};
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_RECORDER_H_

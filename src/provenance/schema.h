@@ -1,0 +1,50 @@
+#ifndef PROVLIN_PROVENANCE_SCHEMA_H_
+#define PROVLIN_PROVENANCE_SCHEMA_H_
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace provlin::provenance {
+
+/// Relational layout of the trace database (DESIGN.md §3). Every index
+/// leads with run_id, mirroring the paper's remark that "trace IDs are
+/// key attributes in our relational implementation".
+///
+///   runs (run_id, workflow, seq)
+///   val  (run_id, value_id, repr)
+///   xform(run_id, event_id, processor,
+///         in_port, in_index, in_value,
+///         out_port, out_index, out_value)
+///       one row per (input-binding, output-binding) pair of one
+///       elementary invocation — the extensional form of relation (1) of
+///       §2.3. Workflow-input "source" rows carry NULL in_* columns.
+///   xfer (run_id, src_proc, src_port, src_index,
+///         dst_proc, dst_port, dst_index, value_id)
+///       relation (2) of §2.3, one row per transferred element at the
+///       producer's granularity; indices map identically across an arc.
+///
+/// Index paths are stored in the order-preserving fixed-radix encoding of
+/// Index::Encode(), so prefix scans enumerate all finer-grained bindings.
+namespace tables {
+inline constexpr const char* kRuns = "runs";
+inline constexpr const char* kVal = "val";
+inline constexpr const char* kXform = "xform";
+inline constexpr const char* kXfer = "xfer";
+}  // namespace tables
+
+namespace indexes {
+inline constexpr const char* kValById = "val_by_id";
+inline constexpr const char* kXformOut = "xform_out";
+inline constexpr const char* kXformIn = "xform_in";
+inline constexpr const char* kXformEvent = "xform_event";
+inline constexpr const char* kXferDst = "xfer_dst";
+inline constexpr const char* kXferSrc = "xfer_src";
+inline constexpr const char* kRunsById = "runs_by_id";
+}  // namespace indexes
+
+/// Creates the four trace tables and their indexes in `db`.
+Status CreateProvenanceSchema(storage::Database* db);
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_SCHEMA_H_

@@ -1,0 +1,418 @@
+#include "provenance/trace_store.h"
+
+#include <set>
+
+#include "provenance/schema.h"
+#include "storage/serialize.h"
+#include "values/value_parser.h"
+
+namespace provlin::provenance {
+
+using storage::Datum;
+using storage::Row;
+using storage::SelectQuery;
+using storage::SelectResult;
+using storage::Table;
+
+namespace {
+
+// WAL table tags.
+constexpr uint8_t kTagRuns = 0, kTagVal = 1, kTagXform = 2, kTagXfer = 3;
+
+// Column ordinals, fixed by CreateProvenanceSchema.
+namespace xform_col {
+constexpr size_t kRun = 0, kEvent = 1, kProc = 2, kInPort = 3, kInIndex = 4,
+                 kInValue = 5, kOutPort = 6, kOutIndex = 7, kOutValue = 8;
+}  // namespace xform_col
+namespace xfer_col {
+constexpr size_t kSrcProc = 1, kSrcPort = 2, kSrcIndex = 3, kDstProc = 4,
+                 kDstPort = 5, kDstIndex = 6, kValue = 7;
+}  // namespace xfer_col
+
+Result<XformRecord> DecodeXform(const Row& row) {
+  XformRecord rec;
+  rec.run_id = row[xform_col::kRun].AsString();
+  rec.event_id = row[xform_col::kEvent].AsInt();
+  rec.processor = row[xform_col::kProc].AsString();
+  rec.has_in = !row[xform_col::kInPort].is_null();
+  if (rec.has_in) {
+    rec.in_port = row[xform_col::kInPort].AsString();
+    PROVLIN_ASSIGN_OR_RETURN(rec.in_index,
+                             Index::Decode(row[xform_col::kInIndex].AsString()));
+    rec.in_value = row[xform_col::kInValue].AsInt();
+  }
+  rec.has_out = !row[xform_col::kOutPort].is_null();
+  if (rec.has_out) {
+    rec.out_port = row[xform_col::kOutPort].AsString();
+    PROVLIN_ASSIGN_OR_RETURN(
+        rec.out_index, Index::Decode(row[xform_col::kOutIndex].AsString()));
+    rec.out_value = row[xform_col::kOutValue].AsInt();
+  }
+  return rec;
+}
+
+Result<XferRecord> DecodeXfer(const Row& row) {
+  XferRecord rec;
+  rec.run_id = row[0].AsString();
+  rec.src_proc = row[xfer_col::kSrcProc].AsString();
+  rec.src_port = row[xfer_col::kSrcPort].AsString();
+  PROVLIN_ASSIGN_OR_RETURN(rec.src_index,
+                           Index::Decode(row[xfer_col::kSrcIndex].AsString()));
+  rec.dst_proc = row[xfer_col::kDstProc].AsString();
+  rec.dst_port = row[xfer_col::kDstPort].AsString();
+  PROVLIN_ASSIGN_OR_RETURN(rec.dst_index,
+                           Index::Decode(row[xfer_col::kDstIndex].AsString()));
+  rec.value_id = row[xfer_col::kValue].AsInt();
+  return rec;
+}
+
+std::string RowKey(const Row& row) {
+  std::string key;
+  for (const Datum& d : row) {
+    key += d.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<TraceStore> TraceStore::Open(storage::Database* db) {
+  if (!db->GetTable(tables::kXform).ok()) {
+    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db));
+  }
+  return TraceStore(db);
+}
+
+Status TraceStore::InsertRun(const std::string& run_id,
+                             const std::string& workflow) {
+  PROVLIN_ASSIGN_OR_RETURN(Table * runs, db_->GetTable(tables::kRuns));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> existing,
+      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (!existing.empty()) {
+    return Status::AlreadyExists("run '" + run_id + "' already recorded");
+  }
+  int64_t seq = static_cast<int64_t>(runs->num_rows());
+  storage::Row row{Datum(run_id), Datum(workflow), Datum(seq)};
+  PROVLIN_RETURN_IF_ERROR(LogRow(kTagRuns, row));
+  return runs->Insert(row).status();
+}
+
+Result<int64_t> TraceStore::InternValue(const std::string& run_id,
+                                        const std::string& repr) {
+  // Interning is an in-memory write-path optimization: ids are unique per
+  // run, and a freshly opened store only ever writes new runs.
+  auto key = std::make_pair(run_id, repr);
+  auto it = intern_cache_.find(key);
+  if (it != intern_cache_.end()) return it->second;
+  PROVLIN_ASSIGN_OR_RETURN(Table * val, db_->GetTable(tables::kVal));
+  int64_t id = static_cast<int64_t>(next_value_id_[run_id]++);
+  storage::Row row{Datum(run_id), Datum(id), Datum(repr)};
+  PROVLIN_RETURN_IF_ERROR(LogRow(kTagVal, row));
+  PROVLIN_RETURN_IF_ERROR(val->Insert(row).status());
+  intern_cache_[key] = id;
+  return id;
+}
+
+Status TraceStore::InsertXform(const XformRecord& rec) {
+  PROVLIN_ASSIGN_OR_RETURN(Table * xform, db_->GetTable(tables::kXform));
+  Row row(9);
+  row[xform_col::kRun] = Datum(rec.run_id);
+  row[xform_col::kEvent] = Datum(rec.event_id);
+  row[xform_col::kProc] = Datum(rec.processor);
+  if (rec.has_in) {
+    row[xform_col::kInPort] = Datum(rec.in_port);
+    row[xform_col::kInIndex] = Datum(rec.in_index.Encode());
+    row[xform_col::kInValue] = Datum(rec.in_value);
+  }
+  if (rec.has_out) {
+    row[xform_col::kOutPort] = Datum(rec.out_port);
+    row[xform_col::kOutIndex] = Datum(rec.out_index.Encode());
+    row[xform_col::kOutValue] = Datum(rec.out_value);
+  }
+  PROVLIN_RETURN_IF_ERROR(LogRow(kTagXform, row));
+  return xform->Insert(row).status();
+}
+
+Status TraceStore::InsertXfer(const XferRecord& rec) {
+  PROVLIN_ASSIGN_OR_RETURN(Table * xfer, db_->GetTable(tables::kXfer));
+  storage::Row row{Datum(rec.run_id),         Datum(rec.src_proc),
+                   Datum(rec.src_port),       Datum(rec.src_index.Encode()),
+                   Datum(rec.dst_proc),       Datum(rec.dst_port),
+                   Datum(rec.dst_index.Encode()), Datum(rec.value_id)};
+  PROVLIN_RETURN_IF_ERROR(LogRow(kTagXfer, row));
+  return xfer->Insert(row).status();
+}
+
+Status TraceStore::LogRow(uint8_t table_tag, const storage::Row& row) {
+  if (wal_ == nullptr) return Status::OK();
+  storage::BinaryWriter w;
+  w.WriteU8(table_tag);
+  w.WriteRow(row);
+  return wal_->Append(w.buffer());
+}
+
+Result<size_t> TraceStore::ReplayWal(const std::string& wal_path,
+                                     storage::Database* db) {
+  if (!db->GetTable(tables::kXform).ok()) {
+    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db));
+  }
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                           storage::WriteAheadLog::Replay(wal_path));
+  size_t applied = 0;
+  for (const std::string& record : records) {
+    storage::BinaryReader r(record);
+    PROVLIN_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    PROVLIN_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+    const char* table_name = nullptr;
+    switch (tag) {
+      case kTagRuns:
+        table_name = tables::kRuns;
+        break;
+      case kTagVal:
+        table_name = tables::kVal;
+        break;
+      case kTagXform:
+        table_name = tables::kXform;
+        break;
+      case kTagXfer:
+        table_name = tables::kXfer;
+        break;
+      default:
+        return Status::Corruption("bad WAL table tag " + std::to_string(tag));
+    }
+    PROVLIN_ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
+    PROVLIN_RETURN_IF_ERROR(table->Insert(row).status());
+    ++applied;
+  }
+  return applied;
+}
+
+Result<size_t> TraceStore::DeleteRun(const std::string& run_id) {
+  PROVLIN_ASSIGN_OR_RETURN(Table * runs, db_->GetTable(tables::kRuns));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (run_rows.empty()) {
+    return Status::NotFound("run '" + run_id + "' not recorded");
+  }
+  size_t removed = 0;
+  for (uint64_t rid : run_rows) {
+    PROVLIN_RETURN_IF_ERROR(runs->Delete(rid));
+    ++removed;
+  }
+  // The trace tables key everything by run_id in column 0; sweep them.
+  for (const char* name : {tables::kVal, tables::kXform, tables::kXfer}) {
+    PROVLIN_ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
+    std::vector<uint64_t> to_delete;
+    for (uint64_t rid : table->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
+      if (row[0].AsString() == run_id) to_delete.push_back(rid);
+    }
+    for (uint64_t rid : to_delete) {
+      PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
+      ++removed;
+    }
+  }
+  // Drop the write-path caches for the deleted run so a future run may
+  // reuse the id with fresh value ids.
+  next_value_id_.erase(run_id);
+  for (auto it = intern_cache_.begin(); it != intern_cache_.end();) {
+    if (it->first.first == run_id) {
+      it = intern_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Result<std::string> TraceStore::RunWorkflow(const std::string& run_id) const {
+  PROVLIN_ASSIGN_OR_RETURN(const Table* runs, db_->GetTable(tables::kRuns));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (run_rows.empty()) {
+    return Status::NotFound("run '" + run_id + "' not recorded");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(Row row, runs->Get(run_rows.front()));
+  return row[1].AsString();
+}
+
+Result<std::vector<std::string>> TraceStore::ListRuns() const {
+  PROVLIN_ASSIGN_OR_RETURN(const Table* runs, db_->GetTable(tables::kRuns));
+  std::vector<std::string> out;
+  for (uint64_t rid : runs->FullScan()) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, runs->Get(rid));
+    out.push_back(row[0].AsString());
+  }
+  return out;
+}
+
+Result<std::vector<storage::Row>> TraceStore::OverlapProbe(
+    const char* table, const std::string& run, const char* proc_col,
+    const std::string& proc, const char* port_col, const std::string& port,
+    const char* index_col, const Index& idx) const {
+  PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+
+  std::vector<Row> rows;
+  std::set<std::string> seen;
+  auto add = [&](SelectResult& r) {
+    for (Row& row : r.rows) {
+      if (seen.insert(RowKey(row)).second) rows.push_back(std::move(row));
+    }
+  };
+
+  auto base = [&]() {
+    SelectQuery q;
+    q.equals.push_back({"run_id", Datum(run)});
+    q.equals.push_back({proc_col, Datum(proc)});
+    q.equals.push_back({port_col, Datum(port)});
+    return q;
+  };
+
+  if (idx.empty()) {
+    // The whole-value query: one range probe enumerates every binding on
+    // the port (exact [] row included — "" is a prefix of everything).
+    SelectQuery q = base();
+    q.string_prefix = SelectQuery::StringPrefix{index_col, ""};
+    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
+    add(r);
+    return rows;
+  }
+
+  // Covering bindings: the exact index and every proper prefix of it
+  // (|q|+1 point probes).
+  for (size_t k = 0; k <= idx.length(); ++k) {
+    SelectQuery q = base();
+    q.equals.push_back({index_col, Datum(idx.Prefix(k).Encode())});
+    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
+    add(r);
+  }
+  // Strictly finer bindings below q: one range probe.
+  {
+    SelectQuery q = base();
+    q.string_prefix =
+        SelectQuery::StringPrefix{index_col, idx.Encode() + "."};
+    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
+    add(r);
+  }
+  return rows;
+}
+
+Result<std::vector<XformRecord>> TraceStore::FindProducing(
+    const std::string& run, const std::string& processor,
+    const std::string& out_port, const Index& q) const {
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      OverlapProbe(tables::kXform, run, "processor", processor, "out_port",
+                   out_port, "out_index", q));
+  std::vector<XformRecord> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    PROVLIN_ASSIGN_OR_RETURN(XformRecord rec, DecodeXform(row));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::vector<XformRecord>> TraceStore::FindConsuming(
+    const std::string& run, const std::string& processor,
+    const std::string& in_port, const Index& p) const {
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      OverlapProbe(tables::kXform, run, "processor", processor, "in_port",
+                   in_port, "in_index", p));
+  std::vector<XformRecord> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    PROVLIN_ASSIGN_OR_RETURN(XformRecord rec, DecodeXform(row));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
+    const std::string& run, const std::string& dst_proc,
+    const std::string& dst_port, const Index& p) const {
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      OverlapProbe(tables::kXfer, run, "dst_proc", dst_proc, "dst_port",
+                   dst_port, "dst_index", p));
+  std::vector<XferRecord> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    PROVLIN_ASSIGN_OR_RETURN(XferRecord rec, DecodeXfer(row));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::vector<XferRecord>> TraceStore::FindXfersFrom(
+    const std::string& run, const std::string& src_proc,
+    const std::string& src_port, const Index& p) const {
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      OverlapProbe(tables::kXfer, run, "src_proc", src_proc, "src_port",
+                   src_port, "src_index", p));
+  std::vector<XferRecord> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    PROVLIN_ASSIGN_OR_RETURN(XferRecord rec, DecodeXfer(row));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::string> TraceStore::GetValueRepr(const std::string& run,
+                                             int64_t value_id) const {
+  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> rids,
+      val->IndexLookup(indexes::kValById, {Datum(run), Datum(value_id)}));
+  if (rids.empty()) {
+    return Status::NotFound("no value " + std::to_string(value_id) +
+                            " in run '" + run + "'");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(Row row, val->Get(rids.front()));
+  return row[2].AsString();
+}
+
+Result<Value> TraceStore::GetValue(const std::string& run,
+                                   int64_t value_id) const {
+  PROVLIN_ASSIGN_OR_RETURN(std::string repr, GetValueRepr(run, value_id));
+  return ParseValue(repr);
+}
+
+Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
+  TraceCounts counts;
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
+  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
+  auto count_in = [&](const Table* t) -> Result<size_t> {
+    size_t n = 0;
+    for (uint64_t rid : t->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, t->Get(rid));
+      if (row[0].AsString() == run) ++n;
+    }
+    return n;
+  };
+  PROVLIN_ASSIGN_OR_RETURN(counts.xform_rows, count_in(xform));
+  PROVLIN_ASSIGN_OR_RETURN(counts.xfer_rows, count_in(xfer));
+  PROVLIN_ASSIGN_OR_RETURN(counts.value_rows, count_in(val));
+  return counts;
+}
+
+Result<TraceCounts> TraceStore::CountAllRecords() const {
+  TraceCounts counts;
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
+  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
+  counts.xform_rows = xform->num_rows();
+  counts.xfer_rows = xfer->num_rows();
+  counts.value_rows = val->num_rows();
+  return counts;
+}
+
+}  // namespace provlin::provenance

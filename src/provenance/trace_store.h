@@ -1,0 +1,168 @@
+#ifndef PROVLIN_PROVENANCE_TRACE_STORE_H_
+#define PROVLIN_PROVENANCE_TRACE_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/query.h"
+#include "storage/wal.h"
+#include "values/index.h"
+#include "values/value.h"
+
+namespace provlin::provenance {
+
+/// One xform dependency row, decoded. in_* fields are absent for
+/// workflow-input source rows (and out_* for sink-only rows).
+struct XformRecord {
+  std::string run_id;
+  int64_t event_id = 0;
+  std::string processor;
+  bool has_in = false;
+  std::string in_port;
+  Index in_index;
+  int64_t in_value = -1;
+  bool has_out = false;
+  std::string out_port;
+  Index out_index;
+  int64_t out_value = -1;
+};
+
+/// One xfer row, decoded.
+struct XferRecord {
+  std::string run_id;
+  std::string src_proc;
+  std::string src_port;
+  Index src_index;
+  std::string dst_proc;
+  std::string dst_port;
+  Index dst_index;
+  int64_t value_id = -1;
+};
+
+/// Per-run record counts (the paper's "number of trace database
+/// records", Table 1: xform + xfer rows).
+struct TraceCounts {
+  size_t xform_rows = 0;
+  size_t xfer_rows = 0;
+  size_t value_rows = 0;
+
+  size_t TotalDependencyRecords() const { return xform_rows + xfer_rows; }
+};
+
+/// Typed query surface over the relational trace database. All reads go
+/// through the declarative SelectQuery layer, so every trace access uses
+/// an index (asserted by tests) — the property the paper's evaluation
+/// relies on.
+class TraceStore {
+ public:
+  /// Wraps an existing database; creates the provenance schema if the
+  /// tables are missing. The database must outlive the store.
+  static Result<TraceStore> Open(storage::Database* db);
+
+  // --- write side (used by TraceRecorder) ---------------------------------
+
+  /// Attaches a write-ahead log: every subsequent trace-row insert is
+  /// logged (and flushed) before it reaches the tables, making capture
+  /// crash-safe. Pass nullptr to detach. The WAL must outlive the store.
+  void AttachWal(storage::WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Replays a WAL produced by a (possibly crashed) capture session into
+  /// `db`, creating the provenance schema when missing. Returns the
+  /// number of rows applied. Duplicate rows (e.g. replaying on top of a
+  /// partially persisted database) are tolerated for the runs table.
+  static Result<size_t> ReplayWal(const std::string& wal_path,
+                                  storage::Database* db);
+
+  Status InsertRun(const std::string& run_id, const std::string& workflow);
+
+  /// Removes a run and all of its trace rows (maintenance: traces
+  /// accumulate over many runs and old ones eventually get pruned).
+  /// Returns the number of rows removed; NotFound when the run does not
+  /// exist.
+  Result<size_t> DeleteRun(const std::string& run_id);
+
+  /// Workflow name a run was recorded under.
+  Result<std::string> RunWorkflow(const std::string& run_id) const;
+  /// Interns `repr` for the run, returning its value id (dedups).
+  Result<int64_t> InternValue(const std::string& run_id,
+                              const std::string& repr);
+  Status InsertXform(const XformRecord& rec);
+  Status InsertXfer(const XferRecord& rec);
+
+  // --- read side (used by the lineage engines) ----------------------------
+
+  /// All runs recorded, in insertion order.
+  Result<std::vector<std::string>> ListRuns() const;
+
+  /// xform rows of `run`/`processor` whose OUT binding *overlaps* index
+  /// `q` on `out_port`: rows with out_index equal to q, a proper prefix
+  /// of q (a coarser binding that covers q), or an extension of q (finer
+  /// bindings below q). This is the inversion probe of the naïve
+  /// traversal (Def. 1, xform case).
+  Result<std::vector<XformRecord>> FindProducing(const std::string& run,
+                                                 const std::string& processor,
+                                                 const std::string& out_port,
+                                                 const Index& q) const;
+
+  /// Same overlap semantics on the IN side: the focused trace query
+  /// Q(P, X_i, p_i) of Alg. 2.
+  Result<std::vector<XformRecord>> FindConsuming(const std::string& run,
+                                                 const std::string& processor,
+                                                 const std::string& in_port,
+                                                 const Index& p) const;
+
+  /// xfer rows into (dst_proc, dst_port) overlapping `p` (naïve arc hop).
+  Result<std::vector<XferRecord>> FindXfersInto(const std::string& run,
+                                                const std::string& dst_proc,
+                                                const std::string& dst_port,
+                                                const Index& p) const;
+
+  /// xfer rows leaving (src_proc, src_port) overlapping `p` — the arc
+  /// hop of *forward* (impact) queries.
+  Result<std::vector<XferRecord>> FindXfersFrom(const std::string& run,
+                                                const std::string& src_proc,
+                                                const std::string& src_port,
+                                                const Index& p) const;
+
+  /// Resolves a value id to its literal representation / parsed Value.
+  Result<std::string> GetValueRepr(const std::string& run,
+                                   int64_t value_id) const;
+  Result<Value> GetValue(const std::string& run, int64_t value_id) const;
+
+  /// Record counts for one run (full-table scan; used by benches and
+  /// EXPERIMENTS.md, not by query paths).
+  Result<TraceCounts> CountRecords(const std::string& run) const;
+
+  /// Aggregate counts across all runs.
+  Result<TraceCounts> CountAllRecords() const;
+
+  storage::Database* db() { return db_; }
+  const storage::Database* db() const { return db_; }
+
+ private:
+  explicit TraceStore(storage::Database* db) : db_(db) {}
+
+  /// Runs an equality+overlap probe against `table` and decodes rows.
+  Result<std::vector<storage::Row>> OverlapProbe(
+      const char* table, const std::string& run, const char* proc_col,
+      const std::string& proc, const char* port_col, const std::string& port,
+      const char* index_col, const Index& idx) const;
+
+  /// Logs a row insert into the WAL (no-op when detached).
+  Status LogRow(uint8_t table_tag, const storage::Row& row);
+
+  storage::Database* db_;
+  storage::WriteAheadLog* wal_ = nullptr;
+  /// Write-path value interning: (run, repr) -> id, ids unique per run.
+  std::map<std::pair<std::string, std::string>, int64_t> intern_cache_;
+  std::map<std::string, uint64_t> next_value_id_;
+};
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_TRACE_STORE_H_

@@ -1,0 +1,111 @@
+#ifndef PROVLIN_STORAGE_BPLUS_TREE_H_
+#define PROVLIN_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/datum.h"
+
+namespace provlin::storage {
+
+/// In-memory B+tree over composite keys, used for every ordered secondary
+/// index of the trace database. Duplicate user keys are disambiguated by
+/// the row id, which is appended as the least-significant key component,
+/// so equality lookups become prefix scans.
+///
+/// Structure: internal nodes hold separator keys and child pointers; leaf
+/// nodes hold (key, row-id) entries and are linked left-to-right for range
+/// scans. Fanout is fixed at kFanout; nodes split when they exceed it and
+/// borrow/merge when they underflow below kFanout/2 after a deletion.
+class BPlusTree {
+ public:
+  /// One indexed entry: composite user key plus owning row id.
+  struct Entry {
+    Key key;
+    uint64_t rid = 0;
+  };
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (key, rid). Duplicate (key, rid) pairs are ignored.
+  void Insert(const Key& key, uint64_t rid);
+
+  /// Removes (key, rid); returns false when absent.
+  bool Erase(const Key& key, uint64_t rid);
+
+  /// Row ids of all entries whose key equals `key`, in rid order.
+  std::vector<uint64_t> Lookup(const Key& key) const;
+
+  /// Row ids of all entries whose key has `prefix` as its leading
+  /// components, in (key, rid) order. An empty prefix returns everything.
+  std::vector<uint64_t> PrefixLookup(const Key& prefix) const;
+
+  /// Row ids of entries with lo <= key <= hi (inclusive bounds compare on
+  /// full composite keys).
+  std::vector<uint64_t> RangeLookup(const Key& lo, const Key& hi) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (1 = a lone leaf). Exposed for tests and stats.
+  int height() const;
+
+  /// Validates structural invariants: sorted entries, separator ordering,
+  /// node occupancy, leaf-chain consistency, size agreement. Used by the
+  /// property tests after randomized workloads.
+  Status CheckInvariants() const;
+
+  /// Read cursor positioned inside the leaf chain.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    const Key& key() const;
+    uint64_t rid() const;
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    const void* leaf_ = nullptr;  // LeafNode*
+    size_t pos_ = 0;
+  };
+
+  Iterator Begin() const;
+  /// First entry with key-tuple >= (key, rid = 0).
+  Iterator Seek(const Key& key) const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  static constexpr size_t kFanout = 64;
+  static constexpr size_t kMinOccupancy = kFanout / 2;
+
+  /// Result of a child insert that overflowed and split.
+  struct SplitResult {
+    Entry separator;            // first entry of the right node
+    std::unique_ptr<Node> right;
+  };
+
+  static int CompareEntries(const Entry& a, const Entry& b);
+
+  bool InsertRec(Node* node, const Entry& entry,
+                 std::unique_ptr<SplitResult>* split);
+  bool EraseRec(Node* node, const Entry& entry, bool* underflow);
+  void FixChildUnderflow(InternalNode* parent, size_t child_idx);
+
+  const LeafNode* FindLeaf(const Entry& probe) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_BPLUS_TREE_H_

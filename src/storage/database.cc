@@ -1,0 +1,177 @@
+#include "storage/database.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "storage/serialize.h"
+
+namespace provlin::storage {
+
+namespace {
+constexpr uint32_t kMagic = 0x50564C42;  // "PVLB"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return const_cast<const Table*>(it->second.get());
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t->num_rows();
+  return n;
+}
+
+TableStats Database::AggregateStats() const {
+  TableStats agg;
+  for (const auto& [_, t] : tables_) {
+    const TableStats& s = t->stats();
+    agg.inserts += s.inserts;
+    agg.deletes += s.deletes;
+    agg.index_probes += s.index_probes;
+    agg.full_scans += s.full_scans;
+    agg.rows_examined += s.rows_examined;
+  }
+  return agg;
+}
+
+void Database::ResetStats() {
+  for (auto& [_, t] : tables_) t->ResetStats();
+}
+
+Status Database::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, table] : tables_) {
+    w.WriteString(name);
+    // Schema.
+    const Schema& schema = table->schema();
+    w.WriteU32(static_cast<uint32_t>(schema.num_columns()));
+    for (const Column& c : schema.columns()) {
+      w.WriteString(c.name);
+      w.WriteU8(static_cast<uint8_t>(c.kind));
+    }
+    // Index specs.
+    std::vector<IndexSpec> specs = table->indexes();
+    w.WriteU32(static_cast<uint32_t>(specs.size()));
+    for (const IndexSpec& spec : specs) {
+      w.WriteString(spec.name);
+      w.WriteU8(spec.type == IndexType::kBTree ? 0 : 1);
+      w.WriteU32(static_cast<uint32_t>(spec.columns.size()));
+      for (const std::string& c : spec.columns) w.WriteString(c);
+    }
+    // Live rows.
+    std::vector<uint64_t> rids = table->FullScan();
+    w.WriteU64(rids.size());
+    for (uint64_t rid : rids) {
+      auto row = table->Get(rid);
+      if (!row.ok()) return row.status();
+      w.WriteRow(row.value());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out.write(w.buffer().data(),
+            static_cast<std::streamsize>(w.buffer().size()));
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Status Database::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for read");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string data = ss.str();
+
+  BinaryReader r(data);
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) return Status::Corruption("bad magic");
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(version));
+  }
+  std::map<std::string, std::unique_ptr<Table>> tables;
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t ntables, r.ReadU32());
+  for (uint32_t t = 0; t < ntables; ++t) {
+    PROVLIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    PROVLIN_ASSIGN_OR_RETURN(uint32_t ncols, r.ReadU32());
+    std::vector<Column> cols;
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Column col;
+      PROVLIN_ASSIGN_OR_RETURN(col.name, r.ReadString());
+      PROVLIN_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+      if (kind > static_cast<uint8_t>(DatumKind::kString)) {
+        return Status::Corruption("bad column kind");
+      }
+      col.kind = static_cast<DatumKind>(kind);
+      cols.push_back(std::move(col));
+    }
+    auto table = std::make_unique<Table>(name, Schema(std::move(cols)));
+    PROVLIN_ASSIGN_OR_RETURN(uint32_t nidx, r.ReadU32());
+    for (uint32_t i = 0; i < nidx; ++i) {
+      IndexSpec spec;
+      PROVLIN_ASSIGN_OR_RETURN(spec.name, r.ReadString());
+      PROVLIN_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+      if (type > 1) return Status::Corruption("bad index type");
+      spec.type = type == 0 ? IndexType::kBTree : IndexType::kHash;
+      PROVLIN_ASSIGN_OR_RETURN(uint32_t nic, r.ReadU32());
+      for (uint32_t c = 0; c < nic; ++c) {
+        PROVLIN_ASSIGN_OR_RETURN(std::string col, r.ReadString());
+        spec.columns.push_back(std::move(col));
+      }
+      PROVLIN_RETURN_IF_ERROR(table->CreateIndex(spec));
+    }
+    PROVLIN_ASSIGN_OR_RETURN(uint64_t nrows, r.ReadU64());
+    for (uint64_t i = 0; i < nrows; ++i) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+      PROVLIN_RETURN_IF_ERROR(table->Insert(row).status());
+    }
+    tables[name] = std::move(table);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in database file");
+  tables_ = std::move(tables);
+  return Status::OK();
+}
+
+}  // namespace provlin::storage

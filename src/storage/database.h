@@ -1,0 +1,58 @@
+#ifndef PROVLIN_STORAGE_DATABASE_H_
+#define PROVLIN_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace provlin::storage {
+
+/// Catalog of tables — the embedded stand-in for the paper's local MySQL
+/// instance. Owns all tables; supports binary save/load of the full
+/// database image (indexes are rebuilt on load).
+///
+/// Thread safety: none — like the paper's single-user desktop setting,
+/// one thread owns a Database (note that even const query paths bump the
+/// access-path statistics counters). Share across threads with external
+/// synchronization, or give each thread its own loaded image.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates an empty table.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Total live rows across all tables.
+  size_t TotalRows() const;
+
+  /// Aggregated access-path counters across all tables.
+  TableStats AggregateStats() const;
+  void ResetStats();
+
+  /// Serializes the whole database to `path` / restores it. Load replaces
+  /// the current catalog.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_DATABASE_H_

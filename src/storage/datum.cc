@@ -1,0 +1,108 @@
+#include "storage/datum.h"
+
+#include <functional>
+
+namespace provlin::storage {
+
+std::string_view DatumKindName(DatumKind kind) {
+  switch (kind) {
+    case DatumKind::kNull:
+      return "null";
+    case DatumKind::kInt:
+      return "int";
+    case DatumKind::kDouble:
+      return "double";
+    case DatumKind::kString:
+      return "string";
+  }
+  return "?";
+}
+
+DatumKind Datum::kind() const {
+  switch (rep_.index()) {
+    case 0:
+      return DatumKind::kNull;
+    case 1:
+      return DatumKind::kInt;
+    case 2:
+      return DatumKind::kDouble;
+    case 3:
+      return DatumKind::kString;
+  }
+  return DatumKind::kNull;
+}
+
+std::string Datum::ToString() const {
+  switch (kind()) {
+    case DatumKind::kNull:
+      return "NULL";
+    case DatumKind::kInt:
+      return std::to_string(AsInt());
+    case DatumKind::kDouble:
+      return std::to_string(AsDouble());
+    case DatumKind::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+bool Datum::operator<(const Datum& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  return rep_ < other.rep_;
+}
+
+size_t Datum::Hash() const {
+  switch (kind()) {
+    case DatumKind::kNull:
+      return 0x517cc1b7;
+    case DatumKind::kInt:
+      return std::hash<int64_t>{}(AsInt());
+    case DatumKind::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case DatumKind::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+int CompareKeys(const Key& a, const Key& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (b[i] < a[i]) return 1;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+bool KeyHasPrefix(const Key& key, const Key& prefix) {
+  if (prefix.size() > key.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!(key[i] == prefix[i])) return false;
+  }
+  return true;
+}
+
+size_t HashKey(const Key& key) {
+  size_t h = 0xcbf29ce484222325ull;
+  for (const Datum& d : key) {
+    h ^= d.Hash();
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string KeyToString(const Key& key) {
+  std::string out = "(";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += key[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace provlin::storage

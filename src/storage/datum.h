@@ -1,0 +1,65 @@
+#ifndef PROVLIN_STORAGE_DATUM_H_
+#define PROVLIN_STORAGE_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace provlin::storage {
+
+/// Column type of the embedded relational engine.
+enum class DatumKind { kNull = 0, kInt, kDouble, kString };
+
+std::string_view DatumKindName(DatumKind kind);
+
+/// One typed cell. NULL sorts before every non-null value; across kinds
+/// the order is kNull < kInt < kDouble < kString (the engine schemas are
+/// homogeneous per column, so cross-kind comparison only arises with
+/// NULLs in practice).
+class Datum {
+ public:
+  Datum() : rep_(std::monostate{}) {}
+  explicit Datum(int64_t v) : rep_(v) {}
+  explicit Datum(double v) : rep_(v) {}
+  explicit Datum(std::string v) : rep_(std::move(v)) {}
+  explicit Datum(const char* v) : rep_(std::string(v)) {}
+
+  static Datum Null() { return Datum(); }
+
+  DatumKind kind() const;
+  bool is_null() const { return kind() == DatumKind::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  std::string ToString() const;
+
+  bool operator==(const Datum& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Datum& other) const { return !(*this == other); }
+  bool operator<(const Datum& other) const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// Composite key / row: ordered tuple of datums.
+using Key = std::vector<Datum>;
+using Row = std::vector<Datum>;
+
+/// Lexicographic comparison of composite keys.
+int CompareKeys(const Key& a, const Key& b);
+
+/// True iff `prefix` equals the first prefix.size() components of `key`.
+bool KeyHasPrefix(const Key& key, const Key& prefix);
+
+size_t HashKey(const Key& key);
+
+std::string KeyToString(const Key& key);
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_DATUM_H_

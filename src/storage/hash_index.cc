@@ -1,0 +1,32 @@
+#include "storage/hash_index.h"
+
+#include <algorithm>
+
+namespace provlin::storage {
+
+void HashIndex::Insert(const Key& key, uint64_t rid) {
+  std::vector<uint64_t>& rids = map_[key];
+  if (std::find(rids.begin(), rids.end(), rid) != rids.end()) return;
+  rids.push_back(rid);
+  ++size_;
+}
+
+bool HashIndex::Erase(const Key& key, uint64_t rid) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  auto& rids = it->second;
+  auto pos = std::find(rids.begin(), rids.end(), rid);
+  if (pos == rids.end()) return false;
+  rids.erase(pos);
+  if (rids.empty()) map_.erase(it);
+  --size_;
+  return true;
+}
+
+std::vector<uint64_t> HashIndex::Lookup(const Key& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return {};
+  return it->second;
+}
+
+}  // namespace provlin::storage

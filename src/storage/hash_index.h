@@ -1,0 +1,36 @@
+#ifndef PROVLIN_STORAGE_HASH_INDEX_H_
+#define PROVLIN_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/datum.h"
+
+namespace provlin::storage {
+
+/// Unordered secondary index: equality probes only, O(1) expected.
+/// Used for the value-id lookups where range/prefix access is never
+/// needed; every other trace index is a BPlusTree.
+class HashIndex {
+ public:
+  void Insert(const Key& key, uint64_t rid);
+  bool Erase(const Key& key, uint64_t rid);
+
+  /// Row ids for `key` in insertion order; empty when absent.
+  std::vector<uint64_t> Lookup(const Key& key) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const { return HashKey(k); }
+  };
+
+  std::unordered_map<Key, std::vector<uint64_t>, KeyHash> map_;
+  size_t size_ = 0;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_HASH_INDEX_H_

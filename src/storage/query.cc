@@ -1,0 +1,145 @@
+#include "storage/query.h"
+
+#include <algorithm>
+
+namespace provlin::storage {
+
+std::string_view AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kIndexEq:
+      return "index-eq";
+    case AccessPath::kIndexRange:
+      return "index-range";
+    case AccessPath::kFullScan:
+      return "full-scan";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A candidate plan: which index, how many leading equality columns it
+/// consumes, and whether it also consumes the string-prefix predicate.
+struct Candidate {
+  const IndexSpec* spec = nullptr;
+  size_t eq_covered = 0;
+  bool uses_prefix = false;
+
+  size_t score() const { return eq_covered + (uses_prefix ? 1 : 0); }
+};
+
+const Datum* FindEqual(const SelectQuery& q, const std::string& column) {
+  for (const auto& e : q.equals) {
+    if (e.column == column) return &e.value;
+  }
+  return nullptr;
+}
+
+bool RowMatches(const Schema& schema, const Row& row, const SelectQuery& q) {
+  for (const auto& e : q.equals) {
+    auto idx = schema.ColumnIndex(e.column);
+    if (!idx.ok()) return false;
+    if (!(row[idx.value()] == e.value)) return false;
+  }
+  if (q.string_prefix.has_value()) {
+    auto idx = schema.ColumnIndex(q.string_prefix->column);
+    if (!idx.ok()) return false;
+    const Datum& d = row[idx.value()];
+    if (d.kind() != DatumKind::kString) return false;
+    const std::string& s = d.AsString();
+    const std::string& p = q.string_prefix->prefix;
+    if (s.size() < p.size() || s.compare(0, p.size(), p) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SelectResult> ExecuteSelect(const Table& table,
+                                   const SelectQuery& query) {
+  // Validate referenced columns up front.
+  for (const auto& e : query.equals) {
+    PROVLIN_RETURN_IF_ERROR(table.schema().ColumnIndex(e.column).status());
+  }
+  if (query.string_prefix.has_value()) {
+    PROVLIN_RETURN_IF_ERROR(
+        table.schema().ColumnIndex(query.string_prefix->column).status());
+  }
+
+  // Enumerate candidate plans.
+  std::vector<IndexSpec> specs = table.indexes();
+  Candidate best;
+  for (const IndexSpec& spec : specs) {
+    Candidate cand;
+    cand.spec = &spec;
+    if (spec.type == IndexType::kHash) {
+      // Hash: exact column set, order-sensitive probe key construction
+      // below requires all columns to have equality predicates.
+      if (spec.columns.size() != query.equals.size()) continue;
+      bool all = true;
+      for (const std::string& col : spec.columns) {
+        if (FindEqual(query, col) == nullptr) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      cand.eq_covered = spec.columns.size();
+    } else {
+      size_t i = 0;
+      while (i < spec.columns.size() &&
+             FindEqual(query, spec.columns[i]) != nullptr) {
+        ++i;
+      }
+      cand.eq_covered = i;
+      if (query.string_prefix.has_value() && i < spec.columns.size() &&
+          spec.columns[i] == query.string_prefix->column) {
+        cand.uses_prefix = true;
+      }
+      if (cand.score() == 0) continue;
+    }
+    if (cand.score() > best.score()) best = cand;
+  }
+
+  SelectResult out;
+  std::vector<uint64_t> rids;
+  if (best.spec == nullptr) {
+    out.access_path = AccessPath::kFullScan;
+    rids = table.FullScan();
+  } else {
+    out.index_used = best.spec->name;
+    Key probe;
+    for (size_t i = 0; i < best.eq_covered; ++i) {
+      probe.push_back(*FindEqual(query, best.spec->columns[i]));
+    }
+    if (best.uses_prefix) {
+      out.access_path = AccessPath::kIndexRange;
+      Key lo = probe;
+      Key hi = probe;
+      lo.push_back(Datum(query.string_prefix->prefix));
+      hi.push_back(Datum(query.string_prefix->prefix + "\xff\xff\xff\xff"));
+      PROVLIN_ASSIGN_OR_RETURN(
+          rids, table.IndexRangeLookup(best.spec->name, lo, hi));
+    } else if (best.spec->type == IndexType::kBTree &&
+               best.eq_covered < best.spec->columns.size()) {
+      out.access_path = AccessPath::kIndexRange;
+      PROVLIN_ASSIGN_OR_RETURN(
+          rids, table.IndexPrefixLookup(best.spec->name, probe));
+    } else {
+      out.access_path = AccessPath::kIndexEq;
+      PROVLIN_ASSIGN_OR_RETURN(rids,
+                               table.IndexLookup(best.spec->name, probe));
+    }
+  }
+
+  // Apply residual predicates.
+  for (uint64_t rid : rids) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, table.Get(rid));
+    if (RowMatches(table.schema(), row, query)) {
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace provlin::storage

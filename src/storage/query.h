@@ -1,0 +1,58 @@
+#ifndef PROVLIN_STORAGE_QUERY_H_
+#define PROVLIN_STORAGE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace provlin::storage {
+
+/// Declarative single-table selection: a conjunction of column-equality
+/// predicates plus an optional string-prefix predicate on one column.
+/// This is the query surface the lineage engines target — the C++
+/// analogue of the SQL the paper issues against MySQL.
+struct SelectQuery {
+  struct Equal {
+    std::string column;
+    Datum value;
+  };
+  struct StringPrefix {
+    std::string column;
+    std::string prefix;
+  };
+
+  std::vector<Equal> equals;
+  std::optional<StringPrefix> string_prefix;
+};
+
+/// How the planner answered a query — surfaced so tests and benches can
+/// assert that trace queries never degrade to full scans (the paper
+/// relies on "none requiring full table scans").
+enum class AccessPath { kIndexEq, kIndexRange, kFullScan };
+
+std::string_view AccessPathName(AccessPath path);
+
+struct SelectResult {
+  std::vector<Row> rows;
+  AccessPath access_path = AccessPath::kFullScan;
+  std::string index_used;  // empty for full scans
+};
+
+/// Plans and executes `query` against `table`.
+///
+/// Index selection: a BTree index is usable when its leading columns are
+/// covered by equality predicates; if a string-prefix predicate exists it
+/// must sit on the next index column, turning the probe into a range scan
+/// (prefix .. prefix+0xFF). A hash index is usable only when its columns
+/// are exactly the equality-predicate columns. Among usable indexes the
+/// one covering the most predicates wins. Residual predicates are applied
+/// as a filter; with no usable index the table is fully scanned.
+Result<SelectResult> ExecuteSelect(const Table& table,
+                                   const SelectQuery& query);
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_QUERY_H_

@@ -1,0 +1,55 @@
+#include "storage/schema.h"
+
+namespace provlin::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Result<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+Result<std::vector<size_t>> Schema::ColumnIndices(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    PROVLIN_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].kind() != columns_[i].kind) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          std::string(DatumKindName(columns_[i].kind)) + ", got " +
+          std::string(DatumKindName(row[i].kind())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DatumKindName(columns_[i].kind);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace provlin::storage

@@ -1,0 +1,46 @@
+#ifndef PROVLIN_STORAGE_SCHEMA_H_
+#define PROVLIN_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/datum.h"
+
+namespace provlin::storage {
+
+/// One column of a table schema.
+struct Column {
+  std::string name;
+  DatumKind kind = DatumKind::kString;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Ordinal of the named column, or error when absent.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Ordinals for a list of names, preserving order.
+  Result<std::vector<size_t>> ColumnIndices(
+      const std::vector<std::string>& names) const;
+
+  /// Checks arity and per-column kind (NULLs are accepted in any column).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_SCHEMA_H_

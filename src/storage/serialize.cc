@@ -1,0 +1,140 @@
+#include "storage/serialize.h"
+
+#include <cstring>
+
+namespace provlin::storage {
+
+void BinaryWriter::WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::WriteI64(int64_t v) {
+  WriteU64(static_cast<uint64_t>(v));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  buf_.append(s);
+}
+
+void BinaryWriter::WriteDatum(const Datum& d) {
+  WriteU8(static_cast<uint8_t>(d.kind()));
+  switch (d.kind()) {
+    case DatumKind::kNull:
+      break;
+    case DatumKind::kInt:
+      WriteI64(d.AsInt());
+      break;
+    case DatumKind::kDouble:
+      WriteDouble(d.AsDouble());
+      break;
+    case DatumKind::kString:
+      WriteString(d.AsString());
+      break;
+  }
+}
+
+void BinaryWriter::WriteRow(const Row& row) {
+  WriteU32(static_cast<uint32_t>(row.size()));
+  for (const Datum& d : row) WriteDatum(d);
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("truncated input at offset " +
+                              std::to_string(pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  PROVLIN_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  PROVLIN_RETURN_IF_ERROR(Need(4));
+  uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  PROVLIN_RETURN_IF_ERROR(Need(8));
+  uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  PROVLIN_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  PROVLIN_RETURN_IF_ERROR(Need(8));
+  double v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  PROVLIN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  PROVLIN_RETURN_IF_ERROR(Need(len));
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Result<Datum> BinaryReader::ReadDatum() {
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (static_cast<DatumKind>(tag)) {
+    case DatumKind::kNull:
+      return Datum::Null();
+    case DatumKind::kInt: {
+      PROVLIN_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Datum(v);
+    }
+    case DatumKind::kDouble: {
+      PROVLIN_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Datum(v);
+    }
+    case DatumKind::kString: {
+      PROVLIN_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Datum(std::move(v));
+    }
+  }
+  return Status::Corruption("bad datum tag " + std::to_string(tag));
+}
+
+Result<Row> BinaryReader::ReadRow() {
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(Datum d, ReadDatum());
+    row.push_back(std::move(d));
+  }
+  return row;
+}
+
+}  // namespace provlin::storage

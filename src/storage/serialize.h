@@ -1,0 +1,58 @@
+#ifndef PROVLIN_STORAGE_SERIALIZE_H_
+#define PROVLIN_STORAGE_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/datum.h"
+
+namespace provlin::storage {
+
+/// Little binary writer for database persistence. Fixed-width integers
+/// (little-endian), length-prefixed strings.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(std::string_view s);
+  void WriteDatum(const Datum& d);
+  void WriteRow(const Row& row);
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Reader counterpart; every accessor checks bounds and reports
+/// Corruption on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<Datum> ReadDatum();
+  Result<Row> ReadRow();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_SERIALIZE_H_

@@ -1,0 +1,326 @@
+#include "storage/sql.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace provlin::storage {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // table/column names, keywords
+  kString,      // 'literal'
+  kNumber,      // 42, -1.5
+  kStar,        // *
+  kComma,
+  kEquals,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier (upper-cased copy in `upper`), literal
+  std::string upper;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      Token tok;
+      tok.offset = pos_;
+      if (pos_ >= sql_.size()) {
+        tok.kind = TokenKind::kEnd;
+        out.push_back(tok);
+        return out;
+      }
+      char c = sql_[pos_];
+      if (c == '*') {
+        tok.kind = TokenKind::kStar;
+        ++pos_;
+      } else if (c == ',') {
+        tok.kind = TokenKind::kComma;
+        ++pos_;
+      } else if (c == '=') {
+        tok.kind = TokenKind::kEquals;
+        ++pos_;
+      } else if (c == '(') {
+        tok.kind = TokenKind::kLParen;
+        ++pos_;
+      } else if (c == ')') {
+        tok.kind = TokenKind::kRParen;
+        ++pos_;
+      } else if (c == '\'') {
+        PROVLIN_ASSIGN_OR_RETURN(tok.text, LexString());
+        tok.kind = TokenKind::kString;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        tok.kind = TokenKind::kNumber;
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+                sql_[pos_] == '+' || sql_[pos_] == '-')) {
+          ++pos_;
+        }
+        tok.text = std::string(sql_.substr(start, pos_ - start));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::kIdentifier;
+        size_t start = pos_;
+        while (pos_ < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '_')) {
+          ++pos_;
+        }
+        tok.text = std::string(sql_.substr(start, pos_ - start));
+        tok.upper = tok.text;
+        for (char& ch : tok.upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(pos_));
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  Result<std::string> LexString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_++];
+      if (c == '\'') {
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          out += '\'';  // '' escape
+          ++pos_;
+          continue;
+        }
+        return out;
+      }
+      out += c;
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  void SkipSpace() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  struct Statement {
+    bool count_star = false;
+    bool select_all = false;
+    std::vector<std::string> columns;
+    std::string table;
+    SelectQuery where;
+    std::optional<size_t> limit;
+  };
+
+  Result<Statement> Parse() {
+    Statement stmt;
+    PROVLIN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    if (Peek().kind == TokenKind::kIdentifier && Peek().upper == "COUNT") {
+      Advance();
+      PROVLIN_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      PROVLIN_RETURN_IF_ERROR(Expect(TokenKind::kStar, "*"));
+      PROVLIN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      stmt.count_star = true;
+    } else if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      stmt.select_all = true;
+    } else {
+      while (true) {
+        PROVLIN_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        stmt.columns.push_back(std::move(col));
+        if (Peek().kind != TokenKind::kComma) break;
+        Advance();
+      }
+    }
+
+    PROVLIN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PROVLIN_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table"));
+
+    if (Peek().kind == TokenKind::kIdentifier && Peek().upper == "WHERE") {
+      Advance();
+      PROVLIN_RETURN_IF_ERROR(ParsePredicates(&stmt.where));
+    }
+    if (Peek().kind == TokenKind::kIdentifier && Peek().upper == "LIMIT") {
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("expected a number after LIMIT");
+      }
+      int64_t n = 0;
+      if (!ParseInt64(Peek().text, &n) || n < 0) {
+        return Err("bad LIMIT value");
+      }
+      stmt.limit = static_cast<size_t>(n);
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  Status ParsePredicates(SelectQuery* where) {
+    while (true) {
+      PROVLIN_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      if (Peek().kind == TokenKind::kEquals) {
+        Advance();
+        PROVLIN_ASSIGN_OR_RETURN(Datum value, ExpectLiteral());
+        where->equals.push_back({std::move(col), std::move(value)});
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 Peek().upper == "LIKE") {
+        Advance();
+        if (Peek().kind != TokenKind::kString) {
+          return Err("LIKE expects a string literal").status();
+        }
+        std::string pattern = Peek().text;
+        Advance();
+        if (pattern.empty() || pattern.back() != '%' ||
+            pattern.find('%') != pattern.size() - 1 ||
+            pattern.find('_') != std::string::npos) {
+          return Err("only prefix patterns ('...%') are supported")
+              .status();
+        }
+        if (where->string_prefix.has_value()) {
+          return Err("at most one LIKE predicate is supported").status();
+        }
+        pattern.pop_back();
+        where->string_prefix =
+            SelectQuery::StringPrefix{std::move(col), std::move(pattern)};
+      } else {
+        return Err("expected '=' or LIKE").status();
+      }
+      if (Peek().kind == TokenKind::kIdentifier && Peek().upper == "AND") {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<Datum> ExpectLiteral() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Datum(tok.text);
+    }
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      int64_t i = 0;
+      if (ParseInt64(tok.text, &i)) return Datum(i);
+      double d = 0;
+      if (ParseDouble(tok.text, &d)) return Datum(d);
+      return Err("malformed number '" + tok.text + "'").status();
+    }
+    return Err("expected a literal").status();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err(std::string("expected a ") + what + " name").status();
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (Peek().kind != TokenKind::kIdentifier || Peek().upper != kw) {
+      return Err(std::string("expected ") + kw).status();
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Err(std::string("expected '") + what + "'").status();
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Parser::Statement> Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlResult> ExecuteSql(const Database& db, std::string_view sql) {
+  Lexer lexer(sql);
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  PROVLIN_ASSIGN_OR_RETURN(Parser::Statement stmt, parser.Parse());
+
+  PROVLIN_ASSIGN_OR_RETURN(const Table* table, db.GetTable(stmt.table));
+  PROVLIN_ASSIGN_OR_RETURN(SelectResult selected,
+                           ExecuteSelect(*table, stmt.where));
+
+  SqlResult out;
+  out.access_path = selected.access_path;
+  out.index_used = selected.index_used;
+
+  if (stmt.count_star) {
+    out.columns = {"count"};
+    out.rows.push_back({Datum(static_cast<int64_t>(selected.rows.size()))});
+    return out;
+  }
+
+  std::vector<size_t> projection;
+  if (stmt.select_all) {
+    for (size_t i = 0; i < table->schema().num_columns(); ++i) {
+      projection.push_back(i);
+      out.columns.push_back(table->schema().column(i).name);
+    }
+  } else {
+    for (const std::string& col : stmt.columns) {
+      PROVLIN_ASSIGN_OR_RETURN(size_t idx, table->schema().ColumnIndex(col));
+      projection.push_back(idx);
+      out.columns.push_back(col);
+    }
+  }
+
+  size_t limit = stmt.limit.value_or(selected.rows.size());
+  for (const Row& row : selected.rows) {
+    if (out.rows.size() >= limit) break;
+    Row projected;
+    projected.reserve(projection.size());
+    for (size_t idx : projection) projected.push_back(row[idx]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace provlin::storage

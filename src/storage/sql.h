@@ -1,0 +1,44 @@
+#ifndef PROVLIN_STORAGE_SQL_H_
+#define PROVLIN_STORAGE_SQL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/query.h"
+
+namespace provlin::storage {
+
+/// Result of a SQL SELECT: the projected column names and rows, plus the
+/// access path the planner chose (so callers — and tests — can assert
+/// that trace queries are index probes, as the paper requires).
+struct SqlResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  AccessPath access_path = AccessPath::kFullScan;
+  std::string index_used;
+};
+
+/// Executes a minimal SQL dialect against the database — the C++
+/// analogue of the SQL the paper issues to its MySQL trace store:
+///
+///   SELECT <* | col[, col]*> FROM <table>
+///     [WHERE col = <literal> [AND col = <literal>]*
+///            [AND col LIKE '<prefix>%']]
+///     [LIMIT <n>]
+///
+///   SELECT COUNT(*) FROM <table> [WHERE ...]
+///
+/// Literals are single-quoted strings ('it''s' escapes a quote),
+/// integers, or doubles. Keywords are case-insensitive. Exactly one
+/// LIKE predicate is allowed and its pattern must be a prefix match
+/// ('...%'). Queries plan through the same index-selection logic as the
+/// typed SelectQuery API. COUNT(*) results come back as a single row
+/// with one int column named "count".
+Result<SqlResult> ExecuteSql(const Database& db, std::string_view sql);
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_SQL_H_

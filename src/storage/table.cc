@@ -1,0 +1,194 @@
+#include "storage/table.h"
+
+namespace provlin::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::CreateIndex(const IndexSpec& spec) {
+  if (spec.columns.empty()) {
+    return Status::InvalidArgument("index '" + spec.name + "' has no columns");
+  }
+  if (HasIndex(spec.name)) {
+    return Status::AlreadyExists("index '" + spec.name + "' already exists");
+  }
+  SecondaryIndex idx;
+  idx.spec = spec;
+  PROVLIN_ASSIGN_OR_RETURN(idx.column_idx,
+                           schema_.ColumnIndices(spec.columns));
+  if (spec.type == IndexType::kBTree) {
+    idx.btree = std::make_unique<BPlusTree>();
+  } else {
+    idx.hash = std::make_unique<HashIndex>();
+  }
+  // Backfill from the heap.
+  for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
+    if (deleted_[rid]) continue;
+    Key key = ExtractKey(rows_[rid], idx);
+    if (idx.btree != nullptr) {
+      idx.btree->Insert(key, rid);
+    } else {
+      idx.hash->Insert(key, rid);
+    }
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+bool Table::HasIndex(std::string_view index_name) const {
+  for (const auto& idx : indexes_) {
+    if (idx.spec.name == index_name) return true;
+  }
+  return false;
+}
+
+std::vector<IndexSpec> Table::indexes() const {
+  std::vector<IndexSpec> out;
+  out.reserve(indexes_.size());
+  for (const auto& idx : indexes_) out.push_back(idx.spec);
+  return out;
+}
+
+Result<uint64_t> Table::Insert(const Row& row) {
+  PROVLIN_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  uint64_t rid = rows_.size();
+  rows_.push_back(row);
+  deleted_.push_back(false);
+  ++live_rows_;
+  ++stats_.inserts;
+  for (auto& idx : indexes_) {
+    Key key = ExtractKey(row, idx);
+    if (idx.btree != nullptr) {
+      idx.btree->Insert(key, rid);
+    } else {
+      idx.hash->Insert(key, rid);
+    }
+  }
+  return rid;
+}
+
+Status Table::Delete(uint64_t rid) {
+  if (rid >= rows_.size() || deleted_[rid]) {
+    return Status::NotFound("row " + std::to_string(rid) + " not found");
+  }
+  for (auto& idx : indexes_) {
+    Key key = ExtractKey(rows_[rid], idx);
+    if (idx.btree != nullptr) {
+      idx.btree->Erase(key, rid);
+    } else {
+      idx.hash->Erase(key, rid);
+    }
+  }
+  deleted_[rid] = true;
+  --live_rows_;
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Result<Row> Table::Get(uint64_t rid) const {
+  if (rid >= rows_.size() || deleted_[rid]) {
+    return Status::NotFound("row " + std::to_string(rid) + " not found");
+  }
+  ++stats_.rows_examined;
+  return rows_[rid];
+}
+
+Result<const Table::SecondaryIndex*> Table::FindIndex(
+    std::string_view index_name) const {
+  for (const auto& idx : indexes_) {
+    if (idx.spec.name == index_name) return &idx;
+  }
+  return Status::NotFound("no index named '" + std::string(index_name) +
+                          "' on table '" + name_ + "'");
+}
+
+Result<std::vector<uint64_t>> Table::IndexLookup(std::string_view index_name,
+                                                 const Key& key) const {
+  PROVLIN_ASSIGN_OR_RETURN(const SecondaryIndex* idx, FindIndex(index_name));
+  if (key.size() != idx->column_idx.size()) {
+    return Status::InvalidArgument(
+        "key arity " + std::to_string(key.size()) + " != index arity " +
+        std::to_string(idx->column_idx.size()));
+  }
+  ++stats_.index_probes;
+  if (idx->btree != nullptr) return idx->btree->Lookup(key);
+  return idx->hash->Lookup(key);
+}
+
+Result<std::vector<uint64_t>> Table::IndexPrefixLookup(
+    std::string_view index_name, const Key& prefix) const {
+  PROVLIN_ASSIGN_OR_RETURN(const SecondaryIndex* idx, FindIndex(index_name));
+  if (idx->btree == nullptr) {
+    return Status::InvalidArgument("prefix lookup requires a BTree index");
+  }
+  if (prefix.size() > idx->column_idx.size()) {
+    return Status::InvalidArgument("prefix longer than index arity");
+  }
+  ++stats_.index_probes;
+  return idx->btree->PrefixLookup(prefix);
+}
+
+Result<std::vector<uint64_t>> Table::IndexRangeLookup(
+    std::string_view index_name, const Key& lo, const Key& hi) const {
+  PROVLIN_ASSIGN_OR_RETURN(const SecondaryIndex* idx, FindIndex(index_name));
+  if (idx->btree == nullptr) {
+    return Status::InvalidArgument("range lookup requires a BTree index");
+  }
+  ++stats_.index_probes;
+  return idx->btree->RangeLookup(lo, hi);
+}
+
+std::vector<uint64_t> Table::FullScan() const {
+  ++stats_.full_scans;
+  std::vector<uint64_t> out;
+  out.reserve(live_rows_);
+  for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
+    ++stats_.rows_examined;
+    if (!deleted_[rid]) out.push_back(rid);
+  }
+  return out;
+}
+
+Key Table::ExtractKey(const Row& row, const SecondaryIndex& idx) const {
+  Key key;
+  key.reserve(idx.column_idx.size());
+  for (size_t c : idx.column_idx) key.push_back(row[c]);
+  return key;
+}
+
+Status Table::CheckIndexConsistency() const {
+  for (const auto& idx : indexes_) {
+    size_t indexed =
+        idx.btree != nullptr ? idx.btree->size() : idx.hash->size();
+    if (indexed != live_rows_) {
+      return Status::Corruption("index '" + idx.spec.name + "' holds " +
+                                std::to_string(indexed) + " entries, heap " +
+                                std::to_string(live_rows_));
+    }
+    if (idx.btree != nullptr) {
+      PROVLIN_RETURN_IF_ERROR(idx.btree->CheckInvariants());
+    }
+    for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
+      if (deleted_[rid]) continue;
+      Key key = ExtractKey(rows_[rid], idx);
+      std::vector<uint64_t> rids = idx.btree != nullptr
+                                       ? idx.btree->Lookup(key)
+                                       : idx.hash->Lookup(key);
+      bool found = false;
+      for (uint64_t r : rids) {
+        if (r == rid) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Corruption("row " + std::to_string(rid) +
+                                  " missing from index '" + idx.spec.name +
+                                  "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace provlin::storage

@@ -1,0 +1,60 @@
+#ifndef PROVLIN_STORAGE_WAL_H_
+#define PROVLIN_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace provlin::storage {
+
+/// CRC-32 (IEEE, reflected) over a byte string.
+uint32_t Crc32(std::string_view data);
+
+/// Append-only write-ahead log. Record framing:
+///
+///   [u32 length | u32 crc32(payload) | payload bytes]
+///
+/// Append() writes and flushes one record. Replay() returns every intact
+/// record in order and stops silently at the first torn or corrupt entry
+/// (the expected state after a crash mid-append), so recovery replays
+/// exactly the committed prefix.
+///
+/// The provenance layer logs every trace-row insert through this, making
+/// provenance capture crash-safe: a run interrupted mid-execution loses
+/// at most the record being written.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(std::string_view payload);
+
+  /// Number of records appended through this handle.
+  uint64_t records_appended() const { return records_appended_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads all intact records from a log file.
+  static Result<std::vector<std::string>> Replay(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace provlin::storage
+
+#endif  // PROVLIN_STORAGE_WAL_H_

@@ -1,0 +1,91 @@
+#include "testbed/gk_workflow.h"
+
+#include "common/random.h"
+#include "engine/builtin_activities.h"
+#include "testbed/kegg_sim.h"
+#include "workflow/builder.h"
+
+namespace provlin::testbed {
+
+using workflow::DataflowBuilder;
+
+Result<std::shared_ptr<const workflow::Dataflow>> MakeGkWorkflow() {
+  DataflowBuilder b("genes2Kegg");
+  b.Input("list_of_geneIDList", PortType::String(2));
+  b.Output("paths_per_gene", PortType::String(2));
+  b.Output("commonPathways", PortType::String(1));
+
+  // Fine-grained front step: iterates down to single gene ids (δ = 2).
+  b.Proc("normalize_gene_ids")
+      .Activity("prefix")
+      .Config("prefix", "mmu:")
+      .In("gene", PortType::String(0))
+      .Out("normalized", PortType::String(0));
+
+  // Left branch: per-sub-list KEGG lookup (δ = 1 on genes_id_list).
+  b.Proc("get_pathways_by_genes")
+      .Activity("kegg_pathways_by_genes")
+      .In("genes_id_list", PortType::String(1))
+      .Out("return", PortType::String(1));
+  b.Proc("getPathwayDescriptions")
+      .Activity("kegg_pathway_descriptions")
+      .In("string", PortType::String(1))
+      .Out("return", PortType::String(1));
+
+  // Right branch: flatten destroys granularity (whole-value processors).
+  b.Proc("merge_gene_lists")
+      .Activity("flatten")
+      .In("lists", PortType::String(2))
+      .Out("merged", PortType::String(1));
+  b.Proc("get_common_pathways")
+      .Activity("kegg_pathways_by_genes")
+      .In("genes_id_list", PortType::String(1))
+      .Out("return", PortType::String(1));
+  b.Proc("describe_common")
+      .Activity("kegg_pathway_descriptions")
+      .In("string", PortType::String(1))
+      .Out("return", PortType::String(1));
+
+  b.Arc("workflow:list_of_geneIDList", "normalize_gene_ids:gene");
+  b.Arc("normalize_gene_ids:normalized",
+        "get_pathways_by_genes:genes_id_list");
+  b.Arc("get_pathways_by_genes:return", "getPathwayDescriptions:string");
+  b.Arc("getPathwayDescriptions:return", "workflow:paths_per_gene");
+  b.Arc("normalize_gene_ids:normalized", "merge_gene_lists:lists");
+  b.Arc("merge_gene_lists:merged", "get_common_pathways:genes_id_list");
+  b.Arc("get_common_pathways:return", "describe_common:string");
+  b.Arc("describe_common:return", "workflow:commonPathways");
+
+  return b.Build();
+}
+
+Result<std::shared_ptr<engine::ActivityRegistry>> MakeGkRegistry(
+    uint64_t seed) {
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  KeggSimulator sim(seed);
+  PROVLIN_RETURN_IF_ERROR(sim.RegisterActivities(registry.get()));
+  return registry;
+}
+
+Value GkSampleInput() {
+  return Value::List({Value::StringList({"20816", "26416"}),
+                      Value::StringList({"328788"})});
+}
+
+Value GkSyntheticInput(int lists, int genes_per_list, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Value> outer;
+  outer.reserve(static_cast<size_t>(lists));
+  for (int i = 0; i < lists; ++i) {
+    std::vector<std::string> genes;
+    genes.reserve(static_cast<size_t>(genes_per_list));
+    for (int j = 0; j < genes_per_list; ++j) {
+      genes.push_back(std::to_string(10000 + rng.Uniform(90000)));
+    }
+    outer.push_back(Value::StringList(genes));
+  }
+  return Value::List(std::move(outer));
+}
+
+}  // namespace provlin::testbed

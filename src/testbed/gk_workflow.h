@@ -1,0 +1,44 @@
+#ifndef PROVLIN_TESTBED_GK_WORKFLOW_H_
+#define PROVLIN_TESTBED_GK_WORKFLOW_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "engine/activity.h"
+#include "values/value.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::testbed {
+
+/// The genes2Kegg (GK) workflow of paper Fig. 1, the "typical short-path
+/// design" of the evaluation:
+///
+///   list_of_geneIDList : list(list(string))
+///     └ normalize_gene_ids        (per-gene, δ=2 — fine-grained)
+///        ├ get_pathways_by_genes  (per sub-list, δ=1)
+///        │   └ getPathwayDescriptions (per sub-list, δ=1)
+///        │       └ paths_per_gene : list(list(string))
+///        └ merge_gene_lists       (flatten, whole-value — coarse)
+///            └ get_common_pathways    (whole list)
+///                └ describe_common    (whole list)
+///                    └ commonPathways : list(string)
+///
+/// The left branch keeps per-sub-list granularity, so
+/// lin(paths_per_gene[i]) maps back to exactly input sub-list i; the
+/// right branch flattens, so lin(commonPathways) depends on all genes —
+/// the paper's motivating example.
+Result<std::shared_ptr<const workflow::Dataflow>> MakeGkWorkflow();
+
+/// Registry with builtins + KEGG simulator activities (seeded).
+Result<std::shared_ptr<engine::ActivityRegistry>> MakeGkRegistry(
+    uint64_t seed = 42);
+
+/// The paper's example input: [[20816, 26416], [328788]] as strings.
+Value GkSampleInput();
+
+/// A synthetic input with `lists` sub-lists of `genes_per_list` gene ids.
+Value GkSyntheticInput(int lists, int genes_per_list, uint64_t seed = 1);
+
+}  // namespace provlin::testbed
+
+#endif  // PROVLIN_TESTBED_GK_WORKFLOW_H_

@@ -1,0 +1,142 @@
+#include "testbed/kegg_sim.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+
+namespace provlin::testbed {
+namespace {
+
+// A fixed pathway universe modelled on real KEGG entries.
+const char* const kPathways[] = {
+    "path:04010", "path:04370", "path:04210", "path:04620", "path:04150",
+    "path:04151", "path:04630", "path:04668", "path:04910", "path:04915",
+    "path:05200", "path:05210", "path:05212", "path:04110", "path:04115",
+    "path:03320", "path:00010", "path:00020", "path:00190", "path:04330",
+};
+const char* const kDescriptions[] = {
+    "MAPK signaling pathway",      "VEGF signaling pathway",
+    "Apoptosis",                   "Toll-like receptor signaling",
+    "mTOR signaling pathway",      "PI3K-Akt signaling pathway",
+    "JAK-STAT signaling pathway",  "TNF signaling pathway",
+    "Insulin signaling pathway",   "Estrogen signaling pathway",
+    "Pathways in cancer",          "Colorectal cancer",
+    "Pancreatic cancer",           "Cell cycle",
+    "p53 signaling pathway",       "PPAR signaling pathway",
+    "Glycolysis / Gluconeogenesis", "Citrate cycle (TCA cycle)",
+    "Oxidative phosphorylation",   "Notch signaling pathway",
+};
+constexpr size_t kNumPathways = sizeof(kPathways) / sizeof(kPathways[0]);
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> KeggSimulator::PathwaysForGene(
+    const std::string& gene) const {
+  Random rng(seed_ ^ HashString(gene));
+  std::set<size_t> picks;
+  picks.insert(0);  // "path:04010 MAPK signaling" is shared by every gene
+  size_t extra = 2 + rng.Uniform(3);
+  while (picks.size() < 1 + extra) {
+    picks.insert(static_cast<size_t>(rng.Uniform(kNumPathways)));
+  }
+  std::vector<std::string> out;
+  for (size_t i : picks) out.push_back(kPathways[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> KeggSimulator::PathwaysForGenes(
+    const std::vector<std::string>& genes) const {
+  std::vector<std::string> common;
+  bool first = true;
+  for (const std::string& gene : genes) {
+    std::vector<std::string> here = PathwaysForGene(gene);
+    if (first) {
+      common = here;
+      first = false;
+      continue;
+    }
+    std::set<std::string> set_here(here.begin(), here.end());
+    std::vector<std::string> kept;
+    for (const std::string& p : common) {
+      if (set_here.count(p) > 0) kept.push_back(p);
+    }
+    common = std::move(kept);
+  }
+  return common;
+}
+
+std::string KeggSimulator::DescribePathway(
+    const std::string& pathway_id) const {
+  for (size_t i = 0; i < kNumPathways; ++i) {
+    if (pathway_id == kPathways[i]) {
+      return pathway_id + " " + kDescriptions[i];
+    }
+  }
+  return pathway_id + " (unknown pathway)";
+}
+
+Status KeggSimulator::RegisterActivities(
+    engine::ActivityRegistry* registry) const {
+  KeggSimulator sim = *this;
+
+  PROVLIN_RETURN_IF_ERROR(registry->Register(
+      "kegg_pathways_by_genes",
+      [sim](const engine::ActivityConfig&)
+          -> Result<std::shared_ptr<engine::Activity>> {
+        return std::shared_ptr<engine::Activity>(new engine::LambdaActivity(
+            [sim](const std::vector<Value>& in)
+                -> Result<std::vector<Value>> {
+              if (in.size() != 1 || !in[0].is_list()) {
+                return Status::InvalidArgument(
+                    "kegg_pathways_by_genes expects one list(string)");
+              }
+              std::vector<std::string> genes;
+              for (const Value& g : in[0].elements()) {
+                if (!g.is_atom() || !g.atom().is_string()) {
+                  return Status::InvalidArgument("gene ids must be strings");
+                }
+                genes.push_back(g.atom().AsString());
+              }
+              return std::vector<Value>{
+                  Value::StringList(sim.PathwaysForGenes(genes))};
+            }));
+      }));
+
+  PROVLIN_RETURN_IF_ERROR(registry->Register(
+      "kegg_pathway_descriptions",
+      [sim](const engine::ActivityConfig&)
+          -> Result<std::shared_ptr<engine::Activity>> {
+        return std::shared_ptr<engine::Activity>(new engine::LambdaActivity(
+            [sim](const std::vector<Value>& in)
+                -> Result<std::vector<Value>> {
+              if (in.size() != 1 || !in[0].is_list()) {
+                return Status::InvalidArgument(
+                    "kegg_pathway_descriptions expects one list(string)");
+              }
+              std::vector<std::string> descs;
+              for (const Value& p : in[0].elements()) {
+                if (!p.is_atom() || !p.atom().is_string()) {
+                  return Status::InvalidArgument(
+                      "pathway ids must be strings");
+                }
+                descs.push_back(sim.DescribePathway(p.atom().AsString()));
+              }
+              return std::vector<Value>{Value::StringList(descs)};
+            }));
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace provlin::testbed

@@ -1,0 +1,46 @@
+#ifndef PROVLIN_TESTBED_KEGG_SIM_H_
+#define PROVLIN_TESTBED_KEGG_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/activity.h"
+
+namespace provlin::testbed {
+
+/// Deterministic stand-in for the KEGG web services used by the
+/// genes2Kegg workflow (paper Fig. 1). The engine treats processors as
+/// black boxes, so only the *shape* of the returned collections matters
+/// for provenance; a seeded synthetic gene→pathway map exercises exactly
+/// the same code paths as the live database (see DESIGN.md,
+/// Substitutions).
+class KeggSimulator {
+ public:
+  explicit KeggSimulator(uint64_t seed = 42) : seed_(seed) {}
+
+  /// Pathways a single gene participates in: one pathway shared by all
+  /// genes (so commonPathways is never empty, as in the paper's example)
+  /// plus 2–4 gene-specific ones, all deterministic in (seed, gene).
+  std::vector<std::string> PathwaysForGene(const std::string& gene) const;
+
+  /// Pathways in which *all* of the given genes are involved (the
+  /// get_pathways_by_genes service): intersection over the gene list.
+  std::vector<std::string> PathwaysForGenes(
+      const std::vector<std::string>& genes) const;
+
+  /// Human-readable description of a pathway id (the
+  /// getPathwayDescriptions service, element-wise).
+  std::string DescribePathway(const std::string& pathway_id) const;
+
+  /// Registers activities:
+  ///   kegg_pathways_by_genes   list(string) -> list(string)
+  ///   kegg_pathway_descriptions list(string) -> list(string)
+  Status RegisterActivities(engine::ActivityRegistry* registry) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace provlin::testbed
+
+#endif  // PROVLIN_TESTBED_KEGG_SIM_H_

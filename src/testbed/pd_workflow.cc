@@ -1,0 +1,103 @@
+#include "testbed/pd_workflow.h"
+
+#include "engine/builtin_activities.h"
+#include "testbed/pubmed_sim.h"
+#include "workflow/builder.h"
+
+namespace provlin::testbed {
+
+using workflow::DataflowBuilder;
+
+Result<std::shared_ptr<const workflow::Dataflow>> MakePdWorkflow(
+    int text_steps) {
+  if (text_steps < 1) {
+    return Status::InvalidArgument("text_steps must be >= 1");
+  }
+  DataflowBuilder b("protein_discovery");
+  b.Input("terms", PortType::String(1));
+  b.Output("discovered_proteins", PortType::String(1));
+
+  b.Proc("normalize_terms")
+      .Activity("to_lower")
+      .In("term", PortType::String(0))
+      .Out("normalized", PortType::String(0));
+  b.Proc("expand_query")
+      .Activity("transform")
+      .Config("tag", "expand")
+      .In("term", PortType::String(0))
+      .Out("expanded", PortType::String(0));
+  b.Proc("search_pubmed")
+      .Activity("pubmed_search")
+      .In("query_terms", PortType::String(1))
+      .Out("abstract_ids", PortType::String(1));
+  b.Proc("fetch_abstract")
+      .Activity("pubmed_fetch")
+      .In("abstract_id", PortType::String(0))
+      .Out("text", PortType::String(0));
+
+  b.Arc("workflow:terms", "normalize_terms:term");
+  b.Arc("normalize_terms:normalized", "expand_query:term");
+  b.Arc("expand_query:expanded", "search_pubmed:query_terms");
+  b.Arc("search_pubmed:abstract_ids", "fetch_abstract:abstract_id");
+
+  // Per-abstract text-processing chain (one-to-one string steps).
+  std::string prev = "fetch_abstract:text";
+  for (int i = 1; i <= text_steps; ++i) {
+    // Built with += to sidestep a GCC 12 -Wrestrict false positive
+    // (PR105329) triggered by chained operator+ on temporaries at -O3.
+    std::string name = "text_step_";
+    name += std::to_string(i);
+    std::string tag = "t";
+    tag += std::to_string(i);
+    std::string port = name;
+    port += ":text";
+    b.Proc(name)
+        .Activity("transform")
+        .Config("tag", tag)
+        .In("text", PortType::String(0))
+        .Out("text", PortType::String(0));
+    b.Arc(prev, port);
+    prev = port;
+  }
+
+  b.Proc("extract_proteins")
+      .Activity("protein_extract")
+      .In("text", PortType::String(0))
+      .Out("proteins", PortType::String(1));
+  b.Proc("merge_hits")
+      .Activity("flatten")
+      .In("hits", PortType::String(2))
+      .Out("merged", PortType::String(1));
+  b.Proc("dedupe")
+      .Activity("unique_list")
+      .In("items", PortType::String(1))
+      .Out("items", PortType::String(1));
+  b.Proc("rank")
+      .Activity("sort_list")
+      .In("items", PortType::String(1))
+      .Out("items", PortType::String(1));
+
+  b.Arc(prev, "extract_proteins:text");
+  b.Arc("extract_proteins:proteins", "merge_hits:hits");
+  b.Arc("merge_hits:merged", "dedupe:items");
+  b.Arc("dedupe:items", "rank:items");
+  b.Arc("rank:items", "workflow:discovered_proteins");
+
+  return b.Build();
+}
+
+Result<std::shared_ptr<engine::ActivityRegistry>> MakePdRegistry(
+    uint64_t seed) {
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  PubmedSimulator sim(seed);
+  PROVLIN_RETURN_IF_ERROR(sim.RegisterActivities(registry.get()));
+  return registry;
+}
+
+Value PdSampleInput() {
+  return Value::StringList(
+      {"apoptosis", "tyrosine kinase", "tumor suppressor"});
+}
+
+}  // namespace provlin::testbed

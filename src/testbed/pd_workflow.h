@@ -1,0 +1,40 @@
+#ifndef PROVLIN_TESTBED_PD_WORKFLOW_H_
+#define PROVLIN_TESTBED_PD_WORKFLOW_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "engine/activity.h"
+#include "values/value.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::testbed {
+
+/// The Protein Discovery (PD) workflow — the paper's "longer workflow
+/// that looks for protein terms in a set of article abstracts from
+/// PubMed", used as the long-path end of the real-workflow spectrum.
+///
+///   terms : list(string)
+///     -> normalize_terms -> expand_query          (per-term steps)
+///     -> search_pubmed                            (whole-list service)
+///     -> fetch_abstract                           (per abstract id)
+///     -> text-processing chain of `text_steps` per-abstract processors
+///     -> extract_proteins                         (per abstract)
+///     -> merge_hits (flatten) -> dedupe -> rank
+///     -> discovered_proteins : list(string)
+///
+/// `text_steps` controls the path length; the default of 22 yields a
+/// ~30-processor workflow matching the PD scale described in §4.
+Result<std::shared_ptr<const workflow::Dataflow>> MakePdWorkflow(
+    int text_steps = 22);
+
+/// Registry with builtins + PubMed simulator activities (seeded).
+Result<std::shared_ptr<engine::ActivityRegistry>> MakePdRegistry(
+    uint64_t seed = 7);
+
+/// A plausible search-term input.
+Value PdSampleInput();
+
+}  // namespace provlin::testbed
+
+#endif  // PROVLIN_TESTBED_PD_WORKFLOW_H_

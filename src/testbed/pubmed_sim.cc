@@ -1,0 +1,142 @@
+#include "testbed/pubmed_sim.h"
+
+#include <set>
+
+#include "common/random.h"
+
+namespace provlin::testbed {
+namespace {
+
+const char* const kProteins[] = {
+    "BRCA1", "TP53",  "EGFR",  "KRAS",  "MYC",   "AKT1",  "PTEN",
+    "RB1",   "VEGFA", "TNF",   "IL6",   "ESR1",  "CDK2",  "MDM2",
+    "STAT3", "JAK2",  "MTOR",  "PIK3CA", "BRAF", "NRAS",
+};
+constexpr size_t kNumProteins = sizeof(kProteins) / sizeof(kProteins[0]);
+
+const char* const kFiller[] = {
+    "study",      "of",        "signaling", "in",        "tumor",
+    "cells",      "suggests",  "that",      "expression", "levels",
+    "correlate",  "with",      "response",  "to",        "treatment",
+};
+constexpr size_t kNumFiller = sizeof(kFiller) / sizeof(kFiller[0]);
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> PubmedSimulator::Search(
+    const std::vector<std::string>& terms) const {
+  std::vector<std::string> ids;
+  for (const std::string& term : terms) {
+    Random rng(seed_ ^ HashString(term));
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back("PMID" + std::to_string(10000000 + rng.Uniform(9000000)));
+    }
+  }
+  return ids;
+}
+
+std::string PubmedSimulator::FetchAbstract(
+    const std::string& abstract_id) const {
+  Random rng(seed_ ^ HashString(abstract_id));
+  size_t mentions = 2 + rng.Uniform(4);
+  std::string text;
+  for (size_t i = 0; i < mentions; ++i) {
+    for (int w = 0; w < 4; ++w) {
+      text += kFiller[rng.Uniform(kNumFiller)];
+      text += ' ';
+    }
+    text += kProteins[rng.Uniform(kNumProteins)];
+    text += ' ';
+  }
+  text += "(" + abstract_id + ")";
+  return text;
+}
+
+std::vector<std::string> PubmedSimulator::ExtractProteins(
+    const std::string& text) const {
+  std::set<std::string> found;
+  for (size_t i = 0; i < kNumProteins; ++i) {
+    if (text.find(kProteins[i]) != std::string::npos) {
+      found.insert(kProteins[i]);
+    }
+  }
+  return std::vector<std::string>(found.begin(), found.end());
+}
+
+Status PubmedSimulator::RegisterActivities(
+    engine::ActivityRegistry* registry) const {
+  PubmedSimulator sim = *this;
+
+  auto expect_string = [](const Value& v) -> Result<std::string> {
+    if (!v.is_atom() || !v.atom().is_string()) {
+      return Status::InvalidArgument("expected a string atom");
+    }
+    return v.atom().AsString();
+  };
+
+  PROVLIN_RETURN_IF_ERROR(registry->Register(
+      "pubmed_search",
+      [sim, expect_string](const engine::ActivityConfig&)
+          -> Result<std::shared_ptr<engine::Activity>> {
+        return std::shared_ptr<engine::Activity>(new engine::LambdaActivity(
+            [sim, expect_string](const std::vector<Value>& in)
+                -> Result<std::vector<Value>> {
+              if (in.size() != 1 || !in[0].is_list()) {
+                return Status::InvalidArgument(
+                    "pubmed_search expects one list(string)");
+              }
+              std::vector<std::string> terms;
+              for (const Value& t : in[0].elements()) {
+                PROVLIN_ASSIGN_OR_RETURN(std::string s, expect_string(t));
+                terms.push_back(std::move(s));
+              }
+              return std::vector<Value>{Value::StringList(sim.Search(terms))};
+            }));
+      }));
+
+  PROVLIN_RETURN_IF_ERROR(registry->Register(
+      "pubmed_fetch",
+      [sim, expect_string](const engine::ActivityConfig&)
+          -> Result<std::shared_ptr<engine::Activity>> {
+        return std::shared_ptr<engine::Activity>(new engine::LambdaActivity(
+            [sim, expect_string](const std::vector<Value>& in)
+                -> Result<std::vector<Value>> {
+              if (in.size() != 1) {
+                return Status::InvalidArgument("pubmed_fetch expects one id");
+              }
+              PROVLIN_ASSIGN_OR_RETURN(std::string id, expect_string(in[0]));
+              return std::vector<Value>{Value::Str(sim.FetchAbstract(id))};
+            }));
+      }));
+
+  PROVLIN_RETURN_IF_ERROR(registry->Register(
+      "protein_extract",
+      [sim, expect_string](const engine::ActivityConfig&)
+          -> Result<std::shared_ptr<engine::Activity>> {
+        return std::shared_ptr<engine::Activity>(new engine::LambdaActivity(
+            [sim, expect_string](const std::vector<Value>& in)
+                -> Result<std::vector<Value>> {
+              if (in.size() != 1) {
+                return Status::InvalidArgument(
+                    "protein_extract expects one text");
+              }
+              PROVLIN_ASSIGN_OR_RETURN(std::string text,
+                                       expect_string(in[0]));
+              return std::vector<Value>{
+                  Value::StringList(sim.ExtractProteins(text))};
+            }));
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace provlin::testbed

@@ -1,0 +1,42 @@
+#ifndef PROVLIN_TESTBED_PUBMED_SIM_H_
+#define PROVLIN_TESTBED_PUBMED_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/activity.h"
+
+namespace provlin::testbed {
+
+/// Deterministic stand-in for the PubMed services used by the BioAid
+/// Protein Discovery (PD) workflow. PD matters to the paper's evaluation
+/// as its "long path" real-life workflow; the simulator produces
+/// synthetic abstracts with embedded protein mentions so every processor
+/// in the long chain has realistic inputs (see DESIGN.md, Substitutions).
+class PubmedSimulator {
+ public:
+  explicit PubmedSimulator(uint64_t seed = 7) : seed_(seed) {}
+
+  /// Abstract ids matching a list of search terms (3 per term).
+  std::vector<std::string> Search(const std::vector<std::string>& terms) const;
+
+  /// Synthetic abstract text for an id; mentions 2–5 protein names drawn
+  /// from a fixed lexicon.
+  std::string FetchAbstract(const std::string& abstract_id) const;
+
+  /// Protein names mentioned in a text (lexicon matching).
+  std::vector<std::string> ExtractProteins(const std::string& text) const;
+
+  /// Registers activities:
+  ///   pubmed_search     list(string) -> list(string)  (whole-list)
+  ///   pubmed_fetch      string -> string              (per element)
+  ///   protein_extract   string -> list(string)        (per element)
+  Status RegisterActivities(engine::ActivityRegistry* registry) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace provlin::testbed
+
+#endif  // PROVLIN_TESTBED_PUBMED_SIM_H_

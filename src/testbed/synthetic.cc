@@ -1,0 +1,62 @@
+#include "testbed/synthetic.h"
+
+#include "workflow/builder.h"
+
+namespace provlin::testbed {
+
+using workflow::DataflowBuilder;
+
+std::string ChainAProc(int k) { return "CHAINA_" + std::to_string(k); }
+std::string ChainBProc(int k) { return "CHAINB_" + std::to_string(k); }
+
+Result<std::shared_ptr<const workflow::Dataflow>> MakeSyntheticWorkflow(
+    int chain_length) {
+  if (chain_length < 1) {
+    return Status::InvalidArgument("chain_length must be >= 1");
+  }
+  DataflowBuilder b("synthetic_l" + std::to_string(chain_length));
+  b.Input("ListSize", PortType::Int(0));
+  b.Output("RESULT", PortType::String(2));
+
+  b.Proc(kListGen)
+      .Activity("list_gen")
+      .Config("item_prefix", "e")
+      .In("size", PortType::Int(0))
+      .Out("list", PortType::String(1));
+  b.Arc("workflow:ListSize", std::string(kListGen) + ":size");
+
+  auto make_chain = [&](const std::string& tag, auto proc_name) {
+    std::string prev = std::string(kListGen) + ":list";
+    for (int k = 1; k <= chain_length; ++k) {
+      std::string name = proc_name(k);
+      b.Proc(name)
+          .Activity("transform")
+          .Config("tag", tag + std::to_string(k))
+          .In("x", PortType::String(0))
+          .Out("y", PortType::String(0));
+      b.Arc(prev, name + ":x");
+      prev = name + ":y";
+    }
+    return prev;
+  };
+  std::string enda = make_chain("a", ChainAProc);
+  std::string endb = make_chain("b", ChainBProc);
+
+  // Binary cross product: both inputs arrive as 1-deep lists on scalar
+  // ports, so the final processor runs d*d elementary invocations and
+  // produces a 2-deep result (Def. 2, top case).
+  b.Proc(kFinal)
+      .Activity("concat2")
+      .In("X1", PortType::String(0))
+      .In("X2", PortType::String(0))
+      .Out("Y", PortType::String(0));
+  b.Arc(enda, std::string(kFinal) + ":X1");
+  b.Arc(endb, std::string(kFinal) + ":X2");
+  b.Arc(std::string(kFinal) + ":Y", "workflow:RESULT");
+
+  return b.Build();
+}
+
+Value SyntheticInput(int d) { return Value::Int(d); }
+
+}  // namespace provlin::testbed

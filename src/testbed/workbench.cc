@@ -1,0 +1,69 @@
+#include "testbed/workbench.h"
+
+#include "engine/builtin_activities.h"
+#include "provenance/recorder.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/pd_workflow.h"
+#include "testbed/synthetic.h"
+
+namespace provlin::testbed {
+
+Result<std::unique_ptr<Workbench>> Workbench::Create(
+    std::shared_ptr<const workflow::Dataflow> flow,
+    std::shared_ptr<engine::ActivityRegistry> registry) {
+  auto wb = std::unique_ptr<Workbench>(new Workbench());
+  wb->db_ = std::make_unique<storage::Database>();
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(wb->db_.get()));
+  wb->store_.emplace(std::move(store));
+  wb->flow_ = std::move(flow);
+  wb->registry_ = std::move(registry);
+  PROVLIN_ASSIGN_OR_RETURN(
+      lineage::IndexProjLineage engine,
+      lineage::IndexProjLineage::Create(wb->flow_, &*wb->store_));
+  wb->index_proj_.emplace(std::move(engine));
+  return wb;
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::Synthetic(int chain_length) {
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
+                           MakeSyntheticWorkflow(chain_length));
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  return Create(std::move(flow), std::move(registry));
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::GK(uint64_t seed) {
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
+                           MakeGkWorkflow());
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<engine::ActivityRegistry> registry,
+                           MakeGkRegistry(seed));
+  return Create(std::move(flow), std::move(registry));
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::PD(int text_steps,
+                                                 uint64_t seed) {
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
+                           MakePdWorkflow(text_steps));
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<engine::ActivityRegistry> registry,
+                           MakePdRegistry(seed));
+  return Create(std::move(flow), std::move(registry));
+}
+
+Result<engine::RunResult> Workbench::Run(
+    const std::map<std::string, Value>& inputs, const std::string& run_id,
+    const engine::ExecuteOptions& options) {
+  provenance::TraceRecorder recorder(&*store_);
+  engine::Executor executor(registry_.get(), &recorder);
+  PROVLIN_ASSIGN_OR_RETURN(engine::RunResult result,
+                           executor.Execute(*flow_, inputs, run_id, options));
+  PROVLIN_RETURN_IF_ERROR(recorder.status());
+  return result;
+}
+
+Result<engine::RunResult> Workbench::RunSynthetic(int d,
+                                                  const std::string& run_id) {
+  return Run({{"ListSize", SyntheticInput(d)}}, run_id);
+}
+
+}  // namespace provlin::testbed

@@ -1,0 +1,125 @@
+#include "values/atom.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace provlin {
+
+std::string_view AtomKindName(AtomKind kind) {
+  switch (kind) {
+    case AtomKind::kNull:
+      return "null";
+    case AtomKind::kString:
+      return "string";
+    case AtomKind::kInt:
+      return "int";
+    case AtomKind::kDouble:
+      return "double";
+    case AtomKind::kBool:
+      return "bool";
+    case AtomKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+AtomKind Atom::kind() const {
+  switch (rep_.index()) {
+    case 0:
+      return AtomKind::kNull;
+    case 1:
+      return AtomKind::kString;
+    case 2:
+      return AtomKind::kInt;
+    case 3:
+      return AtomKind::kDouble;
+    case 4:
+      return AtomKind::kBool;
+    case 5:
+      return AtomKind::kError;
+  }
+  return AtomKind::kNull;
+}
+
+namespace {
+
+std::string DoubleToString(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double parsed = std::strtod(shorter, nullptr);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Atom::ToString() const {
+  switch (kind()) {
+    case AtomKind::kNull:
+      return "null";
+    case AtomKind::kString:
+      return AsString();
+    case AtomKind::kInt:
+      return std::to_string(AsInt());
+    case AtomKind::kDouble:
+      return DoubleToString(AsDouble());
+    case AtomKind::kBool:
+      return AsBool() ? "true" : "false";
+    case AtomKind::kError:
+      return "error: " + AsError();
+  }
+  return "?";
+}
+
+std::string Atom::ToLiteral() const {
+  if (is_error()) {
+    std::string out = "error(\"";
+    for (char c : AsError()) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\")";
+    return out;
+  }
+  if (!is_string()) return ToString();
+  std::string out = "\"";
+  for (char c : AsString()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool Atom::operator<(const Atom& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  return rep_ < other.rep_;
+}
+
+size_t Atom::Hash() const {
+  switch (kind()) {
+    case AtomKind::kNull:
+      return 0x9bf0d3;
+    case AtomKind::kString:
+      return std::hash<std::string>{}(AsString());
+    case AtomKind::kInt:
+      return std::hash<int64_t>{}(AsInt());
+    case AtomKind::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case AtomKind::kBool:
+      return std::hash<bool>{}(AsBool());
+    case AtomKind::kError:
+      return std::hash<std::string>{}(AsError()) ^ 0xE770Full;
+  }
+  return 0;
+}
+
+}  // namespace provlin

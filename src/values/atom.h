@@ -1,0 +1,87 @@
+#ifndef PROVLIN_VALUES_ATOM_H_
+#define PROVLIN_VALUES_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace provlin {
+
+/// The basic (non-list) types S of the dataflow model (paper §2.1).
+enum class AtomKind { kNull = 0, kString, kInt, kDouble, kBool, kError };
+
+std::string_view AtomKindName(AtomKind kind);
+
+/// An atomic workflow value: a member of one of the basic types, or an
+/// *error token* — the Taverna-style marker substituted for a value when
+/// the producing service invocation failed. Error tokens flow through
+/// downstream processors without being consumed, so failures stay
+/// localized to the affected elements and the provenance trace records
+/// exactly which inputs the failure derives from. Lists are represented
+/// by Value, which nests Atoms arbitrarily deep.
+class Atom {
+ public:
+  /// Null atom — used for unbound optional inputs.
+  Atom() : rep_(std::monostate{}) {}
+  explicit Atom(std::string v) : rep_(std::move(v)) {}
+  explicit Atom(const char* v) : rep_(std::string(v)) {}
+  explicit Atom(int64_t v) : rep_(v) {}
+  explicit Atom(double v) : rep_(v) {}
+  explicit Atom(bool v) : rep_(v) {}
+
+  /// An error token carrying a diagnostic message.
+  static Atom Error(std::string message) {
+    Atom a;
+    a.rep_ = ErrorToken{std::move(message)};
+    return a;
+  }
+
+  AtomKind kind() const;
+
+  bool is_null() const { return kind() == AtomKind::kNull; }
+  bool is_string() const { return kind() == AtomKind::kString; }
+  bool is_int() const { return kind() == AtomKind::kInt; }
+  bool is_double() const { return kind() == AtomKind::kDouble; }
+  bool is_bool() const { return kind() == AtomKind::kBool; }
+  bool is_error() const { return kind() == AtomKind::kError; }
+
+  /// Accessors assume the matching kind; checked by assert in debug builds.
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsError() const {
+    return std::get<ErrorToken>(rep_).message;
+  }
+
+  /// Unquoted rendering: strings verbatim, numbers in shortest form,
+  /// booleans as true/false, null as "null".
+  std::string ToString() const;
+
+  /// Quoted rendering suitable for re-parsing inside a list literal:
+  /// strings are double-quoted with backslash escapes.
+  std::string ToLiteral() const;
+
+  bool operator==(const Atom& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  /// Total order: first by kind, then by value — used as a storage key part.
+  bool operator<(const Atom& other) const;
+
+  size_t Hash() const;
+
+ private:
+  struct ErrorToken {
+    std::string message;
+    bool operator==(const ErrorToken& o) const {
+      return message == o.message;
+    }
+    bool operator<(const ErrorToken& o) const { return message < o.message; }
+  };
+
+  std::variant<std::monostate, std::string, int64_t, double, bool, ErrorToken>
+      rep_;
+};
+
+}  // namespace provlin
+
+#endif  // PROVLIN_VALUES_ATOM_H_

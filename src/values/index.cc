@@ -1,0 +1,76 @@
+#include "values/index.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace provlin {
+
+Index Index::Concat(const Index& other) const {
+  std::vector<int32_t> parts = parts_;
+  parts.insert(parts.end(), other.parts_.begin(), other.parts_.end());
+  return Index(std::move(parts));
+}
+
+Index Index::Child(int32_t component) const {
+  std::vector<int32_t> parts = parts_;
+  parts.push_back(component);
+  return Index(std::move(parts));
+}
+
+Index Index::SubIndex(size_t from, size_t len) const {
+  assert(from + len <= parts_.size());
+  return Index(std::vector<int32_t>(parts_.begin() + static_cast<long>(from),
+                                    parts_.begin() +
+                                        static_cast<long>(from + len)));
+}
+
+Index Index::Prefix(size_t len) const { return SubIndex(0, len); }
+
+bool Index::IsPrefixOf(const Index& other) const {
+  if (parts_.size() > other.parts_.size()) return false;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (parts_[i] != other.parts_[i]) return false;
+  }
+  return true;
+}
+
+std::string Index::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(parts_[i] + 1);  // paper uses 1-based indices
+  }
+  out += "]";
+  return out;
+}
+
+std::string Index::Encode() const {
+  std::string out;
+  char buf[8];
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += '.';
+    std::snprintf(buf, sizeof(buf), "%05d", parts_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+Result<Index> Index::Decode(std::string_view encoded) {
+  if (encoded.empty()) return Index::Empty();
+  std::vector<int32_t> parts;
+  for (const std::string& tok : Split(encoded, '.')) {
+    if (tok.size() != 5) {
+      return Status::InvalidArgument("bad index component: '" + tok + "'");
+    }
+    int64_t v = 0;
+    if (!ParseInt64(tok, &v) || v < 0) {
+      return Status::InvalidArgument("bad index component: '" + tok + "'");
+    }
+    parts.push_back(static_cast<int32_t>(v));
+  }
+  return Index(std::move(parts));
+}
+
+}  // namespace provlin

@@ -1,0 +1,71 @@
+#ifndef PROVLIN_VALUES_INDEX_H_
+#define PROVLIN_VALUES_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace provlin {
+
+/// An element index path p = [p1 ... pk] into a nested list value
+/// (paper §2.1: `v[p1...pk]`). Components are 0-based in the API; the
+/// paper's examples are 1-based and the textual rendering follows the
+/// paper for readability.
+///
+/// The empty index `[]` denotes the entire value (coarse granularity).
+class Index {
+ public:
+  Index() = default;
+  explicit Index(std::vector<int32_t> parts) : parts_(std::move(parts)) {}
+  Index(std::initializer_list<int32_t> parts) : parts_(parts) {}
+
+  static Index Empty() { return Index(); }
+
+  bool empty() const { return parts_.empty(); }
+  size_t length() const { return parts_.size(); }
+  int32_t operator[](size_t i) const { return parts_[i]; }
+  const std::vector<int32_t>& parts() const { return parts_; }
+
+  /// Concatenation q = p1 · p2 (Prop. 1 composes output indices this way).
+  Index Concat(const Index& other) const;
+
+  /// Appends one component, returning a new index.
+  Index Child(int32_t component) const;
+
+  /// Contiguous fragment [from, from+len) — the building block of the
+  /// index projection rule (Def. 4). Requires from+len <= length().
+  Index SubIndex(size_t from, size_t len) const;
+
+  /// First `len` components. Requires len <= length().
+  Index Prefix(size_t len) const;
+
+  /// True iff this index is a (non-strict) prefix of `other`:
+  /// [] is a prefix of everything.
+  bool IsPrefixOf(const Index& other) const;
+
+  /// Paper-style rendering with 1-based components: "[1,2]"; "[]" if empty.
+  std::string ToString() const;
+
+  /// Order-preserving fixed-radix encoding for composite storage keys:
+  /// "00001.00002" (0-based components, zero-padded to 5 digits). The
+  /// empty index encodes as "". Lexicographic order of encodings equals
+  /// the natural prefix-then-component order of indices, so B+tree prefix
+  /// scans enumerate all sub-elements of an index.
+  std::string Encode() const;
+
+  /// Inverse of Encode(); rejects malformed strings.
+  static Result<Index> Decode(std::string_view encoded);
+
+  bool operator==(const Index& other) const { return parts_ == other.parts_; }
+  bool operator!=(const Index& other) const { return !(*this == other); }
+  bool operator<(const Index& other) const { return parts_ < other.parts_; }
+
+ private:
+  std::vector<int32_t> parts_;
+};
+
+}  // namespace provlin
+
+#endif  // PROVLIN_VALUES_INDEX_H_

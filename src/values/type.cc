@@ -1,0 +1,79 @@
+#include "values/type.h"
+
+#include "values/value.h"
+
+namespace provlin {
+
+Result<InferredType> InferType(const Value& v) {
+  if (v.is_atom()) {
+    // Error tokens are base-type wildcards: they stand in for a value of
+    // any type, so they infer like empty/null content.
+    if (v.atom().is_error()) return InferredType{AtomKind::kNull, 0};
+    return InferredType{v.atom().kind(), 0};
+  }
+  InferredType agg{AtomKind::kNull, 0};
+  bool first = true;
+  for (const Value& e : v.elements()) {
+    PROVLIN_ASSIGN_OR_RETURN(InferredType et, InferType(e));
+    if (first) {
+      agg = et;
+      first = false;
+      continue;
+    }
+    if (et.depth != agg.depth) {
+      return Status::InvalidArgument("non-uniform nesting depth in value " +
+                                     v.ToString());
+    }
+    if (agg.base == AtomKind::kNull) {
+      agg.base = et.base;
+    } else if (et.base != AtomKind::kNull && et.base != agg.base) {
+      return Status::InvalidArgument("mixed atom kinds in value " +
+                                     v.ToString());
+    }
+  }
+  return InferredType{agg.base, agg.depth + 1};
+}
+
+PortType PortType::Nested(int levels) const {
+  PortType t = *this;
+  t.depth = depth + levels;
+  if (t.depth < 0) t.depth = 0;
+  return t;
+}
+
+std::string PortType::ToString() const {
+  std::string out;
+  for (int i = 0; i < depth; ++i) out += "list(";
+  out += AtomKindName(base);
+  for (int i = 0; i < depth; ++i) out += ")";
+  return out;
+}
+
+Result<PortType> PortType::Parse(std::string_view text) {
+  int d = 0;
+  std::string_view rest = text;
+  while (rest.size() >= 5 && rest.substr(0, 5) == "list(") {
+    if (rest.back() != ')') {
+      return Status::InvalidArgument("unbalanced list() in type: " +
+                                     std::string(text));
+    }
+    rest = rest.substr(5, rest.size() - 6);
+    ++d;
+  }
+  PortType t;
+  t.depth = d;
+  if (rest == "string") {
+    t.base = AtomKind::kString;
+  } else if (rest == "int") {
+    t.base = AtomKind::kInt;
+  } else if (rest == "double") {
+    t.base = AtomKind::kDouble;
+  } else if (rest == "bool") {
+    t.base = AtomKind::kBool;
+  } else {
+    return Status::InvalidArgument("unknown base type: " + std::string(rest));
+  }
+  return t;
+}
+
+}  // namespace provlin

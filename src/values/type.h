@@ -1,0 +1,54 @@
+#ifndef PROVLIN_VALUES_TYPE_H_
+#define PROVLIN_VALUES_TYPE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "values/atom.h"
+
+namespace provlin {
+
+class Value;
+
+/// Declared type of a port (paper §2.1): a basic type from S, or
+/// list(τ) nested to arbitrary depth. `depth` is the paper's declared
+/// depth dd(X): 0 for a basic type, k for list^k(basic).
+struct PortType {
+  AtomKind base = AtomKind::kString;
+  int depth = 0;
+
+  static PortType String(int d = 0) { return {AtomKind::kString, d}; }
+  static PortType Int(int d = 0) { return {AtomKind::kInt, d}; }
+  static PortType Double(int d = 0) { return {AtomKind::kDouble, d}; }
+  static PortType Bool(int d = 0) { return {AtomKind::kBool, d}; }
+
+  /// Adds `levels` of list nesting (may be negative to peel levels;
+  /// clamped at 0).
+  PortType Nested(int levels) const;
+
+  /// Paper notation, e.g. "list(list(string))".
+  std::string ToString() const;
+
+  /// Parses the paper notation; rejects malformed strings.
+  static Result<PortType> Parse(std::string_view text);
+
+  bool operator==(const PortType& other) const {
+    return base == other.base && depth == other.depth;
+  }
+};
+
+/// Actual depth of a value (paper: depth(v)); requires uniform nesting,
+/// which InferType checks.
+struct InferredType {
+  AtomKind base = AtomKind::kNull;  // kNull when the value has no atoms
+  int depth = 0;
+};
+
+/// Computes the actual type/depth of `v`, verifying the model's
+/// assumption that all elements of a list sit at the same depth.
+/// Empty lists infer base kNull at the observed nesting depth.
+Result<InferredType> InferType(const Value& v);
+
+}  // namespace provlin
+
+#endif  // PROVLIN_VALUES_TYPE_H_

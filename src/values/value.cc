@@ -1,0 +1,139 @@
+#include "values/value.h"
+
+#include <cassert>
+
+#include "values/type.h"
+
+namespace provlin {
+
+Value Value::List(std::vector<Value> elems) {
+  Value v;
+  v.kind_ = Kind::kList;
+  v.elems_ = std::move(elems);
+  return v;
+}
+
+Value Value::StringList(const std::vector<std::string>& items) {
+  std::vector<Value> elems;
+  elems.reserve(items.size());
+  for (const std::string& s : items) elems.push_back(Value::Str(s));
+  return List(std::move(elems));
+}
+
+const Atom& Value::atom() const {
+  assert(is_atom());
+  return atom_;
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(is_list());
+  return elems_;
+}
+
+int Value::depth() const {
+  if (is_atom()) return 0;
+  if (elems_.empty()) return 1;
+  return 1 + elems_.front().depth();
+}
+
+Result<Value> Value::At(const Index& idx) const {
+  const Value* cur = this;
+  for (size_t i = 0; i < idx.length(); ++i) {
+    if (!cur->is_list()) {
+      return Status::OutOfRange("index " + idx.ToString() +
+                                " descends into an atom");
+    }
+    int32_t c = idx[i];
+    if (c < 0 || static_cast<size_t>(c) >= cur->elems_.size()) {
+      return Status::OutOfRange("index " + idx.ToString() +
+                                " out of range at component " +
+                                std::to_string(i));
+    }
+    cur = &cur->elems_[static_cast<size_t>(c)];
+  }
+  return *cur;
+}
+
+size_t Value::TotalAtoms() const {
+  if (is_atom()) return 1;
+  size_t n = 0;
+  for (const Value& e : elems_) n += e.TotalAtoms();
+  return n;
+}
+
+bool Value::ContainsError() const {
+  if (is_atom()) return atom_.is_error();
+  for (const Value& e : elems_) {
+    if (e.ContainsError()) return true;
+  }
+  return false;
+}
+
+std::string Value::FirstError() const {
+  if (is_atom()) return atom_.is_error() ? atom_.AsError() : std::string();
+  for (const Value& e : elems_) {
+    std::string msg = e.FirstError();
+    if (!msg.empty()) return msg;
+  }
+  return std::string();
+}
+
+namespace {
+
+void CollectLeaves(const Value& v, const Index& at, std::vector<Index>* out) {
+  if (v.is_atom()) {
+    out->push_back(at);
+    return;
+  }
+  const auto& elems = v.elements();
+  for (size_t i = 0; i < elems.size(); ++i) {
+    CollectLeaves(elems[i], at.Child(static_cast<int32_t>(i)), out);
+  }
+}
+
+void CollectAtLevel(const Value& v, const Index& at, size_t remaining,
+                    std::vector<Index>* out) {
+  if (remaining == 0) {
+    out->push_back(at);
+    return;
+  }
+  if (v.is_atom()) return;  // cannot descend further
+  const auto& elems = v.elements();
+  for (size_t i = 0; i < elems.size(); ++i) {
+    CollectAtLevel(elems[i], at.Child(static_cast<int32_t>(i)), remaining - 1,
+                   out);
+  }
+}
+
+}  // namespace
+
+std::vector<Index> Value::LeafIndices() const {
+  std::vector<Index> out;
+  CollectLeaves(*this, Index::Empty(), &out);
+  return out;
+}
+
+std::vector<Index> Value::IndicesAtLevel(size_t len) const {
+  std::vector<Index> out;
+  CollectAtLevel(*this, Index::Empty(), len, &out);
+  return out;
+}
+
+std::string Value::ToString() const {
+  if (is_atom()) return atom_.ToLiteral();
+  std::string out = "[";
+  for (size_t i = 0; i < elems_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += elems_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  if (is_atom()) return atom_ == other.atom_;
+  return elems_ == other.elems_;
+}
+
+}  // namespace provlin

@@ -1,0 +1,132 @@
+#include "values/value_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace provlin {
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Parse() {
+    SkipSpace();
+    PROVLIN_ASSIGN_OR_RETURN(Value v, ParseOne());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  Result<Value> ParseOne() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '[') return ParseList();
+    if (c == '"') return ParseQuoted();
+    if (text_.substr(pos_).rfind("error(\"", 0) == 0) return ParseError();
+    return ParseBare();
+  }
+
+  Result<Value> ParseList() {
+    ++pos_;  // consume '['
+    std::vector<Value> elems;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value::List(std::move(elems));
+    }
+    while (true) {
+      PROVLIN_ASSIGN_OR_RETURN(Value v, ParseOne());
+      elems.push_back(std::move(v));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated list");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value::List(std::move(elems));
+      }
+      return Status::InvalidArgument("expected ',' or ']' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Result<Value> ParseQuoted() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("dangling escape");
+        }
+        out += text_[pos_++];
+      } else if (c == '"') {
+        return Value::Str(std::move(out));
+      } else {
+        out += c;
+      }
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Value> ParseError() {
+    pos_ += 6;  // consume 'error('
+    PROVLIN_ASSIGN_OR_RETURN(Value msg, ParseQuoted());
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Status::InvalidArgument("unterminated error literal");
+    }
+    ++pos_;
+    return Value::Error(msg.atom().AsString());
+  }
+
+  Result<Value> ParseBare() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != ']' &&
+           text_[pos_] != '[') {
+      ++pos_;
+    }
+    std::string_view tok = Trim(text_.substr(start, pos_ - start));
+    if (tok.empty()) {
+      return Status::InvalidArgument("empty token at offset " +
+                                     std::to_string(start));
+    }
+    if (tok == "true") return Value::Boolean(true);
+    if (tok == "false") return Value::Boolean(false);
+    if (tok == "null") return Value::Null();
+    int64_t i;
+    if (ParseInt64(tok, &i)) return Value::Int(i);
+    double d;
+    if (ParseDouble(tok, &d)) return Value::Dbl(d);
+    return Value::Str(std::string(tok));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> ParseValue(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace provlin

@@ -1,0 +1,24 @@
+#ifndef PROVLIN_VALUES_VALUE_PARSER_H_
+#define PROVLIN_VALUES_VALUE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "values/value.h"
+
+namespace provlin {
+
+/// Parses a value literal as produced by Value::ToString():
+///   - double-quoted strings with backslash escapes: "foo \"bar\""
+///   - integers: 42, -7
+///   - doubles: 3.14, -2e10
+///   - booleans: true, false
+///   - null
+///   - nested lists: [ v1, v2, ... ]
+/// Bare words (unquoted tokens that are not numbers/bools/null) parse as
+/// strings, which keeps hand-written example inputs terse.
+Result<Value> ParseValue(std::string_view text);
+
+}  // namespace provlin
+
+#endif  // PROVLIN_VALUES_VALUE_PARSER_H_

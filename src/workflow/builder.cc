@@ -1,0 +1,112 @@
+#include "workflow/builder.h"
+
+#include "workflow/validate.h"
+
+namespace provlin::workflow {
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Activity(
+    std::string activity) {
+  p_->activity = std::move(activity);
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::In(
+    std::string port, PortType type) {
+  p_->inputs.push_back(Port{std::move(port), type});
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Out(
+    std::string port, PortType type) {
+  p_->outputs.push_back(Port{std::move(port), type});
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Config(
+    std::string key, std::string value) {
+  p_->config[std::move(key)] = std::move(value);
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Strategy(
+    IterationStrategy strategy) {
+  p_->strategy = strategy;
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::StrategyTree(
+    StrategyNode tree) {
+  p_->strategy_tree = std::move(tree);
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Default(
+    std::string port, Value value) {
+  p_->defaults.emplace(std::move(port), std::move(value));
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder& DataflowBuilder::ProcBuilder::Nested(
+    std::shared_ptr<const Dataflow> sub) {
+  p_->sub_dataflow = std::move(sub);
+  if (p_->activity.empty()) p_->activity = "nested";
+  return *this;
+}
+
+DataflowBuilder::DataflowBuilder(std::string name)
+    : flow_(std::make_unique<Dataflow>(std::move(name))) {}
+
+DataflowBuilder& DataflowBuilder::Input(std::string port, PortType type) {
+  flow_->AddInput(Port{std::move(port), type});
+  return *this;
+}
+
+DataflowBuilder& DataflowBuilder::Output(std::string port, PortType type) {
+  flow_->AddOutput(Port{std::move(port), type});
+  return *this;
+}
+
+DataflowBuilder::ProcBuilder DataflowBuilder::Proc(std::string name) {
+  Processor p;
+  p.name = std::move(name);
+  flow_->AddProcessor(std::move(p));
+  return ProcBuilder(
+      const_cast<Processor*>(&flow_->processors().back()));
+}
+
+DataflowBuilder& DataflowBuilder::Arc(std::string_view src,
+                                      std::string_view dst) {
+  if (!deferred_error_.ok()) return *this;
+  auto s = ParsePortRef(src);
+  if (!s.ok()) {
+    deferred_error_ = s.status();
+    return *this;
+  }
+  auto d = ParsePortRef(dst);
+  if (!d.ok()) {
+    deferred_error_ = d.status();
+    return *this;
+  }
+  Status st = flow_->AddArc(s.value(), d.value());
+  if (!st.ok()) deferred_error_ = st;
+  return *this;
+}
+
+Result<std::shared_ptr<const Dataflow>> DataflowBuilder::Build() {
+  PROVLIN_RETURN_IF_ERROR(deferred_error_);
+  PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<Dataflow> flat, flow_->Flatten());
+  PROVLIN_RETURN_IF_ERROR(Validate(*flat));
+  return std::shared_ptr<const Dataflow>(std::move(flat));
+}
+
+Result<PortRef> ParsePortRef(std::string_view text) {
+  size_t pos = text.find(':');
+  if (pos == std::string_view::npos || pos == 0 || pos + 1 >= text.size()) {
+    return Status::InvalidArgument("malformed port reference '" +
+                                   std::string(text) + "' (expected P:X)");
+  }
+  return PortRef{std::string(text.substr(0, pos)),
+                 std::string(text.substr(pos + 1))};
+}
+
+}  // namespace provlin::workflow

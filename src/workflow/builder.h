@@ -1,0 +1,71 @@
+#ifndef PROVLIN_WORKFLOW_BUILDER_H_
+#define PROVLIN_WORKFLOW_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Fluent construction API for dataflows. Example:
+///
+///   DataflowBuilder b("genes2kegg");
+///   b.Input("ids", PortType::String(2));
+///   b.Proc("lookup").Activity("kegg").In("genes", PortType::String(1))
+///       .Out("return", PortType::String(1));
+///   b.Output("paths", PortType::String(2));
+///   b.Arc("workflow:ids", "lookup:genes");
+///   b.Arc("lookup:return", "workflow:paths");
+///   auto flow = b.Build();   // flattens + validates
+class DataflowBuilder {
+ public:
+  /// Scoped helper returned by Proc(); mutates the processor in place.
+  class ProcBuilder {
+   public:
+    ProcBuilder& Activity(std::string activity);
+    ProcBuilder& In(std::string port, PortType type);
+    ProcBuilder& Out(std::string port, PortType type);
+    ProcBuilder& Config(std::string key, std::string value);
+    ProcBuilder& Strategy(IterationStrategy strategy);
+    /// Sets a full iteration-strategy expression, e.g.
+    /// StrategyNode::Parse("cross(a,dot(b,c))").
+    ProcBuilder& StrategyTree(StrategyNode tree);
+    ProcBuilder& Default(std::string port, Value value);
+    /// Makes this processor a nested dataflow.
+    ProcBuilder& Nested(std::shared_ptr<const Dataflow> sub);
+
+   private:
+    friend class DataflowBuilder;
+    explicit ProcBuilder(Processor* p) : p_(p) {}
+    Processor* p_;
+  };
+
+  explicit DataflowBuilder(std::string name);
+
+  DataflowBuilder& Input(std::string port, PortType type);
+  DataflowBuilder& Output(std::string port, PortType type);
+
+  /// Adds a processor and returns a scoped builder for it. The returned
+  /// object is only valid until the next Proc() call.
+  ProcBuilder Proc(std::string name);
+
+  /// Adds an arc given "P:X" endpoint strings ("workflow:port" for the
+  /// dataflow's own ports). Errors are deferred to Build().
+  DataflowBuilder& Arc(std::string_view src, std::string_view dst);
+
+  /// Flattens, validates and returns the dataflow.
+  Result<std::shared_ptr<const Dataflow>> Build();
+
+ private:
+  std::unique_ptr<Dataflow> flow_;
+  Status deferred_error_;
+};
+
+/// Parses "P:X" into a PortRef; "workflow:X" targets the pseudo-processor.
+Result<PortRef> ParsePortRef(std::string_view text);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_BUILDER_H_

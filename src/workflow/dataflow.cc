@@ -1,0 +1,242 @@
+#include "workflow/dataflow.h"
+
+#include <algorithm>
+
+namespace provlin::workflow {
+
+const Port* Processor::FindInput(std::string_view port) const {
+  for (const Port& p : inputs) {
+    if (p.name == port) return &p;
+  }
+  return nullptr;
+}
+
+const Port* Processor::FindOutput(std::string_view port) const {
+  for (const Port& p : outputs) {
+    if (p.name == port) return &p;
+  }
+  return nullptr;
+}
+
+StrategyNode Processor::EffectiveStrategy() const {
+  if (strategy_tree.has_value()) return *strategy_tree;
+  std::vector<StrategyNode> leaves;
+  leaves.reserve(inputs.size());
+  for (const Port& in : inputs) leaves.push_back(StrategyNode::Port(in.name));
+  return strategy == IterationStrategy::kCross
+             ? StrategyNode::Cross(std::move(leaves))
+             : StrategyNode::Dot(std::move(leaves));
+}
+
+std::optional<size_t> Processor::InputOrdinal(std::string_view port) const {
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].name == port) return i;
+  }
+  return std::nullopt;
+}
+
+Status Dataflow::AddArc(const PortRef& src, const PortRef& dst) {
+  // Destination ports accept at most one incoming arc (Taverna model).
+  for (const Arc& a : arcs_) {
+    if (a.dst == dst) {
+      return Status::AlreadyExists("port " + dst.ToString() +
+                                   " already has an incoming arc");
+    }
+  }
+  arcs_.push_back(Arc{src, dst});
+  return Status::OK();
+}
+
+const Processor* Dataflow::FindProcessor(std::string_view name) const {
+  for (const Processor& p : processors_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Port* Dataflow::FindWorkflowInput(std::string_view name) const {
+  for (const Port& p : inputs_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Port* Dataflow::FindWorkflowOutput(std::string_view name) const {
+  for (const Port& p : outputs_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const Arc*> Dataflow::ArcsInto(const PortRef& ref) const {
+  std::vector<const Arc*> out;
+  for (const Arc& a : arcs_) {
+    if (a.dst == ref) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<const Arc*> Dataflow::ArcsFrom(const PortRef& ref) const {
+  std::vector<const Arc*> out;
+  for (const Arc& a : arcs_) {
+    if (a.src == ref) out.push_back(&a);
+  }
+  return out;
+}
+
+Result<PortType> Dataflow::PortDeclaredType(const PortRef& ref,
+                                            bool as_destination) const {
+  if (ref.processor == kWorkflowProcessor) {
+    // As an arc source, a workflow port is an *input* of the dataflow;
+    // as a destination it is an *output*.
+    const Port* p = as_destination ? FindWorkflowOutput(ref.port)
+                                   : FindWorkflowInput(ref.port);
+    if (p == nullptr) {
+      return Status::NotFound("no workflow port '" + ref.port + "'");
+    }
+    return p->declared_type;
+  }
+  const Processor* proc = FindProcessor(ref.processor);
+  if (proc == nullptr) {
+    return Status::NotFound("no processor '" + ref.processor + "'");
+  }
+  const Port* p =
+      as_destination ? proc->FindInput(ref.port) : proc->FindOutput(ref.port);
+  if (p == nullptr) {
+    return Status::NotFound("no port " + ref.ToString());
+  }
+  return p->declared_type;
+}
+
+namespace {
+
+/// During flattening, an inner workflow-input port resolves to either an
+/// outer arc source or an outer default value (or nothing, when the
+/// outer port is simply unconnected).
+struct InputOrigin {
+  std::optional<PortRef> source;
+  std::optional<Value> default_value;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Dataflow>> Dataflow::Flatten() const {
+  bool has_nested = std::any_of(
+      processors_.begin(), processors_.end(),
+      [](const Processor& p) { return p.sub_dataflow != nullptr; });
+
+  auto out = std::make_shared<Dataflow>(name_);
+  for (const Port& p : inputs_) out->AddInput(p);
+  for (const Port& p : outputs_) out->AddOutput(p);
+  if (!has_nested) {
+    for (const Processor& p : processors_) out->AddProcessor(p);
+    for (const Arc& a : arcs_) {
+      PROVLIN_RETURN_IF_ERROR(out->AddArc(a.src, a.dst));
+    }
+    return out;
+  }
+
+  // Maps an original arc endpoint to its flattened replacement(s).
+  // For a nested processor N with sub-dataflow S:
+  //   * arcs INTO (N, in)  continue to S's consumers of workflow:in;
+  //   * arcs FROM (N, out) originate from S's producer of workflow:out.
+  for (const Processor& p : processors_) {
+    if (p.sub_dataflow == nullptr) {
+      out->AddProcessor(p);
+      continue;
+    }
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<Dataflow> inner,
+                             p.sub_dataflow->Flatten());
+    for (const Processor& ip : inner->processors()) {
+      Processor renamed = ip;
+      renamed.name = p.name + "." + ip.name;
+      out->AddProcessor(std::move(renamed));
+    }
+  }
+
+  // Resolves the flattened source of an endpoint used as an arc SOURCE.
+  auto resolve_source =
+      [&](const PortRef& ref) -> Result<std::vector<PortRef>> {
+    if (ref.processor == kWorkflowProcessor) return std::vector<PortRef>{ref};
+    const Processor* proc = FindProcessor(ref.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("arc source processor '" + ref.processor + "'");
+    }
+    if (proc->sub_dataflow == nullptr) return std::vector<PortRef>{ref};
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<Dataflow> inner,
+                             proc->sub_dataflow->Flatten());
+    // The inner arc(s) into workflow:<ref.port> give the true producers.
+    std::vector<PortRef> sources;
+    for (const Arc& ia : inner->arcs()) {
+      if (ia.dst.processor == kWorkflowProcessor && ia.dst.port == ref.port) {
+        if (ia.src.processor == kWorkflowProcessor) {
+          return Status::Unimplemented(
+              "pass-through nested workflow port: " + ref.ToString());
+        }
+        sources.push_back(
+            PortRef{ref.processor + "." + ia.src.processor, ia.src.port});
+      }
+    }
+    if (sources.empty()) {
+      return Status::NotFound("nested workflow output '" + ref.ToString() +
+                              "' has no inner producer");
+    }
+    return sources;
+  };
+
+  // Resolves the flattened destination(s) of an endpoint used as an arc
+  // DESTINATION.
+  auto resolve_dest = [&](const PortRef& ref) -> Result<std::vector<PortRef>> {
+    if (ref.processor == kWorkflowProcessor) return std::vector<PortRef>{ref};
+    const Processor* proc = FindProcessor(ref.processor);
+    if (proc == nullptr) {
+      return Status::NotFound("arc dest processor '" + ref.processor + "'");
+    }
+    if (proc->sub_dataflow == nullptr) return std::vector<PortRef>{ref};
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<Dataflow> inner,
+                             proc->sub_dataflow->Flatten());
+    std::vector<PortRef> dests;
+    for (const Arc& ia : inner->arcs()) {
+      if (ia.src.processor == kWorkflowProcessor && ia.src.port == ref.port) {
+        if (ia.dst.processor == kWorkflowProcessor) {
+          return Status::Unimplemented(
+              "pass-through nested workflow port: " + ref.ToString());
+        }
+        dests.push_back(
+            PortRef{ref.processor + "." + ia.dst.processor, ia.dst.port});
+      }
+    }
+    return dests;  // may be empty: unconsumed nested input
+  };
+
+  // Splice outer arcs across nested boundaries.
+  for (const Arc& a : arcs_) {
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<PortRef> srcs, resolve_source(a.src));
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<PortRef> dsts, resolve_dest(a.dst));
+    for (const PortRef& s : srcs) {
+      for (const PortRef& d : dsts) {
+        PROVLIN_RETURN_IF_ERROR(out->AddArc(s, d));
+      }
+    }
+  }
+
+  // Re-create purely internal arcs of each nested dataflow.
+  for (const Processor& p : processors_) {
+    if (p.sub_dataflow == nullptr) continue;
+    PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<Dataflow> inner,
+                             p.sub_dataflow->Flatten());
+    for (const Arc& ia : inner->arcs()) {
+      if (ia.src.processor == kWorkflowProcessor ||
+          ia.dst.processor == kWorkflowProcessor) {
+        continue;  // boundary arcs were spliced above
+      }
+      PROVLIN_RETURN_IF_ERROR(
+          out->AddArc(PortRef{p.name + "." + ia.src.processor, ia.src.port},
+                      PortRef{p.name + "." + ia.dst.processor, ia.dst.port}));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,144 @@
+#ifndef PROVLIN_WORKFLOW_DATAFLOW_H_
+#define PROVLIN_WORKFLOW_DATAFLOW_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "values/type.h"
+#include "values/value.h"
+#include "workflow/iteration_strategy.h"
+
+namespace provlin::workflow {
+
+/// Reserved processor name denoting the dataflow itself: arcs from
+/// ("workflow", in) feed user-supplied inputs into the graph, arcs into
+/// ("workflow", out) collect results (paper §2.3 writes e.g.
+/// ⟨workflow:paths_per_gene[1]⟩).
+inline constexpr const char* kWorkflowProcessor = "workflow";
+
+/// A named, typed port. The declared type's depth is the paper's dd(X).
+struct Port {
+  std::string name;
+  PortType declared_type;
+
+  int dd() const { return declared_type.depth; }
+};
+
+/// How a processor combines multiple iterated input lists (§3.2):
+/// kCross is Taverna's default generalized cross product (Def. 2);
+/// kDot is the "zip" combinator of footnote 7 (equal-shape element-wise
+/// pairing) — an extension beyond the paper's main scope, with its own
+/// index-projection rule.
+enum class IterationStrategy { kCross, kDot };
+
+/// A workflow step: black-box activity with ordered input/output ports.
+/// `activity` names the behaviour in the engine's ActivityRegistry;
+/// `config` carries activity parameters (treated as part of the black
+/// box, not as data inputs). A processor may instead wrap a nested
+/// dataflow (`sub_dataflow`), which Flatten() inlines.
+struct Processor {
+  std::string name;
+  std::vector<Port> inputs;   // ordered — index projection depends on it
+  std::vector<Port> outputs;
+  std::string activity;
+  std::map<std::string, std::string> config;
+  IterationStrategy strategy = IterationStrategy::kCross;
+  /// Optional iteration-strategy *expression* (footnote 7) combining
+  /// cross and dot over the input ports, e.g. cross(a, dot(b, c)).
+  /// When absent, `strategy` applies flatly over all inputs in order.
+  std::optional<StrategyNode> strategy_tree;
+  /// Default bindings for input ports with no incoming arc (§2.1).
+  std::map<std::string, Value> defaults;
+  /// Set when this processor is itself a dataflow (hierarchical nesting).
+  std::shared_ptr<const class Dataflow> sub_dataflow;
+
+  const Port* FindInput(std::string_view port) const;
+  /// The strategy expression in effect: `strategy_tree` when set,
+  /// otherwise the flat `strategy` over all input ports in order.
+  StrategyNode EffectiveStrategy() const;
+  const Port* FindOutput(std::string_view port) const;
+  /// Ordinal of the named input port.
+  std::optional<size_t> InputOrdinal(std::string_view port) const;
+};
+
+/// One end of an arc: "P:X". `processor` may be kWorkflowProcessor.
+struct PortRef {
+  std::string processor;
+  std::string port;
+
+  std::string ToString() const { return processor + ":" + port; }
+  bool operator==(const PortRef& o) const {
+    return processor == o.processor && port == o.port;
+  }
+  bool operator<(const PortRef& o) const {
+    return processor != o.processor ? processor < o.processor : port < o.port;
+  }
+};
+
+/// Data dependency src -> dst (paper §2.1).
+struct Arc {
+  PortRef src;
+  PortRef dst;
+
+  std::string ToString() const {
+    return src.ToString() + " -> " + dst.ToString();
+  }
+};
+
+/// A dataflow specification D = (N, E) plus its own typed input/output
+/// ports. Construction is typically via DataflowBuilder; Validate()
+/// checks well-formedness and Flatten() inlines nested sub-dataflows so
+/// the execution engine and the lineage algorithms always see one graph.
+class Dataflow {
+ public:
+  explicit Dataflow(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void AddInput(Port port) { inputs_.push_back(std::move(port)); }
+  void AddOutput(Port port) { outputs_.push_back(std::move(port)); }
+  void AddProcessor(Processor p) { processors_.push_back(std::move(p)); }
+  Status AddArc(const PortRef& src, const PortRef& dst);
+
+  const std::vector<Port>& inputs() const { return inputs_; }
+  const std::vector<Port>& outputs() const { return outputs_; }
+  const std::vector<Processor>& processors() const { return processors_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  const Processor* FindProcessor(std::string_view name) const;
+  const Port* FindWorkflowInput(std::string_view name) const;
+  const Port* FindWorkflowOutput(std::string_view name) const;
+
+  /// Arcs whose destination is `ref` (at most one by validation) /
+  /// whose source is `ref`.
+  std::vector<const Arc*> ArcsInto(const PortRef& ref) const;
+  std::vector<const Arc*> ArcsFrom(const PortRef& ref) const;
+
+  /// Declared type of any port reachable by a PortRef, including the
+  /// workflow pseudo-processor's ports.
+  Result<PortType> PortDeclaredType(const PortRef& ref,
+                                    bool as_destination) const;
+
+  /// Number of processor nodes (the paper's "total number of nodes").
+  size_t num_processors() const { return processors_.size(); }
+
+  /// Recursively inlines nested sub-dataflows. Inner processors are
+  /// renamed "<outer>.<inner>"; arcs through the nested workflow's ports
+  /// are spliced end-to-end. The result contains no sub_dataflow nodes.
+  Result<std::shared_ptr<Dataflow>> Flatten() const;
+
+ private:
+  std::string name_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  std::vector<Processor> processors_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_DATAFLOW_H_

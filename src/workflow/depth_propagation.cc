@@ -1,0 +1,144 @@
+#include "workflow/depth_propagation.h"
+
+#include <algorithm>
+
+#include "workflow/graph.h"
+
+namespace provlin::workflow {
+
+const ProcessorDepths& DepthMap::ForProcessor(const std::string& name) const {
+  auto it = per_processor_.find(name);
+  return it == per_processor_.end() ? empty_ : it->second;
+}
+
+Result<int> DepthMap::PortDepth(const PortRef& ref, bool is_input) const {
+  if (ref.processor == kWorkflowProcessor) {
+    const auto& m = is_input ? workflow_input_depths_ : workflow_output_depths_;
+    auto it = m.find(ref.port);
+    if (it == m.end()) {
+      return Status::NotFound("no workflow port '" + ref.port + "'");
+    }
+    return it->second;
+  }
+  const auto& m = is_input ? input_depth_by_name_ : output_depth_by_name_;
+  auto it = m.find({ref.processor, ref.port});
+  if (it == m.end()) {
+    return Status::NotFound("no depth recorded for port " + ref.ToString());
+  }
+  return it->second;
+}
+
+Result<int> DepthMap::InputDelta(const std::string& proc,
+                                 size_t input_ordinal) const {
+  auto it = per_processor_.find(proc);
+  if (it == per_processor_.end()) {
+    return Status::NotFound("no processor '" + proc + "'");
+  }
+  if (input_ordinal >= it->second.input_deltas.size()) {
+    return Status::OutOfRange("input ordinal out of range for '" + proc +
+                              "'");
+  }
+  return it->second.input_deltas[input_ordinal];
+}
+
+Result<DepthMap> PropagateDepths(const Dataflow& dataflow) {
+  DepthMap out;
+
+  // Assumption 2 (§3.1): top-level dataflow inputs carry values of their
+  // declared type, hence their declared depth.
+  for (const Port& p : dataflow.inputs()) {
+    out.workflow_input_depths_[p.name] = p.dd();
+  }
+
+  ProcessorGraph graph(dataflow);
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                           graph.TopologicalOrder());
+
+  // Resolved depth of an arc source port.
+  auto source_depth = [&](const PortRef& src) -> Result<int> {
+    if (src.processor == kWorkflowProcessor) {
+      auto it = out.workflow_input_depths_.find(src.port);
+      if (it == out.workflow_input_depths_.end()) {
+        return Status::NotFound("arc from unknown workflow input '" +
+                                src.port + "'");
+      }
+      return it->second;
+    }
+    auto pit = out.per_processor_.find(src.processor);
+    if (pit == out.per_processor_.end()) {
+      return Status::FailedPrecondition(
+          "arc source '" + src.processor +
+          "' not yet propagated (cycle or dangling reference)");
+    }
+    const Processor* proc = dataflow.FindProcessor(src.processor);
+    for (size_t i = 0; i < proc->outputs.size(); ++i) {
+      if (proc->outputs[i].name == src.port) {
+        return pit->second.output_depths[i];
+      }
+    }
+    return Status::NotFound("no output port " + src.ToString());
+  };
+
+  for (const std::string& pname : order) {
+    const Processor* proc = dataflow.FindProcessor(pname);
+    if (proc == nullptr) {
+      return Status::Internal("toposort produced unknown processor '" +
+                              pname + "'");
+    }
+    ProcessorDepths depths;
+    std::map<std::string, int> positive_deltas;
+    for (const Port& in : proc->inputs) {
+      std::vector<const Arc*> arcs =
+          dataflow.ArcsInto(PortRef{pname, in.name});
+      int depth;
+      if (arcs.empty()) {
+        // Unconnected input: bound to a default of the declared type.
+        depth = in.dd();
+      } else {
+        PROVLIN_ASSIGN_OR_RETURN(depth, source_depth(arcs.front()->src));
+      }
+      int delta = depth - in.dd();
+      depths.input_depths.push_back(depth);
+      depths.input_deltas.push_back(delta);
+      positive_deltas[in.name] = std::max(0, delta);
+    }
+    // The strategy expression determines the iteration levels and where
+    // each port's index fragment lands in the output index.
+    auto layout =
+        LayoutStrategy(proc->EffectiveStrategy(), positive_deltas);
+    if (!layout.ok()) {
+      return Status::InvalidArgument("processor '" + pname +
+                                     "': " + layout.status().message());
+    }
+    depths.iteration_levels = layout->levels;
+    depths.slots = std::move(layout->slots);
+    for (const Port& o : proc->outputs) {
+      depths.output_depths.push_back(o.dd() + depths.iteration_levels);
+    }
+    for (size_t i = 0; i < proc->inputs.size(); ++i) {
+      out.input_depth_by_name_[{pname, proc->inputs[i].name}] =
+          depths.input_depths[i];
+    }
+    for (size_t i = 0; i < proc->outputs.size(); ++i) {
+      out.output_depth_by_name_[{pname, proc->outputs[i].name}] =
+          depths.output_depths[i];
+    }
+    out.per_processor_[pname] = std::move(depths);
+  }
+
+  // Workflow outputs take the depth of whatever feeds them.
+  for (const Port& p : dataflow.outputs()) {
+    std::vector<const Arc*> arcs =
+        dataflow.ArcsInto(PortRef{kWorkflowProcessor, p.name});
+    if (arcs.empty()) {
+      out.workflow_output_depths_[p.name] = p.dd();
+      continue;
+    }
+    PROVLIN_ASSIGN_OR_RETURN(int depth, source_depth(arcs.front()->src));
+    out.workflow_output_depths_[p.name] = depth;
+  }
+
+  return out;
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,70 @@
+#ifndef PROVLIN_WORKFLOW_DEPTH_PROPAGATION_H_
+#define PROVLIN_WORKFLOW_DEPTH_PROPAGATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/dataflow.h"
+#include "workflow/iteration_strategy.h"
+
+namespace provlin::workflow {
+
+/// Statically resolved depths for one processor (paper §3.1):
+///   input_depths[i]   = depth(P:Xi), the actual depth of any value that
+///                       can reach the port at runtime;
+///   input_deltas[i]   = δs(Xi) = depth(P:Xi) − dd(Xi), possibly negative
+///                       (negative mismatches wrap values in singletons
+///                       and contribute no iteration levels);
+///   iteration_levels  = l(P): Σ max(0, δs(Xi)) under the cross-product
+///                       strategy, max_i max(0, δs(Xi)) under dot;
+///   output_depths[i]  = dd(Yi) + l(P).
+struct ProcessorDepths {
+  std::vector<int> input_depths;
+  std::vector<int> input_deltas;
+  int iteration_levels = 0;
+  std::vector<int> output_depths;
+  /// Per-port placement of index fragments within the output index,
+  /// derived from the processor's iteration-strategy expression: cross
+  /// appends siblings, dot aligns them. Both lineage directions read
+  /// fragments from these (offset, length) slots (generalized Prop. 1).
+  std::map<std::string, PortSlot> slots;
+};
+
+/// Result of Alg. 1 (PropagateDepths) over a flattened dataflow: actual
+/// depths for every port, computed once per workflow definition and
+/// shared by the execution engine and by the IndexProj lineage engine.
+class DepthMap {
+ public:
+  const ProcessorDepths& ForProcessor(const std::string& name) const;
+
+  /// Actual depth of an arbitrary port reference; for the workflow
+  /// pseudo-processor, inputs have their declared depth (assumption 2 of
+  /// §3.1) and outputs the depth of their producing port.
+  Result<int> PortDepth(const PortRef& ref, bool is_input) const;
+
+  /// δs for input port ordinal `i` of `proc`.
+  Result<int> InputDelta(const std::string& proc, size_t input_ordinal) const;
+
+ private:
+  friend Result<DepthMap> PropagateDepths(const Dataflow& dataflow);
+
+  using PortKey = std::pair<std::string, std::string>;  // (processor, port)
+
+  std::map<std::string, ProcessorDepths> per_processor_;
+  std::map<PortKey, int> input_depth_by_name_;
+  std::map<PortKey, int> output_depth_by_name_;
+  std::map<std::string, int> workflow_input_depths_;
+  std::map<std::string, int> workflow_output_depths_;
+  ProcessorDepths empty_;
+};
+
+/// Alg. 1: topologically sorts the (flattened) dataflow and propagates
+/// declared depths and mismatches from the workflow inputs downstream.
+/// Fails on cyclic graphs or dangling arc references.
+Result<DepthMap> PropagateDepths(const Dataflow& dataflow);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_DEPTH_PROPAGATION_H_

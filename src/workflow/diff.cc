@@ -1,0 +1,104 @@
+#include "workflow/diff.h"
+
+#include <set>
+#include <sstream>
+
+namespace provlin::workflow {
+
+namespace {
+
+bool PortsEqual(const std::vector<Port>& a, const std::vector<Port>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name ||
+        !(a[i].declared_type == b[i].declared_type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProcessorsEqual(const Processor& a, const Processor& b) {
+  if (a.strategy_tree.has_value() != b.strategy_tree.has_value()) return false;
+  if (a.strategy_tree.has_value() &&
+      !(*a.strategy_tree == *b.strategy_tree)) {
+    return false;
+  }
+  return a.activity == b.activity && a.strategy == b.strategy &&
+         a.config == b.config && PortsEqual(a.inputs, b.inputs) &&
+         PortsEqual(a.outputs, b.outputs);
+}
+
+std::set<std::string> ArcSet(const Dataflow& flow) {
+  std::set<std::string> out;
+  for (const Arc& a : flow.arcs()) out.insert(a.ToString());
+  return out;
+}
+
+std::set<std::string> PortSet(const Dataflow& flow) {
+  std::set<std::string> out;
+  for (const Port& p : flow.inputs()) {
+    out.insert("in " + p.name + " " + p.declared_type.ToString());
+  }
+  for (const Port& p : flow.outputs()) {
+    out.insert("out " + p.name + " " + p.declared_type.ToString());
+  }
+  return out;
+}
+
+void Subtract(const std::set<std::string>& a, const std::set<std::string>& b,
+              std::vector<std::string>* out) {
+  for (const std::string& s : a) {
+    if (b.count(s) == 0) out->push_back(s);
+  }
+}
+
+}  // namespace
+
+DataflowDiff DiffDataflows(const Dataflow& before, const Dataflow& after) {
+  DataflowDiff diff;
+
+  for (const Processor& p : after.processors()) {
+    const Processor* old = before.FindProcessor(p.name);
+    if (old == nullptr) {
+      diff.added_processors.push_back(p.name);
+    } else if (!ProcessorsEqual(*old, p)) {
+      diff.changed_processors.push_back(p.name);
+    }
+  }
+  for (const Processor& p : before.processors()) {
+    if (after.FindProcessor(p.name) == nullptr) {
+      diff.removed_processors.push_back(p.name);
+    }
+  }
+
+  std::set<std::string> arcs_before = ArcSet(before);
+  std::set<std::string> arcs_after = ArcSet(after);
+  Subtract(arcs_after, arcs_before, &diff.added_arcs);
+  Subtract(arcs_before, arcs_after, &diff.removed_arcs);
+
+  std::set<std::string> ports_before = PortSet(before);
+  std::set<std::string> ports_after = PortSet(after);
+  Subtract(ports_after, ports_before, &diff.added_ports);
+  Subtract(ports_before, ports_after, &diff.removed_ports);
+
+  return diff;
+}
+
+std::string DataflowDiff::ToString() const {
+  std::ostringstream out;
+  auto section = [&](const char* label, const std::vector<std::string>& xs) {
+    for (const std::string& x : xs) out << label << " " << x << "\n";
+  };
+  section("+proc", added_processors);
+  section("-proc", removed_processors);
+  section("~proc", changed_processors);
+  section("+arc", added_arcs);
+  section("-arc", removed_arcs);
+  section("+port", added_ports);
+  section("-port", removed_ports);
+  if (Empty()) out << "(no differences)\n";
+  return out.str();
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,41 @@
+#ifndef PROVLIN_WORKFLOW_DIFF_H_
+#define PROVLIN_WORKFLOW_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Specification-level difference between two workflow versions. (The
+/// paper notes that comparing data products "across runs of different
+/// versions of a workflow" is a natural use of multi-run queries, while
+/// provenance-graph differencing proper is out of scope — this is the
+/// spec-side tool that supports the former.)
+struct DataflowDiff {
+  std::vector<std::string> added_processors;
+  std::vector<std::string> removed_processors;
+  /// Same-named processors whose activity/strategy/port list changed.
+  std::vector<std::string> changed_processors;
+  std::vector<std::string> added_arcs;    // Arc::ToString form
+  std::vector<std::string> removed_arcs;
+  std::vector<std::string> added_ports;    // workflow inputs/outputs
+  std::vector<std::string> removed_ports;
+
+  bool Empty() const {
+    return added_processors.empty() && removed_processors.empty() &&
+           changed_processors.empty() && added_arcs.empty() &&
+           removed_arcs.empty() && added_ports.empty() &&
+           removed_ports.empty();
+  }
+
+  std::string ToString() const;
+};
+
+/// Structural diff from `before` to `after` (both flattened).
+DataflowDiff DiffDataflows(const Dataflow& before, const Dataflow& after);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_DIFF_H_

@@ -1,0 +1,73 @@
+#include "workflow/graph.h"
+
+#include <deque>
+
+namespace provlin::workflow {
+
+ProcessorGraph::ProcessorGraph(const Dataflow& dataflow) {
+  for (const Processor& p : dataflow.processors()) {
+    order_.push_back(p.name);
+    preds_[p.name];
+    succs_[p.name];
+  }
+  for (const Arc& a : dataflow.arcs()) {
+    if (a.src.processor == kWorkflowProcessor ||
+        a.dst.processor == kWorkflowProcessor) {
+      continue;
+    }
+    preds_[a.dst.processor].insert(a.src.processor);
+    succs_[a.src.processor].insert(a.dst.processor);
+  }
+}
+
+const std::set<std::string>& ProcessorGraph::Predecessors(
+    const std::string& proc) const {
+  auto it = preds_.find(proc);
+  return it == preds_.end() ? empty_ : it->second;
+}
+
+const std::set<std::string>& ProcessorGraph::Successors(
+    const std::string& proc) const {
+  auto it = succs_.find(proc);
+  return it == succs_.end() ? empty_ : it->second;
+}
+
+Result<std::vector<std::string>> ProcessorGraph::TopologicalOrder() const {
+  std::map<std::string, size_t> in_degree;
+  for (const std::string& p : order_) {
+    in_degree[p] = Predecessors(p).size();
+  }
+  // Kahn's algorithm with a FIFO seeded in declaration order.
+  std::deque<std::string> ready;
+  for (const std::string& p : order_) {
+    if (in_degree[p] == 0) ready.push_back(p);
+  }
+  std::vector<std::string> out;
+  while (!ready.empty()) {
+    std::string p = ready.front();
+    ready.pop_front();
+    out.push_back(p);
+    for (const std::string& s : Successors(p)) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (out.size() != order_.size()) {
+    return Status::FailedPrecondition("dataflow graph contains a cycle");
+  }
+  return out;
+}
+
+std::set<std::string> ProcessorGraph::UpstreamOf(
+    const std::string& target) const {
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{target};
+  while (!frontier.empty()) {
+    std::string p = frontier.front();
+    frontier.pop_front();
+    if (!seen.insert(p).second) continue;
+    for (const std::string& q : Predecessors(p)) frontier.push_back(q);
+  }
+  return seen;
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,44 @@
+#ifndef PROVLIN_WORKFLOW_GRAPH_H_
+#define PROVLIN_WORKFLOW_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Processor-level dependency view of a dataflow: the paper's
+/// specification graph, with the workflow pseudo-processor excluded.
+class ProcessorGraph {
+ public:
+  /// Builds the adjacency structure; the dataflow must outlive the graph.
+  explicit ProcessorGraph(const Dataflow& dataflow);
+
+  /// pred(P): processors with an arc into some input port of P (§3.1).
+  const std::set<std::string>& Predecessors(const std::string& proc) const;
+  const std::set<std::string>& Successors(const std::string& proc) const;
+
+  /// Topological order of processors (Kahn's algorithm, ties broken by
+  /// declaration order so results are deterministic). Errors on cycles.
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// Processors from which `target` is reachable (inclusive) — the
+  /// upstream cone that a lineage query can ever visit.
+  std::set<std::string> UpstreamOf(const std::string& target) const;
+
+  size_t num_nodes() const { return order_.size(); }
+
+ private:
+  std::vector<std::string> order_;  // declaration order
+  std::map<std::string, std::set<std::string>> preds_;
+  std::map<std::string, std::set<std::string>> succs_;
+  std::set<std::string> empty_;
+};
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_GRAPH_H_

@@ -1,0 +1,194 @@
+#include "workflow/iteration_strategy.h"
+
+#include <cctype>
+
+namespace provlin::workflow {
+
+std::string StrategyNode::ToString() const {
+  switch (kind) {
+    case Kind::kPort:
+      return port;
+    case Kind::kCross:
+    case Kind::kDot: {
+      std::string out = kind == Kind::kCross ? "cross(" : "dot(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool StrategyNode::operator==(const StrategyNode& o) const {
+  return kind == o.kind && port == o.port && children == o.children;
+}
+
+namespace {
+
+class StrategyParser {
+ public:
+  explicit StrategyParser(std::string_view text) : text_(text) {}
+
+  Result<StrategyNode> Parse() {
+    PROVLIN_ASSIGN_OR_RETURN(StrategyNode node, ParseNode());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          "trailing characters in strategy at offset " +
+          std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  Result<StrategyNode> ParseNode() {
+    SkipSpace();
+    PROVLIN_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      StrategyNode::Kind kind;
+      if (name == "cross") {
+        kind = StrategyNode::Kind::kCross;
+      } else if (name == "dot") {
+        kind = StrategyNode::Kind::kDot;
+      } else {
+        return Status::InvalidArgument("unknown combinator '" + name + "'");
+      }
+      ++pos_;  // consume '('
+      std::vector<StrategyNode> children;
+      while (true) {
+        PROVLIN_ASSIGN_OR_RETURN(StrategyNode child, ParseNode());
+        children.push_back(std::move(child));
+        SkipSpace();
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("unterminated combinator");
+        }
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        return Status::InvalidArgument("expected ',' or ')' at offset " +
+                                       std::to_string(pos_));
+      }
+      if (children.empty()) {
+        return Status::InvalidArgument("empty combinator");
+      }
+      return kind == StrategyNode::Kind::kCross
+                 ? StrategyNode::Cross(std::move(children))
+                 : StrategyNode::Dot(std::move(children));
+    }
+    return StrategyNode::Port(std::move(name));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected an identifier at offset " +
+                                     std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Recursive layout: records each port's (offset, length) and returns
+/// the node's level count.
+Result<int> LayoutNode(const StrategyNode& node,
+                       const std::map<std::string, int>& deltas,
+                       size_t offset, StrategyLayout* out) {
+  switch (node.kind) {
+    case StrategyNode::Kind::kPort: {
+      auto it = deltas.find(node.port);
+      if (it == deltas.end()) {
+        return Status::NotFound("strategy references unknown port '" +
+                                node.port + "'");
+      }
+      if (out->slots.count(node.port) > 0) {
+        return Status::InvalidArgument("port '" + node.port +
+                                       "' appears twice in the strategy");
+      }
+      int levels = it->second > 0 ? it->second : 0;
+      out->slots[node.port] = PortSlot{offset, static_cast<size_t>(levels)};
+      return levels;
+    }
+    case StrategyNode::Kind::kCross: {
+      int total = 0;
+      for (const StrategyNode& child : node.children) {
+        PROVLIN_ASSIGN_OR_RETURN(
+            int levels,
+            LayoutNode(child, deltas, offset + static_cast<size_t>(total),
+                       out));
+        total += levels;
+      }
+      return total;
+    }
+    case StrategyNode::Kind::kDot: {
+      // All iterated children share the offset and must agree on levels.
+      int common = 0;
+      for (const StrategyNode& child : node.children) {
+        PROVLIN_ASSIGN_OR_RETURN(int levels,
+                                 LayoutNode(child, deltas, offset, out));
+        if (levels == 0) continue;
+        if (common == 0) {
+          common = levels;
+        } else if (levels != common) {
+          return Status::InvalidArgument(
+              "dot children disagree on iteration depth (" +
+              std::to_string(common) + " vs " + std::to_string(levels) +
+              ")");
+        }
+      }
+      return common;
+    }
+  }
+  return Status::Internal("corrupt strategy node");
+}
+
+}  // namespace
+
+Result<StrategyNode> StrategyNode::Parse(std::string_view text) {
+  return StrategyParser(text).Parse();
+}
+
+Result<StrategyLayout> LayoutStrategy(
+    const StrategyNode& tree,
+    const std::map<std::string, int>& positive_deltas) {
+  StrategyLayout layout;
+  PROVLIN_ASSIGN_OR_RETURN(layout.levels,
+                           LayoutNode(tree, positive_deltas, 0, &layout));
+  // Every iterated port must be placed by the strategy.
+  for (const auto& [port, delta] : positive_deltas) {
+    if (delta > 0 && layout.slots.count(port) == 0) {
+      return Status::InvalidArgument(
+          "iterated port '" + port +
+          "' is not covered by the iteration strategy");
+    }
+    if (layout.slots.count(port) == 0) {
+      layout.slots[port] = PortSlot{0, 0};
+    }
+  }
+  return layout;
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,88 @@
+#ifndef PROVLIN_WORKFLOW_ITERATION_STRATEGY_H_
+#define PROVLIN_WORKFLOW_ITERATION_STRATEGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace provlin::workflow {
+
+/// A Taverna iteration-strategy *expression* (the paper's footnote 7:
+/// cross and dot "combined into complex expressions", which it leaves
+/// out of scope): leaves name input ports, internal nodes combine their
+/// children with the cross or dot product. Example:
+///
+///   cross(genes, dot(samples, labels))
+///
+/// iterates genes against position-wise (samples, labels) pairs.
+///
+/// Semantics in terms of iteration levels (with δ⁺ = max(0, δs)):
+///   levels(port p)        = δ⁺(p)
+///   levels(cross(c...))   = Σ levels(c)
+///   levels(dot(c...))     = common levels of its children (all iterated
+///                           children must agree — validated)
+///
+/// The index-projection property (Prop. 1) generalizes: every port's
+/// fragment occupies a fixed, statically computable *offset* within the
+/// output index — cross appends siblings left to right, dot aligns its
+/// children at the same offset. Both lineage directions rely only on
+/// (offset, length) pairs, so focused queries stay O(1) per processor
+/// under arbitrary strategy expressions.
+struct StrategyNode {
+  enum class Kind { kCross, kDot, kPort };
+
+  Kind kind = Kind::kCross;
+  std::string port;                    // kPort only
+  std::vector<StrategyNode> children;  // kCross/kDot only
+
+  static StrategyNode Port(std::string name) {
+    StrategyNode n;
+    n.kind = Kind::kPort;
+    n.port = std::move(name);
+    return n;
+  }
+  static StrategyNode Cross(std::vector<StrategyNode> children) {
+    StrategyNode n;
+    n.kind = Kind::kCross;
+    n.children = std::move(children);
+    return n;
+  }
+  static StrategyNode Dot(std::vector<StrategyNode> children) {
+    StrategyNode n;
+    n.kind = Kind::kDot;
+    n.children = std::move(children);
+    return n;
+  }
+
+  /// "cross(a,dot(b,c))" — parsable by Parse().
+  std::string ToString() const;
+
+  /// Parses the ToString() form; port names are bare identifiers.
+  static Result<StrategyNode> Parse(std::string_view text);
+
+  bool operator==(const StrategyNode& o) const;
+};
+
+/// Per-port placement of index fragments within the output index q.
+struct PortSlot {
+  size_t offset = 0;
+  size_t length = 0;  // δ⁺ of the port; 0 for non-iterated ports
+};
+
+/// Computes levels and per-port slots for a strategy tree, given each
+/// referenced port's positive mismatch δ⁺. Validates that dot children
+/// with iteration agree on their level count and that no port repeats.
+/// Ports in `positive_deltas` missing from the tree get a zero slot.
+struct StrategyLayout {
+  int levels = 0;
+  std::map<std::string, PortSlot> slots;
+};
+Result<StrategyLayout> LayoutStrategy(
+    const StrategyNode& tree,
+    const std::map<std::string, int>& positive_deltas);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_ITERATION_STRATEGY_H_

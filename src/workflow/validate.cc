@@ -1,0 +1,101 @@
+#include "workflow/validate.h"
+
+#include <map>
+#include <set>
+
+#include "workflow/depth_propagation.h"
+#include "workflow/graph.h"
+
+namespace provlin::workflow {
+
+namespace {
+
+Status CheckUniquePortNames(const std::vector<Port>& ports,
+                            const std::string& context) {
+  std::set<std::string> seen;
+  for (const Port& p : ports) {
+    if (p.name.empty()) {
+      return Status::InvalidArgument("empty port name in " + context);
+    }
+    if (!seen.insert(p.name).second) {
+      return Status::InvalidArgument("duplicate port '" + p.name + "' in " +
+                                     context);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Validate(const Dataflow& dataflow) {
+  // Processor names.
+  std::set<std::string> names;
+  for (const Processor& p : dataflow.processors()) {
+    if (p.name.empty()) {
+      return Status::InvalidArgument("processor with empty name");
+    }
+    if (p.name == kWorkflowProcessor) {
+      return Status::InvalidArgument("'workflow' is a reserved name");
+    }
+    if (!names.insert(p.name).second) {
+      return Status::InvalidArgument("duplicate processor '" + p.name + "'");
+    }
+    if (p.sub_dataflow != nullptr) {
+      return Status::FailedPrecondition(
+          "processor '" + p.name +
+          "' wraps a nested dataflow; call Flatten() before Validate()");
+    }
+    if (p.activity.empty()) {
+      return Status::InvalidArgument("processor '" + p.name +
+                                     "' has no activity");
+    }
+    PROVLIN_RETURN_IF_ERROR(
+        CheckUniquePortNames(p.inputs, "inputs of '" + p.name + "'"));
+    PROVLIN_RETURN_IF_ERROR(
+        CheckUniquePortNames(p.outputs, "outputs of '" + p.name + "'"));
+    for (const auto& [port, _] : p.defaults) {
+      if (p.FindInput(port) == nullptr) {
+        return Status::InvalidArgument("default for unknown port '" + port +
+                                       "' on '" + p.name + "'");
+      }
+    }
+  }
+  PROVLIN_RETURN_IF_ERROR(
+      CheckUniquePortNames(dataflow.inputs(), "workflow inputs"));
+  PROVLIN_RETURN_IF_ERROR(
+      CheckUniquePortNames(dataflow.outputs(), "workflow outputs"));
+
+  // Arcs.
+  std::set<std::string> dst_seen;
+  for (const Arc& a : dataflow.arcs()) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        PortType src_type,
+        dataflow.PortDeclaredType(a.src, /*as_destination=*/false));
+    PROVLIN_ASSIGN_OR_RETURN(
+        PortType dst_type,
+        dataflow.PortDeclaredType(a.dst, /*as_destination=*/true));
+    if (src_type.base != dst_type.base) {
+      return Status::InvalidArgument(
+          "arc " + a.ToString() + " connects base type " +
+          std::string(AtomKindName(src_type.base)) + " to " +
+          std::string(AtomKindName(dst_type.base)));
+    }
+    if (!dst_seen.insert(a.dst.ToString()).second) {
+      return Status::InvalidArgument("port " + a.dst.ToString() +
+                                     " has multiple incoming arcs");
+    }
+  }
+
+  // Acyclicity (also a precondition of depth propagation).
+  ProcessorGraph graph(dataflow);
+  PROVLIN_RETURN_IF_ERROR(graph.TopologicalOrder().status());
+
+  // Depth propagation validates the iteration-strategy expressions as a
+  // side effect: unknown/duplicated ports, uncovered iterated ports, and
+  // dot children with unequal iteration depths all surface here.
+  PROVLIN_RETURN_IF_ERROR(PropagateDepths(dataflow).status());
+
+  return Status::OK();
+}
+
+}  // namespace provlin::workflow

@@ -1,0 +1,25 @@
+#ifndef PROVLIN_WORKFLOW_VALIDATE_H_
+#define PROVLIN_WORKFLOW_VALIDATE_H_
+
+#include "common/result.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Structural well-formedness checks for a *flattened* dataflow:
+///   - non-empty, unique processor names; "workflow" is reserved;
+///   - unique port names per processor side and per workflow side;
+///   - every arc endpoint resolves to an existing port of the right
+///     direction, and no input port has two incoming arcs;
+///   - the processor graph is acyclic;
+///   - arc endpoints agree on the base (atom) type — depth mismatch is
+///     legal and drives implicit iteration;
+///   - each processor has an activity (or is a nested dataflow, which
+///     Flatten() should have removed);
+///   - dot-strategy processors have equal positive mismatches on all
+///     iterated ports (the zip combinator needs aligned shapes).
+Status Validate(const Dataflow& dataflow);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_VALIDATE_H_

@@ -1,0 +1,171 @@
+#include "workflow/workflow_io.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "values/value_parser.h"
+#include "workflow/builder.h"
+
+namespace provlin::workflow {
+
+std::string SerializeDataflow(const Dataflow& dataflow) {
+  std::ostringstream out;
+  out << "workflow " << dataflow.name() << "\n";
+  for (const Port& p : dataflow.inputs()) {
+    out << "in " << p.name << " " << p.declared_type.ToString() << "\n";
+  }
+  for (const Port& p : dataflow.outputs()) {
+    out << "out " << p.name << " " << p.declared_type.ToString() << "\n";
+  }
+  for (const Processor& proc : dataflow.processors()) {
+    out << "proc " << proc.name << " activity=" << proc.activity;
+    if (proc.strategy_tree.has_value()) {
+      out << " strategy=" << proc.strategy_tree->ToString();
+    } else if (proc.strategy == IterationStrategy::kDot) {
+      out << " strategy=dot";
+    }
+    out << "\n";
+    for (const Port& p : proc.inputs) {
+      out << "  pin " << p.name << " " << p.declared_type.ToString() << "\n";
+    }
+    for (const Port& p : proc.outputs) {
+      out << "  pout " << p.name << " " << p.declared_type.ToString() << "\n";
+    }
+    for (const auto& [k, v] : proc.config) {
+      out << "  config " << k << "=" << v << "\n";
+    }
+    for (const auto& [port, value] : proc.defaults) {
+      out << "  default " << port << " " << value.ToString() << "\n";
+    }
+  }
+  for (const Arc& a : dataflow.arcs()) {
+    out << "arc " << a.src.ToString() << " -> " << a.dst.ToString() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<PortType> ParseTypeToken(std::string_view tok) {
+  return PortType::Parse(tok);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Dataflow>> ParseDataflow(std::string_view text) {
+  std::shared_ptr<Dataflow> flow;
+  Processor* current = nullptr;
+
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + msg);
+    };
+
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(line, ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    const std::string& kw = tokens[0];
+
+    if (kw == "workflow") {
+      if (tokens.size() != 2) return err("expected: workflow <name>");
+      if (flow != nullptr) return err("duplicate workflow line");
+      flow = std::make_shared<Dataflow>(tokens[1]);
+      continue;
+    }
+    if (flow == nullptr) return err("file must start with a workflow line");
+
+    if (kw == "in" || kw == "out") {
+      if (tokens.size() != 3) return err("expected: " + kw + " <port> <type>");
+      PROVLIN_ASSIGN_OR_RETURN(PortType t, ParseTypeToken(tokens[2]));
+      if (kw == "in") {
+        flow->AddInput(Port{tokens[1], t});
+      } else {
+        flow->AddOutput(Port{tokens[1], t});
+      }
+      current = nullptr;
+      continue;
+    }
+    if (kw == "proc") {
+      if (tokens.size() < 2) return err("expected: proc <name> ...");
+      Processor p;
+      p.name = tokens[1];
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) return err("expected key=value");
+        std::string key = tokens[i].substr(0, eq);
+        std::string value = tokens[i].substr(eq + 1);
+        if (key == "activity") {
+          p.activity = value;
+        } else if (key == "strategy") {
+          if (value == "dot") {
+            p.strategy = IterationStrategy::kDot;
+          } else if (value == "cross") {
+            p.strategy = IterationStrategy::kCross;
+          } else if (value.find('(') != std::string::npos) {
+            auto tree = StrategyNode::Parse(value);
+            if (!tree.ok()) return err(tree.status().message());
+            p.strategy_tree = std::move(*tree);
+          } else {
+            return err("unknown strategy '" + value + "'");
+          }
+        } else {
+          return err("unknown proc attribute '" + key + "'");
+        }
+      }
+      flow->AddProcessor(std::move(p));
+      current = const_cast<Processor*>(&flow->processors().back());
+      continue;
+    }
+    if (kw == "pin" || kw == "pout") {
+      if (current == nullptr) return err(kw + " outside a proc block");
+      if (tokens.size() != 3) return err("expected: " + kw + " <port> <type>");
+      PROVLIN_ASSIGN_OR_RETURN(PortType t, ParseTypeToken(tokens[2]));
+      if (kw == "pin") {
+        current->inputs.push_back(Port{tokens[1], t});
+      } else {
+        current->outputs.push_back(Port{tokens[1], t});
+      }
+      continue;
+    }
+    if (kw == "config") {
+      if (current == nullptr) return err("config outside a proc block");
+      if (tokens.size() != 2) return err("expected: config <key>=<value>");
+      size_t eq = tokens[1].find('=');
+      if (eq == std::string::npos) return err("expected key=value");
+      current->config[tokens[1].substr(0, eq)] = tokens[1].substr(eq + 1);
+      continue;
+    }
+    if (kw == "default") {
+      if (current == nullptr) return err("default outside a proc block");
+      if (tokens.size() < 3) return err("expected: default <port> <literal>");
+      // The literal may contain spaces: rejoin the tail tokens.
+      std::vector<std::string> tail(tokens.begin() + 2, tokens.end());
+      PROVLIN_ASSIGN_OR_RETURN(Value v, ParseValue(Join(tail, " ")));
+      current->defaults.emplace(tokens[1], std::move(v));
+      continue;
+    }
+    if (kw == "arc") {
+      if (tokens.size() != 4 || tokens[2] != "->") {
+        return err("expected: arc <P:X> -> <P:Y>");
+      }
+      PROVLIN_ASSIGN_OR_RETURN(PortRef src, ParsePortRef(tokens[1]));
+      PROVLIN_ASSIGN_OR_RETURN(PortRef dst, ParsePortRef(tokens[3]));
+      PROVLIN_RETURN_IF_ERROR(flow->AddArc(src, dst));
+      current = nullptr;
+      continue;
+    }
+    return err("unknown keyword '" + kw + "'");
+  }
+  if (flow == nullptr) {
+    return Status::InvalidArgument("empty workflow definition");
+  }
+  return flow;
+}
+
+}  // namespace provlin::workflow

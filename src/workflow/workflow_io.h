@@ -1,0 +1,32 @@
+#ifndef PROVLIN_WORKFLOW_WORKFLOW_IO_H_
+#define PROVLIN_WORKFLOW_WORKFLOW_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Serializes a (flattened) dataflow to a line-oriented text format:
+///
+///   workflow <name>
+///   in <port> <type>
+///   out <port> <type>
+///   proc <name> activity=<a> [strategy=cross|dot]
+///     pin <port> <type>
+///     pout <port> <type>
+///     config <key>=<value>
+///     default <port> <value-literal>
+///   arc <P:X> -> <P':Y>
+///
+/// Comments start with '#'. Used by examples and for golden-file tests.
+std::string SerializeDataflow(const Dataflow& dataflow);
+
+/// Parses the format above; does not validate (callers run Validate()).
+Result<std::shared_ptr<Dataflow>> ParseDataflow(std::string_view text);
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_WORKFLOW_IO_H_

@@ -1,0 +1,146 @@
+// Builtin activities and the registry.
+
+#include <gtest/gtest.h>
+
+#include "engine/activity.h"
+#include "engine/builtin_activities.h"
+
+namespace provlin::engine {
+namespace {
+
+class ActivityTest : public ::testing::Test {
+ protected:
+  Result<std::vector<Value>> Invoke(const std::string& name,
+                                    const std::vector<Value>& inputs,
+                                    const ActivityConfig& config = {}) {
+    auto activity = ActivityRegistry::BuiltinsOnly().Create(name, config);
+    if (!activity.ok()) return activity.status();
+    return (*activity)->Invoke(inputs);
+  }
+};
+
+TEST_F(ActivityTest, RegistryKnowsBuiltins) {
+  const ActivityRegistry& r = ActivityRegistry::BuiltinsOnly();
+  for (const char* name :
+       {"identity", "transform", "to_upper", "to_lower", "prefix", "concat2",
+        "split_words", "join", "flatten", "intersect", "sort_list",
+        "unique_list", "head", "count", "list_gen"}) {
+    EXPECT_TRUE(r.Has(name)) << name;
+  }
+  EXPECT_FALSE(r.Has("no_such_activity"));
+  EXPECT_FALSE(r.Create("no_such_activity", {}).ok());
+}
+
+TEST_F(ActivityTest, RegistryRejectsDuplicates) {
+  ActivityRegistry r;
+  auto factory = [](const ActivityConfig&)
+      -> Result<std::shared_ptr<Activity>> {
+    return std::shared_ptr<Activity>(new LambdaActivity(
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          return in;
+        }));
+  };
+  EXPECT_TRUE(r.Register("mine", factory).ok());
+  EXPECT_FALSE(r.Register("mine", factory).ok());
+  EXPECT_EQ(r.Names(), (std::vector<std::string>{"mine"}));
+}
+
+TEST_F(ActivityTest, Identity) {
+  auto out = Invoke("identity", {Value::Str("a"), Value::Int(2)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<Value>{Value::Str("a"), Value::Int(2)}));
+}
+
+TEST_F(ActivityTest, TransformTagsValue) {
+  auto out = Invoke("transform", {Value::Str("x")}, {{"tag", "t7"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], Value::Str("t7(x)"));
+  // Default tag is "f".
+  EXPECT_EQ((*Invoke("transform", {Value::Str("x")}))[0],
+            Value::Str("f(x)"));
+}
+
+TEST_F(ActivityTest, CaseConversions) {
+  EXPECT_EQ((*Invoke("to_upper", {Value::Str("aBc")}))[0], Value::Str("ABC"));
+  EXPECT_EQ((*Invoke("to_lower", {Value::Str("aBc")}))[0], Value::Str("abc"));
+}
+
+TEST_F(ActivityTest, PrefixUsesConfig) {
+  EXPECT_EQ((*Invoke("prefix", {Value::Str("g")}, {{"prefix", "mmu:"}}))[0],
+            Value::Str("mmu:g"));
+}
+
+TEST_F(ActivityTest, Concat2) {
+  EXPECT_EQ((*Invoke("concat2", {Value::Str("a"), Value::Str("b")}))[0],
+            Value::Str("a+b"));
+  EXPECT_FALSE(Invoke("concat2", {Value::Str("a")}).ok());
+}
+
+TEST_F(ActivityTest, SplitAndJoinAreInverse) {
+  auto words = Invoke("split_words", {Value::Str("red green blue")});
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ((*words)[0], Value::StringList({"red", "green", "blue"}));
+  auto joined = Invoke("join", {(*words)[0]});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ((*joined)[0], Value::Str("red green blue"));
+}
+
+TEST_F(ActivityTest, SplitSkipsEmptyTokens) {
+  auto words = Invoke("split_words", {Value::Str("  a  b ")});
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ((*words)[0], Value::StringList({"a", "b"}));
+}
+
+TEST_F(ActivityTest, FlattenRemovesOneLevel) {
+  Value nested = Value::List({Value::StringList({"a", "b"}),
+                              Value::StringList({"c"})});
+  EXPECT_EQ((*Invoke("flatten", {nested}))[0],
+            Value::StringList({"a", "b", "c"}));
+  EXPECT_FALSE(Invoke("flatten", {Value::Str("x")}).ok());
+  EXPECT_FALSE(Invoke("flatten", {Value::StringList({"flat"})}).ok());
+}
+
+TEST_F(ActivityTest, IntersectKeepsCommonElements) {
+  Value lists = Value::List({Value::StringList({"a", "b", "c"}),
+                             Value::StringList({"b", "c", "d"}),
+                             Value::StringList({"c", "b"})});
+  EXPECT_EQ((*Invoke("intersect", {lists}))[0],
+            Value::StringList({"b", "c"}));
+  // Single list intersects to itself.
+  Value one = Value::List({Value::StringList({"x"})});
+  EXPECT_EQ((*Invoke("intersect", {one}))[0], Value::StringList({"x"}));
+}
+
+TEST_F(ActivityTest, SortAndUnique) {
+  EXPECT_EQ((*Invoke("sort_list", {Value::StringList({"c", "a", "b"})}))[0],
+            Value::StringList({"a", "b", "c"}));
+  EXPECT_EQ(
+      (*Invoke("unique_list", {Value::StringList({"b", "a", "b", "a"})}))[0],
+      Value::StringList({"b", "a"}));
+}
+
+TEST_F(ActivityTest, HeadAndCount) {
+  EXPECT_EQ((*Invoke("head", {Value::StringList({"x", "y"})}))[0],
+            Value::Str("x"));
+  EXPECT_FALSE(Invoke("head", {Value::List({})}).ok());
+  EXPECT_EQ((*Invoke("count", {Value::StringList({"x", "y"})}))[0],
+            Value::Int(2));
+}
+
+TEST_F(ActivityTest, ListGen) {
+  auto out = Invoke("list_gen", {Value::Int(3)}, {{"item_prefix", "e"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], Value::StringList({"e0", "e1", "e2"}));
+  EXPECT_EQ((*Invoke("list_gen", {Value::Int(0)}))[0], Value::List({}));
+  EXPECT_FALSE(Invoke("list_gen", {Value::Int(-1)}).ok());
+  EXPECT_FALSE(Invoke("list_gen", {Value::Str("3")}).ok());
+}
+
+TEST_F(ActivityTest, TypeErrorsAreInvalidArgument) {
+  auto out = Invoke("to_upper", {Value::Int(3)});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace provlin::engine

@@ -1,0 +1,74 @@
+#include "values/atom.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin {
+namespace {
+
+TEST(Atom, KindsAndAccessors) {
+  EXPECT_EQ(Atom().kind(), AtomKind::kNull);
+  EXPECT_TRUE(Atom().is_null());
+  EXPECT_EQ(Atom("x").AsString(), "x");
+  EXPECT_EQ(Atom(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Atom(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Atom(true).AsBool());
+}
+
+TEST(Atom, KindNames) {
+  EXPECT_EQ(AtomKindName(AtomKind::kString), "string");
+  EXPECT_EQ(AtomKindName(AtomKind::kInt), "int");
+  EXPECT_EQ(AtomKindName(AtomKind::kDouble), "double");
+  EXPECT_EQ(AtomKindName(AtomKind::kBool), "bool");
+  EXPECT_EQ(AtomKindName(AtomKind::kNull), "null");
+}
+
+TEST(Atom, ToStringRendering) {
+  EXPECT_EQ(Atom("foo").ToString(), "foo");
+  EXPECT_EQ(Atom(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Atom(true).ToString(), "true");
+  EXPECT_EQ(Atom(false).ToString(), "false");
+  EXPECT_EQ(Atom().ToString(), "null");
+}
+
+TEST(Atom, DoubleToStringShortestRoundTrip) {
+  EXPECT_EQ(Atom(0.5).ToString(), "0.5");
+  EXPECT_EQ(Atom(1.0).ToString(), "1");
+  // A value needing many digits still round-trips.
+  double v = 0.1 + 0.2;
+  std::string s = Atom(v).ToString();
+  EXPECT_EQ(std::strtod(s.c_str(), nullptr), v);
+}
+
+TEST(Atom, ToLiteralQuotesStrings) {
+  EXPECT_EQ(Atom("foo").ToLiteral(), "\"foo\"");
+  EXPECT_EQ(Atom("say \"hi\"").ToLiteral(), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Atom("back\\slash").ToLiteral(), "\"back\\\\slash\"");
+  EXPECT_EQ(Atom(int64_t{5}).ToLiteral(), "5");
+}
+
+TEST(Atom, Equality) {
+  EXPECT_EQ(Atom("a"), Atom("a"));
+  EXPECT_NE(Atom("a"), Atom("b"));
+  EXPECT_NE(Atom("1"), Atom(int64_t{1}));
+  EXPECT_EQ(Atom(), Atom());
+}
+
+TEST(Atom, OrderingIsTotalAcrossKinds) {
+  // null < string per variant index ordering (null=0, string=1, int=2...).
+  EXPECT_LT(Atom(), Atom("a"));
+  EXPECT_LT(Atom("a"), Atom("b"));
+  EXPECT_LT(Atom(int64_t{1}), Atom(int64_t{2}));
+  // Cross-kind ordering is stable (variant index based).
+  Atom s("z");
+  Atom i(int64_t{0});
+  EXPECT_TRUE((s < i) != (i < s));
+}
+
+TEST(Atom, HashDistinguishesValues) {
+  EXPECT_NE(Atom("a").Hash(), Atom("b").Hash());
+  EXPECT_EQ(Atom("a").Hash(), Atom("a").Hash());
+  EXPECT_EQ(Atom(int64_t{5}).Hash(), Atom(int64_t{5}).Hash());
+}
+
+}  // namespace
+}  // namespace provlin

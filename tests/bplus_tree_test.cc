@@ -1,0 +1,186 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace provlin::storage {
+namespace {
+
+Key K(int64_t v) { return Key{Datum(v)}; }
+Key K2(int64_t a, const std::string& b) { return Key{Datum(a), Datum(b)}; }
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Lookup(K(1)).empty());
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTree, InsertAndLookup) {
+  BPlusTree tree;
+  tree.Insert(K(5), 50);
+  tree.Insert(K(3), 30);
+  tree.Insert(K(7), 70);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Lookup(K(3)), (std::vector<uint64_t>{30}));
+  EXPECT_EQ(tree.Lookup(K(5)), (std::vector<uint64_t>{50}));
+  EXPECT_TRUE(tree.Lookup(K(4)).empty());
+}
+
+TEST(BPlusTree, DuplicateKeysKeepAllRids) {
+  BPlusTree tree;
+  tree.Insert(K(1), 10);
+  tree.Insert(K(1), 11);
+  tree.Insert(K(1), 12);
+  EXPECT_EQ(tree.Lookup(K(1)), (std::vector<uint64_t>{10, 11, 12}));
+}
+
+TEST(BPlusTree, DuplicateEntryIgnored) {
+  BPlusTree tree;
+  tree.Insert(K(1), 10);
+  tree.Insert(K(1), 10);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTree, EraseRemovesOnlyThatEntry) {
+  BPlusTree tree;
+  tree.Insert(K(1), 10);
+  tree.Insert(K(1), 11);
+  EXPECT_TRUE(tree.Erase(K(1), 10));
+  EXPECT_EQ(tree.Lookup(K(1)), (std::vector<uint64_t>{11}));
+  EXPECT_FALSE(tree.Erase(K(1), 10));  // already gone
+  EXPECT_FALSE(tree.Erase(K(9), 1));   // never existed
+}
+
+TEST(BPlusTree, SplitsGrowHeight) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(tree.Lookup(K(i)).size(), 1u) << i;
+  }
+}
+
+TEST(BPlusTree, IteratorEnumeratesInOrder) {
+  BPlusTree tree;
+  for (int64_t i = 99; i >= 0; --i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  int64_t expect = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key()[0].AsInt(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(BPlusTree, SeekFindsLowerBound) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 100; i += 2) tree.Insert(K(i), static_cast<uint64_t>(i));
+  auto it = tree.Seek(K(31));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 32);
+  it = tree.Seek(K(98));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 98);
+  EXPECT_FALSE(tree.Seek(K(99)).Valid());
+}
+
+TEST(BPlusTree, PrefixLookupOnCompositeKeys) {
+  BPlusTree tree;
+  uint64_t rid = 0;
+  for (int64_t g = 0; g < 5; ++g) {
+    for (int m = 0; m < 7; ++m) {
+      tree.Insert(K2(g, "m" + std::to_string(m)), rid++);
+    }
+  }
+  EXPECT_EQ(tree.PrefixLookup({Datum(int64_t{2})}).size(), 7u);
+  EXPECT_EQ(tree.PrefixLookup({}).size(), 35u);
+  EXPECT_TRUE(tree.PrefixLookup({Datum(int64_t{9})}).empty());
+  EXPECT_EQ(tree.Lookup(K2(2, "m3")).size(), 1u);
+}
+
+TEST(BPlusTree, RangeLookupInclusiveBounds) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 50; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  auto rids = tree.RangeLookup(K(10), K(20));
+  EXPECT_EQ(rids.size(), 11u);
+  EXPECT_EQ(rids.front(), 10u);
+  EXPECT_EQ(rids.back(), 20u);
+}
+
+TEST(BPlusTree, StringPrefixRangeScan) {
+  // The pattern the trace store uses for "all finer indices below q".
+  BPlusTree tree;
+  tree.Insert({Datum("00001")}, 1);
+  tree.Insert({Datum("00001.00000")}, 2);
+  tree.Insert({Datum("00001.00001")}, 3);
+  tree.Insert({Datum("00002")}, 4);
+  auto rids = tree.RangeLookup({Datum("00001.")},
+                               {Datum(std::string("00001.") + "\xff\xff")});
+  EXPECT_EQ(rids, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(BPlusTree, DeleteDownToEmptyShrinksRoot) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 500; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  EXPECT_GT(tree.height(), 1);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Erase(K(i), static_cast<uint64_t>(i))) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test against std::multimap-like reference.
+// ---------------------------------------------------------------------------
+
+class BPlusTreeRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomized, MatchesReferenceUnderRandomWorkload) {
+  Random rng(GetParam());
+  BPlusTree tree;
+  std::map<std::pair<int64_t, uint64_t>, bool> reference;
+
+  for (int op = 0; op < 4000; ++op) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(200));
+    uint64_t rid = rng.Uniform(5);
+    if (rng.Bernoulli(0.6)) {
+      tree.Insert(K(key), rid);
+      reference[{key, rid}] = true;
+    } else {
+      bool erased = tree.Erase(K(key), rid);
+      bool expected = reference.erase({key, rid}) > 0;
+      ASSERT_EQ(erased, expected) << "op " << op;
+    }
+    if (op % 512 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_EQ(tree.size(), reference.size());
+
+  // Every reference entry is findable; iteration matches exactly.
+  auto it = tree.Begin();
+  for (const auto& [kr, _] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].AsInt(), kr.first);
+    EXPECT_EQ(it.rid(), kr.second);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace provlin::storage

@@ -1,0 +1,134 @@
+// Dataflow model: ports, arcs, builder, lookup helpers.
+
+#include "workflow/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/builder.h"
+
+namespace provlin::workflow {
+namespace {
+
+Result<std::shared_ptr<const Dataflow>> TwoStep() {
+  DataflowBuilder b("two_step");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p1")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("p2")
+      .Activity("to_lower")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p1:x");
+  b.Arc("p1:y", "p2:x");
+  b.Arc("p2:y", "workflow:out");
+  return b.Build();
+}
+
+TEST(Dataflow, BuilderProducesValidatedFlow) {
+  auto flow = TwoStep();
+  ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+  EXPECT_EQ((*flow)->name(), "two_step");
+  EXPECT_EQ((*flow)->num_processors(), 2u);
+  EXPECT_EQ((*flow)->arcs().size(), 3u);
+}
+
+TEST(Dataflow, FindProcessorAndPorts) {
+  auto flow = *TwoStep();
+  const Processor* p1 = flow->FindProcessor("p1");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_NE(p1->FindInput("x"), nullptr);
+  EXPECT_EQ(p1->FindInput("y"), nullptr);
+  EXPECT_NE(p1->FindOutput("y"), nullptr);
+  EXPECT_EQ(p1->InputOrdinal("x"), 0u);
+  EXPECT_FALSE(p1->InputOrdinal("nope").has_value());
+  EXPECT_EQ(flow->FindProcessor("nope"), nullptr);
+  EXPECT_NE(flow->FindWorkflowInput("in"), nullptr);
+  EXPECT_NE(flow->FindWorkflowOutput("out"), nullptr);
+  EXPECT_EQ(flow->FindWorkflowInput("out"), nullptr);
+}
+
+TEST(Dataflow, ArcsIntoAndFrom) {
+  auto flow = *TwoStep();
+  auto into_p2 = flow->ArcsInto(PortRef{"p2", "x"});
+  ASSERT_EQ(into_p2.size(), 1u);
+  EXPECT_EQ(into_p2[0]->src.ToString(), "p1:y");
+  auto from_p1 = flow->ArcsFrom(PortRef{"p1", "y"});
+  ASSERT_EQ(from_p1.size(), 1u);
+  EXPECT_TRUE(flow->ArcsInto(PortRef{"p1", "nope"}).empty());
+}
+
+TEST(Dataflow, OutputPortCanFanOut) {
+  DataflowBuilder b("fanout");
+  b.Input("in", PortType::String(1));
+  b.Output("out1", PortType::String(1));
+  b.Output("out2", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out1");
+  b.Arc("p:y", "workflow:out2");
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(Dataflow, InputPortRejectsSecondIncomingArc) {
+  DataflowBuilder b("dup_arc");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "p:x");  // second arc into p:x
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Dataflow, PortDeclaredTypeResolution) {
+  auto flow = *TwoStep();
+  auto t = flow->PortDeclaredType(PortRef{"p1", "y"}, /*as_destination=*/false);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->depth, 0);
+  auto wt = flow->PortDeclaredType(PortRef{kWorkflowProcessor, "in"},
+                                   /*as_destination=*/false);
+  ASSERT_TRUE(wt.ok());
+  EXPECT_EQ(wt->depth, 1);
+  EXPECT_FALSE(
+      flow->PortDeclaredType(PortRef{"p1", "zzz"}, false).ok());
+  EXPECT_FALSE(
+      flow->PortDeclaredType(PortRef{"zzz", "y"}, false).ok());
+}
+
+TEST(ParsePortRef, AcceptsWellFormed) {
+  auto ref = ParsePortRef("proc:port");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->processor, "proc");
+  EXPECT_EQ(ref->port, "port");
+}
+
+TEST(ParsePortRef, RejectsMalformed) {
+  EXPECT_FALSE(ParsePortRef("noport").ok());
+  EXPECT_FALSE(ParsePortRef(":port").ok());
+  EXPECT_FALSE(ParsePortRef("proc:").ok());
+}
+
+TEST(PortRef, StringAndOrdering) {
+  PortRef a{"p", "x"};
+  PortRef b{"p", "y"};
+  EXPECT_EQ(a.ToString(), "p:x");
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a, (PortRef{"p", "x"}));
+}
+
+TEST(Arc, ToStringFormat) {
+  Arc arc{PortRef{"a", "y"}, PortRef{"b", "x"}};
+  EXPECT_EQ(arc.ToString(), "a:y -> b:x");
+}
+
+}  // namespace
+}  // namespace provlin::workflow

@@ -1,0 +1,200 @@
+// Alg. 1 PropagateDepths: static depths, mismatches, iteration levels.
+
+#include "workflow/depth_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/builder.h"
+
+namespace provlin::workflow {
+namespace {
+
+TEST(PropagateDepths, SimpleChainPropagatesInputDepth) {
+  DataflowBuilder b("chain");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+
+  auto depths = PropagateDepths(*flow);
+  ASSERT_TRUE(depths.ok());
+  const ProcessorDepths& pd = depths->ForProcessor("p");
+  EXPECT_EQ(pd.input_depths, (std::vector<int>{1}));
+  EXPECT_EQ(pd.input_deltas, (std::vector<int>{1}));
+  EXPECT_EQ(pd.iteration_levels, 1);
+  EXPECT_EQ(pd.output_depths, (std::vector<int>{1}));  // dd 0 + l 1
+  EXPECT_EQ(*depths->PortDepth({kWorkflowProcessor, "out"}, false), 1);
+}
+
+TEST(PropagateDepths, Figure3Example) {
+  // The paper's Fig. 3: Q (1->1 per element), R (scalar -> list), P with
+  // inputs X1 (δ=1 from Q's list), X2 (δ=0 constant), X3 (δ=1 from R).
+  DataflowBuilder b("fig3");
+  b.Input("v", PortType::String(1));
+  b.Input("w", PortType::String(0));
+  b.Input("c", PortType::String(0));
+  b.Output("y", PortType::String(2));
+  b.Proc("Q")
+      .Activity("to_upper")
+      .In("X", PortType::String(0))
+      .Out("Y", PortType::String(0));
+  b.Proc("R")
+      .Activity("split_words")
+      .In("X", PortType::String(0))
+      .Out("Y", PortType::String(1));
+  b.Proc("P")
+      .Activity("identity3")
+      .In("X1", PortType::String(0))
+      .In("X2", PortType::String(0))
+      .In("X3", PortType::String(0))
+      .Out("Y", PortType::String(0));
+  b.Arc("workflow:v", "Q:X");
+  b.Arc("workflow:w", "R:X");
+  b.Arc("Q:Y", "P:X1");
+  b.Arc("workflow:c", "P:X2");
+  b.Arc("R:Y", "P:X3");
+  b.Arc("P:Y", "workflow:y");
+  auto flow = *b.Build();
+
+  auto depths = PropagateDepths(*flow);
+  ASSERT_TRUE(depths.ok());
+  const ProcessorDepths& q = depths->ForProcessor("Q");
+  EXPECT_EQ(q.iteration_levels, 1);
+  EXPECT_EQ(q.output_depths, (std::vector<int>{1}));
+  const ProcessorDepths& r = depths->ForProcessor("R");
+  EXPECT_EQ(r.iteration_levels, 0);
+  EXPECT_EQ(r.output_depths, (std::vector<int>{1}));
+  const ProcessorDepths& p = depths->ForProcessor("P");
+  EXPECT_EQ(p.input_deltas, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(p.iteration_levels, 2);
+  // P:Y has dd 0 + l 2 = depth 2 — the paper's y[n,m].
+  EXPECT_EQ(p.output_depths, (std::vector<int>{2}));
+}
+
+TEST(PropagateDepths, NegativeMismatchContributesNoIteration) {
+  // A scalar fed into a list-typed port: δ = -1, wrapped, no iteration.
+  DataflowBuilder b("neg");
+  b.Input("in", PortType::String(0));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("sort_list")
+      .In("items", PortType::String(1))
+      .Out("items", PortType::String(1));
+  b.Arc("workflow:in", "p:items");
+  b.Arc("p:items", "workflow:out");
+  auto flow = *b.Build();
+
+  auto depths = PropagateDepths(*flow);
+  ASSERT_TRUE(depths.ok());
+  const ProcessorDepths& pd = depths->ForProcessor("p");
+  EXPECT_EQ(pd.input_deltas, (std::vector<int>{-1}));
+  EXPECT_EQ(pd.iteration_levels, 0);
+  EXPECT_EQ(pd.output_depths, (std::vector<int>{1}));
+}
+
+TEST(PropagateDepths, UnconnectedInputTakesDeclaredDepth) {
+  DataflowBuilder b("defaulted");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("concat2")
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Default("x2", Value::Str("suffix"))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x1");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+
+  auto depths = PropagateDepths(*flow);
+  ASSERT_TRUE(depths.ok());
+  EXPECT_EQ(depths->ForProcessor("p").input_deltas,
+            (std::vector<int>{1, 0}));
+  EXPECT_EQ(*depths->InputDelta("p", 0), 1);
+  EXPECT_EQ(*depths->InputDelta("p", 1), 0);
+  EXPECT_FALSE(depths->InputDelta("p", 5).ok());
+  EXPECT_FALSE(depths->InputDelta("ghost", 0).ok());
+}
+
+TEST(PropagateDepths, CrossSumsDotMaxes) {
+  auto build = [](IterationStrategy strategy) {
+    DataflowBuilder b("strategy");
+    b.Input("a", PortType::String(1));
+    b.Input("bb", PortType::String(1));
+    b.Output("out", strategy == IterationStrategy::kCross
+                        ? PortType::String(2)
+                        : PortType::String(1));
+    b.Proc("join")
+        .Activity("concat2")
+        .Strategy(strategy)
+        .In("x1", PortType::String(0))
+        .In("x2", PortType::String(0))
+        .Out("y", PortType::String(0));
+    b.Arc("workflow:a", "join:x1");
+    b.Arc("workflow:bb", "join:x2");
+    b.Arc("join:y", "workflow:out");
+    return *b.Build();
+  };
+
+  auto cross = PropagateDepths(*build(IterationStrategy::kCross));
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->ForProcessor("join").iteration_levels, 2);
+
+  auto dot = PropagateDepths(*build(IterationStrategy::kDot));
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(dot->ForProcessor("join").iteration_levels, 1);
+}
+
+TEST(PropagateDepths, DeepMismatchAccumulatesDownstream) {
+  // in: depth 2 -> scalar port (δ=2) -> out dd 1 -> depth 3 at next hop.
+  DataflowBuilder b("deep");
+  b.Input("in", PortType::String(2));
+  b.Output("out", PortType::String(3));
+  b.Proc("expand")
+      .Activity("split_words")
+      .In("x", PortType::String(0))
+      .Out("words", PortType::String(1));
+  b.Proc("upper")
+      .Activity("to_upper")
+      .In("w", PortType::String(0))
+      .Out("u", PortType::String(0));
+  b.Arc("workflow:in", "expand:x");
+  b.Arc("expand:words", "upper:w");
+  b.Arc("upper:u", "workflow:out");
+  auto flow = *b.Build();
+
+  auto depths = PropagateDepths(*flow);
+  ASSERT_TRUE(depths.ok());
+  EXPECT_EQ(depths->ForProcessor("expand").iteration_levels, 2);
+  EXPECT_EQ(depths->ForProcessor("expand").output_depths,
+            (std::vector<int>{3}));
+  EXPECT_EQ(depths->ForProcessor("upper").input_deltas,
+            (std::vector<int>{3}));
+  EXPECT_EQ(*depths->PortDepth({kWorkflowProcessor, "out"}, false), 3);
+}
+
+TEST(PropagateDepths, PortDepthLookupErrors) {
+  DataflowBuilder b("chain");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+  auto depths = *PropagateDepths(*flow);
+  EXPECT_FALSE(depths.PortDepth({kWorkflowProcessor, "zzz"}, true).ok());
+  EXPECT_FALSE(depths.PortDepth({"p", "zzz"}, true).ok());
+  EXPECT_EQ(*depths.PortDepth({"p", "x"}, true), 1);
+  EXPECT_EQ(*depths.PortDepth({"p", "y"}, false), 1);
+}
+
+}  // namespace
+}  // namespace provlin::workflow

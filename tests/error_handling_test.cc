@@ -1,0 +1,229 @@
+// Error tokens: Taverna-style failure confinement and error lineage —
+// the paper's "debug errors in the results" use case, end to end.
+
+#include <gtest/gtest.h>
+
+#include "engine/builtin_activities.h"
+#include "lineage/index_proj_lineage.h"
+#include "lineage/naive_lineage.h"
+#include "provenance/recorder.h"
+#include "testbed/workbench.h"
+#include "values/value_parser.h"
+#include "workflow/builder.h"
+
+namespace provlin {
+namespace {
+
+using engine::ExecuteOptions;
+using lineage::InterestSet;
+using testbed::Workbench;
+using workflow::DataflowBuilder;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+
+TEST(ErrorToken, AtomBasics) {
+  Atom err = Atom::Error("service timed out");
+  EXPECT_TRUE(err.is_error());
+  EXPECT_EQ(err.kind(), AtomKind::kError);
+  EXPECT_EQ(err.AsError(), "service timed out");
+  EXPECT_EQ(err.ToString(), "error: service timed out");
+  EXPECT_EQ(err.ToLiteral(), "error(\"service timed out\")");
+  EXPECT_EQ(err, Atom::Error("service timed out"));
+  EXPECT_NE(err, Atom::Error("other"));
+  EXPECT_NE(err, Atom("service timed out"));  // string != error
+  EXPECT_EQ(AtomKindName(AtomKind::kError), "error");
+}
+
+TEST(ErrorToken, ValueHelpers) {
+  Value plain = Value::StringList({"a", "b"});
+  EXPECT_FALSE(plain.ContainsError());
+  EXPECT_EQ(plain.FirstError(), "");
+  Value nested =
+      Value::List({Value::Str("ok"), Value::List({Value::Error("boom")})});
+  EXPECT_TRUE(nested.ContainsError());
+  EXPECT_EQ(nested.FirstError(), "boom");
+}
+
+TEST(ErrorToken, LiteralRoundTripsThroughParser) {
+  Value v = Value::List({Value::Str("x"), Value::Error("it broke (badly)")});
+  auto parsed = ParseValue(v.ToString());
+  ASSERT_TRUE(parsed.ok()) << v.ToString();
+  EXPECT_EQ(*parsed, v);
+}
+
+TEST(ErrorToken, InferTypeTreatsErrorsAsWildcards) {
+  Value mixed = Value::List({Value::Str("a"), Value::Error("x")});
+  auto t = InferType(mixed);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base, AtomKind::kString);
+  EXPECT_EQ(t->depth, 1);
+}
+
+/// in -> filter (fails on elements containing "bad") -> shout -> out.
+std::unique_ptr<Workbench> FailingChain() {
+  DataflowBuilder b("failing_chain");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("filter")
+      .Activity("fail_if")
+      .Config("match", "bad")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("shout")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "filter:x");
+  b.Arc("filter:y", "shout:x");
+  b.Arc("shout:y", "workflow:out");
+  auto flow = *b.Build();
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  return std::move(*Workbench::Create(flow, registry));
+}
+
+TEST(ErrorPropagation, WithoutOptInRunAborts) {
+  auto wb = FailingChain();
+  auto run = wb->Run({{"in", Value::StringList({"good", "bad"})}}, "r0");
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(ErrorPropagation, FailureConfinedToAffectedElements) {
+  auto wb = FailingChain();
+  provenance::TraceRecorder recorder(wb->store());
+  // Drive the executor directly to pass options.
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  engine::Executor executor(registry.get(), &recorder);
+  ExecuteOptions options;
+  options.continue_on_error = true;
+  auto run = executor.Execute(
+      *wb->flow(), {{"in", Value::StringList({"ok1", "badger", "ok2"})}},
+      "r0", options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(recorder.status().ok());
+
+  const Value& out = run->outputs.at("out");
+  ASSERT_EQ(out.list_size(), 3u);
+  EXPECT_EQ(out.elements()[0], Value::Str("OK1"));
+  EXPECT_TRUE(out.elements()[1].ContainsError());
+  EXPECT_EQ(out.elements()[2], Value::Str("OK2"));
+  // filter failed once; shout short-circuited once.
+  EXPECT_EQ(run->failed_invocations, 2u);
+  EXPECT_EQ(run->total_invocations, 6u);
+}
+
+TEST(ErrorPropagation, ErrorLineageLeadsToCulprit) {
+  auto wb = FailingChain();
+  provenance::TraceRecorder recorder(wb->store());
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  engine::Executor executor(registry.get(), &recorder);
+  ExecuteOptions options;
+  options.continue_on_error = true;
+  ASSERT_TRUE(executor
+                  .Execute(*wb->flow(),
+                           {{"in", Value::StringList({"ok", "badx"})}}, "r0",
+                           options)
+                  .ok());
+
+  // Lineage of the error element points at the failing step's input and
+  // the original workflow input element — on both engines.
+  PortRef target{kWorkflowProcessor, "out"};
+  InterestSet interest{"filter", kWorkflowProcessor};
+  auto ni = wb->Naive().Query("r0", target, Index({1}), interest);
+  auto ip = wb->IndexProj()->Query("r0", target, Index({1}), interest);
+  ASSERT_TRUE(ni.ok());
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ni->bindings, ip->bindings);
+  ASSERT_EQ(ip->bindings.size(), 2u);
+  EXPECT_EQ(ip->bindings[0].port.ToString(), "filter:x");
+  EXPECT_EQ(ip->bindings[0].value_repr, "\"badx\"");
+  EXPECT_EQ(ip->bindings[1].port.ToString(), "workflow:in");
+  EXPECT_EQ(ip->bindings[1].value_repr, "\"badx\"");
+}
+
+TEST(ErrorPropagation, ErrorCrossesCrossProduct) {
+  // One failing element of a poisons a whole row of the cross product.
+  DataflowBuilder b("cross_fail");
+  b.Input("a", PortType::String(1));
+  b.Input("bb", PortType::String(1));
+  b.Output("out", PortType::String(2));
+  b.Proc("filter")
+      .Activity("fail_if")
+      .Config("match", "bad")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("join")
+      .Activity("concat2")
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:a", "filter:x");
+  b.Arc("filter:y", "join:x1");
+  b.Arc("workflow:bb", "join:x2");
+  b.Arc("join:y", "workflow:out");
+  auto flow = *b.Build();
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  engine::Executor executor(registry.get(), nullptr);
+  ExecuteOptions options;
+  options.continue_on_error = true;
+  auto run = executor.Execute(*flow,
+                              {{"a", Value::StringList({"ok", "bad"})},
+                               {"bb", Value::StringList({"x", "y"})}},
+                              "r0", options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const Value& out = run->outputs.at("out");
+  EXPECT_FALSE(out.elements()[0].ContainsError());  // row of "ok"
+  EXPECT_TRUE(out.At(Index({1, 0}))->ContainsError());
+  EXPECT_TRUE(out.At(Index({1, 1}))->ContainsError());
+}
+
+TEST(ErrorPropagation, WholeListConsumerShortCircuits) {
+  // A coarse (whole-list) consumer sees a list containing an error and
+  // produces an error without being invoked.
+  DataflowBuilder b("agg_fail");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(0));
+  b.Proc("filter")
+      .Activity("fail_if")
+      .Config("match", "bad")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("summarize")
+      .Activity("join")
+      .In("items", PortType::String(1))
+      .Out("joined", PortType::String(0));
+  b.Arc("workflow:in", "filter:x");
+  b.Arc("filter:y", "summarize:items");
+  b.Arc("summarize:joined", "workflow:out");
+  auto flow = *b.Build();
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  engine::Executor executor(registry.get(), nullptr);
+  ExecuteOptions options;
+  options.continue_on_error = true;
+  auto run = executor.Execute(
+      *flow, {{"in", Value::StringList({"ok", "bad"})}}, "r0", options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->outputs.at("out").ContainsError());
+}
+
+TEST(ErrorPropagation, ErrorMessageIdentifiesFailingProcessor) {
+  auto wb = FailingChain();
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  engine::Executor executor(registry.get(), nullptr);
+  ExecuteOptions options;
+  options.continue_on_error = true;
+  auto run = executor.Execute(
+      *wb->flow(), {{"in", Value::StringList({"bad"})}}, "r0", options);
+  ASSERT_TRUE(run.ok());
+  std::string msg = run->outputs.at("out").FirstError();
+  EXPECT_NE(msg.find("filter"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fail_if matched"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace provlin

@@ -1,0 +1,390 @@
+// The dataflow interpreter: iteration fan-out, event emission, output
+// assembly, and failure handling.
+
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/builtin_activities.h"
+#include "workflow/builder.h"
+
+namespace provlin::engine {
+namespace {
+
+using workflow::DataflowBuilder;
+using workflow::IterationStrategy;
+using workflow::PortRef;
+
+/// Observer that records every event for assertions.
+class RecordingObserver : public ExecutionObserver {
+ public:
+  struct Xform {
+    std::string processor;
+    std::vector<BindingEvent> ins;
+    std::vector<BindingEvent> outs;
+  };
+  struct Xfer {
+    PortRef src, dst;
+    Index index;
+    Value element;
+  };
+
+  void OnRunStart(const std::string& run_id,
+                  const workflow::Dataflow&) override {
+    run_ids.push_back(run_id);
+  }
+  void OnWorkflowInput(const std::string& port, const Value& v) override {
+    inputs.emplace_back(port, v);
+  }
+  void OnXform(const std::string& processor,
+               const std::vector<BindingEvent>& ins,
+               const std::vector<BindingEvent>& outs) override {
+    xforms.push_back({processor, ins, outs});
+  }
+  void OnXfer(const PortRef& src, const PortRef& dst, const Index& index,
+              const Value& element) override {
+    xfers.push_back({src, dst, index, element});
+  }
+  void OnWorkflowOutput(const std::string& port, const Value& v) override {
+    outputs.emplace_back(port, v);
+  }
+  void OnRunEnd(const std::string&, const Status& status) override {
+    end_status = status;
+  }
+
+  std::vector<std::string> run_ids;
+  std::vector<std::pair<std::string, Value>> inputs;
+  std::vector<Xform> xforms;
+  std::vector<Xfer> xfers;
+  std::vector<std::pair<std::string, Value>> outputs;
+  Status end_status;
+};
+
+std::shared_ptr<const workflow::Dataflow> UpperChain() {
+  DataflowBuilder b("upper_chain");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("up")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "up:x");
+  b.Arc("up:y", "workflow:out");
+  return *b.Build();
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() { RegisterBuiltinActivities(&registry_); }
+  ActivityRegistry registry_;
+};
+
+TEST_F(ExecutorTest, ElementWiseExecution) {
+  RecordingObserver obs;
+  Executor ex(&registry_, &obs);
+  auto result = ex.Execute(*UpperChain(),
+                           {{"in", Value::StringList({"a", "b", "c"})}},
+                           "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outputs.at("out"), Value::StringList({"A", "B", "C"}));
+  EXPECT_EQ(result->total_invocations, 3u);
+  EXPECT_EQ(result->run_id, "r1");
+  EXPECT_TRUE(obs.end_status.ok());
+  EXPECT_EQ(obs.run_ids, (std::vector<std::string>{"r1"}));
+}
+
+TEST_F(ExecutorTest, XformEventsCarryFineIndices) {
+  RecordingObserver obs;
+  Executor ex(&registry_, &obs);
+  ASSERT_TRUE(ex.Execute(*UpperChain(),
+                         {{"in", Value::StringList({"a", "b"})}}, "r1")
+                  .ok());
+  ASSERT_EQ(obs.xforms.size(), 2u);
+  EXPECT_EQ(obs.xforms[0].processor, "up");
+  EXPECT_EQ(obs.xforms[0].ins[0].index, Index({0}));
+  EXPECT_EQ(obs.xforms[0].ins[0].value, Value::Str("a"));
+  EXPECT_EQ(obs.xforms[0].outs[0].index, Index({0}));
+  EXPECT_EQ(obs.xforms[0].outs[0].value, Value::Str("A"));
+  EXPECT_EQ(obs.xforms[1].ins[0].index, Index({1}));
+}
+
+TEST_F(ExecutorTest, XferGranularityFollowsProducer) {
+  RecordingObserver obs;
+  Executor ex(&registry_, &obs);
+  ASSERT_TRUE(ex.Execute(*UpperChain(),
+                         {{"in", Value::StringList({"a", "b"})}}, "r1")
+                  .ok());
+  // workflow:in -> up:x is coarse (input granularity is whole-value);
+  // up:y -> workflow:out is coarse by the workflow-output rule.
+  ASSERT_EQ(obs.xfers.size(), 2u);
+  EXPECT_EQ(obs.xfers[0].src.ToString(), "workflow:in");
+  EXPECT_EQ(obs.xfers[0].index, Index());
+  EXPECT_EQ(obs.xfers[1].dst.ToString(), "workflow:out");
+  EXPECT_EQ(obs.xfers[1].index, Index());
+}
+
+TEST_F(ExecutorTest, MidChainXferIsFineGrained) {
+  DataflowBuilder b("two_steps");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("up")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("low")
+      .Activity("to_lower")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "up:x");
+  b.Arc("up:y", "low:x");
+  b.Arc("low:y", "workflow:out");
+  auto flow = *b.Build();
+
+  RecordingObserver obs;
+  Executor ex(&registry_, &obs);
+  ASSERT_TRUE(
+      ex.Execute(*flow, {{"in", Value::StringList({"a", "b"})}}, "r1").ok());
+  // The up->low arc transfers at the producer's per-element granularity.
+  int fine = 0;
+  for (const auto& x : obs.xfers) {
+    if (x.src.ToString() == "up:y") {
+      EXPECT_EQ(x.dst.ToString(), "low:x");
+      EXPECT_EQ(x.index.length(), 1u);
+      ++fine;
+    }
+  }
+  EXPECT_EQ(fine, 2);
+}
+
+TEST_F(ExecutorTest, CrossProductShapesOutput) {
+  DataflowBuilder b("cross");
+  b.Input("a", PortType::String(1));
+  b.Input("bb", PortType::String(1));
+  b.Output("out", PortType::String(2));
+  b.Proc("join")
+      .Activity("concat2")
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:a", "join:x1");
+  b.Arc("workflow:bb", "join:x2");
+  b.Arc("join:y", "workflow:out");
+  auto flow = *b.Build();
+
+  Executor ex(&registry_, nullptr);
+  auto result = ex.Execute(*flow,
+                           {{"a", Value::StringList({"1", "2"})},
+                            {"bb", Value::StringList({"x", "y", "z"})}},
+                           "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Value& out = result->outputs.at("out");
+  ASSERT_EQ(out.depth(), 2);
+  ASSERT_EQ(out.list_size(), 2u);
+  EXPECT_EQ(out.elements()[0].list_size(), 3u);
+  EXPECT_EQ(*out.At(Index({1, 2})), Value::Str("2+z"));
+  EXPECT_EQ(result->total_invocations, 6u);
+}
+
+TEST_F(ExecutorTest, DotStrategyZips) {
+  DataflowBuilder b("zip");
+  b.Input("a", PortType::String(1));
+  b.Input("bb", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("join")
+      .Activity("concat2")
+      .Strategy(IterationStrategy::kDot)
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:a", "join:x1");
+  b.Arc("workflow:bb", "join:x2");
+  b.Arc("join:y", "workflow:out");
+  auto flow = *b.Build();
+
+  Executor ex(&registry_, nullptr);
+  auto result = ex.Execute(*flow,
+                           {{"a", Value::StringList({"1", "2"})},
+                            {"bb", Value::StringList({"x", "y"})}},
+                           "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outputs.at("out"), Value::StringList({"1+x", "2+y"}));
+}
+
+TEST_F(ExecutorTest, EmptyInputListProducesEmptyOutput) {
+  Executor ex(&registry_, nullptr);
+  auto result = ex.Execute(*UpperChain(), {{"in", Value::List({})}}, "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outputs.at("out"), Value::List({}));
+  EXPECT_EQ(result->total_invocations, 0u);
+}
+
+TEST_F(ExecutorTest, DefaultsBindUnconnectedInputs) {
+  DataflowBuilder b("defaults");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("concat2")
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Default("x2", Value::Str("!"))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x1");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+
+  Executor ex(&registry_, nullptr);
+  auto result =
+      ex.Execute(*flow, {{"in", Value::StringList({"a", "b"})}}, "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outputs.at("out"), Value::StringList({"a+!", "b+!"}));
+}
+
+TEST_F(ExecutorTest, MissingInputRejected) {
+  Executor ex(&registry_, nullptr);
+  auto result = ex.Execute(*UpperChain(), {}, "r1");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, WrongInputDepthRejected) {
+  Executor ex(&registry_, nullptr);
+  // Declared list(string), bound a bare string: assumption 2 violated.
+  auto result = ex.Execute(*UpperChain(), {{"in", Value::Str("x")}}, "r1");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorTest, WrongInputBaseTypeRejected) {
+  Executor ex(&registry_, nullptr);
+  auto result = ex.Execute(
+      *UpperChain(), {{"in", Value::List({Value::Int(1)})}}, "r1");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorTest, ActivityErrorPropagatesAndEndsRun) {
+  DataflowBuilder b("failing");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("boom")
+      .Activity("head")  // head on atoms fails
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "boom:x");
+  b.Arc("boom:y", "workflow:out");
+  auto flow = *b.Build();
+
+  RecordingObserver obs;
+  Executor ex(&registry_, &obs);
+  auto result =
+      ex.Execute(*flow, {{"in", Value::StringList({"a"})}}, "r1");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorTest, UnknownActivityRejected) {
+  DataflowBuilder b("ghost");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("ghost_activity")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+
+  Executor ex(&registry_, nullptr);
+  EXPECT_FALSE(
+      ex.Execute(*flow, {{"in", Value::StringList({"a"})}}, "r1").ok());
+}
+
+TEST_F(ExecutorTest, ActivityOutputDepthViolationDetected) {
+  // An activity whose output does not match the declared depth trips the
+  // assumption-1 check.
+  ActivityRegistry registry;
+  RegisterBuiltinActivities(&registry);
+  ASSERT_TRUE(
+      registry
+          .Register("bad_depth",
+                    [](const ActivityConfig&)
+                        -> Result<std::shared_ptr<Activity>> {
+                      return std::shared_ptr<Activity>(new LambdaActivity(
+                          [](const std::vector<Value>&)
+                              -> Result<std::vector<Value>> {
+                            return std::vector<Value>{
+                                Value::StringList({"list", "not", "atom"})};
+                          }));
+                    })
+          .ok());
+
+  DataflowBuilder b("bad");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("bad_depth")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));  // declared scalar, returns a list
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  auto flow = *b.Build();
+
+  Executor ex(&registry, nullptr);
+  auto result =
+      ex.Execute(*flow, {{"in", Value::StringList({"a"})}}, "r1");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ExecutorTest, PortValuesExposeIntermediates) {
+  Executor ex(&registry_, nullptr);
+  auto result =
+      ex.Execute(*UpperChain(), {{"in", Value::StringList({"a"})}}, "r1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->port_values.at("up:y"), Value::StringList({"A"}));
+  EXPECT_EQ(result->port_values.at("workflow:in"),
+            Value::StringList({"a"}));
+}
+
+TEST_F(ExecutorTest, MultiOutputProcessor) {
+  ActivityRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("split_case",
+                            [](const ActivityConfig&)
+                                -> Result<std::shared_ptr<Activity>> {
+                              return std::shared_ptr<Activity>(
+                                  new LambdaActivity(
+                                      [](const std::vector<Value>& in)
+                                          -> Result<std::vector<Value>> {
+                                        std::string s =
+                                            in[0].atom().AsString();
+                                        return std::vector<Value>{
+                                            Value::Str(s + "_upper"),
+                                            Value::Str(s + "_lower")};
+                                      }));
+                            })
+                  .ok());
+
+  workflow::DataflowBuilder b("multi_out");
+  b.Input("in", PortType::String(1));
+  b.Output("ups", PortType::String(1));
+  b.Output("lows", PortType::String(1));
+  b.Proc("p")
+      .Activity("split_case")
+      .In("x", PortType::String(0))
+      .Out("u", PortType::String(0))
+      .Out("l", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:u", "workflow:ups");
+  b.Arc("p:l", "workflow:lows");
+  auto flow = *b.Build();
+
+  Executor ex(&registry, nullptr);
+  auto result =
+      ex.Execute(*flow, {{"in", Value::StringList({"a", "b"})}}, "r1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outputs.at("ups"),
+            Value::StringList({"a_upper", "b_upper"}));
+  EXPECT_EQ(result->outputs.at("lows"),
+            Value::StringList({"a_lower", "b_lower"}));
+}
+
+}  // namespace
+}  // namespace provlin::engine

@@ -1,0 +1,128 @@
+// Processor graph: adjacency, toposort, upstream cones.
+
+#include "workflow/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workflow/builder.h"
+
+namespace provlin::workflow {
+namespace {
+
+/// Diamond: in -> a -> {b, c} -> d -> out.
+std::shared_ptr<const Dataflow> Diamond() {
+  DataflowBuilder bld("diamond");
+  bld.Input("in", PortType::String(1));
+  bld.Output("out", PortType::String(1));
+  for (const char* name : {"a", "b", "c"}) {
+    bld.Proc(name)
+        .Activity("to_upper")
+        .In("x", PortType::String(0))
+        .Out("y", PortType::String(0));
+  }
+  bld.Proc("d")
+      .Activity("concat2")
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Out("y", PortType::String(0));
+  bld.Arc("workflow:in", "a:x");
+  bld.Arc("a:y", "b:x");
+  bld.Arc("a:y", "c:x");
+  bld.Arc("b:y", "d:x1");
+  bld.Arc("c:y", "d:x2");
+  bld.Arc("d:y", "workflow:out");
+  auto flow = bld.Build();
+  EXPECT_TRUE(flow.ok()) << flow.status().ToString();
+  return *flow;
+}
+
+TEST(ProcessorGraph, PredecessorsAndSuccessors) {
+  auto flow = Diamond();
+  ProcessorGraph g(*flow);
+  EXPECT_TRUE(g.Predecessors("a").empty());
+  EXPECT_EQ(g.Predecessors("d"), (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(g.Successors("a"), (std::set<std::string>{"b", "c"}));
+  EXPECT_TRUE(g.Successors("d").empty());
+  EXPECT_TRUE(g.Predecessors("unknown").empty());
+}
+
+TEST(ProcessorGraph, WorkflowArcsAreNotGraphEdges) {
+  auto flow = Diamond();
+  ProcessorGraph g(*flow);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  // a has no predecessors despite the workflow:in arc.
+  EXPECT_TRUE(g.Predecessors("a").empty());
+}
+
+TEST(ProcessorGraph, TopologicalOrderRespectsDependencies) {
+  auto flow = Diamond();
+  ProcessorGraph g(*flow);
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  auto pos = [&](const std::string& p) {
+    return std::find(order->begin(), order->end(), p) - order->begin();
+  };
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("a"), pos("c"));
+  EXPECT_LT(pos("b"), pos("d"));
+  EXPECT_LT(pos("c"), pos("d"));
+  EXPECT_EQ(order->size(), 4u);
+}
+
+TEST(ProcessorGraph, TopologicalOrderIsDeterministic) {
+  auto flow = Diamond();
+  ProcessorGraph g(*flow);
+  auto o1 = *g.TopologicalOrder();
+  auto o2 = *g.TopologicalOrder();
+  EXPECT_EQ(o1, o2);
+  // Ties broken by declaration order: b declared before c.
+  auto pos = [&](const std::string& p) {
+    return std::find(o1.begin(), o1.end(), p) - o1.begin();
+  };
+  EXPECT_LT(pos("b"), pos("c"));
+}
+
+TEST(ProcessorGraph, DetectsCycle) {
+  // Build an (invalid) dataflow with a cycle directly.
+  Dataflow flow("cyclic");
+  for (const char* name : {"a", "b"}) {
+    Processor p;
+    p.name = name;
+    p.activity = "identity";
+    p.inputs.push_back(Port{"x", PortType::String(0)});
+    p.outputs.push_back(Port{"y", PortType::String(0)});
+    flow.AddProcessor(p);
+  }
+  ASSERT_TRUE(flow.AddArc(PortRef{"a", "y"}, PortRef{"b", "x"}).ok());
+  ASSERT_TRUE(flow.AddArc(PortRef{"b", "y"}, PortRef{"a", "x"}).ok());
+  ProcessorGraph g(flow);
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(ProcessorGraph, UpstreamConeIsInclusive) {
+  auto flow = Diamond();
+  ProcessorGraph g(*flow);
+  EXPECT_EQ(g.UpstreamOf("d"),
+            (std::set<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(g.UpstreamOf("b"), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(g.UpstreamOf("a"), (std::set<std::string>{"a"}));
+}
+
+TEST(ProcessorGraph, DisconnectedProcessorsStillSort) {
+  Dataflow flow("disc");
+  for (const char* name : {"x", "y"}) {
+    Processor p;
+    p.name = name;
+    p.activity = "identity";
+    flow.AddProcessor(p);
+  }
+  ProcessorGraph g(flow);
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 2u);
+}
+
+}  // namespace
+}  // namespace provlin::workflow

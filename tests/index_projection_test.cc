@@ -1,0 +1,145 @@
+// The index projection rule (Def. 4) in isolation.
+
+#include "lineage/index_projection.h"
+
+#include "workflow/iteration_strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin::lineage {
+namespace {
+
+using workflow::IterationStrategy;
+using workflow::Port;
+using workflow::Processor;
+using workflow::ProcessorDepths;
+
+Processor MakeProc(size_t inputs, IterationStrategy strategy) {
+  Processor p;
+  p.name = "P";
+  p.strategy = strategy;
+  for (size_t i = 0; i < inputs; ++i) {
+    p.inputs.push_back(Port{"X" + std::to_string(i + 1), PortType::String(0)});
+  }
+  p.outputs.push_back(Port{"Y", PortType::String(0)});
+  return p;
+}
+
+/// Builds the depth info the way PropagateDepths does: the strategy
+/// layout supplies iteration levels and the per-port slots that the
+/// projection reads.
+ProcessorDepths Depths(const Processor& proc, std::vector<int> deltas,
+                       IterationStrategy strategy) {
+  ProcessorDepths d;
+  d.input_deltas = deltas;
+  std::map<std::string, int> positive;
+  for (size_t i = 0; i < proc.inputs.size(); ++i) {
+    d.input_depths.push_back(deltas[i]);
+    positive[proc.inputs[i].name] = std::max(0, deltas[i]);
+  }
+  Processor with_strategy = proc;
+  with_strategy.strategy = strategy;
+  auto layout = workflow::LayoutStrategy(with_strategy.EffectiveStrategy(),
+                                         positive);
+  EXPECT_TRUE(layout.ok()) << layout.status().ToString();
+  d.iteration_levels = layout->levels;
+  d.slots = layout->slots;
+  return d;
+}
+
+TEST(IndexProjection, PaperFig3Apportioning) {
+  // δ = (1, 0, 1): q = [h, l] maps to ([h], [], [l]) — the paper's
+  // worked example lin(P:Y[h,l]).
+  Processor p = MakeProc(3, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(p, Depths(p, {1, 0, 1}, IterationStrategy::kCross),
+                                 Index({7, 3}));
+  ASSERT_EQ(proj.size(), 3u);
+  EXPECT_EQ(proj[0], Index({7}));
+  EXPECT_EQ(proj[1], Index());
+  EXPECT_EQ(proj[2], Index({3}));
+}
+
+TEST(IndexProjection, MultiLevelFragments) {
+  // δ = (2, 1): q = [a,b,c] maps to ([a,b], [c]).
+  Processor p = MakeProc(2, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {2, 1}, IterationStrategy::kCross), Index({4, 5, 6}));
+  EXPECT_EQ(proj[0], Index({4, 5}));
+  EXPECT_EQ(proj[1], Index({6}));
+}
+
+TEST(IndexProjection, EmptyQueryIndexProjectsEmpty) {
+  // The whole-value query stays whole-value on every input (the paper's
+  // coarse-granularity example lin(P:Y[])).
+  Processor p = MakeProc(3, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {1, 0, 1}, IterationStrategy::kCross), Index());
+  EXPECT_EQ(proj[0], Index());
+  EXPECT_EQ(proj[1], Index());
+  EXPECT_EQ(proj[2], Index());
+}
+
+TEST(IndexProjection, ShortIndexTruncatesGracefully) {
+  // q shorter than the total iteration depth: the available components
+  // go to the leading ports, the rest become whole-value probes.
+  Processor p = MakeProc(2, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {2, 2}, IterationStrategy::kCross), Index({9}));
+  EXPECT_EQ(proj[0], Index({9}));  // only one of its two components known
+  EXPECT_EQ(proj[1], Index());
+}
+
+TEST(IndexProjection, ExtraComponentsBeyondIterationAreDropped) {
+  // q deeper than l: the tail indexes inside the black-box output value.
+  Processor p = MakeProc(1, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {1}, IterationStrategy::kCross), Index({2, 8, 8}));
+  EXPECT_EQ(proj[0], Index({2}));
+}
+
+TEST(IndexProjection, NegativeDeltasGetEmptyIndex) {
+  Processor p = MakeProc(2, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {-1, 1}, IterationStrategy::kCross), Index({3}));
+  EXPECT_EQ(proj[0], Index());
+  EXPECT_EQ(proj[1], Index({3}));
+}
+
+TEST(IndexProjection, NoIterationAllEmpty) {
+  Processor p = MakeProc(2, IterationStrategy::kCross);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {0, 0}, IterationStrategy::kCross), Index({1, 2}));
+  EXPECT_EQ(proj[0], Index());
+  EXPECT_EQ(proj[1], Index());
+}
+
+TEST(IndexProjection, DotSharesTheIndex) {
+  Processor p = MakeProc(3, IterationStrategy::kDot);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {1, 0, 1}, IterationStrategy::kDot), Index({5}));
+  EXPECT_EQ(proj[0], Index({5}));
+  EXPECT_EQ(proj[1], Index());
+  EXPECT_EQ(proj[2], Index({5}));
+}
+
+TEST(IndexProjection, DotTruncatesToAvailable) {
+  Processor p = MakeProc(1, IterationStrategy::kDot);
+  auto proj = ProjectOutputIndex(
+      p, Depths(p, {2}, IterationStrategy::kDot), Index({5}));
+  EXPECT_EQ(proj[0], Index({5}));
+}
+
+TEST(IndexProjection, Prop1RoundTrip) {
+  // For full-length q under cross: concatenating the fragments in port
+  // order reconstructs exactly the first l components of q (Prop. 1).
+  Processor p = MakeProc(4, IterationStrategy::kCross);
+  ProcessorDepths d = Depths(p, {1, 0, 2, 1}, IterationStrategy::kCross);
+  Index q({3, 1, 4, 1});
+  auto proj = ProjectOutputIndex(p, d, q);
+  Index concat;
+  for (const Index& frag : proj) concat = concat.Concat(frag);
+  EXPECT_EQ(concat, q);
+}
+
+}  // namespace
+}  // namespace provlin::lineage

@@ -1,0 +1,111 @@
+#include "values/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace provlin {
+namespace {
+
+TEST(Index, EmptyIndexDenotesWholeValue) {
+  Index idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.length(), 0u);
+  EXPECT_EQ(idx.ToString(), "[]");
+  EXPECT_EQ(idx.Encode(), "");
+}
+
+TEST(Index, ToStringIsOneBasedLikeThePaper) {
+  EXPECT_EQ(Index({0, 1}).ToString(), "[1,2]");
+  EXPECT_EQ(Index({4}).ToString(), "[5]");
+}
+
+TEST(Index, ConcatMatchesProp1Composition) {
+  Index p1({1});
+  Index p2({2, 3});
+  EXPECT_EQ(p1.Concat(p2), Index({1, 2, 3}));
+  EXPECT_EQ(Index().Concat(p1), p1);
+  EXPECT_EQ(p1.Concat(Index()), p1);
+}
+
+TEST(Index, ChildAppends) {
+  EXPECT_EQ(Index({1}).Child(2), Index({1, 2}));
+  EXPECT_EQ(Index().Child(0), Index({0}));
+}
+
+TEST(Index, SubIndexAndPrefix) {
+  Index q({5, 6, 7, 8});
+  EXPECT_EQ(q.SubIndex(1, 2), Index({6, 7}));
+  EXPECT_EQ(q.SubIndex(0, 0), Index());
+  EXPECT_EQ(q.Prefix(3), Index({5, 6, 7}));
+  EXPECT_EQ(q.Prefix(0), Index());
+}
+
+TEST(Index, IsPrefixOf) {
+  EXPECT_TRUE(Index().IsPrefixOf(Index({1, 2})));
+  EXPECT_TRUE(Index({1}).IsPrefixOf(Index({1, 2})));
+  EXPECT_TRUE(Index({1, 2}).IsPrefixOf(Index({1, 2})));
+  EXPECT_FALSE(Index({2}).IsPrefixOf(Index({1, 2})));
+  EXPECT_FALSE(Index({1, 2, 3}).IsPrefixOf(Index({1, 2})));
+}
+
+TEST(Index, EncodeDecodeRoundTrip) {
+  for (const Index& idx :
+       {Index(), Index({0}), Index({1, 2}), Index({99998, 0, 7})}) {
+    auto decoded = Index::Decode(idx.Encode());
+    ASSERT_TRUE(decoded.ok()) << idx.ToString();
+    EXPECT_EQ(*decoded, idx);
+  }
+}
+
+TEST(Index, DecodeRejectsMalformed) {
+  EXPECT_FALSE(Index::Decode("1").ok());        // not 5 digits
+  EXPECT_FALSE(Index::Decode("abcde").ok());    // not a number
+  EXPECT_FALSE(Index::Decode("00001.").ok());   // dangling dot
+  EXPECT_FALSE(Index::Decode("000001").ok());   // 6 digits
+}
+
+TEST(Index, EncodePreservesOrder) {
+  // Property: lexicographic order of encodings == (prefix-aware)
+  // component order of indices — required for B+tree prefix scans.
+  Random rng(2024);
+  std::vector<Index> indices;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int32_t> parts;
+    size_t len = rng.Uniform(4);
+    for (size_t j = 0; j < len; ++j) {
+      parts.push_back(static_cast<int32_t>(rng.Uniform(300)));
+    }
+    indices.emplace_back(parts);
+  }
+  for (const Index& a : indices) {
+    for (const Index& b : indices) {
+      bool idx_less = a.parts() < b.parts();
+      bool enc_less = a.Encode() < b.Encode();
+      EXPECT_EQ(idx_less, enc_less)
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(Index, StrictDescendantEncodingStartsWithDotExtension) {
+  // The trace store's "finer bindings" range scan relies on descendants
+  // of q having encodings prefixed by Encode(q) + ".".
+  Index q({1, 2});
+  Index finer({1, 2, 0});
+  Index sibling({1, 3});
+  EXPECT_EQ(finer.Encode().rfind(q.Encode() + ".", 0), 0u);
+  EXPECT_NE(sibling.Encode().rfind(q.Encode() + ".", 0), 0u);
+}
+
+TEST(Index, ComparisonOperators) {
+  EXPECT_EQ(Index({1, 2}), Index({1, 2}));
+  EXPECT_NE(Index({1}), Index({1, 0}));
+  EXPECT_LT(Index({1}), Index({1, 0}));  // prefix sorts first
+  EXPECT_LT(Index({0, 9}), Index({1}));
+}
+
+}  // namespace
+}  // namespace provlin

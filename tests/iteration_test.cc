@@ -1,0 +1,201 @@
+// The list-iteration model: generalized cross product (Def. 2), eval_l
+// (Def. 3), dot products, singleton wrapping. Several cases are the
+// paper's own worked examples.
+
+#include "engine/iteration.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin::engine {
+namespace {
+
+using workflow::IterationStrategy;
+
+Value AB() { return Value::StringList({"a", "b"}); }
+
+TEST(Iteration, NoMismatchIsSingleInvocation) {
+  auto tree = BuildIterationTree({Value::Str("x")}, {0},
+                                 IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->is_leaf);
+  EXPECT_EQ(tree->Depth(), 0);
+  EXPECT_EQ(tree->CountLeaves(), 1u);
+  EXPECT_EQ(tree->args, (std::vector<Value>{Value::Str("x")}));
+  EXPECT_EQ(tree->arg_indices, (std::vector<Index>{Index()}));
+}
+
+TEST(Iteration, SingleLevelIterationEnumeratesElements) {
+  auto tree = BuildIterationTree({AB()}, {1}, IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), 1);
+  ASSERT_EQ(tree->children.size(), 2u);
+  EXPECT_EQ(tree->children[0].args[0], Value::Str("a"));
+  EXPECT_EQ(tree->children[0].arg_indices[0], Index({0}));
+  EXPECT_EQ(tree->children[1].args[0], Value::Str("b"));
+  EXPECT_EQ(tree->children[1].arg_indices[0], Index({1}));
+}
+
+TEST(Iteration, PaperEval2Example) {
+  // (eval_2 P [[a,b]]) with δ = 2: two leaves under a single outer node.
+  Value v = Value::List({AB()});
+  auto tree = BuildIterationTree({v}, {2}, IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), 2);
+  ASSERT_EQ(tree->children.size(), 1u);
+  ASSERT_EQ(tree->children[0].children.size(), 2u);
+  const TupleTree& leaf = tree->children[0].children[1];
+  EXPECT_EQ(leaf.args[0], Value::Str("b"));
+  EXPECT_EQ(leaf.arg_indices[0], Index({0, 1}));
+}
+
+TEST(Iteration, PaperFig3CrossProduct) {
+  // P with ⟨a,1⟩ ⊗ ⟨c,0⟩ ⊗ ⟨b,1⟩: n*m leaves, c passed whole to each.
+  Value a = Value::StringList({"a1", "a2", "a3"});  // n = 3
+  Value c = Value::Str("c");
+  Value b = Value::StringList({"b1", "b2"});  // m = 2
+  auto tree = BuildIterationTree({a, c, b}, {1, 0, 1},
+                                 IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), 2);
+  EXPECT_EQ(tree->CountLeaves(), 6u);
+  ASSERT_EQ(tree->children.size(), 3u);  // outer dim from a
+  ASSERT_EQ(tree->children[0].children.size(), 2u);  // inner dim from b
+
+  // Leaf (i=1, j=0): args (a2, c, b1); q = [1] · [] · [0] = path [1,0].
+  const TupleTree& leaf = tree->children[1].children[0];
+  EXPECT_EQ(leaf.args,
+            (std::vector<Value>{Value::Str("a2"), c, Value::Str("b1")}));
+  EXPECT_EQ(leaf.arg_indices,
+            (std::vector<Index>{Index({1}), Index(), Index({0})}));
+}
+
+TEST(Iteration, LeafPathEqualsConcatenatedIndices) {
+  // Engine-side Prop. 1: walking to each leaf, the path equals the
+  // concatenation of the per-port indices.
+  Value a = Value::StringList({"x", "y"});
+  Value b = Value::List({Value::StringList({"p", "q"}),
+                         Value::StringList({"r"})});
+  auto tree = BuildIterationTree({a, b}, {1, 2}, IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+
+  std::function<void(const TupleTree&, const Index&)> walk =
+      [&](const TupleTree& node, const Index& path) {
+        if (node.is_leaf) {
+          Index concat;
+          for (const Index& p : node.arg_indices) concat = concat.Concat(p);
+          EXPECT_EQ(concat, path);
+          return;
+        }
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          walk(node.children[i], path.Child(static_cast<int32_t>(i)));
+        }
+      };
+  walk(*tree, Index());
+  EXPECT_EQ(tree->CountLeaves(), 2u * 3u);
+}
+
+TEST(Iteration, RaggedInnerListsKeepShape) {
+  Value ragged = Value::List({Value::StringList({"a"}),
+                              Value::StringList({"b", "c", "d"})});
+  auto tree = BuildIterationTree({ragged}, {2}, IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->children.size(), 2u);
+  EXPECT_EQ(tree->children[0].children.size(), 1u);
+  EXPECT_EQ(tree->children[1].children.size(), 3u);
+}
+
+TEST(Iteration, EmptyListYieldsNoLeaves) {
+  auto tree = BuildIterationTree({Value::List({})}, {1},
+                                 IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->CountLeaves(), 0u);
+  EXPECT_FALSE(tree->is_leaf);
+  EXPECT_TRUE(tree->children.empty());
+}
+
+TEST(Iteration, NegativeMismatchWrapsSingletons) {
+  auto tree = BuildIterationTree({Value::Str("x")}, {-2},
+                                 IterationStrategy::kCross);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->is_leaf);
+  EXPECT_EQ(tree->args[0], Value::List({Value::List({Value::Str("x")})}));
+  EXPECT_EQ(tree->arg_indices[0], Index());
+}
+
+TEST(Iteration, WrapSingletonsHelper) {
+  EXPECT_EQ(WrapSingletons(Value::Str("x"), 0), Value::Str("x"));
+  EXPECT_EQ(WrapSingletons(Value::Str("x"), 1),
+            Value::List({Value::Str("x")}));
+}
+
+TEST(Iteration, TooShallowValueIsAnError) {
+  EXPECT_FALSE(
+      BuildIterationTree({Value::Str("x")}, {1}, IterationStrategy::kCross)
+          .ok());
+  EXPECT_FALSE(
+      BuildIterationTree({AB()}, {2}, IterationStrategy::kCross).ok());
+}
+
+TEST(Iteration, ArityMismatchRejected) {
+  EXPECT_FALSE(
+      BuildIterationTree({AB()}, {1, 1}, IterationStrategy::kCross).ok());
+}
+
+TEST(Iteration, DotPairsElementsPositionally) {
+  Value a = Value::StringList({"a1", "a2"});
+  Value b = Value::StringList({"b1", "b2"});
+  auto tree = BuildIterationTree({a, b}, {1, 1}, IterationStrategy::kDot);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), 1);
+  ASSERT_EQ(tree->children.size(), 2u);
+  EXPECT_EQ(tree->children[0].args,
+            (std::vector<Value>{Value::Str("a1"), Value::Str("b1")}));
+  // Both iterated ports carry the SAME index under dot.
+  EXPECT_EQ(tree->children[1].arg_indices,
+            (std::vector<Index>{Index({1}), Index({1})}));
+}
+
+TEST(Iteration, DotMixesIteratedAndWholePorts) {
+  Value a = Value::StringList({"a1", "a2"});
+  Value c = Value::Str("c");
+  auto tree = BuildIterationTree({a, c}, {1, 0}, IterationStrategy::kDot);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->CountLeaves(), 2u);
+  EXPECT_EQ(tree->children[0].args[1], c);
+  EXPECT_EQ(tree->children[0].arg_indices[1], Index());
+}
+
+TEST(Iteration, DotRejectsUnequalLengths) {
+  Value a = Value::StringList({"a1", "a2"});
+  Value b = Value::StringList({"b1"});
+  EXPECT_FALSE(
+      BuildIterationTree({a, b}, {1, 1}, IterationStrategy::kDot).ok());
+}
+
+TEST(Iteration, DotRejectsUnequalMismatches) {
+  Value a = Value::StringList({"a1"});
+  Value b = Value::List({Value::StringList({"b1"})});
+  EXPECT_FALSE(
+      BuildIterationTree({a, b}, {1, 2}, IterationStrategy::kDot).ok());
+}
+
+TEST(Iteration, DotWithNoIteratedPortsIsSingleInvocation) {
+  auto tree = BuildIterationTree({Value::Str("x")}, {0},
+                                 IterationStrategy::kDot);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->is_leaf);
+}
+
+TEST(Iteration, DeepDotZipsNestedLists) {
+  Value a = Value::List({Value::StringList({"a", "b"})});
+  Value b = Value::List({Value::StringList({"c", "d"})});
+  auto tree = BuildIterationTree({a, b}, {2, 2}, IterationStrategy::kDot);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Depth(), 2);
+  EXPECT_EQ(tree->CountLeaves(), 2u);
+  EXPECT_EQ(tree->children[0].children[1].args,
+            (std::vector<Value>{Value::Str("b"), Value::Str("d")}));
+}
+
+}  // namespace
+}  // namespace provlin::engine

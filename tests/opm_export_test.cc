@@ -1,0 +1,79 @@
+// OPM-style JSON export of a run's trace.
+
+#include "provenance/opm_export.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+
+namespace provlin::provenance {
+namespace {
+
+using testbed::Workbench;
+
+class OpmExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wb_ = std::move(*Workbench::Synthetic(1));
+    ASSERT_TRUE(wb_->RunSynthetic(2, "r0").ok());
+  }
+  std::unique_ptr<Workbench> wb_;
+};
+
+TEST_F(OpmExportTest, DocumentStructure) {
+  auto json = ExportOpmJson(*wb_->store(), "r0");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"opm\": \"1.1\""), std::string::npos);
+  EXPECT_NE(json->find("\"run\": \"r0\""), std::string::npos);
+  for (const char* section :
+       {"\"artifacts\"", "\"processes\"", "\"used\"",
+        "\"wasGeneratedBy\"", "\"wasDerivedFrom\""}) {
+    EXPECT_NE(json->find(section), std::string::npos) << section;
+  }
+  // Fine-grained bindings appear as distinct artifacts.
+  EXPECT_NE(json->find("\"CHAINA_1:x[1]\""), std::string::npos);
+  EXPECT_NE(json->find("\"CHAINA_1:x[2]\""), std::string::npos);
+  // Values carried inline.
+  EXPECT_NE(json->find("\\\"e0\\\""), std::string::npos);
+}
+
+TEST_F(OpmExportTest, DeterministicAcrossCalls) {
+  auto a = ExportOpmJson(*wb_->store(), "r0");
+  auto b = ExportOpmJson(*wb_->store(), "r0");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(OpmExportTest, EdgeCountsMatchTrace) {
+  auto json = *ExportOpmJson(*wb_->store(), "r0");
+  auto counts = *wb_->store()->CountRecords("r0");
+  auto count_in_section = [&](const char* name) {
+    size_t begin = json.find(std::string("\"") + name + "\": [");
+    EXPECT_NE(begin, std::string::npos) << name;
+    size_t end = json.find("\n  ]", begin);
+    size_t n = 0;
+    for (size_t pos = json.find('{', begin);
+         pos != std::string::npos && pos < end;
+         pos = json.find('{', pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  size_t used = count_in_section("used");
+  size_t generated = count_in_section("wasGeneratedBy");
+  size_t derived = count_in_section("wasDerivedFrom");
+  // Every xform dependency row yields one used and one wasGeneratedBy
+  // (the workflow-input source row yields only wasGeneratedBy).
+  EXPECT_EQ(derived, counts.xfer_rows);
+  EXPECT_EQ(used + 1, counts.xform_rows);
+  EXPECT_EQ(generated, counts.xform_rows);
+}
+
+TEST_F(OpmExportTest, UnknownRunFails) {
+  EXPECT_FALSE(ExportOpmJson(*wb_->store(), "ghost").ok());
+}
+
+}  // namespace
+}  // namespace provlin::provenance

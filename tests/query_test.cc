@@ -1,0 +1,135 @@
+// The declarative select layer: planning (index selection), access-path
+// reporting, and residual filtering.
+
+#include "storage/query.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin::storage {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest()
+      : table_("xform", Schema({{"run", DatumKind::kString},
+                                {"proc", DatumKind::kString},
+                                {"idx", DatumKind::kString},
+                                {"val", DatumKind::kInt}})) {
+    EXPECT_TRUE(table_
+                    .CreateIndex({"by_proc_idx",
+                                  {"run", "proc", "idx"},
+                                  IndexType::kBTree})
+                    .ok());
+    EXPECT_TRUE(
+        table_.CreateIndex({"by_val", {"run", "val"}, IndexType::kHash}).ok());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(table_
+                      .Insert({Datum("r0"), Datum("P" + std::to_string(i % 4)),
+                               Datum("0000" + std::to_string(i % 10)),
+                               Datum(int64_t{i})})
+                      .ok());
+    }
+  }
+
+  Table table_;
+};
+
+TEST_F(QueryTest, FullEqualityUsesIndexEq) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r0")}, {"proc", Datum("P1")},
+              {"idx", Datum("00001")}};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kIndexEq);
+  EXPECT_EQ(r->index_used, "by_proc_idx");
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][3].AsInt(), 1);
+}
+
+TEST_F(QueryTest, LeadingEqualityUsesIndexRange) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r0")}, {"proc", Datum("P2")}};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kIndexRange);
+  EXPECT_EQ(r->rows.size(), 5u);  // i = 2, 6, 10, 14, 18
+}
+
+TEST_F(QueryTest, StringPrefixTurnsIntoRangeScan) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r0")}, {"proc", Datum("P1")}};
+  q.string_prefix = SelectQuery::StringPrefix{"idx", "0000"};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kIndexRange);
+  EXPECT_EQ(r->rows.size(), 5u);  // all P1 rows share the 0000 prefix
+}
+
+TEST_F(QueryTest, HashIndexNeedsExactColumnSet) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r0")}, {"val", Datum(int64_t{7})}};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kIndexEq);
+  EXPECT_EQ(r->index_used, "by_val");
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][3].AsInt(), 7);
+}
+
+TEST_F(QueryTest, NoUsableIndexFallsBackToFullScan) {
+  SelectQuery q;
+  q.equals = {{"val", Datum(int64_t{3})}};  // by_val needs run too
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kFullScan);
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][3].AsInt(), 3);
+}
+
+TEST_F(QueryTest, ResidualPredicatesFilterIndexResults) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r0")},
+              {"proc", Datum("P1")},
+              {"val", Datum(int64_t{13})}};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  // Planner picks an index on (run, proc[, idx]); val filters residually.
+  EXPECT_NE(r->access_path, AccessPath::kFullScan);
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][3].AsInt(), 13);
+}
+
+TEST_F(QueryTest, EmptyQueryScansEverything) {
+  SelectQuery q;
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->access_path, AccessPath::kFullScan);
+  EXPECT_EQ(r->rows.size(), 20u);
+}
+
+TEST_F(QueryTest, UnknownColumnRejected) {
+  SelectQuery q;
+  q.equals = {{"nope", Datum("x")}};
+  EXPECT_FALSE(ExecuteSelect(table_, q).ok());
+  SelectQuery q2;
+  q2.string_prefix = SelectQuery::StringPrefix{"nope", "x"};
+  EXPECT_FALSE(ExecuteSelect(table_, q2).ok());
+}
+
+TEST_F(QueryTest, NoMatchesIsEmptyNotError) {
+  SelectQuery q;
+  q.equals = {{"run", Datum("r9")}, {"proc", Datum("P1")},
+              {"idx", Datum("00001")}};
+  auto r = ExecuteSelect(table_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(QueryTest, AccessPathNames) {
+  EXPECT_EQ(AccessPathName(AccessPath::kIndexEq), "index-eq");
+  EXPECT_EQ(AccessPathName(AccessPath::kIndexRange), "index-range");
+  EXPECT_EQ(AccessPathName(AccessPath::kFullScan), "full-scan");
+}
+
+}  // namespace
+}  // namespace provlin::storage

@@ -1,0 +1,141 @@
+// The SQL SELECT layer over the embedded engine.
+
+#include "storage/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin::storage {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() {
+    Table* t = *db_.CreateTable(
+        "xform", Schema({{"run_id", DatumKind::kString},
+                         {"processor", DatumKind::kString},
+                         {"out_index", DatumKind::kString},
+                         {"out_value", DatumKind::kInt}}));
+    EXPECT_TRUE(t->CreateIndex({"by_proc",
+                                {"run_id", "processor", "out_index"},
+                                IndexType::kBTree})
+                    .ok());
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(t->Insert({Datum("r0"), Datum("P" + std::to_string(i % 3)),
+                             Datum("0000" + std::to_string(i % 4)),
+                             Datum(int64_t{i})})
+                      .ok());
+    }
+  }
+
+  Result<SqlResult> Run(const std::string& sql) {
+    return ExecuteSql(db_, sql);
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, SelectStarWithEquality) {
+  auto r = Run("SELECT * FROM xform WHERE run_id = 'r0' AND processor = 'P1'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->columns,
+            (std::vector<std::string>{"run_id", "processor", "out_index",
+                                      "out_value"}));
+  EXPECT_EQ(r->rows.size(), 4u);  // i = 1, 4, 7, 10
+  EXPECT_EQ(r->access_path, AccessPath::kIndexRange);
+  EXPECT_EQ(r->index_used, "by_proc");
+}
+
+TEST_F(SqlTest, ProjectionSelectsAndOrdersColumns) {
+  auto r = Run("SELECT out_value, processor FROM xform WHERE run_id = 'r0' "
+               "AND processor = 'P2' AND out_index = '00002'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->columns,
+            (std::vector<std::string>{"out_value", "processor"}));
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r->rows[0][1].AsString(), "P2");
+  EXPECT_EQ(r->access_path, AccessPath::kIndexEq);
+}
+
+TEST_F(SqlTest, LikePrefixBecomesRangeScan) {
+  auto r = Run("SELECT * FROM xform WHERE run_id = 'r0' AND "
+               "processor = 'P0' AND out_index LIKE '0000%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->access_path, AccessPath::kIndexRange);
+}
+
+TEST_F(SqlTest, CountStar) {
+  auto r = Run("SELECT COUNT(*) FROM xform WHERE run_id = 'r0'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"count"}));
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 12);
+}
+
+TEST_F(SqlTest, LimitTruncates) {
+  auto r = Run("SELECT * FROM xform WHERE run_id = 'r0' LIMIT 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 5u);
+  auto zero = Run("SELECT * FROM xform LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->rows.empty());
+}
+
+TEST_F(SqlTest, IntegerAndQuoteEscapes) {
+  Table* t = *db_.CreateTable(
+      "notes", Schema({{"k", DatumKind::kInt}, {"v", DatumKind::kString}}));
+  ASSERT_TRUE(t->Insert({Datum(int64_t{7}), Datum("it's fine")}).ok());
+  auto r = Run("SELECT v FROM notes WHERE k = 7 AND v = 'it''s fine'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "it's fine");
+}
+
+TEST_F(SqlTest, KeywordsAreCaseInsensitive) {
+  auto r = Run("select count(*) from xform where run_id = 'r0' and "
+               "processor = 'P0'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(SqlTest, NoWhereScansEverything) {
+  auto r = Run("SELECT * FROM xform");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 12u);
+  EXPECT_EQ(r->access_path, AccessPath::kFullScan);
+}
+
+TEST_F(SqlTest, Errors) {
+  EXPECT_FALSE(Run("").ok());
+  EXPECT_FALSE(Run("SELEC * FROM xform").ok());
+  EXPECT_FALSE(Run("SELECT * FROM no_such_table").ok());
+  EXPECT_FALSE(Run("SELECT nope FROM xform").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE nope = 'x'").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE run_id").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE run_id = ").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE run_id = 'r0' garbage").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE run_id = 'unterminated").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform LIMIT -3").ok());
+  // LIKE restrictions: prefix-only, single occurrence.
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE out_index LIKE '%suffix'").ok());
+  EXPECT_FALSE(Run("SELECT * FROM xform WHERE out_index LIKE 'a_b%'").ok());
+  EXPECT_FALSE(
+      Run("SELECT * FROM xform WHERE out_index LIKE 'a%' AND "
+          "processor LIKE 'b%'")
+          .ok());
+}
+
+TEST_F(SqlTest, DoubleLiterals) {
+  Table* t = *db_.CreateTable(
+      "metrics", Schema({{"name", DatumKind::kString},
+                         {"value", DatumKind::kDouble}}));
+  ASSERT_TRUE(t->Insert({Datum("pi"), Datum(3.5)}).ok());
+  auto r = Run("SELECT name FROM metrics WHERE value = 3.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "pi");
+}
+
+}  // namespace
+}  // namespace provlin::storage

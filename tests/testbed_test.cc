@@ -1,0 +1,176 @@
+// Testbed components: synthetic generator structure, GK and PD
+// workflows, KEGG/PubMed simulators.
+
+#include <gtest/gtest.h>
+
+#include "engine/builtin_activities.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/kegg_sim.h"
+#include "testbed/pd_workflow.h"
+#include "testbed/pubmed_sim.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+#include "workflow/depth_propagation.h"
+
+namespace provlin::testbed {
+namespace {
+
+TEST(Synthetic, StructureMatchesFig5) {
+  auto flow = *MakeSyntheticWorkflow(4);
+  EXPECT_EQ(flow->num_processors(), static_cast<size_t>(SyntheticNodeCount(4)));
+  EXPECT_NE(flow->FindProcessor(kListGen), nullptr);
+  EXPECT_NE(flow->FindProcessor(kFinal), nullptr);
+  EXPECT_NE(flow->FindProcessor(ChainAProc(1)), nullptr);
+  EXPECT_NE(flow->FindProcessor(ChainBProc(4)), nullptr);
+  EXPECT_EQ(flow->FindProcessor("CHAINA_5"), nullptr);
+  EXPECT_FALSE(MakeSyntheticWorkflow(0).ok());
+}
+
+TEST(Synthetic, DIsControlledAtRunTime) {
+  auto wb = std::move(*Workbench::Synthetic(2));
+  auto r1 = *wb->RunSynthetic(3, "a");
+  auto r2 = *wb->RunSynthetic(5, "b");
+  EXPECT_EQ(r1.outputs.at("RESULT").list_size(), 3u);
+  EXPECT_EQ(r2.outputs.at("RESULT").list_size(), 5u);
+  EXPECT_EQ(r2.outputs.at("RESULT").elements()[0].list_size(), 5u);
+}
+
+TEST(Synthetic, AllChainProcessorsAreOneToOne) {
+  auto flow = *MakeSyntheticWorkflow(3);
+  auto depths = *workflow::PropagateDepths(*flow);
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_EQ(depths.ForProcessor(ChainAProc(k)).iteration_levels, 1);
+    EXPECT_EQ(depths.ForProcessor(ChainBProc(k)).iteration_levels, 1);
+  }
+  EXPECT_EQ(depths.ForProcessor(kFinal).iteration_levels, 2);
+  EXPECT_EQ(depths.ForProcessor(kListGen).iteration_levels, 0);
+}
+
+TEST(Synthetic, ValuesStayDistinctAlongChains) {
+  // Every chain processor tags its input, so lineage-relevant values
+  // differ at every step (no accidental value collisions in the trace).
+  auto wb = std::move(*Workbench::Synthetic(2));
+  auto run = *wb->RunSynthetic(2, "r");
+  EXPECT_EQ(*run.outputs.at("RESULT").At(Index({0, 1})),
+            Value::Str("a2(a1(e0))+b2(b1(e1))"));
+}
+
+TEST(KeggSim, DeterministicAndSeedSensitive) {
+  KeggSimulator sim1(1), sim1b(1), sim2(2);
+  auto p1 = sim1.PathwaysForGene("mmu:100");
+  EXPECT_EQ(p1, sim1b.PathwaysForGene("mmu:100"));
+  EXPECT_FALSE(p1.empty());
+  // Different seeds generally differ for some gene.
+  bool any_diff = false;
+  for (int g = 0; g < 20 && !any_diff; ++g) {
+    std::string gene = "mmu:" + std::to_string(g);
+    any_diff = sim1.PathwaysForGene(gene) != sim2.PathwaysForGene(gene);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(KeggSim, EveryGeneSharesTheCommonPathway) {
+  KeggSimulator sim(9);
+  for (int g = 0; g < 30; ++g) {
+    auto paths = sim.PathwaysForGene("gene" + std::to_string(g));
+    EXPECT_NE(std::find(paths.begin(), paths.end(), "path:04010"),
+              paths.end());
+  }
+  // Hence the intersection over any gene list is non-empty.
+  auto common = sim.PathwaysForGenes({"a", "b", "c", "d"});
+  EXPECT_FALSE(common.empty());
+}
+
+TEST(KeggSim, DescriptionsAreStable) {
+  KeggSimulator sim;
+  EXPECT_EQ(sim.DescribePathway("path:04010"),
+            "path:04010 MAPK signaling pathway");
+  EXPECT_EQ(sim.DescribePathway("path:99999"),
+            "path:99999 (unknown pathway)");
+}
+
+TEST(GkWorkflow, ReproducesPaperShape) {
+  auto wb = std::move(*Workbench::GK());
+  auto run = *wb->Run({{"list_of_geneIDList", GkSampleInput()}}, "r");
+  const Value& per_gene = run.outputs.at("paths_per_gene");
+  ASSERT_EQ(per_gene.depth(), 2);
+  ASSERT_EQ(per_gene.list_size(), 2u);  // one sub-list per input sub-list
+  const Value& common = run.outputs.at("commonPathways");
+  ASSERT_EQ(common.depth(), 1);
+  EXPECT_GE(common.list_size(), 1u);
+  // Every common pathway appears in each per-gene sub-list (description
+  // suffix included).
+  for (const Value& c : common.elements()) {
+    for (const Value& sub : per_gene.elements()) {
+      bool found = false;
+      for (const Value& p : sub.elements()) {
+        if (p == c) found = true;
+      }
+      EXPECT_TRUE(found) << c.ToString();
+    }
+  }
+}
+
+TEST(GkWorkflow, SyntheticInputScales) {
+  auto wb = std::move(*Workbench::GK());
+  Value input = GkSyntheticInput(5, 2, 123);
+  ASSERT_EQ(input.list_size(), 5u);
+  auto run = wb->Run({{"list_of_geneIDList", input}}, "r");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->outputs.at("paths_per_gene").list_size(), 5u);
+}
+
+TEST(PubmedSim, SearchFetchExtractPipelineIsDeterministic) {
+  PubmedSimulator sim(3);
+  auto ids = sim.Search({"cancer", "kinase"});
+  EXPECT_EQ(ids.size(), 6u);  // 3 per term
+  EXPECT_EQ(ids, PubmedSimulator(3).Search({"cancer", "kinase"}));
+  std::string abstract = sim.FetchAbstract(ids[0]);
+  EXPECT_NE(abstract.find(ids[0]), std::string::npos);
+  auto proteins = sim.ExtractProteins(abstract);
+  EXPECT_FALSE(proteins.empty());
+  for (const auto& p : proteins) {
+    EXPECT_NE(abstract.find(p), std::string::npos);
+  }
+}
+
+TEST(PdWorkflow, LongPathStructure) {
+  auto flow = *MakePdWorkflow(22);
+  EXPECT_EQ(flow->num_processors(), 22u + 8u);  // chain + fixed stages
+  EXPECT_FALSE(MakePdWorkflow(0).ok());
+}
+
+TEST(PdWorkflow, EndToEndRunDiscoversProteins) {
+  auto wb = std::move(*Workbench::PD(/*text_steps=*/3));
+  auto run = *wb->Run({{"terms", PdSampleInput()}}, "r");
+  const Value& proteins = run.outputs.at("discovered_proteins");
+  ASSERT_EQ(proteins.depth(), 1);
+  EXPECT_GT(proteins.list_size(), 0u);
+  // Output is sorted + deduplicated (rank after dedupe).
+  for (size_t i = 1; i < proteins.list_size(); ++i) {
+    EXPECT_LT(proteins.elements()[i - 1].atom().AsString(),
+              proteins.elements()[i].atom().AsString());
+  }
+}
+
+TEST(PdWorkflow, TextStepsControlPathLength) {
+  auto wb = std::move(*Workbench::PD(/*text_steps=*/1));
+  auto run = wb->Run({{"terms", PdSampleInput()}}, "r");
+  ASSERT_TRUE(run.ok());
+  auto wb2 = std::move(*Workbench::PD(/*text_steps=*/10));
+  auto run2 = wb2->Run({{"terms", PdSampleInput()}}, "r");
+  ASSERT_TRUE(run2.ok());
+  EXPECT_GT(run2->total_invocations, run->total_invocations);
+}
+
+TEST(Workbench, CustomFlowAndRegistry) {
+  auto flow = *MakeSyntheticWorkflow(1);
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  auto wb = Workbench::Create(flow, registry);
+  ASSERT_TRUE(wb.ok());
+  EXPECT_EQ((*wb)->flow()->name(), "synthetic_l1");
+}
+
+}  // namespace
+}  // namespace provlin::testbed

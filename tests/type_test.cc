@@ -1,0 +1,53 @@
+#include "values/type.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin {
+namespace {
+
+TEST(PortType, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(PortType::String(0).ToString(), "string");
+  EXPECT_EQ(PortType::String(1).ToString(), "list(string)");
+  EXPECT_EQ(PortType::String(2).ToString(), "list(list(string))");
+  EXPECT_EQ(PortType::Int(1).ToString(), "list(int)");
+  EXPECT_EQ(PortType::Bool(0).ToString(), "bool");
+  EXPECT_EQ(PortType::Double(0).ToString(), "double");
+}
+
+TEST(PortType, ParseRoundTrip) {
+  for (const char* text :
+       {"string", "list(string)", "list(list(string))", "int",
+        "list(list(list(int)))", "double", "bool", "list(bool)"}) {
+    auto t = PortType::Parse(text);
+    ASSERT_TRUE(t.ok()) << text;
+    EXPECT_EQ(t->ToString(), text);
+  }
+}
+
+TEST(PortType, ParseRejectsMalformed) {
+  EXPECT_FALSE(PortType::Parse("list(string").ok());
+  EXPECT_FALSE(PortType::Parse("lst(string)").ok());
+  EXPECT_FALSE(PortType::Parse("list()").ok());
+  EXPECT_FALSE(PortType::Parse("").ok());
+  EXPECT_FALSE(PortType::Parse("strings").ok());
+}
+
+TEST(PortType, DepthIsDeclaredDepth) {
+  EXPECT_EQ(PortType::String(2).depth, 2);
+  EXPECT_EQ(PortType::Parse("list(list(string))")->depth, 2);
+}
+
+TEST(PortType, NestedAdjustsDepth) {
+  EXPECT_EQ(PortType::String(1).Nested(2).depth, 3);
+  EXPECT_EQ(PortType::String(1).Nested(-1).depth, 0);
+  EXPECT_EQ(PortType::String(1).Nested(-5).depth, 0);  // clamped
+}
+
+TEST(PortType, Equality) {
+  EXPECT_EQ(PortType::String(1), PortType::String(1));
+  EXPECT_FALSE(PortType::String(1) == PortType::String(2));
+  EXPECT_FALSE(PortType::String(1) == PortType::Int(1));
+}
+
+}  // namespace
+}  // namespace provlin

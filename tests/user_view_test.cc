@@ -1,0 +1,139 @@
+// Zoom-style user views: composite grouping, interest lowering, answer
+// raising.
+
+#include "lineage/user_view.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/gk_workflow.h"
+#include "testbed/workbench.h"
+
+namespace provlin::lineage {
+namespace {
+
+using testbed::Workbench;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+
+class UserViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wb_ = std::move(*Workbench::GK());
+    ASSERT_TRUE(
+        wb_->Run({{"list_of_geneIDList", testbed::GkSampleInput()}}, "r0")
+            .ok());
+    // Hide the KEGG branch internals behind two composites.
+    auto view = UserView::Create(
+        wb_->flow(),
+        {{"kegg_lookup",
+          {"get_pathways_by_genes", "getPathwayDescriptions"}},
+         {"common_branch",
+          {"merge_gene_lists", "get_common_pathways", "describe_common"}}});
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    view_.emplace(std::move(*view));
+  }
+
+  std::unique_ptr<Workbench> wb_;
+  std::optional<UserView> view_;
+};
+
+TEST_F(UserViewTest, ValidationRejectsBadComposites) {
+  EXPECT_FALSE(UserView::Create(wb_->flow(), {{"c", {}}}).ok());
+  EXPECT_FALSE(UserView::Create(wb_->flow(), {{"c", {"ghost"}}}).ok());
+  EXPECT_FALSE(
+      UserView::Create(wb_->flow(), {{"workflow", {"merge_gene_lists"}}})
+          .ok());
+  EXPECT_FALSE(UserView::Create(wb_->flow(),
+                                {{"get_pathways_by_genes",
+                                  {"merge_gene_lists"}}})
+                   .ok());
+  // Overlapping composites.
+  EXPECT_FALSE(UserView::Create(wb_->flow(),
+                                {{"a", {"merge_gene_lists"}},
+                                 {"b", {"merge_gene_lists"}}})
+                   .ok());
+}
+
+TEST_F(UserViewTest, BoundaryComputation) {
+  // kegg_lookup's only boundary input is the lookup's gene list (fed by
+  // normalize_gene_ids, outside the group); getPathwayDescriptions is
+  // fed from inside.
+  auto boundary = view_->BoundaryInputs("kegg_lookup");
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_EQ(*boundary, (std::set<std::string>{
+                           "get_pathways_by_genes:genes_id_list"}));
+  auto common = view_->BoundaryInputs("common_branch");
+  ASSERT_TRUE(common.ok());
+  EXPECT_EQ(*common, (std::set<std::string>{"merge_gene_lists:lists"}));
+  EXPECT_FALSE(view_->BoundaryInputs("ghost").ok());
+}
+
+TEST_F(UserViewTest, CompositeOfLookup) {
+  ASSERT_NE(view_->CompositeOf("merge_gene_lists"), nullptr);
+  EXPECT_EQ(*view_->CompositeOf("merge_gene_lists"), "common_branch");
+  EXPECT_EQ(view_->CompositeOf("normalize_gene_ids"), nullptr);
+}
+
+TEST_F(UserViewTest, LowerTranslatesComposites) {
+  auto lowered = view_->Lower({"kegg_lookup", "normalize_gene_ids"});
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(*lowered, (InterestSet{"get_pathways_by_genes",
+                                   "normalize_gene_ids"}));
+  EXPECT_FALSE(view_->Lower({"nonexistent_thing"}).ok());
+  EXPECT_TRUE(view_->Lower({})->empty());
+}
+
+TEST_F(UserViewTest, QueryAnswersAtCompositeBoundary) {
+  auto answer = view_->Query(wb_->IndexProj(), "r0",
+                             {kWorkflowProcessor, "paths_per_gene"},
+                             Index({1}), {"kegg_lookup"});
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->bindings.size(), 1u);
+  EXPECT_EQ(answer->bindings[0].port.ToString(),
+            "kegg_lookup:get_pathways_by_genes.genes_id_list");
+  EXPECT_EQ(answer->bindings[0].index, Index({1}));
+  EXPECT_EQ(answer->bindings[0].value_repr, "[\"mmu:328788\"]");
+}
+
+TEST_F(UserViewTest, InternalBindingsAreHidden) {
+  // Unfocused query through the view: composite-internal ports (e.g.
+  // getPathwayDescriptions:string) never appear.
+  auto answer =
+      view_->Query(wb_->IndexProj(), "r0",
+                   {kWorkflowProcessor, "paths_per_gene"}, Index({0}), {});
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->bindings.empty());
+  for (const auto& b : answer->bindings) {
+    EXPECT_EQ(b.port.port.find("getPathwayDescriptions"), std::string::npos)
+        << b.ToString();
+    EXPECT_EQ(b.port.port.find("describe_common"), std::string::npos)
+        << b.ToString();
+  }
+}
+
+TEST_F(UserViewTest, MemberAskedExplicitlyPassesThrough) {
+  // Asking for the member directly (not its composite) keeps the raw
+  // binding shape.
+  auto answer = view_->Query(wb_->IndexProj(), "r0",
+                             {kWorkflowProcessor, "paths_per_gene"},
+                             Index({0}), {"get_pathways_by_genes"});
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->bindings.size(), 1u);
+  EXPECT_EQ(answer->bindings[0].port.ToString(),
+            "get_pathways_by_genes:genes_id_list");
+}
+
+TEST_F(UserViewTest, NonCompositeInterestsUnaffected) {
+  auto direct = wb_->IndexProj()->Query(
+      "r0", {kWorkflowProcessor, "paths_per_gene"}, Index({0}),
+      {"normalize_gene_ids"});
+  auto viewed = view_->Query(wb_->IndexProj(), "r0",
+                             {kWorkflowProcessor, "paths_per_gene"},
+                             Index({0}), {"normalize_gene_ids"});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(viewed.ok());
+  EXPECT_EQ(direct->bindings, viewed->bindings);
+}
+
+}  // namespace
+}  // namespace provlin::lineage

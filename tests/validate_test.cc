@@ -1,0 +1,186 @@
+// Structural validation of dataflows.
+
+#include "workflow/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/builder.h"
+
+namespace provlin::workflow {
+namespace {
+
+/// A builder pre-loaded with one valid processor; tests mutate from here.
+DataflowBuilder BaseBuilder() {
+  DataflowBuilder b("base");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  return b;
+}
+
+TEST(Validate, AcceptsWellFormed) {
+  EXPECT_TRUE(BaseBuilder().Build().ok());
+}
+
+TEST(Validate, RejectsReservedProcessorName) {
+  DataflowBuilder b("bad");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("workflow").Activity("identity").In("x", PortType::String(0)).Out(
+      "y", PortType::String(0));
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsDuplicateProcessorNames) {
+  auto b = BaseBuilder();
+  b.Proc("p").Activity("identity").In("x", PortType::String(0)).Out(
+      "y", PortType::String(0));
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsMissingActivity) {
+  DataflowBuilder b("bad");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p").In("x", PortType::String(0)).Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsDuplicatePortNames) {
+  auto b = BaseBuilder();
+  b.Proc("q")
+      .Activity("identity")
+      .In("x", PortType::String(0))
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsArcToUnknownPort) {
+  auto b = BaseBuilder();
+  b.Arc("p:y", "p:nonexistent");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsArcFromUnknownProcessor) {
+  auto b = BaseBuilder();
+  b.Proc("q").Activity("identity").In("x", PortType::String(0)).Out(
+      "y", PortType::String(0));
+  b.Arc("ghost:y", "q:x");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsBaseTypeMismatchAcrossArc) {
+  DataflowBuilder b("bad");
+  b.Input("in", PortType::Int(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))  // string port fed by int input
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, DepthMismatchAcrossArcIsLegal) {
+  // list(list(string)) into a scalar string port: that is the iteration
+  // feature, not an error.
+  DataflowBuilder b("ok");
+  b.Input("in", PortType::String(2));
+  b.Output("out", PortType::String(2));
+  b.Proc("p")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "p:x");
+  b.Arc("p:y", "workflow:out");
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(Validate, RejectsCycles) {
+  DataflowBuilder b("cycle");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("a")
+      .Activity("identity")
+      .In("x", PortType::String(0))
+      .In("loop", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("c")
+      .Activity("identity")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "a:x");
+  b.Arc("a:y", "c:x");
+  b.Arc("c:y", "a:loop");  // back edge
+  b.Arc("c:y", "workflow:out");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, RejectsDefaultForUnknownPort) {
+  auto b = BaseBuilder();
+  b.Proc("q")
+      .Activity("identity")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0))
+      .Default("nope", Value::Str("v"));
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, DotStrategyRequiresEqualMismatches) {
+  DataflowBuilder b("dot_bad");
+  b.Input("a", PortType::String(1));
+  b.Input("b", PortType::String(2));
+  b.Output("out", PortType::String(1));
+  b.Proc("zip")
+      .Activity("concat2")
+      .Strategy(IterationStrategy::kDot)
+      .In("x1", PortType::String(0))  // δ = 1
+      .In("x2", PortType::String(0))  // δ = 2 — unequal
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:a", "zip:x1");
+  b.Arc("workflow:b", "zip:x2");
+  b.Arc("zip:y", "workflow:out");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(Validate, DotStrategyAcceptsEqualMismatches) {
+  DataflowBuilder b("dot_ok");
+  b.Input("a", PortType::String(1));
+  b.Input("b", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("zip")
+      .Activity("concat2")
+      .Strategy(IterationStrategy::kDot)
+      .In("x1", PortType::String(0))
+      .In("x2", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:a", "zip:x1");
+  b.Arc("workflow:b", "zip:x2");
+  b.Arc("zip:y", "workflow:out");
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(Validate, RequiresFlattenedInput) {
+  // Validate() itself (not via builder) must reject nested processors.
+  auto inner_b = BaseBuilder();
+  auto inner = *inner_b.Build();
+  Dataflow outer("outer");
+  Processor nested;
+  nested.name = "sub";
+  nested.activity = "nested";
+  nested.sub_dataflow = inner;
+  outer.AddProcessor(nested);
+  EXPECT_FALSE(Validate(outer).ok());
+}
+
+}  // namespace
+}  // namespace provlin::workflow

@@ -1,0 +1,110 @@
+#include "values/value_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace provlin {
+namespace {
+
+TEST(ValueParser, Atoms) {
+  EXPECT_EQ(*ParseValue("42"), Value::Int(42));
+  EXPECT_EQ(*ParseValue("-7"), Value::Int(-7));
+  EXPECT_EQ(*ParseValue("2.5"), Value::Dbl(2.5));
+  EXPECT_EQ(*ParseValue("true"), Value::Boolean(true));
+  EXPECT_EQ(*ParseValue("false"), Value::Boolean(false));
+  EXPECT_EQ(*ParseValue("null"), Value::Null());
+}
+
+TEST(ValueParser, QuotedStrings) {
+  EXPECT_EQ(*ParseValue("\"hello world\""), Value::Str("hello world"));
+  EXPECT_EQ(*ParseValue("\"say \\\"hi\\\"\""), Value::Str("say \"hi\""));
+  EXPECT_EQ(*ParseValue("\"\""), Value::Str(""));
+}
+
+TEST(ValueParser, BareWordsAreStrings) {
+  EXPECT_EQ(*ParseValue("hello"), Value::Str("hello"));
+  EXPECT_EQ(*ParseValue("path:04010"), Value::Str("path:04010"));
+}
+
+TEST(ValueParser, FlatList) {
+  auto v = ParseValue("[a, b, c]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::StringList({"a", "b", "c"}));
+}
+
+TEST(ValueParser, NestedList) {
+  auto v = ParseValue("[[\"foo\",\"bar\"],[\"red\",\"fox\"]]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->depth(), 2);
+  EXPECT_EQ(v->At(Index({1, 0}))->atom().AsString(), "red");
+}
+
+TEST(ValueParser, EmptyList) {
+  auto v = ParseValue("[]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_list());
+  EXPECT_EQ(v->list_size(), 0u);
+}
+
+TEST(ValueParser, WhitespaceTolerant) {
+  auto v = ParseValue("  [ 1 ,  2 , 3 ]  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->list_size(), 3u);
+  EXPECT_EQ(v->elements()[2], Value::Int(3));
+}
+
+TEST(ValueParser, MixedNumbersAndStrings) {
+  auto v = ParseValue("[1, two, 3.5]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->elements()[0], Value::Int(1));
+  EXPECT_EQ(v->elements()[1], Value::Str("two"));
+  EXPECT_EQ(v->elements()[2], Value::Dbl(3.5));
+}
+
+TEST(ValueParser, RoundTripsToString) {
+  for (const char* text :
+       {"[[\"foo\",\"bar\"],[\"red\",\"fox\"]]", "[1,2,3]", "[]",
+        "[[],[\"a\"]]", "\"x\"", "42", "true"}) {
+    auto v = ParseValue(text);
+    ASSERT_TRUE(v.ok()) << text;
+    auto again = ParseValue(v->ToString());
+    ASSERT_TRUE(again.ok()) << v->ToString();
+    EXPECT_EQ(*again, *v) << text;
+  }
+}
+
+TEST(ValueParser, RejectsUnterminatedList) {
+  EXPECT_FALSE(ParseValue("[1, 2").ok());
+  EXPECT_FALSE(ParseValue("[").ok());
+}
+
+TEST(ValueParser, RejectsUnterminatedString) {
+  EXPECT_FALSE(ParseValue("\"abc").ok());
+  EXPECT_FALSE(ParseValue("\"abc\\").ok());
+}
+
+TEST(ValueParser, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseValue("[1] x").ok());
+  EXPECT_FALSE(ParseValue("1,2").ok());   // bare atom stops at the comma
+  EXPECT_FALSE(ParseValue("\"a\" b").ok());
+}
+
+TEST(ValueParser, BareWordsMayContainSpaces) {
+  // Unquoted tokens run to the next delimiter, so phrases parse as one
+  // string — convenient for hand-written inputs like pathway names.
+  EXPECT_EQ(*ParseValue("MAPK signaling"), Value::Str("MAPK signaling"));
+  EXPECT_EQ(*ParseValue("[MAPK signaling, VEGF signaling]"),
+            Value::StringList({"MAPK signaling", "VEGF signaling"}));
+}
+
+TEST(ValueParser, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseValue("").ok());
+  EXPECT_FALSE(ParseValue("   ").ok());
+}
+
+TEST(ValueParser, RejectsDanglingComma) {
+  EXPECT_FALSE(ParseValue("[1,]").ok());
+  EXPECT_FALSE(ParseValue("[,1]").ok());
+}
+
+}  // namespace
+}  // namespace provlin

@@ -1,0 +1,142 @@
+#include "values/value.h"
+
+#include <gtest/gtest.h>
+
+#include "values/type.h"
+
+namespace provlin {
+namespace {
+
+Value Nested() {
+  // [["foo","bar"],["red","fox"]] — the paper's §2.1 example.
+  return Value::List({Value::StringList({"foo", "bar"}),
+                      Value::StringList({"red", "fox"})});
+}
+
+TEST(Value, AtomBasics) {
+  Value v = Value::Str("x");
+  EXPECT_TRUE(v.is_atom());
+  EXPECT_FALSE(v.is_list());
+  EXPECT_EQ(v.atom().AsString(), "x");
+  EXPECT_EQ(v.depth(), 0);
+  EXPECT_EQ(v.TotalAtoms(), 1u);
+}
+
+TEST(Value, ListBasics) {
+  Value v = Nested();
+  EXPECT_TRUE(v.is_list());
+  EXPECT_EQ(v.list_size(), 2u);
+  EXPECT_EQ(v.depth(), 2);
+  EXPECT_EQ(v.TotalAtoms(), 4u);
+}
+
+TEST(Value, EmptyListHasDepthOne) {
+  EXPECT_EQ(Value::List({}).depth(), 1);
+  EXPECT_EQ(Value::List({}).TotalAtoms(), 0u);
+}
+
+TEST(Value, PaperElementAccessor) {
+  // ⟨P:X[1,2], [["foo","bar"],["red","fox"]]⟩ = "bar" (1-based in paper;
+  // our API is 0-based, so [0,1]).
+  auto elem = Nested().At(Index({0, 1}));
+  ASSERT_TRUE(elem.ok());
+  EXPECT_EQ(elem->atom().AsString(), "bar");
+}
+
+TEST(Value, EmptyIndexReturnsWholeValue) {
+  auto v = Nested().At(Index());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Nested());
+}
+
+TEST(Value, AtRejectsOutOfRange) {
+  EXPECT_FALSE(Nested().At(Index({2})).ok());
+  EXPECT_FALSE(Nested().At(Index({0, 5})).ok());
+  EXPECT_FALSE(Nested().At(Index({-1})).ok());
+}
+
+TEST(Value, AtRejectsDescendingIntoAtom) {
+  EXPECT_FALSE(Value::Str("x").At(Index({0})).ok());
+  EXPECT_FALSE(Nested().At(Index({0, 0, 0})).ok());
+}
+
+TEST(Value, LeafIndicesEnumerateAtoms) {
+  std::vector<Index> leaves = Nested().LeafIndices();
+  ASSERT_EQ(leaves.size(), 4u);
+  EXPECT_EQ(leaves[0], Index({0, 0}));
+  EXPECT_EQ(leaves[3], Index({1, 1}));
+  EXPECT_EQ(Value::Str("a").LeafIndices(),
+            (std::vector<Index>{Index()}));
+}
+
+TEST(Value, IndicesAtLevel) {
+  Value v = Nested();
+  EXPECT_EQ(v.IndicesAtLevel(0), (std::vector<Index>{Index()}));
+  EXPECT_EQ(v.IndicesAtLevel(1),
+            (std::vector<Index>{Index({0}), Index({1})}));
+  EXPECT_EQ(v.IndicesAtLevel(2).size(), 4u);
+  // Deeper than the value: atoms block descent.
+  EXPECT_TRUE(v.IndicesAtLevel(3).empty());
+}
+
+TEST(Value, ToStringRendersNestedLiterals) {
+  EXPECT_EQ(Nested().ToString(),
+            "[[\"foo\",\"bar\"],[\"red\",\"fox\"]]");
+  EXPECT_EQ(Value::List({}).ToString(), "[]");
+  EXPECT_EQ(Value::Int(3).ToString(), "3");
+}
+
+TEST(Value, EqualityIsDeep) {
+  EXPECT_EQ(Nested(), Nested());
+  EXPECT_NE(Nested(), Value::StringList({"foo"}));
+  EXPECT_NE(Value::Str("a"), Value::List({Value::Str("a")}));
+}
+
+TEST(Value, StringListConvenience) {
+  Value v = Value::StringList({"a", "b"});
+  EXPECT_EQ(v.depth(), 1);
+  EXPECT_EQ(v.elements()[1].atom().AsString(), "b");
+}
+
+TEST(InferType, AtomTypes) {
+  auto t = InferType(Value::Int(3));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base, AtomKind::kInt);
+  EXPECT_EQ(t->depth, 0);
+}
+
+TEST(InferType, UniformNestedList) {
+  auto t = InferType(Nested());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base, AtomKind::kString);
+  EXPECT_EQ(t->depth, 2);
+}
+
+TEST(InferType, EmptyListInfersNullBase) {
+  auto t = InferType(Value::List({}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base, AtomKind::kNull);
+  EXPECT_EQ(t->depth, 1);
+}
+
+TEST(InferType, RejectsRaggedDepth) {
+  Value ragged = Value::List({Value::Str("a"), Value::StringList({"b"})});
+  EXPECT_FALSE(InferType(ragged).ok());
+}
+
+TEST(InferType, RejectsMixedAtomKinds) {
+  Value mixed = Value::List({Value::Str("a"), Value::Int(1)});
+  EXPECT_FALSE(InferType(mixed).ok());
+}
+
+TEST(InferType, EmptySubListCoexistsWithTypedSiblings) {
+  // [[], ["a"]] — the empty sub-list contributes no base kind.
+  Value v = Value::List({Value::List({}), Value::StringList({"a"})});
+  auto t = InferType(v);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base, AtomKind::kString);
+  EXPECT_EQ(t->depth, 2);
+}
+
+}  // namespace
+}  // namespace provlin

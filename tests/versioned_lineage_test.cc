@@ -1,0 +1,176 @@
+// Workflow diff and lineage across versions (§3.4 generalization).
+
+#include "lineage/versioned_lineage.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/builtin_activities.h"
+#include "engine/executor.h"
+#include "provenance/recorder.h"
+#include "workflow/builder.h"
+#include "workflow/diff.h"
+
+namespace provlin::lineage {
+namespace {
+
+using workflow::DataflowBuilder;
+using workflow::kWorkflowProcessor;
+using workflow::PortRef;
+
+/// v1: in -> up -> out.   v2 adds a tagging step after up.
+std::shared_ptr<const workflow::Dataflow> V1() {
+  DataflowBuilder b("pipeline-v1");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("up")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "up:x");
+  b.Arc("up:y", "workflow:out");
+  return *b.Build();
+}
+
+std::shared_ptr<const workflow::Dataflow> V2() {
+  DataflowBuilder b("pipeline-v2");
+  b.Input("in", PortType::String(1));
+  b.Output("out", PortType::String(1));
+  b.Proc("up")
+      .Activity("to_upper")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Proc("tag")
+      .Activity("prefix")
+      .Config("prefix", ">")
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "up:x");
+  b.Arc("up:y", "tag:x");
+  b.Arc("tag:y", "workflow:out");
+  return *b.Build();
+}
+
+TEST(DataflowDiff, DetectsStructuralChanges) {
+  auto diff = workflow::DiffDataflows(*V1(), *V2());
+  EXPECT_EQ(diff.added_processors, (std::vector<std::string>{"tag"}));
+  EXPECT_TRUE(diff.removed_processors.empty());
+  EXPECT_TRUE(diff.changed_processors.empty());
+  EXPECT_EQ(diff.added_arcs.size(), 2u);   // up->tag, tag->out
+  EXPECT_EQ(diff.removed_arcs.size(), 1u); // up->out
+  EXPECT_TRUE(diff.added_ports.empty());
+  EXPECT_FALSE(diff.Empty());
+  EXPECT_NE(diff.ToString().find("+proc tag"), std::string::npos);
+}
+
+TEST(DataflowDiff, IdenticalFlowsAreEmpty) {
+  auto diff = workflow::DiffDataflows(*V1(), *V1());
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_NE(diff.ToString().find("no differences"), std::string::npos);
+}
+
+TEST(DataflowDiff, DetectsChangedProcessorAndPorts) {
+  DataflowBuilder b("pipeline-v1b");
+  b.Input("in", PortType::String(1));
+  b.Input("extra", PortType::String(0));
+  b.Output("out", PortType::String(1));
+  b.Proc("up")
+      .Activity("to_lower")  // changed activity
+      .In("x", PortType::String(0))
+      .Out("y", PortType::String(0));
+  b.Arc("workflow:in", "up:x");
+  b.Arc("up:y", "workflow:out");
+  auto v1b = *b.Build();
+
+  auto diff = workflow::DiffDataflows(*V1(), *v1b);
+  EXPECT_EQ(diff.changed_processors, (std::vector<std::string>{"up"}));
+  EXPECT_EQ(diff.added_ports, (std::vector<std::string>{"in extra string"}));
+}
+
+class VersionedLineageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<engine::ActivityRegistry>();
+    engine::RegisterBuiltinActivities(registry_.get());
+    store_.emplace(*provenance::TraceStore::Open(&db_));
+
+    ASSERT_TRUE(workflows_.Register(V1()).ok());
+    ASSERT_TRUE(workflows_.Register(V2()).ok());
+
+    Execute(V1(), "run-v1a", {"ada", "grace"});
+    Execute(V1(), "run-v1b", {"alan"});
+    Execute(V2(), "run-v2a", {"edsger"});
+  }
+
+  void Execute(std::shared_ptr<const workflow::Dataflow> flow,
+               const std::string& run_id,
+               const std::vector<std::string>& names) {
+    provenance::TraceRecorder recorder(&*store_);
+    engine::Executor executor(registry_.get(), &recorder);
+    auto result =
+        executor.Execute(*flow, {{"in", Value::StringList(names)}}, run_id);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(recorder.status().ok());
+  }
+
+  storage::Database db_;
+  std::optional<provenance::TraceStore> store_;
+  std::unique_ptr<engine::ActivityRegistry> registry_;
+  WorkflowRegistry workflows_;
+};
+
+TEST_F(VersionedLineageTest, RegistryBasics) {
+  EXPECT_EQ(workflows_.Names(),
+            (std::vector<std::string>{"pipeline-v1", "pipeline-v2"}));
+  EXPECT_TRUE(workflows_.Get("pipeline-v1").ok());
+  EXPECT_FALSE(workflows_.Get("pipeline-v3").ok());
+  EXPECT_FALSE(workflows_.Register(V1()).ok());  // duplicate
+}
+
+TEST_F(VersionedLineageTest, QuerySpansVersions) {
+  VersionedLineage vl(&workflows_, &*store_);
+  auto result = vl.QueryAcrossVersions(
+      {"run-v1a", "run-v1b", "run-v2a"}, {kWorkflowProcessor, "out"},
+      Index({0}), {kWorkflowProcessor});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->versions_queried, 2u);
+  EXPECT_TRUE(result->skipped_runs.empty());
+  // One workflow-input binding per run, each from its own version.
+  ASSERT_EQ(result->answer.bindings.size(), 3u);
+  std::set<std::string> values;
+  for (const auto& b : result->answer.bindings) {
+    values.insert(b.value_repr);
+  }
+  EXPECT_EQ(values,
+            (std::set<std::string>{"\"ada\"", "\"alan\"", "\"edsger\""}));
+}
+
+TEST_F(VersionedLineageTest, TargetMissingInOneVersionIsSkipped) {
+  VersionedLineage vl(&workflows_, &*store_);
+  // "tag" only exists in v2: v1 runs are skipped with a reason.
+  auto result = vl.QueryAcrossVersions(
+      {"run-v1a", "run-v2a"}, {"tag", "y"}, Index({0}),
+      {kWorkflowProcessor});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->versions_queried, 1u);
+  ASSERT_EQ(result->skipped_runs.size(), 1u);
+  EXPECT_EQ(result->skipped_runs.begin()->first, "run-v1a");
+  ASSERT_EQ(result->answer.bindings.size(), 1u);
+  EXPECT_EQ(result->answer.bindings[0].run_id, "run-v2a");
+}
+
+TEST_F(VersionedLineageTest, UnknownRunAndUnregisteredVersionSkip) {
+  WorkflowRegistry only_v1;
+  ASSERT_TRUE(only_v1.Register(V1()).ok());
+  VersionedLineage vl(&only_v1, &*store_);
+  auto result = vl.QueryAcrossVersions(
+      {"run-v1a", "run-v2a", "ghost"}, {kWorkflowProcessor, "out"},
+      Index({0}), {kWorkflowProcessor});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->versions_queried, 1u);
+  EXPECT_EQ(result->skipped_runs.size(), 2u);  // v2 run + ghost
+  ASSERT_EQ(result->answer.bindings.size(), 1u);
+  EXPECT_EQ(result->answer.bindings[0].run_id, "run-v1a");
+}
+
+}  // namespace
+}  // namespace provlin::lineage

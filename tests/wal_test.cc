@@ -1,0 +1,167 @@
+// Write-ahead log: framing, CRC protection, torn-write recovery, and
+// end-to-end crash-safe provenance capture.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "lineage/naive_lineage.h"
+#include "provenance/trace_store.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+
+namespace provlin::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);  // standard check value
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+TEST(Wal, AppendAndReplay) {
+  std::string path = TempPath("wal_basic.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("first").ok());
+    ASSERT_TRUE(wal->Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE(wal->Append("third record").ok());
+    EXPECT_EQ(wal->records_appended(), 3u);
+  }
+  auto records = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records,
+            (std::vector<std::string>{"first", "", "third record"}));
+}
+
+TEST(Wal, AppendIsDurableAcrossReopen) {
+  std::string path = TempPath("wal_reopen.log");
+  {
+    auto wal = *WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.Append("one").ok());
+  }
+  {
+    auto wal = *WriteAheadLog::Open(path);  // append mode
+    ASSERT_TRUE(wal.Append("two").ok());
+  }
+  auto records = *WriteAheadLog::Replay(path);
+  EXPECT_EQ(records, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Wal, TornTailRecordIsDropped) {
+  std::string path = TempPath("wal_torn.log");
+  {
+    auto wal = *WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.Append("intact").ok());
+    ASSERT_TRUE(wal.Append("to be torn").ok());
+  }
+  // Simulate a crash mid-append: cut the last 4 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 4));
+  out.close();
+
+  auto records = *WriteAheadLog::Replay(path);
+  EXPECT_EQ(records, (std::vector<std::string>{"intact"}));
+}
+
+TEST(Wal, CorruptPayloadIsRejectedByCrc) {
+  std::string path = TempPath("wal_corrupt.log");
+  {
+    auto wal = *WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.Append("good one").ok());
+    ASSERT_TRUE(wal.Append("bad one!").ok());
+  }
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  // Flip a byte inside the second payload.
+  f.seekp(-3, std::ios::end);
+  f.put('X');
+  f.close();
+
+  auto records = *WriteAheadLog::Replay(path);
+  EXPECT_EQ(records, (std::vector<std::string>{"good one"}));
+}
+
+TEST(Wal, ReplayMissingFileFails) {
+  EXPECT_FALSE(WriteAheadLog::Replay(TempPath("wal_missing.log")).ok());
+}
+
+TEST(WalDurability, CrashedCaptureSessionIsRecoverable) {
+  std::string path = TempPath("wal_capture.log");
+
+  // Capture a synthetic run with the WAL attached, then "crash": throw
+  // the in-memory database away and rebuild everything from the log.
+  {
+    auto wb = std::move(*testbed::Workbench::Synthetic(3));
+    auto wal = *WriteAheadLog::Open(path);
+    wb->store()->AttachWal(&wal);
+    ASSERT_TRUE(wb->RunSynthetic(4, "r0").ok());
+    EXPECT_GT(wal.records_appended(), 0u);
+  }  // workbench (and its database) destroyed here
+
+  Database recovered;
+  auto applied = provenance::TraceStore::ReplayWal(path, &recovered);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GT(*applied, 0u);
+
+  // The recovered trace answers the same lineage queries.
+  auto store = *provenance::TraceStore::Open(&recovered);
+  lineage::NaiveLineage naive(&store);
+  auto answer = naive.Query(
+      "r0", {workflow::kWorkflowProcessor, "RESULT"}, Index({1, 2}),
+      {testbed::kListGen});
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->bindings.size(), 1u);
+  EXPECT_EQ(answer->bindings[0].value_repr, "4");
+
+  // And the recovered row counts match a clean capture of the same run.
+  auto wb2 = std::move(*testbed::Workbench::Synthetic(3));
+  ASSERT_TRUE(wb2->RunSynthetic(4, "r0").ok());
+  auto clean = *wb2->store()->CountRecords("r0");
+  auto replayed = *store.CountRecords("r0");
+  EXPECT_EQ(replayed.xform_rows, clean.xform_rows);
+  EXPECT_EQ(replayed.xfer_rows, clean.xfer_rows);
+  EXPECT_EQ(replayed.value_rows, clean.value_rows);
+}
+
+TEST(WalDurability, TornCaptureKeepsCommittedPrefix) {
+  std::string path = TempPath("wal_capture_torn.log");
+  {
+    auto wb = std::move(*testbed::Workbench::Synthetic(2));
+    auto wal = *WriteAheadLog::Open(path);
+    wb->store()->AttachWal(&wal);
+    ASSERT_TRUE(wb->RunSynthetic(3, "r0").ok());
+  }
+  // Tear the file mid-way.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+
+  Database recovered;
+  auto applied = provenance::TraceStore::ReplayWal(path, &recovered);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GT(*applied, 0u);  // a committed prefix survives
+  // The recovered tables are internally consistent.
+  for (const std::string& name : recovered.TableNames()) {
+    EXPECT_TRUE((*recovered.GetTable(name))->CheckIndexConsistency().ok());
+  }
+}
+
+}  // namespace
+}  // namespace provlin::storage

@@ -1,0 +1,128 @@
+// Text (de)serialization of workflow definitions.
+
+#include "workflow/workflow_io.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/gk_workflow.h"
+#include "testbed/synthetic.h"
+#include "workflow/validate.h"
+
+namespace provlin::workflow {
+namespace {
+
+TEST(WorkflowIo, RoundTripsGkWorkflow) {
+  auto flow = *testbed::MakeGkWorkflow();
+  std::string text = SerializeDataflow(*flow);
+  auto parsed = ParseDataflow(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(Validate(**parsed).ok());
+  EXPECT_EQ((*parsed)->name(), flow->name());
+  EXPECT_EQ((*parsed)->num_processors(), flow->num_processors());
+  EXPECT_EQ((*parsed)->arcs().size(), flow->arcs().size());
+  // Second serialization is identical (canonical form).
+  EXPECT_EQ(SerializeDataflow(**parsed), text);
+}
+
+TEST(WorkflowIo, RoundTripsSyntheticWorkflow) {
+  auto flow = *testbed::MakeSyntheticWorkflow(5);
+  std::string text = SerializeDataflow(*flow);
+  auto parsed = ParseDataflow(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeDataflow(**parsed), text);
+}
+
+TEST(WorkflowIo, ParsesHandWrittenDefinition) {
+  const char* text = R"(# a comment
+workflow demo
+in items list(string)
+out shouted list(string)
+
+proc shout activity=to_upper
+  pin x string
+  pout y string
+proc tag activity=prefix
+  pin x string
+  pout y string
+  config prefix=>>
+arc workflow:items -> shout:x
+arc shout:y -> tag:x
+arc tag:y -> workflow:shouted
+)";
+  auto flow = ParseDataflow(text);
+  ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+  EXPECT_TRUE(Validate(**flow).ok());
+  EXPECT_EQ((*flow)->FindProcessor("tag")->config.at("prefix"), ">>");
+}
+
+TEST(WorkflowIo, ParsesDotStrategy) {
+  const char* text = R"(workflow d
+in a list(string)
+in b list(string)
+out o list(string)
+proc zip activity=concat2 strategy=dot
+  pin x1 string
+  pin x2 string
+  pout y string
+arc workflow:a -> zip:x1
+arc workflow:b -> zip:x2
+arc zip:y -> workflow:o
+)";
+  auto flow = ParseDataflow(text);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ((*flow)->FindProcessor("zip")->strategy, IterationStrategy::kDot);
+}
+
+TEST(WorkflowIo, ParsesDefaults) {
+  const char* text = R"(workflow d
+in a list(string)
+out o list(string)
+proc p activity=concat2
+  pin x1 string
+  pin x2 string
+  pout y string
+  default x2 "suffix value"
+arc workflow:a -> p:x1
+arc p:y -> workflow:o
+)";
+  auto flow = ParseDataflow(text);
+  ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+  EXPECT_EQ((*flow)->FindProcessor("p")->defaults.at("x2"),
+            Value::Str("suffix value"));
+}
+
+TEST(WorkflowIo, RejectsMissingWorkflowHeader) {
+  EXPECT_FALSE(ParseDataflow("in a list(string)\n").ok());
+  EXPECT_FALSE(ParseDataflow("").ok());
+}
+
+TEST(WorkflowIo, RejectsUnknownKeyword) {
+  EXPECT_FALSE(ParseDataflow("workflow w\nbogus line here\n").ok());
+}
+
+TEST(WorkflowIo, RejectsBadType) {
+  EXPECT_FALSE(ParseDataflow("workflow w\nin a list(strin)\n").ok());
+}
+
+TEST(WorkflowIo, RejectsPortOutsideProc) {
+  EXPECT_FALSE(ParseDataflow("workflow w\npin x string\n").ok());
+}
+
+TEST(WorkflowIo, RejectsMalformedArc) {
+  EXPECT_FALSE(ParseDataflow("workflow w\narc a:b c:d\n").ok());
+  EXPECT_FALSE(ParseDataflow("workflow w\narc a -> b\n").ok());
+}
+
+TEST(WorkflowIo, RejectsDuplicateIncomingArc) {
+  const char* text = R"(workflow w
+proc p activity=identity
+  pin x string
+  pout y string
+arc p:y -> p:x
+arc p:y -> p:x
+)";
+  EXPECT_FALSE(ParseDataflow(text).ok());
+}
+
+}  // namespace
+}  // namespace provlin::workflow

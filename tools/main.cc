@@ -1,0 +1,12 @@
+// provlin command-line entry point; all logic lives in src/cli (testable).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return provlin::cli::RunCli(args, std::cout, std::cerr);
+}
