@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_engine_micro.
+# This may be replaced when dependencies are built.

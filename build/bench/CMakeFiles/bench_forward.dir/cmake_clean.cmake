@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forward.dir/bench_forward.cc.o"
+  "CMakeFiles/bench_forward.dir/bench_forward.cc.o.d"
+  "bench_forward"
+  "bench_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

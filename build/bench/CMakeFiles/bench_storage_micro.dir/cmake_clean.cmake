@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_micro.dir/bench_storage_micro.cc.o"
+  "CMakeFiles/bench_storage_micro.dir/bench_storage_micro.cc.o.d"
+  "bench_storage_micro"
+  "bench_storage_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_matrix.dir/expression_matrix.cpp.o"
+  "CMakeFiles/expression_matrix.dir/expression_matrix.cpp.o.d"
+  "expression_matrix"
+  "expression_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

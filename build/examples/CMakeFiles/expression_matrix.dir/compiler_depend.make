@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for expression_matrix.
+# This may be replaced when dependencies are built.

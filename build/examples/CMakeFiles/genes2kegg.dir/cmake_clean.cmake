@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genes2kegg.dir/genes2kegg.cpp.o"
+  "CMakeFiles/genes2kegg.dir/genes2kegg.cpp.o.d"
+  "genes2kegg"
+  "genes2kegg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genes2kegg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

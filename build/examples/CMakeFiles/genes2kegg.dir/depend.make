@@ -1,0 +1,2 @@
+# Empty dependencies file for genes2kegg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impact_analysis.dir/impact_analysis.cpp.o"
+  "CMakeFiles/impact_analysis.dir/impact_analysis.cpp.o.d"
+  "impact_analysis"
+  "impact_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impact_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

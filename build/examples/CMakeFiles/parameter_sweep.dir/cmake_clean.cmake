@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_sweep.dir/parameter_sweep.cpp.o"
+  "CMakeFiles/parameter_sweep.dir/parameter_sweep.cpp.o.d"
+  "parameter_sweep"
+  "parameter_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

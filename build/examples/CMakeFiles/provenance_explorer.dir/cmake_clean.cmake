@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_explorer.dir/provenance_explorer.cpp.o"
+  "CMakeFiles/provenance_explorer.dir/provenance_explorer.cpp.o.d"
+  "provenance_explorer"
+  "provenance_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_cli.dir/cli.cc.o"
+  "CMakeFiles/provlin_cli.dir/cli.cc.o.d"
+  "libprovlin_cli.a"
+  "libprovlin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_common.dir/logging.cc.o"
+  "CMakeFiles/provlin_common.dir/logging.cc.o.d"
+  "CMakeFiles/provlin_common.dir/status.cc.o"
+  "CMakeFiles/provlin_common.dir/status.cc.o.d"
+  "CMakeFiles/provlin_common.dir/string_util.cc.o"
+  "CMakeFiles/provlin_common.dir/string_util.cc.o.d"
+  "libprovlin_common.a"
+  "libprovlin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/activity.cc" "src/engine/CMakeFiles/provlin_engine.dir/activity.cc.o" "gcc" "src/engine/CMakeFiles/provlin_engine.dir/activity.cc.o.d"
+  "/root/repo/src/engine/builtin_activities.cc" "src/engine/CMakeFiles/provlin_engine.dir/builtin_activities.cc.o" "gcc" "src/engine/CMakeFiles/provlin_engine.dir/builtin_activities.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/provlin_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/provlin_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/iteration.cc" "src/engine/CMakeFiles/provlin_engine.dir/iteration.cc.o" "gcc" "src/engine/CMakeFiles/provlin_engine.dir/iteration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/provlin_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

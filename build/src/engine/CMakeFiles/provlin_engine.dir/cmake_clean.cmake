@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_engine.dir/activity.cc.o"
+  "CMakeFiles/provlin_engine.dir/activity.cc.o.d"
+  "CMakeFiles/provlin_engine.dir/builtin_activities.cc.o"
+  "CMakeFiles/provlin_engine.dir/builtin_activities.cc.o.d"
+  "CMakeFiles/provlin_engine.dir/executor.cc.o"
+  "CMakeFiles/provlin_engine.dir/executor.cc.o.d"
+  "CMakeFiles/provlin_engine.dir/iteration.cc.o"
+  "CMakeFiles/provlin_engine.dir/iteration.cc.o.d"
+  "libprovlin_engine.a"
+  "libprovlin_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

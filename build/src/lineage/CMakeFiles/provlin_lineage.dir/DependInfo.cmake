@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lineage/binding_retrieval.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/binding_retrieval.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/binding_retrieval.cc.o.d"
+  "/root/repo/src/lineage/forward_lineage.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/forward_lineage.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/forward_lineage.cc.o.d"
+  "/root/repo/src/lineage/index_proj_lineage.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/index_proj_lineage.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/index_proj_lineage.cc.o.d"
+  "/root/repo/src/lineage/index_projection.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/index_projection.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/index_projection.cc.o.d"
+  "/root/repo/src/lineage/naive_lineage.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/naive_lineage.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/naive_lineage.cc.o.d"
+  "/root/repo/src/lineage/query.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/query.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/query.cc.o.d"
+  "/root/repo/src/lineage/user_view.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/user_view.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/user_view.cc.o.d"
+  "/root/repo/src/lineage/versioned_lineage.cc" "src/lineage/CMakeFiles/provlin_lineage.dir/versioned_lineage.cc.o" "gcc" "src/lineage/CMakeFiles/provlin_lineage.dir/versioned_lineage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provenance/CMakeFiles/provlin_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/provlin_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provlin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/provlin_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_lineage.dir/binding_retrieval.cc.o"
+  "CMakeFiles/provlin_lineage.dir/binding_retrieval.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/forward_lineage.cc.o"
+  "CMakeFiles/provlin_lineage.dir/forward_lineage.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/index_proj_lineage.cc.o"
+  "CMakeFiles/provlin_lineage.dir/index_proj_lineage.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/index_projection.cc.o"
+  "CMakeFiles/provlin_lineage.dir/index_projection.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/naive_lineage.cc.o"
+  "CMakeFiles/provlin_lineage.dir/naive_lineage.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/query.cc.o"
+  "CMakeFiles/provlin_lineage.dir/query.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/user_view.cc.o"
+  "CMakeFiles/provlin_lineage.dir/user_view.cc.o.d"
+  "CMakeFiles/provlin_lineage.dir/versioned_lineage.cc.o"
+  "CMakeFiles/provlin_lineage.dir/versioned_lineage.cc.o.d"
+  "libprovlin_lineage.a"
+  "libprovlin_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

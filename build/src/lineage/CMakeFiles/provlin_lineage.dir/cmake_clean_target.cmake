@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprovlin_lineage.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for provlin_lineage.
+# This may be replaced when dependencies are built.

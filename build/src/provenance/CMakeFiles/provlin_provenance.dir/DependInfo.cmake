@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/opm_export.cc" "src/provenance/CMakeFiles/provlin_provenance.dir/opm_export.cc.o" "gcc" "src/provenance/CMakeFiles/provlin_provenance.dir/opm_export.cc.o.d"
+  "/root/repo/src/provenance/provenance_graph.cc" "src/provenance/CMakeFiles/provlin_provenance.dir/provenance_graph.cc.o" "gcc" "src/provenance/CMakeFiles/provlin_provenance.dir/provenance_graph.cc.o.d"
+  "/root/repo/src/provenance/recorder.cc" "src/provenance/CMakeFiles/provlin_provenance.dir/recorder.cc.o" "gcc" "src/provenance/CMakeFiles/provlin_provenance.dir/recorder.cc.o.d"
+  "/root/repo/src/provenance/schema.cc" "src/provenance/CMakeFiles/provlin_provenance.dir/schema.cc.o" "gcc" "src/provenance/CMakeFiles/provlin_provenance.dir/schema.cc.o.d"
+  "/root/repo/src/provenance/trace_store.cc" "src/provenance/CMakeFiles/provlin_provenance.dir/trace_store.cc.o" "gcc" "src/provenance/CMakeFiles/provlin_provenance.dir/trace_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/provlin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provlin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/provlin_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_provenance.dir/opm_export.cc.o"
+  "CMakeFiles/provlin_provenance.dir/opm_export.cc.o.d"
+  "CMakeFiles/provlin_provenance.dir/provenance_graph.cc.o"
+  "CMakeFiles/provlin_provenance.dir/provenance_graph.cc.o.d"
+  "CMakeFiles/provlin_provenance.dir/recorder.cc.o"
+  "CMakeFiles/provlin_provenance.dir/recorder.cc.o.d"
+  "CMakeFiles/provlin_provenance.dir/schema.cc.o"
+  "CMakeFiles/provlin_provenance.dir/schema.cc.o.d"
+  "CMakeFiles/provlin_provenance.dir/trace_store.cc.o"
+  "CMakeFiles/provlin_provenance.dir/trace_store.cc.o.d"
+  "libprovlin_provenance.a"
+  "libprovlin_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/provlin_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/provlin_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/datum.cc" "src/storage/CMakeFiles/provlin_storage.dir/datum.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/datum.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/storage/CMakeFiles/provlin_storage.dir/hash_index.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/hash_index.cc.o.d"
+  "/root/repo/src/storage/query.cc" "src/storage/CMakeFiles/provlin_storage.dir/query.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/query.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/provlin_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/provlin_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/sql.cc" "src/storage/CMakeFiles/provlin_storage.dir/sql.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/sql.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/provlin_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/provlin_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/provlin_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/provlin_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/database.cc.o"
+  "CMakeFiles/provlin_storage.dir/database.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/datum.cc.o"
+  "CMakeFiles/provlin_storage.dir/datum.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/hash_index.cc.o"
+  "CMakeFiles/provlin_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/query.cc.o"
+  "CMakeFiles/provlin_storage.dir/query.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/schema.cc.o"
+  "CMakeFiles/provlin_storage.dir/schema.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/serialize.cc.o"
+  "CMakeFiles/provlin_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/sql.cc.o"
+  "CMakeFiles/provlin_storage.dir/sql.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/table.cc.o"
+  "CMakeFiles/provlin_storage.dir/table.cc.o.d"
+  "CMakeFiles/provlin_storage.dir/wal.cc.o"
+  "CMakeFiles/provlin_storage.dir/wal.cc.o.d"
+  "libprovlin_storage.a"
+  "libprovlin_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/gk_workflow.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/gk_workflow.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/gk_workflow.cc.o.d"
+  "/root/repo/src/testbed/kegg_sim.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/kegg_sim.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/kegg_sim.cc.o.d"
+  "/root/repo/src/testbed/pd_workflow.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/pd_workflow.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/pd_workflow.cc.o.d"
+  "/root/repo/src/testbed/pubmed_sim.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/pubmed_sim.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/pubmed_sim.cc.o.d"
+  "/root/repo/src/testbed/synthetic.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/synthetic.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/synthetic.cc.o.d"
+  "/root/repo/src/testbed/workbench.cc" "src/testbed/CMakeFiles/provlin_testbed.dir/workbench.cc.o" "gcc" "src/testbed/CMakeFiles/provlin_testbed.dir/workbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lineage/CMakeFiles/provlin_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/provlin_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/provlin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/provlin_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provlin_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

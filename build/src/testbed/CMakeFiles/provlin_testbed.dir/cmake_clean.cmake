@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_testbed.dir/gk_workflow.cc.o"
+  "CMakeFiles/provlin_testbed.dir/gk_workflow.cc.o.d"
+  "CMakeFiles/provlin_testbed.dir/kegg_sim.cc.o"
+  "CMakeFiles/provlin_testbed.dir/kegg_sim.cc.o.d"
+  "CMakeFiles/provlin_testbed.dir/pd_workflow.cc.o"
+  "CMakeFiles/provlin_testbed.dir/pd_workflow.cc.o.d"
+  "CMakeFiles/provlin_testbed.dir/pubmed_sim.cc.o"
+  "CMakeFiles/provlin_testbed.dir/pubmed_sim.cc.o.d"
+  "CMakeFiles/provlin_testbed.dir/synthetic.cc.o"
+  "CMakeFiles/provlin_testbed.dir/synthetic.cc.o.d"
+  "CMakeFiles/provlin_testbed.dir/workbench.cc.o"
+  "CMakeFiles/provlin_testbed.dir/workbench.cc.o.d"
+  "libprovlin_testbed.a"
+  "libprovlin_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

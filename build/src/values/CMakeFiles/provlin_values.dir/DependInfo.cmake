@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/values/atom.cc" "src/values/CMakeFiles/provlin_values.dir/atom.cc.o" "gcc" "src/values/CMakeFiles/provlin_values.dir/atom.cc.o.d"
+  "/root/repo/src/values/index.cc" "src/values/CMakeFiles/provlin_values.dir/index.cc.o" "gcc" "src/values/CMakeFiles/provlin_values.dir/index.cc.o.d"
+  "/root/repo/src/values/type.cc" "src/values/CMakeFiles/provlin_values.dir/type.cc.o" "gcc" "src/values/CMakeFiles/provlin_values.dir/type.cc.o.d"
+  "/root/repo/src/values/value.cc" "src/values/CMakeFiles/provlin_values.dir/value.cc.o" "gcc" "src/values/CMakeFiles/provlin_values.dir/value.cc.o.d"
+  "/root/repo/src/values/value_parser.cc" "src/values/CMakeFiles/provlin_values.dir/value_parser.cc.o" "gcc" "src/values/CMakeFiles/provlin_values.dir/value_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

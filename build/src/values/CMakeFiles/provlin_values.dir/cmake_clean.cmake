@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_values.dir/atom.cc.o"
+  "CMakeFiles/provlin_values.dir/atom.cc.o.d"
+  "CMakeFiles/provlin_values.dir/index.cc.o"
+  "CMakeFiles/provlin_values.dir/index.cc.o.d"
+  "CMakeFiles/provlin_values.dir/type.cc.o"
+  "CMakeFiles/provlin_values.dir/type.cc.o.d"
+  "CMakeFiles/provlin_values.dir/value.cc.o"
+  "CMakeFiles/provlin_values.dir/value.cc.o.d"
+  "CMakeFiles/provlin_values.dir/value_parser.cc.o"
+  "CMakeFiles/provlin_values.dir/value_parser.cc.o.d"
+  "libprovlin_values.a"
+  "libprovlin_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

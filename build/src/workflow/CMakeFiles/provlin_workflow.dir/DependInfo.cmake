@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/builder.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/builder.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/builder.cc.o.d"
+  "/root/repo/src/workflow/dataflow.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/dataflow.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/dataflow.cc.o.d"
+  "/root/repo/src/workflow/depth_propagation.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/depth_propagation.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/depth_propagation.cc.o.d"
+  "/root/repo/src/workflow/diff.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/diff.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/diff.cc.o.d"
+  "/root/repo/src/workflow/graph.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/graph.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/graph.cc.o.d"
+  "/root/repo/src/workflow/iteration_strategy.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/iteration_strategy.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/iteration_strategy.cc.o.d"
+  "/root/repo/src/workflow/validate.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/validate.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/validate.cc.o.d"
+  "/root/repo/src/workflow/workflow_io.cc" "src/workflow/CMakeFiles/provlin_workflow.dir/workflow_io.cc.o" "gcc" "src/workflow/CMakeFiles/provlin_workflow.dir/workflow_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin_workflow.dir/builder.cc.o"
+  "CMakeFiles/provlin_workflow.dir/builder.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/dataflow.cc.o"
+  "CMakeFiles/provlin_workflow.dir/dataflow.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/depth_propagation.cc.o"
+  "CMakeFiles/provlin_workflow.dir/depth_propagation.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/diff.cc.o"
+  "CMakeFiles/provlin_workflow.dir/diff.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/graph.cc.o"
+  "CMakeFiles/provlin_workflow.dir/graph.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/iteration_strategy.cc.o"
+  "CMakeFiles/provlin_workflow.dir/iteration_strategy.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/validate.cc.o"
+  "CMakeFiles/provlin_workflow.dir/validate.cc.o.d"
+  "CMakeFiles/provlin_workflow.dir/workflow_io.cc.o"
+  "CMakeFiles/provlin_workflow.dir/workflow_io.cc.o.d"
+  "libprovlin_workflow.a"
+  "libprovlin_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

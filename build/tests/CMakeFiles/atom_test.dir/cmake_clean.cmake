@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_test.dir/atom_test.cc.o"
+  "CMakeFiles/atom_test.dir/atom_test.cc.o.d"
+  "atom_test"
+  "atom_test.pdb"
+  "atom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

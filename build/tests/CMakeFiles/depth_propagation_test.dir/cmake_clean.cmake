@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_propagation_test.dir/depth_propagation_test.cc.o"
+  "CMakeFiles/depth_propagation_test.dir/depth_propagation_test.cc.o.d"
+  "depth_propagation_test"
+  "depth_propagation_test.pdb"
+  "depth_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_handling_test.dir/error_handling_test.cc.o"
+  "CMakeFiles/error_handling_test.dir/error_handling_test.cc.o.d"
+  "error_handling_test"
+  "error_handling_test.pdb"
+  "error_handling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_handling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatten_test.dir/flatten_test.cc.o"
+  "CMakeFiles/flatten_test.dir/flatten_test.cc.o.d"
+  "flatten_test"
+  "flatten_test.pdb"
+  "flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

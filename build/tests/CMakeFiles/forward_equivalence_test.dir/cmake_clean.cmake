@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_equivalence_test.dir/forward_equivalence_test.cc.o"
+  "CMakeFiles/forward_equivalence_test.dir/forward_equivalence_test.cc.o.d"
+  "forward_equivalence_test"
+  "forward_equivalence_test.pdb"
+  "forward_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

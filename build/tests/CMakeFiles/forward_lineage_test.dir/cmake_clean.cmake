@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_lineage_test.dir/forward_lineage_test.cc.o"
+  "CMakeFiles/forward_lineage_test.dir/forward_lineage_test.cc.o.d"
+  "forward_lineage_test"
+  "forward_lineage_test.pdb"
+  "forward_lineage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index_projection_test.cc" "tests/CMakeFiles/index_projection_test.dir/index_projection_test.cc.o" "gcc" "tests/CMakeFiles/index_projection_test.dir/index_projection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/provlin_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/provlin_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/provlin_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/provlin_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/provlin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/provlin_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/values/CMakeFiles/provlin_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provlin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

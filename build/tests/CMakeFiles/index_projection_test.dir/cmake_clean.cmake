@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_projection_test.dir/index_projection_test.cc.o"
+  "CMakeFiles/index_projection_test.dir/index_projection_test.cc.o.d"
+  "index_projection_test"
+  "index_projection_test.pdb"
+  "index_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_strategy_test.dir/iteration_strategy_test.cc.o"
+  "CMakeFiles/iteration_strategy_test.dir/iteration_strategy_test.cc.o.d"
+  "iteration_strategy_test"
+  "iteration_strategy_test.pdb"
+  "iteration_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_test.dir/iteration_test.cc.o"
+  "CMakeFiles/iteration_test.dir/iteration_test.cc.o.d"
+  "iteration_test"
+  "iteration_test.pdb"
+  "iteration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_test.dir/lineage_test.cc.o"
+  "CMakeFiles/lineage_test.dir/lineage_test.cc.o.d"
+  "lineage_test"
+  "lineage_test.pdb"
+  "lineage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

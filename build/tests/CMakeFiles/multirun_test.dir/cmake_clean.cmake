@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirun_test.dir/multirun_test.cc.o"
+  "CMakeFiles/multirun_test.dir/multirun_test.cc.o.d"
+  "multirun_test"
+  "multirun_test.pdb"
+  "multirun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

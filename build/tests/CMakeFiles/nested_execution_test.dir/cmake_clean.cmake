@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_execution_test.dir/nested_execution_test.cc.o"
+  "CMakeFiles/nested_execution_test.dir/nested_execution_test.cc.o.d"
+  "nested_execution_test"
+  "nested_execution_test.pdb"
+  "nested_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opm_export_test.dir/opm_export_test.cc.o"
+  "CMakeFiles/opm_export_test.dir/opm_export_test.cc.o.d"
+  "opm_export_test"
+  "opm_export_test.pdb"
+  "opm_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opm_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

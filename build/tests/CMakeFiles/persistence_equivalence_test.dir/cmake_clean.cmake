@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_equivalence_test.dir/persistence_equivalence_test.cc.o"
+  "CMakeFiles/persistence_equivalence_test.dir/persistence_equivalence_test.cc.o.d"
+  "persistence_equivalence_test"
+  "persistence_equivalence_test.pdb"
+  "persistence_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

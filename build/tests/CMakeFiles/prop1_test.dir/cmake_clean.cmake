@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop1_test.dir/prop1_test.cc.o"
+  "CMakeFiles/prop1_test.dir/prop1_test.cc.o.d"
+  "prop1_test"
+  "prop1_test.pdb"
+  "prop1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_graph_test.dir/provenance_graph_test.cc.o"
+  "CMakeFiles/provenance_graph_test.dir/provenance_graph_test.cc.o.d"
+  "provenance_graph_test"
+  "provenance_graph_test.pdb"
+  "provenance_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_test.dir/provenance_test.cc.o"
+  "CMakeFiles/provenance_test.dir/provenance_test.cc.o.d"
+  "provenance_test"
+  "provenance_test.pdb"
+  "provenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

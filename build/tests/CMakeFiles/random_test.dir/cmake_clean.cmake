@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_test.dir/random_test.cc.o"
+  "CMakeFiles/random_test.dir/random_test.cc.o.d"
+  "random_test"
+  "random_test.pdb"
+  "random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_fuzz_test.dir/select_fuzz_test.cc.o"
+  "CMakeFiles/select_fuzz_test.dir/select_fuzz_test.cc.o.d"
+  "select_fuzz_test"
+  "select_fuzz_test.pdb"
+  "select_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_maintenance_test.dir/trace_maintenance_test.cc.o"
+  "CMakeFiles/trace_maintenance_test.dir/trace_maintenance_test.cc.o.d"
+  "trace_maintenance_test"
+  "trace_maintenance_test.pdb"
+  "trace_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_probe_fuzz_test.dir/trace_probe_fuzz_test.cc.o"
+  "CMakeFiles/trace_probe_fuzz_test.dir/trace_probe_fuzz_test.cc.o.d"
+  "trace_probe_fuzz_test"
+  "trace_probe_fuzz_test.pdb"
+  "trace_probe_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_probe_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_test.dir/type_test.cc.o"
+  "CMakeFiles/type_test.dir/type_test.cc.o.d"
+  "type_test"
+  "type_test.pdb"
+  "type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_view_test.dir/user_view_test.cc.o"
+  "CMakeFiles/user_view_test.dir/user_view_test.cc.o.d"
+  "user_view_test"
+  "user_view_test.pdb"
+  "user_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

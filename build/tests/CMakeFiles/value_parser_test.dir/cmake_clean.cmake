@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_parser_test.dir/value_parser_test.cc.o"
+  "CMakeFiles/value_parser_test.dir/value_parser_test.cc.o.d"
+  "value_parser_test"
+  "value_parser_test.pdb"
+  "value_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_lineage_test.dir/versioned_lineage_test.cc.o"
+  "CMakeFiles/versioned_lineage_test.dir/versioned_lineage_test.cc.o.d"
+  "versioned_lineage_test"
+  "versioned_lineage_test.pdb"
+  "versioned_lineage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

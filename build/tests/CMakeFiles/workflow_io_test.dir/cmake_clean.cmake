@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_io_test.dir/workflow_io_test.cc.o"
+  "CMakeFiles/workflow_io_test.dir/workflow_io_test.cc.o.d"
+  "workflow_io_test"
+  "workflow_io_test.pdb"
+  "workflow_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

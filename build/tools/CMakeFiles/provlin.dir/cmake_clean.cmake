@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provlin.dir/main.cc.o"
+  "CMakeFiles/provlin.dir/main.cc.o.d"
+  "provlin"
+  "provlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
