@@ -3,12 +3,29 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "engine/iteration.h"
 #include "testbed/workbench.h"
+#include "workflow/port_space.h"
 
 namespace {
 
 using namespace provlin;
+
+/// A dataflow-shaped namespace of `procs` processors with one input and
+/// one output port each, for the port-binding lookup benches below.
+workflow::Dataflow MakePortBenchFlow(int procs) {
+  workflow::Dataflow flow("bench");
+  for (int i = 0; i < procs; ++i) {
+    workflow::Processor p;
+    p.name = "processor_" + std::to_string(i);
+    p.inputs.push_back({"in", PortType::String(1)});
+    p.outputs.push_back({"out", PortType::String(1)});
+    flow.AddProcessor(std::move(p));
+  }
+  return flow;
+}
 
 void BM_CrossProductTree(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
@@ -24,6 +41,50 @@ void BM_CrossProductTree(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * d * d);
 }
 BENCHMARK(BM_CrossProductTree)->Arg(10)->Arg(50)->Arg(150);
+
+// Identifier-layer payoff at the engine layer: resolving a port binding
+// during execution. The seed kept port values in a map keyed by the
+// "processor:port" string; the executor now indexes a flat vector by
+// the dense PortSlotId from the dataflow's cached PortSpace.
+
+void BM_PortBindingStringKeyed(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  workflow::Dataflow flow = MakePortBenchFlow(procs);
+  std::map<std::string, Value> port_values;
+  for (const workflow::Processor& p : flow.processors()) {
+    port_values[workflow::PortRef{p.name, "out"}.ToString()] =
+        Value::Str(p.name);
+  }
+  int probe = 0;
+  for (auto _ : state) {
+    workflow::PortRef ref{"processor_" + std::to_string(probe++ % procs),
+                          "out"};
+    auto it = port_values.find(ref.ToString());
+    benchmark::DoNotOptimize(it->second);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PortBindingStringKeyed)->Arg(30)->Arg(150);
+
+void BM_PortBindingSlotKeyed(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  workflow::Dataflow flow = MakePortBenchFlow(procs);
+  const workflow::PortSpace& ports = flow.Ports();
+  std::vector<Value> port_values(ports.size());
+  for (const workflow::Processor& p : flow.processors()) {
+    port_values[ports.Find(workflow::PortRef{p.name, "out"})] =
+        Value::Str(p.name);
+  }
+  int probe = 0;
+  for (auto _ : state) {
+    workflow::PortRef ref{"processor_" + std::to_string(probe++ % procs),
+                          "out"};
+    workflow::PortSlotId slot = ports.Find(ref);
+    benchmark::DoNotOptimize(port_values[slot]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PortBindingSlotKeyed)->Arg(30)->Arg(150);
 
 void BM_SyntheticRunWithProvenance(benchmark::State& state) {
   const int l = static_cast<int>(state.range(0));

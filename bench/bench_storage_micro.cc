@@ -66,6 +66,81 @@ void BM_BPlusTreePrefixScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BPlusTreePrefixScan)->Arg(10)->Arg(100);
 
+// Identifier-layer payoff at the storage layer: one trace-shaped probe
+// — all rows of (run, processor, port) under an index prefix — against
+// the seed's string-keyed layout and against the dictionary-encoded
+// layout (interned run, packed IdPair, raw IndexPath column). Same row
+// count, same probe mix; only the key representation differs.
+
+void BM_TraceProbeStringKeyed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::Table table(
+      "t", storage::Schema({{"run", storage::DatumKind::kString},
+                            {"pair", storage::DatumKind::kString},
+                            {"idx", storage::DatumKind::kString}}));
+  {
+    Status st = table.CreateIndex(
+        {"by_pair", {"run", "pair", "idx"}, storage::IndexType::kBTree});
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    auto r = table.Insert(
+        {Datum("run-2026-08-06-000"),
+         Datum("processor_" + std::to_string(i % 100) + ":out"),
+         Datum(std::to_string(i % 16) + "." + std::to_string(i % 8))});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    storage::SelectQuery q;
+    q.equals.push_back({"run", Datum("run-2026-08-06-000")});
+    q.equals.push_back(
+        {"pair", Datum("processor_" + std::to_string(probe % 100) + ":out")});
+    q.string_prefix =
+        storage::SelectQuery::StringPrefix{"idx", std::to_string(probe % 16)};
+    ++probe;
+    auto r = storage::ExecuteSelect(table, q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceProbeStringKeyed)->Arg(10000)->Arg(100000);
+
+void BM_TraceProbeIdKeyed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::Table table(
+      "t", storage::Schema({{"run", storage::DatumKind::kInt},
+                            {"pair", storage::DatumKind::kIdPair},
+                            {"idx", storage::DatumKind::kIndexPath}}));
+  {
+    Status st = table.CreateIndex(
+        {"by_pair", {"run", "pair", "idx"}, storage::IndexType::kBTree});
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    auto r = table.Insert(
+        {Datum(static_cast<int64_t>(0)),
+         Datum(storage::IdPair{static_cast<uint32_t>(i % 100), 7}),
+         Datum(storage::IndexPath{static_cast<int32_t>(i % 16),
+                                  static_cast<int32_t>(i % 8)})});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    storage::SelectQuery q;
+    q.equals.push_back({"run", Datum(static_cast<int64_t>(0))});
+    q.equals.push_back(
+        {"pair", Datum(storage::IdPair{static_cast<uint32_t>(probe % 100), 7})});
+    q.path_prefix = storage::SelectQuery::PathPrefix{
+        "idx", storage::IndexPath{static_cast<int32_t>(probe % 16)}};
+    ++probe;
+    auto r = storage::ExecuteSelect(table, q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceProbeIdKeyed)->Arg(10000)->Arg(100000);
+
 void BM_TableIndexedSelect(benchmark::State& state) {
   const int64_t n = state.range(0);
   storage::Table table(

@@ -52,8 +52,8 @@ int main() {
         Check(wb->store()->GetValueRepr("pd-run", rows[i].in_value), "value");
     std::printf("   event %lld  in %s%s = %s\n",
                 static_cast<long long>(rows[i].event_id),
-                rows[i].in_port.c_str(), rows[i].in_index.ToString().c_str(),
-                repr.c_str());
+                wb->store()->NameOf(rows[i].in_port).c_str(),
+                rows[i].in_index.ToString().c_str(), repr.c_str());
   }
 
   auto counts = Check(wb->store()->CountRecords("pd-run"), "counts");

@@ -268,7 +268,7 @@ Status CmdLineage(const Args& args, std::ostream& out) {
       out << "plan (" << plan->queries.size() << " trace queries, "
           << plan->graph_steps << " spec-graph steps):\n";
       for (const auto& tq : plan->queries) {
-        out << "  " << tq.ToString() << "\n";
+        out << "  " << tq.ToString(store) << "\n";
       }
     }
     PROVLIN_ASSIGN_OR_RETURN(

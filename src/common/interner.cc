@@ -1,0 +1,74 @@
+#include "common/interner.h"
+
+namespace provlin::common {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SymbolTable::Restore(std::vector<std::string> names) {
+  names_ = std::move(names);
+  ids_.clear();
+  ids_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    ids_.emplace(names_[i], static_cast<SymbolId>(i));
+  }
+}
+
+void SymbolTable::Clear() {
+  names_.clear();
+  ids_.clear();
+}
+
+size_t IndexDictionary::PathHash::operator()(
+    const std::vector<int32_t>& parts) const {
+  size_t h = 0xcbf29ce484222325ull;
+  for (int32_t p : parts) {
+    h ^= static_cast<size_t>(static_cast<uint32_t>(p));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+IndexId IndexDictionary::Intern(const std::vector<int32_t>& parts) {
+  auto it = ids_.find(parts);
+  if (it != ids_.end()) return it->second;
+  IndexId id = static_cast<IndexId>(paths_.size());
+  paths_.push_back(parts);
+  ids_.emplace(paths_.back(), id);
+  return id;
+}
+
+std::optional<IndexId> IndexDictionary::Lookup(
+    const std::vector<int32_t>& parts) const {
+  auto it = ids_.find(parts);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void IndexDictionary::Restore(std::vector<std::vector<int32_t>> paths) {
+  paths_ = std::move(paths);
+  ids_.clear();
+  ids_.reserve(paths_.size());
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    ids_.emplace(paths_[i], static_cast<IndexId>(i));
+  }
+}
+
+void IndexDictionary::Clear() {
+  paths_.clear();
+  ids_.clear();
+}
+
+}  // namespace provlin::common

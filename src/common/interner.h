@@ -1,0 +1,118 @@
+#ifndef PROVLIN_COMMON_INTERNER_H_
+#define PROVLIN_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace provlin::common {
+
+/// Dense identifier of an interned string (processor name, port name,
+/// run id, ...). Ids are assigned 0, 1, 2, ... in first-seen order and
+/// never change for the lifetime of the owning SymbolTable, so they can
+/// be stored in relational rows and persisted alongside the table that
+/// minted them.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol" (e.g. the absent side of a source-only
+/// provenance row). Never returned by Intern().
+inline constexpr SymbolId kNoSymbol = UINT32_MAX;
+
+/// Dense identifier of an interned index path (see IndexDictionary).
+using IndexId = uint32_t;
+
+inline constexpr IndexId kNoIndexId = UINT32_MAX;
+
+/// Append-only bidirectional map between strings and dense SymbolIds —
+/// the dictionary-encoding substrate of the identifier layer. Hot paths
+/// (executor port binding, trace probes, lineage traversal) carry
+/// SymbolIds and compare integers; strings appear only at parse/render
+/// boundaries through Intern()/NameOf().
+///
+/// Not thread-safe; the owning Database provides whatever external
+/// synchronization its own contract requires.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Id of `name`, interning it on first sight.
+  SymbolId Intern(std::string_view name);
+
+  /// Id of `name` if already interned; does not modify the table. Read
+  /// paths use this so querying an unknown name cannot grow the table.
+  std::optional<SymbolId> Lookup(std::string_view name) const;
+
+  /// The string a valid id denotes. Precondition: id < size().
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  bool Contains(SymbolId id) const { return id < names_.size(); }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All interned strings in id order — the serialization image. A table
+  /// restored via Restore(names()) assigns identical ids.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Replaces the contents with `names` (ids = positions). Used when
+  /// loading a persisted database image.
+  void Restore(std::vector<std::string> names);
+
+  void Clear();
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
+};
+
+/// Append-only dictionary of index paths (the component vectors of
+/// values::Index), deduplicated: equal paths always receive the same
+/// IndexId. Lives in common/ and speaks raw `std::vector<int32_t>` so
+/// the identifier layer does not depend on the values library; callers
+/// pass `index.parts()`.
+class IndexDictionary {
+ public:
+  IndexDictionary() = default;
+
+  /// Id of `parts`, interning on first sight.
+  IndexId Intern(const std::vector<int32_t>& parts);
+
+  /// Id of `parts` if present; does not modify the dictionary.
+  std::optional<IndexId> Lookup(const std::vector<int32_t>& parts) const;
+
+  /// The path a valid id denotes. Precondition: id < size().
+  const std::vector<int32_t>& PartsOf(IndexId id) const { return paths_[id]; }
+
+  size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  /// All paths in id order — the serialization image.
+  const std::vector<std::vector<int32_t>>& paths() const { return paths_; }
+
+  /// Replaces the contents with `paths` (ids = positions).
+  void Restore(std::vector<std::vector<int32_t>> paths);
+
+  void Clear();
+
+ private:
+  struct PathHash {
+    size_t operator()(const std::vector<int32_t>& parts) const;
+  };
+
+  std::vector<std::vector<int32_t>> paths_;
+  std::unordered_map<std::vector<int32_t>, IndexId, PathHash> ids_;
+};
+
+}  // namespace provlin::common
+
+#endif  // PROVLIN_COMMON_INTERNER_H_

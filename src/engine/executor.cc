@@ -6,6 +6,7 @@
 #include "values/type.h"
 #include "workflow/depth_propagation.h"
 #include "workflow/graph.h"
+#include "workflow/port_space.h"
 
 namespace provlin::engine {
 namespace {
@@ -13,12 +14,12 @@ namespace {
 using workflow::Arc;
 using workflow::Dataflow;
 using workflow::DepthMap;
+using workflow::kNoPortSlot;
 using workflow::kWorkflowProcessor;
 using workflow::PortRef;
+using workflow::PortSlotId;
 using workflow::Processor;
 using workflow::ProcessorDepths;
-
-std::string PortKey(const PortRef& ref) { return ref.ToString(); }
 
 /// Recursively evaluates the iteration tree: invokes the activity at
 /// each leaf, reports an xform event, and assembles one nested output
@@ -157,9 +158,12 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
   };
 
   // Resolved values and production granularity (the out-binding indices
-  // recorded when the port's value was produced) per port.
-  std::map<std::string, Value> port_values;
-  std::map<std::string, std::vector<Index>> port_granularity;
+  // recorded when the port's value was produced) per port. Ports are
+  // addressed by their dense slot ids, so the hot loop binds and looks
+  // up values by array index rather than by "processor:port" string.
+  const workflow::PortSpace& ports = dataflow.Ports();
+  std::vector<std::optional<Value>> port_values(ports.size());
+  std::vector<std::vector<Index>> port_granularity(ports.size());
 
   // Bind workflow inputs (assumption 2: value depth == declared depth).
   for (const workflow::Port& in : dataflow.inputs()) {
@@ -180,9 +184,9 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
           std::string(AtomKindName(t.base)) + ", declared " +
           std::string(AtomKindName(in.declared_type.base))));
     }
-    std::string key = PortKey(PortRef{kWorkflowProcessor, in.name});
-    port_values[key] = it->second;
-    port_granularity[key] = {Index::Empty()};
+    PortSlotId slot = ports.Find(PortRef{kWorkflowProcessor, in.name});
+    port_values[slot] = it->second;
+    port_granularity[slot] = {Index::Empty()};
     if (observer_ != nullptr) observer_->OnWorkflowInput(in.name, it->second);
   }
 
@@ -192,13 +196,13 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
   // them keep their fine index because arc transfers are index-identical.
   auto emit_xfer = [&](const Arc& arc) -> Status {
     if (observer_ == nullptr) return Status::OK();
-    const std::string src_key = PortKey(arc.src);
-    const Value& value = port_values.at(src_key);
+    PortSlotId src_slot = ports.Find(arc.src);
+    const Value& value = *port_values[src_slot];
     if (arc.dst.processor == kWorkflowProcessor) {
       observer_->OnXfer(arc.src, arc.dst, Index::Empty(), value);
       return Status::OK();
     }
-    for (const Index& idx : port_granularity.at(src_key)) {
+    for (const Index& idx : port_granularity[src_slot]) {
       PROVLIN_ASSIGN_OR_RETURN(Value element, value.At(idx));
       observer_->OnXfer(arc.src, arc.dst, idx, element);
     }
@@ -218,14 +222,14 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
       std::vector<const Arc*> arcs = dataflow.ArcsInto(dst);
       if (!arcs.empty()) {
         const Arc& arc = *arcs.front();
-        auto vit = port_values.find(PortKey(arc.src));
-        if (vit == port_values.end()) {
+        PortSlotId src_slot = ports.Find(arc.src);
+        if (src_slot == kNoPortSlot || !port_values[src_slot].has_value()) {
           return fail(Status::Internal("arc source " + arc.src.ToString() +
                                        " unresolved at " + pname));
         }
         Status st = emit_xfer(arc);
         if (!st.ok()) return fail(st);
-        bound.push_back(vit->second);
+        bound.push_back(*port_values[src_slot]);
       } else {
         auto dit = proc->defaults.find(in.name);
         if (dit == proc->defaults.end()) {
@@ -277,9 +281,9 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
       granularity = {Index::Empty()};
     }
     for (size_t j = 0; j < proc->outputs.size(); ++j) {
-      std::string key = PortKey(PortRef{pname, proc->outputs[j].name});
-      port_values[key] = std::move(outs[j]);
-      port_granularity[key] = granularity;
+      PortSlotId slot = ports.Find(PortRef{pname, proc->outputs[j].name});
+      port_values[slot] = std::move(outs[j]);
+      port_granularity[slot] = granularity;
     }
   }
 
@@ -292,21 +296,28 @@ Result<RunResult> Executor::Execute(const Dataflow& dataflow,
                                              "' has no incoming arc"));
     }
     const Arc& arc = *arcs.front();
-    auto vit = port_values.find(PortKey(arc.src));
-    if (vit == port_values.end()) {
+    PortSlotId src_slot = ports.Find(arc.src);
+    if (src_slot == kNoPortSlot || !port_values[src_slot].has_value()) {
       return fail(Status::Internal("arc source " + arc.src.ToString() +
                                    " unresolved at workflow output"));
     }
     Status st = emit_xfer(arc);
     if (!st.ok()) return fail(st);
-    result.outputs[out.name] = vit->second;
-    port_values[PortKey(dst)] = vit->second;
+    result.outputs[out.name] = *port_values[src_slot];
+    port_values[ports.Find(dst)] = *port_values[src_slot];
     if (observer_ != nullptr) {
-      observer_->OnWorkflowOutput(out.name, vit->second);
+      observer_->OnWorkflowOutput(out.name, *port_values[src_slot]);
     }
   }
 
-  result.port_values = std::move(port_values);
+  // Render boundary: RunResult keeps the string-keyed view for callers
+  // and tests; the flat slot vectors existed only for the run itself.
+  for (size_t i = 0; i < port_values.size(); ++i) {
+    if (!port_values[i].has_value()) continue;
+    result.port_values.emplace(
+        ports.RefOf(static_cast<PortSlotId>(i)).ToString(),
+        std::move(*port_values[i]));
+  }
   if (observer_ != nullptr) observer_->OnRunEnd(run_id, Status::OK());
   return result;
 }

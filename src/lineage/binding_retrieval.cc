@@ -1,5 +1,7 @@
 #include "lineage/binding_retrieval.h"
 
+#include "values/value_parser.h"
+
 namespace provlin::lineage {
 
 using provenance::XformRecord;
@@ -9,10 +11,12 @@ Status AppendInputBinding(const provenance::TraceStore& store,
                           std::vector<LineageBinding>* out) {
   if (!row.has_in) return Status::OK();
   PROVLIN_ASSIGN_OR_RETURN(std::string repr,
-                           store.GetValueRepr(run, row.in_value));
+                           store.GetValueRepr(row.run, row.in_value));
   out->push_back(LineageBinding{
-      run, workflow::PortRef{row.processor, row.in_port}, row.in_index,
-      std::move(repr)});
+      run,
+      workflow::PortRef{store.NameOf(row.processor),
+                        store.NameOf(row.in_port)},
+      row.in_index, std::move(repr)});
   return Status::OK();
 }
 
@@ -23,7 +27,11 @@ Status AppendSourceBindings(const provenance::TraceStore& store,
                             std::vector<LineageBinding>* out) {
   for (const XformRecord& row : rows) {
     if (!row.has_out) continue;
-    PROVLIN_ASSIGN_OR_RETURN(Value whole, store.GetValue(run, row.out_value));
+    PROVLIN_ASSIGN_OR_RETURN(std::string repr,
+                             store.GetValueRepr(row.run, row.out_value));
+    PROVLIN_ASSIGN_OR_RETURN(Value whole, ParseValue(repr));
+    workflow::PortRef port{store.NameOf(row.processor),
+                           store.NameOf(row.out_port)};
     if (row.out_index.IsPrefixOf(q)) {
       // Recorded binding covers the question: report precisely at q.
       Index residual = q.SubIndex(row.out_index.length(),
@@ -33,19 +41,16 @@ Status AppendSourceBindings(const provenance::TraceStore& store,
         // The requested index does not exist in the recorded value; fall
         // back to the recorded (coarser) binding rather than failing the
         // whole query.
-        out->push_back(LineageBinding{
-            run, workflow::PortRef{row.processor, row.out_port},
-            row.out_index, whole.ToString()});
+        out->push_back(LineageBinding{run, std::move(port), row.out_index,
+                                      whole.ToString()});
         continue;
       }
-      out->push_back(LineageBinding{
-          run, workflow::PortRef{row.processor, row.out_port}, q,
-          element.value().ToString()});
+      out->push_back(
+          LineageBinding{run, std::move(port), q, element.value().ToString()});
     } else {
       // Finer than the question (whole-value queries): report as stored.
-      out->push_back(LineageBinding{
-          run, workflow::PortRef{row.processor, row.out_port}, row.out_index,
-          whole.ToString()});
+      out->push_back(LineageBinding{run, std::move(port), row.out_index,
+                                    whole.ToString()});
     }
   }
   return Status::OK();

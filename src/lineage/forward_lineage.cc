@@ -1,11 +1,16 @@
 #include "lineage/forward_lineage.h"
 
+#include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "common/timer.h"
 
 namespace provlin::lineage {
 
+using common::IndexId;
+using common::kNoSymbol;
+using common::SymbolId;
 using provenance::XferRecord;
 using provenance::XformRecord;
 using workflow::Dataflow;
@@ -19,69 +24,81 @@ using workflow::Processor;
 
 namespace {
 
+/// ID-space forward traversal, mirroring the backward naive engine:
+/// ports and runs are SymbolIds, indexes are dense IndexIds, and the
+/// visited set compares integer tuples. Strings only reappear in the
+/// reported bindings.
 class ForwardTraversal {
  public:
   ForwardTraversal(const provenance::TraceStore& store, std::string run,
-                   InterestSet interest)
-      : store_(store), run_(std::move(run)), interest_(std::move(interest)) {}
+                   SymbolId run_sym, const InterestSet& interest)
+      : store_(store),
+        run_(std::move(run)),
+        run_sym_(run_sym),
+        all_interesting_(interest.empty()),
+        workflow_sym_(store.Intern(kWorkflowProcessor)) {
+    for (const std::string& name : interest) {
+      auto sym = store.LookupSymbol(name);
+      if (sym.has_value()) interest_syms_.insert(*sym);
+    }
+  }
+
+  bool Interesting(SymbolId processor) const {
+    return all_interesting_ || interest_syms_.count(processor) > 0;
+  }
 
   /// Producer side: a value sits on an output port (or workflow input);
   /// hop every outgoing arc.
-  Status VisitProducer(const PortRef& port, const Index& p) {
+  Status VisitProducer(SymbolId processor, SymbolId port, const Index& p) {
     ++steps_;
-    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1fp")
-             .second) {
-      return Status::OK();
-    }
+    auto key = std::make_tuple(processor, port, store_.InternIndex(p),
+                               /*producer=*/true);
+    if (!visited_.insert(key).second) return Status::OK();
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XferRecord> xfers,
-        store_.FindXfersFrom(run_, port.processor, port.port, p));
-    std::set<std::pair<std::string, std::string>> dsts;
+        store_.FindXfersFrom(run_sym_, processor, port, p));
+    std::set<std::pair<SymbolId, SymbolId>> dsts;
     for (const XferRecord& row : xfers) {
       dsts.insert({row.dst_proc, row.dst_port});
     }
     for (const auto& [dst_proc, dst_port] : dsts) {
-      if (dst_proc == kWorkflowProcessor) {
-        if (IsInteresting(interest_, kWorkflowProcessor)) {
-          PROVLIN_RETURN_IF_ERROR(
-              ReportWorkflowOutput(dst_port, p));
+      if (dst_proc == workflow_sym_) {
+        if (Interesting(workflow_sym_)) {
+          PROVLIN_RETURN_IF_ERROR(ReportWorkflowOutput(dst_port, p));
         }
         continue;
       }
-      PROVLIN_RETURN_IF_ERROR(
-          VisitConsumer(PortRef{dst_proc, dst_port}, p));
+      PROVLIN_RETURN_IF_ERROR(VisitConsumer(dst_proc, dst_port, p));
     }
     return Status::OK();
   }
 
   /// Consumer side: the value arrived at an input port; the xform rows
   /// give the elementary events that consumed it and their outputs.
-  Status VisitConsumer(const PortRef& port, const Index& p) {
+  Status VisitConsumer(SymbolId processor, SymbolId port, const Index& p) {
     ++steps_;
-    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1f" "c")
-             .second) {
-      return Status::OK();
-    }
+    auto key = std::make_tuple(processor, port, store_.InternIndex(p),
+                               /*producer=*/false);
+    if (!visited_.insert(key).second) return Status::OK();
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> rows,
-        store_.FindConsuming(run_, port.processor, port.port, p));
-    bool interesting = IsInteresting(interest_, port.processor);
-    std::set<std::pair<std::string, std::string>> next;
+        store_.FindConsuming(run_sym_, processor, port, p));
+    bool interesting = Interesting(processor);
+    std::set<std::pair<SymbolId, Index>> next;
     for (const XformRecord& row : rows) {
       if (!row.has_out) continue;
       if (interesting) {
         PROVLIN_ASSIGN_OR_RETURN(std::string repr,
-                                 store_.GetValueRepr(run_, row.out_value));
+                                 store_.GetValueRepr(row.run, row.out_value));
         bindings_.push_back(LineageBinding{
-            run_, PortRef{row.processor, row.out_port}, row.out_index,
-            std::move(repr)});
+            run_,
+            PortRef{store_.NameOf(row.processor), store_.NameOf(row.out_port)},
+            row.out_index, std::move(repr)});
       }
-      next.insert({row.out_port, row.out_index.Encode()});
+      next.insert({row.out_port, row.out_index});
     }
-    for (const auto& [out_port, enc] : next) {
-      PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(enc));
-      PROVLIN_RETURN_IF_ERROR(
-          VisitProducer(PortRef{port.processor, out_port}, idx));
+    for (const auto& [out_port, idx] : next) {
+      PROVLIN_RETURN_IF_ERROR(VisitProducer(processor, out_port, idx));
     }
     return Status::OK();
   }
@@ -90,12 +107,12 @@ class ForwardTraversal {
   uint64_t steps() const { return steps_; }
 
  private:
-  Status ReportWorkflowOutput(const std::string& out_port, const Index& p) {
+  Status ReportWorkflowOutput(SymbolId out_port, const Index& p) {
     // The (single, coarse) xfer row into the workflow output carries the
     // whole value; report the element the arrival index selects.
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XferRecord> rows,
-        store_.FindXfersInto(run_, kWorkflowProcessor, out_port, p));
+        store_.FindXfersInto(run_sym_, workflow_sym_, out_port, p));
     for (const XferRecord& row : rows) {
       PROVLIN_ASSIGN_OR_RETURN(Value whole,
                                store_.GetValue(run_, row.value_id));
@@ -105,7 +122,7 @@ class ForwardTraversal {
       auto element = whole.At(residual);
       if (!element.ok()) continue;  // index beyond the produced value
       bindings_.push_back(LineageBinding{
-          run_, PortRef{kWorkflowProcessor, out_port}, p,
+          run_, PortRef{kWorkflowProcessor, store_.NameOf(out_port)}, p,
           element.value().ToString()});
     }
     return Status::OK();
@@ -113,8 +130,11 @@ class ForwardTraversal {
 
   const provenance::TraceStore& store_;
   std::string run_;
-  InterestSet interest_;
-  std::set<std::string> visited_;
+  SymbolId run_sym_;
+  bool all_interesting_;
+  SymbolId workflow_sym_;
+  std::set<SymbolId> interest_syms_;
+  std::set<std::tuple<SymbolId, SymbolId, IndexId, bool>> visited_;
   std::vector<LineageBinding> bindings_;
   uint64_t steps_ = 0;
 };
@@ -128,23 +148,32 @@ Result<LineageAnswer> NaiveForwardLineage::Query(
   storage::TableStats before = store_->db()->AggregateStats();
   WallTimer timer;
 
-  ForwardTraversal traversal(*store_, run, interest);
+  // Resolve the query to id space once; unrecorded names have no impact.
+  auto run_sym = store_->LookupSymbol(run);
+  auto proc_sym = store_->LookupSymbol(target.processor);
+  auto port_sym = store_->LookupSymbol(target.port);
+  if (!run_sym || !proc_sym || !port_sym) {
+    answer.timing.t2_ms = timer.ElapsedMillis();
+    return answer;
+  }
+
+  ForwardTraversal traversal(*store_, run, *run_sym, interest);
   // Side detection: ports with outgoing xfer rows or producing xform
   // rows are producer-side; anything else is consumed.
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<XferRecord> out_xfers,
-      store_->FindXfersFrom(run, target.processor, target.port, p));
+      store_->FindXfersFrom(*run_sym, *proc_sym, *port_sym, p));
   bool producer = !out_xfers.empty();
   if (!producer) {
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> produced,
-        store_->FindProducing(run, target.processor, target.port, p));
+        store_->FindProducing(*run_sym, *proc_sym, *port_sym, p));
     producer = !produced.empty();
   }
   if (producer) {
-    PROVLIN_RETURN_IF_ERROR(traversal.VisitProducer(target, p));
+    PROVLIN_RETURN_IF_ERROR(traversal.VisitProducer(*proc_sym, *port_sym, p));
   } else {
-    PROVLIN_RETURN_IF_ERROR(traversal.VisitConsumer(target, p));
+    PROVLIN_RETURN_IF_ERROR(traversal.VisitConsumer(*proc_sym, *port_sym, p));
   }
 
   answer.bindings = std::move(traversal.bindings());
@@ -172,16 +201,6 @@ Result<ForwardIndexProjLineage> ForwardIndexProjLineage::Create(
 
 namespace {
 
-std::string ForwardPlanKey(const PortRef& target, const Index& p,
-                           const InterestSet& interest) {
-  std::string key = target.ToString() + "\x1f" + p.Encode() + "\x1f";
-  for (const std::string& s : interest) {
-    key += s;
-    key += ',';
-  }
-  return key;
-}
-
 /// Truncates/pads `pattern` to exactly `len` components (wildcard pad).
 IndexPattern FitPattern(const IndexPattern& pattern, size_t len) {
   IndexPattern out;
@@ -195,19 +214,23 @@ IndexPattern FitPattern(const IndexPattern& pattern, size_t len) {
   return out;
 }
 
+/// Forward planner. Port names are interned as they are reached;
+/// patterns (which carry wildcards and so have no IndexId) keep their
+/// compact Encode() form inside the plan-build dedup keys — those sets
+/// live only for the duration of one BuildPlan.
 class ForwardPlanner {
  public:
   ForwardPlanner(const Dataflow& flow, const workflow::DepthMap& depths,
-                 const InterestSet& interest)
-      : flow_(flow), depths_(depths), interest_(interest) {}
+                 const InterestSet& interest,
+                 const provenance::TraceStore& store)
+      : flow_(flow), depths_(depths), interest_(interest), store_(store) {}
 
   Status VisitProducer(const PortRef& port, const IndexPattern& pattern) {
     ++steps_;
-    if (!visited_
-             .insert(port.ToString() + "\x1f" + pattern.Encode() + "\x1fp")
-             .second) {
-      return Status::OK();
-    }
+    auto key = std::make_tuple(store_.Intern(port.processor),
+                               store_.Intern(port.port), pattern.Encode(),
+                               /*producer=*/true);
+    if (!visited_.insert(key).second) return Status::OK();
     for (const workflow::Arc* arc : flow_.ArcsFrom(port)) {
       PROVLIN_RETURN_IF_ERROR(VisitConsumer(arc->dst, pattern));
     }
@@ -216,16 +239,15 @@ class ForwardPlanner {
 
   Status VisitConsumer(const PortRef& port, const IndexPattern& pattern) {
     ++steps_;
-    if (!visited_
-             .insert(port.ToString() + "\x1f" + pattern.Encode() + "\x1f" "c")
-             .second) {
-      return Status::OK();
-    }
+    auto key = std::make_tuple(store_.Intern(port.processor),
+                               store_.Intern(port.port), pattern.Encode(),
+                               /*producer=*/false);
+    if (!visited_.insert(key).second) return Status::OK();
     if (port.processor == kWorkflowProcessor) {
       if (IsInteresting(interest_, kWorkflowProcessor)) {
         ForwardTraceQuery q;
-        q.processor = kWorkflowProcessor;
-        q.port = port.port;
+        q.processor = store_.Intern(kWorkflowProcessor);
+        q.port = store_.Intern(port.port);
         q.pattern = pattern;
         q.workflow_output = true;
         AddQuery(std::move(q));
@@ -263,8 +285,8 @@ class ForwardPlanner {
     if (IsInteresting(interest_, proc->name)) {
       for (const workflow::Port& out : proc->outputs) {
         ForwardTraceQuery q;
-        q.processor = proc->name;
-        q.port = out.name;
+        q.processor = store_.Intern(proc->name);
+        q.port = store_.Intern(out.name);
         q.pattern = out_pattern;
         AddQuery(std::move(q));
       }
@@ -285,26 +307,41 @@ class ForwardPlanner {
 
  private:
   void AddQuery(ForwardTraceQuery q) {
-    std::string key =
-        q.processor + "\x1f" + q.port + "\x1f" + q.pattern.Encode();
+    auto key = std::make_tuple(q.processor, q.port, q.pattern.Encode());
     if (query_keys_.insert(key).second) queries_.push_back(std::move(q));
   }
+
+  using VisitKey = std::tuple<SymbolId, SymbolId, std::string, bool>;
+  using QueryKey = std::tuple<SymbolId, SymbolId, std::string>;
 
   const Dataflow& flow_;
   const workflow::DepthMap& depths_;
   const InterestSet& interest_;
-  std::set<std::string> visited_;
-  std::set<std::string> query_keys_;
+  const provenance::TraceStore& store_;
+  std::set<VisitKey> visited_;
+  std::set<QueryKey> query_keys_;
   std::vector<ForwardTraceQuery> queries_;
   uint64_t steps_ = 0;
 };
 
 }  // namespace
 
+ForwardIndexProjLineage::PlanKey ForwardIndexProjLineage::MakePlanKey(
+    const PortRef& target, const Index& p, const InterestSet& interest) const {
+  std::vector<SymbolId> interest_syms;
+  interest_syms.reserve(interest.size());
+  for (const std::string& s : interest) {
+    interest_syms.push_back(store_->Intern(s));
+  }
+  std::sort(interest_syms.begin(), interest_syms.end());
+  return PlanKey(store_->Intern(target.processor), store_->Intern(target.port),
+                 store_->InternIndex(p), std::move(interest_syms));
+}
+
 Result<ForwardPlan> ForwardIndexProjLineage::BuildPlan(
     const PortRef& target, const Index& p,
     const InterestSet& interest) const {
-  ForwardPlanner planner(*dataflow_, depths_, interest);
+  ForwardPlanner planner(*dataflow_, depths_, interest, *store_);
   IndexPattern pattern(p);
   if (target.processor == kWorkflowProcessor) {
     if (dataflow_->FindWorkflowInput(target.port) != nullptr) {
@@ -333,24 +370,26 @@ Result<ForwardPlan> ForwardIndexProjLineage::BuildPlan(
 
 Result<const ForwardPlan*> ForwardIndexProjLineage::Plan(
     const PortRef& target, const Index& p, const InterestSet& interest) {
-  std::string key = ForwardPlanKey(target, p, interest);
+  PlanKey key = MakePlanKey(target, p, interest);
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) return &it->second;
   PROVLIN_ASSIGN_OR_RETURN(ForwardPlan plan, BuildPlan(target, p, interest));
-  auto [pos, _] = plan_cache_.emplace(key, std::move(plan));
+  auto [pos, _] = plan_cache_.emplace(std::move(key), std::move(plan));
   return &pos->second;
 }
 
 Status ForwardIndexProjLineage::ExecutePlan(
     const ForwardPlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
+  auto run_sym = store_->LookupSymbol(run);
+  if (!run_sym.has_value()) return Status::OK();
   for (const ForwardTraceQuery& q : plan.queries) {
     if (q.workflow_output) {
       // The coarse xfer row into the output carries the whole value;
       // enumerate the concrete indices the pattern selects.
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XferRecord> rows,
-          store_->FindXfersInto(run, kWorkflowProcessor, q.port,
+          store_->FindXfersInto(*run_sym, q.processor, q.port,
                                 q.pattern.KnownPrefix()));
       for (const XferRecord& row : rows) {
         PROVLIN_ASSIGN_OR_RETURN(Value whole,
@@ -360,7 +399,7 @@ Status ForwardIndexProjLineage::ExecutePlan(
           auto element = whole.At(idx);
           if (!element.ok()) continue;
           bindings->push_back(LineageBinding{
-              run, PortRef{kWorkflowProcessor, q.port}, idx,
+              run, PortRef{kWorkflowProcessor, store_->NameOf(q.port)}, idx,
               element.value().ToString()});
         }
       }
@@ -368,20 +407,20 @@ Status ForwardIndexProjLineage::ExecutePlan(
     }
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> rows,
-        store_->FindProducing(run, q.processor, q.port,
+        store_->FindProducing(*run_sym, q.processor, q.port,
                               q.pattern.KnownPrefix()));
-    std::set<std::string> seen;
+    PortRef port{store_->NameOf(q.processor), store_->NameOf(q.port)};
+    std::set<std::pair<IndexId, int64_t>> seen;
     for (const XformRecord& row : rows) {
       if (!row.has_out || row.out_port != q.port) continue;
       if (!q.pattern.Overlaps(row.out_index)) continue;
-      std::string key = row.out_index.Encode() + "\x1f" +
-                        std::to_string(row.out_value);
+      auto key = std::make_pair(store_->InternIndex(row.out_index),
+                                row.out_value);
       if (!seen.insert(key).second) continue;
       PROVLIN_ASSIGN_OR_RETURN(std::string repr,
-                               store_->GetValueRepr(run, row.out_value));
-      bindings->push_back(LineageBinding{
-          run, PortRef{q.processor, q.port}, row.out_index,
-          std::move(repr)});
+                               store_->GetValueRepr(row.run, row.out_value));
+      bindings->push_back(
+          LineageBinding{run, port, row.out_index, std::move(repr)});
     }
   }
   return Status::OK();
@@ -397,7 +436,7 @@ Result<LineageAnswer> ForwardIndexProjLineage::QueryMultiRun(
     const std::vector<std::string>& runs, const PortRef& target,
     const Index& p, const InterestSet& interest) {
   LineageAnswer answer;
-  std::string key = ForwardPlanKey(target, p, interest);
+  PlanKey key = MakePlanKey(target, p, interest);
   answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
   WallTimer t1;
   PROVLIN_ASSIGN_OR_RETURN(const ForwardPlan* plan,

@@ -4,8 +4,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "lineage/index_pattern.h"
 #include "lineage/query.h"
@@ -43,15 +45,17 @@ class NaiveForwardLineage {
 };
 
 /// One generated forward trace query: retrieve the out-bindings of
-/// `processor`:`port` whose index overlaps `pattern`.
+/// `processor`:`port` whose index overlaps `pattern`. Names are stored
+/// interned, like the backward TraceQuery.
 struct ForwardTraceQuery {
-  std::string processor;
-  std::string port;
+  common::SymbolId processor = common::kNoSymbol;
+  common::SymbolId port = common::kNoSymbol;
   IndexPattern pattern;
   bool workflow_output = false;
 
-  std::string ToString() const {
-    return "Qf(" + processor + ", " + port + ", " + pattern.ToString() + ")";
+  std::string ToString(const provenance::TraceStore& store) const {
+    return "Qf(" + store.NameOf(processor) + ", " + store.NameOf(port) + ", " +
+           pattern.ToString() + ")";
   }
 };
 
@@ -99,10 +103,17 @@ class ForwardIndexProjLineage {
   Status ExecutePlan(const ForwardPlan& plan, const std::string& run,
                      std::vector<LineageBinding>* bindings) const;
 
+  /// Same integer-tuple cache key shape as the backward engine.
+  using PlanKey =
+      std::tuple<common::SymbolId, common::SymbolId, common::IndexId,
+                 std::vector<common::SymbolId>>;
+  PlanKey MakePlanKey(const workflow::PortRef& target, const Index& p,
+                      const InterestSet& interest) const;
+
   std::shared_ptr<const workflow::Dataflow> dataflow_;
   workflow::DepthMap depths_;
   const provenance::TraceStore* store_;
-  std::map<std::string, ForwardPlan> plan_cache_;
+  std::map<PlanKey, ForwardPlan> plan_cache_;
 };
 
 }  // namespace provlin::lineage

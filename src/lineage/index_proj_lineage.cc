@@ -1,5 +1,6 @@
 #include "lineage/index_proj_lineage.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/string_util.h"
@@ -9,6 +10,9 @@
 
 namespace provlin::lineage {
 
+using common::IndexId;
+using common::kNoSymbol;
+using common::SymbolId;
 using provenance::XformRecord;
 using workflow::Dataflow;
 using workflow::kWorkflowProcessor;
@@ -25,50 +29,45 @@ Result<IndexProjLineage> IndexProjLineage::Create(
 
 namespace {
 
-std::string PlanKey(const PortRef& target, const Index& q,
-                    const InterestSet& interest) {
-  std::string key = target.ToString() + "\x1f" + q.Encode() + "\x1f";
-  for (const std::string& p : interest) {
-    key += p;
-    key += ',';
-  }
-  return key;
-}
-
-/// Alg. 2 traversal state.
+/// Alg. 2 traversal state. The traversal itself walks the spec graph by
+/// name (processor/port names come from the Dataflow), but every emitted
+/// TraceQuery and every dedup key is interned immediately: the planner
+/// pays the string→id cost once at plan time so that plan execution and
+/// re-execution (multi-run, cached plans) are pure integer work.
 class Planner {
  public:
   Planner(const Dataflow& flow, const workflow::DepthMap& depths,
-          const InterestSet& interest)
-      : flow_(flow), depths_(depths), interest_(interest) {}
+          const InterestSet& interest, const provenance::TraceStore& store)
+      : flow_(flow), depths_(depths), interest_(interest), store_(store) {}
 
   /// Y ∈ O_P case: apply the projection rule, emit trace queries at
   /// interesting processors, continue through the inputs. `via` names
-  /// the consuming input port the traversal arrived through (empty for a
+  /// the consuming input port the traversal arrived through (null for a
   /// direct query on a workflow input).
   Status VisitOutput(const PortRef& port, const Index& q,
                      const PortRef* via = nullptr) {
     ++steps_;
-    std::string via_key =
-        via == nullptr ? std::string() : via->ToString();
-    if (!visited_
-             .insert(port.ToString() + "\x1f" + q.Encode() + "\x1fo\x1f" +
-                     via_key)
-             .second) {
-      return Status::OK();
+    SymbolId via_proc = kNoSymbol;
+    SymbolId via_port = kNoSymbol;
+    if (via != nullptr) {
+      via_proc = store_.Intern(via->processor);
+      via_port = store_.Intern(via->port);
     }
+    auto key = std::make_tuple(store_.Intern(port.processor),
+                               store_.Intern(port.port),
+                               store_.InternIndex(q), via_proc, via_port,
+                               /*output=*/true);
+    if (!visited_.insert(key).second) return Status::OK();
     if (port.processor == kWorkflowProcessor) {
       // Reached a top-level workflow input: a lineage source.
       if (IsInteresting(interest_, kWorkflowProcessor)) {
         TraceQuery tq;
-        tq.processor = kWorkflowProcessor;
-        tq.port = port.port;
+        tq.processor = store_.Intern(kWorkflowProcessor);
+        tq.port = store_.Intern(port.port);
         tq.index = q;
         tq.workflow_source = true;
-        if (via != nullptr) {
-          tq.via_processor = via->processor;
-          tq.via_port = via->port;
-        }
+        tq.via_processor = via_proc;
+        tq.via_port = via_port;
         AddQuery(std::move(tq));
       }
       return Status::OK();
@@ -84,8 +83,8 @@ class Planner {
     for (size_t i = 0; i < proc->inputs.size(); ++i) {
       if (interesting) {
         TraceQuery tq;
-        tq.processor = proc->name;
-        tq.port = proc->inputs[i].name;
+        tq.processor = store_.Intern(proc->name);
+        tq.port = store_.Intern(proc->inputs[i].name);
         tq.index = projected[i];
         AddQuery(std::move(tq));
       }
@@ -98,10 +97,11 @@ class Planner {
   /// Y ∉ O_P case: follow the arcs backwards with the index unchanged.
   Status VisitInput(const PortRef& port, const Index& p) {
     ++steps_;
-    if (!visited_.insert(port.ToString() + "\x1f" + p.Encode() + "\x1fi")
-             .second) {
-      return Status::OK();
-    }
+    auto key = std::make_tuple(store_.Intern(port.processor),
+                               store_.Intern(port.port),
+                               store_.InternIndex(p), kNoSymbol, kNoSymbol,
+                               /*output=*/false);
+    if (!visited_.insert(key).second) return Status::OK();
     for (const workflow::Arc* arc : flow_.ArcsInto(port)) {
       PROVLIN_RETURN_IF_ERROR(VisitOutput(arc->src, p, &port));
     }
@@ -117,27 +117,43 @@ class Planner {
 
  private:
   void AddQuery(TraceQuery q) {
-    std::string key = q.processor + "\x1f" + q.port + "\x1f" +
-                      q.index.Encode() + "\x1f" + q.via_processor + "\x1f" +
-                      q.via_port;
+    auto key = std::make_tuple(q.processor, q.port, store_.InternIndex(q.index),
+                               q.via_processor, q.via_port);
     if (query_keys_.insert(key).second) queries_.push_back(std::move(q));
   }
+
+  using VisitKey =
+      std::tuple<SymbolId, SymbolId, IndexId, SymbolId, SymbolId, bool>;
+  using QueryKey = std::tuple<SymbolId, SymbolId, IndexId, SymbolId, SymbolId>;
 
   const Dataflow& flow_;
   const workflow::DepthMap& depths_;
   const InterestSet& interest_;
-  std::set<std::string> visited_;
-  std::set<std::string> query_keys_;
+  const provenance::TraceStore& store_;
+  std::set<VisitKey> visited_;
+  std::set<QueryKey> query_keys_;
   std::vector<TraceQuery> queries_;
   uint64_t steps_ = 0;
 };
 
 }  // namespace
 
+IndexProjLineage::PlanKey IndexProjLineage::MakePlanKey(
+    const PortRef& target, const Index& q, const InterestSet& interest) const {
+  std::vector<SymbolId> interest_syms;
+  interest_syms.reserve(interest.size());
+  for (const std::string& p : interest) {
+    interest_syms.push_back(store_->Intern(p));
+  }
+  std::sort(interest_syms.begin(), interest_syms.end());
+  return PlanKey(store_->Intern(target.processor), store_->Intern(target.port),
+                 store_->InternIndex(q), std::move(interest_syms));
+}
+
 Result<LineagePlan> IndexProjLineage::BuildPlan(
     const PortRef& target, const Index& q,
     const InterestSet& interest) const {
-  Planner planner(*dataflow_, depths_, interest);
+  Planner planner(*dataflow_, depths_, interest, *store_);
   if (target.processor == kWorkflowProcessor) {
     if (dataflow_->FindWorkflowOutput(target.port) != nullptr) {
       PROVLIN_RETURN_IF_ERROR(planner.VisitInput(target, q));
@@ -165,23 +181,27 @@ Result<LineagePlan> IndexProjLineage::BuildPlan(
 Result<const LineagePlan*> IndexProjLineage::Plan(const PortRef& target,
                                                   const Index& q,
                                                   const InterestSet& interest) {
-  std::string key = PlanKey(target, q, interest);
+  PlanKey key = MakePlanKey(target, q, interest);
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) return &it->second;
   PROVLIN_ASSIGN_OR_RETURN(LineagePlan plan, BuildPlan(target, q, interest));
-  auto [pos, _] = plan_cache_.emplace(key, std::move(plan));
+  auto [pos, _] = plan_cache_.emplace(std::move(key), std::move(plan));
   return &pos->second;
 }
 
 Status IndexProjLineage::ExecutePlan(
     const LineagePlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
+  // A run the trace never recorded has no rows for any query in the
+  // plan; resolving it once up front skips |queries| futile probes.
+  auto run_sym = store_->LookupSymbol(run);
+  if (!run_sym.has_value()) return Status::OK();
   for (const TraceQuery& q : plan.queries) {
     if (q.workflow_source) {
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XformRecord> src_rows,
-          store_->FindProducing(run, kWorkflowProcessor, q.port, q.index));
-      if (q.via_processor.empty()) {
+          store_->FindProducing(*run_sym, q.processor, q.port, q.index));
+      if (q.via_processor == kNoSymbol) {
         // Direct query on the workflow input port itself.
         PROVLIN_RETURN_IF_ERROR(
             AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
@@ -193,12 +213,13 @@ Status IndexProjLineage::ExecutePlan(
       // naive traversal arrives with.
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XformRecord> consumed,
-          store_->FindConsuming(run, q.via_processor, q.via_port, q.index));
-      std::set<std::string> arrival_keys;
+          store_->FindConsuming(*run_sym, q.via_processor, q.via_port,
+                                q.index));
+      std::set<IndexId> arrival_keys;
       std::vector<Index> arrivals;
       for (const XformRecord& row : consumed) {
         if (!row.has_in) continue;
-        if (arrival_keys.insert(row.in_index.Encode()).second) {
+        if (arrival_keys.insert(store_->InternIndex(row.in_index)).second) {
           arrivals.push_back(row.in_index);
         }
       }
@@ -210,14 +231,14 @@ Status IndexProjLineage::ExecutePlan(
     }
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> rows,
-        store_->FindConsuming(run, q.processor, q.port, q.index));
+        store_->FindConsuming(*run_sym, q.processor, q.port, q.index));
     // Dedup identical in-bindings repeated across dependency rows (one
     // row exists per (in, out) pair of an event).
-    std::set<std::string> seen;
+    std::set<std::tuple<SymbolId, IndexId, int64_t>> seen;
     for (const XformRecord& row : rows) {
       if (!row.has_in) continue;
-      std::string key = row.in_port + "\x1f" + row.in_index.Encode() + "\x1f" +
-                        std::to_string(row.in_value);
+      auto key = std::make_tuple(row.in_port, store_->InternIndex(row.in_index),
+                                 row.in_value);
       if (!seen.insert(key).second) continue;
       PROVLIN_RETURN_IF_ERROR(AppendInputBinding(*store_, run, row, bindings));
     }
@@ -238,7 +259,7 @@ Result<LineageAnswer> IndexProjLineage::QueryMultiRun(
   LineageAnswer answer;
 
   // s1: one spec-graph traversal, shared by every run in scope.
-  std::string key = PlanKey(target, q, interest);
+  PlanKey key = MakePlanKey(target, q, interest);
   answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
   WallTimer t1;
   PROVLIN_ASSIGN_OR_RETURN(const LineagePlan* plan,

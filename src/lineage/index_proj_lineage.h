@@ -4,8 +4,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "lineage/query.h"
 #include "provenance/trace_store.h"
@@ -19,16 +21,22 @@ namespace provlin::lineage {
 /// execution time the consumer's trace rows give the granularity at
 /// which the input was actually consumed, so coarse queries enumerate
 /// exactly the element bindings the naive traversal discovers.
+///
+/// Queries are stored in id space: the planner interns every name it
+/// touches while walking the spec graph, so executing a plan probes the
+/// trace with integer keys and no per-run string resolution.
 struct TraceQuery {
-  std::string processor;
-  std::string port;
+  common::SymbolId processor = common::kNoSymbol;
+  common::SymbolId port = common::kNoSymbol;
   Index index;
   bool workflow_source = false;
-  std::string via_processor;  // consumer of the workflow input, if any
-  std::string via_port;
+  /// Consumer of the workflow input, if any (kNoSymbol otherwise).
+  common::SymbolId via_processor = common::kNoSymbol;
+  common::SymbolId via_port = common::kNoSymbol;
 
-  std::string ToString() const {
-    return "Q(" + processor + ", " + port + ", " + index.ToString() + ")";
+  std::string ToString(const provenance::TraceStore& store) const {
+    return "Q(" + store.NameOf(processor) + ", " + store.NameOf(port) + ", " +
+           index.ToString() + ")";
   }
 };
 
@@ -94,10 +102,19 @@ class IndexProjLineage {
   Status ExecutePlan(const LineagePlan& plan, const std::string& run,
                      std::vector<LineageBinding>* bindings) const;
 
+  /// Plan cache key: (target processor, target port, index id, resolved
+  /// interest ids) — a packed integer tuple instead of a concatenated
+  /// string, so cache probes never hash plan-sized strings.
+  using PlanKey =
+      std::tuple<common::SymbolId, common::SymbolId, common::IndexId,
+                 std::vector<common::SymbolId>>;
+  PlanKey MakePlanKey(const workflow::PortRef& target, const Index& q,
+                      const InterestSet& interest) const;
+
   std::shared_ptr<const workflow::Dataflow> dataflow_;
   workflow::DepthMap depths_;
   const provenance::TraceStore* store_;
-  std::map<std::string, LineagePlan> plan_cache_;
+  std::map<PlanKey, LineagePlan> plan_cache_;
 };
 
 }  // namespace provlin::lineage

@@ -1,12 +1,14 @@
 #include "lineage/naive_lineage.h"
 
 #include <set>
+#include <tuple>
 
 #include "common/timer.h"
 #include "lineage/binding_retrieval.h"
 
 namespace provlin::lineage {
 
+using provenance::SymbolId;
 using provenance::XferRecord;
 using provenance::XformRecord;
 using workflow::kWorkflowProcessor;
@@ -19,44 +21,60 @@ namespace {
 /// an arc (case 2).
 enum class Side { kOutput, kInput };
 
+/// ID-space traversal state: processors, ports, and runs are SymbolIds
+/// and indexes are dense IndexIds, so the visited set and the recursion
+/// compare integers. Strings only reappear in the reported bindings.
 class Traversal {
  public:
   Traversal(const provenance::TraceStore& store, std::string run,
-            InterestSet interest)
-      : store_(store), run_(std::move(run)), interest_(std::move(interest)) {}
+            SymbolId run_sym, const InterestSet& interest)
+      : store_(store),
+        run_(std::move(run)),
+        run_sym_(run_sym),
+        all_interesting_(interest.empty()),
+        workflow_sym_(store.Intern(kWorkflowProcessor)) {
+    for (const std::string& name : interest) {
+      // Names never recorded can't match any trace row; dropping them
+      // here keeps the hot check a pure integer set lookup.
+      auto sym = store.LookupSymbol(name);
+      if (sym.has_value()) interest_syms_.insert(*sym);
+    }
+  }
 
-  Status Visit(const PortRef& port, const Index& q, Side side) {
+  bool Interesting(SymbolId processor) const {
+    return all_interesting_ || interest_syms_.count(processor) > 0;
+  }
+
+  Status Visit(SymbolId processor, SymbolId port, const Index& q, Side side) {
     ++steps_;
-    std::string key = port.ToString() + "\x1f" + q.Encode() + "\x1f" +
-                      (side == Side::kOutput ? "o" : "i");
+    auto key = std::make_tuple(processor, port, store_.InternIndex(q),
+                               side == Side::kOutput);
     if (!visited_.insert(key).second) return Status::OK();
 
     if (side == Side::kOutput) {
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XformRecord> rows,
-          store_.FindProducing(run_, port.processor, port.port, q));
-      if (port.processor == kWorkflowProcessor) {
+          store_.FindProducing(run_sym_, processor, port, q));
+      if (processor == workflow_sym_) {
         // Workflow-input source rows: traversal terminates here.
-        if (IsInteresting(interest_, kWorkflowProcessor)) {
+        if (Interesting(workflow_sym_)) {
           PROVLIN_RETURN_IF_ERROR(
               AppendSourceBindings(store_, run_, rows, q, &bindings_));
         }
         return Status::OK();
       }
-      bool interesting = IsInteresting(interest_, port.processor);
-      std::set<std::pair<std::string, std::string>> next;  // (port, index)
+      bool interesting = Interesting(processor);
+      std::set<std::pair<SymbolId, Index>> next;  // (in_port, index)
       for (const XformRecord& row : rows) {
         if (!row.has_in) continue;
         if (interesting) {
           PROVLIN_RETURN_IF_ERROR(
               AppendInputBinding(store_, run_, row, &bindings_));
         }
-        next.insert({row.in_port, row.in_index.Encode()});
+        next.insert({row.in_port, row.in_index});
       }
-      for (const auto& [in_port, enc] : next) {
-        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(enc));
-        PROVLIN_RETURN_IF_ERROR(
-            Visit(PortRef{port.processor, in_port}, idx, Side::kInput));
+      for (const auto& [in_port, idx] : next) {
+        PROVLIN_RETURN_IF_ERROR(Visit(processor, in_port, idx, Side::kInput));
       }
       return Status::OK();
     }
@@ -65,14 +83,13 @@ class Traversal {
     // so the recursion keeps q; the xfer rows identify the source port.
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XferRecord> rows,
-        store_.FindXfersInto(run_, port.processor, port.port, q));
-    std::set<std::pair<std::string, std::string>> sources;
+        store_.FindXfersInto(run_sym_, processor, port, q));
+    std::set<std::pair<SymbolId, SymbolId>> sources;
     for (const XferRecord& row : rows) {
       sources.insert({row.src_proc, row.src_port});
     }
     for (const auto& [src_proc, src_port] : sources) {
-      PROVLIN_RETURN_IF_ERROR(
-          Visit(PortRef{src_proc, src_port}, q, Side::kOutput));
+      PROVLIN_RETURN_IF_ERROR(Visit(src_proc, src_port, q, Side::kOutput));
     }
     return Status::OK();
   }
@@ -83,8 +100,11 @@ class Traversal {
  private:
   const provenance::TraceStore& store_;
   std::string run_;
-  InterestSet interest_;
-  std::set<std::string> visited_;
+  SymbolId run_sym_;
+  bool all_interesting_;
+  SymbolId workflow_sym_;
+  std::set<SymbolId> interest_syms_;
+  std::set<std::tuple<SymbolId, SymbolId, common::IndexId, bool>> visited_;
   std::vector<LineageBinding> bindings_;
   uint64_t steps_ = 0;
 };
@@ -99,16 +119,26 @@ Result<LineageAnswer> NaiveLineage::Query(const std::string& run,
   storage::TableStats before = store_->db()->AggregateStats();
   WallTimer timer;
 
-  Traversal traversal(*store_, run, interest);
+  // Resolve the query to id space once; names the trace never recorded
+  // cannot have lineage, so the answer is empty.
+  auto run_sym = store_->LookupSymbol(run);
+  auto proc_sym = store_->LookupSymbol(target.processor);
+  auto port_sym = store_->LookupSymbol(target.port);
+  if (!run_sym || !proc_sym || !port_sym) {
+    answer.timing.t2_ms = timer.ElapsedMillis();
+    return answer;
+  }
+
+  Traversal traversal(*store_, run, *run_sym, interest);
 
   // Auto-detect the starting side: a port with producing xform rows is an
   // output (includes workflow inputs via their source rows); anything
   // else is treated as an arc destination.
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<XformRecord> probe,
-      store_->FindProducing(run, target.processor, target.port, q));
+      store_->FindProducing(*run_sym, *proc_sym, *port_sym, q));
   Side side = probe.empty() ? Side::kInput : Side::kOutput;
-  PROVLIN_RETURN_IF_ERROR(traversal.Visit(target, q, side));
+  PROVLIN_RETURN_IF_ERROR(traversal.Visit(*proc_sym, *port_sym, q, side));
 
   answer.bindings = std::move(traversal.bindings());
   NormalizeBindings(&answer.bindings);

@@ -58,8 +58,6 @@ struct Artifact {
 
 Result<std::string> ExportOpmJson(const TraceStore& store,
                                   const std::string& run) {
-  const storage::Database* db = store.db();
-
   std::set<Artifact> artifacts;
   // (process id, artifact key, role) triples.
   std::vector<std::tuple<std::string, std::string, std::string>> used;
@@ -67,45 +65,37 @@ Result<std::string> ExportOpmJson(const TraceStore& store,
   std::vector<std::pair<std::string, std::string>> derived;
   std::map<std::string, std::string> processes;  // id -> processor
 
-  {
-    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xform,
-                             db->GetTable(tables::kXform));
-    for (uint64_t rid : xform->FullScan()) {
-      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xform->Get(rid));
-      if (row[0].AsString() != run) continue;
-      std::string proc = row[2].AsString();
-      std::string pid = "p" + std::to_string(row[1].AsInt());
-      processes[pid] = proc;
-      if (!row[3].is_null()) {
-        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(row[4].AsString()));
-        Artifact a{proc, row[3].AsString(), idx, row[5].AsInt()};
-        used.emplace_back(pid, a.Key(), row[3].AsString());
-        artifacts.insert(std::move(a));
-      }
-      if (!row[6].is_null()) {
-        PROVLIN_ASSIGN_OR_RETURN(Index idx, Index::Decode(row[7].AsString()));
-        Artifact a{proc, row[6].AsString(), idx, row[8].AsInt()};
-        generated.emplace_back(a.Key(), pid, row[6].AsString());
-        artifacts.insert(std::move(a));
-      }
+  // Records carry interned ids; the export is a render boundary, so
+  // resolve names once per record here.
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<XformRecord> xforms,
+                           store.ScanXforms(run));
+  for (const XformRecord& rec : xforms) {
+    std::string proc = store.NameOf(rec.processor);
+    std::string pid = "p" + std::to_string(rec.event_id);
+    processes[pid] = proc;
+    if (rec.has_in) {
+      std::string port = store.NameOf(rec.in_port);
+      Artifact a{proc, port, rec.in_index, rec.in_value};
+      used.emplace_back(pid, a.Key(), port);
+      artifacts.insert(std::move(a));
+    }
+    if (rec.has_out) {
+      std::string port = store.NameOf(rec.out_port);
+      Artifact a{proc, port, rec.out_index, rec.out_value};
+      generated.emplace_back(a.Key(), pid, port);
+      artifacts.insert(std::move(a));
     }
   }
-  {
-    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xfer,
-                             db->GetTable(tables::kXfer));
-    for (uint64_t rid : xfer->FullScan()) {
-      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xfer->Get(rid));
-      if (row[0].AsString() != run) continue;
-      PROVLIN_ASSIGN_OR_RETURN(Index sidx, Index::Decode(row[3].AsString()));
-      PROVLIN_ASSIGN_OR_RETURN(Index didx, Index::Decode(row[6].AsString()));
-      Artifact src{row[1].AsString(), row[2].AsString(), sidx,
-                   row[7].AsInt()};
-      Artifact dst{row[4].AsString(), row[5].AsString(), didx,
-                   row[7].AsInt()};
-      derived.emplace_back(dst.Key(), src.Key());
-      artifacts.insert(src);
-      artifacts.insert(dst);
-    }
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<XferRecord> xfers,
+                           store.ScanXfers(run));
+  for (const XferRecord& rec : xfers) {
+    Artifact src{store.NameOf(rec.src_proc), store.NameOf(rec.src_port),
+                 rec.src_index, rec.value_id};
+    Artifact dst{store.NameOf(rec.dst_proc), store.NameOf(rec.dst_port),
+                 rec.dst_index, rec.value_id};
+    derived.emplace_back(dst.Key(), src.Key());
+    artifacts.insert(src);
+    artifacts.insert(dst);
   }
   if (processes.empty() && artifacts.empty()) {
     return Status::NotFound("run '" + run + "' has no trace records");

@@ -11,50 +11,34 @@ Result<ProvenanceGraph> ProvenanceGraph::Build(const TraceStore& store,
                                                const std::string& run) {
   ProvenanceGraph graph;
 
-  const storage::Database* db = store.db();
-  {
-    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xform,
-                             db->GetTable(tables::kXform));
-    for (uint64_t rid : xform->FullScan()) {
-      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xform->Get(rid));
-      if (row[0].AsString() != run) continue;
-      bool has_in = !row[3].is_null();
-      bool has_out = !row[6].is_null();
-      std::string proc = row[2].AsString();
-      if (has_in && has_out) {
-        PROVLIN_ASSIGN_OR_RETURN(Index in_idx,
-                                 Index::Decode(row[4].AsString()));
-        PROVLIN_ASSIGN_OR_RETURN(Index out_idx,
-                                 Index::Decode(row[7].AsString()));
-        BindingNode from{proc, row[3].AsString(), in_idx};
-        BindingNode to{proc, row[6].AsString(), out_idx};
-        graph.nodes_.insert(from);
-        graph.nodes_.insert(to);
-        graph.edges_.push_back({from, to, EdgeKind::kXform});
-      } else if (has_out) {
-        // Source rows (workflow inputs) contribute a node only.
-        PROVLIN_ASSIGN_OR_RETURN(Index out_idx,
-                                 Index::Decode(row[7].AsString()));
-        graph.nodes_.insert(BindingNode{proc, row[6].AsString(), out_idx});
-      }
-    }
-  }
-  {
-    PROVLIN_ASSIGN_OR_RETURN(const storage::Table* xfer,
-                             db->GetTable(tables::kXfer));
-    for (uint64_t rid : xfer->FullScan()) {
-      PROVLIN_ASSIGN_OR_RETURN(storage::Row row, xfer->Get(rid));
-      if (row[0].AsString() != run) continue;
-      PROVLIN_ASSIGN_OR_RETURN(Index src_idx,
-                               Index::Decode(row[3].AsString()));
-      PROVLIN_ASSIGN_OR_RETURN(Index dst_idx,
-                               Index::Decode(row[6].AsString()));
-      BindingNode from{row[1].AsString(), row[2].AsString(), src_idx};
-      BindingNode to{row[4].AsString(), row[5].AsString(), dst_idx};
+  // Records carry interned ids; the graph is a render boundary, so
+  // resolve names once per record here.
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<XformRecord> xforms,
+                           store.ScanXforms(run));
+  for (const XformRecord& rec : xforms) {
+    std::string proc = store.NameOf(rec.processor);
+    if (rec.has_in && rec.has_out) {
+      BindingNode from{proc, store.NameOf(rec.in_port), rec.in_index};
+      BindingNode to{proc, store.NameOf(rec.out_port), rec.out_index};
       graph.nodes_.insert(from);
       graph.nodes_.insert(to);
-      graph.edges_.push_back({from, to, EdgeKind::kXfer});
+      graph.edges_.push_back({from, to, EdgeKind::kXform});
+    } else if (rec.has_out) {
+      // Source rows (workflow inputs) contribute a node only.
+      graph.nodes_.insert(
+          BindingNode{proc, store.NameOf(rec.out_port), rec.out_index});
     }
+  }
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<XferRecord> xfers,
+                           store.ScanXfers(run));
+  for (const XferRecord& rec : xfers) {
+    BindingNode from{store.NameOf(rec.src_proc), store.NameOf(rec.src_port),
+                     rec.src_index};
+    BindingNode to{store.NameOf(rec.dst_proc), store.NameOf(rec.dst_port),
+                   rec.dst_index};
+    graph.nodes_.insert(from);
+    graph.nodes_.insert(to);
+    graph.edges_.push_back({from, to, EdgeKind::kXfer});
   }
   // Refinement edges: within each (processor, port) group, link every
   // binding to its longest strictly-coarser recorded prefix.

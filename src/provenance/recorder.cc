@@ -11,6 +11,7 @@ Result<int64_t> TraceRecorder::Intern(const Value& v) {
 void TraceRecorder::OnRunStart(const std::string& run_id,
                                const workflow::Dataflow& dataflow) {
   run_id_ = run_id;
+  run_sym_ = store_->Intern(run_id);
   next_event_id_ = 0;
   Latch(store_->InsertRun(run_id, dataflow.name()));
 }
@@ -23,12 +24,12 @@ void TraceRecorder::OnWorkflowInput(const std::string& port,
     return;
   }
   XformRecord rec;
-  rec.run_id = run_id_;
+  rec.run = run_sym_;
   rec.event_id = next_event_id_++;
-  rec.processor = workflow::kWorkflowProcessor;
+  rec.processor = store_->Intern(workflow::kWorkflowProcessor);
   rec.has_in = false;
   rec.has_out = true;
-  rec.out_port = port;
+  rec.out_port = store_->Intern(port);
   rec.out_index = Index::Empty();
   rec.out_value = id.value();
   Latch(store_->InsertXform(rec));
@@ -38,13 +39,14 @@ void TraceRecorder::OnXform(const std::string& processor,
                             const std::vector<engine::BindingEvent>& inputs,
                             const std::vector<engine::BindingEvent>& outputs) {
   int64_t event_id = next_event_id_++;
+  SymbolId proc_sym = store_->Intern(processor);
 
   auto emit = [&](const engine::BindingEvent* in,
                   const engine::BindingEvent* out) {
     XformRecord rec;
-    rec.run_id = run_id_;
+    rec.run = run_sym_;
     rec.event_id = event_id;
-    rec.processor = processor;
+    rec.processor = proc_sym;
     if (in != nullptr) {
       auto id = Intern(in->value);
       if (!id.ok()) {
@@ -52,7 +54,7 @@ void TraceRecorder::OnXform(const std::string& processor,
         return;
       }
       rec.has_in = true;
-      rec.in_port = in->port.port;
+      rec.in_port = store_->Intern(in->port.port);
       rec.in_index = in->index;
       rec.in_value = id.value();
     }
@@ -63,7 +65,7 @@ void TraceRecorder::OnXform(const std::string& processor,
         return;
       }
       rec.has_out = true;
-      rec.out_port = out->port.port;
+      rec.out_port = store_->Intern(out->port.port);
       rec.out_index = out->index;
       rec.out_value = id.value();
     }
@@ -93,12 +95,12 @@ void TraceRecorder::OnXfer(const workflow::PortRef& src,
     return;
   }
   XferRecord rec;
-  rec.run_id = run_id_;
-  rec.src_proc = src.processor;
-  rec.src_port = src.port;
+  rec.run = run_sym_;
+  rec.src_proc = store_->Intern(src.processor);
+  rec.src_port = store_->Intern(src.port);
   rec.src_index = index;
-  rec.dst_proc = dst.processor;
-  rec.dst_port = dst.port;
+  rec.dst_proc = store_->Intern(dst.processor);
+  rec.dst_port = store_->Intern(dst.port);
   rec.dst_index = index;
   rec.value_id = id.value();
   Latch(store_->InsertXfer(rec));

@@ -47,6 +47,8 @@ class TraceRecorder : public engine::ExecutionObserver {
 
   TraceStore* store_;
   std::string run_id_;
+  /// Interned once per run; records carry ids, not strings.
+  SymbolId run_sym_ = common::kNoSymbol;
   int64_t next_event_id_ = 0;
   Status status_;
 };

@@ -24,57 +24,46 @@ Status CreateProvenanceSchema(storage::Database* db) {
     PROVLIN_ASSIGN_OR_RETURN(
         Table * val,
         db->CreateTable(tables::kVal,
-                        Schema({{"run_id", DatumKind::kString},
+                        Schema({{"run", DatumKind::kInt},
                                 {"value_id", DatumKind::kInt},
                                 {"repr", DatumKind::kString}})));
-    PROVLIN_RETURN_IF_ERROR(val->CreateIndex(IndexSpec{
-        indexes::kValById, {"run_id", "value_id"}, IndexType::kHash}));
+    PROVLIN_RETURN_IF_ERROR(val->CreateIndex(
+        IndexSpec{indexes::kValById, {"run", "value_id"}, IndexType::kHash}));
   }
   {
     PROVLIN_ASSIGN_OR_RETURN(
         Table * xform,
         db->CreateTable(tables::kXform,
-                        Schema({{"run_id", DatumKind::kString},
+                        Schema({{"run", DatumKind::kInt},
                                 {"event_id", DatumKind::kInt},
-                                {"processor", DatumKind::kString},
-                                {"in_port", DatumKind::kString},
-                                {"in_index", DatumKind::kString},
+                                {"in", DatumKind::kIdPair},
+                                {"in_index", DatumKind::kIndexPath},
                                 {"in_value", DatumKind::kInt},
-                                {"out_port", DatumKind::kString},
-                                {"out_index", DatumKind::kString},
+                                {"out", DatumKind::kIdPair},
+                                {"out_index", DatumKind::kIndexPath},
                                 {"out_value", DatumKind::kInt}})));
     PROVLIN_RETURN_IF_ERROR(xform->CreateIndex(IndexSpec{
-        indexes::kXformOut,
-        {"run_id", "processor", "out_port", "out_index"},
-        IndexType::kBTree}));
+        indexes::kXformOut, {"run", "out", "out_index"}, IndexType::kBTree}));
     PROVLIN_RETURN_IF_ERROR(xform->CreateIndex(IndexSpec{
-        indexes::kXformIn,
-        {"run_id", "processor", "in_port", "in_index"},
-        IndexType::kBTree}));
+        indexes::kXformIn, {"run", "in", "in_index"}, IndexType::kBTree}));
     PROVLIN_RETURN_IF_ERROR(xform->CreateIndex(IndexSpec{
-        indexes::kXformEvent, {"run_id", "event_id"}, IndexType::kBTree}));
+        indexes::kXformEvent, {"run", "event_id"}, IndexType::kBTree}));
   }
   {
     PROVLIN_ASSIGN_OR_RETURN(
         Table * xfer,
         db->CreateTable(tables::kXfer,
-                        Schema({{"run_id", DatumKind::kString},
-                                {"src_proc", DatumKind::kString},
-                                {"src_port", DatumKind::kString},
-                                {"src_index", DatumKind::kString},
-                                {"dst_proc", DatumKind::kString},
-                                {"dst_port", DatumKind::kString},
-                                {"dst_index", DatumKind::kString},
+                        Schema({{"run", DatumKind::kInt},
+                                {"src", DatumKind::kIdPair},
+                                {"src_index", DatumKind::kIndexPath},
+                                {"dst", DatumKind::kIdPair},
+                                {"dst_index", DatumKind::kIndexPath},
                                 {"value_id", DatumKind::kInt}})));
     PROVLIN_RETURN_IF_ERROR(xfer->CreateIndex(IndexSpec{
-        indexes::kXferDst,
-        {"run_id", "dst_proc", "dst_port", "dst_index"},
-        IndexType::kBTree}));
+        indexes::kXferDst, {"run", "dst", "dst_index"}, IndexType::kBTree}));
     // Forward (impact) queries hop arcs in flow direction.
     PROVLIN_RETURN_IF_ERROR(xfer->CreateIndex(IndexSpec{
-        indexes::kXferSrc,
-        {"run_id", "src_proc", "src_port", "src_index"},
-        IndexType::kBTree}));
+        indexes::kXferSrc, {"run", "src", "src_index"}, IndexType::kBTree}));
   }
   return Status::OK();
 }

@@ -7,24 +7,31 @@
 namespace provlin::provenance {
 
 /// Relational layout of the trace database (DESIGN.md §3). Every index
-/// leads with run_id, mirroring the paper's remark that "trace IDs are
+/// leads with the run, mirroring the paper's remark that "trace IDs are
 /// key attributes in our relational implementation".
 ///
-///   runs (run_id, workflow, seq)
-///   val  (run_id, value_id, repr)
-///   xform(run_id, event_id, processor,
-///         in_port, in_index, in_value,
-///         out_port, out_index, out_value)
+/// The trace tables are dictionary-encoded: processor/port names and run
+/// labels live once in the database's SymbolTable, and the hot columns
+/// carry dense integer ids. (processor, port) pairs pack into a single
+/// kIdPair column per side, and index paths are kIndexPath cells whose
+/// lexicographic order preserves the prefix-then-component order the old
+/// string Encode() form provided — so B+-tree probes compare machine
+/// words end to end.
+///
+///   runs (run_id TEXT, workflow TEXT, seq INT)
+///       the only string-keyed trace table: the public boundary where
+///       external run labels enter the system.
+///   val  (run INT=SymbolId, value_id INT, repr TEXT)
+///   xform(run INT=SymbolId, event_id INT,
+///         in IDPAIR=(processor, in_port), in_index PATH, in_value INT,
+///         out IDPAIR=(processor, out_port), out_index PATH, out_value INT)
 ///       one row per (input-binding, output-binding) pair of one
 ///       elementary invocation — the extensional form of relation (1) of
 ///       §2.3. Workflow-input "source" rows carry NULL in_* columns.
-///   xfer (run_id, src_proc, src_port, src_index,
-///         dst_proc, dst_port, dst_index, value_id)
+///   xfer (run INT=SymbolId, src IDPAIR, src_index PATH,
+///         dst IDPAIR, dst_index PATH, value_id INT)
 ///       relation (2) of §2.3, one row per transferred element at the
 ///       producer's granularity; indices map identically across an arc.
-///
-/// Index paths are stored in the order-preserving fixed-radix encoding of
-/// Index::Encode(), so prefix scans enumerate all finer-grained bindings.
 namespace tables {
 inline constexpr const char* kRuns = "runs";
 inline constexpr const char* kVal = "val";

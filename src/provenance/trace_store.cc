@@ -9,6 +9,8 @@
 namespace provlin::provenance {
 
 using storage::Datum;
+using storage::IdPair;
+using storage::IndexPath;
 using storage::Row;
 using storage::SelectQuery;
 using storage::SelectResult;
@@ -16,63 +18,64 @@ using storage::Table;
 
 namespace {
 
-// WAL table tags.
-constexpr uint8_t kTagRuns = 0, kTagVal = 1, kTagXform = 2, kTagXfer = 3;
+// WAL record tags: one per trace table, plus symbol definitions.
+// Symbol ids are positional, so replaying kTagSymbol records in log
+// order re-mints identical ids before any row references them.
+constexpr uint8_t kTagRuns = 0, kTagVal = 1, kTagXform = 2, kTagXfer = 3,
+                  kTagSymbol = 4;
 
 // Column ordinals, fixed by CreateProvenanceSchema.
 namespace xform_col {
-constexpr size_t kRun = 0, kEvent = 1, kProc = 2, kInPort = 3, kInIndex = 4,
-                 kInValue = 5, kOutPort = 6, kOutIndex = 7, kOutValue = 8;
+constexpr size_t kRun = 0, kEvent = 1, kIn = 2, kInIndex = 3, kInValue = 4,
+                 kOut = 5, kOutIndex = 6, kOutValue = 7;
 }  // namespace xform_col
 namespace xfer_col {
-constexpr size_t kSrcProc = 1, kSrcPort = 2, kSrcIndex = 3, kDstProc = 4,
-                 kDstPort = 5, kDstIndex = 6, kValue = 7;
+constexpr size_t kRun = 0, kSrc = 1, kSrcIndex = 2, kDst = 3, kDstIndex = 4,
+                 kValue = 5;
 }  // namespace xfer_col
 
-Result<XformRecord> DecodeXform(const Row& row) {
+SymbolId SymOf(const Datum& d) {
+  return static_cast<SymbolId>(static_cast<uint64_t>(d.AsInt()));
+}
+
+Datum SymDatum(SymbolId id) { return Datum(static_cast<int64_t>(id)); }
+
+XformRecord DecodeXform(const Row& row) {
   XformRecord rec;
-  rec.run_id = row[xform_col::kRun].AsString();
+  rec.run = SymOf(row[xform_col::kRun]);
   rec.event_id = row[xform_col::kEvent].AsInt();
-  rec.processor = row[xform_col::kProc].AsString();
-  rec.has_in = !row[xform_col::kInPort].is_null();
+  rec.has_in = !row[xform_col::kIn].is_null();
   if (rec.has_in) {
-    rec.in_port = row[xform_col::kInPort].AsString();
-    PROVLIN_ASSIGN_OR_RETURN(rec.in_index,
-                             Index::Decode(row[xform_col::kInIndex].AsString()));
+    IdPair in = row[xform_col::kIn].AsIdPair();
+    rec.processor = in.first;
+    rec.in_port = in.second;
+    rec.in_index = Index(row[xform_col::kInIndex].AsIndexPath());
     rec.in_value = row[xform_col::kInValue].AsInt();
   }
-  rec.has_out = !row[xform_col::kOutPort].is_null();
+  rec.has_out = !row[xform_col::kOut].is_null();
   if (rec.has_out) {
-    rec.out_port = row[xform_col::kOutPort].AsString();
-    PROVLIN_ASSIGN_OR_RETURN(
-        rec.out_index, Index::Decode(row[xform_col::kOutIndex].AsString()));
+    IdPair out = row[xform_col::kOut].AsIdPair();
+    rec.processor = out.first;
+    rec.out_port = out.second;
+    rec.out_index = Index(row[xform_col::kOutIndex].AsIndexPath());
     rec.out_value = row[xform_col::kOutValue].AsInt();
   }
   return rec;
 }
 
-Result<XferRecord> DecodeXfer(const Row& row) {
+XferRecord DecodeXfer(const Row& row) {
   XferRecord rec;
-  rec.run_id = row[0].AsString();
-  rec.src_proc = row[xfer_col::kSrcProc].AsString();
-  rec.src_port = row[xfer_col::kSrcPort].AsString();
-  PROVLIN_ASSIGN_OR_RETURN(rec.src_index,
-                           Index::Decode(row[xfer_col::kSrcIndex].AsString()));
-  rec.dst_proc = row[xfer_col::kDstProc].AsString();
-  rec.dst_port = row[xfer_col::kDstPort].AsString();
-  PROVLIN_ASSIGN_OR_RETURN(rec.dst_index,
-                           Index::Decode(row[xfer_col::kDstIndex].AsString()));
+  rec.run = SymOf(row[xfer_col::kRun]);
+  IdPair src = row[xfer_col::kSrc].AsIdPair();
+  rec.src_proc = src.first;
+  rec.src_port = src.second;
+  rec.src_index = Index(row[xfer_col::kSrcIndex].AsIndexPath());
+  IdPair dst = row[xfer_col::kDst].AsIdPair();
+  rec.dst_proc = dst.first;
+  rec.dst_port = dst.second;
+  rec.dst_index = Index(row[xfer_col::kDstIndex].AsIndexPath());
   rec.value_id = row[xfer_col::kValue].AsInt();
   return rec;
-}
-
-std::string RowKey(const Row& row) {
-  std::string key;
-  for (const Datum& d : row) {
-    key += d.ToString();
-    key += '\x1f';
-  }
-  return key;
 }
 
 }  // namespace
@@ -82,6 +85,22 @@ Result<TraceStore> TraceStore::Open(storage::Database* db) {
     PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db));
   }
   return TraceStore(db);
+}
+
+SymbolId TraceStore::Intern(std::string_view name) const {
+  return db_->symbols().Intern(name);
+}
+
+std::optional<SymbolId> TraceStore::LookupSymbol(std::string_view name) const {
+  return db_->symbols().Lookup(name);
+}
+
+const std::string& TraceStore::NameOf(SymbolId id) const {
+  return db_->symbols().NameOf(id);
+}
+
+IndexId TraceStore::InternIndex(const Index& index) const {
+  return db_->index_dict().Intern(index.parts());
 }
 
 Status TraceStore::InsertRun(const std::string& run_id,
@@ -103,12 +122,13 @@ Result<int64_t> TraceStore::InternValue(const std::string& run_id,
                                         const std::string& repr) {
   // Interning is an in-memory write-path optimization: ids are unique per
   // run, and a freshly opened store only ever writes new runs.
-  auto key = std::make_pair(run_id, repr);
+  SymbolId run = Intern(run_id);
+  auto key = std::make_pair(run, repr);
   auto it = intern_cache_.find(key);
   if (it != intern_cache_.end()) return it->second;
   PROVLIN_ASSIGN_OR_RETURN(Table * val, db_->GetTable(tables::kVal));
-  int64_t id = static_cast<int64_t>(next_value_id_[run_id]++);
-  storage::Row row{Datum(run_id), Datum(id), Datum(repr)};
+  int64_t id = static_cast<int64_t>(next_value_id_[run]++);
+  storage::Row row{SymDatum(run), Datum(id), Datum(repr)};
   PROVLIN_RETURN_IF_ERROR(LogRow(kTagVal, row));
   PROVLIN_RETURN_IF_ERROR(val->Insert(row).status());
   intern_cache_[key] = id;
@@ -117,18 +137,17 @@ Result<int64_t> TraceStore::InternValue(const std::string& run_id,
 
 Status TraceStore::InsertXform(const XformRecord& rec) {
   PROVLIN_ASSIGN_OR_RETURN(Table * xform, db_->GetTable(tables::kXform));
-  Row row(9);
-  row[xform_col::kRun] = Datum(rec.run_id);
+  Row row(8);
+  row[xform_col::kRun] = SymDatum(rec.run);
   row[xform_col::kEvent] = Datum(rec.event_id);
-  row[xform_col::kProc] = Datum(rec.processor);
   if (rec.has_in) {
-    row[xform_col::kInPort] = Datum(rec.in_port);
-    row[xform_col::kInIndex] = Datum(rec.in_index.Encode());
+    row[xform_col::kIn] = Datum(IdPair{rec.processor, rec.in_port});
+    row[xform_col::kInIndex] = Datum(IndexPath(rec.in_index.parts()));
     row[xform_col::kInValue] = Datum(rec.in_value);
   }
   if (rec.has_out) {
-    row[xform_col::kOutPort] = Datum(rec.out_port);
-    row[xform_col::kOutIndex] = Datum(rec.out_index.Encode());
+    row[xform_col::kOut] = Datum(IdPair{rec.processor, rec.out_port});
+    row[xform_col::kOutIndex] = Datum(IndexPath(rec.out_index.parts()));
     row[xform_col::kOutValue] = Datum(rec.out_value);
   }
   PROVLIN_RETURN_IF_ERROR(LogRow(kTagXform, row));
@@ -137,16 +156,28 @@ Status TraceStore::InsertXform(const XformRecord& rec) {
 
 Status TraceStore::InsertXfer(const XferRecord& rec) {
   PROVLIN_ASSIGN_OR_RETURN(Table * xfer, db_->GetTable(tables::kXfer));
-  storage::Row row{Datum(rec.run_id),         Datum(rec.src_proc),
-                   Datum(rec.src_port),       Datum(rec.src_index.Encode()),
-                   Datum(rec.dst_proc),       Datum(rec.dst_port),
-                   Datum(rec.dst_index.Encode()), Datum(rec.value_id)};
+  storage::Row row{SymDatum(rec.run),
+                   Datum(IdPair{rec.src_proc, rec.src_port}),
+                   Datum(IndexPath(rec.src_index.parts())),
+                   Datum(IdPair{rec.dst_proc, rec.dst_port}),
+                   Datum(IndexPath(rec.dst_index.parts())),
+                   Datum(rec.value_id)};
   PROVLIN_RETURN_IF_ERROR(LogRow(kTagXfer, row));
   return xfer->Insert(row).status();
 }
 
 Status TraceStore::LogRow(uint8_t table_tag, const storage::Row& row) {
   if (wal_ == nullptr) return Status::OK();
+  // Flush symbol definitions minted since the last logged record, so a
+  // replay re-interns them in id order before any row references them.
+  const std::vector<std::string>& names = db_->symbols().names();
+  while (wal_syms_logged_ < names.size()) {
+    storage::BinaryWriter w;
+    w.WriteU8(kTagSymbol);
+    w.WriteString(names[wal_syms_logged_]);
+    PROVLIN_RETURN_IF_ERROR(wal_->Append(w.buffer()));
+    ++wal_syms_logged_;
+  }
   storage::BinaryWriter w;
   w.WriteU8(table_tag);
   w.WriteRow(row);
@@ -164,6 +195,11 @@ Result<size_t> TraceStore::ReplayWal(const std::string& wal_path,
   for (const std::string& record : records) {
     storage::BinaryReader r(record);
     PROVLIN_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kTagSymbol) {
+      PROVLIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      db->symbols().Intern(name);
+      continue;
+    }
     PROVLIN_ASSIGN_OR_RETURN(Row row, r.ReadRow());
     const char* table_name = nullptr;
     switch (tag) {
@@ -202,27 +238,33 @@ Result<size_t> TraceStore::DeleteRun(const std::string& run_id) {
     PROVLIN_RETURN_IF_ERROR(runs->Delete(rid));
     ++removed;
   }
-  // The trace tables key everything by run_id in column 0; sweep them.
-  for (const char* name : {tables::kVal, tables::kXform, tables::kXfer}) {
-    PROVLIN_ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
-    std::vector<uint64_t> to_delete;
-    for (uint64_t rid : table->FullScan()) {
-      PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
-      if (row[0].AsString() == run_id) to_delete.push_back(rid);
+  // The trace tables key everything by the run symbol in column 0; a run
+  // that never minted a symbol has no trace rows to sweep.
+  std::optional<SymbolId> run_sym = LookupSymbol(run_id);
+  if (run_sym.has_value()) {
+    Datum run_datum = SymDatum(*run_sym);
+    for (const char* name : {tables::kVal, tables::kXform, tables::kXfer}) {
+      PROVLIN_ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
+      std::vector<uint64_t> to_delete;
+      for (uint64_t rid : table->FullScan()) {
+        PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
+        if (row[0] == run_datum) to_delete.push_back(rid);
+      }
+      for (uint64_t rid : to_delete) {
+        PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
+        ++removed;
+      }
     }
-    for (uint64_t rid : to_delete) {
-      PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
-      ++removed;
-    }
-  }
-  // Drop the write-path caches for the deleted run so a future run may
-  // reuse the id with fresh value ids.
-  next_value_id_.erase(run_id);
-  for (auto it = intern_cache_.begin(); it != intern_cache_.end();) {
-    if (it->first.first == run_id) {
-      it = intern_cache_.erase(it);
-    } else {
-      ++it;
+    // Drop the write-path caches for the deleted run so a future run may
+    // reuse the id with fresh value ids. (The symbol itself is
+    // append-only and survives; ids must stay stable for other runs.)
+    next_value_id_.erase(*run_sym);
+    for (auto it = intern_cache_.begin(); it != intern_cache_.end();) {
+      if (it->first.first == *run_sym) {
+        it = intern_cache_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return removed;
@@ -251,50 +293,47 @@ Result<std::vector<std::string>> TraceStore::ListRuns() const {
 }
 
 Result<std::vector<storage::Row>> TraceStore::OverlapProbe(
-    const char* table, const std::string& run, const char* proc_col,
-    const std::string& proc, const char* port_col, const std::string& port,
+    const char* table, SymbolId run, const char* pair_col, IdPair pair,
     const char* index_col, const Index& idx) const {
   PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
 
   std::vector<Row> rows;
-  std::set<std::string> seen;
+  std::set<Row> seen;
   auto add = [&](SelectResult& r) {
     for (Row& row : r.rows) {
-      if (seen.insert(RowKey(row)).second) rows.push_back(std::move(row));
+      if (seen.insert(row).second) rows.push_back(std::move(row));
     }
   };
 
   auto base = [&]() {
     SelectQuery q;
-    q.equals.push_back({"run_id", Datum(run)});
-    q.equals.push_back({proc_col, Datum(proc)});
-    q.equals.push_back({port_col, Datum(port)});
+    q.equals.push_back({"run", SymDatum(run)});
+    q.equals.push_back({pair_col, Datum(pair)});
     return q;
   };
 
   if (idx.empty()) {
-    // The whole-value query: one range probe enumerates every binding on
-    // the port (exact [] row included — "" is a prefix of everything).
+    // The whole-value query: one range probe (an index-prefix scan over
+    // the two equality columns) enumerates every binding on the port.
     SelectQuery q = base();
-    q.string_prefix = SelectQuery::StringPrefix{index_col, ""};
     PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
     add(r);
     return rows;
   }
 
   // Covering bindings: the exact index and every proper prefix of it
-  // (|q|+1 point probes).
+  // (|q|+1 point probes over integer keys).
   for (size_t k = 0; k <= idx.length(); ++k) {
     SelectQuery q = base();
-    q.equals.push_back({index_col, Datum(idx.Prefix(k).Encode())});
+    q.equals.push_back({index_col, Datum(IndexPath(idx.Prefix(k).parts()))});
     PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
     add(r);
   }
-  // Strictly finer bindings below q: one range probe.
+  // Finer bindings at or below q: one contiguous range probe. The exact
+  // row was already found by the k == length() point probe and dedups.
   {
     SelectQuery q = base();
-    q.string_prefix =
-        SelectQuery::StringPrefix{index_col, idx.Encode() + "."};
+    q.path_prefix = SelectQuery::PathPrefix{index_col, idx.parts()};
     PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
     add(r);
   }
@@ -302,81 +341,144 @@ Result<std::vector<storage::Row>> TraceStore::OverlapProbe(
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindProducing(
-    const std::string& run, const std::string& processor,
-    const std::string& out_port, const Index& q) const {
+    SymbolId run, SymbolId processor, SymbolId out_port,
+    const Index& q) const {
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      OverlapProbe(tables::kXform, run, "processor", processor, "out_port",
-                   out_port, "out_index", q));
+      OverlapProbe(tables::kXform, run, "out", IdPair{processor, out_port},
+                   "out_index", q));
   std::vector<XformRecord> out;
   out.reserve(rows.size());
-  for (const Row& row : rows) {
-    PROVLIN_ASSIGN_OR_RETURN(XformRecord rec, DecodeXform(row));
-    out.push_back(std::move(rec));
-  }
+  for (const Row& row : rows) out.push_back(DecodeXform(row));
+  return out;
+}
+
+Result<std::vector<XformRecord>> TraceStore::FindProducing(
+    const std::string& run, const std::string& processor,
+    const std::string& out_port, const Index& q) const {
+  auto r = LookupSymbol(run);
+  auto p = LookupSymbol(processor);
+  auto o = LookupSymbol(out_port);
+  if (!r || !p || !o) return std::vector<XformRecord>{};
+  return FindProducing(*r, *p, *o, q);
+}
+
+Result<std::vector<XformRecord>> TraceStore::FindConsuming(
+    SymbolId run, SymbolId processor, SymbolId in_port, const Index& p) const {
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      OverlapProbe(tables::kXform, run, "in", IdPair{processor, in_port},
+                   "in_index", p));
+  std::vector<XformRecord> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(DecodeXform(row));
   return out;
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindConsuming(
     const std::string& run, const std::string& processor,
     const std::string& in_port, const Index& p) const {
+  auto r = LookupSymbol(run);
+  auto pr = LookupSymbol(processor);
+  auto i = LookupSymbol(in_port);
+  if (!r || !pr || !i) return std::vector<XformRecord>{};
+  return FindConsuming(*r, *pr, *i, p);
+}
+
+Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
+    SymbolId run, SymbolId dst_proc, SymbolId dst_port, const Index& p) const {
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      OverlapProbe(tables::kXform, run, "processor", processor, "in_port",
-                   in_port, "in_index", p));
-  std::vector<XformRecord> out;
+      OverlapProbe(tables::kXfer, run, "dst", IdPair{dst_proc, dst_port},
+                   "dst_index", p));
+  std::vector<XferRecord> out;
   out.reserve(rows.size());
-  for (const Row& row : rows) {
-    PROVLIN_ASSIGN_OR_RETURN(XformRecord rec, DecodeXform(row));
-    out.push_back(std::move(rec));
-  }
+  for (const Row& row : rows) out.push_back(DecodeXfer(row));
   return out;
 }
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
     const std::string& run, const std::string& dst_proc,
     const std::string& dst_port, const Index& p) const {
+  auto r = LookupSymbol(run);
+  auto d = LookupSymbol(dst_proc);
+  auto dp = LookupSymbol(dst_port);
+  if (!r || !d || !dp) return std::vector<XferRecord>{};
+  return FindXfersInto(*r, *d, *dp, p);
+}
+
+Result<std::vector<XferRecord>> TraceStore::FindXfersFrom(
+    SymbolId run, SymbolId src_proc, SymbolId src_port, const Index& p) const {
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      OverlapProbe(tables::kXfer, run, "dst_proc", dst_proc, "dst_port",
-                   dst_port, "dst_index", p));
+      OverlapProbe(tables::kXfer, run, "src", IdPair{src_proc, src_port},
+                   "src_index", p));
   std::vector<XferRecord> out;
   out.reserve(rows.size());
-  for (const Row& row : rows) {
-    PROVLIN_ASSIGN_OR_RETURN(XferRecord rec, DecodeXfer(row));
-    out.push_back(std::move(rec));
-  }
+  for (const Row& row : rows) out.push_back(DecodeXfer(row));
   return out;
 }
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersFrom(
     const std::string& run, const std::string& src_proc,
     const std::string& src_port, const Index& p) const {
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      OverlapProbe(tables::kXfer, run, "src_proc", src_proc, "src_port",
-                   src_port, "src_index", p));
-  std::vector<XferRecord> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) {
-    PROVLIN_ASSIGN_OR_RETURN(XferRecord rec, DecodeXfer(row));
-    out.push_back(std::move(rec));
+  auto r = LookupSymbol(run);
+  auto s = LookupSymbol(src_proc);
+  auto sp = LookupSymbol(src_port);
+  if (!r || !s || !sp) return std::vector<XferRecord>{};
+  return FindXfersFrom(*r, *s, *sp, p);
+}
+
+Result<std::vector<XformRecord>> TraceStore::ScanXforms(
+    const std::string& run) const {
+  std::vector<XformRecord> out;
+  std::optional<SymbolId> run_sym = LookupSymbol(run);
+  if (!run_sym.has_value()) return out;
+  Datum run_datum = SymDatum(*run_sym);
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
+  for (uint64_t rid : xform->FullScan()) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, xform->Get(rid));
+    if (row[0] == run_datum) out.push_back(DecodeXform(row));
   }
   return out;
 }
 
-Result<std::string> TraceStore::GetValueRepr(const std::string& run,
+Result<std::vector<XferRecord>> TraceStore::ScanXfers(
+    const std::string& run) const {
+  std::vector<XferRecord> out;
+  std::optional<SymbolId> run_sym = LookupSymbol(run);
+  if (!run_sym.has_value()) return out;
+  Datum run_datum = SymDatum(*run_sym);
+  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
+  for (uint64_t rid : xfer->FullScan()) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, xfer->Get(rid));
+    if (row[0] == run_datum) out.push_back(DecodeXfer(row));
+  }
+  return out;
+}
+
+Result<std::string> TraceStore::GetValueRepr(SymbolId run,
                                              int64_t value_id) const {
   PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<uint64_t> rids,
-      val->IndexLookup(indexes::kValById, {Datum(run), Datum(value_id)}));
+      val->IndexLookup(indexes::kValById, {SymDatum(run), Datum(value_id)}));
   if (rids.empty()) {
     return Status::NotFound("no value " + std::to_string(value_id) +
-                            " in run '" + run + "'");
+                            " in run '" + NameOf(run) + "'");
   }
   PROVLIN_ASSIGN_OR_RETURN(Row row, val->Get(rids.front()));
   return row[2].AsString();
+}
+
+Result<std::string> TraceStore::GetValueRepr(const std::string& run,
+                                             int64_t value_id) const {
+  std::optional<SymbolId> run_sym = LookupSymbol(run);
+  if (!run_sym.has_value()) {
+    return Status::NotFound("no value " + std::to_string(value_id) +
+                            " in run '" + run + "'");
+  }
+  return GetValueRepr(*run_sym, value_id);
 }
 
 Result<Value> TraceStore::GetValue(const std::string& run,
@@ -387,6 +489,9 @@ Result<Value> TraceStore::GetValue(const std::string& run,
 
 Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
   TraceCounts counts;
+  std::optional<SymbolId> run_sym = LookupSymbol(run);
+  if (!run_sym.has_value()) return counts;
+  Datum run_datum = SymDatum(*run_sym);
   PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
   PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
   PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
@@ -394,7 +499,7 @@ Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
     size_t n = 0;
     for (uint64_t rid : t->FullScan()) {
       PROVLIN_ASSIGN_OR_RETURN(Row row, t->Get(rid));
-      if (row[0].AsString() == run) ++n;
+      if (row[0] == run_datum) ++n;
     }
     return n;
   };

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "storage/database.h"
 #include "storage/query.h"
@@ -16,30 +17,35 @@
 
 namespace provlin::provenance {
 
-/// One xform dependency row, decoded. in_* fields are absent for
-/// workflow-input source rows (and out_* for sink-only rows).
+using common::IndexId;
+using common::SymbolId;
+
+/// One xform dependency row, decoded. Names are interned: the run,
+/// processor, and port fields hold SymbolIds from the owning database's
+/// SymbolTable (resolve with TraceStore::NameOf). in_* fields are absent
+/// for workflow-input source rows (and out_* for sink-only rows).
 struct XformRecord {
-  std::string run_id;
+  SymbolId run = common::kNoSymbol;
   int64_t event_id = 0;
-  std::string processor;
+  SymbolId processor = common::kNoSymbol;
   bool has_in = false;
-  std::string in_port;
+  SymbolId in_port = common::kNoSymbol;
   Index in_index;
   int64_t in_value = -1;
   bool has_out = false;
-  std::string out_port;
+  SymbolId out_port = common::kNoSymbol;
   Index out_index;
   int64_t out_value = -1;
 };
 
-/// One xfer row, decoded.
+/// One xfer row, decoded (interned names, as in XformRecord).
 struct XferRecord {
-  std::string run_id;
-  std::string src_proc;
-  std::string src_port;
+  SymbolId run = common::kNoSymbol;
+  SymbolId src_proc = common::kNoSymbol;
+  SymbolId src_port = common::kNoSymbol;
   Index src_index;
-  std::string dst_proc;
-  std::string dst_port;
+  SymbolId dst_proc = common::kNoSymbol;
+  SymbolId dst_port = common::kNoSymbol;
   Index dst_index;
   int64_t value_id = -1;
 };
@@ -58,11 +64,34 @@ struct TraceCounts {
 /// through the declarative SelectQuery layer, so every trace access uses
 /// an index (asserted by tests) — the property the paper's evaluation
 /// relies on.
+///
+/// Identifier boundary: the hot query surface speaks SymbolIds; the
+/// string overloads are thin shims that resolve names once and delegate.
+/// A string that was never recorded simply yields empty results.
 class TraceStore {
  public:
   /// Wraps an existing database; creates the provenance schema if the
   /// tables are missing. The database must outlive the store.
   static Result<TraceStore> Open(storage::Database* db);
+
+  // --- identifier dictionary ----------------------------------------------
+
+  /// Interns `name` in the owning database's symbol table. Const because
+  /// the dictionaries live in the database, which the store merely
+  /// points to; planners may intern from read paths without snapshotting
+  /// names up front. Newly minted symbols are flushed to the WAL as
+  /// definition records just before the next logged row (ids are
+  /// positional, so replay re-interns them in order).
+  SymbolId Intern(std::string_view name) const;
+
+  /// Id of `name` if already interned (pure read; never grows tables).
+  std::optional<SymbolId> LookupSymbol(std::string_view name) const;
+
+  /// Resolves an id back to its string (render boundary).
+  const std::string& NameOf(SymbolId id) const;
+
+  /// Dense id of an index path, for lineage-plan cache keys.
+  IndexId InternIndex(const Index& index) const;
 
   // --- write side (used by TraceRecorder) ---------------------------------
 
@@ -73,8 +102,8 @@ class TraceStore {
 
   /// Replays a WAL produced by a (possibly crashed) capture session into
   /// `db`, creating the provenance schema when missing. Returns the
-  /// number of rows applied. Duplicate rows (e.g. replaying on top of a
-  /// partially persisted database) are tolerated for the runs table.
+  /// number of rows applied. Symbol-definition records re-intern names
+  /// in logged order, so replayed rows resolve to the same ids.
   static Result<size_t> ReplayWal(const std::string& wal_path,
                                   storage::Database* db);
 
@@ -83,7 +112,8 @@ class TraceStore {
   /// Removes a run and all of its trace rows (maintenance: traces
   /// accumulate over many runs and old ones eventually get pruned).
   /// Returns the number of rows removed; NotFound when the run does not
-  /// exist.
+  /// exist. Dictionary entries are append-only and survive (ids must
+  /// stay stable for other runs).
   Result<size_t> DeleteRun(const std::string& run_id);
 
   /// Workflow name a run was recorded under.
@@ -104,6 +134,10 @@ class TraceStore {
   /// of q (a coarser binding that covers q), or an extension of q (finer
   /// bindings below q). This is the inversion probe of the naïve
   /// traversal (Def. 1, xform case).
+  Result<std::vector<XformRecord>> FindProducing(SymbolId run,
+                                                 SymbolId processor,
+                                                 SymbolId out_port,
+                                                 const Index& q) const;
   Result<std::vector<XformRecord>> FindProducing(const std::string& run,
                                                  const std::string& processor,
                                                  const std::string& out_port,
@@ -111,12 +145,20 @@ class TraceStore {
 
   /// Same overlap semantics on the IN side: the focused trace query
   /// Q(P, X_i, p_i) of Alg. 2.
+  Result<std::vector<XformRecord>> FindConsuming(SymbolId run,
+                                                 SymbolId processor,
+                                                 SymbolId in_port,
+                                                 const Index& p) const;
   Result<std::vector<XformRecord>> FindConsuming(const std::string& run,
                                                  const std::string& processor,
                                                  const std::string& in_port,
                                                  const Index& p) const;
 
   /// xfer rows into (dst_proc, dst_port) overlapping `p` (naïve arc hop).
+  Result<std::vector<XferRecord>> FindXfersInto(SymbolId run,
+                                                SymbolId dst_proc,
+                                                SymbolId dst_port,
+                                                const Index& p) const;
   Result<std::vector<XferRecord>> FindXfersInto(const std::string& run,
                                                 const std::string& dst_proc,
                                                 const std::string& dst_port,
@@ -124,12 +166,21 @@ class TraceStore {
 
   /// xfer rows leaving (src_proc, src_port) overlapping `p` — the arc
   /// hop of *forward* (impact) queries.
+  Result<std::vector<XferRecord>> FindXfersFrom(SymbolId run,
+                                                SymbolId src_proc,
+                                                SymbolId src_port,
+                                                const Index& p) const;
   Result<std::vector<XferRecord>> FindXfersFrom(const std::string& run,
                                                 const std::string& src_proc,
                                                 const std::string& src_port,
                                                 const Index& p) const;
 
+  /// Raw per-run scans (exporters / graph builders; not query paths).
+  Result<std::vector<XformRecord>> ScanXforms(const std::string& run) const;
+  Result<std::vector<XferRecord>> ScanXfers(const std::string& run) const;
+
   /// Resolves a value id to its literal representation / parsed Value.
+  Result<std::string> GetValueRepr(SymbolId run, int64_t value_id) const;
   Result<std::string> GetValueRepr(const std::string& run,
                                    int64_t value_id) const;
   Result<Value> GetValue(const std::string& run, int64_t value_id) const;
@@ -147,20 +198,27 @@ class TraceStore {
  private:
   explicit TraceStore(storage::Database* db) : db_(db) {}
 
-  /// Runs an equality+overlap probe against `table` and decodes rows.
-  Result<std::vector<storage::Row>> OverlapProbe(
-      const char* table, const std::string& run, const char* proc_col,
-      const std::string& proc, const char* port_col, const std::string& port,
-      const char* index_col, const Index& idx) const;
+  /// Runs an equality+overlap probe against `table` and decodes rows:
+  /// equality on (run, pair-column), point probes for q and its proper
+  /// prefixes, and one path-prefix range probe for strict extensions.
+  Result<std::vector<storage::Row>> OverlapProbe(const char* table,
+                                                 SymbolId run,
+                                                 const char* pair_col,
+                                                 storage::IdPair pair,
+                                                 const char* index_col,
+                                                 const Index& idx) const;
 
   /// Logs a row insert into the WAL (no-op when detached).
   Status LogRow(uint8_t table_tag, const storage::Row& row);
 
   storage::Database* db_;
   storage::WriteAheadLog* wal_ = nullptr;
+  /// How many symbols have been written to the WAL as definition
+  /// records; LogRow flushes the tail [wal_syms_logged_, size) first.
+  size_t wal_syms_logged_ = 0;
   /// Write-path value interning: (run, repr) -> id, ids unique per run.
-  std::map<std::pair<std::string, std::string>, int64_t> intern_cache_;
-  std::map<std::string, uint64_t> next_value_id_;
+  std::map<std::pair<SymbolId, std::string>, int64_t> intern_cache_;
+  std::map<SymbolId, uint64_t> next_value_id_;
 };
 
 }  // namespace provlin::provenance

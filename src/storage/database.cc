@@ -10,7 +10,9 @@ namespace provlin::storage {
 
 namespace {
 constexpr uint32_t kMagic = 0x50564C42;  // "PVLB"
-constexpr uint32_t kVersion = 1;
+// v2 adds the identifier dictionaries (symbols + index paths) to the
+// image, persisted before the table catalog so kIdPair cells resolve.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
@@ -62,7 +64,7 @@ size_t Database::TotalRows() const {
 TableStats Database::AggregateStats() const {
   TableStats agg;
   for (const auto& [_, t] : tables_) {
-    const TableStats& s = t->stats();
+    TableStats s = t->stats();
     agg.inserts += s.inserts;
     agg.deletes += s.deletes;
     agg.index_probes += s.index_probes;
@@ -80,6 +82,15 @@ Status Database::Save(const std::string& path) const {
   BinaryWriter w;
   w.WriteU32(kMagic);
   w.WriteU32(kVersion);
+  // Identifier dictionaries: ids are vector positions, so writing the
+  // vectors in order round-trips them exactly.
+  w.WriteU32(static_cast<uint32_t>(symbols_.size()));
+  for (const std::string& name : symbols_.names()) w.WriteString(name);
+  w.WriteU32(static_cast<uint32_t>(index_dict_.size()));
+  for (const auto& ipath : index_dict_.paths()) {
+    w.WriteU32(static_cast<uint32_t>(ipath.size()));
+    for (int32_t p : ipath) w.WriteU32(static_cast<uint32_t>(p));
+  }
   w.WriteU32(static_cast<uint32_t>(tables_.size()));
   for (const auto& [name, table] : tables_) {
     w.WriteString(name);
@@ -131,6 +142,26 @@ Status Database::Load(const std::string& path) {
     return Status::Corruption("unsupported version " +
                               std::to_string(version));
   }
+  std::vector<std::string> symbol_names;
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t nsyms, r.ReadU32());
+  symbol_names.reserve(nsyms);
+  for (uint32_t i = 0; i < nsyms; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    symbol_names.push_back(std::move(name));
+  }
+  std::vector<std::vector<int32_t>> index_paths;
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t npaths, r.ReadU32());
+  index_paths.reserve(npaths);
+  for (uint32_t i = 0; i < npaths; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(uint32_t plen, r.ReadU32());
+    std::vector<int32_t> ipath;
+    ipath.reserve(plen);
+    for (uint32_t j = 0; j < plen; ++j) {
+      PROVLIN_ASSIGN_OR_RETURN(uint32_t p, r.ReadU32());
+      ipath.push_back(static_cast<int32_t>(p));
+    }
+    index_paths.push_back(std::move(ipath));
+  }
   std::map<std::string, std::unique_ptr<Table>> tables;
   PROVLIN_ASSIGN_OR_RETURN(uint32_t ntables, r.ReadU32());
   for (uint32_t t = 0; t < ntables; ++t) {
@@ -141,7 +172,7 @@ Status Database::Load(const std::string& path) {
       Column col;
       PROVLIN_ASSIGN_OR_RETURN(col.name, r.ReadString());
       PROVLIN_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
-      if (kind > static_cast<uint8_t>(DatumKind::kString)) {
+      if (kind > static_cast<uint8_t>(DatumKind::kIndexPath)) {
         return Status::Corruption("bad column kind");
       }
       col.kind = static_cast<DatumKind>(kind);
@@ -171,6 +202,8 @@ Status Database::Load(const std::string& path) {
   }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in database file");
   tables_ = std::move(tables);
+  symbols_.Restore(std::move(symbol_names));
+  index_dict_.Restore(std::move(index_paths));
   return Status::OK();
 }
 

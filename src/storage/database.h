@@ -5,19 +5,23 @@
 #include <memory>
 #include <string>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "storage/table.h"
 
 namespace provlin::storage {
 
 /// Catalog of tables — the embedded stand-in for the paper's local MySQL
-/// instance. Owns all tables; supports binary save/load of the full
-/// database image (indexes are rebuilt on load).
+/// instance. Owns all tables plus the identifier dictionaries that
+/// kIdPair / kIndexPath columns refer to; supports binary save/load of
+/// the full database image (indexes are rebuilt on load, dictionaries
+/// are persisted verbatim so ids stay stable across save/load).
 ///
 /// Thread safety: none — like the paper's single-user desktop setting,
-/// one thread owns a Database (note that even const query paths bump the
-/// access-path statistics counters). Share across threads with external
-/// synchronization, or give each thread its own loaded image.
+/// one thread owns a Database. Const query paths bump the access-path
+/// statistics counters, but those are relaxed atomics, so concurrent
+/// readers would only race on the catalog itself. Share across threads
+/// with external synchronization, or give each thread its own image.
 class Database {
  public:
   Database() = default;
@@ -45,12 +49,25 @@ class Database {
   void ResetStats();
 
   /// Serializes the whole database to `path` / restores it. Load replaces
-  /// the current catalog.
+  /// the current catalog and dictionaries.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
+  /// Dictionary of interned names (processors, ports, run labels).
+  /// kIdPair cells hold SymbolIds from this table.
+  common::SymbolTable& symbols() { return symbols_; }
+  const common::SymbolTable& symbols() const { return symbols_; }
+
+  /// Dictionary of interned index paths. kIndexPath cells store raw
+  /// paths inline (so range scans order correctly); this dictionary
+  /// gives lineage plans a dense IndexId handle for cache keys.
+  common::IndexDictionary& index_dict() { return index_dict_; }
+  const common::IndexDictionary& index_dict() const { return index_dict_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  common::SymbolTable symbols_;
+  common::IndexDictionary index_dict_;
 };
 
 }  // namespace provlin::storage

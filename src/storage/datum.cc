@@ -14,6 +14,10 @@ std::string_view DatumKindName(DatumKind kind) {
       return "double";
     case DatumKind::kString:
       return "string";
+    case DatumKind::kIdPair:
+      return "id-pair";
+    case DatumKind::kIndexPath:
+      return "index-path";
   }
   return "?";
 }
@@ -28,6 +32,10 @@ DatumKind Datum::kind() const {
       return DatumKind::kDouble;
     case 3:
       return DatumKind::kString;
+    case 4:
+      return DatumKind::kIdPair;
+    case 5:
+      return DatumKind::kIndexPath;
   }
   return DatumKind::kNull;
 }
@@ -42,6 +50,21 @@ std::string Datum::ToString() const {
       return std::to_string(AsDouble());
     case DatumKind::kString:
       return "'" + AsString() + "'";
+    case DatumKind::kIdPair: {
+      IdPair p = AsIdPair();
+      return "(" + std::to_string(p.first) + ":" + std::to_string(p.second) +
+             ")";
+    }
+    case DatumKind::kIndexPath: {
+      std::string out = "[";
+      const IndexPath& path = AsIndexPath();
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) out += ".";
+        out += std::to_string(path[i]);
+      }
+      out += "]";
+      return out;
+    }
   }
   return "?";
 }
@@ -63,6 +86,16 @@ size_t Datum::Hash() const {
       return std::hash<double>{}(AsDouble());
     case DatumKind::kString:
       return std::hash<std::string>{}(AsString());
+    case DatumKind::kIdPair:
+      return std::hash<uint64_t>{}(AsIdPair().Packed()) ^ 0x9e3779b97f4a7c15ull;
+    case DatumKind::kIndexPath: {
+      size_t h = 0xcbf29ce484222325ull;
+      for (int32_t p : AsIndexPath()) {
+        h ^= static_cast<size_t>(static_cast<uint32_t>(p));
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    }
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #ifndef PROVLIN_STORAGE_DATUM_H_
 #define PROVLIN_STORAGE_DATUM_H_
 
+#include <compare>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -8,15 +9,49 @@
 
 namespace provlin::storage {
 
-/// Column type of the embedded relational engine.
-enum class DatumKind { kNull = 0, kInt, kDouble, kString };
+/// Column type of the embedded relational engine. kIdPair and kIndexPath
+/// are the identifier-layer kinds: composite trace keys carry interned
+/// integer ids and integer index paths, so B+-tree and hash probes
+/// compare machine words instead of heap strings.
+enum class DatumKind {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kIdPair,
+  kIndexPath
+};
 
 std::string_view DatumKindName(DatumKind kind);
 
+/// A packed pair of dense dictionary ids — e.g. (processor, port) — that
+/// compares as a single 64-bit integer.
+struct IdPair {
+  uint32_t first = 0;
+  uint32_t second = 0;
+
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(first) << 32) | second;
+  }
+  static IdPair FromPacked(uint64_t packed) {
+    return IdPair{static_cast<uint32_t>(packed >> 32),
+                  static_cast<uint32_t>(packed & 0xffffffffu)};
+  }
+
+  bool operator==(const IdPair&) const = default;
+  auto operator<=>(const IdPair& o) const { return Packed() <=> o.Packed(); }
+};
+
+/// An index path: the raw components of a values::Index. Lexicographic
+/// vector order equals the prefix-then-component order of indices, so
+/// B+-tree range scans over a kIndexPath column enumerate all
+/// sub-elements of a path — the property the old string Encode() form
+/// provided, now with integer comparisons.
+using IndexPath = std::vector<int32_t>;
+
 /// One typed cell. NULL sorts before every non-null value; across kinds
-/// the order is kNull < kInt < kDouble < kString (the engine schemas are
-/// homogeneous per column, so cross-kind comparison only arises with
-/// NULLs in practice).
+/// the order follows DatumKind (the engine schemas are homogeneous per
+/// column, so cross-kind comparison only arises with NULLs in practice).
 class Datum {
  public:
   Datum() : rep_(std::monostate{}) {}
@@ -24,8 +59,13 @@ class Datum {
   explicit Datum(double v) : rep_(v) {}
   explicit Datum(std::string v) : rep_(std::move(v)) {}
   explicit Datum(const char* v) : rep_(std::string(v)) {}
+  explicit Datum(IdPair v) : rep_(v) {}
+  explicit Datum(IndexPath v) : rep_(std::move(v)) {}
 
   static Datum Null() { return Datum(); }
+  static Datum Pair(uint32_t first, uint32_t second) {
+    return Datum(IdPair{first, second});
+  }
 
   DatumKind kind() const;
   bool is_null() const { return kind() == DatumKind::kNull; }
@@ -33,6 +73,8 @@ class Datum {
   int64_t AsInt() const { return std::get<int64_t>(rep_); }
   double AsDouble() const { return std::get<double>(rep_); }
   const std::string& AsString() const { return std::get<std::string>(rep_); }
+  IdPair AsIdPair() const { return std::get<IdPair>(rep_); }
+  const IndexPath& AsIndexPath() const { return std::get<IndexPath>(rep_); }
 
   std::string ToString() const;
 
@@ -43,7 +85,8 @@ class Datum {
   size_t Hash() const;
 
  private:
-  std::variant<std::monostate, int64_t, double, std::string> rep_;
+  std::variant<std::monostate, int64_t, double, std::string, IdPair, IndexPath>
+      rep_;
 };
 
 /// Composite key / row: ordered tuple of datums.

@@ -24,8 +24,11 @@ struct Candidate {
   const IndexSpec* spec = nullptr;
   size_t eq_covered = 0;
   bool uses_prefix = false;
+  bool uses_path_prefix = false;
 
-  size_t score() const { return eq_covered + (uses_prefix ? 1 : 0); }
+  size_t score() const {
+    return eq_covered + (uses_prefix || uses_path_prefix ? 1 : 0);
+  }
 };
 
 const Datum* FindEqual(const SelectQuery& q, const std::string& column) {
@@ -50,7 +53,28 @@ bool RowMatches(const Schema& schema, const Row& row, const SelectQuery& q) {
     const std::string& p = q.string_prefix->prefix;
     if (s.size() < p.size() || s.compare(0, p.size(), p) != 0) return false;
   }
+  if (q.path_prefix.has_value()) {
+    auto idx = schema.ColumnIndex(q.path_prefix->column);
+    if (!idx.ok()) return false;
+    const Datum& d = row[idx.value()];
+    if (d.kind() != DatumKind::kIndexPath) return false;
+    const IndexPath& path = d.AsIndexPath();
+    const IndexPath& p = q.path_prefix->prefix;
+    if (path.size() < p.size()) return false;
+    if (!std::equal(p.begin(), p.end(), path.begin())) return false;
+  }
   return true;
+}
+
+/// Smallest path that sorts after every extension of `prefix`: the
+/// prefix with its last component bumped. Empty when no such successor
+/// exists (empty prefix matches everything; INT32_MAX cannot be bumped)
+/// — callers then skip the index range and rely on the residual filter.
+std::optional<IndexPath> PathSuccessor(const IndexPath& prefix) {
+  if (prefix.empty() || prefix.back() == INT32_MAX) return std::nullopt;
+  IndexPath succ = prefix;
+  ++succ.back();
+  return succ;
 }
 
 }  // namespace
@@ -64,6 +88,10 @@ Result<SelectResult> ExecuteSelect(const Table& table,
   if (query.string_prefix.has_value()) {
     PROVLIN_RETURN_IF_ERROR(
         table.schema().ColumnIndex(query.string_prefix->column).status());
+  }
+  if (query.path_prefix.has_value()) {
+    PROVLIN_RETURN_IF_ERROR(
+        table.schema().ColumnIndex(query.path_prefix->column).status());
   }
 
   // Enumerate candidate plans.
@@ -95,6 +123,10 @@ Result<SelectResult> ExecuteSelect(const Table& table,
       if (query.string_prefix.has_value() && i < spec.columns.size() &&
           spec.columns[i] == query.string_prefix->column) {
         cand.uses_prefix = true;
+      } else if (query.path_prefix.has_value() && i < spec.columns.size() &&
+                 spec.columns[i] == query.path_prefix->column &&
+                 PathSuccessor(query.path_prefix->prefix).has_value()) {
+        cand.uses_path_prefix = true;
       }
       if (cand.score() == 0) continue;
     }
@@ -118,6 +150,17 @@ Result<SelectResult> ExecuteSelect(const Table& table,
       Key hi = probe;
       lo.push_back(Datum(query.string_prefix->prefix));
       hi.push_back(Datum(query.string_prefix->prefix + "\xff\xff\xff\xff"));
+      PROVLIN_ASSIGN_OR_RETURN(
+          rids, table.IndexRangeLookup(best.spec->name, lo, hi));
+    } else if (best.uses_path_prefix) {
+      // [prefix, successor] is a superset of "extensions of prefix" by
+      // exactly the successor path itself, which the residual filter
+      // drops; the scan stays one contiguous range of integer keys.
+      out.access_path = AccessPath::kIndexRange;
+      Key lo = probe;
+      Key hi = probe;
+      lo.push_back(Datum(query.path_prefix->prefix));
+      hi.push_back(Datum(*PathSuccessor(query.path_prefix->prefix)));
       PROVLIN_ASSIGN_OR_RETURN(
           rids, table.IndexRangeLookup(best.spec->name, lo, hi));
     } else if (best.spec->type == IndexType::kBTree &&

@@ -11,9 +11,10 @@
 namespace provlin::storage {
 
 /// Declarative single-table selection: a conjunction of column-equality
-/// predicates plus an optional string-prefix predicate on one column.
-/// This is the query surface the lineage engines target — the C++
-/// analogue of the SQL the paper issues against MySQL.
+/// predicates plus an optional prefix predicate on one column — either a
+/// string prefix (legacy encoded-index columns) or a path prefix on a
+/// kIndexPath column. This is the query surface the lineage engines
+/// target — the C++ analogue of the SQL the paper issues against MySQL.
 struct SelectQuery {
   struct Equal {
     std::string column;
@@ -23,9 +24,18 @@ struct SelectQuery {
     std::string column;
     std::string prefix;
   };
+  /// Matches rows whose kIndexPath column starts with `prefix`
+  /// (component-wise; an equal path matches too). Lexicographic path
+  /// order makes this a contiguous B+-tree range, so "all sub-elements
+  /// of index p" stays a single range scan under integer keys.
+  struct PathPrefix {
+    std::string column;
+    IndexPath prefix;
+  };
 
   std::vector<Equal> equals;
   std::optional<StringPrefix> string_prefix;
+  std::optional<PathPrefix> path_prefix;
 };
 
 /// How the planner answered a query — surfaced so tests and benches can

@@ -47,6 +47,15 @@ void BinaryWriter::WriteDatum(const Datum& d) {
     case DatumKind::kString:
       WriteString(d.AsString());
       break;
+    case DatumKind::kIdPair:
+      WriteU64(d.AsIdPair().Packed());
+      break;
+    case DatumKind::kIndexPath: {
+      const IndexPath& path = d.AsIndexPath();
+      WriteU32(static_cast<uint32_t>(path.size()));
+      for (int32_t p : path) WriteU32(static_cast<uint32_t>(p));
+      break;
+    }
   }
 }
 
@@ -121,6 +130,20 @@ Result<Datum> BinaryReader::ReadDatum() {
     case DatumKind::kString: {
       PROVLIN_ASSIGN_OR_RETURN(std::string v, ReadString());
       return Datum(std::move(v));
+    }
+    case DatumKind::kIdPair: {
+      PROVLIN_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+      return Datum(IdPair::FromPacked(v));
+    }
+    case DatumKind::kIndexPath: {
+      PROVLIN_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+      IndexPath path;
+      path.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PROVLIN_ASSIGN_OR_RETURN(uint32_t p, ReadU32());
+        path.push_back(static_cast<int32_t>(p));
+      }
+      return Datum(std::move(path));
     }
   }
   return Status::Corruption("bad datum tag " + std::to_string(tag));

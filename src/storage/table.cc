@@ -2,6 +2,24 @@
 
 namespace provlin::storage {
 
+TableStats Table::StatsCounters::Snapshot() const {
+  TableStats s;
+  s.inserts = inserts.load(std::memory_order_relaxed);
+  s.deletes = deletes.load(std::memory_order_relaxed);
+  s.index_probes = index_probes.load(std::memory_order_relaxed);
+  s.full_scans = full_scans.load(std::memory_order_relaxed);
+  s.rows_examined = rows_examined.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Table::StatsCounters::Reset() {
+  inserts.store(0, std::memory_order_relaxed);
+  deletes.store(0, std::memory_order_relaxed);
+  index_probes.store(0, std::memory_order_relaxed);
+  full_scans.store(0, std::memory_order_relaxed);
+  rows_examined.store(0, std::memory_order_relaxed);
+}
+
 Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {}
 
@@ -55,7 +73,7 @@ Result<uint64_t> Table::Insert(const Row& row) {
   rows_.push_back(row);
   deleted_.push_back(false);
   ++live_rows_;
-  ++stats_.inserts;
+  stats_.Bump(stats_.inserts);
   for (auto& idx : indexes_) {
     Key key = ExtractKey(row, idx);
     if (idx.btree != nullptr) {
@@ -81,7 +99,7 @@ Status Table::Delete(uint64_t rid) {
   }
   deleted_[rid] = true;
   --live_rows_;
-  ++stats_.deletes;
+  stats_.Bump(stats_.deletes);
   return Status::OK();
 }
 
@@ -89,7 +107,7 @@ Result<Row> Table::Get(uint64_t rid) const {
   if (rid >= rows_.size() || deleted_[rid]) {
     return Status::NotFound("row " + std::to_string(rid) + " not found");
   }
-  ++stats_.rows_examined;
+  stats_.Bump(stats_.rows_examined);
   return rows_[rid];
 }
 
@@ -110,7 +128,7 @@ Result<std::vector<uint64_t>> Table::IndexLookup(std::string_view index_name,
         "key arity " + std::to_string(key.size()) + " != index arity " +
         std::to_string(idx->column_idx.size()));
   }
-  ++stats_.index_probes;
+  stats_.Bump(stats_.index_probes);
   if (idx->btree != nullptr) return idx->btree->Lookup(key);
   return idx->hash->Lookup(key);
 }
@@ -124,7 +142,7 @@ Result<std::vector<uint64_t>> Table::IndexPrefixLookup(
   if (prefix.size() > idx->column_idx.size()) {
     return Status::InvalidArgument("prefix longer than index arity");
   }
-  ++stats_.index_probes;
+  stats_.Bump(stats_.index_probes);
   return idx->btree->PrefixLookup(prefix);
 }
 
@@ -134,16 +152,16 @@ Result<std::vector<uint64_t>> Table::IndexRangeLookup(
   if (idx->btree == nullptr) {
     return Status::InvalidArgument("range lookup requires a BTree index");
   }
-  ++stats_.index_probes;
+  stats_.Bump(stats_.index_probes);
   return idx->btree->RangeLookup(lo, hi);
 }
 
 std::vector<uint64_t> Table::FullScan() const {
-  ++stats_.full_scans;
+  stats_.Bump(stats_.full_scans);
+  stats_.Bump(stats_.rows_examined, rows_.size());
   std::vector<uint64_t> out;
   out.reserve(live_rows_);
   for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
-    ++stats_.rows_examined;
     if (!deleted_[rid]) out.push_back(rid);
   }
   return out;

@@ -1,6 +1,7 @@
 #ifndef PROVLIN_STORAGE_TABLE_H_
 #define PROVLIN_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,9 +24,10 @@ struct IndexSpec {
   IndexType type = IndexType::kBTree;
 };
 
-/// Access-path counters. The benches report these alongside wall-clock
-/// times: unlike milliseconds they are hardware independent, so the
-/// NI-vs-IndexProj probe-count gap directly mirrors the paper's argument.
+/// Access-path counters (a value snapshot). The benches report these
+/// alongside wall-clock times: unlike milliseconds they are hardware
+/// independent, so the NI-vs-IndexProj probe-count gap directly mirrors
+/// the paper's argument.
 struct TableStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
@@ -78,8 +80,9 @@ class Table {
   size_t num_rows() const { return live_rows_; }
   size_t num_slots() const { return rows_.size(); }
 
-  const TableStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TableStats{}; }
+  /// Snapshot of the access-path counters (relaxed reads).
+  TableStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
   /// Verifies that every index agrees with the heap (used in tests).
   Status CheckIndexConsistency() const;
@@ -95,13 +98,31 @@ class Table {
   Key ExtractKey(const Row& row, const SecondaryIndex& idx) const;
   Result<const SecondaryIndex*> FindIndex(std::string_view index_name) const;
 
+  /// Counters behind the TableStats snapshot. Const query paths (Get,
+  /// IndexLookup, FullScan) bump them, so they are mutable — and relaxed
+  /// atomics, so concurrent const readers of a shared table stay
+  /// data-race free once shared-read serving lands.
+  struct StatsCounters {
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> index_probes{0};
+    std::atomic<uint64_t> full_scans{0};
+    std::atomic<uint64_t> rows_examined{0};
+
+    TableStats Snapshot() const;
+    void Reset();
+    void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+      counter.fetch_add(n, std::memory_order_relaxed);
+    }
+  };
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<bool> deleted_;
   size_t live_rows_ = 0;
   std::vector<SecondaryIndex> indexes_;
-  mutable TableStats stats_;
+  mutable StatsCounters stats_;
 };
 
 }  // namespace provlin::storage

@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "workflow/port_space.h"
+
 namespace provlin::workflow {
+
+const PortSpace& Dataflow::Ports() const {
+  if (port_space_ == nullptr) {
+    port_space_ = std::make_shared<const PortSpace>(*this);
+  }
+  return *port_space_;
+}
 
 const Port* Processor::FindInput(std::string_view port) const {
   for (const Port& p : inputs) {

@@ -89,6 +89,8 @@ struct Arc {
   }
 };
 
+class PortSpace;
+
 /// A dataflow specification D = (N, E) plus its own typed input/output
 /// ports. Construction is typically via DataflowBuilder; Validate()
 /// checks well-formedness and Flatten() inlines nested sub-dataflows so
@@ -99,9 +101,18 @@ class Dataflow {
 
   const std::string& name() const { return name_; }
 
-  void AddInput(Port port) { inputs_.push_back(std::move(port)); }
-  void AddOutput(Port port) { outputs_.push_back(std::move(port)); }
-  void AddProcessor(Processor p) { processors_.push_back(std::move(p)); }
+  void AddInput(Port port) {
+    port_space_.reset();
+    inputs_.push_back(std::move(port));
+  }
+  void AddOutput(Port port) {
+    port_space_.reset();
+    outputs_.push_back(std::move(port));
+  }
+  void AddProcessor(Processor p) {
+    port_space_.reset();
+    processors_.push_back(std::move(p));
+  }
   Status AddArc(const PortRef& src, const PortRef& dst);
 
   const std::vector<Port>& inputs() const { return inputs_; }
@@ -131,12 +142,18 @@ class Dataflow {
   /// are spliced end-to-end. The result contains no sub_dataflow nodes.
   Result<std::shared_ptr<Dataflow>> Flatten() const;
 
+  /// Resolved dense-slot namespace over every addressable port. Built on
+  /// first use (Validate() warms it) and cached; mutators invalidate the
+  /// cache, so the reference is stable only while the graph is frozen.
+  const PortSpace& Ports() const;
+
  private:
   std::string name_;
   std::vector<Port> inputs_;
   std::vector<Port> outputs_;
   std::vector<Processor> processors_;
   std::vector<Arc> arcs_;
+  mutable std::shared_ptr<const PortSpace> port_space_;
 };
 
 }  // namespace provlin::workflow

@@ -1,0 +1,31 @@
+#include "workflow/port_space.h"
+
+#include <utility>
+
+namespace provlin::workflow {
+
+PortSpace::PortSpace(const Dataflow& flow) {
+  for (const Port& in : flow.inputs()) {
+    Add(kWorkflowProcessor, in.name);
+  }
+  for (const Port& out : flow.outputs()) {
+    Add(kWorkflowProcessor, out.name);
+  }
+  for (const Processor& proc : flow.processors()) {
+    for (const Port& in : proc.inputs) Add(proc.name, in.name);
+    for (const Port& out : proc.outputs) Add(proc.name, out.name);
+  }
+}
+
+void PortSpace::Add(std::string processor, std::string port) {
+  PortRef ref{std::move(processor), std::move(port)};
+  // A name can legally appear twice only on the workflow pseudo-node
+  // (a port that is both a workflow input and output name); first slot
+  // wins, matching string-map behaviour.
+  if (by_ref_.count(ref) > 0) return;
+  auto id = static_cast<PortSlotId>(refs_.size());
+  by_ref_.emplace(ref, id);
+  refs_.push_back(std::move(ref));
+}
+
+}  // namespace provlin::workflow

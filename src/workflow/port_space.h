@@ -1,0 +1,51 @@
+#ifndef PROVLIN_WORKFLOW_PORT_SPACE_H_
+#define PROVLIN_WORKFLOW_PORT_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workflow/dataflow.h"
+
+namespace provlin::workflow {
+
+/// Dense identifier of one addressable port of a flattened dataflow —
+/// the workflow pseudo-processor's inputs and outputs plus every
+/// processor input/output port. Slot ids index flat arrays, so the
+/// execution engine binds and looks up port values without hashing
+/// "processor:port" strings. (Distinct from PortSlot in
+/// depth_propagation.h, which describes an index-range layout.)
+using PortSlotId = uint32_t;
+
+inline constexpr PortSlotId kNoPortSlot = UINT32_MAX;
+
+/// The resolved port namespace of one dataflow: a bijection between
+/// PortRefs and dense slot ids, assigned in a deterministic order
+/// (workflow inputs, workflow outputs, then each processor's inputs and
+/// outputs in declaration order). Built once per dataflow — Validate()
+/// warms it — and cached on the Dataflow; the dataflow must not gain
+/// ports afterwards.
+class PortSpace {
+ public:
+  explicit PortSpace(const Dataflow& flow);
+
+  /// Slot of `ref`, or kNoPortSlot if the dataflow has no such port.
+  PortSlotId Find(const PortRef& ref) const {
+    auto it = by_ref_.find(ref);
+    return it == by_ref_.end() ? kNoPortSlot : it->second;
+  }
+
+  const PortRef& RefOf(PortSlotId id) const { return refs_[id]; }
+
+  size_t size() const { return refs_.size(); }
+
+ private:
+  void Add(std::string processor, std::string port);
+
+  std::vector<PortRef> refs_;
+  std::map<PortRef, PortSlotId> by_ref_;
+};
+
+}  // namespace provlin::workflow
+
+#endif  // PROVLIN_WORKFLOW_PORT_SPACE_H_

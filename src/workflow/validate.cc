@@ -5,6 +5,7 @@
 
 #include "workflow/depth_propagation.h"
 #include "workflow/graph.h"
+#include "workflow/port_space.h"
 
 namespace provlin::workflow {
 
@@ -94,6 +95,10 @@ Status Validate(const Dataflow& dataflow) {
   // side effect: unknown/duplicated ports, uncovered iterated ports, and
   // dot children with unequal iteration depths all surface here.
   PROVLIN_RETURN_IF_ERROR(PropagateDepths(dataflow).status());
+
+  // Warm the dense port-slot namespace so the engine and lineage layers
+  // resolve names to slot ids without a first-use build.
+  dataflow.Ports();
 
   return Status::OK();
 }

@@ -121,6 +121,58 @@ TEST_P(EquivalenceTest, IndexProjMatchesNaiveOnRandomWorkflows) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
                          ::testing::Range<uint64_t>(1, 81));
 
+TEST(IdStringEquivalence, ProbeOverloadsReturnIdenticalRows) {
+  // The string probe APIs are thin shims over the interned-id overloads;
+  // both must see exactly the same rows for every probe shape.
+  auto wb = std::move(*Workbench::Synthetic(5));
+  ASSERT_TRUE(wb->RunSynthetic(3, "r0").ok());
+  const provenance::TraceStore& store = *wb->store();
+
+  auto run = store.LookupSymbol("r0");
+  ASSERT_TRUE(run.has_value());
+
+  auto xform_key = [](const provenance::XformRecord& r) {
+    return std::make_tuple(r.run, r.event_id, r.processor, r.has_in,
+                           r.in_port, r.in_index, r.in_value, r.has_out,
+                           r.out_port, r.out_index, r.out_value);
+  };
+  auto xfer_key = [](const provenance::XferRecord& r) {
+    return std::make_tuple(r.run, r.src_proc, r.src_port, r.src_index,
+                           r.dst_proc, r.dst_port, r.dst_index, r.value_id);
+  };
+
+  for (const char* proc : {"CHAINA_1", "CHAINA_2", "LISTGEN_1"}) {
+    auto proc_sym = store.LookupSymbol(proc);
+    ASSERT_TRUE(proc_sym.has_value()) << proc;
+    for (const Index& q : {Index(), Index({1}), Index({0, 2})}) {
+      auto by_name = *store.FindProducing("r0", proc, "y", q);
+      auto y = store.LookupSymbol("y");
+      std::vector<provenance::XformRecord> by_id;
+      if (y.has_value()) {
+        by_id = *store.FindProducing(*run, *proc_sym, *y, q);
+      }
+      ASSERT_EQ(by_name.size(), by_id.size()) << proc << q.ToString();
+      for (size_t i = 0; i < by_name.size(); ++i) {
+        EXPECT_EQ(xform_key(by_name[i]), xform_key(by_id[i]));
+      }
+
+      auto xn = *store.FindXfersInto("r0", proc, "x", q);
+      auto x = store.LookupSymbol("x");
+      std::vector<provenance::XferRecord> xi;
+      if (x.has_value()) xi = *store.FindXfersInto(*run, *proc_sym, *x, q);
+      ASSERT_EQ(xn.size(), xi.size()) << proc << q.ToString();
+      for (size_t i = 0; i < xn.size(); ++i) {
+        EXPECT_EQ(xfer_key(xn[i]), xfer_key(xi[i]));
+      }
+    }
+  }
+
+  // Unknown names resolve to empty answers through the shim, matching
+  // "no such symbol ⇒ no rows" on the id path.
+  EXPECT_TRUE(store.FindProducing("r0", "NO_SUCH", "y", Index())->empty());
+  EXPECT_TRUE(store.FindProducing("no-run", "CHAINA_1", "y", Index())->empty());
+}
+
 TEST(EquivalenceFocusedCost, FocusedIndexProjProbesFarLessThanNaive) {
   // On the synthetic testbed the probe asymmetry is the headline result;
   // assert it as an invariant, not just a bench observation.

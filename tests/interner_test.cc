@@ -1,0 +1,138 @@
+// The interned-identifier layer: SymbolTable and IndexDictionary are the
+// foundation the storage/provenance/lineage id encoding rests on, so
+// their round-trip, uniqueness, and restore semantics are pinned here.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/random.h"
+
+namespace provlin::common {
+namespace {
+
+TEST(SymbolTable, InternIsIdempotentAndDense) {
+  SymbolTable table;
+  EXPECT_TRUE(table.empty());
+  SymbolId a = table.Intern("alpha");
+  SymbolId b = table.Intern("beta");
+  SymbolId a2 = table.Intern("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  // Ids are dense and assigned in first-intern order.
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTable, RoundTripsNamesAndIds) {
+  SymbolTable table;
+  std::vector<std::string> names = {"", "x", "processor:port", "väl\nue"};
+  std::vector<SymbolId> ids;
+  for (const std::string& n : names) ids.push_back(table.Intern(n));
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(table.NameOf(ids[i]), names[i]);
+    ASSERT_TRUE(table.Lookup(names[i]).has_value());
+    EXPECT_EQ(*table.Lookup(names[i]), ids[i]);
+    EXPECT_TRUE(table.Contains(ids[i]));
+  }
+  EXPECT_FALSE(table.Lookup("never-interned").has_value());
+  EXPECT_FALSE(table.Contains(static_cast<SymbolId>(names.size())));
+  EXPECT_FALSE(table.Contains(kNoSymbol));
+}
+
+TEST(SymbolTable, HeterogeneousLookupNeedsNoAllocation) {
+  SymbolTable table;
+  SymbolId id = table.Intern(std::string_view("view-key"));
+  std::string_view probe = "view-key";
+  ASSERT_TRUE(table.Lookup(probe).has_value());
+  EXPECT_EQ(*table.Lookup(probe), id);
+}
+
+TEST(SymbolTable, NamesSurviveRehash) {
+  // NameOf returns a reference into table-owned storage; interning many
+  // more symbols (forcing map rehashes) must not invalidate resolution.
+  SymbolTable table;
+  SymbolId first = table.Intern("first");
+  for (int i = 0; i < 10000; ++i) {
+    table.Intern("sym" + std::to_string(i));
+  }
+  EXPECT_EQ(table.NameOf(first), "first");
+  EXPECT_EQ(*table.Lookup("sym9999"), 10000u);
+}
+
+TEST(SymbolTable, RestoreReproducesPositionalIds) {
+  SymbolTable table;
+  table.Intern("stale");
+  table.Restore({"r0", "P", "x"});
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(*table.Lookup("r0"), 0u);
+  EXPECT_EQ(*table.Lookup("P"), 1u);
+  EXPECT_EQ(*table.Lookup("x"), 2u);
+  EXPECT_FALSE(table.Lookup("stale").has_value());
+  // New interns continue after the restored ids.
+  EXPECT_EQ(table.Intern("y"), 3u);
+}
+
+TEST(IndexDictionary, InternIsIdempotentPerPath) {
+  IndexDictionary dict;
+  IndexId empty = dict.Intern({});
+  IndexId one = dict.Intern({1});
+  IndexId deep = dict.Intern({1, 2, 3});
+  EXPECT_EQ(dict.Intern({}), empty);
+  EXPECT_EQ(dict.Intern({1}), one);
+  EXPECT_EQ(dict.Intern({1, 2, 3}), deep);
+  EXPECT_NE(one, deep);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.PartsOf(deep), (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_FALSE(dict.Lookup({9, 9}).has_value());
+}
+
+TEST(IndexDictionary, FuzzRoundTripAndUniqueness) {
+  Random rng(4242);
+  IndexDictionary dict;
+  // Model: path -> id. Random interns and lookups must always agree
+  // with the model; distinct paths must never collide.
+  std::map<std::vector<int32_t>, IndexId> model;
+  for (int step = 0; step < 5000; ++step) {
+    std::vector<int32_t> path;
+    size_t len = rng.Uniform(5);
+    for (size_t i = 0; i < len; ++i) {
+      path.push_back(static_cast<int32_t>(rng.Uniform(4)));
+    }
+    IndexId id = dict.Intern(path);
+    auto [it, inserted] = model.emplace(path, id);
+    if (!inserted) {
+      EXPECT_EQ(it->second, id);
+    }
+    EXPECT_EQ(dict.PartsOf(id), path);
+    ASSERT_TRUE(dict.Lookup(path).has_value());
+    EXPECT_EQ(*dict.Lookup(path), id);
+  }
+  EXPECT_EQ(dict.size(), model.size());
+  // Pairwise uniqueness: dense ids, one per distinct path.
+  std::vector<bool> seen(dict.size(), false);
+  for (const auto& [path, id] : model) {
+    ASSERT_LT(id, seen.size());
+    EXPECT_FALSE(seen[id]) << "id " << id << " assigned twice";
+    seen[id] = true;
+  }
+}
+
+TEST(IndexDictionary, RestoreReproducesPositionalIds) {
+  IndexDictionary dict;
+  dict.Intern({7});
+  dict.Restore({{}, {0}, {0, 1}});
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(*dict.Lookup({}), 0u);
+  EXPECT_EQ(*dict.Lookup({0}), 1u);
+  EXPECT_EQ(*dict.Lookup({0, 1}), 2u);
+  EXPECT_FALSE(dict.Lookup({7}).has_value());
+  EXPECT_EQ(dict.Intern({5}), 3u);
+}
+
+}  // namespace
+}  // namespace provlin::common

@@ -116,7 +116,7 @@ TEST(Recorder, XferRowsRecordArcsAtProducerGranularity) {
   auto fine = *store->FindXfersInto("r0", "CHAINA_2", "x", Index());
   EXPECT_EQ(fine.size(), 3u);
   for (const auto& row : fine) {
-    EXPECT_EQ(row.src_proc, "CHAINA_1");
+    EXPECT_EQ(store->NameOf(row.src_proc), "CHAINA_1");
     EXPECT_EQ(row.src_index, row.dst_index);
   }
 
@@ -128,7 +128,7 @@ TEST(Recorder, XferRowsRecordArcsAtProducerGranularity) {
   // Into the workflow output — coarse by the boundary rule.
   auto out = *store->FindXfersInto("r0", "workflow", "RESULT", Index({0, 0}));
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].src_proc, "TWO_TO_ONE_FINAL");
+  EXPECT_EQ(store->NameOf(out[0].src_proc), "TWO_TO_ONE_FINAL");
 }
 
 TEST(Recorder, CountsMatchClosedForm) {

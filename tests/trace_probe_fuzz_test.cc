@@ -52,15 +52,15 @@ TEST_P(TraceProbeFuzzTest, OverlapProbesMatchBruteForce) {
     f.in_index = RandomIndex(&rng, 3, 3);
     f.out_index = RandomIndex(&rng, 3, 3);
     XformRecord rec;
-    rec.run_id = f.run;
+    rec.run = store.Intern(f.run);
     rec.event_id = i;
-    rec.processor = f.proc;
+    rec.processor = store.Intern(f.proc);
     rec.has_in = true;
-    rec.in_port = f.in_port;
+    rec.in_port = store.Intern(f.in_port);
     rec.in_index = f.in_index;
     rec.in_value = 0;
     rec.has_out = true;
-    rec.out_port = f.out_port;
+    rec.out_port = store.Intern(f.out_port);
     rec.out_index = f.out_index;
     rec.out_value = 0;
     ASSERT_TRUE(store.InsertXform(rec).ok());
@@ -123,12 +123,12 @@ TEST_P(TraceProbeFuzzTest, XferOverlapProbesMatchBruteForce) {
     f.dst_port = "x";
     f.dst_index = RandomIndex(&rng, 3, 3);
     XferRecord rec;
-    rec.run_id = "r0";
-    rec.src_proc = "S";
-    rec.src_port = "y";
+    rec.run = store.Intern("r0");
+    rec.src_proc = store.Intern("S");
+    rec.src_port = store.Intern("y");
     rec.src_index = f.dst_index;
-    rec.dst_proc = f.dst_proc;
-    rec.dst_port = f.dst_port;
+    rec.dst_proc = store.Intern(f.dst_proc);
+    rec.dst_port = store.Intern(f.dst_port);
     rec.dst_index = f.dst_index;
     // Distinct per row: the probe layer dedups *identical* rows, which
     // never occur in real traces (value ids differ).
