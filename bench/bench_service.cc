@@ -1,0 +1,119 @@
+// Batch lineage throughput: queries/second of the concurrent
+// LineageService at 1/2/4/8 worker threads, NI vs IndexProj, on a mixed
+// batch of focused and partially unfocused queries over several runs.
+//
+// Expected shape: IndexProj scales near-linearly until the distinct-plan
+// parallelism is exhausted (the shared plan cache serves every repeat
+// from memory), NI scales with the trace-probe work per request.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lineage/engine.h"
+#include "lineage/service.h"
+#include "testbed/synthetic.h"
+#include "testbed/workbench.h"
+
+int main() {
+  using namespace provlin;
+  using bench::CheckResult;
+
+  constexpr int kL = 40;       // chain length (2*l+2 processors)
+  constexpr int kD = 20;       // input list size
+  constexpr int kRuns = 4;     // recorded runs in the store
+  constexpr int kBatch = 256;  // requests per batch
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Batch lineage service throughput (l=%d, d=%d, %d runs, "
+      "batch=%d requests)\n"
+      "hardware threads: %u%s\n\n",
+      kL, kD, kRuns, kBatch, cores,
+      cores <= 1 ? "  (single-core host: expect speedup ~1.0x)" : "");
+
+  auto wb = CheckResult(testbed::Workbench::Synthetic(kL), "workbench");
+  std::vector<std::string> runs;
+  for (int r = 0; r < kRuns; ++r) {
+    std::string run = "r" + std::to_string(r);
+    CheckResult(wb->RunSynthetic(kD + r, run), "run");
+    runs.push_back(run);
+  }
+
+  // Interest sets of growing size along the chains (the Fig. 10 shape):
+  // focused, |P|=8, |P|=16 — so requests carry real s2 work.
+  auto interest_of = [&](int size) {
+    lineage::InterestSet interest{testbed::kListGen};
+    int added = 1;
+    for (int k = kL; k >= 1 && added < size; --k) {
+      interest.insert(testbed::ChainAProc(k));
+      if (++added >= size) break;
+      interest.insert(testbed::ChainBProc(k));
+      ++added;
+    }
+    return interest;
+  };
+  const std::vector<lineage::InterestSet> interests = {
+      interest_of(1), interest_of(8), interest_of(16)};
+  const std::vector<Index> indices = {Index({1, 2}), Index({0, 1}),
+                                      Index({2, 0}), Index({1, 0})};
+  workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
+
+  auto make_batch = [&](const lineage::LineageEngine* engine) {
+    std::vector<lineage::ServiceRequest> batch;
+    batch.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      size_t run = static_cast<size_t>(i) % runs.size();
+      size_t q = static_cast<size_t>(i) % indices.size();
+      size_t p = static_cast<size_t>(i) % interests.size();
+      batch.push_back(
+          {engine, lineage::LineageRequest::SingleRun(
+                       runs[run], target, indices[q], interests[p])});
+    }
+    return batch;
+  };
+
+  bench::TablePrinter table({"engine", "threads", "best_ms", "qps",
+                             "speedup", "hit_rate", "probes"});
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  for (const char* name : {"naive", "indexproj"}) {
+    const lineage::LineageEngine* engine = wb->Engine(name);
+    std::vector<lineage::ServiceRequest> batch = make_batch(engine);
+    double base_qps = 0.0;
+    for (size_t threads : thread_counts) {
+      // One request per task: throughput scaling is the question, so
+      // same-plan chaining onto one worker is turned off.
+      lineage::ServiceOptions options;
+      options.num_threads = threads;
+      options.group_same_plan = false;
+      lineage::LineageService service(options);
+
+      // Warm caches once, then measure with the paper's best-of-five.
+      (void)service.ExecuteBatch(batch);
+      double best = CheckResult(
+          bench::BestOfFive([&]() -> Status {
+            std::vector<lineage::ServiceResponse> responses =
+                service.ExecuteBatch(batch);
+            for (const lineage::ServiceResponse& resp : responses) {
+              PROVLIN_RETURN_IF_ERROR(resp.status);
+            }
+            return Status::OK();
+          }),
+          "batch");
+      double qps = static_cast<double>(kBatch) / (best / 1000.0);
+      if (threads == 1) base_qps = qps;
+      lineage::ServiceMetrics m = service.metrics();
+      char speedup[32], qps_str[32], rate[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", qps / base_qps);
+      std::snprintf(qps_str, sizeof(qps_str), "%.0f", qps);
+      std::snprintf(rate, sizeof(rate), "%.2f", m.plan_cache_hit_rate());
+      table.AddRow({name, std::to_string(threads), bench::Ms(best), qps_str,
+                    speedup, rate,
+                    bench::Num(m.trace_probes / (m.batches ? m.batches : 1))});
+    }
+  }
+  table.Print();
+  return 0;
+}

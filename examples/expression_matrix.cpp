@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "engine/builtin_activities.h"
-#include "lineage/naive_lineage.h"
+#include "lineage/engine.h"
 #include "testbed/workbench.h"
 #include "workflow/builder.h"
 
@@ -97,19 +97,15 @@ int main() {
   // Lineage of matrix[2][3]: exactly gene TP53 and the (sample, label)
   // pair at position 3 — the dot lanes resolve together, the crossed
   // gene independently.
-  auto answer = Check(
-      wb->IndexProj()->Query("study-1",
-                             {workflow::kWorkflowProcessor, "matrix"},
-                             Index({1, 2}), {workflow::kWorkflowProcessor}),
-      "lineage");
+  lineage::LineageRequest request = lineage::LineageRequest::SingleRun(
+      "study-1", {workflow::kWorkflowProcessor, "matrix"}, Index({1, 2}),
+      {workflow::kWorkflowProcessor});
+  auto answer = Check(wb->Engine("indexproj")->Query(request), "lineage");
   std::printf("\nlin(matrix[2,3]) =\n");
   for (const auto& binding : answer.bindings) {
     std::printf("   %s\n", binding.ToString().c_str());
   }
-  auto naive = wb->Naive().Query("study-1",
-                                 {workflow::kWorkflowProcessor, "matrix"},
-                                 Index({1, 2}),
-                                 {workflow::kWorkflowProcessor});
+  auto naive = wb->Engine("naive")->Query(request);
   std::printf("naive engine agrees: %s\n",
               Check(std::move(naive), "naive").bindings == answer.bindings
                   ? "yes"

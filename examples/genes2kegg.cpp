@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "lineage/naive_lineage.h"
+#include "lineage/engine.h"
 #include "testbed/gk_workflow.h"
 #include "testbed/workbench.h"
 
@@ -44,13 +44,14 @@ int main() {
   // "Which of the input lists of genes is involved in this pathway?"
   // Ask for each sub-list of paths_per_gene, focused on the KEGG lookup.
   lineage::InterestSet lookup{"get_pathways_by_genes"};
+  const lineage::LineageEngine* indexproj = wb->Engine("indexproj");
+  const lineage::LineageEngine* naive_engine = wb->Engine("naive");
+  workflow::PortRef per_gene_port{workflow::kWorkflowProcessor,
+                                  "paths_per_gene"};
   for (int i = 0; i < static_cast<int>(per_gene.list_size()); ++i) {
-    auto answer = Check(
-        wb->IndexProj()->Query("gk-run",
-                               {workflow::kWorkflowProcessor,
-                                "paths_per_gene"},
-                               Index({i}), lookup),
-        "lineage");
+    auto answer = Check(indexproj->Query(lineage::LineageRequest::SingleRun(
+                            "gk-run", per_gene_port, Index({i}), lookup)),
+                        "lineage");
     std::printf("lin(paths_per_gene[%d]) =\n", i + 1);
     for (const auto& b : answer.bindings) {
       std::printf("   %s\n", b.ToString().c_str());
@@ -61,26 +62,21 @@ int main() {
   // ALL input genes — granularity degrades exactly where the workflow
   // merged the collections.
   auto answer = Check(
-      wb->IndexProj()->Query(
+      indexproj->Query(lineage::LineageRequest::SingleRun(
           "gk-run", {workflow::kWorkflowProcessor, "commonPathways"},
-          Index({0}), lineage::InterestSet{"get_common_pathways"}),
+          Index({0}), lineage::InterestSet{"get_common_pathways"})),
       "lineage");
   std::printf("\nlin(commonPathways[1]) =\n");
   for (const auto& b : answer.bindings) {
     std::printf("   %s\n", b.ToString().c_str());
   }
 
-  // The naive engine agrees, at higher trace-access cost.
-  auto ni = Check(wb->Naive().Query("gk-run",
-                                    {workflow::kWorkflowProcessor,
-                                     "paths_per_gene"},
-                                    Index({0}), lookup),
-                  "naive lineage");
-  auto ip = Check(wb->IndexProj()->Query("gk-run",
-                                         {workflow::kWorkflowProcessor,
-                                          "paths_per_gene"},
-                                         Index({0}), lookup),
-                  "indexproj lineage");
+  // The naive engine agrees, at higher trace-access cost. Same request,
+  // two engines — the interface makes the comparison one-liner symmetric.
+  lineage::LineageRequest first = lineage::LineageRequest::SingleRun(
+      "gk-run", per_gene_port, Index({0}), lookup);
+  auto ni = Check(naive_engine->Query(first), "naive lineage");
+  auto ip = Check(indexproj->Query(first), "indexproj lineage");
   std::printf("\nNI vs IndexProj: same answer (%s), probes %llu vs %llu\n",
               ni.bindings == ip.bindings ? "yes" : "NO!",
               static_cast<unsigned long long>(ni.timing.trace_probes),

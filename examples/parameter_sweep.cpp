@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "lineage/naive_lineage.h"
+#include "lineage/engine.h"
 #include "testbed/synthetic.h"
 #include "testbed/workbench.h"
 
@@ -41,13 +41,15 @@ int main() {
     std::printf("executed %-10s (d=%d)\n", run_id.c_str(), d);
   }
 
-  workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
-  Index q({1, 2});
-  lineage::InterestSet interest{testbed::kListGen};
+  // A multi-run request is just a LineageRequest whose scope holds every
+  // run of the sweep: s1 happens once, s2 once per run.
+  lineage::LineageRequest request;
+  request.runs = runs;
+  request.target = {workflow::kWorkflowProcessor, "RESULT"};
+  request.index = Index({1, 2});
+  request.interest = {testbed::kListGen};
 
-  // One multi-run query: s1 happens once, s2 once per run.
-  auto multi = Check(
-      wb->IndexProj()->QueryMultiRun(runs, target, q, interest), "multi-run");
+  auto multi = Check(wb->Engine("indexproj")->Query(request), "multi-run");
   std::printf("\nlin(RESULT[2,3], {LISTGEN_1}) across %zu runs:\n",
               runs.size());
   for (const auto& b : multi.bindings) {
@@ -59,8 +61,7 @@ int main() {
       static_cast<unsigned long long>(multi.timing.trace_probes));
 
   // NI must traverse each run's provenance graph in full.
-  auto ni = Check(wb->Naive().QueryMultiRun(runs, target, q, interest),
-                  "naive multi-run");
+  auto ni = Check(wb->Engine("naive")->Query(request), "naive multi-run");
   std::printf("NI:        t2=%.3fms, %llu probes  (same bindings: %s)\n",
               ni.timing.t2_ms,
               static_cast<unsigned long long>(ni.timing.trace_probes),

@@ -70,12 +70,14 @@ int main() {
               reloaded.TotalRows());
 
   // Post-mortem lineage against the reloaded image, via the naive engine
-  // (it needs only the trace, no workflow definition at hand).
+  // (it needs only the trace, no workflow definition at hand) — addressed
+  // through the LineageEngine interface like any other engine.
   lineage::NaiveLineage naive(&store);
+  const lineage::LineageEngine& engine = naive;
   auto answer = Check(
-      naive.Query("pd-run",
-                  {workflow::kWorkflowProcessor, "discovered_proteins"},
-                  Index({0}), {workflow::kWorkflowProcessor}),
+      engine.Query(lineage::LineageRequest::SingleRun(
+          "pd-run", {workflow::kWorkflowProcessor, "discovered_proteins"},
+          Index({0}), {workflow::kWorkflowProcessor})),
       "post-mortem lineage");
   std::printf("lin(discovered_proteins[1]) from the reloaded trace:\n");
   for (const auto& b : answer.bindings) {

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "engine/builtin_activities.h"
-#include "lineage/index_proj_lineage.h"
+#include "lineage/engine.h"
 #include "testbed/workbench.h"
 #include "workflow/builder.h"
 
@@ -59,12 +59,15 @@ int main() {
   std::printf("greetings = %s\n",
               run.outputs.at("greetings").ToString().c_str());
 
-  // 3. Lineage: which input produced greetings[2]? The IndexProj engine
-  //    answers by traversing the workflow spec, not the trace.
+  // 3. Lineage: which input produced greetings[2]? Build a
+  //    LineageRequest and hand it to an engine through the uniform
+  //    LineageEngine interface; "indexproj" answers by traversing the
+  //    workflow spec, not the trace.
   workflow::PortRef target{workflow::kWorkflowProcessor, "greetings"};
+  const lineage::LineageEngine* engine = wb->Engine("indexproj");
   auto answer = Check(
-      wb->IndexProj()->Query("run-1", target, Index({2}),
-                             {workflow::kWorkflowProcessor}),
+      engine->Query(lineage::LineageRequest::SingleRun(
+          "run-1", target, Index({2}), {workflow::kWorkflowProcessor})),
       "lineage query");
   for (const auto& binding : answer.bindings) {
     std::printf("lineage of greetings[3]: %s\n", binding.ToString().c_str());

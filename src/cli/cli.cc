@@ -2,14 +2,18 @@
 
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "common/string_util.h"
 #include "engine/builtin_activities.h"
 #include "engine/executor.h"
+#include "lineage/engine.h"
 #include "lineage/forward_lineage.h"
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
+#include "lineage/service.h"
 #include "provenance/opm_export.h"
 #include "provenance/provenance_graph.h"
 #include "provenance/recorder.h"
@@ -254,28 +258,75 @@ Status CmdLineage(const Args& args, std::ostream& out) {
       PROVLIN_ASSIGN_OR_RETURN(
           answer, fwd.QueryMultiRun(runs, target, index, interest));
     }
-  } else if (engine_name == "naive") {
-    lineage::NaiveLineage naive(&store);
-    PROVLIN_ASSIGN_OR_RETURN(
-        answer, naive.QueryMultiRun(runs, target, index, interest));
-  } else if (engine_name == "indexproj") {
-    PROVLIN_ASSIGN_OR_RETURN(
-        lineage::IndexProjLineage engine,
-        lineage::IndexProjLineage::Create(loaded.flow, &store));
-    if (explain) {
-      PROVLIN_ASSIGN_OR_RETURN(const lineage::LineagePlan* plan,
-                               engine.Plan(target, index, interest));
-      out << "plan (" << plan->queries.size() << " trace queries, "
-          << plan->graph_steps << " spec-graph steps):\n";
-      for (const auto& tq : plan->queries) {
-        out << "  " << tq.ToString(store) << "\n";
-      }
-    }
-    PROVLIN_ASSIGN_OR_RETURN(
-        answer, engine.QueryMultiRun(runs, target, index, interest));
   } else {
-    return Status::InvalidArgument("unknown engine '" + engine_name +
-                                   "' (naive|indexproj)");
+    // Backward engines are interchangeable behind the LineageEngine
+    // interface; the command only picks which one to instantiate.
+    lineage::NaiveLineage naive(&store);
+    std::optional<lineage::IndexProjLineage> index_proj;
+    const lineage::LineageEngine* engine = nullptr;
+    if (engine_name == "naive") {
+      engine = &naive;
+    } else if (engine_name == "indexproj") {
+      PROVLIN_ASSIGN_OR_RETURN(
+          lineage::IndexProjLineage created,
+          lineage::IndexProjLineage::Create(loaded.flow, &store));
+      index_proj.emplace(std::move(created));
+      engine = &*index_proj;
+      if (explain) {
+        PROVLIN_ASSIGN_OR_RETURN(
+            std::shared_ptr<const lineage::LineagePlan> plan,
+            index_proj->Plan(target, index, interest));
+        out << "plan (" << plan->queries.size() << " trace queries, "
+            << plan->graph_steps << " spec-graph steps):\n";
+        for (const auto& tq : plan->queries) {
+          out << "  " << tq.ToString(store) << "\n";
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown engine '" + engine_name +
+                                     "' (naive|indexproj)");
+    }
+
+    lineage::LineageRequest request;
+    request.runs = runs;
+    request.target = target;
+    request.index = index;
+    request.interest = interest;
+
+    if (const std::string* threads = args.Get("threads")) {
+      // Batch mode: one request per run, executed concurrently on the
+      // service's pool; the shared plan cache keeps s1 to one traversal.
+      int64_t n = 0;
+      if (!ParseInt64(*threads, &n) || n < 1) {
+        return Status::InvalidArgument("bad --threads value '" + *threads +
+                                       "'");
+      }
+      lineage::ServiceOptions options;
+      options.num_threads = static_cast<size_t>(n);
+      lineage::LineageService service(options);
+      std::vector<lineage::ServiceRequest> requests;
+      requests.reserve(runs.size());
+      for (const std::string& run : runs) {
+        requests.push_back(
+            {engine, lineage::LineageRequest::SingleRun(run, target, index,
+                                                        interest)});
+      }
+      std::vector<lineage::ServiceResponse> resp =
+          service.ExecuteBatch(requests);
+      for (const lineage::ServiceResponse& r : resp) {
+        PROVLIN_RETURN_IF_ERROR(r.status);
+        answer.bindings.insert(answer.bindings.end(),
+                               r.answer.bindings.begin(),
+                               r.answer.bindings.end());
+        answer.timing.t1_ms += r.answer.timing.t1_ms;
+        answer.timing.t2_ms += r.answer.timing.t2_ms;
+        answer.timing.trace_probes += r.answer.timing.trace_probes;
+      }
+      lineage::NormalizeBindings(&answer.bindings);
+      out << "service: " << service.metrics().ToString() << "\n";
+    } else {
+      PROVLIN_ASSIGN_OR_RETURN(answer, engine->Query(request));
+    }
   }
 
   out << (forward ? "impact of " : "lineage of ") << target.ToString()

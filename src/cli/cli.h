@@ -18,8 +18,11 @@ namespace provlin::cli {
 ///            List recorded runs.
 ///   lineage  --db FILE --workflow W --run ID [--run ID]* --target P:X
 ///            [--index 1,2] [--focus P]* [--engine naive|indexproj]
-///            [--forward]
-///            Answer a (backward or forward) lineage query.
+///            [--forward] [--explain true] [--threads N]
+///            Answer a (backward or forward) lineage query. With
+///            --threads N the runs are answered as a concurrent batch on
+///            an N-worker LineageService (one request per run, shared
+///            plan cache) and the service metrics are printed.
 ///   sql      --db FILE "SELECT ..."
 ///            Run a SQL query against the trace database.
 ///   dot      --db FILE --run ID

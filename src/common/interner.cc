@@ -1,34 +1,102 @@
 #include "common/interner.h"
 
+#include <mutex>
+
 namespace provlin::common {
 
+SymbolTable::SymbolTable(SymbolTable&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  names_ = std::move(other.names_);
+  ids_ = std::move(other.ids_);
+  other.names_.clear();
+  other.ids_.clear();
+}
+
+SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> self_lock(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> other_lock(other.mu_, std::defer_lock);
+  std::lock(self_lock, other_lock);
+  names_ = std::move(other.names_);
+  ids_ = std::move(other.ids_);
+  other.names_.clear();
+  other.ids_.clear();
+  return *this;
+}
+
 SymbolId SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Double-check: another thread may have minted the id between locks.
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  ids_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
 std::optional<SymbolId> SymbolTable::Lookup(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(name);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+std::vector<std::string> SymbolTable::names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return std::vector<std::string>(names_.begin(), names_.end());
+}
+
 void SymbolTable::Restore(std::vector<std::string> names) {
-  names_ = std::move(names);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  names_.assign(std::make_move_iterator(names.begin()),
+                std::make_move_iterator(names.end()));
   ids_.clear();
   ids_.reserve(names_.size());
   for (size_t i = 0; i < names_.size(); ++i) {
-    ids_.emplace(names_[i], static_cast<SymbolId>(i));
+    ids_.emplace(std::string_view(names_[i]), static_cast<SymbolId>(i));
   }
 }
 
 void SymbolTable::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   names_.clear();
   ids_.clear();
+}
+
+IndexDictionary::IndexDictionary(IndexDictionary&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  paths_ = std::move(other.paths_);
+  ids_ = std::move(other.ids_);
+  other.paths_.clear();
+  other.ids_.clear();
+}
+
+IndexDictionary& IndexDictionary::operator=(IndexDictionary&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> self_lock(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> other_lock(other.mu_, std::defer_lock);
+  std::lock(self_lock, other_lock);
+  paths_ = std::move(other.paths_);
+  ids_ = std::move(other.ids_);
+  other.paths_.clear();
+  other.ids_.clear();
+  return *this;
 }
 
 size_t IndexDictionary::PathHash::operator()(
@@ -42,6 +110,12 @@ size_t IndexDictionary::PathHash::operator()(
 }
 
 IndexId IndexDictionary::Intern(const std::vector<int32_t>& parts) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(parts);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(parts);
   if (it != ids_.end()) return it->second;
   IndexId id = static_cast<IndexId>(paths_.size());
@@ -52,13 +126,31 @@ IndexId IndexDictionary::Intern(const std::vector<int32_t>& parts) {
 
 std::optional<IndexId> IndexDictionary::Lookup(
     const std::vector<int32_t>& parts) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(parts);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
+const std::vector<int32_t>& IndexDictionary::PartsOf(IndexId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return paths_[id];
+}
+
+size_t IndexDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return paths_.size();
+}
+
+std::vector<std::vector<int32_t>> IndexDictionary::paths() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return std::vector<std::vector<int32_t>>(paths_.begin(), paths_.end());
+}
+
 void IndexDictionary::Restore(std::vector<std::vector<int32_t>> paths) {
-  paths_ = std::move(paths);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  paths_.assign(std::make_move_iterator(paths.begin()),
+                std::make_move_iterator(paths.end()));
   ids_.clear();
   ids_.reserve(paths_.size());
   for (size_t i = 0; i < paths_.size(); ++i) {
@@ -67,6 +159,7 @@ void IndexDictionary::Restore(std::vector<std::vector<int32_t>> paths) {
 }
 
 void IndexDictionary::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   paths_.clear();
   ids_.clear();
 }

@@ -2,7 +2,9 @@
 #define PROVLIN_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,11 +34,25 @@ inline constexpr IndexId kNoIndexId = UINT32_MAX;
 /// SymbolIds and compare integers; strings appear only at parse/render
 /// boundaries through Intern()/NameOf().
 ///
-/// Not thread-safe; the owning Database provides whatever external
-/// synchronization its own contract requires.
+/// Thread safety: Intern/Lookup/NameOf/size/names may be called from any
+/// thread — concurrent lineage queries intern plan keys and visited-set
+/// keys on shared stores, so the table synchronizes internally with a
+/// shared mutex (reads take the shared side; Intern only takes the
+/// exclusive side when it actually mints a new id). Strings live in a
+/// deque, so the references handed out by NameOf stay valid while other
+/// threads intern. Restore/Clear are exclusive *setup* operations and
+/// must not race with readers.
 class SymbolTable {
  public:
   SymbolTable() = default;
+
+  /// Movable so owners (Database) keep value semantics: the *contents*
+  /// move, each object keeps its own mutex. Moving while other threads
+  /// use either side is outside the contract.
+  SymbolTable(SymbolTable&& other) noexcept;
+  SymbolTable& operator=(SymbolTable&& other) noexcept;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
 
   /// Id of `name`, interning it on first sight.
   SymbolId Intern(std::string_view name);
@@ -45,17 +61,18 @@ class SymbolTable {
   /// paths use this so querying an unknown name cannot grow the table.
   std::optional<SymbolId> Lookup(std::string_view name) const;
 
-  /// The string a valid id denotes. Precondition: id < size().
-  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+  /// The string a valid id denotes. Precondition: id < size(). The
+  /// reference is stable for the table's lifetime (append-only deque).
+  const std::string& NameOf(SymbolId id) const;
 
-  bool Contains(SymbolId id) const { return id < names_.size(); }
+  bool Contains(SymbolId id) const { return id < size(); }
 
-  size_t size() const { return names_.size(); }
-  bool empty() const { return names_.empty(); }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
 
-  /// All interned strings in id order — the serialization image. A table
-  /// restored via Restore(names()) assigns identical ids.
-  const std::vector<std::string>& names() const { return names_; }
+  /// Snapshot of all interned strings in id order — the serialization
+  /// image. A table restored via Restore(names()) assigns identical ids.
+  std::vector<std::string> names() const;
 
   /// Replaces the contents with `names` (ids = positions). Used when
   /// loading a persisted database image.
@@ -71,8 +88,10 @@ class SymbolTable {
     }
   };
 
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId, StringHash, std::equal_to<>>
+      ids_;
 };
 
 /// Append-only dictionary of index paths (the component vectors of
@@ -80,9 +99,19 @@ class SymbolTable {
 /// IndexId. Lives in common/ and speaks raw `std::vector<int32_t>` so
 /// the identifier layer does not depend on the values library; callers
 /// pass `index.parts()`.
+///
+/// Thread safety: same contract as SymbolTable — Intern/Lookup/PartsOf
+/// synchronize internally, Restore/Clear are exclusive setup operations.
 class IndexDictionary {
  public:
   IndexDictionary() = default;
+
+  /// Movable with the same contract as SymbolTable (contents move, the
+  /// mutex stays put; no concurrent use during a move).
+  IndexDictionary(IndexDictionary&& other) noexcept;
+  IndexDictionary& operator=(IndexDictionary&& other) noexcept;
+  IndexDictionary(const IndexDictionary&) = delete;
+  IndexDictionary& operator=(const IndexDictionary&) = delete;
 
   /// Id of `parts`, interning on first sight.
   IndexId Intern(const std::vector<int32_t>& parts);
@@ -90,14 +119,15 @@ class IndexDictionary {
   /// Id of `parts` if present; does not modify the dictionary.
   std::optional<IndexId> Lookup(const std::vector<int32_t>& parts) const;
 
-  /// The path a valid id denotes. Precondition: id < size().
-  const std::vector<int32_t>& PartsOf(IndexId id) const { return paths_[id]; }
+  /// The path a valid id denotes. Precondition: id < size(). The
+  /// reference is stable for the dictionary's lifetime.
+  const std::vector<int32_t>& PartsOf(IndexId id) const;
 
-  size_t size() const { return paths_.size(); }
-  bool empty() const { return paths_.empty(); }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
 
-  /// All paths in id order — the serialization image.
-  const std::vector<std::vector<int32_t>>& paths() const { return paths_; }
+  /// Snapshot of all paths in id order — the serialization image.
+  std::vector<std::vector<int32_t>> paths() const;
 
   /// Replaces the contents with `paths` (ids = positions).
   void Restore(std::vector<std::vector<int32_t>> paths);
@@ -109,7 +139,8 @@ class IndexDictionary {
     size_t operator()(const std::vector<int32_t>& parts) const;
   };
 
-  std::vector<std::vector<int32_t>> paths_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::vector<int32_t>> paths_;
   std::unordered_map<std::vector<int32_t>, IndexId, PathHash> ids_;
 };
 

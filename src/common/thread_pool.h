@@ -1,0 +1,58 @@
+#ifndef PROVLIN_COMMON_THREAD_POOL_H_
+#define PROVLIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace provlin::common {
+
+/// Fixed-size worker pool with a single FIFO queue. Tasks receive the
+/// index of the worker running them (0 .. num_threads-1), which lets
+/// callers keep per-thread accounting (the lineage service's per-thread
+/// probe counters) without any thread-id mapping of their own.
+///
+/// Submission is thread-safe. Destruction drains the queue: every task
+/// submitted before ~ThreadPool runs to completion before the workers
+/// join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finishes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task; it runs on some worker, which passes its index.
+  void Submit(std::function<void(size_t worker)> task);
+
+  /// Convenience overload for tasks that ignore the worker index.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  std::mutex mu_;
+  std::condition_variable wake_;       // workers wait for tasks / shutdown
+  std::condition_variable idle_;       // WaitIdle waits for quiescence
+  std::deque<std::function<void(size_t)>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace provlin::common
+
+#endif  // PROVLIN_COMMON_THREAD_POOL_H_

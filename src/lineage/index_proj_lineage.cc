@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -38,7 +39,16 @@ class Planner {
  public:
   Planner(const Dataflow& flow, const workflow::DepthMap& depths,
           const InterestSet& interest, const provenance::TraceStore& store)
-      : flow_(flow), depths_(depths), interest_(interest), store_(store) {}
+      : flow_(flow),
+        depths_(depths),
+        store_(store),
+        // Interest names are interned up front (the planner interns
+        // every spec name it walks anyway), so the per-visit interest
+        // check is the id-space IsInteresting overload.
+        interest_(InterestIds::Resolve(
+            interest, [&store](const std::string& name) {
+              return std::optional<SymbolId>(store.Intern(name));
+            })) {}
 
   /// Y ∈ O_P case: apply the projection rule, emit trace queries at
   /// interesting processors, continue through the inputs. `via` names
@@ -53,16 +63,16 @@ class Planner {
       via_proc = store_.Intern(via->processor);
       via_port = store_.Intern(via->port);
     }
-    auto key = std::make_tuple(store_.Intern(port.processor),
-                               store_.Intern(port.port),
+    SymbolId proc_sym = store_.Intern(port.processor);
+    auto key = std::make_tuple(proc_sym, store_.Intern(port.port),
                                store_.InternIndex(q), via_proc, via_port,
                                /*output=*/true);
     if (!visited_.insert(key).second) return Status::OK();
     if (port.processor == kWorkflowProcessor) {
       // Reached a top-level workflow input: a lineage source.
-      if (IsInteresting(interest_, kWorkflowProcessor)) {
+      if (IsInteresting(interest_, proc_sym)) {
         TraceQuery tq;
-        tq.processor = store_.Intern(kWorkflowProcessor);
+        tq.processor = proc_sym;
         tq.port = store_.Intern(port.port);
         tq.index = q;
         tq.workflow_source = true;
@@ -79,11 +89,11 @@ class Planner {
     }
     const workflow::ProcessorDepths& pd = depths_.ForProcessor(proc->name);
     std::vector<Index> projected = ProjectOutputIndex(*proc, pd, q);
-    bool interesting = IsInteresting(interest_, proc->name);
+    bool interesting = IsInteresting(interest_, proc_sym);
     for (size_t i = 0; i < proc->inputs.size(); ++i) {
       if (interesting) {
         TraceQuery tq;
-        tq.processor = store_.Intern(proc->name);
+        tq.processor = proc_sym;
         tq.port = store_.Intern(proc->inputs[i].name);
         tq.index = projected[i];
         AddQuery(std::move(tq));
@@ -128,8 +138,8 @@ class Planner {
 
   const Dataflow& flow_;
   const workflow::DepthMap& depths_;
-  const InterestSet& interest_;
   const provenance::TraceStore& store_;
+  InterestIds interest_;
   std::set<VisitKey> visited_;
   std::set<QueryKey> query_keys_;
   std::vector<TraceQuery> queries_;
@@ -138,16 +148,21 @@ class Planner {
 
 }  // namespace
 
-IndexProjLineage::PlanKey IndexProjLineage::MakePlanKey(
+std::vector<uint64_t> IndexProjLineage::MakePlanKey(
     const PortRef& target, const Index& q, const InterestSet& interest) const {
-  std::vector<SymbolId> interest_syms;
+  std::vector<uint64_t> key;
+  key.reserve(3 + interest.size());
+  key.push_back(store_->Intern(target.processor));
+  key.push_back(store_->Intern(target.port));
+  key.push_back(store_->InternIndex(q));
+  std::vector<uint64_t> interest_syms;
   interest_syms.reserve(interest.size());
   for (const std::string& p : interest) {
     interest_syms.push_back(store_->Intern(p));
   }
   std::sort(interest_syms.begin(), interest_syms.end());
-  return PlanKey(store_->Intern(target.processor), store_->Intern(target.port),
-                 store_->InternIndex(q), std::move(interest_syms));
+  key.insert(key.end(), interest_syms.begin(), interest_syms.end());
+  return key;
 }
 
 Result<LineagePlan> IndexProjLineage::BuildPlan(
@@ -178,15 +193,71 @@ Result<LineagePlan> IndexProjLineage::BuildPlan(
   return planner.TakePlan();
 }
 
-Result<const LineagePlan*> IndexProjLineage::Plan(const PortRef& target,
-                                                  const Index& q,
-                                                  const InterestSet& interest) {
-  PlanKey key = MakePlanKey(target, q, interest);
-  auto it = plan_cache_.find(key);
-  if (it != plan_cache_.end()) return &it->second;
-  PROVLIN_ASSIGN_OR_RETURN(LineagePlan plan, BuildPlan(target, q, interest));
-  auto [pos, _] = plan_cache_.emplace(std::move(key), std::move(plan));
-  return &pos->second;
+Result<std::shared_ptr<const LineagePlan>> IndexProjLineage::Plan(
+    const PortRef& target, const Index& q, const InterestSet& interest,
+    bool* cache_hit) const {
+  std::vector<uint64_t> key = MakePlanKey(target, q, interest);
+
+  // Fast path: shared lock, entry already present.
+  std::shared_ptr<CacheEntry> entry;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_->mu);
+    auto it = cache_->entries.find(key);
+    if (it != cache_->entries.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(cache_->mu);
+    auto [it, inserted] = cache_->entries.try_emplace(std::move(key));
+    if (inserted) it->second = std::make_shared<CacheEntry>();
+    entry = it->second;
+  }
+
+  // Exactly one thread per entry runs the s1 traversal; contenders block
+  // here until the plan (or its failure) is recorded.
+  bool built_here = false;
+  std::call_once(entry->once, [&] {
+    built_here = true;
+    cache_->builds.fetch_add(1, std::memory_order_relaxed);
+    Result<LineagePlan> plan = BuildPlan(target, q, interest);
+    if (plan.ok()) {
+      entry->plan = std::move(plan).value();
+    } else {
+      entry->build_status = plan.status();
+    }
+  });
+  if (cache_hit != nullptr) *cache_hit = !built_here;
+  if (!built_here) cache_->hits.fetch_add(1, std::memory_order_relaxed);
+
+  if (!entry->build_status.ok()) {
+    // Evict failed builds so the error is not sticky (e.g. a target that
+    // becomes valid after a different workflow is loaded elsewhere).
+    Status st = entry->build_status;
+    std::unique_lock<std::shared_mutex> lock(cache_->mu);
+    auto it = cache_->entries.find(MakePlanKey(target, q, interest));
+    if (it != cache_->entries.end() && it->second == entry) {
+      cache_->entries.erase(it);
+    }
+    return st;
+  }
+  return std::shared_ptr<const LineagePlan>(entry, &entry->plan);
+}
+
+void IndexProjLineage::ClearPlanCache() {
+  std::unique_lock<std::shared_mutex> lock(cache_->mu);
+  cache_->entries.clear();
+}
+
+size_t IndexProjLineage::plan_cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_->mu);
+  return cache_->entries.size();
+}
+
+uint64_t IndexProjLineage::plans_built() const {
+  return cache_->builds.load(std::memory_order_relaxed);
+}
+
+uint64_t IndexProjLineage::plan_cache_hits() const {
+  return cache_->hits.load(std::memory_order_relaxed);
 }
 
 Status IndexProjLineage::ExecutePlan(
@@ -246,38 +317,32 @@ Status IndexProjLineage::ExecutePlan(
   return Status::OK();
 }
 
-Result<LineageAnswer> IndexProjLineage::Query(const std::string& run,
-                                              const PortRef& target,
-                                              const Index& q,
-                                              const InterestSet& interest) {
-  return QueryMultiRun({run}, target, q, interest);
-}
-
-Result<LineageAnswer> IndexProjLineage::QueryMultiRun(
-    const std::vector<std::string>& runs, const PortRef& target,
-    const Index& q, const InterestSet& interest) {
+Result<LineageAnswer> IndexProjLineage::Query(
+    const LineageRequest& request) const {
   LineageAnswer answer;
 
-  // s1: one spec-graph traversal, shared by every run in scope.
-  PlanKey key = MakePlanKey(target, q, interest);
-  answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
+  // s1: one spec-graph traversal, shared by every run in scope — and,
+  // through the shared cache, by every concurrent query on the same key.
   WallTimer t1;
-  PROVLIN_ASSIGN_OR_RETURN(const LineagePlan* plan,
-                           Plan(target, q, interest));
+  bool cache_hit = false;
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::shared_ptr<const LineagePlan> plan,
+      Plan(request.target, request.index, request.interest, &cache_hit));
+  answer.timing.plan_cache_hit = cache_hit;
   answer.timing.t1_ms = t1.ElapsedMillis();
   answer.timing.graph_steps = plan->graph_steps;
 
-  // s2: execute the generated trace queries per run.
-  storage::TableStats before = store_->db()->AggregateStats();
+  // s2: execute the generated trace queries per run. Probe counts come
+  // from this thread's counters so concurrent queries don't pollute each
+  // other's cost attribution.
+  storage::ThreadStats before = storage::ThisThreadStats();
   WallTimer t2;
-  for (const std::string& run : runs) {
+  for (const std::string& run : request.runs) {
     PROVLIN_RETURN_IF_ERROR(ExecutePlan(*plan, run, &answer.bindings));
   }
   answer.timing.t2_ms = t2.ElapsedMillis();
-  storage::TableStats after = store_->db()->AggregateStats();
   answer.timing.trace_probes =
-      (after.index_probes - before.index_probes) +
-      (after.full_scans - before.full_scans);
+      storage::ThisThreadStats().probes() - before.probes();
 
   NormalizeBindings(&answer.bindings);
   return answer;

@@ -1,14 +1,19 @@
 #ifndef PROVLIN_LINEAGE_INDEX_PROJ_LINEAGE_H_
 #define PROVLIN_LINEAGE_INDEX_PROJ_LINEAGE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "common/interner.h"
 #include "common/result.h"
+#include "lineage/engine.h"
 #include "lineage/query.h"
 #include "provenance/trace_store.h"
 #include "workflow/depth_propagation.h"
@@ -43,7 +48,7 @@ struct TraceQuery {
 /// The product of the s1 spec-graph traversal: the focused trace queries
 /// plus traversal statistics. Plans depend only on (workflow, target,
 /// index, 𝒫) — not on any run — so they are cached and shared across
-/// queries and across runs (§3, §3.4).
+/// queries, across runs, and across threads (§3, §3.4).
 struct LineagePlan {
   std::vector<TraceQuery> queries;
   uint64_t graph_steps = 0;
@@ -56,7 +61,12 @@ struct LineagePlan {
 /// processors. Query cost is therefore (near-)constant in the provenance
 /// path length and in the collection sizes — the scaling behaviour
 /// evaluated in §4.
-class IndexProjLineage {
+///
+/// The plan cache is a thread-safe shared cache: concurrent queries for
+/// the same (target, index, 𝒫) key synchronize so the spec-graph
+/// traversal runs exactly once and every other query reuses the plan —
+/// the amortization the batch LineageService leans on.
+class IndexProjLineage : public LineageEngine {
  public:
   /// `dataflow` must be flattened + validated; `store` must outlive the
   /// engine. Depth propagation (Alg. 1) runs once here.
@@ -64,35 +74,62 @@ class IndexProjLineage {
       std::shared_ptr<const workflow::Dataflow> dataflow,
       const provenance::TraceStore* store);
 
-  /// s1 only: builds (or fetches from cache) the plan for a query.
-  Result<const LineagePlan*> Plan(const workflow::PortRef& target,
-                                  const Index& q, const InterestSet& interest);
+  std::string_view name() const override { return "indexproj"; }
 
-  /// Full query over one run: s1 (cached) + s2.
-  Result<LineageAnswer> Query(const std::string& run,
-                              const workflow::PortRef& target, const Index& q,
-                              const InterestSet& interest);
+  /// s1 only: builds (or fetches from the shared cache) the plan for a
+  /// query. The returned plan is kept alive by the shared_ptr even if
+  /// the cache is cleared concurrently. `cache_hit`, when non-null, is
+  /// set to whether the plan came from the cache.
+  Result<std::shared_ptr<const LineagePlan>> Plan(
+      const workflow::PortRef& target, const Index& q,
+      const InterestSet& interest, bool* cache_hit = nullptr) const;
 
-  /// Query across several runs: the s1 traversal is performed once and
-  /// s2 executed per run with the run id as a parameter (§3.4).
-  Result<LineageAnswer> QueryMultiRun(const std::vector<std::string>& runs,
-                                      const workflow::PortRef& target,
-                                      const Index& q,
-                                      const InterestSet& interest);
+  /// Full query: s1 once (cached, shared) + s2 per run in scope (§3.4).
+  Result<LineageAnswer> Query(const LineageRequest& request) const override;
+
+  using LineageEngine::Query;
+  using LineageEngine::QueryMultiRun;
 
   /// Wipes the plan cache (used by benches to measure cold planning).
-  void ClearPlanCache() { plan_cache_.clear(); }
-  size_t plan_cache_size() const { return plan_cache_.size(); }
+  /// Safe under concurrent queries: in-flight plans stay alive through
+  /// their shared_ptr.
+  void ClearPlanCache();
+  size_t plan_cache_size() const;
+
+  /// Monotonic counters: how many plans were actually built (one per
+  /// distinct key under contention) vs. served from the cache.
+  uint64_t plans_built() const;
+  uint64_t plan_cache_hits() const;
 
   const workflow::DepthMap& depths() const { return depths_; }
 
  private:
+  /// One cache slot. `once` arbitrates concurrent builders of the same
+  /// key: the winner runs the s1 traversal, everyone else blocks briefly
+  /// and then reads the finished plan.
+  struct CacheEntry {
+    std::once_flag once;
+    Status build_status;
+    LineagePlan plan;
+  };
+
+  /// Shared, internally synchronized plan cache. Lives behind a
+  /// unique_ptr so the engine stays movable (single-threaded moves only;
+  /// moving while queries are in flight is outside the contract).
+  struct PlanCache {
+    mutable std::shared_mutex mu;
+    std::map<std::vector<uint64_t>, std::shared_ptr<CacheEntry>> entries;
+    std::atomic<uint64_t> builds{0};
+    std::atomic<uint64_t> hits{0};
+  };
+
   IndexProjLineage(std::shared_ptr<const workflow::Dataflow> dataflow,
                    workflow::DepthMap depths,
                    const provenance::TraceStore* store)
       : dataflow_(std::move(dataflow)),
         depths_(std::move(depths)),
-        store_(store) {}
+        store_(store),
+        cache_(std::make_unique<PlanCache>()) {}
 
   Result<LineagePlan> BuildPlan(const workflow::PortRef& target,
                                 const Index& q,
@@ -103,18 +140,16 @@ class IndexProjLineage {
                      std::vector<LineageBinding>* bindings) const;
 
   /// Plan cache key: (target processor, target port, index id, resolved
-  /// interest ids) — a packed integer tuple instead of a concatenated
+  /// interest ids) — a packed integer vector instead of a concatenated
   /// string, so cache probes never hash plan-sized strings.
-  using PlanKey =
-      std::tuple<common::SymbolId, common::SymbolId, common::IndexId,
-                 std::vector<common::SymbolId>>;
-  PlanKey MakePlanKey(const workflow::PortRef& target, const Index& q,
-                      const InterestSet& interest) const;
+  std::vector<uint64_t> MakePlanKey(const workflow::PortRef& target,
+                                    const Index& q,
+                                    const InterestSet& interest) const;
 
   std::shared_ptr<const workflow::Dataflow> dataflow_;
   workflow::DepthMap depths_;
   const provenance::TraceStore* store_;
-  std::map<PlanKey, LineagePlan> plan_cache_;
+  std::unique_ptr<PlanCache> cache_;
 };
 
 }  // namespace provlin::lineage

@@ -31,19 +31,13 @@ class Traversal {
       : store_(store),
         run_(std::move(run)),
         run_sym_(run_sym),
-        all_interesting_(interest.empty()),
-        workflow_sym_(store.Intern(kWorkflowProcessor)) {
-    for (const std::string& name : interest) {
-      // Names never recorded can't match any trace row; dropping them
-      // here keeps the hot check a pure integer set lookup.
-      auto sym = store.LookupSymbol(name);
-      if (sym.has_value()) interest_syms_.insert(*sym);
-    }
-  }
-
-  bool Interesting(SymbolId processor) const {
-    return all_interesting_ || interest_syms_.count(processor) > 0;
-  }
+        workflow_sym_(store.Intern(kWorkflowProcessor)),
+        // Names never recorded can't match any trace row; Resolve drops
+        // them so the hot check is a pure integer set lookup.
+        interest_(InterestIds::Resolve(
+            interest, [&store](const std::string& name) {
+              return store.LookupSymbol(name);
+            })) {}
 
   Status Visit(SymbolId processor, SymbolId port, const Index& q, Side side) {
     ++steps_;
@@ -57,13 +51,13 @@ class Traversal {
           store_.FindProducing(run_sym_, processor, port, q));
       if (processor == workflow_sym_) {
         // Workflow-input source rows: traversal terminates here.
-        if (Interesting(workflow_sym_)) {
+        if (IsInteresting(interest_, workflow_sym_)) {
           PROVLIN_RETURN_IF_ERROR(
               AppendSourceBindings(store_, run_, rows, q, &bindings_));
         }
         return Status::OK();
       }
-      bool interesting = Interesting(processor);
+      bool interesting = IsInteresting(interest_, processor);
       std::set<std::pair<SymbolId, Index>> next;  // (in_port, index)
       for (const XformRecord& row : rows) {
         if (!row.has_in) continue;
@@ -101,9 +95,8 @@ class Traversal {
   const provenance::TraceStore& store_;
   std::string run_;
   SymbolId run_sym_;
-  bool all_interesting_;
   SymbolId workflow_sym_;
-  std::set<SymbolId> interest_syms_;
+  InterestIds interest_;
   std::set<std::tuple<SymbolId, SymbolId, common::IndexId, bool>> visited_;
   std::vector<LineageBinding> bindings_;
   uint64_t steps_ = 0;
@@ -111,12 +104,14 @@ class Traversal {
 
 }  // namespace
 
-Result<LineageAnswer> NaiveLineage::Query(const std::string& run,
-                                          const PortRef& target,
-                                          const Index& q,
-                                          const InterestSet& interest) const {
+Result<LineageAnswer> NaiveLineage::QueryOneRun(
+    const std::string& run, const PortRef& target, const Index& q,
+    const InterestSet& interest) const {
   LineageAnswer answer;
-  storage::TableStats before = store_->db()->AggregateStats();
+  // Probe counts come from the calling thread's counters, not the global
+  // aggregate: under the concurrent service the global delta would charge
+  // this query with every other worker's probes.
+  storage::ThreadStats before = storage::ThisThreadStats();
   WallTimer timer;
 
   // Resolve the query to id space once; names the trace never recorded
@@ -144,20 +139,17 @@ Result<LineageAnswer> NaiveLineage::Query(const std::string& run,
   NormalizeBindings(&answer.bindings);
   answer.timing.t2_ms = timer.ElapsedMillis();
   answer.timing.graph_steps = traversal.steps();
-  storage::TableStats after = store_->db()->AggregateStats();
   answer.timing.trace_probes =
-      (after.index_probes - before.index_probes) +
-      (after.full_scans - before.full_scans);
+      storage::ThisThreadStats().probes() - before.probes();
   return answer;
 }
 
-Result<LineageAnswer> NaiveLineage::QueryMultiRun(
-    const std::vector<std::string>& runs, const PortRef& target,
-    const Index& q, const InterestSet& interest) const {
+Result<LineageAnswer> NaiveLineage::Query(const LineageRequest& request) const {
   LineageAnswer combined;
-  for (const std::string& run : runs) {
-    PROVLIN_ASSIGN_OR_RETURN(LineageAnswer one,
-                             Query(run, target, q, interest));
+  for (const std::string& run : request.runs) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        LineageAnswer one,
+        QueryOneRun(run, request.target, request.index, request.interest));
     combined.bindings.insert(combined.bindings.end(), one.bindings.begin(),
                              one.bindings.end());
     combined.timing.t1_ms += one.timing.t1_ms;

@@ -2,9 +2,11 @@
 #define PROVLIN_LINEAGE_NAIVE_LINEAGE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "lineage/engine.h"
 #include "lineage/query.h"
 #include "provenance/trace_store.h"
 
@@ -16,27 +18,34 @@ namespace provlin::lineage {
 /// inversion at processors, xfer lookup at arcs), so the total cost
 /// grows with the length of the provenance path — the behaviour Fig. 9
 /// quantifies. The workflow specification is never consulted.
-class NaiveLineage {
+///
+/// Stateless between queries: concurrent Query() calls on a quiescent
+/// store are safe.
+class NaiveLineage : public LineageEngine {
  public:
   /// The store must outlive the engine.
   explicit NaiveLineage(const provenance::TraceStore* store)
       : store_(store) {}
 
-  /// Computes the lineage of ⟨target[q]⟩ within one run. `target` may be
-  /// any processor port or a workflow output/input port; the side
-  /// (output vs. input) is auto-detected from the trace.
-  Result<LineageAnswer> Query(const std::string& run,
-                              const workflow::PortRef& target, const Index& q,
-                              const InterestSet& interest) const;
+  std::string_view name() const override { return "naive"; }
 
-  /// Multi-run form: NI has nothing to share across runs, so this is a
-  /// plain loop — one full provenance-graph traversal per run (§3.4).
-  Result<LineageAnswer> QueryMultiRun(const std::vector<std::string>& runs,
-                                      const workflow::PortRef& target,
-                                      const Index& q,
-                                      const InterestSet& interest) const;
+  /// Computes the lineage of ⟨target[index]⟩ over the request's runs.
+  /// The target may be any processor port or a workflow output/input
+  /// port; the side (output vs. input) is auto-detected from the trace.
+  /// NI has nothing to share across runs, so several runs are a plain
+  /// loop — one full provenance-graph traversal per run (§3.4).
+  Result<LineageAnswer> Query(const LineageRequest& request) const override;
+
+  using LineageEngine::Query;
+  using LineageEngine::QueryMultiRun;
 
  private:
+  /// One full Def. 1 traversal of a single run.
+  Result<LineageAnswer> QueryOneRun(const std::string& run,
+                                    const workflow::PortRef& target,
+                                    const Index& q,
+                                    const InterestSet& interest) const;
+
   const provenance::TraceStore* store_;
 };
 

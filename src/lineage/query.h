@@ -3,8 +3,10 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "values/index.h"
 #include "workflow/dataflow.h"
 
@@ -20,6 +22,35 @@ using InterestSet = std::set<std::string>;
 inline bool IsInteresting(const InterestSet& interest,
                           const std::string& processor) {
   return interest.empty() || interest.count(processor) > 0;
+}
+
+/// Id-space form of 𝒫: the interest names resolved to SymbolIds once at
+/// the top of a traversal, so the per-visit interest check compares
+/// integers instead of re-hashing strings.
+struct InterestIds {
+  /// Empty 𝒫 = unfocused: everything is interesting.
+  bool all = false;
+  std::set<common::SymbolId> ids;
+
+  /// Resolves `interest` through `resolve` — any callable mapping a name
+  /// to std::optional<SymbolId>. Names the resolver does not know are
+  /// dropped: they can never match a visited processor id.
+  template <typename ResolveFn>
+  static InterestIds Resolve(const InterestSet& interest, ResolveFn&& resolve) {
+    InterestIds out;
+    out.all = interest.empty();
+    for (const std::string& name : interest) {
+      std::optional<common::SymbolId> sym = resolve(name);
+      if (sym.has_value()) out.ids.insert(*sym);
+    }
+    return out;
+  }
+};
+
+/// Id-space overload of IsInteresting — the hot-path form.
+inline bool IsInteresting(const InterestIds& interest,
+                          common::SymbolId processor) {
+  return interest.all || interest.ids.count(processor) > 0;
 }
 
 /// One element of a lineage answer: a binding ⟨P:X[p], v⟩ that the

@@ -1,0 +1,174 @@
+#include "lineage/service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/timer.h"
+#include "storage/table.h"
+
+namespace provlin::lineage {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Requests sharing this key share an (engine, plan) pair — the grouping
+/// granularity of ServiceOptions::group_same_plan. The interest set is
+/// part of the plan identity, the run list is not.
+std::tuple<const void*, std::string> GroupKey(const ServiceRequest& req) {
+  std::string plan_repr = req.request.target.ToString() +
+                          req.request.index.ToString() + "|";
+  for (const std::string& p : req.request.interest) plan_repr += p + ",";
+  return {static_cast<const void*>(req.engine), std::move(plan_repr)};
+}
+
+}  // namespace
+
+std::string ServiceMetrics::ToString() const {
+  std::string out;
+  out += "requests=" + std::to_string(requests);
+  out += " batches=" + std::to_string(batches);
+  out += " failed=" + std::to_string(failed_requests);
+  out += " plan_cache_hit_rate=" +
+         std::to_string(plan_cache_hit_rate());
+  out += " trace_probes=" + std::to_string(trace_probes);
+  out += " avg_queue_wait_ms=" +
+         std::to_string(requests == 0 ? 0.0
+                                      : total_queue_wait_ms /
+                                            static_cast<double>(requests));
+  out += " last_batch_wall_ms=" + std::to_string(last_batch_wall_ms);
+  out += " per_thread_probes=[";
+  for (size_t i = 0; i < per_thread_probes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(per_thread_probes[i]);
+  }
+  out += "]";
+  return out;
+}
+
+LineageService::LineageService(ServiceOptions options)
+    : options_(options), pool_(options.num_threads) {
+  metrics_.per_thread_probes.assign(pool_.num_threads(), 0);
+}
+
+std::vector<ServiceResponse> LineageService::ExecuteBatch(
+    const std::vector<ServiceRequest>& batch) {
+  std::vector<ServiceResponse> responses(batch.size());
+  if (batch.empty()) return responses;
+
+  // Partition the batch into worker tasks: one task per plan group when
+  // grouping is on (the group's requests run back-to-back on one worker,
+  // so the plan is built once and reused without cache traffic), one
+  // task per request otherwise.
+  std::vector<std::vector<size_t>> tasks;
+  if (options_.group_same_plan) {
+    std::map<std::tuple<const void*, std::string>, size_t> group_slot;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto key = GroupKey(batch[i]);
+      auto it = group_slot.find(key);
+      if (it == group_slot.end()) {
+        group_slot.emplace(std::move(key), tasks.size());
+        tasks.push_back({i});
+      } else {
+        tasks[it->second].push_back(i);
+      }
+    }
+  } else {
+    tasks.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) tasks.push_back({i});
+  }
+
+  // Per-worker probe accumulation: each worker only ever writes its own
+  // slot (tasks on one worker run sequentially), so plain integers are
+  // race-free here.
+  std::vector<uint64_t> worker_probes(pool_.num_threads(), 0);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = tasks.size();
+
+  Clock::time_point submit_time = Clock::now();
+  WallTimer batch_timer;
+
+  for (std::vector<size_t>& task_indices : tasks) {
+    pool_.Submit([&, indices = std::move(task_indices)](size_t worker) {
+      double queue_wait = MillisSince(submit_time);
+      for (size_t i : indices) {
+        const ServiceRequest& req = batch[i];
+        ServiceResponse& resp = responses[i];
+        resp.queue_wait_ms = queue_wait;
+        resp.worker = worker;
+        storage::ThreadStats before = storage::ThisThreadStats();
+        if (req.engine == nullptr) {
+          resp.status = Status::InvalidArgument("request has no engine");
+        } else {
+          Result<LineageAnswer> answer = req.engine->Query(req.request);
+          if (answer.ok()) {
+            resp.answer = std::move(answer).value();
+          } else {
+            resp.status = answer.status();
+          }
+        }
+        worker_probes[worker] +=
+            storage::ThisThreadStats().probes() - before.probes();
+        // Only the first request of a chained group pays the queue wait;
+        // the rest start immediately after their predecessor.
+        queue_wait = 0.0;
+      }
+      {
+        // Notify under the lock: the moment the count hits zero the
+        // waiter may return and destroy done_cv, so the last touch of
+        // the condvar must happen-before the waiter's re-acquire.
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      }
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  double batch_wall_ms = batch_timer.ElapsedMillis();
+
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.batches += 1;
+  metrics_.last_batch_wall_ms = batch_wall_ms;
+  for (const ServiceResponse& resp : responses) {
+    metrics_.requests += 1;
+    if (!resp.status.ok()) metrics_.failed_requests += 1;
+    if (resp.status.ok() && resp.answer.timing.plan_cache_hit) {
+      metrics_.plan_cache_hits += 1;
+    }
+    metrics_.total_queue_wait_ms += resp.queue_wait_ms;
+    if (resp.status.ok()) {
+      metrics_.total_exec_ms += resp.answer.timing.total_ms();
+      metrics_.trace_probes += resp.answer.timing.trace_probes;
+    }
+  }
+  for (size_t w = 0; w < worker_probes.size(); ++w) {
+    metrics_.per_thread_probes[w] += worker_probes[w];
+  }
+  return responses;
+}
+
+ServiceMetrics LineageService::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+void LineageService::ResetMetrics() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_ = ServiceMetrics{};
+  metrics_.per_thread_probes.assign(pool_.num_threads(), 0);
+}
+
+}  // namespace provlin::lineage

@@ -170,11 +170,11 @@ Status TraceStore::LogRow(uint8_t table_tag, const storage::Row& row) {
   if (wal_ == nullptr) return Status::OK();
   // Flush symbol definitions minted since the last logged record, so a
   // replay re-interns them in id order before any row references them.
-  const std::vector<std::string>& names = db_->symbols().names();
-  while (wal_syms_logged_ < names.size()) {
+  const common::SymbolTable& symbols = db_->symbols();
+  while (wal_syms_logged_ < symbols.size()) {
     storage::BinaryWriter w;
     w.WriteU8(kTagSymbol);
-    w.WriteString(names[wal_syms_logged_]);
+    w.WriteString(symbols.NameOf(static_cast<SymbolId>(wal_syms_logged_)));
     PROVLIN_RETURN_IF_ERROR(wal_->Append(w.buffer()));
     ++wal_syms_logged_;
   }

@@ -84,10 +84,12 @@ Status Database::Save(const std::string& path) const {
   w.WriteU32(kVersion);
   // Identifier dictionaries: ids are vector positions, so writing the
   // vectors in order round-trips them exactly.
-  w.WriteU32(static_cast<uint32_t>(symbols_.size()));
-  for (const std::string& name : symbols_.names()) w.WriteString(name);
-  w.WriteU32(static_cast<uint32_t>(index_dict_.size()));
-  for (const auto& ipath : index_dict_.paths()) {
+  const std::vector<std::string> sym_names = symbols_.names();
+  w.WriteU32(static_cast<uint32_t>(sym_names.size()));
+  for (const std::string& name : sym_names) w.WriteString(name);
+  const std::vector<std::vector<int32_t>> ipaths = index_dict_.paths();
+  w.WriteU32(static_cast<uint32_t>(ipaths.size()));
+  for (const auto& ipath : ipaths) {
     w.WriteU32(static_cast<uint32_t>(ipath.size()));
     for (int32_t p : ipath) w.WriteU32(static_cast<uint32_t>(p));
   }

@@ -17,11 +17,14 @@ namespace provlin::storage {
 /// the full database image (indexes are rebuilt on load, dictionaries
 /// are persisted verbatim so ids stay stable across save/load).
 ///
-/// Thread safety: none — like the paper's single-user desktop setting,
-/// one thread owns a Database. Const query paths bump the access-path
-/// statistics counters, but those are relaxed atomics, so concurrent
-/// readers would only race on the catalog itself. Share across threads
-/// with external synchronization, or give each thread its own image.
+/// Thread safety: writes are single-threaded (one thread owns the
+/// capture side, like the paper's single-user desktop setting), but the
+/// read path is safe to share: const query paths only bump relaxed
+/// atomic statistics counters (plus thread_local mirrors), and the
+/// identifier dictionaries synchronize internally, so any number of
+/// threads may query a quiescent database concurrently — the contract
+/// the batch lineage service relies on. Interleaving writes with reads
+/// still requires external synchronization.
 class Database {
  public:
   Database() = default;

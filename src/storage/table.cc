@@ -2,6 +2,11 @@
 
 namespace provlin::storage {
 
+ThreadStats& ThisThreadStats() {
+  thread_local ThreadStats stats;
+  return stats;
+}
+
 TableStats Table::StatsCounters::Snapshot() const {
   TableStats s;
   s.inserts = inserts.load(std::memory_order_relaxed);
@@ -108,6 +113,7 @@ Result<Row> Table::Get(uint64_t rid) const {
     return Status::NotFound("row " + std::to_string(rid) + " not found");
   }
   stats_.Bump(stats_.rows_examined);
+  ++ThisThreadStats().rows_examined;
   return rows_[rid];
 }
 
@@ -129,6 +135,7 @@ Result<std::vector<uint64_t>> Table::IndexLookup(std::string_view index_name,
         std::to_string(idx->column_idx.size()));
   }
   stats_.Bump(stats_.index_probes);
+  ++ThisThreadStats().index_probes;
   if (idx->btree != nullptr) return idx->btree->Lookup(key);
   return idx->hash->Lookup(key);
 }
@@ -143,6 +150,7 @@ Result<std::vector<uint64_t>> Table::IndexPrefixLookup(
     return Status::InvalidArgument("prefix longer than index arity");
   }
   stats_.Bump(stats_.index_probes);
+  ++ThisThreadStats().index_probes;
   return idx->btree->PrefixLookup(prefix);
 }
 
@@ -153,12 +161,15 @@ Result<std::vector<uint64_t>> Table::IndexRangeLookup(
     return Status::InvalidArgument("range lookup requires a BTree index");
   }
   stats_.Bump(stats_.index_probes);
+  ++ThisThreadStats().index_probes;
   return idx->btree->RangeLookup(lo, hi);
 }
 
 std::vector<uint64_t> Table::FullScan() const {
   stats_.Bump(stats_.full_scans);
   stats_.Bump(stats_.rows_examined, rows_.size());
+  ++ThisThreadStats().full_scans;
+  ThisThreadStats().rows_examined += rows_.size();
   std::vector<uint64_t> out;
   out.reserve(live_rows_);
   for (uint64_t rid = 0; rid < rows_.size(); ++rid) {

@@ -36,6 +36,24 @@ struct TableStats {
   uint64_t rows_examined = 0;
 };
 
+/// Per-thread access-path counters, mirroring the read-side TableStats
+/// fields. The global atomics aggregate across all threads, so a delta
+/// of AggregateStats() taken around a query is meaningless once queries
+/// run concurrently — it charges every other thread's probes to this
+/// query. Read paths therefore also bump these plain thread_local
+/// counters, and per-query cost attribution (LineageTiming.trace_probes,
+/// the service's per-thread metrics) uses deltas of ThisThreadStats().
+struct ThreadStats {
+  uint64_t index_probes = 0;
+  uint64_t full_scans = 0;
+  uint64_t rows_examined = 0;
+
+  uint64_t probes() const { return index_probes + full_scans; }
+};
+
+/// The calling thread's counters (monotonic; never reset by the layer).
+ThreadStats& ThisThreadStats();
+
 /// Heap table with optional secondary indexes. Rows are addressed by a
 /// stable row id (their insertion ordinal); deletes tombstone in place.
 class Table {

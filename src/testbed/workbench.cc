@@ -22,6 +22,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(
       lineage::IndexProjLineage engine,
       lineage::IndexProjLineage::Create(wb->flow_, &*wb->store_));
   wb->index_proj_.emplace(std::move(engine));
+  wb->naive_.emplace(&*wb->store_);
   return wb;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "engine/executor.h"
+#include "lineage/engine.h"
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
 #include "provenance/trace_store.h"
@@ -56,6 +57,15 @@ class Workbench {
   /// The IndexProj engine (owned; plan cache persists across queries).
   lineage::IndexProjLineage* IndexProj() { return &*index_proj_; }
 
+  /// Stable engine instance by name ("naive" | "indexproj"), as the
+  /// LineageEngine interface — what service batches and interface-level
+  /// tests address. Returns nullptr for unknown names.
+  const lineage::LineageEngine* Engine(std::string_view name) {
+    if (name == "naive") return &*naive_;
+    if (name == "indexproj") return &*index_proj_;
+    return nullptr;
+  }
+
  private:
   Workbench() = default;
 
@@ -63,6 +73,7 @@ class Workbench {
   std::optional<provenance::TraceStore> store_;
   std::shared_ptr<const workflow::Dataflow> flow_;
   std::shared_ptr<engine::ActivityRegistry> registry_;
+  std::optional<lineage::NaiveLineage> naive_;
   std::optional<lineage::IndexProjLineage> index_proj_;
 };
 

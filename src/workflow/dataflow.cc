@@ -1,12 +1,20 @@
 #include "workflow/dataflow.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "workflow/port_space.h"
 
 namespace provlin::workflow {
 
 const PortSpace& Dataflow::Ports() const {
+  // The lazy build must not race when two threads warm the cache of a
+  // shared frozen graph at once. A single process-wide mutex suffices:
+  // it is only contended on cold builds, and keeps Dataflow copyable.
+  // Mutators still invalidate without locking — mutation while readers
+  // are active is outside the contract (the graph must be frozen).
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lock(build_mu);
   if (port_space_ == nullptr) {
     port_space_ = std::make_shared<const PortSpace>(*this);
   }

@@ -145,6 +145,8 @@ class Dataflow {
   /// Resolved dense-slot namespace over every addressable port. Built on
   /// first use (Validate() warms it) and cached; mutators invalidate the
   /// cache, so the reference is stable only while the graph is frozen.
+  /// Safe to call from concurrent readers of a frozen graph (the lazy
+  /// build is serialized); mutators must not race with readers.
   const PortSpace& Ports() const;
 
  private:

@@ -203,6 +203,35 @@ TEST_F(CliTest, MultiRunLineage) {
   EXPECT_NE(out_.str().find("(3 bindings"), std::string::npos);
 }
 
+TEST_F(CliTest, ThreadedBatchLineageMatchesSequential) {
+  for (int d = 2; d <= 4; ++d) {
+    ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
+                   db_path_, "--run", "d" + std::to_string(d), "--input",
+                   "ListSize=" + std::to_string(d)}),
+              0)
+        << err_.str();
+  }
+  std::vector<std::string> query = {
+      "lineage", "--db", db_path_, "--workflow", "builtin:synthetic:2",
+      "--run", "d2", "--run", "d3", "--run", "d4",
+      "--target", "workflow:RESULT", "--index", "1,1",
+      "--focus", "LISTGEN_1"};
+  ASSERT_EQ(Run(query), 0) << err_.str();
+  std::string sequential = out_.str();
+
+  query.push_back("--threads");
+  query.push_back("4");
+  ASSERT_EQ(Run(query), 0) << err_.str();
+  std::string batched = out_.str();
+  // Same bindings, plus a service-metrics line.
+  EXPECT_NE(batched.find("(3 bindings"), std::string::npos) << batched;
+  EXPECT_NE(batched.find("service: requests=3"), std::string::npos) << batched;
+  for (const char* run : {"d2:", "d3:", "d4:"}) {
+    EXPECT_NE(batched.find(run), std::string::npos) << batched;
+    EXPECT_NE(sequential.find(run), std::string::npos);
+  }
+}
+
 TEST_F(CliTest, ExportCommand) {
   ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:1", "--db",
                  db_path_, "--run", "r0", "--input", "ListSize=2"}),

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/builtin_activities.h"
+#include "lineage/engine.h"
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
 #include "tests/random_workflow.h"
@@ -82,7 +83,12 @@ TEST_P(EquivalenceTest, IndexProjMatchesNaiveOnRandomWorkflows) {
     interests.push_back(half);
   }
 
-  NaiveLineage naive = wb->Naive();
+  // Both algorithms through the uniform engine interface — the property
+  // is about the abstract contract, not the concrete types.
+  const LineageEngine* naive = wb->Engine("naive");
+  const LineageEngine* index_proj = wb->Engine("indexproj");
+  ASSERT_NE(naive, nullptr);
+  ASSERT_NE(index_proj, nullptr);
   int checked = 0;
   for (const Target& target : targets) {
     // Query indices: whole value, plus up to two random leaf indices and
@@ -100,11 +106,13 @@ TEST_P(EquivalenceTest, IndexProjMatchesNaiveOnRandomWorkflows) {
 
     for (const Index& q : indices) {
       for (const InterestSet& interest : interests) {
-        auto ni = naive.Query("r0", target.port, q, interest);
+        LineageRequest req =
+            LineageRequest::SingleRun("r0", target.port, q, interest);
+        auto ni = naive->Query(req);
         ASSERT_TRUE(ni.ok())
             << "NI failed on " << target.port.ToString() << q.ToString()
             << ": " << ni.status().ToString();
-        auto ip = wb->IndexProj()->Query("r0", target.port, q, interest);
+        auto ip = index_proj->Query(req);
         ASSERT_TRUE(ip.ok())
             << "IndexProj failed on " << target.port.ToString()
             << q.ToString() << ": " << ip.status().ToString();
