@@ -6,6 +6,7 @@
 // parallelism is exhausted (the shared plan cache serves every repeat
 // from memory), NI scales with the trace-probe work per request.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -13,6 +14,8 @@
 
 #include "bench/bench_util.h"
 #include "lineage/engine.h"
+#include "lineage/index_proj_lineage.h"
+#include "lineage/naive_lineage.h"
 #include "lineage/service.h"
 #include "testbed/synthetic.h"
 #include "testbed/workbench.h"
@@ -76,7 +79,8 @@ int main() {
   };
 
   bench::TablePrinter table({"engine", "threads", "best_ms", "qps",
-                             "speedup", "hit_rate", "probes"});
+                             "speedup", "hit_rate", "probes", "descents"});
+  bench::JsonWriter json("service");
   const size_t thread_counts[] = {1, 2, 4, 8};
   for (const char* name : {"naive", "indexproj"}) {
     const lineage::LineageEngine* engine = wb->Engine(name);
@@ -109,11 +113,100 @@ int main() {
       std::snprintf(speedup, sizeof(speedup), "%.2fx", qps / base_qps);
       std::snprintf(qps_str, sizeof(qps_str), "%.0f", qps);
       std::snprintf(rate, sizeof(rate), "%.2f", m.plan_cache_hit_rate());
+      uint64_t batches = m.batches ? m.batches : 1;
       table.AddRow({name, std::to_string(threads), bench::Ms(best), qps_str,
-                    speedup, rate,
-                    bench::Num(m.trace_probes / (m.batches ? m.batches : 1))});
+                    speedup, rate, bench::Num(m.trace_probes / batches),
+                    bench::Num(m.trace_descents / batches)});
+      // Thread-raced memo sharing makes these counters batch-schedule
+      // dependent; record them but keep them out of the baseline check.
+      json.Add(std::string(name) + "_t" + std::to_string(threads), best,
+               m.trace_probes / batches, m.trace_descents / batches,
+               /*deterministic=*/false);
     }
   }
   table.Print();
+
+  // Descent amortization on the 256-request batch, measured
+  // single-threaded so the counters are deterministic: the pre-batching
+  // baseline (single-probe engines, no probe memo) against the default
+  // configuration (frontier/plan-batched probes + shared probe memo).
+  std::printf(
+      "\nDescent amortization (single-threaded, batch=%d requests):\n\n",
+      kBatch);
+  lineage::NaiveLineage naive_single(
+      wb->store(), lineage::ProbeExecution::kSingleProbe);
+  auto ip_single = CheckResult(
+      lineage::IndexProjLineage::Create(
+          wb->flow(), wb->store(), lineage::ProbeExecution::kSingleProbe),
+      "single-probe engine");
+  bench::TablePrinter amort({"engine", "mode", "best_ms", "probes",
+                             "descents", "memo_hits", "amortization"});
+  for (const char* name : {"naive", "indexproj"}) {
+    const lineage::LineageEngine* batched = wb->Engine(name);
+    const lineage::LineageEngine* single =
+        std::string(name) == "naive"
+            ? static_cast<const lineage::LineageEngine*>(&naive_single)
+            : static_cast<const lineage::LineageEngine*>(&ip_single);
+    // One service per mode, measured interleaved: the modes differ by
+    // less than the machine drifts between two sequential blocks.
+    lineage::ServiceOptions single_opts;
+    single_opts.num_threads = 1;
+    single_opts.group_same_plan = false;
+    single_opts.dedupe_probes = false;
+    lineage::LineageService single_service(single_opts);
+    std::vector<lineage::ServiceRequest> single_batch = make_batch(single);
+
+    lineage::ServiceOptions batched_opts = single_opts;
+    batched_opts.dedupe_probes = true;  // memo is part of the new mode
+    lineage::LineageService batched_service(batched_opts);
+    std::vector<lineage::ServiceRequest> batched_batch = make_batch(batched);
+
+    auto run_on = [](lineage::LineageService* service,
+                     const std::vector<lineage::ServiceRequest>& batch)
+        -> Status {
+      std::vector<lineage::ServiceResponse> responses =
+          service->ExecuteBatch(batch);
+      for (const lineage::ServiceResponse& resp : responses) {
+        PROVLIN_RETURN_IF_ERROR(resp.status);
+      }
+      return Status::OK();
+    };
+    bench::CheckOk(run_on(&single_service, single_batch), "warm single");
+    bench::CheckOk(run_on(&batched_service, batched_batch), "warm batched");
+    auto [batched_best, single_best] = CheckResult(
+        bench::BestOfFiveInterleaved(
+            [&]() { return run_on(&batched_service, batched_batch); },
+            [&]() { return run_on(&single_service, single_batch); },
+            /*calls_per_round=*/2),
+        "amortization batch");
+
+    uint64_t single_descents = 0;
+    for (bool use_batched : {false, true}) {
+      lineage::ServiceMetrics m = use_batched ? batched_service.metrics()
+                                              : single_service.metrics();
+      uint64_t batches = m.batches ? m.batches : 1;
+      uint64_t probes = m.trace_probes / batches;
+      uint64_t descents = m.trace_descents / batches;
+      uint64_t hits = m.probe_memo_hits / batches;
+      if (!use_batched) single_descents = descents;
+      char ratio[32];
+      if (use_batched && descents > 0) {
+        std::snprintf(ratio, sizeof(ratio), "%.2fx fewer",
+                      static_cast<double>(single_descents) /
+                          static_cast<double>(descents));
+      } else {
+        std::snprintf(ratio, sizeof(ratio), "baseline");
+      }
+      double best = use_batched ? batched_best : single_best;
+      amort.AddRow({name, use_batched ? "batched" : "single-probe",
+                    bench::Ms(best), bench::Num(probes), bench::Num(descents),
+                    bench::Num(hits), ratio});
+      json.Add(std::string("batch256_") + name +
+                   (use_batched ? "_batched" : "_single"),
+               best, probes, descents);
+    }
+  }
+  amort.Print();
+  json.Write();
   return 0;
 }

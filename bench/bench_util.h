@@ -1,9 +1,12 @@
 #ifndef PROVLIN_BENCH_BENCH_UTIL_H_
 #define PROVLIN_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -26,6 +29,32 @@ inline Result<double> BestOfFive(const std::function<Status()>& fn) {
     if (best < 0 || ms < best) best = ms;
   }
   return best;
+}
+
+/// Fair A/B variant of BestOfFive: alternates the two measurements
+/// round-by-round so slow machine drift (frequency scaling, cache
+/// pollution from neighbours) lands on both sides equally, and returns
+/// {best_a, best_b} as per-call times. Two back-to-back BestOfFive
+/// calls can disagree by more than the effect being measured; this
+/// variant cannot. Each round times a short steady-state burst rather
+/// than one call — sub-millisecond single-shot timings sit at clock
+/// resolution and flip the comparison run to run.
+inline Result<std::pair<double, double>> BestOfFiveInterleaved(
+    const std::function<Status()>& a, const std::function<Status()>& b,
+    int calls_per_round = 8) {
+  double best_a = -1.0;
+  double best_b = -1.0;
+  for (int i = 0; i < kRepetitions; ++i) {
+    WallTimer timer_a;
+    for (int r = 0; r < calls_per_round; ++r) PROVLIN_RETURN_IF_ERROR(a());
+    double ms = timer_a.ElapsedMillis() / calls_per_round;
+    if (best_a < 0 || ms < best_a) best_a = ms;
+    WallTimer timer_b;
+    for (int r = 0; r < calls_per_round; ++r) PROVLIN_RETURN_IF_ERROR(b());
+    ms = timer_b.ElapsedMillis() / calls_per_round;
+    if (best_b < 0 || ms < best_b) best_b = ms;
+  }
+  return std::make_pair(best_a, best_b);
 }
 
 /// Minimal aligned-column table printer for the figure benches.
@@ -73,6 +102,70 @@ inline std::string Ms(double v) {
 }
 
 inline std::string Num(uint64_t v) { return std::to_string(v); }
+
+/// Machine-readable bench output: every figure bench emits a
+/// BENCH_<name>.json next to its stdout table, carrying best-of-five
+/// wall time plus the logical-probe and physical-descent counters per
+/// measured configuration. tools/check_bench_counts.py diffs the
+/// deterministic entries against the baselines checked in under
+/// bench/baselines/ — probe counts must match exactly, descents must
+/// not regress. Set PROVLIN_BENCH_JSON_DIR to redirect the output
+/// directory (default: the working directory).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// `deterministic` marks entries whose probe/descent counters are
+  /// reproducible (single-threaded, fixed seeds) and therefore subject
+  /// to the baseline check; timing-only or thread-raced entries pass
+  /// false and are recorded for information only.
+  void Add(const std::string& label, double best_ms, uint64_t probes,
+           uint64_t descents, bool deterministic = true) {
+    entries_.push_back({label, best_ms, probes, descents, deterministic});
+  }
+
+  /// Writes BENCH_<bench_name>.json. Best-effort: a write failure warns
+  /// on stderr but does not fail the bench.
+  void Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("PROVLIN_BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"best_ms\": %.3f, "
+                   "\"probes\": %llu, \"descents\": %llu, "
+                   "\"deterministic\": %s}%s\n",
+                   e.label.c_str(), e.best_ms,
+                   static_cast<unsigned long long>(e.probes),
+                   static_cast<unsigned long long>(e.descents),
+                   e.deterministic ? "true" : "false",
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    double best_ms;
+    uint64_t probes;
+    uint64_t descents;
+    bool deterministic;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
 
 /// Aborts the bench with a message on error — benches have no recovery.
 inline void CheckOk(const Status& st, const char* what) {

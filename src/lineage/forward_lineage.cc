@@ -183,6 +183,7 @@ Result<LineageAnswer> NaiveForwardLineage::Query(
   storage::TableStats after = store_->db()->AggregateStats();
   answer.timing.trace_probes = (after.index_probes - before.index_probes) +
                                (after.full_scans - before.full_scans);
+  answer.timing.trace_descents = after.descents - before.descents;
   return answer;
 }
 
@@ -192,11 +193,11 @@ Result<LineageAnswer> NaiveForwardLineage::Query(
 
 Result<ForwardIndexProjLineage> ForwardIndexProjLineage::Create(
     std::shared_ptr<const Dataflow> dataflow,
-    const provenance::TraceStore* store) {
+    const provenance::TraceStore* store, ProbeExecution mode) {
   PROVLIN_ASSIGN_OR_RETURN(workflow::DepthMap depths,
                            workflow::PropagateDepths(*dataflow));
   return ForwardIndexProjLineage(std::move(dataflow), std::move(depths),
-                                 store);
+                                 store, mode);
 }
 
 namespace {
@@ -378,50 +379,118 @@ Result<const ForwardPlan*> ForwardIndexProjLineage::Plan(
   return &pos->second;
 }
 
-Status ForwardIndexProjLineage::ExecutePlan(
+namespace {
+
+/// Workflow-output assembly: the coarse xfer row into the output carries
+/// the whole value; enumerate the concrete indices the pattern selects.
+Status AppendForwardOutputBindings(const provenance::TraceStore& store,
+                                   const std::string& run,
+                                   const ForwardTraceQuery& q,
+                                   const std::vector<XferRecord>& rows,
+                                   std::vector<LineageBinding>* bindings) {
+  for (const XferRecord& row : rows) {
+    PROVLIN_ASSIGN_OR_RETURN(Value whole, store.GetValue(run, row.value_id));
+    for (const Index& idx : whole.IndicesAtLevel(q.pattern.length())) {
+      if (!q.pattern.Overlaps(idx)) continue;
+      auto element = whole.At(idx);
+      if (!element.ok()) continue;
+      bindings->push_back(LineageBinding{
+          run, PortRef{kWorkflowProcessor, store.NameOf(q.port)}, idx,
+          element.value().ToString()});
+    }
+  }
+  return Status::OK();
+}
+
+/// Interesting-processor assembly: out-bindings whose index the pattern
+/// selects, deduped per (index, value).
+Status AppendForwardProducedBindings(const provenance::TraceStore& store,
+                                     const std::string& run,
+                                     const ForwardTraceQuery& q,
+                                     const std::vector<XformRecord>& rows,
+                                     std::vector<LineageBinding>* bindings) {
+  PortRef port{store.NameOf(q.processor), store.NameOf(q.port)};
+  std::set<std::pair<IndexId, int64_t>> seen;
+  for (const XformRecord& row : rows) {
+    if (!row.has_out || row.out_port != q.port) continue;
+    if (!q.pattern.Overlaps(row.out_index)) continue;
+    auto key = std::make_pair(store.InternIndex(row.out_index), row.out_value);
+    if (!seen.insert(key).second) continue;
+    PROVLIN_ASSIGN_OR_RETURN(std::string repr,
+                             store.GetValueRepr(row.run, row.out_value));
+    bindings->push_back(
+        LineageBinding{run, port, row.out_index, std::move(repr)});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ForwardIndexProjLineage::ExecutePlanBatched(
     const ForwardPlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
   auto run_sym = store_->LookupSymbol(run);
   if (!run_sym.has_value()) return Status::OK();
+
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<provenance::PortProbe> xfer_probes;
+  std::vector<provenance::PortProbe> prod_probes;
+  std::vector<size_t> slot(plan.queries.size(), kNone);
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    const ForwardTraceQuery& q = plan.queries[i];
+    auto& probes = q.workflow_output ? xfer_probes : prod_probes;
+    slot[i] = probes.size();
+    probes.push_back({q.processor, q.port, q.pattern.KnownPrefix()});
+  }
+
+  std::vector<std::vector<XferRecord>> xfer_rows;
+  if (!xfer_probes.empty()) {
+    PROVLIN_ASSIGN_OR_RETURN(xfer_rows,
+                             store_->FindXfersIntoBatch(*run_sym, xfer_probes));
+  }
+  std::vector<std::vector<XformRecord>> prod_rows;
+  if (!prod_probes.empty()) {
+    PROVLIN_ASSIGN_OR_RETURN(prod_rows,
+                             store_->FindProducingBatch(*run_sym, prod_probes));
+  }
+
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    const ForwardTraceQuery& q = plan.queries[i];
+    if (q.workflow_output) {
+      PROVLIN_RETURN_IF_ERROR(AppendForwardOutputBindings(
+          *store_, run, q, xfer_rows[slot[i]], bindings));
+    } else {
+      PROVLIN_RETURN_IF_ERROR(AppendForwardProducedBindings(
+          *store_, run, q, prod_rows[slot[i]], bindings));
+    }
+  }
+  return Status::OK();
+}
+
+Status ForwardIndexProjLineage::ExecutePlan(
+    const ForwardPlan& plan, const std::string& run,
+    std::vector<LineageBinding>* bindings) const {
+  if (mode_ == ProbeExecution::kBatched) {
+    return ExecutePlanBatched(plan, run, bindings);
+  }
+  auto run_sym = store_->LookupSymbol(run);
+  if (!run_sym.has_value()) return Status::OK();
   for (const ForwardTraceQuery& q : plan.queries) {
     if (q.workflow_output) {
-      // The coarse xfer row into the output carries the whole value;
-      // enumerate the concrete indices the pattern selects.
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XferRecord> rows,
           store_->FindXfersInto(*run_sym, q.processor, q.port,
                                 q.pattern.KnownPrefix()));
-      for (const XferRecord& row : rows) {
-        PROVLIN_ASSIGN_OR_RETURN(Value whole,
-                                 store_->GetValue(run, row.value_id));
-        for (const Index& idx : whole.IndicesAtLevel(q.pattern.length())) {
-          if (!q.pattern.Overlaps(idx)) continue;
-          auto element = whole.At(idx);
-          if (!element.ok()) continue;
-          bindings->push_back(LineageBinding{
-              run, PortRef{kWorkflowProcessor, store_->NameOf(q.port)}, idx,
-              element.value().ToString()});
-        }
-      }
+      PROVLIN_RETURN_IF_ERROR(
+          AppendForwardOutputBindings(*store_, run, q, rows, bindings));
       continue;
     }
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> rows,
         store_->FindProducing(*run_sym, q.processor, q.port,
                               q.pattern.KnownPrefix()));
-    PortRef port{store_->NameOf(q.processor), store_->NameOf(q.port)};
-    std::set<std::pair<IndexId, int64_t>> seen;
-    for (const XformRecord& row : rows) {
-      if (!row.has_out || row.out_port != q.port) continue;
-      if (!q.pattern.Overlaps(row.out_index)) continue;
-      auto key = std::make_pair(store_->InternIndex(row.out_index),
-                                row.out_value);
-      if (!seen.insert(key).second) continue;
-      PROVLIN_ASSIGN_OR_RETURN(std::string repr,
-                               store_->GetValueRepr(row.run, row.out_value));
-      bindings->push_back(
-          LineageBinding{run, port, row.out_index, std::move(repr)});
-    }
+    PROVLIN_RETURN_IF_ERROR(
+        AppendForwardProducedBindings(*store_, run, q, rows, bindings));
   }
   return Status::OK();
 }
@@ -453,6 +522,7 @@ Result<LineageAnswer> ForwardIndexProjLineage::QueryMultiRun(
   storage::TableStats after = store_->db()->AggregateStats();
   answer.timing.trace_probes = (after.index_probes - before.index_probes) +
                                (after.full_scans - before.full_scans);
+  answer.timing.trace_descents = after.descents - before.descents;
 
   NormalizeBindings(&answer.bindings);
   return answer;

@@ -9,6 +9,7 @@
 
 #include "common/interner.h"
 #include "common/result.h"
+#include "lineage/engine.h"
 #include "lineage/index_pattern.h"
 #include "lineage/query.h"
 #include "provenance/trace_store.h"
@@ -71,9 +72,13 @@ struct ForwardPlan {
 /// the backward engine's.
 class ForwardIndexProjLineage {
  public:
+  /// kBatched (default) executes a plan's trace queries as one
+  /// xfers-into batch plus one producing batch per run; kSingleProbe
+  /// keeps one independent descent per query. Answers are identical.
   static Result<ForwardIndexProjLineage> Create(
       std::shared_ptr<const workflow::Dataflow> dataflow,
-      const provenance::TraceStore* store);
+      const provenance::TraceStore* store,
+      ProbeExecution mode = ProbeExecution::kBatched);
 
   Result<const ForwardPlan*> Plan(const workflow::PortRef& target,
                                   const Index& p, const InterestSet& interest);
@@ -92,16 +97,20 @@ class ForwardIndexProjLineage {
  private:
   ForwardIndexProjLineage(std::shared_ptr<const workflow::Dataflow> dataflow,
                           workflow::DepthMap depths,
-                          const provenance::TraceStore* store)
+                          const provenance::TraceStore* store,
+                          ProbeExecution mode)
       : dataflow_(std::move(dataflow)),
         depths_(std::move(depths)),
-        store_(store) {}
+        store_(store),
+        mode_(mode) {}
 
   Result<ForwardPlan> BuildPlan(const workflow::PortRef& target,
                                 const Index& p,
                                 const InterestSet& interest) const;
   Status ExecutePlan(const ForwardPlan& plan, const std::string& run,
                      std::vector<LineageBinding>* bindings) const;
+  Status ExecutePlanBatched(const ForwardPlan& plan, const std::string& run,
+                            std::vector<LineageBinding>* bindings) const;
 
   /// Same integer-tuple cache key shape as the backward engine.
   using PlanKey =
@@ -113,6 +122,7 @@ class ForwardIndexProjLineage {
   std::shared_ptr<const workflow::Dataflow> dataflow_;
   workflow::DepthMap depths_;
   const provenance::TraceStore* store_;
+  ProbeExecution mode_ = ProbeExecution::kBatched;
   std::map<PlanKey, ForwardPlan> plan_cache_;
 };
 

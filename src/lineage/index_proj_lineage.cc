@@ -22,10 +22,10 @@ using workflow::Processor;
 
 Result<IndexProjLineage> IndexProjLineage::Create(
     std::shared_ptr<const Dataflow> dataflow,
-    const provenance::TraceStore* store) {
+    const provenance::TraceStore* store, ProbeExecution mode) {
   PROVLIN_ASSIGN_OR_RETURN(workflow::DepthMap depths,
                            workflow::PropagateDepths(*dataflow));
-  return IndexProjLineage(std::move(dataflow), std::move(depths), store);
+  return IndexProjLineage(std::move(dataflow), std::move(depths), store, mode);
 }
 
 namespace {
@@ -260,9 +260,121 @@ uint64_t IndexProjLineage::plan_cache_hits() const {
   return cache_->hits.load(std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Shared per-query assembly of the plain (non-source) case: dedup
+/// identical in-bindings repeated across dependency rows (one row exists
+/// per (in, out) pair of an event) and append the survivors.
+Status AppendConsumedBindings(const provenance::TraceStore& store,
+                              const std::string& run,
+                              const std::vector<XformRecord>& rows,
+                              std::vector<LineageBinding>* bindings) {
+  std::set<std::tuple<SymbolId, IndexId, int64_t>> seen;
+  for (const XformRecord& row : rows) {
+    if (!row.has_in) continue;
+    auto key = std::make_tuple(row.in_port, store.InternIndex(row.in_index),
+                               row.in_value);
+    if (!seen.insert(key).second) continue;
+    PROVLIN_RETURN_IF_ERROR(AppendInputBinding(store, run, row, bindings));
+  }
+  return Status::OK();
+}
+
+/// Shared assembly of the workflow-source case reached through a
+/// consumer: the consumer's trace rows tell at which granularity the
+/// input elements were actually consumed — the same indices the naive
+/// traversal arrives with — and the source rows are re-filtered per
+/// arrival index.
+Status AppendSourceViaConsumer(const provenance::TraceStore& store,
+                               const std::string& run,
+                               const std::vector<XformRecord>& src_rows,
+                               const std::vector<XformRecord>& consumed,
+                               std::vector<LineageBinding>* bindings) {
+  std::set<IndexId> arrival_keys;
+  std::vector<Index> arrivals;
+  for (const XformRecord& row : consumed) {
+    if (!row.has_in) continue;
+    if (arrival_keys.insert(store.InternIndex(row.in_index)).second) {
+      arrivals.push_back(row.in_index);
+    }
+  }
+  for (const Index& r : arrivals) {
+    PROVLIN_RETURN_IF_ERROR(
+        AppendSourceBindings(store, run, src_rows, r, bindings));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IndexProjLineage::ExecutePlanBatched(
+    const LineagePlan& plan, const std::string& run,
+    std::vector<LineageBinding>* bindings) const {
+  auto run_sym = store_->LookupSymbol(run);
+  if (!run_sym.has_value()) return Status::OK();
+
+  // Every probe the plan issues is determined by the plan alone, so the
+  // whole of s2 flattens into one producing batch (source queries) and
+  // one consuming batch (via-consumer probes + plain queries) before any
+  // result is consumed.
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<provenance::PortProbe> producing;
+  std::vector<provenance::PortProbe> consuming;
+  std::vector<size_t> producing_slot(plan.queries.size(), kNone);
+  std::vector<size_t> consuming_slot(plan.queries.size(), kNone);
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    const TraceQuery& q = plan.queries[i];
+    if (q.workflow_source) {
+      producing_slot[i] = producing.size();
+      producing.push_back({q.processor, q.port, q.index});
+      if (q.via_processor != kNoSymbol) {
+        consuming_slot[i] = consuming.size();
+        consuming.push_back({q.via_processor, q.via_port, q.index});
+      }
+    } else {
+      consuming_slot[i] = consuming.size();
+      consuming.push_back({q.processor, q.port, q.index});
+    }
+  }
+
+  std::vector<std::vector<XformRecord>> produced;
+  if (!producing.empty()) {
+    PROVLIN_ASSIGN_OR_RETURN(produced,
+                             store_->FindProducingBatch(*run_sym, producing));
+  }
+  std::vector<std::vector<XformRecord>> consumed;
+  if (!consuming.empty()) {
+    PROVLIN_ASSIGN_OR_RETURN(consumed,
+                             store_->FindConsumingBatch(*run_sym, consuming));
+  }
+
+  // Assembly walks the queries in plan order, exactly like the
+  // single-probe path — only the probe physics changed above.
+  for (size_t i = 0; i < plan.queries.size(); ++i) {
+    const TraceQuery& q = plan.queries[i];
+    if (q.workflow_source) {
+      const std::vector<XformRecord>& src_rows = produced[producing_slot[i]];
+      if (q.via_processor == kNoSymbol) {
+        PROVLIN_RETURN_IF_ERROR(
+            AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
+        continue;
+      }
+      PROVLIN_RETURN_IF_ERROR(AppendSourceViaConsumer(
+          *store_, run, src_rows, consumed[consuming_slot[i]], bindings));
+      continue;
+    }
+    PROVLIN_RETURN_IF_ERROR(AppendConsumedBindings(
+        *store_, run, consumed[consuming_slot[i]], bindings));
+  }
+  return Status::OK();
+}
+
 Status IndexProjLineage::ExecutePlan(
     const LineagePlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
+  if (mode_ == ProbeExecution::kBatched) {
+    return ExecutePlanBatched(plan, run, bindings);
+  }
   // A run the trace never recorded has no rows for any query in the
   // plan; resolving it once up front skips |queries| futile probes.
   auto run_sym = store_->LookupSymbol(run);
@@ -278,41 +390,19 @@ Status IndexProjLineage::ExecutePlan(
             AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
         continue;
       }
-      // The input reached the query target through (via_processor,
-      // via_port); the consumer's trace rows tell at which granularity
-      // the input elements were actually consumed — the same indices the
-      // naive traversal arrives with.
       PROVLIN_ASSIGN_OR_RETURN(
           std::vector<XformRecord> consumed,
           store_->FindConsuming(*run_sym, q.via_processor, q.via_port,
                                 q.index));
-      std::set<IndexId> arrival_keys;
-      std::vector<Index> arrivals;
-      for (const XformRecord& row : consumed) {
-        if (!row.has_in) continue;
-        if (arrival_keys.insert(store_->InternIndex(row.in_index)).second) {
-          arrivals.push_back(row.in_index);
-        }
-      }
-      for (const Index& r : arrivals) {
-        PROVLIN_RETURN_IF_ERROR(
-            AppendSourceBindings(*store_, run, src_rows, r, bindings));
-      }
+      PROVLIN_RETURN_IF_ERROR(
+          AppendSourceViaConsumer(*store_, run, src_rows, consumed, bindings));
       continue;
     }
     PROVLIN_ASSIGN_OR_RETURN(
         std::vector<XformRecord> rows,
         store_->FindConsuming(*run_sym, q.processor, q.port, q.index));
-    // Dedup identical in-bindings repeated across dependency rows (one
-    // row exists per (in, out) pair of an event).
-    std::set<std::tuple<SymbolId, IndexId, int64_t>> seen;
-    for (const XformRecord& row : rows) {
-      if (!row.has_in) continue;
-      auto key = std::make_tuple(row.in_port, store_->InternIndex(row.in_index),
-                                 row.in_value);
-      if (!seen.insert(key).second) continue;
-      PROVLIN_RETURN_IF_ERROR(AppendInputBinding(*store_, run, row, bindings));
-    }
+    PROVLIN_RETURN_IF_ERROR(
+        AppendConsumedBindings(*store_, run, rows, bindings));
   }
   return Status::OK();
 }
@@ -343,6 +433,8 @@ Result<LineageAnswer> IndexProjLineage::Query(
   answer.timing.t2_ms = t2.ElapsedMillis();
   answer.timing.trace_probes =
       storage::ThisThreadStats().probes() - before.probes();
+  answer.timing.trace_descents =
+      storage::ThisThreadStats().descents - before.descents;
 
   NormalizeBindings(&answer.bindings);
   return answer;

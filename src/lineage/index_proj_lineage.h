@@ -69,10 +69,15 @@ struct LineagePlan {
 class IndexProjLineage : public LineageEngine {
  public:
   /// `dataflow` must be flattened + validated; `store` must outlive the
-  /// engine. Depth propagation (Alg. 1) runs once here.
+  /// engine. Depth propagation (Alg. 1) runs once here. In the default
+  /// kBatched mode the plan's |𝒫|-many trace queries execute as sorted
+  /// probe batches (one producing batch + one consuming batch per run)
+  /// instead of |𝒫| independent descents; answers and logical probe
+  /// counts are identical to kSingleProbe.
   static Result<IndexProjLineage> Create(
       std::shared_ptr<const workflow::Dataflow> dataflow,
-      const provenance::TraceStore* store);
+      const provenance::TraceStore* store,
+      ProbeExecution mode = ProbeExecution::kBatched);
 
   std::string_view name() const override { return "indexproj"; }
 
@@ -125,19 +130,27 @@ class IndexProjLineage : public LineageEngine {
 
   IndexProjLineage(std::shared_ptr<const workflow::Dataflow> dataflow,
                    workflow::DepthMap depths,
-                   const provenance::TraceStore* store)
+                   const provenance::TraceStore* store, ProbeExecution mode)
       : dataflow_(std::move(dataflow)),
         depths_(std::move(depths)),
         store_(store),
+        mode_(mode),
         cache_(std::make_unique<PlanCache>()) {}
 
   Result<LineagePlan> BuildPlan(const workflow::PortRef& target,
                                 const Index& q,
                                 const InterestSet& interest) const;
 
-  /// Executes a plan's trace queries against one run (step s2).
+  /// Executes a plan's trace queries against one run (step s2),
+  /// dispatching on mode_.
   Status ExecutePlan(const LineagePlan& plan, const std::string& run,
                      std::vector<LineageBinding>* bindings) const;
+
+  /// kBatched s2: every probe the plan will issue is known up front, so
+  /// the whole plan flattens into one producing batch plus one consuming
+  /// batch before per-query assembly.
+  Status ExecutePlanBatched(const LineagePlan& plan, const std::string& run,
+                            std::vector<LineageBinding>* bindings) const;
 
   /// Plan cache key: (target processor, target port, index id, resolved
   /// interest ids) — a packed integer vector instead of a concatenated
@@ -149,6 +162,7 @@ class IndexProjLineage : public LineageEngine {
   std::shared_ptr<const workflow::Dataflow> dataflow_;
   workflow::DepthMap depths_;
   const provenance::TraceStore* store_;
+  ProbeExecution mode_;
   std::unique_ptr<PlanCache> cache_;
 };
 

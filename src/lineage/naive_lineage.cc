@@ -88,6 +88,98 @@ class Traversal {
     return Status::OK();
   }
 
+  /// Frontier-batched form of the same traversal: each BFS level
+  /// collects its pending visits, filters them through the visited set
+  /// (counting every attempt, like the recursive calls do), and issues
+  /// one producing batch and one xfer batch for the whole level. The
+  /// expanded node set — and therefore the logical probe set, step
+  /// count, and answer — is identical to the recursion's; only probe
+  /// physics (shared descents) and visit order differ, and the final
+  /// NormalizeBindings erases the order.
+  Status RunBatched(SymbolId processor, SymbolId port, const Index& q,
+                    Side side) {
+    struct Pending {
+      SymbolId processor;
+      SymbolId port;
+      Index index;
+      Side side;
+    };
+    std::vector<Pending> frontier{{processor, port, q, side}};
+    while (!frontier.empty()) {
+      std::vector<Pending> out_items;
+      std::vector<Pending> in_items;
+      for (Pending& item : frontier) {
+        ++steps_;
+        auto key = std::make_tuple(item.processor, item.port,
+                                   store_.InternIndex(item.index),
+                                   item.side == Side::kOutput);
+        if (!visited_.insert(key).second) continue;
+        (item.side == Side::kOutput ? out_items : in_items)
+            .push_back(std::move(item));
+      }
+      std::vector<Pending> next;
+
+      if (!out_items.empty()) {
+        std::vector<provenance::PortProbe> probes;
+        probes.reserve(out_items.size());
+        for (const Pending& item : out_items) {
+          probes.push_back({item.processor, item.port, item.index});
+        }
+        PROVLIN_ASSIGN_OR_RETURN(
+            std::vector<std::vector<XformRecord>> results,
+            store_.FindProducingBatch(run_sym_, probes));
+        for (size_t i = 0; i < out_items.size(); ++i) {
+          const Pending& item = out_items[i];
+          const std::vector<XformRecord>& rows = results[i];
+          if (item.processor == workflow_sym_) {
+            if (IsInteresting(interest_, workflow_sym_)) {
+              PROVLIN_RETURN_IF_ERROR(AppendSourceBindings(
+                  store_, run_, rows, item.index, &bindings_));
+            }
+            continue;
+          }
+          bool interesting = IsInteresting(interest_, item.processor);
+          std::set<std::pair<SymbolId, Index>> successors;
+          for (const XformRecord& row : rows) {
+            if (!row.has_in) continue;
+            if (interesting) {
+              PROVLIN_RETURN_IF_ERROR(
+                  AppendInputBinding(store_, run_, row, &bindings_));
+            }
+            successors.insert({row.in_port, row.in_index});
+          }
+          for (const auto& [in_port, idx] : successors) {
+            next.push_back({item.processor, in_port, idx, Side::kInput});
+          }
+        }
+      }
+
+      if (!in_items.empty()) {
+        std::vector<provenance::PortProbe> probes;
+        probes.reserve(in_items.size());
+        for (const Pending& item : in_items) {
+          probes.push_back({item.processor, item.port, item.index});
+        }
+        PROVLIN_ASSIGN_OR_RETURN(
+            std::vector<std::vector<XferRecord>> results,
+            store_.FindXfersIntoBatch(run_sym_, probes));
+        for (size_t i = 0; i < in_items.size(); ++i) {
+          const Pending& item = in_items[i];
+          std::set<std::pair<SymbolId, SymbolId>> sources;
+          for (const XferRecord& row : results[i]) {
+            sources.insert({row.src_proc, row.src_port});
+          }
+          for (const auto& [src_proc, src_port] : sources) {
+            next.push_back({src_proc, src_port, item.index, Side::kOutput});
+          }
+        }
+      }
+
+      frontier = std::move(next);
+    }
+    return Status::OK();
+  }
+
   std::vector<LineageBinding>& bindings() { return bindings_; }
   uint64_t steps() const { return steps_; }
 
@@ -105,8 +197,8 @@ class Traversal {
 }  // namespace
 
 Result<LineageAnswer> NaiveLineage::QueryOneRun(
-    const std::string& run, const PortRef& target, const Index& q,
-    const InterestSet& interest) const {
+    const std::string& run, const workflow::PortRef& target, const Index& q,
+    const InterestSet& interest, ProbeExecution mode) const {
   LineageAnswer answer;
   // Probe counts come from the calling thread's counters, not the global
   // aggregate: under the concurrent service the global delta would charge
@@ -133,14 +225,22 @@ Result<LineageAnswer> NaiveLineage::QueryOneRun(
       std::vector<XformRecord> probe,
       store_->FindProducing(*run_sym, *proc_sym, *port_sym, q));
   Side side = probe.empty() ? Side::kInput : Side::kOutput;
-  PROVLIN_RETURN_IF_ERROR(traversal.Visit(*proc_sym, *port_sym, q, side));
+  if (mode == ProbeExecution::kBatched) {
+    PROVLIN_RETURN_IF_ERROR(
+        traversal.RunBatched(*proc_sym, *port_sym, q, side));
+  } else {
+    PROVLIN_RETURN_IF_ERROR(traversal.Visit(*proc_sym, *port_sym, q, side));
+  }
 
+  // Per-run bindings stay raw: Query() normalizes once over the combined
+  // answer, and normalizing twice is pure duplicated sort/dedup work.
   answer.bindings = std::move(traversal.bindings());
-  NormalizeBindings(&answer.bindings);
   answer.timing.t2_ms = timer.ElapsedMillis();
   answer.timing.graph_steps = traversal.steps();
   answer.timing.trace_probes =
       storage::ThisThreadStats().probes() - before.probes();
+  answer.timing.trace_descents =
+      storage::ThisThreadStats().descents - before.descents;
   return answer;
 }
 
@@ -148,14 +248,15 @@ Result<LineageAnswer> NaiveLineage::Query(const LineageRequest& request) const {
   LineageAnswer combined;
   for (const std::string& run : request.runs) {
     PROVLIN_ASSIGN_OR_RETURN(
-        LineageAnswer one,
-        QueryOneRun(run, request.target, request.index, request.interest));
+        LineageAnswer one, QueryOneRun(run, request.target, request.index,
+                                       request.interest, mode_));
     combined.bindings.insert(combined.bindings.end(), one.bindings.begin(),
                              one.bindings.end());
     combined.timing.t1_ms += one.timing.t1_ms;
     combined.timing.t2_ms += one.timing.t2_ms;
     combined.timing.trace_probes += one.timing.trace_probes;
     combined.timing.graph_steps += one.timing.graph_steps;
+    combined.timing.trace_descents += one.timing.trace_descents;
   }
   NormalizeBindings(&combined.bindings);
   return combined;

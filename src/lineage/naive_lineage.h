@@ -23,9 +23,16 @@ namespace provlin::lineage {
 /// store are safe.
 class NaiveLineage : public LineageEngine {
  public:
-  /// The store must outlive the engine.
-  explicit NaiveLineage(const provenance::TraceStore* store)
-      : store_(store) {}
+  /// The store must outlive the engine. The default kBatched mode runs
+  /// the Def. 1 traversal as a frontier-batched BFS: each level's probes
+  /// (all producing probes, then all xfer probes) go to the trace store
+  /// as one sorted batch, amortizing B+-tree descents. kSingleProbe
+  /// keeps the seed's depth-first recursion with one descent per probe.
+  /// Both modes visit the same nodes, issue the same logical probes, and
+  /// return byte-identical answers.
+  explicit NaiveLineage(const provenance::TraceStore* store,
+                        ProbeExecution mode = ProbeExecution::kBatched)
+      : store_(store), mode_(mode) {}
 
   std::string_view name() const override { return "naive"; }
 
@@ -44,9 +51,11 @@ class NaiveLineage : public LineageEngine {
   Result<LineageAnswer> QueryOneRun(const std::string& run,
                                     const workflow::PortRef& target,
                                     const Index& q,
-                                    const InterestSet& interest) const;
+                                    const InterestSet& interest,
+                                    ProbeExecution mode) const;
 
   const provenance::TraceStore* store_;
+  ProbeExecution mode_;
 };
 
 }  // namespace provlin::lineage

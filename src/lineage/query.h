@@ -86,8 +86,13 @@ struct LineageTiming {
   double t1_ms = 0.0;
   double t2_ms = 0.0;
   /// Index/scan probes issued against the trace database (from the
-  /// storage layer's hardware-independent counters).
+  /// storage layer's hardware-independent counters). This counts
+  /// *logical* probes — batching never changes it.
   uint64_t trace_probes = 0;
+  /// Physical B+-tree root-to-leaf descents behind those probes. Batched
+  /// execution amortizes descents across sorted probes, so this drops
+  /// below trace_probes; single-probe execution pays one per probe.
+  uint64_t trace_descents = 0;
   /// Nodes visited on the graph being traversed (provenance graph for
   /// NI, specification graph for IndexProj).
   uint64_t graph_steps = 0;

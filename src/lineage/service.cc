@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "provenance/trace_store.h"
 #include "storage/table.h"
 
 namespace provlin::lineage {
@@ -40,6 +41,9 @@ std::string ServiceMetrics::ToString() const {
   out += " plan_cache_hit_rate=" +
          std::to_string(plan_cache_hit_rate());
   out += " trace_probes=" + std::to_string(trace_probes);
+  out += " trace_descents=" + std::to_string(trace_descents);
+  out += " probe_memo_hits=" + std::to_string(probe_memo_hits) + "/" +
+         std::to_string(probe_memo_lookups);
   out += " avg_queue_wait_ms=" +
          std::to_string(requests == 0 ? 0.0
                                       : total_queue_wait_ms /
@@ -91,6 +95,14 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
   // race-free here.
   std::vector<uint64_t> worker_probes(pool_.num_threads(), 0);
 
+  // One probe memo for the whole batch: identical trace probes from
+  // different requests are answered once. The memo outlives every worker
+  // task (we block on `remaining` below before it goes out of scope).
+  std::unique_ptr<provenance::ProbeMemo> memo;
+  if (options_.dedupe_probes) {
+    memo = std::make_unique<provenance::ProbeMemo>();
+  }
+
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t remaining = tasks.size();
@@ -100,6 +112,9 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
 
   for (std::vector<size_t>& task_indices : tasks) {
     pool_.Submit([&, indices = std::move(task_indices)](size_t worker) {
+      // Install the batch's shared memo for this worker task; queries it
+      // runs consult/fill it through the trace store transparently.
+      provenance::ProbeMemoScope memo_scope(memo.get());
       double queue_wait = MillisSince(submit_time);
       for (size_t i : indices) {
         const ServiceRequest& req = batch[i];
@@ -152,10 +167,15 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
     if (resp.status.ok()) {
       metrics_.total_exec_ms += resp.answer.timing.total_ms();
       metrics_.trace_probes += resp.answer.timing.trace_probes;
+      metrics_.trace_descents += resp.answer.timing.trace_descents;
     }
   }
   for (size_t w = 0; w < worker_probes.size(); ++w) {
     metrics_.per_thread_probes[w] += worker_probes[w];
+  }
+  if (memo != nullptr) {
+    metrics_.probe_memo_hits += memo->hits();
+    metrics_.probe_memo_lookups += memo->lookups();
   }
   return responses;
 }

@@ -24,6 +24,14 @@ struct ServiceOptions {
   /// off dispatches every request independently, which maximizes
   /// parallelism (and plan-cache contention — exercised by tests).
   bool group_same_plan = true;
+  /// When set, all workers of one batch share a probe memo: identical
+  /// trace probes (same kind, run, port, index) issued by different
+  /// requests are answered from memory after the first one pays the
+  /// storage probes. Request answers are unchanged — only duplicated
+  /// physical work disappears. Reported probe/descent counts become
+  /// batch-composition-dependent, so count-asserting tests turn this
+  /// off.
+  bool dedupe_probes = true;
 };
 
 /// One entry of a batch: which engine answers which request. Engines are
@@ -54,6 +62,13 @@ struct ServiceMetrics {
   uint64_t plan_cache_hits = 0;
   /// Trace probes issued by service workers (sum over per-thread counts).
   uint64_t trace_probes = 0;
+  /// Physical B+-tree descents behind those probes (amortized by batched
+  /// probe execution; see LineageTiming::trace_descents).
+  uint64_t trace_descents = 0;
+  /// Probes answered from the shared per-batch probe memo / total memo
+  /// consultations (zero when ServiceOptions::dedupe_probes is off).
+  uint64_t probe_memo_hits = 0;
+  uint64_t probe_memo_lookups = 0;
   double total_queue_wait_ms = 0.0;
   /// Sum of per-request execution time (excludes queue wait).
   double total_exec_ms = 0.0;

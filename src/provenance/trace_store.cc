@@ -1,6 +1,8 @@
 #include "provenance/trace_store.h"
 
+#include <numeric>
 #include <set>
+#include <type_traits>
 
 #include "provenance/schema.h"
 #include "storage/serialize.h"
@@ -62,6 +64,50 @@ XformRecord DecodeXform(const Row& row) {
   }
   return rec;
 }
+
+// Memo key spaces, one per public Find* flavor.
+constexpr int kKindProducing = 0, kKindConsuming = 1, kKindXferInto = 2,
+              kKindXferFrom = 3;
+
+/// Content-comparing row-pointer order, for deduping overlap-probe rows
+/// without copying them (two rids with byte-identical rows still dedup,
+/// matching the historical std::set<Row> behaviour).
+struct RowPtrLess {
+  bool operator()(const Row* a, const Row* b) const { return *a < *b; }
+};
+
+/// Appends the overlap-probe query sequence for one (pair, idx) probe:
+/// one prefix scan for the empty index, else |idx|+1 point probes
+/// (coarser covering bindings) plus one path-prefix range probe (finer
+/// bindings at or below idx).
+void AppendOverlapQueries(SymbolId run, const char* pair_col, IdPair pair,
+                          const char* index_col, const Index& idx,
+                          std::vector<SelectQuery>* queries) {
+  auto base = [&]() {
+    SelectQuery q;
+    q.equals.push_back({"run", SymDatum(run)});
+    q.equals.push_back({pair_col, Datum(pair)});
+    return q;
+  };
+  if (idx.empty()) {
+    // The whole-value query: one range probe (an index-prefix scan over
+    // the two equality columns) enumerates every binding on the port.
+    queries->push_back(base());
+    return;
+  }
+  for (size_t k = 0; k <= idx.length(); ++k) {
+    SelectQuery q = base();
+    q.equals.push_back({index_col, Datum(IndexPath(idx.Prefix(k).parts()))});
+    queries->push_back(std::move(q));
+  }
+  {
+    SelectQuery q = base();
+    q.path_prefix = SelectQuery::PathPrefix{index_col, idx.parts()};
+    queries->push_back(std::move(q));
+  }
+}
+
+thread_local ProbeMemo* g_active_probe_memo = nullptr;
 
 XferRecord DecodeXfer(const Row& row) {
   XferRecord rec;
@@ -292,65 +338,201 @@ Result<std::vector<std::string>> TraceStore::ListRuns() const {
   return out;
 }
 
-Result<std::vector<storage::Row>> TraceStore::OverlapProbe(
+ProbeMemoScope::ProbeMemoScope(ProbeMemo* memo) : prev_(g_active_probe_memo) {
+  g_active_probe_memo = memo;
+}
+
+ProbeMemoScope::~ProbeMemoScope() { g_active_probe_memo = prev_; }
+
+ProbeMemo* ProbeMemoScope::Active() { return g_active_probe_memo; }
+
+Status TraceStore::OverlapProbe(
     const char* table, SymbolId run, const char* pair_col, IdPair pair,
-    const char* index_col, const Index& idx) const {
+    const char* index_col, const Index& idx,
+    const std::function<void(const storage::Row&)>& emit) const {
   PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
-
-  std::vector<Row> rows;
-  std::set<Row> seen;
-  auto add = [&](SelectResult& r) {
-    for (Row& row : r.rows) {
-      if (seen.insert(row).second) rows.push_back(std::move(row));
+  std::vector<SelectQuery> queries;
+  AppendOverlapQueries(run, pair_col, pair, index_col, idx, &queries);
+  storage::SelectOptions zero_copy;
+  zero_copy.zero_copy = true;
+  std::set<const Row*, RowPtrLess> seen;
+  for (const SelectQuery& q : queries) {
+    PROVLIN_ASSIGN_OR_RETURN(SelectResult r,
+                             storage::ExecuteSelect(*t, q, zero_copy));
+    for (const Row* row : r.row_ptrs) {
+      if (seen.insert(row).second) emit(*row);
     }
-  };
-
-  auto base = [&]() {
-    SelectQuery q;
-    q.equals.push_back({"run", SymDatum(run)});
-    q.equals.push_back({pair_col, Datum(pair)});
-    return q;
-  };
-
-  if (idx.empty()) {
-    // The whole-value query: one range probe (an index-prefix scan over
-    // the two equality columns) enumerates every binding on the port.
-    SelectQuery q = base();
-    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
-    add(r);
-    return rows;
   }
+  return Status::OK();
+}
 
-  // Covering bindings: the exact index and every proper prefix of it
-  // (|q|+1 point probes over integer keys).
-  for (size_t k = 0; k <= idx.length(); ++k) {
-    SelectQuery q = base();
-    q.equals.push_back({index_col, Datum(IndexPath(idx.Prefix(k).parts()))});
-    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
-    add(r);
+Status TraceStore::OverlapProbeBatch(
+    const char* table, SymbolId run, const char* pair_col,
+    const char* index_col, const std::vector<PortProbe>& probes,
+    const std::function<void(size_t, const storage::Row&)>& emit) const {
+  PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+  std::vector<SelectQuery> queries;
+  std::vector<size_t> owner;  // flattened query ordinal -> probe ordinal
+  for (size_t i = 0; i < probes.size(); ++i) {
+    AppendOverlapQueries(run, pair_col,
+                         IdPair{probes[i].processor, probes[i].port}, index_col,
+                         probes[i].index, &queries);
+    owner.resize(queries.size(), i);
   }
-  // Finer bindings at or below q: one contiguous range probe. The exact
-  // row was already found by the k == length() point probe and dedups.
-  {
-    SelectQuery q = base();
-    q.path_prefix = SelectQuery::PathPrefix{index_col, idx.parts()};
-    PROVLIN_ASSIGN_OR_RETURN(SelectResult r, storage::ExecuteSelect(*t, q));
-    add(r);
+  storage::SelectOptions zero_copy;
+  zero_copy.zero_copy = true;
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<SelectResult> results,
+                           storage::ExecuteMultiSelect(*t, queries, zero_copy));
+  // Per-probe content dedup in flattened query order — the same
+  // discovery order the single-probe path produces.
+  std::vector<std::set<const Row*, RowPtrLess>> seen(probes.size());
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    size_t i = owner[qi];
+    for (const Row* row : results[qi].row_ptrs) {
+      if (seen[i].insert(row).second) emit(i, *row);
+    }
   }
-  return rows;
+  return Status::OK();
+}
+
+template <typename Record>
+Result<std::vector<Record>> TraceStore::FindOneImpl(
+    int kind, const char* table, const char* pair_col, const char* index_col,
+    Record (*decode)(const storage::Row&), SymbolId run, IdPair pair,
+    const Index& idx) const {
+  ProbeMemo* memo = ProbeMemoScope::Active();
+  ProbeMemo::Key key{kind, run, pair.Packed(), InternIndex(idx)};
+  if (memo != nullptr) {
+    memo->lookups_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(memo->mu_);
+    auto& map = [&]() -> auto& {
+      if constexpr (std::is_same_v<Record, XformRecord>) {
+        return memo->xform_;
+      } else {
+        return memo->xfer_;
+      }
+    }();
+    auto it = map.find(key);
+    if (it != map.end()) {
+      memo->hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  std::vector<Record> out;
+  PROVLIN_RETURN_IF_ERROR(
+      OverlapProbe(table, run, pair_col, pair, index_col, idx,
+                   [&](const Row& row) { out.push_back(decode(row)); }));
+  if (memo != nullptr) {
+    auto cached = std::make_shared<const std::vector<Record>>(out);
+    std::lock_guard<std::mutex> lock(memo->mu_);
+    if constexpr (std::is_same_v<Record, XformRecord>) {
+      memo->xform_.emplace(key, std::move(cached));
+    } else {
+      memo->xfer_.emplace(key, std::move(cached));
+    }
+  }
+  return out;
+}
+
+template <typename Record>
+Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
+    int kind, const char* table, const char* pair_col, const char* index_col,
+    Record (*decode)(const storage::Row&), SymbolId run,
+    const std::vector<PortProbe>& probes) const {
+  std::vector<std::vector<Record>> results(probes.size());
+  ProbeMemo* memo = ProbeMemoScope::Active();
+
+  std::vector<size_t> misses;
+  std::vector<ProbeMemo::Key> keys;
+  if (memo == nullptr) {
+    misses.resize(probes.size());
+    std::iota(misses.begin(), misses.end(), size_t{0});
+  } else {
+    keys.reserve(probes.size());
+    for (const PortProbe& p : probes) {
+      keys.push_back(ProbeMemo::Key{kind, run,
+                                    IdPair{p.processor, p.port}.Packed(),
+                                    InternIndex(p.index)});
+    }
+    memo->lookups_.fetch_add(probes.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(memo->mu_);
+    auto& map = [&]() -> auto& {
+      if constexpr (std::is_same_v<Record, XformRecord>) {
+        return memo->xform_;
+      } else {
+        return memo->xfer_;
+      }
+    }();
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto it = map.find(keys[i]);
+      if (it != map.end()) {
+        memo->hits_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = *it->second;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) return results;
+
+  // When every probe missed (always true without a memo), probe the
+  // store with the caller's vector directly — copying PortProbes costs
+  // one heap allocation each for the embedded Index.
+  std::vector<PortProbe> miss_probes;
+  if (misses.size() < probes.size()) {
+    miss_probes.reserve(misses.size());
+    for (size_t i : misses) miss_probes.push_back(probes[i]);
+  }
+  PROVLIN_RETURN_IF_ERROR(OverlapProbeBatch(
+      table, run, pair_col, index_col,
+      miss_probes.empty() ? probes : miss_probes,
+      [&](size_t m, const Row& row) {
+        results[misses[m]].push_back(decode(row));
+      }));
+  if (memo != nullptr) {
+    std::lock_guard<std::mutex> lock(memo->mu_);
+    for (size_t i : misses) {
+      auto cached = std::make_shared<const std::vector<Record>>(results[i]);
+      if constexpr (std::is_same_v<Record, XformRecord>) {
+        memo->xform_.emplace(keys[i], std::move(cached));
+      } else {
+        memo->xfer_.emplace(keys[i], std::move(cached));
+      }
+    }
+  }
+  return results;
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindProducing(
     SymbolId run, SymbolId processor, SymbolId out_port,
     const Index& q) const {
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      OverlapProbe(tables::kXform, run, "out", IdPair{processor, out_port},
-                   "out_index", q));
-  std::vector<XformRecord> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) out.push_back(DecodeXform(row));
-  return out;
+  return FindOneImpl<XformRecord>(kKindProducing, tables::kXform, "out",
+                                  "out_index", &DecodeXform, run,
+                                  IdPair{processor, out_port}, q);
+}
+
+Result<std::vector<std::vector<XformRecord>>> TraceStore::FindProducingBatch(
+    SymbolId run, const std::vector<PortProbe>& probes) const {
+  return FindBatchImpl<XformRecord>(kKindProducing, tables::kXform, "out",
+                                    "out_index", &DecodeXform, run, probes);
+}
+
+Result<std::vector<std::vector<XformRecord>>> TraceStore::FindConsumingBatch(
+    SymbolId run, const std::vector<PortProbe>& probes) const {
+  return FindBatchImpl<XformRecord>(kKindConsuming, tables::kXform, "in",
+                                    "in_index", &DecodeXform, run, probes);
+}
+
+Result<std::vector<std::vector<XferRecord>>> TraceStore::FindXfersIntoBatch(
+    SymbolId run, const std::vector<PortProbe>& probes) const {
+  return FindBatchImpl<XferRecord>(kKindXferInto, tables::kXfer, "dst",
+                                   "dst_index", &DecodeXfer, run, probes);
+}
+
+Result<std::vector<std::vector<XferRecord>>> TraceStore::FindXfersFromBatch(
+    SymbolId run, const std::vector<PortProbe>& probes) const {
+  return FindBatchImpl<XferRecord>(kKindXferFrom, tables::kXfer, "src",
+                                   "src_index", &DecodeXfer, run, probes);
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindProducing(
@@ -365,14 +547,9 @@ Result<std::vector<XformRecord>> TraceStore::FindProducing(
 
 Result<std::vector<XformRecord>> TraceStore::FindConsuming(
     SymbolId run, SymbolId processor, SymbolId in_port, const Index& p) const {
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      OverlapProbe(tables::kXform, run, "in", IdPair{processor, in_port},
-                   "in_index", p));
-  std::vector<XformRecord> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) out.push_back(DecodeXform(row));
-  return out;
+  return FindOneImpl<XformRecord>(kKindConsuming, tables::kXform, "in",
+                                  "in_index", &DecodeXform, run,
+                                  IdPair{processor, in_port}, p);
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindConsuming(
@@ -387,14 +564,9 @@ Result<std::vector<XformRecord>> TraceStore::FindConsuming(
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
     SymbolId run, SymbolId dst_proc, SymbolId dst_port, const Index& p) const {
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      OverlapProbe(tables::kXfer, run, "dst", IdPair{dst_proc, dst_port},
-                   "dst_index", p));
-  std::vector<XferRecord> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) out.push_back(DecodeXfer(row));
-  return out;
+  return FindOneImpl<XferRecord>(kKindXferInto, tables::kXfer, "dst",
+                                 "dst_index", &DecodeXfer, run,
+                                 IdPair{dst_proc, dst_port}, p);
 }
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
@@ -409,14 +581,9 @@ Result<std::vector<XferRecord>> TraceStore::FindXfersInto(
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersFrom(
     SymbolId run, SymbolId src_proc, SymbolId src_port, const Index& p) const {
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      OverlapProbe(tables::kXfer, run, "src", IdPair{src_proc, src_port},
-                   "src_index", p));
-  std::vector<XferRecord> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) out.push_back(DecodeXfer(row));
-  return out;
+  return FindOneImpl<XferRecord>(kKindXferFrom, tables::kXfer, "src",
+                                 "src_index", &DecodeXfer, run,
+                                 IdPair{src_proc, src_port}, p);
 }
 
 Result<std::vector<XferRecord>> TraceStore::FindXfersFrom(

@@ -1,9 +1,14 @@
 #ifndef PROVLIN_PROVENANCE_TRACE_STORE_H_
 #define PROVLIN_PROVENANCE_TRACE_STORE_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -48,6 +53,61 @@ struct XferRecord {
   SymbolId dst_port = common::kNoSymbol;
   Index dst_index;
   int64_t value_id = -1;
+};
+
+/// One probe of a batched lineage level: which (processor, port) pair is
+/// asked about, at which index. The same shape serves all four overlap
+/// probes (producing / consuming / xfer-into / xfer-from).
+struct PortProbe {
+  SymbolId processor = common::kNoSymbol;
+  SymbolId port = common::kNoSymbol;
+  Index index;
+};
+
+/// Per-batch dedup memo for identical trace probes. The LineageService
+/// installs one per batch (via ProbeMemoScope): the first request to
+/// issue a given (probe kind, run, processor, port, index) pays the
+/// storage probes, every later identical probe in the batch is answered
+/// from memory. Internally synchronized — one memo is shared by all
+/// workers of a batch.
+class ProbeMemo {
+ public:
+  ProbeMemo() = default;
+  ProbeMemo(const ProbeMemo&) = delete;
+  ProbeMemo& operator=(const ProbeMemo&) = delete;
+
+  /// Probes answered from the memo / total memo consultations.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class TraceStore;
+  /// (probe kind, run, packed (processor, port), index id).
+  using Key = std::tuple<int, SymbolId, uint64_t, IndexId>;
+
+  std::mutex mu_;
+  std::map<Key, std::shared_ptr<const std::vector<XformRecord>>> xform_;
+  std::map<Key, std::shared_ptr<const std::vector<XferRecord>>> xfer_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> lookups_{0};
+};
+
+/// RAII installer: makes `memo` the calling thread's active probe memo
+/// for the scope's lifetime (scopes nest; the previous memo is restored
+/// on destruction). TraceStore's id-space Find* probes consult the
+/// active memo transparently.
+class ProbeMemoScope {
+ public:
+  explicit ProbeMemoScope(ProbeMemo* memo);
+  ~ProbeMemoScope();
+  ProbeMemoScope(const ProbeMemoScope&) = delete;
+  ProbeMemoScope& operator=(const ProbeMemoScope&) = delete;
+
+  /// The calling thread's active memo (nullptr outside any scope).
+  static ProbeMemo* Active();
+
+ private:
+  ProbeMemo* prev_;
 };
 
 /// Per-run record counts (the paper's "number of trace database
@@ -175,6 +235,22 @@ class TraceStore {
                                                 const std::string& src_port,
                                                 const Index& p) const;
 
+  // --- batched read side ---------------------------------------------------
+  // Each batch variant answers probes[i] exactly as its single-probe
+  // counterpart would (same rows, same order), but flattens the whole
+  // batch into one ExecuteMultiSelect pass per trace table: sorted
+  // probes share B+-tree descents, so the physical descent count drops
+  // while the logical probe count stays identical.
+
+  Result<std::vector<std::vector<XformRecord>>> FindProducingBatch(
+      SymbolId run, const std::vector<PortProbe>& probes) const;
+  Result<std::vector<std::vector<XformRecord>>> FindConsumingBatch(
+      SymbolId run, const std::vector<PortProbe>& probes) const;
+  Result<std::vector<std::vector<XferRecord>>> FindXfersIntoBatch(
+      SymbolId run, const std::vector<PortProbe>& probes) const;
+  Result<std::vector<std::vector<XferRecord>>> FindXfersFromBatch(
+      SymbolId run, const std::vector<PortProbe>& probes) const;
+
   /// Raw per-run scans (exporters / graph builders; not query paths).
   Result<std::vector<XformRecord>> ScanXforms(const std::string& run) const;
   Result<std::vector<XferRecord>> ScanXfers(const std::string& run) const;
@@ -198,15 +274,44 @@ class TraceStore {
  private:
   explicit TraceStore(storage::Database* db) : db_(db) {}
 
-  /// Runs an equality+overlap probe against `table` and decodes rows:
-  /// equality on (run, pair-column), point probes for q and its proper
-  /// prefixes, and one path-prefix range probe for strict extensions.
-  Result<std::vector<storage::Row>> OverlapProbe(const char* table,
-                                                 SymbolId run,
-                                                 const char* pair_col,
-                                                 storage::IdPair pair,
-                                                 const char* index_col,
-                                                 const Index& idx) const;
+  /// Runs an equality+overlap probe against `table` through independent
+  /// single ExecuteSelect calls: equality on (run, pair-column), point
+  /// probes for q and its proper prefixes, and one path-prefix range
+  /// probe for strict extensions. Emits each distinct matching row once,
+  /// in discovery order. Rows are borrowed from the table (zero-copy) —
+  /// consumed before any table write.
+  Status OverlapProbe(const char* table, SymbolId run, const char* pair_col,
+                      storage::IdPair pair, const char* index_col,
+                      const Index& idx,
+                      const std::function<void(const storage::Row&)>& emit)
+      const;
+
+  /// Batched overlap probes: the whole batch's sub-queries flatten into
+  /// one ExecuteMultiSelect pass. emit(i, row) fires once per distinct
+  /// row matching probes[i], in the same order OverlapProbe discovers
+  /// them.
+  Status OverlapProbeBatch(
+      const char* table, SymbolId run, const char* pair_col,
+      const char* index_col, const std::vector<PortProbe>& probes,
+      const std::function<void(size_t, const storage::Row&)>& emit) const;
+
+  /// Memo-aware single overlap probe, decoded. `kind` tags the memo key
+  /// space (one per public Find* flavor).
+  template <typename Record>
+  Result<std::vector<Record>> FindOneImpl(int kind, const char* table,
+                                          const char* pair_col,
+                                          const char* index_col,
+                                          Record (*decode)(const storage::Row&),
+                                          SymbolId run, storage::IdPair pair,
+                                          const Index& idx) const;
+
+  /// Memo-aware batched overlap probes, decoded; results[i] answers
+  /// probes[i].
+  template <typename Record>
+  Result<std::vector<std::vector<Record>>> FindBatchImpl(
+      int kind, const char* table, const char* pair_col, const char* index_col,
+      Record (*decode)(const storage::Row&), SymbolId run,
+      const std::vector<PortProbe>& probes) const;
 
   /// Logs a row insert into the WAL (no-op when detached).
   Status LogRow(uint8_t table_tag, const storage::Row& row);

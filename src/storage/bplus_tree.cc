@@ -46,6 +46,19 @@ bool EntryLess(const BPlusTree::Entry& a, const BPlusTree::Entry& b) {
   return a.rid < b.rid;
 }
 
+// Entry comparisons against a bare probe key, semantically identical to
+// EntryLess against Entry{key, rid 0} — used where materializing the
+// probe Entry would deep-copy the key.
+bool EntryBelowKey(const BPlusTree::Entry& e, const Key& key) {
+  // The rid tie-break can never fire: no rid is below the probe's 0.
+  return CompareKeys(e.key, key) < 0;
+}
+
+bool KeyBelowEntry(const Key& key, const BPlusTree::Entry& e) {
+  int c = CompareKeys(key, e.key);
+  return c < 0 || (c == 0 && e.rid != 0);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -66,6 +79,20 @@ const BPlusTree::LeafNode* BPlusTree::FindLeaf(const Entry& probe) const {
     // Child index = number of separators <= probe.
     size_t idx = static_cast<size_t>(
         std::upper_bound(in->seps.begin(), in->seps.end(), probe, EntryLess) -
+        in->seps.begin());
+    node = in->children[idx].get();
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+const BPlusTree::LeafNode* BPlusTree::FindLeafForKey(const Key& key) const {
+  // Same descent as FindLeaf(Entry{key, 0}) without copying the key.
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* in = static_cast<const InternalNode*>(node);
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(in->seps.begin(), in->seps.end(), key,
+                         KeyBelowEntry) -
         in->seps.begin());
     node = in->children[idx].get();
   }
@@ -306,6 +333,99 @@ std::vector<uint64_t> BPlusTree::RangeLookup(const Key& lo,
   for (Iterator it = Seek(lo); it.Valid(); it.Next()) {
     if (CompareKeys(it.key(), hi) > 0) break;
     out.push_back(it.rid());
+  }
+  return out;
+}
+
+BPlusTree::MultiSeekResult BPlusTree::MultiSeek(
+    const std::vector<Probe>& probes) const {
+  MultiSeekResult out;
+  if (probes.empty()) return out;
+  out.offsets.reserve(probes.size() + 1);
+
+  // Cursor invariant: (anchor_leaf, anchor_pos) is where the previous
+  // probe's matches *started* (its lower bound), and prev_lo is that
+  // probe's lower bound. lower_bound is monotone in the probe key, so
+  // any probe with lo >= prev_lo finds its own lower bound at or after
+  // the anchor — reachable by walking the leaf chain forward instead of
+  // re-descending from the root.
+  const LeafNode* anchor_leaf = nullptr;
+  size_t anchor_pos = 0;
+  const Key* prev_lo = nullptr;
+
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const Probe& probe = probes[i];
+
+    bool positioned = false;
+    if (anchor_leaf != nullptr && prev_lo != nullptr &&
+        CompareKeys(*prev_lo, probe.lo) <= 0) {
+      const LeafNode* leaf = anchor_leaf;
+      size_t start = anchor_pos;
+      for (int walked = 0; leaf != nullptr && walked <= kMaxLeafWalk;
+           ++walked) {
+        if (!leaf->entries.empty() &&
+            !EntryBelowKey(leaf->entries.back(), probe.lo)) {
+          // The lower bound lies in this leaf, at or after `start`
+          // (everything before `start` is below the previous — hence
+          // also this — probe's lower bound).
+          auto begin = leaf->entries.begin() + static_cast<long>(start);
+          auto it = std::lower_bound(begin, leaf->entries.end(), probe.lo,
+                                     EntryBelowKey);
+          anchor_leaf = leaf;
+          anchor_pos = static_cast<size_t>(it - leaf->entries.begin());
+          positioned = true;
+          break;
+        }
+        if (leaf->next == nullptr) {
+          // Ran off the chain: the lower bound is end-of-tree. Pin the
+          // anchor there so later (sorted) probes resolve without a
+          // futile descent.
+          anchor_leaf = leaf;
+          anchor_pos = leaf->entries.size();
+          positioned = true;
+          break;
+        }
+        leaf = leaf->next;
+        start = 0;
+      }
+    }
+    if (!positioned) {
+      ++out.descents;
+      const LeafNode* leaf = FindLeafForKey(probe.lo);
+      auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
+                                 probe.lo, EntryBelowKey);
+      anchor_leaf = leaf;
+      anchor_pos = static_cast<size_t>(it - leaf->entries.begin());
+    }
+    prev_lo = &probe.lo;
+
+    // Collect this probe's matches from the anchor forward.
+    const LeafNode* leaf = anchor_leaf;
+    size_t pos = anchor_pos;
+    while (leaf != nullptr) {
+      if (pos >= leaf->entries.size()) {
+        leaf = leaf->next;
+        pos = 0;
+        continue;
+      }
+      const Entry& e = leaf->entries[pos];
+      bool keep = false;
+      switch (probe.kind) {
+        case Probe::Kind::kPoint:
+          keep = CompareKeys(e.key, probe.lo) == 0;
+          break;
+        case Probe::Kind::kPrefix:
+          keep = KeyHasPrefix(e.key, probe.lo);
+          break;
+        case Probe::Kind::kRange:
+          keep = CompareKeys(e.key, probe.hi) <= 0;
+          break;
+      }
+      if (!keep) break;
+      out.rids.push_back(e.rid);
+      ++pos;
+    }
+    out.offsets.push_back(out.rids.size());
   }
   return out;
 }

@@ -50,6 +50,47 @@ class BPlusTree {
   /// full composite keys).
   std::vector<uint64_t> RangeLookup(const Key& lo, const Key& hi) const;
 
+  /// One probe of a MultiSeek batch: the batched forms of Lookup
+  /// (kPoint, key = lo), PrefixLookup (kPrefix, prefix = lo), and
+  /// RangeLookup (kRange, [lo, hi] inclusive).
+  struct Probe {
+    enum class Kind { kPoint, kPrefix, kRange };
+    Kind kind = Kind::kPoint;
+    Key lo;
+    Key hi;  // only read for kRange
+  };
+
+  /// Batched lookup answer in flat CSR form: probe i's row ids are
+  /// rids[offsets[i] .. offsets[i+1]), in the same order the
+  /// single-probe calls produce them, and descents counts the physical
+  /// root-to-leaf walks the batch cost. The flat layout is deliberate:
+  /// a vector-of-vectors costs one heap allocation per probe, which on
+  /// small in-memory trees outweighs the descents the batch saves.
+  struct MultiSeekResult {
+    std::vector<uint64_t> rids;
+    std::vector<size_t> offsets = {0};  // probe count + 1 entries
+    uint64_t descents = 0;
+
+    size_t num_probes() const { return offsets.size() - 1; }
+    /// Probe i's row ids as a copy — convenience for tests and
+    /// diagnostics; hot paths index rids/offsets directly.
+    std::vector<uint64_t> MatchesOf(size_t i) const {
+      return std::vector<uint64_t>(rids.begin() + static_cast<long>(offsets[i]),
+                                   rids.begin() +
+                                       static_cast<long>(offsets[i + 1]));
+    }
+  };
+
+  /// Answers a batch of probes in one amortized pass. The tree descends
+  /// from the root for the first probe only; each subsequent probe whose
+  /// lower bound is >= the previous probe's advances along the linked
+  /// leaf chain from the previous probe's start position (bounded by
+  /// kMaxLeafWalk leaves before falling back to a fresh descent).
+  /// Callers get maximum amortization by sorting probes by `lo`, but any
+  /// order is answered correctly — an out-of-order probe just pays a
+  /// descent.
+  MultiSeekResult MultiSeek(const std::vector<Probe>& probes) const;
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
@@ -86,6 +127,9 @@ class BPlusTree {
 
   static constexpr size_t kFanout = 64;
   static constexpr size_t kMinOccupancy = kFanout / 2;
+  /// How many leaves MultiSeek walks forward before a chain advance is
+  /// judged more expensive than a fresh O(height) descent.
+  static constexpr int kMaxLeafWalk = 8;
 
   /// Result of a child insert that overflowed and split.
   struct SplitResult {
@@ -101,6 +145,8 @@ class BPlusTree {
   void FixChildUnderflow(InternalNode* parent, size_t child_idx);
 
   const LeafNode* FindLeaf(const Entry& probe) const;
+  /// FindLeaf for a probe Entry{key, rid 0}, without copying the key.
+  const LeafNode* FindLeafForKey(const Key& key) const;
 
   std::unique_ptr<Node> root_;
   size_t size_ = 0;

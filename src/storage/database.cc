@@ -70,6 +70,8 @@ TableStats Database::AggregateStats() const {
     agg.index_probes += s.index_probes;
     agg.full_scans += s.full_scans;
     agg.rows_examined += s.rows_examined;
+    agg.batched_probes += s.batched_probes;
+    agg.descents += s.descents;
   }
   return agg;
 }

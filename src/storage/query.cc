@@ -1,6 +1,7 @@
 #include "storage/query.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace provlin::storage {
 
@@ -14,6 +15,16 @@ std::string_view AccessPathName(AccessPath path) {
       return "full-scan";
   }
   return "?";
+}
+
+std::optional<std::string> StringPrefixSuccessor(const std::string& prefix) {
+  std::string succ = prefix;
+  while (!succ.empty() && static_cast<unsigned char>(succ.back()) == 0xff) {
+    succ.pop_back();
+  }
+  if (succ.empty()) return std::nullopt;
+  succ.back() = static_cast<char>(static_cast<unsigned char>(succ.back()) + 1);
+  return succ;
 }
 
 namespace {
@@ -77,11 +88,20 @@ std::optional<IndexPath> PathSuccessor(const IndexPath& prefix) {
   return succ;
 }
 
-}  // namespace
+/// Allocation-free boundability checks, equivalent to
+/// StringPrefixSuccessor(p).has_value() / PathSuccessor(p).has_value().
+bool StringPrefixBoundable(const std::string& prefix) {
+  for (char c : prefix) {
+    if (static_cast<unsigned char>(c) != 0xff) return true;
+  }
+  return false;
+}
 
-Result<SelectResult> ExecuteSelect(const Table& table,
-                                   const SelectQuery& query) {
-  // Validate referenced columns up front.
+bool PathBoundable(const IndexPath& prefix) {
+  return !prefix.empty() && prefix.back() != INT32_MAX;
+}
+
+Status ValidateColumns(const Table& table, const SelectQuery& query) {
   for (const auto& e : query.equals) {
     PROVLIN_RETURN_IF_ERROR(table.schema().ColumnIndex(e.column).status());
   }
@@ -93,9 +113,16 @@ Result<SelectResult> ExecuteSelect(const Table& table,
     PROVLIN_RETURN_IF_ERROR(
         table.schema().ColumnIndex(query.path_prefix->column).status());
   }
+  return Status::OK();
+}
 
-  // Enumerate candidate plans.
-  std::vector<IndexSpec> specs = table.indexes();
+/// Picks the best access plan for `query`. Depends only on the query's
+/// *shape* — which columns have equality predicates, which column the
+/// prefix predicate sits on, and whether the prefix value admits a range
+/// upper bound — never on the probed values themselves, which is what
+/// lets ExecuteMultiSelect plan once per shape group.
+Candidate ChoosePlan(const std::vector<IndexSpec>& specs,
+                     const SelectQuery& query) {
   Candidate best;
   for (const IndexSpec& spec : specs) {
     Candidate cand;
@@ -121,65 +148,236 @@ Result<SelectResult> ExecuteSelect(const Table& table,
       }
       cand.eq_covered = i;
       if (query.string_prefix.has_value() && i < spec.columns.size() &&
-          spec.columns[i] == query.string_prefix->column) {
+          spec.columns[i] == query.string_prefix->column &&
+          StringPrefixBoundable(query.string_prefix->prefix)) {
         cand.uses_prefix = true;
       } else if (query.path_prefix.has_value() && i < spec.columns.size() &&
                  spec.columns[i] == query.path_prefix->column &&
-                 PathSuccessor(query.path_prefix->prefix).has_value()) {
+                 PathBoundable(query.path_prefix->prefix)) {
         cand.uses_path_prefix = true;
       }
       if (cand.score() == 0) continue;
     }
     if (cand.score() > best.score()) best = cand;
   }
+  return best;
+}
+
+/// Equality-probe key over the candidate's leading index columns.
+Key BuildEqKey(const SelectQuery& query, const Candidate& plan) {
+  Key probe;
+  probe.reserve(plan.eq_covered);
+  for (size_t i = 0; i < plan.eq_covered; ++i) {
+    probe.push_back(*FindEqual(query, plan.spec->columns[i]));
+  }
+  return probe;
+}
+
+/// One BPlusTree probe realizing `plan` for `query`, plus the access
+/// path it reports. Only valid for BTree candidates.
+BPlusTree::Probe BuildBTreeProbe(const SelectQuery& query,
+                                 const Candidate& plan,
+                                 AccessPath* access_path) {
+  BPlusTree::Probe probe;
+  probe.lo = BuildEqKey(query, plan);
+  if (plan.uses_prefix) {
+    *access_path = AccessPath::kIndexRange;
+    probe.kind = BPlusTree::Probe::Kind::kRange;
+    probe.hi = probe.lo;
+    probe.lo.push_back(Datum(query.string_prefix->prefix));
+    probe.hi.push_back(
+        Datum(*StringPrefixSuccessor(query.string_prefix->prefix)));
+  } else if (plan.uses_path_prefix) {
+    // [prefix, successor] is a superset of "extensions of prefix" by
+    // exactly the successor itself, which the residual filter drops;
+    // the scan stays one contiguous range of keys.
+    *access_path = AccessPath::kIndexRange;
+    probe.kind = BPlusTree::Probe::Kind::kRange;
+    probe.hi = probe.lo;
+    probe.lo.push_back(Datum(query.path_prefix->prefix));
+    probe.hi.push_back(Datum(*PathSuccessor(query.path_prefix->prefix)));
+  } else if (plan.eq_covered < plan.spec->columns.size()) {
+    *access_path = AccessPath::kIndexRange;
+    probe.kind = BPlusTree::Probe::Kind::kPrefix;
+  } else {
+    *access_path = AccessPath::kIndexEq;
+    probe.kind = BPlusTree::Probe::Kind::kPoint;
+  }
+  return probe;
+}
+
+bool ProbeLess(const BPlusTree::Probe& a, const BPlusTree::Probe& b) {
+  return CompareKeys(a.lo, b.lo) < 0;
+}
+
+/// Residual-filters the rids in [rids, rids + n) into `out` (copy or
+/// zero-copy per options). Raw span so MultiSeek's flat CSR result can
+/// be sliced without per-probe copies.
+void FilterInto(const Table& table, const SelectQuery& query,
+                const uint64_t* rids, size_t n, const SelectOptions& options,
+                SelectResult* out) {
+  out->zero_copy = options.zero_copy;
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t rid = rids[k];
+    const Row* row = table.PeekRow(rid);
+    if (row == nullptr || !RowMatches(table.schema(), *row, query)) continue;
+    if (options.zero_copy) {
+      out->rids.push_back(rid);
+      out->row_ptrs.push_back(row);
+    } else {
+      out->rows.push_back(*row);
+    }
+  }
+}
+
+}  // namespace
+
+Result<SelectResult> ExecuteSelect(const Table& table,
+                                   const SelectQuery& query,
+                                   const SelectOptions& options) {
+  PROVLIN_RETURN_IF_ERROR(ValidateColumns(table, query));
+
+  std::vector<IndexSpec> specs = table.indexes();
+  Candidate best = ChoosePlan(specs, query);
 
   SelectResult out;
   std::vector<uint64_t> rids;
   if (best.spec == nullptr) {
     out.access_path = AccessPath::kFullScan;
     rids = table.FullScan();
+  } else if (best.spec->type == IndexType::kHash) {
+    out.index_used = best.spec->name;
+    out.access_path = AccessPath::kIndexEq;
+    PROVLIN_ASSIGN_OR_RETURN(
+        rids, table.IndexLookup(best.spec->name, BuildEqKey(query, best)));
   } else {
     out.index_used = best.spec->name;
-    Key probe;
-    for (size_t i = 0; i < best.eq_covered; ++i) {
-      probe.push_back(*FindEqual(query, best.spec->columns[i]));
-    }
-    if (best.uses_prefix) {
-      out.access_path = AccessPath::kIndexRange;
-      Key lo = probe;
-      Key hi = probe;
-      lo.push_back(Datum(query.string_prefix->prefix));
-      hi.push_back(Datum(query.string_prefix->prefix + "\xff\xff\xff\xff"));
-      PROVLIN_ASSIGN_OR_RETURN(
-          rids, table.IndexRangeLookup(best.spec->name, lo, hi));
-    } else if (best.uses_path_prefix) {
-      // [prefix, successor] is a superset of "extensions of prefix" by
-      // exactly the successor path itself, which the residual filter
-      // drops; the scan stays one contiguous range of integer keys.
-      out.access_path = AccessPath::kIndexRange;
-      Key lo = probe;
-      Key hi = probe;
-      lo.push_back(Datum(query.path_prefix->prefix));
-      hi.push_back(Datum(*PathSuccessor(query.path_prefix->prefix)));
-      PROVLIN_ASSIGN_OR_RETURN(
-          rids, table.IndexRangeLookup(best.spec->name, lo, hi));
-    } else if (best.spec->type == IndexType::kBTree &&
-               best.eq_covered < best.spec->columns.size()) {
-      out.access_path = AccessPath::kIndexRange;
-      PROVLIN_ASSIGN_OR_RETURN(
-          rids, table.IndexPrefixLookup(best.spec->name, probe));
-    } else {
-      out.access_path = AccessPath::kIndexEq;
+    BPlusTree::Probe probe = BuildBTreeProbe(query, best, &out.access_path);
+    if (probe.kind == BPlusTree::Probe::Kind::kPoint) {
       PROVLIN_ASSIGN_OR_RETURN(rids,
-                               table.IndexLookup(best.spec->name, probe));
+                               table.IndexLookup(best.spec->name, probe.lo));
+    } else if (probe.kind == BPlusTree::Probe::Kind::kPrefix) {
+      PROVLIN_ASSIGN_OR_RETURN(
+          rids, table.IndexPrefixLookup(best.spec->name, probe.lo));
+    } else {
+      PROVLIN_ASSIGN_OR_RETURN(
+          rids, table.IndexRangeLookup(best.spec->name, probe.lo, probe.hi));
     }
   }
 
-  // Apply residual predicates.
-  for (uint64_t rid : rids) {
-    PROVLIN_ASSIGN_OR_RETURN(Row row, table.Get(rid));
-    if (RowMatches(table.schema(), row, query)) {
-      out.rows.push_back(std::move(row));
+  FilterInto(table, query, rids.data(), rids.size(), options, &out);
+  return out;
+}
+
+Result<std::vector<SelectResult>> ExecuteMultiSelect(
+    const Table& table, const std::vector<SelectQuery>& queries,
+    const SelectOptions& options) {
+  std::vector<SelectResult> out(queries.size());
+  if (queries.empty()) return out;
+
+  for (const SelectQuery& q : queries) {
+    PROVLIN_RETURN_IF_ERROR(ValidateColumns(table, q));
+  }
+  std::vector<IndexSpec> specs = table.indexes();
+
+  // Group query ordinals by predicate shape. The shape captures every
+  // input ChoosePlan reads, so one plan per group is exact: equality
+  // columns in declaration order (count matters for hash eligibility)
+  // plus the prefix predicate's column and range-boundability. Shapes
+  // are compared structurally — batches are hot enough that building a
+  // per-query key string would dominate small-tree probes.
+  auto same_shape = [](const SelectQuery& a, const SelectQuery& b) {
+    if (a.equals.size() != b.equals.size()) return false;
+    for (size_t i = 0; i < a.equals.size(); ++i) {
+      if (a.equals[i].column != b.equals[i].column) return false;
+    }
+    if (a.string_prefix.has_value() != b.string_prefix.has_value()) {
+      return false;
+    }
+    if (a.string_prefix.has_value() &&
+        (a.string_prefix->column != b.string_prefix->column ||
+         StringPrefixBoundable(a.string_prefix->prefix) !=
+             StringPrefixBoundable(b.string_prefix->prefix))) {
+      return false;
+    }
+    if (a.path_prefix.has_value() != b.path_prefix.has_value()) return false;
+    if (a.path_prefix.has_value() &&
+        (a.path_prefix->column != b.path_prefix->column ||
+         PathBoundable(a.path_prefix->prefix) !=
+             PathBoundable(b.path_prefix->prefix))) {
+      return false;
+    }
+    return true;
+  };
+
+  // Linear scan over group representatives: real batches have a handful
+  // of shapes, so this stays O(n · shapes) with zero allocation per
+  // query.
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bool placed = false;
+    for (std::vector<size_t>& g : groups) {
+      if (same_shape(queries[g.front()], queries[i])) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  for (std::vector<size_t>& members : groups) {
+    Candidate plan = ChoosePlan(specs, queries[members.front()]);
+    if (plan.spec == nullptr || plan.spec->type == IndexType::kHash) {
+      // Hash probes and full scans have no descent to amortize; answer
+      // each member through the single-query path.
+      for (size_t i : members) {
+        PROVLIN_ASSIGN_OR_RETURN(out[i],
+                                 ExecuteSelect(table, queries[i], options));
+      }
+      continue;
+    }
+
+    // BTree group: one probe per query, sorted by lower bound so the
+    // multi-seek advances along the leaf chain between them.
+    std::vector<BPlusTree::Probe> probes;
+    probes.reserve(members.size());
+    std::vector<AccessPath> paths(members.size());
+    for (size_t m = 0; m < members.size(); ++m) {
+      probes.push_back(
+          BuildBTreeProbe(queries[members[m]], plan, &paths[m]));
+    }
+    // Trace-probe batches arrive (nearly) sorted — the generators emit
+    // probes in key order — so checking dodges the n·log n key
+    // comparisons in the common case.
+    if (std::is_sorted(probes.begin(), probes.end(), ProbeLess)) {
+      PROVLIN_ASSIGN_OR_RETURN(BPlusTree::MultiSeekResult seek,
+                               table.IndexMultiSeek(plan.spec->name, probes));
+      for (size_t m = 0; m < members.size(); ++m) {
+        size_t i = members[m];
+        out[i].access_path = paths[m];
+        out[i].index_used = plan.spec->name;
+        FilterInto(table, queries[i], seek.rids.data() + seek.offsets[m],
+                   seek.offsets[m + 1] - seek.offsets[m], options, &out[i]);
+      }
+      continue;
+    }
+    std::vector<size_t> order(members.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return ProbeLess(probes[a], probes[b]);
+    });
+    std::vector<BPlusTree::Probe> sorted;
+    sorted.reserve(probes.size());
+    for (size_t m : order) sorted.push_back(std::move(probes[m]));
+    PROVLIN_ASSIGN_OR_RETURN(BPlusTree::MultiSeekResult seek,
+                             table.IndexMultiSeek(plan.spec->name, sorted));
+    for (size_t s = 0; s < order.size(); ++s) {
+      size_t i = members[order[s]];
+      out[i].access_path = paths[order[s]];
+      out[i].index_used = plan.spec->name;
+      FilterInto(table, queries[i], seek.rids.data() + seek.offsets[s],
+                 seek.offsets[s + 1] - seek.offsets[s], options, &out[i]);
     }
   }
   return out;

@@ -45,23 +45,81 @@ enum class AccessPath { kIndexEq, kIndexRange, kFullScan };
 
 std::string_view AccessPathName(AccessPath path);
 
+/// Borrowed view of one matching row. In zero-copy mode the view points
+/// into the table's own row storage, so it is invalidated by the next
+/// write (Insert/Delete) to that table — views must be consumed before
+/// any mutation, the same lifetime rule as Table::PeekRow.
+class RowView {
+ public:
+  RowView() = default;
+  explicit RowView(const Row* row) : row_(row) {}
+
+  bool valid() const { return row_ != nullptr; }
+  const Row& row() const { return *row_; }
+  const Datum& operator[](size_t col) const { return (*row_)[col]; }
+  size_t size() const { return row_->size(); }
+
+ private:
+  const Row* row_ = nullptr;
+};
+
+struct SelectOptions {
+  /// When set, results carry row ids + borrowed row pointers instead of
+  /// deep-copied rows (see RowView for the lifetime rule). The hot trace
+  /// probes use this to stop paying a Datum deep-copy per matching row.
+  bool zero_copy = false;
+};
+
 struct SelectResult {
+  /// Deep-copied rows (copy mode only).
   std::vector<Row> rows;
+  /// Matching row ids (zero-copy mode only), in result order.
+  std::vector<uint64_t> rids;
+  /// Borrowed rows parallel to `rids` (zero-copy mode only).
+  std::vector<const Row*> row_ptrs;
   AccessPath access_path = AccessPath::kFullScan;
   std::string index_used;  // empty for full scans
+  bool zero_copy = false;
+
+  size_t num_rows() const { return zero_copy ? rids.size() : rows.size(); }
+  RowView ViewAt(size_t i) const {
+    return RowView(zero_copy ? row_ptrs[i] : &rows[i]);
+  }
 };
+
+/// Smallest string that sorts after every extension of `prefix`: the
+/// prefix with trailing 0xFF bytes dropped and the last remaining byte
+/// bumped (mirroring the path-prefix successor). nullopt when no finite
+/// successor exists (empty or all-0xFF prefix — such prefixes cannot
+/// bound an index range and fall back to the residual filter).
+std::optional<std::string> StringPrefixSuccessor(const std::string& prefix);
 
 /// Plans and executes `query` against `table`.
 ///
 /// Index selection: a BTree index is usable when its leading columns are
 /// covered by equality predicates; if a string-prefix predicate exists it
 /// must sit on the next index column, turning the probe into a range scan
-/// (prefix .. prefix+0xFF). A hash index is usable only when its columns
+/// (prefix .. successor). A hash index is usable only when its columns
 /// are exactly the equality-predicate columns. Among usable indexes the
 /// one covering the most predicates wins. Residual predicates are applied
 /// as a filter; with no usable index the table is fully scanned.
 Result<SelectResult> ExecuteSelect(const Table& table,
-                                   const SelectQuery& query);
+                                   const SelectQuery& query,
+                                   const SelectOptions& options = {});
+
+/// Answers a batch of queries against one table in one amortized pass.
+/// Queries are planned once per predicate shape (the set of equality
+/// columns plus the prefix predicate's column — index choice depends
+/// only on the shape, not the probed values), grouped onto their chosen
+/// BTree index, sorted by probe key, and executed through
+/// Table::IndexMultiSeek so consecutive probes advance along the leaf
+/// chain instead of re-descending. Queries whose plan is not a BTree
+/// probe (hash index, full scan, un-boundable prefix) are answered
+/// individually. results[i] answers queries[i], identical to what
+/// ExecuteSelect(table, queries[i], options) returns.
+Result<std::vector<SelectResult>> ExecuteMultiSelect(
+    const Table& table, const std::vector<SelectQuery>& queries,
+    const SelectOptions& options = {});
 
 }  // namespace provlin::storage
 

@@ -14,6 +14,8 @@ TableStats Table::StatsCounters::Snapshot() const {
   s.index_probes = index_probes.load(std::memory_order_relaxed);
   s.full_scans = full_scans.load(std::memory_order_relaxed);
   s.rows_examined = rows_examined.load(std::memory_order_relaxed);
+  s.batched_probes = batched_probes.load(std::memory_order_relaxed);
+  s.descents = descents.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -23,6 +25,8 @@ void Table::StatsCounters::Reset() {
   index_probes.store(0, std::memory_order_relaxed);
   full_scans.store(0, std::memory_order_relaxed);
   rows_examined.store(0, std::memory_order_relaxed);
+  batched_probes.store(0, std::memory_order_relaxed);
+  descents.store(0, std::memory_order_relaxed);
 }
 
 Table::Table(std::string name, Schema schema)
@@ -117,6 +121,13 @@ Result<Row> Table::Get(uint64_t rid) const {
   return rows_[rid];
 }
 
+const Row* Table::PeekRow(uint64_t rid) const {
+  if (rid >= rows_.size() || deleted_[rid]) return nullptr;
+  stats_.Bump(stats_.rows_examined);
+  ++ThisThreadStats().rows_examined;
+  return &rows_[rid];
+}
+
 Result<const Table::SecondaryIndex*> Table::FindIndex(
     std::string_view index_name) const {
   for (const auto& idx : indexes_) {
@@ -136,7 +147,11 @@ Result<std::vector<uint64_t>> Table::IndexLookup(std::string_view index_name,
   }
   stats_.Bump(stats_.index_probes);
   ++ThisThreadStats().index_probes;
-  if (idx->btree != nullptr) return idx->btree->Lookup(key);
+  if (idx->btree != nullptr) {
+    stats_.Bump(stats_.descents);
+    ++ThisThreadStats().descents;
+    return idx->btree->Lookup(key);
+  }
   return idx->hash->Lookup(key);
 }
 
@@ -151,6 +166,8 @@ Result<std::vector<uint64_t>> Table::IndexPrefixLookup(
   }
   stats_.Bump(stats_.index_probes);
   ++ThisThreadStats().index_probes;
+  stats_.Bump(stats_.descents);
+  ++ThisThreadStats().descents;
   return idx->btree->PrefixLookup(prefix);
 }
 
@@ -162,7 +179,27 @@ Result<std::vector<uint64_t>> Table::IndexRangeLookup(
   }
   stats_.Bump(stats_.index_probes);
   ++ThisThreadStats().index_probes;
+  stats_.Bump(stats_.descents);
+  ++ThisThreadStats().descents;
   return idx->btree->RangeLookup(lo, hi);
+}
+
+Result<BPlusTree::MultiSeekResult> Table::IndexMultiSeek(
+    std::string_view index_name,
+    const std::vector<BPlusTree::Probe>& probes) const {
+  PROVLIN_ASSIGN_OR_RETURN(const SecondaryIndex* idx, FindIndex(index_name));
+  if (idx->btree == nullptr) {
+    return Status::InvalidArgument("multi-seek requires a BTree index");
+  }
+  uint64_t n = probes.size();
+  stats_.Bump(stats_.index_probes, n);
+  stats_.Bump(stats_.batched_probes, n);
+  ThisThreadStats().index_probes += n;
+  ThisThreadStats().batched_probes += n;
+  BPlusTree::MultiSeekResult result = idx->btree->MultiSeek(probes);
+  stats_.Bump(stats_.descents, result.descents);
+  ThisThreadStats().descents += result.descents;
+  return result;
 }
 
 std::vector<uint64_t> Table::FullScan() const {

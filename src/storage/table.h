@@ -34,6 +34,14 @@ struct TableStats {
   uint64_t index_probes = 0;
   uint64_t full_scans = 0;
   uint64_t rows_examined = 0;
+  /// Logical probes that were submitted through a batched lookup
+  /// (IndexMultiSeek). Each such probe also counts in index_probes —
+  /// batching changes the physical execution, never the logical count.
+  uint64_t batched_probes = 0;
+  /// Physical root-to-leaf B+-tree descents. A single-probe lookup costs
+  /// exactly one; a batch amortizes — descents <= probes is the whole
+  /// point of the batched layer. Hash probes never descend.
+  uint64_t descents = 0;
 };
 
 /// Per-thread access-path counters, mirroring the read-side TableStats
@@ -47,6 +55,8 @@ struct ThreadStats {
   uint64_t index_probes = 0;
   uint64_t full_scans = 0;
   uint64_t rows_examined = 0;
+  uint64_t batched_probes = 0;
+  uint64_t descents = 0;
 
   uint64_t probes() const { return index_probes + full_scans; }
 };
@@ -78,6 +88,13 @@ class Table {
   /// Fetches a live row.
   Result<Row> Get(uint64_t rid) const;
 
+  /// Zero-copy read of a live row: a pointer into the table's own row
+  /// storage, or nullptr for dead/out-of-range rids. The pointer is
+  /// invalidated by the next write to this table (Insert may reallocate
+  /// the heap, Delete tombstones) — callers on the read-only query path
+  /// must finish with it before any mutation.
+  const Row* PeekRow(uint64_t rid) const;
+
   /// Row ids whose indexed columns equal `key` (one datum per index
   /// column, in index order).
   Result<std::vector<uint64_t>> IndexLookup(std::string_view index_name,
@@ -91,6 +108,14 @@ class Table {
   Result<std::vector<uint64_t>> IndexRangeLookup(std::string_view index_name,
                                                  const Key& lo,
                                                  const Key& hi) const;
+
+  /// Answers a batch of probes against one BTree index in a single
+  /// amortized pass (see BPlusTree::MultiSeek). Counts every probe as a
+  /// logical index probe (and as a batched one), but only the physical
+  /// descents the batch actually paid.
+  Result<BPlusTree::MultiSeekResult> IndexMultiSeek(
+      std::string_view index_name,
+      const std::vector<BPlusTree::Probe>& probes) const;
 
   /// All live row ids, in insertion order. Counts as a full scan.
   std::vector<uint64_t> FullScan() const;
@@ -126,6 +151,8 @@ class Table {
     std::atomic<uint64_t> index_probes{0};
     std::atomic<uint64_t> full_scans{0};
     std::atomic<uint64_t> rows_examined{0};
+    std::atomic<uint64_t> batched_probes{0};
+    std::atomic<uint64_t> descents{0};
 
     TableStats Snapshot() const;
     void Reset();

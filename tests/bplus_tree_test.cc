@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "common/random.h"
@@ -138,6 +139,140 @@ TEST(BPlusTree, DeleteDownToEmptyShrinksRoot) {
   EXPECT_EQ(tree.height(), 1);
   EXPECT_TRUE(tree.CheckInvariants().ok());
 }
+
+// ---------------------------------------------------------------------------
+// MultiSeek: batched probes must answer exactly like repeated single
+// lookups, for fewer descents.
+// ---------------------------------------------------------------------------
+
+using Probe = BPlusTree::Probe;
+
+TEST(BPlusTreeMultiSeek, EmptyBatchCostsNothing) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  BPlusTree::MultiSeekResult r = tree.MultiSeek({});
+  EXPECT_EQ(r.num_probes(), 0u);
+  EXPECT_TRUE(r.rids.empty());
+  EXPECT_EQ(r.descents, 0u);
+}
+
+TEST(BPlusTreeMultiSeek, SortedPointProbesShareOneDescent) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 200; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  // Consecutive keys live on the same or adjacent leaves, so the whole
+  // sorted batch should cost exactly one root-to-leaf descent.
+  std::vector<Probe> probes;
+  for (int64_t i = 10; i < 20; ++i) {
+    probes.push_back({Probe::Kind::kPoint, K(i), {}});
+  }
+  BPlusTree::MultiSeekResult r = tree.MultiSeek(probes);
+  ASSERT_EQ(r.num_probes(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(r.MatchesOf(i), tree.Lookup(probes[i].lo)) << i;
+  }
+  EXPECT_EQ(r.descents, 1u);
+}
+
+TEST(BPlusTreeMultiSeek, DuplicateProbesReuseTheAnchor) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 500; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  std::vector<Probe> probes(5, Probe{Probe::Kind::kPoint, K(123), {}});
+  BPlusTree::MultiSeekResult r = tree.MultiSeek(probes);
+  for (size_t i = 0; i < r.num_probes(); ++i) {
+    EXPECT_EQ(r.MatchesOf(i), (std::vector<uint64_t>{123}));
+  }
+  EXPECT_EQ(r.descents, 1u);
+}
+
+TEST(BPlusTreeMultiSeek, UnsortedProbesStayCorrect) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 300; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  std::vector<Probe> probes{{Probe::Kind::kPoint, K(250), {}},
+                            {Probe::Kind::kPoint, K(3), {}},
+                            {Probe::Kind::kPoint, K(170), {}}};
+  BPlusTree::MultiSeekResult r = tree.MultiSeek(probes);
+  EXPECT_EQ(r.MatchesOf(0), tree.Lookup(K(250)));
+  EXPECT_EQ(r.MatchesOf(1), tree.Lookup(K(3)));
+  EXPECT_EQ(r.MatchesOf(2), tree.Lookup(K(170)));
+}
+
+TEST(BPlusTreeMultiSeek, ProbesPastTheEndPinToTheTail) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 64; ++i) tree.Insert(K(i), static_cast<uint64_t>(i));
+  std::vector<Probe> probes{{Probe::Kind::kPoint, K(1000), {}},
+                            {Probe::Kind::kPoint, K(2000), {}},
+                            {Probe::Kind::kPoint, K(3000), {}}};
+  BPlusTree::MultiSeekResult r = tree.MultiSeek(probes);
+  EXPECT_TRUE(r.rids.empty());
+  // Once the batch walks off the end of the chain, later (larger) probes
+  // must not pay fresh descents.
+  EXPECT_EQ(r.descents, 1u);
+}
+
+class MultiSeekFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiSeekFuzz, MatchesRepeatedSingleLookups) {
+  Random rng(GetParam());
+  BPlusTree tree;
+  // Clustered keys with duplicates so probes hit multi-rid runs, empty
+  // gaps, and leaf boundaries.
+  size_t n = 500 + rng.Uniform(2000);
+  for (size_t i = 0; i < n; ++i) {
+    tree.Insert(K(static_cast<int64_t>(rng.Uniform(400))), rng.Uniform(6));
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  for (int round = 0; round < 10; ++round) {
+    size_t batch = rng.Uniform(40);  // includes empty batches
+    std::vector<Probe> probes;
+    probes.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      int64_t a = static_cast<int64_t>(rng.Uniform(450));
+      switch (rng.Uniform(3)) {
+        case 0:
+          probes.push_back({Probe::Kind::kPoint, K(a), {}});
+          break;
+        case 1:
+          // Composite prefix: first component only.
+          probes.push_back({Probe::Kind::kPrefix, K(a), {}});
+          break;
+        default: {
+          int64_t b = a + static_cast<int64_t>(rng.Uniform(30));
+          probes.push_back({Probe::Kind::kRange, K(a), K(b)});
+          break;
+        }
+      }
+    }
+    // Sort by lower bound (the production path always does); ties and
+    // overlapping ranges stay in the batch.
+    std::stable_sort(probes.begin(), probes.end(),
+                     [](const Probe& x, const Probe& y) {
+                       return CompareKeys(x.lo, y.lo) < 0;
+                     });
+    BPlusTree::MultiSeekResult r = tree.MultiSeek(probes);
+    ASSERT_EQ(r.num_probes(), probes.size());
+    EXPECT_LE(r.descents, probes.size());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      std::vector<uint64_t> expect;
+      switch (probes[i].kind) {
+        case Probe::Kind::kPoint:
+          expect = tree.Lookup(probes[i].lo);
+          break;
+        case Probe::Kind::kPrefix:
+          expect = tree.PrefixLookup(probes[i].lo);
+          break;
+        case Probe::Kind::kRange:
+          expect = tree.RangeLookup(probes[i].lo, probes[i].hi);
+          break;
+      }
+      ASSERT_EQ(r.MatchesOf(i), expect)
+          << "seed " << GetParam() << " round " << round << " probe " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSeekFuzz,
+                         ::testing::Values(7, 11, 19, 23, 42, 77, 101, 2024));
 
 // ---------------------------------------------------------------------------
 // Randomized differential test against std::multimap-like reference.

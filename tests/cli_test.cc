@@ -13,8 +13,13 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   CliTest() {
-    db_path_ = std::string(::testing::TempDir()) + "/cli_test.db";
-    wal_path_ = std::string(::testing::TempDir()) + "/cli_test.wal";
+    // Per-test paths: ctest runs each test in its own process, and
+    // concurrent tests sharing one db file race each other.
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    db_path_ = std::string(::testing::TempDir()) + "/cli_" + name + ".db";
+    wal_path_ = std::string(::testing::TempDir()) + "/cli_" + name + ".wal";
     std::remove(db_path_.c_str());
     std::remove(wal_path_.c_str());
   }

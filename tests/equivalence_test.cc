@@ -12,6 +12,8 @@
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
 #include "tests/random_workflow.h"
+#include "testbed/gk_workflow.h"
+#include "testbed/pd_workflow.h"
 #include "testbed/synthetic.h"
 #include "testbed/workbench.h"
 
@@ -128,6 +130,143 @@ TEST_P(EquivalenceTest, IndexProjMatchesNaiveOnRandomWorkflows) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
                          ::testing::Range<uint64_t>(1, 81));
+
+// ---------------------------------------------------------------------------
+// Batched probe execution is purely physical: engines constructed in
+// kSingleProbe and kBatched mode must return byte-identical bindings and
+// issue the same logical probes; batching may only reduce descents.
+// ---------------------------------------------------------------------------
+
+void ExpectModesAgree(testbed::Workbench* wb, const std::string& run_id,
+                      const std::vector<std::pair<PortRef, Index>>& queries,
+                      const std::vector<InterestSet>& interests) {
+  NaiveLineage ni_single(wb->store(), ProbeExecution::kSingleProbe);
+  NaiveLineage ni_batched(wb->store(), ProbeExecution::kBatched);
+  auto ip_single = IndexProjLineage::Create(wb->flow(), wb->store(),
+                                            ProbeExecution::kSingleProbe);
+  auto ip_batched = IndexProjLineage::Create(wb->flow(), wb->store(),
+                                             ProbeExecution::kBatched);
+  ASSERT_TRUE(ip_single.ok());
+  ASSERT_TRUE(ip_batched.ok());
+
+  for (const auto& [port, q] : queries) {
+    for (const InterestSet& interest : interests) {
+      LineageRequest req =
+          LineageRequest::SingleRun(run_id, port, q, interest);
+      auto tag = [&] {
+        return port.ToString() + q.ToString() + " |P|=" +
+               std::to_string(interest.size());
+      };
+
+      auto ns = ni_single.Query(req);
+      auto nb = ni_batched.Query(req);
+      ASSERT_TRUE(ns.ok()) << tag() << ": " << ns.status().ToString();
+      ASSERT_TRUE(nb.ok()) << tag() << ": " << nb.status().ToString();
+      EXPECT_EQ(ns->bindings, nb->bindings) << "NI modes diverge at " << tag();
+      EXPECT_EQ(ns->timing.trace_probes, nb->timing.trace_probes)
+          << "NI logical probes changed at " << tag();
+      EXPECT_LE(nb->timing.trace_descents, ns->timing.trace_descents)
+          << "NI batching added descents at " << tag();
+
+      auto is = ip_single->Query(req);
+      auto ib = ip_batched->Query(req);
+      ASSERT_TRUE(is.ok()) << tag() << ": " << is.status().ToString();
+      ASSERT_TRUE(ib.ok()) << tag() << ": " << ib.status().ToString();
+      EXPECT_EQ(is->bindings, ib->bindings)
+          << "IndexProj modes diverge at " << tag();
+      EXPECT_EQ(is->timing.trace_probes, ib->timing.trace_probes)
+          << "IndexProj logical probes changed at " << tag();
+      EXPECT_LE(ib->timing.trace_descents, is->timing.trace_descents)
+          << "IndexProj batching added descents at " << tag();
+
+      // Cross-check: all four answers agree.
+      EXPECT_EQ(nb->bindings, ib->bindings)
+          << "NI vs IndexProj diverge at " << tag();
+    }
+  }
+}
+
+/// Workflow-output query set for a finished run: whole value plus every
+/// leaf index of each output.
+std::vector<std::pair<PortRef, Index>> OutputQueries(
+    const engine::RunResult& run) {
+  std::vector<std::pair<PortRef, Index>> queries;
+  for (const auto& [port, value] : run.outputs) {
+    PortRef ref{kWorkflowProcessor, port};
+    queries.push_back({ref, Index()});
+    for (const Index& leaf : value.LeafIndices()) {
+      queries.push_back({ref, leaf});
+    }
+  }
+  return queries;
+}
+
+TEST(BatchedModeEquivalence, Synthetic) {
+  auto wb = std::move(*Workbench::Synthetic(20));
+  ASSERT_TRUE(wb->RunSynthetic(8, "r0").ok());
+  std::vector<std::pair<PortRef, Index>> queries = {
+      {{kWorkflowProcessor, "RESULT"}, Index()},
+      {{kWorkflowProcessor, "RESULT"}, Index({1, 2})},
+      {{kWorkflowProcessor, "RESULT"}, Index({3})},
+  };
+  ExpectModesAgree(&*wb, "r0", queries,
+                   {{}, {kWorkflowProcessor}, {testbed::kListGen}});
+}
+
+TEST(BatchedModeEquivalence, GK) {
+  auto wb = std::move(*Workbench::GK());
+  auto run = wb->Run({{"list_of_geneIDList", testbed::GkSampleInput()}}, "r0");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  InterestSet one{wb->flow()->processors().front().name};
+  ExpectModesAgree(&*wb, "r0", OutputQueries(*run),
+                   {{}, {kWorkflowProcessor}, one});
+}
+
+TEST(BatchedModeEquivalence, PD) {
+  auto wb = std::move(*Workbench::PD(/*text_steps=*/5));
+  auto run = wb->Run({{"terms", testbed::PdSampleInput()}}, "r0");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  InterestSet one{wb->flow()->processors().front().name};
+  ExpectModesAgree(&*wb, "r0", OutputQueries(*run),
+                   {{}, {kWorkflowProcessor}, one});
+}
+
+class ModeEquivalenceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModeEquivalenceFuzz, RandomWorkflows) {
+  uint64_t seed = GetParam();
+  GeneratedWorkflow gen = MakeRandomWorkflow(seed);
+  ASSERT_NE(gen.flow, nullptr);
+
+  auto registry = std::make_shared<engine::ActivityRegistry>();
+  engine::RegisterBuiltinActivities(registry.get());
+  auto wb_result = Workbench::Create(gen.flow, registry);
+  ASSERT_TRUE(wb_result.ok());
+  auto wb = std::move(*wb_result);
+
+  auto run = wb->Run(gen.inputs, "r0");
+  if (!run.ok() && IsDotShapeMismatch(run.status())) {
+    GTEST_SKIP() << "seed " << seed << ": ragged dot pair, skipped";
+  }
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  Random rng(seed * 131 + 3);
+  std::vector<std::pair<PortRef, Index>> queries;
+  for (const auto& [port, value] : run->outputs) {
+    PortRef ref{kWorkflowProcessor, port};
+    queries.push_back({ref, Index()});
+    std::vector<Index> leaves = value.LeafIndices();
+    if (!leaves.empty()) {
+      queries.push_back({ref, leaves[rng.Uniform(leaves.size())]});
+    }
+  }
+  const auto& procs = gen.flow->processors();
+  InterestSet one{procs[rng.Uniform(procs.size())].name};
+  ExpectModesAgree(&*wb, "r0", queries, {{}, {kWorkflowProcessor}, one});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalenceFuzz,
+                         ::testing::Range<uint64_t>(1, 26));
 
 TEST(IdStringEquivalence, ProbeOverloadsReturnIdenticalRows) {
   // The string probe APIs are thin shims over the interned-id overloads;

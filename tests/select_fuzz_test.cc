@@ -129,6 +129,104 @@ TEST_P(SelectFuzzTest, PlannerAgreesWithBruteForce) {
   }
 }
 
+// Batched execution must be indistinguishable from issuing every query
+// separately: same rows, same order, same access-path report — for any
+// mix of shapes (point, range, prefix, full-scan, hash) in one batch.
+TEST_P(SelectFuzzTest, MultiSelectAgreesWithSingleSelect) {
+  Random rng(GetParam() + 10'000);
+
+  Schema schema({{"a", DatumKind::kString},
+                 {"b", DatumKind::kString},
+                 {"c", DatumKind::kInt},
+                 {"d", DatumKind::kString}});
+  Table table("t", schema);
+
+  size_t num_indexes = rng.Uniform(4);
+  for (size_t i = 0; i < num_indexes; ++i) {
+    IndexSpec spec;
+    spec.name = "idx" + std::to_string(i);
+    spec.type = rng.Bernoulli(0.5) ? IndexType::kBTree : IndexType::kHash;
+    std::vector<std::string> cols{"a", "b", "c", "d"};
+    size_t n = 1 + rng.Uniform(3);
+    for (size_t k = 0; k < n; ++k) {
+      size_t pick = rng.Uniform(cols.size());
+      spec.columns.push_back(cols[pick]);
+      cols.erase(cols.begin() + static_cast<long>(pick));
+    }
+    ASSERT_TRUE(table.CreateIndex(spec).ok());
+  }
+
+  size_t num_rows = 50 + rng.Uniform(150);
+  for (size_t i = 0; i < num_rows; ++i) {
+    table
+        .Insert({Datum("a" + std::to_string(rng.Uniform(5))),
+                 Datum("b" + std::to_string(rng.Uniform(4))),
+                 Datum(static_cast<int64_t>(rng.Uniform(6))),
+                 Datum("prefix" + std::to_string(rng.Uniform(3)) + "_" +
+                       std::to_string(rng.Uniform(4)))})
+        .value();
+  }
+  for (size_t i = 0; i < num_rows / 10; ++i) {
+    (void)table.Delete(rng.Uniform(num_rows));
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<SelectQuery> batch(rng.Uniform(30));
+    for (SelectQuery& q : batch) {
+      std::vector<std::string> cols{"a", "b", "c"};
+      size_t eqs = rng.Uniform(4);
+      for (size_t i = 0; i < eqs && !cols.empty(); ++i) {
+        size_t pick = rng.Uniform(cols.size());
+        std::string col = cols[pick];
+        cols.erase(cols.begin() + static_cast<long>(pick));
+        if (col == "c") {
+          q.equals.push_back(
+              {col, Datum(static_cast<int64_t>(rng.Uniform(7)))});
+        } else {
+          q.equals.push_back(
+              {col, Datum(col + std::to_string(rng.Uniform(6)))});
+        }
+      }
+      if (rng.Bernoulli(0.4)) {
+        q.string_prefix = SelectQuery::StringPrefix{
+            "d", "prefix" + std::to_string(rng.Uniform(4))};
+      }
+    }
+    bool zero_copy = rng.Bernoulli(0.5);
+    SelectOptions opts;
+    opts.zero_copy = zero_copy;
+    auto batched = ExecuteMultiSelect(table, batch, opts);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ASSERT_EQ(batched->size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto single = ExecuteSelect(table, batch[i]);
+      ASSERT_TRUE(single.ok());
+      const SelectResult& br = (*batched)[i];
+      ASSERT_EQ(br.num_rows(), single->rows.size())
+          << "query " << i << " seed " << GetParam();
+      std::vector<std::string> expected, actual;
+      for (const Row& row : single->rows) {
+        expected.push_back(RowFingerprint(row));
+      }
+      for (size_t r = 0; r < br.num_rows(); ++r) {
+        RowView view = br.ViewAt(r);
+        ASSERT_TRUE(view.valid());
+        Row copy;
+        for (size_t c = 0; c < view.size(); ++c) copy.push_back(view[c]);
+        actual.push_back(RowFingerprint(copy));
+      }
+      std::sort(expected.begin(), expected.end());
+      std::sort(actual.begin(), actual.end());
+      ASSERT_EQ(actual, expected)
+          << "query " << i << " via " << AccessPathName(br.access_path)
+          << " (index '" << br.index_used << "', zero_copy " << zero_copy
+          << ", seed " << GetParam() << ")";
+      EXPECT_EQ(br.access_path, single->access_path) << i;
+      EXPECT_EQ(br.index_used, single->index_used) << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectFuzzTest,
                          ::testing::Range<uint64_t>(500, 525));
 

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <tuple>
 
 #include "common/random.h"
 #include "provenance/trace_store.h"
@@ -147,6 +149,129 @@ TEST_P(TraceProbeFuzzTest, XferOverlapProbesMatchBruteForce) {
     }
     ASSERT_EQ(rows->size(), expected) << proc << q.ToString();
   }
+}
+
+// The batch finders answer a vector of port probes in one storage batch;
+// slot i must carry exactly what the corresponding single-probe call
+// returns, in the same order — with and without an active probe memo,
+// and with duplicate probes in the batch.
+TEST_P(TraceProbeFuzzTest, BatchFindersMatchSingleProbes) {
+  Random rng(GetParam() * 131 + 17);
+  storage::Database db;
+  auto store = *TraceStore::Open(&db);
+
+  for (int i = 0; i < 150; ++i) {
+    XformRecord rec;
+    rec.run = store.Intern("run" + std::to_string(rng.Uniform(2)));
+    rec.event_id = i;
+    rec.processor = store.Intern("P" + std::to_string(rng.Uniform(3)));
+    rec.has_in = true;
+    rec.in_port = store.Intern("in" + std::to_string(rng.Uniform(2)));
+    rec.in_index = RandomIndex(&rng, 3, 3);
+    rec.in_value = static_cast<int64_t>(i);
+    rec.has_out = true;
+    rec.out_port = store.Intern("out" + std::to_string(rng.Uniform(2)));
+    rec.out_index = RandomIndex(&rng, 3, 3);
+    rec.out_value = static_cast<int64_t>(i);
+    ASSERT_TRUE(store.InsertXform(rec).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    XferRecord rec;
+    rec.run = store.Intern("run" + std::to_string(rng.Uniform(2)));
+    rec.src_proc = store.Intern("P" + std::to_string(rng.Uniform(3)));
+    rec.src_port = store.Intern("out" + std::to_string(rng.Uniform(2)));
+    rec.src_index = RandomIndex(&rng, 3, 3);
+    rec.dst_proc = store.Intern("P" + std::to_string(rng.Uniform(3)));
+    rec.dst_port = store.Intern("in" + std::to_string(rng.Uniform(2)));
+    rec.dst_index = RandomIndex(&rng, 3, 3);
+    rec.value_id = i;
+    ASSERT_TRUE(store.InsertXfer(rec).ok());
+  }
+
+  auto xform_key = [](const XformRecord& r) {
+    return std::make_tuple(r.run, r.event_id, r.processor, r.has_in, r.in_port,
+                           r.in_index, r.in_value, r.has_out, r.out_port,
+                           r.out_index, r.out_value);
+  };
+  auto xfer_key = [](const XferRecord& r) {
+    return std::make_tuple(r.run, r.src_proc, r.src_port, r.src_index,
+                           r.dst_proc, r.dst_port, r.dst_index, r.value_id);
+  };
+
+  ProbeMemo memo;
+  for (int round = 0; round < 20; ++round) {
+    common::SymbolId run =
+        store.Intern("run" + std::to_string(rng.Uniform(2)));
+    std::vector<PortProbe> probes(1 + rng.Uniform(12));
+    bool out_side = rng.Bernoulli(0.5);
+    for (PortProbe& p : probes) {
+      if (!probes.empty() && rng.Bernoulli(0.2) && &p != &probes.front()) {
+        p = probes[rng.Uniform(static_cast<uint64_t>(&p - probes.data()))];
+        continue;  // deliberate duplicate of an earlier probe
+      }
+      p.processor = store.Intern("P" + std::to_string(rng.Uniform(3)));
+      p.port = store.Intern((out_side ? "out" : "in") +
+                            std::to_string(rng.Uniform(2)));
+      p.index = RandomIndex(&rng, 4, 4);
+    }
+    // Half the rounds exercise the batch under a shared probe memo.
+    std::optional<ProbeMemoScope> scope;
+    if (round % 2 == 1) scope.emplace(&memo);
+
+    if (out_side) {
+      auto batch = store.FindProducingBatch(run, probes);
+      auto xbatch = store.FindXfersFromBatch(run, probes);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(xbatch.ok());
+      ASSERT_EQ(batch->size(), probes.size());
+      ASSERT_EQ(xbatch->size(), probes.size());
+      for (size_t i = 0; i < probes.size(); ++i) {
+        auto single =
+            store.FindProducing(run, probes[i].processor, probes[i].port,
+                                probes[i].index);
+        ASSERT_TRUE(single.ok());
+        ASSERT_EQ((*batch)[i].size(), single->size()) << "probe " << i;
+        for (size_t r = 0; r < single->size(); ++r) {
+          EXPECT_EQ(xform_key((*batch)[i][r]), xform_key((*single)[r]));
+        }
+        auto xsingle = store.FindXfersFrom(run, probes[i].processor,
+                                           probes[i].port, probes[i].index);
+        ASSERT_TRUE(xsingle.ok());
+        ASSERT_EQ((*xbatch)[i].size(), xsingle->size()) << "probe " << i;
+        for (size_t r = 0; r < xsingle->size(); ++r) {
+          EXPECT_EQ(xfer_key((*xbatch)[i][r]), xfer_key((*xsingle)[r]));
+        }
+      }
+    } else {
+      auto batch = store.FindConsumingBatch(run, probes);
+      auto xbatch = store.FindXfersIntoBatch(run, probes);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(xbatch.ok());
+      ASSERT_EQ(batch->size(), probes.size());
+      ASSERT_EQ(xbatch->size(), probes.size());
+      for (size_t i = 0; i < probes.size(); ++i) {
+        auto single =
+            store.FindConsuming(run, probes[i].processor, probes[i].port,
+                                probes[i].index);
+        ASSERT_TRUE(single.ok());
+        ASSERT_EQ((*batch)[i].size(), single->size()) << "probe " << i;
+        for (size_t r = 0; r < single->size(); ++r) {
+          EXPECT_EQ(xform_key((*batch)[i][r]), xform_key((*single)[r]));
+        }
+        auto xsingle = store.FindXfersInto(run, probes[i].processor,
+                                           probes[i].port, probes[i].index);
+        ASSERT_TRUE(xsingle.ok());
+        ASSERT_EQ((*xbatch)[i].size(), xsingle->size()) << "probe " << i;
+        for (size_t r = 0; r < xsingle->size(); ++r) {
+          EXPECT_EQ(xfer_key((*xbatch)[i][r]), xfer_key((*xsingle)[r]));
+        }
+      }
+    }
+  }
+  // The memoized rounds replayed plenty of repeated probes; the memo must
+  // have been consulted (hits are batch-composition dependent, so only
+  // the lookup count is asserted).
+  EXPECT_GT(memo.lookups(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceProbeFuzzTest,

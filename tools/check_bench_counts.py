@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON emission against its checked-in baseline.
+
+Usage: check_bench_counts.py BASELINE.json CURRENT.json
+
+Benches emit BENCH_<name>.json (see bench/bench_util.h) with one entry
+per measured configuration. Only entries the baseline marks
+deterministic are checked:
+
+  - the entry must still exist in the current emission,
+  - logical probe counts must match exactly (they are a property of the
+    query plans, not the machine),
+  - physical descents must not exceed the baseline (the batched probe
+    layer's amortization must never regress).
+
+Wall-clock times are never compared — CI machines are not lab machines.
+Exit status 0 on success, 1 with a per-entry report on any violation.
+"""
+
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("bench", "?"), {e["label"]: e for e in doc["entries"]}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench, baseline = load_entries(argv[1])
+    _, current = load_entries(argv[2])
+
+    failures = []
+    checked = 0
+    for label, base in sorted(baseline.items()):
+        if not base.get("deterministic", False):
+            continue
+        checked += 1
+        cur = current.get(label)
+        if cur is None:
+            failures.append(f"{label}: missing from current emission")
+            continue
+        if cur["probes"] != base["probes"]:
+            failures.append(
+                f"{label}: probes {base['probes']} -> {cur['probes']} "
+                "(plan or probe-generation change)"
+            )
+        if cur["descents"] > base["descents"]:
+            failures.append(
+                f"{label}: descents {base['descents']} -> {cur['descents']} "
+                "(batched-probe amortization regressed)"
+            )
+
+    if failures:
+        print(f"[{bench}] {len(failures)} baseline violation(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"[{bench}] {checked} deterministic entries match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
