@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/tracing.h"
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
 #include "testbed/synthetic.h"
@@ -83,6 +84,62 @@ void RunForD(int d, bench::TablePrinter* table, bench::JsonWriter* json) {
   }
 }
 
+/// Span-tracing overhead on the heaviest configuration (d=150, l=150),
+/// measured as an interleaved A/B so machine drift lands on both sides:
+/// side A runs with the tracer disabled (guards are inert), side B with
+/// the tracer capturing into a large ring. The toggle happens once per
+/// burst, not per call.
+void MeasureTracingOverhead(bench::JsonWriter* json) {
+  auto wb = CheckResult(testbed::Workbench::Synthetic(150), "workbench");
+  CheckResult(wb->RunSynthetic(150, "r0"), "run");
+  workflow::PortRef target{workflow::kWorkflowProcessor, "RESULT"};
+  Index q({1, 2});
+  lineage::InterestSet focused{testbed::kListGen};
+  lineage::NaiveLineage naive = wb->Naive();
+  auto& tracer = common::tracing::Tracer::Global();
+
+  auto measure = [&](const std::function<Status()>& fn) {
+    return CheckResult(
+        bench::BestOfFiveInterleaved(
+            [&]() -> Status {
+              if (tracer.enabled()) tracer.Disable();
+              return fn();
+            },
+            [&]() -> Status {
+              if (!tracer.enabled()) tracer.Enable(1u << 16);
+              return fn();
+            }),
+        "tracing overhead");
+  };
+
+  auto [ni_off, ni_on] = measure(
+      [&]() { return naive.Query("r0", target, q, focused).status(); });
+  auto [ip_off, ip_on] = measure([&]() {
+    return wb->IndexProj()->Query("r0", target, q, focused).status();
+  });
+  tracer.Disable();
+
+  std::printf(
+      "\nSpan-tracing overhead (d=150, l=150, interleaved best-of-5):\n\n");
+  bench::TablePrinter table(
+      {"engine", "trace_off_ms", "trace_on_ms", "overhead"});
+  auto pct = [](double off, double on) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                  off > 0 ? (on - off) / off * 100.0 : 0.0);
+    return std::string(buf);
+  };
+  table.AddRow({"NI", bench::Ms(ni_off), bench::Ms(ni_on),
+                pct(ni_off, ni_on)});
+  table.AddRow({"IndexProj", bench::Ms(ip_off), bench::Ms(ip_on),
+                pct(ip_off, ip_on)});
+  table.Print();
+  json->Add("overhead_ni_traceoff", ni_off, 0, 0, /*deterministic=*/false);
+  json->Add("overhead_ni_traceon", ni_on, 0, 0, /*deterministic=*/false);
+  json->Add("overhead_ip_traceoff", ip_off, 0, 0, /*deterministic=*/false);
+  json->Add("overhead_ip_traceon", ip_on, 0, 0, /*deterministic=*/false);
+}
+
 }  // namespace
 
 int main() {
@@ -102,6 +159,7 @@ int main() {
       "\nShape check: NI probe count grows linearly in l; IndexProj stays\n"
       "constant; unfocused IndexProj approaches NI. Descents stay below\n"
       "probes wherever the batched layer can amortize sorted runs.\n");
+  MeasureTracingOverhead(&json);
   json.Write();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/tracing.h"
 #include "lineage/engine.h"
 #include "lineage/index_proj_lineage.h"
 #include "lineage/naive_lineage.h"
@@ -207,6 +208,51 @@ int main() {
     }
   }
   amort.Print();
+
+  // Span-tracing overhead on the concurrent service path (IndexProj,
+  // 4 workers, the throughput batch), interleaved A/B: disabled-tracer
+  // guards must be invisible, the enabled tracer pays per-span ring
+  // writes from every worker thread through one mutex.
+  {
+    lineage::ServiceOptions options;
+    options.num_threads = 4;
+    options.group_same_plan = false;
+    lineage::LineageService service(options);
+    std::vector<lineage::ServiceRequest> batch =
+        make_batch(wb->Engine("indexproj"));
+    auto run_batch = [&]() -> Status {
+      std::vector<lineage::ServiceResponse> responses =
+          service.ExecuteBatch(batch);
+      for (const lineage::ServiceResponse& resp : responses) {
+        PROVLIN_RETURN_IF_ERROR(resp.status);
+      }
+      return Status::OK();
+    };
+    bench::CheckOk(run_batch(), "warm overhead batch");
+    auto& tracer = common::tracing::Tracer::Global();
+    auto [off_ms, on_ms] = CheckResult(
+        bench::BestOfFiveInterleaved(
+            [&]() -> Status {
+              if (tracer.enabled()) tracer.Disable();
+              return run_batch();
+            },
+            [&]() -> Status {
+              if (!tracer.enabled()) tracer.Enable(1u << 16);
+              return run_batch();
+            },
+            /*calls_per_round=*/2),
+        "tracing overhead");
+    tracer.Disable();
+    std::printf(
+        "\nSpan-tracing overhead (indexproj, 4 threads, batch=%d):\n"
+        "  trace off %.3f ms   trace on %.3f ms   overhead %+.1f%%\n",
+        kBatch, off_ms, on_ms,
+        off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0);
+    json.Add("overhead_indexproj_t4_traceoff", off_ms, 0, 0,
+             /*deterministic=*/false);
+    json.Add("overhead_indexproj_t4_traceon", on_ms, 0, 0,
+             /*deterministic=*/false);
+  }
   json.Write();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/timer.h"
 
@@ -150,7 +151,14 @@ class JsonWriter {
                    e.deterministic ? "true" : "false",
                    i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // Full registry state at the end of the run, for offline analysis
+    // alongside the per-entry counters. check_bench_counts.py only reads
+    // "entries", so this key is additive.
+    std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+                 common::metrics::MetricsRegistry::Global()
+                     .Snapshot()
+                     .ToJson(2)
+                     .c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());
   }

@@ -6,7 +6,10 @@
 #include <optional>
 #include <sstream>
 
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/tracing.h"
 #include "engine/builtin_activities.h"
 #include "engine/executor.h"
 #include "lineage/engine.h"
@@ -146,6 +149,77 @@ Status RequireFlag(const Args& args, const char* flag) {
   return Status::OK();
 }
 
+/// Pre-registers the well-known instrument names so `provlin stats`
+/// exposes the whole schema even for counters this process never
+/// bumped: an untouched instrument reads 0, and a stable exposition is
+/// what scrapers and the CLI tests key on.
+void TouchWellKnownInstruments() {
+  namespace metrics = common::metrics;
+  for (const char* name :
+       {"storage/inserts", "storage/deletes", "storage/index_probes",
+        "storage/full_scans", "storage/rows_examined",
+        "storage/batched_probes", "storage/descents", "wal/appends",
+        "wal/bytes", "wal/flushes", "provenance/xform_rows",
+        "provenance/xfer_rows", "provenance/memo_hits",
+        "provenance/memo_lookups", "lineage/queries", "lineage/trace_probes",
+        "lineage/trace_descents", "lineage/graph_steps",
+        "lineage/plan_builds", "lineage/plan_cache_hits", "service/batches",
+        "service/requests", "service/failed_requests",
+        "service/plan_cache_hits", "service/trace_probes",
+        "service/trace_descents", "service/probe_memo_hits",
+        "service/probe_memo_lookups"}) {
+    metrics::GetCounter(name);
+  }
+  metrics::GetHistogram("lineage/t1_ms");
+  metrics::GetHistogram("lineage/t2_ms");
+  metrics::GetHistogram("service/queue_wait_ms");
+  metrics::GetHistogram("service/exec_ms");
+  metrics::GetHistogram("service/batch_wall_ms");
+  metrics::GetHistogram("storage/multiseek_batch_size",
+                        metrics::DefaultSizeBounds());
+  metrics::GetGauge("service/last_batch_wall_us");
+}
+
+Status DumpStats(const std::string& format, std::ostream& out) {
+  common::metrics::MetricsSnapshot snap =
+      common::metrics::MetricsRegistry::Global().Snapshot();
+  if (format == "prometheus") {
+    out << snap.ToPrometheusText();
+  } else if (format == "json") {
+    out << snap.ToJson() << "\n";
+  } else {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (prometheus|json)");
+  }
+  return Status::OK();
+}
+
+/// RAII capture window for `--trace-out FILE`: enables the global tracer
+/// for the command's working section and writes the Chrome trace JSON on
+/// scope exit (nothing happens when no path was requested).
+class TraceOutScope {
+ public:
+  explicit TraceOutScope(const std::string* path) : path_(path) {
+    if (path_ != nullptr) common::tracing::Tracer::Global().Enable();
+  }
+  ~TraceOutScope() {
+    if (path_ == nullptr) return;
+    common::tracing::Tracer& tracer = common::tracing::Tracer::Global();
+    tracer.Disable();
+    std::ofstream out(*path_);
+    if (!out) {
+      PROVLIN_LOG(Error) << "cannot write trace file '" << *path_ << "'";
+      return;
+    }
+    out << tracer.ExportChromeTrace();
+  }
+  TraceOutScope(const TraceOutScope&) = delete;
+  TraceOutScope& operator=(const TraceOutScope&) = delete;
+
+ private:
+  const std::string* path_;
+};
+
 // ---------------------------------------------------------------------------
 // Commands
 // ---------------------------------------------------------------------------
@@ -245,6 +319,20 @@ Status CmdLineage(const Args& args, std::ostream& out) {
   bool explain = args.Get("explain") != nullptr &&
                  *args.Get("explain") != "false";
 
+  double slow_query_ms = 0.0;
+  if (const std::string* slow = args.Get("slow-query-ms")) {
+    int64_t n = 0;
+    if (!ParseInt64(*slow, &n) || n < 0) {
+      return Status::InvalidArgument("bad --slow-query-ms value '" + *slow +
+                                     "'");
+    }
+    slow_query_ms = static_cast<double>(n);
+  }
+
+  // Span capture covers the query execution below; the file is written
+  // when the scope closes, before the summary lines print.
+  TraceOutScope trace_scope(args.Get("trace-out"));
+
   lineage::LineageAnswer answer;
   if (forward) {
     if (engine_name == "naive") {
@@ -303,6 +391,7 @@ Status CmdLineage(const Args& args, std::ostream& out) {
       }
       lineage::ServiceOptions options;
       options.num_threads = static_cast<size_t>(n);
+      options.slow_query_ms = slow_query_ms;
       lineage::LineageService service(options);
       std::vector<lineage::ServiceRequest> requests;
       requests.reserve(runs.size());
@@ -329,6 +418,18 @@ Status CmdLineage(const Args& args, std::ostream& out) {
     }
   }
 
+  // The single-query analogue of the service's slow-query log: flags
+  // outliers without anyone watching a dashboard.
+  if (slow_query_ms > 0.0 && args.Get("threads") == nullptr &&
+      answer.timing.total_ms() > slow_query_ms) {
+    PROVLIN_LOG(Warning) << "slow lineage query ("
+                         << answer.timing.total_ms() << " ms > "
+                         << slow_query_ms << " ms): " << target.ToString()
+                         << index.ToString()
+                         << " probes=" << answer.timing.trace_probes
+                         << " descents=" << answer.timing.trace_descents;
+  }
+
   out << (forward ? "impact of " : "lineage of ") << target.ToString()
       << index.ToString() << ":\n";
   for (const auto& binding : answer.bindings) {
@@ -337,6 +438,73 @@ Status CmdLineage(const Args& args, std::ostream& out) {
   out << "(" << answer.bindings.size() << " bindings, "
       << answer.timing.trace_probes << " trace probes, t1="
       << answer.timing.t1_ms << "ms t2=" << answer.timing.t2_ms << "ms)\n";
+  if (args.Get("stats") != nullptr && *args.Get("stats") != "false") {
+    TouchWellKnownInstruments();
+    PROVLIN_RETURN_IF_ERROR(DumpStats("prometheus", out));
+  }
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args, std::ostream& out) {
+  // Counters cover this process: with --db the exposition reflects the
+  // cost of loading the database (inserts, WAL work); most uses are
+  // `lineage --stats true` or embedding, where the registry has real
+  // query traffic by the time it is dumped.
+  if (const std::string* db_path = args.Get("db")) {
+    PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*db_path));
+    PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                             provenance::TraceStore::Open(&db));
+    (void)store;
+  }
+  TouchWellKnownInstruments();
+  std::string format =
+      args.Get("format") != nullptr ? *args.Get("format") : "prometheus";
+  PROVLIN_RETURN_IF_ERROR(DumpStats(format, out));
+  if (args.Get("reset") != nullptr && *args.Get("reset") != "false") {
+    common::metrics::MetricsRegistry::Global().Reset();
+  }
+  return Status::OK();
+}
+
+Status CmdExplain(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "workflow"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "target"));
+  std::vector<std::string> runs = args.GetAll("run");
+  if (runs.empty()) return Status::InvalidArgument("missing --run");
+
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
+                           LoadWorkflow(*args.Get("workflow")));
+  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
+                           provenance::TraceStore::Open(&db));
+  PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
+                           workflow::ParsePortRef(*args.Get("target")));
+  Index index;
+  if (const std::string* idx = args.Get("index")) {
+    PROVLIN_ASSIGN_OR_RETURN(index, ParseCliIndex(*idx));
+  }
+  lineage::InterestSet interest;
+  for (const std::string& focus : args.GetAll("focus")) {
+    interest.insert(focus);
+  }
+
+  TraceOutScope trace_scope(args.Get("trace-out"));
+
+  PROVLIN_ASSIGN_OR_RETURN(
+      lineage::IndexProjLineage engine,
+      lineage::IndexProjLineage::Create(loaded.flow, &store));
+  lineage::LineageRequest request;
+  request.runs = runs;
+  request.target = target;
+  request.index = index;
+  request.interest = interest;
+  PROVLIN_ASSIGN_OR_RETURN(lineage::ExplainResult result,
+                           engine.Explain(request));
+  out << result.ToString(store);
+  out << "(" << result.answer.bindings.size() << " bindings, "
+      << result.answer.timing.trace_probes << " trace probes, "
+      << result.answer.timing.trace_descents << " descents)\n";
   return Status::OK();
 }
 
@@ -453,8 +621,8 @@ Status CmdPrune(const Args& args, std::ostream& out) {
 
 const char* kUsage =
     "usage: provlin <command> [flags]\n"
-    "commands: run, runs, lineage, sql, dot, export, counts, workflow, diff,\n"
-    "          prune\n"
+    "commands: run, runs, lineage, explain, stats, sql, dot, export, counts,\n"
+    "          workflow, diff, prune\n"
     "see src/cli/cli.h for full flag documentation\n";
 
 }  // namespace
@@ -473,6 +641,10 @@ int RunCli(const std::vector<std::string>& argv, std::ostream& out,
     st = CmdRuns(*args, out);
   } else if (args->command == "lineage") {
     st = CmdLineage(*args, out);
+  } else if (args->command == "explain") {
+    st = CmdExplain(*args, out);
+  } else if (args->command == "stats") {
+    st = CmdStats(*args, out);
   } else if (args->command == "sql") {
     st = CmdSql(*args, out);
   } else if (args->command == "dot") {

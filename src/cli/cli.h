@@ -19,10 +19,24 @@ namespace provlin::cli {
 ///   lineage  --db FILE --workflow W --run ID [--run ID]* --target P:X
 ///            [--index 1,2] [--focus P]* [--engine naive|indexproj]
 ///            [--forward] [--explain true] [--threads N]
+///            [--trace-out FILE.json] [--slow-query-ms N] [--stats true]
 ///            Answer a (backward or forward) lineage query. With
 ///            --threads N the runs are answered as a concurrent batch on
 ///            an N-worker LineageService (one request per run, shared
 ///            plan cache) and the service metrics are printed.
+///            --trace-out captures the query as Chrome trace-event JSON
+///            (open in Perfetto); --slow-query-ms logs a WARNING line
+///            for queries slower than N ms; --stats true appends the
+///            Prometheus metrics exposition after the answer.
+///   explain  --db FILE --workflow W --run ID [--run ID]* --target P:X
+///            [--index 1,2] [--focus P]* [--trace-out FILE.json]
+///            EXPLAIN an IndexProj query: print the generated trace
+///            queries with measured per-step costs (probes, descents,
+///            rows, bindings, wall time) from a single-probe execution.
+///   stats    [--db FILE] [--format prometheus|json] [--reset true]
+///            Dump the process metrics registry (counters, gauges,
+///            latency histograms across storage, provenance, lineage,
+///            and service tiers).
 ///   sql      --db FILE "SELECT ..."
 ///            Run a SQL query against the trace database.
 ///   dot      --db FILE --run ID

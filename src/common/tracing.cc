@@ -1,0 +1,172 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace provlin::common::tracing {
+
+namespace {
+
+/// Per-thread span nesting depth (only meaningful while enabled; a span
+/// opened under one Enable() and closed under another reports a harmless
+/// approximate depth).
+thread_local uint16_t t_depth = 0;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_.reserve(capacity == 0 ? 1 : capacity);
+  ring_capacity_ = capacity == 0 ? 1 : capacity;
+  total_recorded_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint32_t Tracer::ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
+                    uint64_t dur_us, uint16_t depth) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = ThisThreadId();
+  ev.depth = depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    // Wraparound: overwrite the oldest slot. total_recorded_ keeps the
+    // logical position so Snapshot can unroll the ring in order.
+    ring_[total_recorded_ % ring_capacity_] = std::move(ev);
+  }
+  ++total_recorded_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (total_recorded_ <= ring_.size()) {
+      out = ring_;
+    } else {
+      // Oldest surviving event sits right after the most recent write.
+      size_t start = total_recorded_ % ring_capacity_;
+      out.reserve(ring_.size());
+      for (size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+      }
+    }
+  }
+  // Ties break by duration descending so an enclosing span precedes the
+  // spans it contains — the order trace viewers expect for same-tid "X"
+  // events sharing a start timestamp.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_ <= ring_capacity_
+             ? 0
+             : total_recorded_ - ring_capacity_;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    out += "  {\"name\": \"" + JsonEscape(ev.name) +
+           "\", \"cat\": \"provlin\", \"ph\": \"X\", \"ts\": " +
+           std::to_string(ev.ts_us) + ", \"dur\": " +
+           std::to_string(ev.dur_us) + ", \"pid\": 1, \"tid\": " +
+           std::to_string(ev.tid);
+    out += ", \"args\": {\"depth\": " + std::to_string(ev.depth);
+    if (!ev.args.empty()) {
+      out += ", \"note\": \"" + JsonEscape(ev.args) + "\"";
+    }
+    out += "}}";
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void SpanGuard::Begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  depth_ = t_depth++;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+void SpanGuard::End() {
+  uint64_t end_us = Tracer::Global().NowMicros();
+  if (t_depth > 0) --t_depth;
+  Tracer::Global().Record(name_, std::move(args_), start_us_,
+                          end_us - start_us_, depth_);
+}
+
+}  // namespace provlin::common::tracing

@@ -1,0 +1,141 @@
+#ifndef PROVLIN_COMMON_TRACING_H_
+#define PROVLIN_COMMON_TRACING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace provlin::common::tracing {
+
+/// One completed span, recorded when its guard leaves scope. Timestamps
+/// are microseconds since the tracer's enable epoch; `tid` is the
+/// tracer's dense per-thread id (stable for a thread's lifetime), so
+/// cross-thread service batches lay out as parallel tracks in Perfetto.
+struct TraceEvent {
+  std::string name;
+  std::string args;  // optional free-form annotation ("" = none)
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  uint16_t depth = 0;  // nesting depth on its thread (0 = top level)
+};
+
+/// Runtime-switchable span tracer with a bounded ring-buffer sink.
+///
+/// Disabled (the default) it costs one relaxed atomic load and a branch
+/// per PROVLIN_TRACE_SPAN site — measured ≤ 2% on the probe-bound
+/// lineage benches (EXPERIMENTS.md "Observability overhead"). Enabled,
+/// each span closing takes the ring mutex briefly; the ring overwrites
+/// its oldest events on wraparound (dropped() counts casualties), so
+/// tracing never grows without bound.
+///
+/// Export is Chrome trace-event JSON ("X" complete events): feed the
+/// file to Perfetto / chrome://tracing and a lineage query opens as a
+/// per-thread timeline of plan builds, probe batches, and binding
+/// retrieval.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer all PROVLIN_TRACE_SPAN sites report to.
+  static Tracer& Global();
+
+  /// Starts capturing with a ring of `capacity` events (also resets the
+  /// epoch and clears previously captured events).
+  void Enable(size_t capacity = 1 << 16);
+  void Disable();
+
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span (called by SpanGuard; usable directly
+  /// for spans whose lifetime does not match a C++ scope).
+  void Record(std::string name, std::string args, uint64_t ts_us,
+              uint64_t dur_us, uint16_t depth);
+
+  /// Microseconds since the enable epoch.
+  uint64_t NowMicros() const;
+
+  /// Dense id of the calling thread (1, 2, ... in first-use order).
+  static uint32_t ThisThreadId();
+
+  /// Captured events in timestamp order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events overwritten by ring wraparound since Enable().
+  uint64_t dropped() const;
+  size_t capacity() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with one "X" entry
+  /// per captured span, sorted by start timestamp.
+  std::string ExportChromeTrace() const;
+
+ private:
+  // Inline static so SpanGuard's disabled fast path inlines to one
+  // relaxed load and a branch, with no call through Global().
+  inline static std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t ring_capacity_ = 0;
+  uint64_t total_recorded_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: stamps the start on construction and records the completed
+/// event on destruction. When the tracer is disabled at construction the
+/// guard is inert — no clock read, no allocation, nothing recorded (even
+/// if tracing is enabled mid-span).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (!Tracer::enabled()) return;
+    Begin(name);
+  }
+  ~SpanGuard() {
+    if (active_) End();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// True when this span will be recorded — guard for building args
+  /// strings only when someone is listening.
+  bool active() const { return active_; }
+
+  /// Attaches a free-form annotation shown in the trace viewer's args
+  /// pane (no-op on inactive spans).
+  void SetArgs(std::string args) {
+    if (active_) args_ = std::move(args);
+  }
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::string args_;
+  uint64_t start_us_ = 0;
+  uint16_t depth_ = 0;
+};
+
+}  // namespace provlin::common::tracing
+
+/// Opens a span covering the rest of the enclosing scope:
+///   PROVLIN_TRACE_SPAN("indexproj/s2_probes");
+/// Compiles to a relaxed load + branch when tracing is disabled.
+#define PROVLIN_TRACE_SPAN_CAT2(a, b) a##b
+#define PROVLIN_TRACE_SPAN_CAT(a, b) PROVLIN_TRACE_SPAN_CAT2(a, b)
+#define PROVLIN_TRACE_SPAN(name)                       \
+  ::provlin::common::tracing::SpanGuard PROVLIN_TRACE_SPAN_CAT( \
+      provlin_span_, __LINE__)(name)
+
+/// Named-guard variant for spans that want SetArgs():
+///   PROVLIN_TRACE_SPAN_VAR(span, "service/request");
+///   if (span.active()) span.SetArgs("req=" + std::to_string(i));
+#define PROVLIN_TRACE_SPAN_VAR(var, name) \
+  ::provlin::common::tracing::SpanGuard var(name)
+
+#endif  // PROVLIN_COMMON_TRACING_H_

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/timer.h"
+#include "common/tracing.h"
 
 namespace provlin::lineage {
 
@@ -144,6 +145,7 @@ class ForwardTraversal {
 Result<LineageAnswer> NaiveForwardLineage::Query(
     const std::string& run, const PortRef& target, const Index& p,
     const InterestSet& interest) const {
+  PROVLIN_TRACE_SPAN("forward_ni/query");
   LineageAnswer answer;
   storage::TableStats before = store_->db()->AggregateStats();
   WallTimer timer;
@@ -184,6 +186,7 @@ Result<LineageAnswer> NaiveForwardLineage::Query(
   answer.timing.trace_probes = (after.index_probes - before.index_probes) +
                                (after.full_scans - before.full_scans);
   answer.timing.trace_descents = after.descents - before.descents;
+  PublishTiming("forward_naive", answer.timing);
   return answer;
 }
 
@@ -504,6 +507,7 @@ Result<LineageAnswer> ForwardIndexProjLineage::Query(
 Result<LineageAnswer> ForwardIndexProjLineage::QueryMultiRun(
     const std::vector<std::string>& runs, const PortRef& target,
     const Index& p, const InterestSet& interest) {
+  PROVLIN_TRACE_SPAN("forward_indexproj/query");
   LineageAnswer answer;
   PlanKey key = MakePlanKey(target, p, interest);
   answer.timing.plan_cache_hit = plan_cache_.count(key) > 0;
@@ -525,6 +529,7 @@ Result<LineageAnswer> ForwardIndexProjLineage::QueryMultiRun(
   answer.timing.trace_descents = after.descents - before.descents;
 
   NormalizeBindings(&answer.bindings);
+  PublishTiming("forward_indexproj", answer.timing);
   return answer;
 }
 

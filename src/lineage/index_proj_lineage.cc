@@ -4,8 +4,10 @@
 #include <set>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/tracing.h"
 #include "lineage/binding_retrieval.h"
 #include "lineage/index_projection.h"
 
@@ -217,7 +219,11 @@ Result<std::shared_ptr<const LineagePlan>> IndexProjLineage::Plan(
   bool built_here = false;
   std::call_once(entry->once, [&] {
     built_here = true;
+    PROVLIN_TRACE_SPAN_VAR(span, "indexproj/plan_build");
+    if (span.active()) span.SetArgs("target=" + target.ToString());
     cache_->builds.fetch_add(1, std::memory_order_relaxed);
+    static auto* builds = common::metrics::GetCounter("lineage/plan_builds");
+    builds->Increment();
     Result<LineagePlan> plan = BuildPlan(target, q, interest);
     if (plan.ok()) {
       entry->plan = std::move(plan).value();
@@ -310,6 +316,11 @@ Status AppendSourceViaConsumer(const provenance::TraceStore& store,
 Status IndexProjLineage::ExecutePlanBatched(
     const LineagePlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
+  PROVLIN_TRACE_SPAN_VAR(span, "indexproj/s2_run");
+  if (span.active()) {
+    span.SetArgs("run=" + run +
+                 " queries=" + std::to_string(plan.queries.size()));
+  }
   auto run_sym = store_->LookupSymbol(run);
   if (!run_sym.has_value()) return Status::OK();
 
@@ -369,6 +380,31 @@ Status IndexProjLineage::ExecutePlanBatched(
   return Status::OK();
 }
 
+Status IndexProjLineage::ExecuteQuerySingle(
+    const TraceQuery& q, SymbolId run_sym, const std::string& run,
+    std::vector<LineageBinding>* bindings, uint64_t* rows) const {
+  if (q.workflow_source) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> src_rows,
+        store_->FindProducing(run_sym, q.processor, q.port, q.index));
+    if (rows != nullptr) *rows += src_rows.size();
+    if (q.via_processor == kNoSymbol) {
+      // Direct query on the workflow input port itself.
+      return AppendSourceBindings(*store_, run, src_rows, q.index, bindings);
+    }
+    PROVLIN_ASSIGN_OR_RETURN(
+        std::vector<XformRecord> consumed,
+        store_->FindConsuming(run_sym, q.via_processor, q.via_port, q.index));
+    if (rows != nullptr) *rows += consumed.size();
+    return AppendSourceViaConsumer(*store_, run, src_rows, consumed, bindings);
+  }
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<XformRecord> xform_rows,
+      store_->FindConsuming(run_sym, q.processor, q.port, q.index));
+  if (rows != nullptr) *rows += xform_rows.size();
+  return AppendConsumedBindings(*store_, run, xform_rows, bindings);
+}
+
 Status IndexProjLineage::ExecutePlan(
     const LineagePlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
@@ -380,35 +416,15 @@ Status IndexProjLineage::ExecutePlan(
   auto run_sym = store_->LookupSymbol(run);
   if (!run_sym.has_value()) return Status::OK();
   for (const TraceQuery& q : plan.queries) {
-    if (q.workflow_source) {
-      PROVLIN_ASSIGN_OR_RETURN(
-          std::vector<XformRecord> src_rows,
-          store_->FindProducing(*run_sym, q.processor, q.port, q.index));
-      if (q.via_processor == kNoSymbol) {
-        // Direct query on the workflow input port itself.
-        PROVLIN_RETURN_IF_ERROR(
-            AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
-        continue;
-      }
-      PROVLIN_ASSIGN_OR_RETURN(
-          std::vector<XformRecord> consumed,
-          store_->FindConsuming(*run_sym, q.via_processor, q.via_port,
-                                q.index));
-      PROVLIN_RETURN_IF_ERROR(
-          AppendSourceViaConsumer(*store_, run, src_rows, consumed, bindings));
-      continue;
-    }
-    PROVLIN_ASSIGN_OR_RETURN(
-        std::vector<XformRecord> rows,
-        store_->FindConsuming(*run_sym, q.processor, q.port, q.index));
     PROVLIN_RETURN_IF_ERROR(
-        AppendConsumedBindings(*store_, run, rows, bindings));
+        ExecuteQuerySingle(q, *run_sym, run, bindings, nullptr));
   }
   return Status::OK();
 }
 
 Result<LineageAnswer> IndexProjLineage::Query(
     const LineageRequest& request) const {
+  PROVLIN_TRACE_SPAN("indexproj/query");
   LineageAnswer answer;
 
   // s1: one spec-graph traversal, shared by every run in scope — and,
@@ -437,7 +453,90 @@ Result<LineageAnswer> IndexProjLineage::Query(
       storage::ThisThreadStats().descents - before.descents;
 
   NormalizeBindings(&answer.bindings);
+  PublishTiming(name(), answer.timing);
   return answer;
+}
+
+Result<ExplainResult> IndexProjLineage::Explain(
+    const LineageRequest& request) const {
+  PROVLIN_TRACE_SPAN("indexproj/explain");
+  ExplainResult out;
+
+  WallTimer t1;
+  bool cache_hit = false;
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::shared_ptr<const LineagePlan> plan,
+      Plan(request.target, request.index, request.interest, &cache_hit));
+  out.plan_cache_hit = cache_hit;
+  out.plan_ms = t1.ElapsedMillis();
+  out.graph_steps = plan->graph_steps;
+
+  out.steps.resize(plan->queries.size());
+  for (size_t i = 0; i < plan->queries.size(); ++i) {
+    out.steps[i].query = plan->queries[i];
+  }
+  // Single-probe execution, one measured step per trace query; costs
+  // accumulate across the runs in scope so the plan keeps one row per
+  // generated query no matter how many runs it was applied to.
+  for (const std::string& run : request.runs) {
+    auto run_sym = store_->LookupSymbol(run);
+    if (!run_sym.has_value()) continue;
+    for (size_t i = 0; i < plan->queries.size(); ++i) {
+      ExplainStep& step = out.steps[i];
+      storage::ThreadStats before = storage::ThisThreadStats();
+      size_t bindings_before = out.answer.bindings.size();
+      WallTimer t;
+      PROVLIN_RETURN_IF_ERROR(ExecuteQuerySingle(
+          plan->queries[i], *run_sym, run, &out.answer.bindings, &step.rows));
+      step.ms += t.ElapsedMillis();
+      step.trace_probes +=
+          storage::ThisThreadStats().probes() - before.probes();
+      step.trace_descents +=
+          storage::ThisThreadStats().descents - before.descents;
+      step.bindings += out.answer.bindings.size() - bindings_before;
+    }
+  }
+
+  out.answer.timing.plan_cache_hit = cache_hit;
+  out.answer.timing.t1_ms = out.plan_ms;
+  out.answer.timing.graph_steps = out.graph_steps;
+  for (const ExplainStep& step : out.steps) {
+    out.answer.timing.t2_ms += step.ms;
+    out.answer.timing.trace_probes += step.trace_probes;
+    out.answer.timing.trace_descents += step.trace_descents;
+  }
+  NormalizeBindings(&out.answer.bindings);
+  PublishTiming(name(), out.answer.timing);
+  return out;
+}
+
+std::string ExplainResult::ToString(
+    const provenance::TraceStore& store) const {
+  char buf[160];
+  std::string out = "IndexProj plan: " + std::to_string(steps.size()) +
+                    " trace queries, " + std::to_string(graph_steps) +
+                    " graph steps, s1 ";
+  std::snprintf(buf, sizeof(buf), "%.3f ms (%s)\n", plan_ms,
+                plan_cache_hit ? "plan cache hit" : "plan built");
+  out += buf;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const ExplainStep& s = steps[i];
+    std::string kind =
+        s.query.workflow_source
+            ? (s.query.via_processor != common::kNoSymbol ? "source-via"
+                                                          : "source")
+            : "consume";
+    std::snprintf(buf, sizeof(buf),
+                  "  step %2zu  %-10s %-40s probes=%llu descents=%llu "
+                  "rows=%llu bindings=%llu %.3f ms\n",
+                  i, kind.c_str(), s.query.ToString(store).c_str(),
+                  static_cast<unsigned long long>(s.trace_probes),
+                  static_cast<unsigned long long>(s.trace_descents),
+                  static_cast<unsigned long long>(s.rows),
+                  static_cast<unsigned long long>(s.bindings), s.ms);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace provlin::lineage

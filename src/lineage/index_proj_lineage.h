@@ -45,6 +45,33 @@ struct TraceQuery {
   }
 };
 
+/// Measured cost of one of a plan's trace queries, from an EXPLAIN run:
+/// the query itself plus the probes, B+-tree descents, trace rows, and
+/// answer bindings it accounted for, and its wall time. Costs aggregate
+/// across the runs in the request's scope.
+struct ExplainStep {
+  TraceQuery query;
+  uint64_t trace_probes = 0;
+  uint64_t trace_descents = 0;
+  uint64_t rows = 0;
+  uint64_t bindings = 0;
+  double ms = 0.0;
+};
+
+/// An EXPLAIN'd query: the plan (with provenance — cached or built, plan
+/// time, graph steps) and the per-trace-query measured costs, plus the
+/// ordinary answer so EXPLAIN never diverges from execution.
+struct ExplainResult {
+  bool plan_cache_hit = false;
+  double plan_ms = 0.0;
+  uint64_t graph_steps = 0;
+  std::vector<ExplainStep> steps;
+  LineageAnswer answer;
+
+  /// Human-readable plan: one line per trace query with measured costs.
+  std::string ToString(const provenance::TraceStore& store) const;
+};
+
 /// The product of the s1 spec-graph traversal: the focused trace queries
 /// plus traversal statistics. Plans depend only on (workflow, target,
 /// index, 𝒫) — not on any run — so they are cached and shared across
@@ -91,6 +118,13 @@ class IndexProjLineage : public LineageEngine {
 
   /// Full query: s1 once (cached, shared) + s2 per run in scope (§3.4).
   Result<LineageAnswer> Query(const LineageRequest& request) const override;
+
+  /// EXPLAIN: answers `request` with the single-probe execution path,
+  /// measuring each generated trace query separately (probes, descents,
+  /// rows fetched, bindings contributed, wall time). Costs are the real
+  /// measured costs of this execution — slower than Query() because
+  /// per-step attribution forgoes batching.
+  Result<ExplainResult> Explain(const LineageRequest& request) const;
 
   using LineageEngine::Query;
   using LineageEngine::QueryMultiRun;
@@ -145,6 +179,14 @@ class IndexProjLineage : public LineageEngine {
   /// dispatching on mode_.
   Status ExecutePlan(const LineagePlan& plan, const std::string& run,
                      std::vector<LineageBinding>* bindings) const;
+
+  /// Single-probe execution of one trace query against one resolved run:
+  /// the shared body of the kSingleProbe path and Explain(). `rows`,
+  /// when non-null, accumulates the trace rows the query fetched.
+  Status ExecuteQuerySingle(const TraceQuery& q, common::SymbolId run_sym,
+                            const std::string& run,
+                            std::vector<LineageBinding>* bindings,
+                            uint64_t* rows) const;
 
   /// kBatched s2: every probe the plan will issue is known up front, so
   /// the whole plan flattens into one producing batch plus one consuming

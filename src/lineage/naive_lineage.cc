@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/timer.h"
+#include "common/tracing.h"
 #include "lineage/binding_retrieval.h"
 
 namespace provlin::lineage {
@@ -106,6 +107,10 @@ class Traversal {
     };
     std::vector<Pending> frontier{{processor, port, q, side}};
     while (!frontier.empty()) {
+      PROVLIN_TRACE_SPAN_VAR(level_span, "ni/frontier_level");
+      if (level_span.active()) {
+        level_span.SetArgs("width=" + std::to_string(frontier.size()));
+      }
       std::vector<Pending> out_items;
       std::vector<Pending> in_items;
       for (Pending& item : frontier) {
@@ -199,6 +204,8 @@ class Traversal {
 Result<LineageAnswer> NaiveLineage::QueryOneRun(
     const std::string& run, const workflow::PortRef& target, const Index& q,
     const InterestSet& interest, ProbeExecution mode) const {
+  PROVLIN_TRACE_SPAN_VAR(span, "ni/query_run");
+  if (span.active()) span.SetArgs("run=" + run);
   LineageAnswer answer;
   // Probe counts come from the calling thread's counters, not the global
   // aggregate: under the concurrent service the global delta would charge
@@ -259,6 +266,7 @@ Result<LineageAnswer> NaiveLineage::Query(const LineageRequest& request) const {
     combined.timing.trace_descents += one.timing.trace_descents;
   }
   NormalizeBindings(&combined.bindings);
+  PublishTiming(name(), combined.timing);
   return combined;
 }
 

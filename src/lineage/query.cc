@@ -1,6 +1,10 @@
 #include "lineage/query.h"
 
 #include <algorithm>
+#include <map>
+#include <string_view>
+
+#include "common/metrics.h"
 
 namespace provlin::lineage {
 
@@ -28,6 +32,38 @@ void NormalizeBindings(std::vector<LineageBinding>* bindings) {
     if (!covered) kept.push_back(b);
   }
   *bindings = std::move(kept);
+}
+
+void PublishTiming(std::string_view engine, const LineageTiming& timing) {
+  namespace metrics = common::metrics;
+  static auto* queries = metrics::GetCounter("lineage/queries");
+  static auto* probes = metrics::GetCounter("lineage/trace_probes");
+  static auto* descents = metrics::GetCounter("lineage/trace_descents");
+  static auto* steps = metrics::GetCounter("lineage/graph_steps");
+  static auto* cache_hits = metrics::GetCounter("lineage/plan_cache_hits");
+  static auto* t1 = metrics::GetHistogram("lineage/t1_ms");
+  static auto* t2 = metrics::GetHistogram("lineage/t2_ms");
+  queries->Increment();
+  probes->Add(timing.trace_probes);
+  descents->Add(timing.trace_descents);
+  steps->Add(timing.graph_steps);
+  if (timing.plan_cache_hit) cache_hits->Increment();
+  t1->Observe(timing.t1_ms);
+  t2->Observe(timing.t2_ms);
+  // Per-engine query counts. The engine set is tiny and fixed per
+  // process, so a thread-local cache keeps the registry's string build
+  // and shared lock off the per-query path.
+  thread_local std::map<std::string, metrics::Counter*, std::less<>>
+      per_engine;
+  auto it = per_engine.find(engine);
+  if (it == per_engine.end()) {
+    it = per_engine
+             .emplace(std::string(engine),
+                      metrics::GetCounter("lineage/queries_" +
+                                          std::string(engine)))
+             .first;
+  }
+  it->second->Increment();
 }
 
 }  // namespace provlin::lineage

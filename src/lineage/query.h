@@ -119,6 +119,14 @@ struct LineageAnswer {
 /// both element-wise and whole (e.g. the GK workflow's two branches).
 void NormalizeBindings(std::vector<LineageBinding>* bindings);
 
+/// Publishes a finished query's cost breakdown into the process-wide
+/// MetricsRegistry under lineage/* (plus a per-engine query counter,
+/// e.g. "lineage/queries_indexproj"). Engines call this once at the end
+/// of Query(); the per-query LineageTiming stays the caller-facing view,
+/// the registry accumulates the process totals that `provlin stats`
+/// exposes.
+void PublishTiming(std::string_view engine, const LineageTiming& timing);
+
 }  // namespace provlin::lineage
 
 #endif  // PROVLIN_LINEAGE_QUERY_H_

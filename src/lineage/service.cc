@@ -6,7 +6,9 @@
 #include <tuple>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/timer.h"
+#include "common/tracing.h"
 #include "provenance/trace_store.h"
 #include "storage/table.h"
 
@@ -29,6 +31,37 @@ std::tuple<const void*, std::string> GroupKey(const ServiceRequest& req) {
                           req.request.index.ToString() + "|";
   for (const std::string& p : req.request.interest) plan_repr += p + ",";
   return {static_cast<const void*>(req.engine), std::move(plan_repr)};
+}
+
+namespace metrics = common::metrics;
+
+/// Registry handles for the service/* instruments: resolved once, then
+/// every batch's accumulation pass mirrors its deltas here so `provlin
+/// stats` sees the process totals across all services.
+struct ServiceInstruments {
+  metrics::Counter* batches = metrics::GetCounter("service/batches");
+  metrics::Counter* requests = metrics::GetCounter("service/requests");
+  metrics::Counter* failed = metrics::GetCounter("service/failed_requests");
+  metrics::Counter* plan_cache_hits =
+      metrics::GetCounter("service/plan_cache_hits");
+  metrics::Counter* trace_probes = metrics::GetCounter("service/trace_probes");
+  metrics::Counter* trace_descents =
+      metrics::GetCounter("service/trace_descents");
+  metrics::Counter* memo_hits = metrics::GetCounter("service/probe_memo_hits");
+  metrics::Counter* memo_lookups =
+      metrics::GetCounter("service/probe_memo_lookups");
+  metrics::Histogram* queue_wait =
+      metrics::GetHistogram("service/queue_wait_ms");
+  metrics::Histogram* exec = metrics::GetHistogram("service/exec_ms");
+  metrics::Histogram* batch_wall =
+      metrics::GetHistogram("service/batch_wall_ms");
+  metrics::Gauge* last_batch_wall_us =
+      metrics::GetGauge("service/last_batch_wall_us");
+};
+
+ServiceInstruments& Mx() {
+  static ServiceInstruments m;
+  return m;
 }
 
 }  // namespace
@@ -58,6 +91,24 @@ std::string ServiceMetrics::ToString() const {
   return out;
 }
 
+ServiceMetrics ServiceMetrics::FromRegistrySnapshot(
+    const common::metrics::MetricsSnapshot& snap) {
+  ServiceMetrics m;
+  m.batches = snap.counter("service/batches");
+  m.requests = snap.counter("service/requests");
+  m.failed_requests = snap.counter("service/failed_requests");
+  m.plan_cache_hits = snap.counter("service/plan_cache_hits");
+  m.trace_probes = snap.counter("service/trace_probes");
+  m.trace_descents = snap.counter("service/trace_descents");
+  m.probe_memo_hits = snap.counter("service/probe_memo_hits");
+  m.probe_memo_lookups = snap.counter("service/probe_memo_lookups");
+  m.total_queue_wait_ms = snap.histogram_sum("service/queue_wait_ms");
+  m.total_exec_ms = snap.histogram_sum("service/exec_ms");
+  m.last_batch_wall_ms =
+      static_cast<double>(snap.gauge("service/last_batch_wall_us")) / 1000.0;
+  return m;
+}
+
 LineageService::LineageService(ServiceOptions options)
     : options_(options), pool_(options.num_threads) {
   metrics_.per_thread_probes.assign(pool_.num_threads(), 0);
@@ -65,6 +116,10 @@ LineageService::LineageService(ServiceOptions options)
 
 std::vector<ServiceResponse> LineageService::ExecuteBatch(
     const std::vector<ServiceRequest>& batch) {
+  PROVLIN_TRACE_SPAN_VAR(batch_span, "service/batch");
+  if (batch_span.active()) {
+    batch_span.SetArgs("requests=" + std::to_string(batch.size()));
+  }
   std::vector<ServiceResponse> responses(batch.size());
   if (batch.empty()) return responses;
 
@@ -121,6 +176,12 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
         ServiceResponse& resp = responses[i];
         resp.queue_wait_ms = queue_wait;
         resp.worker = worker;
+        PROVLIN_TRACE_SPAN_VAR(req_span, "service/request");
+        if (req_span.active()) {
+          req_span.SetArgs("req=" + std::to_string(i) +
+                           " worker=" + std::to_string(worker) + " " +
+                           req.request.ToString());
+        }
         storage::ThreadStats before = storage::ThisThreadStats();
         if (req.engine == nullptr) {
           resp.status = Status::InvalidArgument("request has no engine");
@@ -154,20 +215,47 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
   }
   double batch_wall_ms = batch_timer.ElapsedMillis();
 
+  // Per-instance counters under the lock, process-wide registry mirror
+  // alongside: the two views accumulate the same deltas, so in a
+  // single-service process FromRegistrySnapshot reproduces metrics().
   std::lock_guard<std::mutex> lock(metrics_mu_);
   metrics_.batches += 1;
   metrics_.last_batch_wall_ms = batch_wall_ms;
-  for (const ServiceResponse& resp : responses) {
+  Mx().batches->Increment();
+  Mx().batch_wall->Observe(batch_wall_ms);
+  Mx().last_batch_wall_us->Set(static_cast<int64_t>(batch_wall_ms * 1000.0));
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const ServiceResponse& resp = responses[i];
     metrics_.requests += 1;
-    if (!resp.status.ok()) metrics_.failed_requests += 1;
+    Mx().requests->Increment();
+    Mx().queue_wait->Observe(resp.queue_wait_ms);
+    if (!resp.status.ok()) {
+      metrics_.failed_requests += 1;
+      Mx().failed->Increment();
+    }
     if (resp.status.ok() && resp.answer.timing.plan_cache_hit) {
       metrics_.plan_cache_hits += 1;
+      Mx().plan_cache_hits->Increment();
     }
     metrics_.total_queue_wait_ms += resp.queue_wait_ms;
     if (resp.status.ok()) {
-      metrics_.total_exec_ms += resp.answer.timing.total_ms();
+      double exec_ms = resp.answer.timing.total_ms();
+      metrics_.total_exec_ms += exec_ms;
       metrics_.trace_probes += resp.answer.timing.trace_probes;
       metrics_.trace_descents += resp.answer.timing.trace_descents;
+      Mx().exec->Observe(exec_ms);
+      Mx().trace_probes->Add(resp.answer.timing.trace_probes);
+      Mx().trace_descents->Add(resp.answer.timing.trace_descents);
+      if (options_.slow_query_ms > 0.0 && exec_ms > options_.slow_query_ms) {
+        PROVLIN_LOG(Warning)
+            << "slow lineage query (" << exec_ms << " ms > "
+            << options_.slow_query_ms << " ms): "
+            << batch[i].request.ToString() << " t1=" << resp.answer.timing.t1_ms
+            << "ms t2=" << resp.answer.timing.t2_ms
+            << "ms probes=" << resp.answer.timing.trace_probes
+            << " descents=" << resp.answer.timing.trace_descents
+            << " worker=" << resp.worker;
+      }
     }
   }
   for (size_t w = 0; w < worker_probes.size(); ++w) {
@@ -176,6 +264,8 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
   if (memo != nullptr) {
     metrics_.probe_memo_hits += memo->hits();
     metrics_.probe_memo_lookups += memo->lookups();
+    Mx().memo_hits->Add(memo->hits());
+    Mx().memo_lookups->Add(memo->lookups());
   }
   return responses;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "lineage/engine.h"
@@ -32,6 +33,10 @@ struct ServiceOptions {
   /// batch-composition-dependent, so count-asserting tests turn this
   /// off.
   bool dedupe_probes = true;
+  /// Slow-query outlier threshold in milliseconds: a request whose
+  /// engine-measured execution time exceeds it gets one WARNING log line
+  /// (target, runs, timing breakdown). 0 disables the check.
+  double slow_query_ms = 0.0;
 };
 
 /// One entry of a batch: which engine answers which request. Engines are
@@ -65,8 +70,9 @@ struct ServiceMetrics {
   /// Physical B+-tree descents behind those probes (amortized by batched
   /// probe execution; see LineageTiming::trace_descents).
   uint64_t trace_descents = 0;
-  /// Probes answered from the shared per-batch probe memo / total memo
-  /// consultations (zero when ServiceOptions::dedupe_probes is off).
+  /// Of the probe-memo consultations counted in probe_memo_lookups, how
+  /// many were answered from the shared per-batch memo instead of the
+  /// storage layer (both zero when ServiceOptions::dedupe_probes is off).
   uint64_t probe_memo_hits = 0;
   uint64_t probe_memo_lookups = 0;
   double total_queue_wait_ms = 0.0;
@@ -86,6 +92,15 @@ struct ServiceMetrics {
   }
 
   std::string ToString() const;
+
+  /// The registry-derived view: rebuilds the same counters from a
+  /// MetricsSnapshot's service/* instruments. In a process with one
+  /// LineageService this equals metrics() exactly (asserted by
+  /// service_test); with several services it is their sum.
+  /// per_thread_probes stays empty — worker attribution is per-service
+  /// state the process-wide registry does not keep.
+  static ServiceMetrics FromRegistrySnapshot(
+      const common::metrics::MetricsSnapshot& snap);
 };
 
 /// Concurrent batch lineage query service: accepts a batch of requests
@@ -109,7 +124,9 @@ class LineageService {
   std::vector<ServiceResponse> ExecuteBatch(
       const std::vector<ServiceRequest>& batch);
 
-  /// Snapshot of the cumulative counters.
+  /// Snapshot of this service's cumulative counters. The same values are
+  /// also published to the process-wide MetricsRegistry under service/*
+  /// (see ServiceMetrics::FromRegistrySnapshot).
   ServiceMetrics metrics() const;
   void ResetMetrics();
 

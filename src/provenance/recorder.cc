@@ -1,5 +1,6 @@
 #include "provenance/recorder.h"
 
+#include "common/tracing.h"
 #include "workflow/dataflow.h"
 
 namespace provlin::provenance {
@@ -38,6 +39,8 @@ void TraceRecorder::OnWorkflowInput(const std::string& port,
 void TraceRecorder::OnXform(const std::string& processor,
                             const std::vector<engine::BindingEvent>& inputs,
                             const std::vector<engine::BindingEvent>& outputs) {
+  PROVLIN_TRACE_SPAN_VAR(span, "recorder/xform");
+  if (span.active()) span.SetArgs("processor=" + processor);
   int64_t event_id = next_event_id_++;
   SymbolId proc_sym = store_->Intern(processor);
 
@@ -89,6 +92,7 @@ void TraceRecorder::OnXform(const std::string& processor,
 void TraceRecorder::OnXfer(const workflow::PortRef& src,
                            const workflow::PortRef& dst, const Index& index,
                            const Value& element) {
+  PROVLIN_TRACE_SPAN("recorder/xfer");
   auto id = Intern(element);
   if (!id.ok()) {
     Latch(id.status());

@@ -4,6 +4,8 @@
 #include <set>
 #include <type_traits>
 
+#include "common/metrics.h"
+#include "common/tracing.h"
 #include "provenance/schema.h"
 #include "storage/serialize.h"
 #include "values/value_parser.h"
@@ -109,6 +111,20 @@ void AppendOverlapQueries(SymbolId run, const char* pair_col, IdPair pair,
 
 thread_local ProbeMemo* g_active_probe_memo = nullptr;
 
+/// Registry mirrors of the per-memo hit/lookup atomics: process-wide
+/// totals across all memos, exposed as provenance/memo_* in `stats`.
+struct MemoMetrics {
+  common::metrics::Counter* hits =
+      common::metrics::GetCounter("provenance/memo_hits");
+  common::metrics::Counter* lookups =
+      common::metrics::GetCounter("provenance/memo_lookups");
+};
+
+MemoMetrics& MemoMx() {
+  static MemoMetrics m;
+  return m;
+}
+
 XferRecord DecodeXfer(const Row& row) {
   XferRecord rec;
   rec.run = SymOf(row[xfer_col::kRun]);
@@ -182,6 +198,8 @@ Result<int64_t> TraceStore::InternValue(const std::string& run_id,
 }
 
 Status TraceStore::InsertXform(const XformRecord& rec) {
+  static auto* rows = common::metrics::GetCounter("provenance/xform_rows");
+  rows->Increment();
   PROVLIN_ASSIGN_OR_RETURN(Table * xform, db_->GetTable(tables::kXform));
   Row row(8);
   row[xform_col::kRun] = SymDatum(rec.run);
@@ -201,6 +219,8 @@ Status TraceStore::InsertXform(const XformRecord& rec) {
 }
 
 Status TraceStore::InsertXfer(const XferRecord& rec) {
+  static auto* rows = common::metrics::GetCounter("provenance/xfer_rows");
+  rows->Increment();
   PROVLIN_ASSIGN_OR_RETURN(Table * xfer, db_->GetTable(tables::kXfer));
   storage::Row row{SymDatum(rec.run),
                    Datum(IdPair{rec.src_proc, rec.src_port}),
@@ -400,10 +420,12 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
     int kind, const char* table, const char* pair_col, const char* index_col,
     Record (*decode)(const storage::Row&), SymbolId run, IdPair pair,
     const Index& idx) const {
+  PROVLIN_TRACE_SPAN("trace/find");
   ProbeMemo* memo = ProbeMemoScope::Active();
   ProbeMemo::Key key{kind, run, pair.Packed(), InternIndex(idx)};
   if (memo != nullptr) {
     memo->lookups_.fetch_add(1, std::memory_order_relaxed);
+    MemoMx().lookups->Increment();
     std::lock_guard<std::mutex> lock(memo->mu_);
     auto& map = [&]() -> auto& {
       if constexpr (std::is_same_v<Record, XformRecord>) {
@@ -415,6 +437,7 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
     auto it = map.find(key);
     if (it != map.end()) {
       memo->hits_.fetch_add(1, std::memory_order_relaxed);
+      MemoMx().hits->Increment();
       return *it->second;
     }
   }
@@ -439,6 +462,10 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
     int kind, const char* table, const char* pair_col, const char* index_col,
     Record (*decode)(const storage::Row&), SymbolId run,
     const std::vector<PortProbe>& probes) const {
+  PROVLIN_TRACE_SPAN_VAR(span, "trace/find_batch");
+  if (span.active()) {
+    span.SetArgs("probes=" + std::to_string(probes.size()));
+  }
   std::vector<std::vector<Record>> results(probes.size());
   ProbeMemo* memo = ProbeMemoScope::Active();
 
@@ -455,6 +482,7 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
                                     InternIndex(p.index)});
     }
     memo->lookups_.fetch_add(probes.size(), std::memory_order_relaxed);
+    MemoMx().lookups->Add(probes.size());
     std::lock_guard<std::mutex> lock(memo->mu_);
     auto& map = [&]() -> auto& {
       if constexpr (std::is_same_v<Record, XformRecord>) {
@@ -463,14 +491,19 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
         return memo->xfer_;
       }
     }();
+    uint64_t hits = 0;
     for (size_t i = 0; i < probes.size(); ++i) {
       auto it = map.find(keys[i]);
       if (it != map.end()) {
-        memo->hits_.fetch_add(1, std::memory_order_relaxed);
+        ++hits;
         results[i] = *it->second;
       } else {
         misses.push_back(i);
       }
+    }
+    if (hits > 0) {
+      memo->hits_.fetch_add(hits, std::memory_order_relaxed);
+      MemoMx().hits->Add(hits);
     }
   }
   if (misses.empty()) return results;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/tracing.h"
+
 namespace provlin::storage {
 
 std::string_view AccessPathName(AccessPath path) {
@@ -235,6 +237,7 @@ void FilterInto(const Table& table, const SelectQuery& query,
 Result<SelectResult> ExecuteSelect(const Table& table,
                                    const SelectQuery& query,
                                    const SelectOptions& options) {
+  PROVLIN_TRACE_SPAN("storage/select");
   PROVLIN_RETURN_IF_ERROR(ValidateColumns(table, query));
 
   std::vector<IndexSpec> specs = table.indexes();
@@ -272,6 +275,11 @@ Result<SelectResult> ExecuteSelect(const Table& table,
 Result<std::vector<SelectResult>> ExecuteMultiSelect(
     const Table& table, const std::vector<SelectQuery>& queries,
     const SelectOptions& options) {
+  PROVLIN_TRACE_SPAN_VAR(span, "storage/multi_select");
+  if (span.active()) {
+    span.SetArgs("queries=" + std::to_string(queries.size()) + " table=" +
+                 table.name());
+  }
   std::vector<SelectResult> out(queries.size());
   if (queries.empty()) return out;
 

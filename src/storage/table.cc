@@ -1,6 +1,36 @@
 #include "storage/table.h"
 
+#include "common/metrics.h"
+
 namespace provlin::storage {
+
+namespace {
+
+namespace metrics = common::metrics;
+
+/// Process-wide access-path counters, mirrored into the MetricsRegistry
+/// at the same sites that bump the per-table and per-thread stats. The
+/// handles are resolved once; each bump is a single relaxed add.
+struct StorageMetrics {
+  metrics::Counter* inserts = metrics::GetCounter("storage/inserts");
+  metrics::Counter* deletes = metrics::GetCounter("storage/deletes");
+  metrics::Counter* index_probes = metrics::GetCounter("storage/index_probes");
+  metrics::Counter* full_scans = metrics::GetCounter("storage/full_scans");
+  metrics::Counter* rows_examined =
+      metrics::GetCounter("storage/rows_examined");
+  metrics::Counter* batched_probes =
+      metrics::GetCounter("storage/batched_probes");
+  metrics::Counter* descents = metrics::GetCounter("storage/descents");
+  metrics::Histogram* multiseek_batch = metrics::GetHistogram(
+      "storage/multiseek_batch_size", metrics::DefaultSizeBounds());
+};
+
+StorageMetrics& Mx() {
+  static StorageMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadStats& ThisThreadStats() {
   thread_local ThreadStats stats;
@@ -83,6 +113,7 @@ Result<uint64_t> Table::Insert(const Row& row) {
   deleted_.push_back(false);
   ++live_rows_;
   stats_.Bump(stats_.inserts);
+  Mx().inserts->Increment();
   for (auto& idx : indexes_) {
     Key key = ExtractKey(row, idx);
     if (idx.btree != nullptr) {
@@ -109,6 +140,7 @@ Status Table::Delete(uint64_t rid) {
   deleted_[rid] = true;
   --live_rows_;
   stats_.Bump(stats_.deletes);
+  Mx().deletes->Increment();
   return Status::OK();
 }
 
@@ -118,6 +150,7 @@ Result<Row> Table::Get(uint64_t rid) const {
   }
   stats_.Bump(stats_.rows_examined);
   ++ThisThreadStats().rows_examined;
+  Mx().rows_examined->Increment();
   return rows_[rid];
 }
 
@@ -125,6 +158,7 @@ const Row* Table::PeekRow(uint64_t rid) const {
   if (rid >= rows_.size() || deleted_[rid]) return nullptr;
   stats_.Bump(stats_.rows_examined);
   ++ThisThreadStats().rows_examined;
+  Mx().rows_examined->Increment();
   return &rows_[rid];
 }
 
@@ -147,9 +181,11 @@ Result<std::vector<uint64_t>> Table::IndexLookup(std::string_view index_name,
   }
   stats_.Bump(stats_.index_probes);
   ++ThisThreadStats().index_probes;
+  Mx().index_probes->Increment();
   if (idx->btree != nullptr) {
     stats_.Bump(stats_.descents);
     ++ThisThreadStats().descents;
+    Mx().descents->Increment();
     return idx->btree->Lookup(key);
   }
   return idx->hash->Lookup(key);
@@ -168,6 +204,8 @@ Result<std::vector<uint64_t>> Table::IndexPrefixLookup(
   ++ThisThreadStats().index_probes;
   stats_.Bump(stats_.descents);
   ++ThisThreadStats().descents;
+  Mx().index_probes->Increment();
+  Mx().descents->Increment();
   return idx->btree->PrefixLookup(prefix);
 }
 
@@ -181,6 +219,8 @@ Result<std::vector<uint64_t>> Table::IndexRangeLookup(
   ++ThisThreadStats().index_probes;
   stats_.Bump(stats_.descents);
   ++ThisThreadStats().descents;
+  Mx().index_probes->Increment();
+  Mx().descents->Increment();
   return idx->btree->RangeLookup(lo, hi);
 }
 
@@ -196,9 +236,13 @@ Result<BPlusTree::MultiSeekResult> Table::IndexMultiSeek(
   stats_.Bump(stats_.batched_probes, n);
   ThisThreadStats().index_probes += n;
   ThisThreadStats().batched_probes += n;
+  Mx().index_probes->Add(n);
+  Mx().batched_probes->Add(n);
+  Mx().multiseek_batch->Observe(static_cast<double>(n));
   BPlusTree::MultiSeekResult result = idx->btree->MultiSeek(probes);
   stats_.Bump(stats_.descents, result.descents);
   ThisThreadStats().descents += result.descents;
+  Mx().descents->Add(result.descents);
   return result;
 }
 
@@ -207,6 +251,8 @@ std::vector<uint64_t> Table::FullScan() const {
   stats_.Bump(stats_.rows_examined, rows_.size());
   ++ThisThreadStats().full_scans;
   ThisThreadStats().rows_examined += rows_.size();
+  Mx().full_scans->Increment();
+  Mx().rows_examined->Add(rows_.size());
   std::vector<uint64_t> out;
   out.reserve(live_rows_);
   for (uint64_t rid = 0; rid < rows_.size(); ++rid) {

@@ -1,5 +1,8 @@
 #include "storage/wal.h"
 
+#include "common/metrics.h"
+#include "common/tracing.h"
+
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -62,6 +65,7 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
+  PROVLIN_TRACE_SPAN("wal/append");
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL is closed");
   }
@@ -79,6 +83,12 @@ Status WriteAheadLog::Append(std::string_view payload) {
     return Status::IoError("flush failed for WAL '" + path_ + "'");
   }
   ++records_appended_;
+  static auto* appends = common::metrics::GetCounter("wal/appends");
+  static auto* bytes = common::metrics::GetCounter("wal/bytes");
+  static auto* flushes = common::metrics::GetCounter("wal/flushes");
+  appends->Increment();
+  bytes->Add(payload.size() + 8);
+  flushes->Increment();
   return Status::OK();
 }
 

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "common/tracing.h"
 
 namespace provlin::cli {
 namespace {
@@ -300,6 +304,105 @@ TEST_F(CliTest, ContinueOnErrorRun) {
       << err_.str();
   EXPECT_NE(out_.str().find("1 failed"), std::string::npos);
   EXPECT_NE(out_.str().find("error("), std::string::npos);
+}
+
+TEST_F(CliTest, StatsCommandExposesRegistry) {
+  ASSERT_EQ(Run({"stats"}), 0) << err_.str();
+  // Well-known instruments are pre-registered so a scrape sees every
+  // series from the start, even at zero.
+  EXPECT_NE(out_.str().find("# TYPE provlin_storage_index_probes counter"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("provlin_lineage_plan_cache_hits 0"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("provlin_service_exec_ms_bucket"),
+            std::string::npos);
+
+  ASSERT_EQ(Run({"stats", "--format", "json"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("\"counters\""), std::string::npos)
+      << out_.str();
+  EXPECT_EQ(Run({"stats", "--format", "xml"}), 1);
+}
+
+TEST_F(CliTest, LineageStatsFlagShowsQueryTraffic) {
+  ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
+                 db_path_, "--run", "r0", "--input", "ListSize=3"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"lineage", "--db", db_path_, "--workflow",
+                 "builtin:synthetic:2", "--run", "r0", "--target",
+                 "workflow:RESULT", "--index", "1,1", "--stats", "true"}),
+            0)
+      << err_.str();
+  // The exposition follows the normal lineage output and reflects the
+  // query that just ran: probes were counted both by the lineage tier
+  // and the storage tier.
+  EXPECT_NE(out_.str().find("lineage of workflow:RESULT"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("provlin_lineage_queries 1"), std::string::npos)
+      << out_.str();
+  // The registry's probe total must equal the per-query timing the
+  // lineage output reports ("(N bindings, M trace probes, ...").
+  std::string text = out_.str();
+  size_t bindings_pos = text.find(" bindings, ");
+  ASSERT_NE(bindings_pos, std::string::npos) << text;
+  size_t probes_begin = bindings_pos + std::string(" bindings, ").size();
+  uint64_t timing_probes =
+      std::strtoull(text.c_str() + probes_begin, nullptr, 10);
+  EXPECT_GT(timing_probes, 0u);
+  EXPECT_NE(text.find("provlin_lineage_trace_probes " +
+                      std::to_string(timing_probes) + "\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(CliTest, LineageTraceOutWritesChromeTraceJson) {
+  std::string trace_path =
+      std::string(::testing::TempDir()) + "/cli_trace_out.json";
+  std::remove(trace_path.c_str());
+  ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
+                 db_path_, "--run", "r0", "--input", "ListSize=3"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"lineage", "--db", db_path_, "--workflow",
+                 "builtin:synthetic:2", "--run", "r0", "--target",
+                 "workflow:RESULT", "--index", "1,1", "--trace-out",
+                 trace_path}),
+            0)
+      << err_.str();
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << trace_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string trace = buf.str();
+  EXPECT_NE(trace.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(trace.find("indexproj/query"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("trace/find_batch"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  // Tracing is scoped to the command: the guard disabled it on exit.
+  EXPECT_FALSE(common::tracing::Tracer::Global().enabled());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, ExplainCommandPrintsPerStepCosts) {
+  ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
+                 db_path_, "--run", "r0", "--input", "ListSize=3"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"explain", "--db", db_path_, "--workflow",
+                 "builtin:synthetic:2", "--run", "r0", "--target",
+                 "workflow:RESULT", "--index", "1,1"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("IndexProj plan:"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("step  0"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("probes="), std::string::npos);
+  EXPECT_NE(out_.str().find("descents="), std::string::npos);
+  EXPECT_NE(out_.str().find("bindings,"), std::string::npos);
+  // Explain still requires the full lineage argument set.
+  EXPECT_EQ(Run({"explain", "--db", db_path_}), 1);
+  EXPECT_NE(err_.str().find("--workflow"), std::string::npos);
 }
 
 TEST_F(CliTest, ExplainShowsGeneratedTraceQueries) {

@@ -263,6 +263,42 @@ TEST_F(ServiceTest, MetricsAccumulateAcrossBatchesAndReset) {
   EXPECT_EQ(m.per_thread_probes.size(), service.num_threads());
 }
 
+TEST_F(ServiceTest, RegistrySnapshotMatchesInstanceMetrics) {
+  // The service mirrors every per-instance counter delta into the
+  // process-wide registry; with exactly one service in the process the
+  // two views must agree. (Each TEST runs in its own process under
+  // gtest_discover_tests, so the registry reset below cannot race other
+  // tests.)
+  common::metrics::MetricsRegistry::Global().Reset();
+  LineageService service({/*num_threads=*/3, /*group_same_plan=*/true});
+  std::vector<ServiceRequest> batch = MixedBatch();
+  service.ExecuteBatch(batch);
+  service.ExecuteBatch(batch);
+
+  ServiceMetrics inst = service.metrics();
+  ServiceMetrics reg = ServiceMetrics::FromRegistrySnapshot(
+      common::metrics::MetricsRegistry::Global().Snapshot());
+
+  EXPECT_EQ(reg.batches, inst.batches);
+  EXPECT_EQ(reg.requests, inst.requests);
+  EXPECT_EQ(reg.failed_requests, inst.failed_requests);
+  EXPECT_EQ(reg.plan_cache_hits, inst.plan_cache_hits);
+  EXPECT_EQ(reg.trace_probes, inst.trace_probes);
+  EXPECT_EQ(reg.trace_descents, inst.trace_descents);
+  EXPECT_EQ(reg.probe_memo_hits, inst.probe_memo_hits);
+  EXPECT_EQ(reg.probe_memo_lookups, inst.probe_memo_lookups);
+  // The ms totals are histogram sums of the same observations; addition
+  // order differs, so allow for rounding. The batch-wall gauge stores
+  // whole microseconds.
+  EXPECT_NEAR(reg.total_queue_wait_ms, inst.total_queue_wait_ms, 1e-6);
+  EXPECT_NEAR(reg.total_exec_ms, inst.total_exec_ms, 1e-6);
+  EXPECT_NEAR(reg.last_batch_wall_ms, inst.last_batch_wall_ms, 2e-3);
+  // Worker attribution is per-service state the registry does not keep.
+  EXPECT_TRUE(reg.per_thread_probes.empty());
+  EXPECT_GT(inst.requests, 0u);
+  EXPECT_GT(inst.trace_probes, 0u);
+}
+
 TEST_F(ServiceTest, EngineInterfaceReportsNames) {
   EXPECT_EQ(synth_->Engine("naive")->name(), "naive");
   EXPECT_EQ(synth_->Engine("indexproj")->name(), "indexproj");

@@ -1,0 +1,162 @@
+#include "common/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace provlin::common::tracing {
+namespace {
+
+// Each TEST runs in its own process under gtest_discover_tests, so
+// enabling/disabling the global tracer cannot leak across tests; every
+// test still disables on the way out for single-process runs.
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::Global().Disable(); }
+};
+
+TEST_F(TracerTest, DisabledGuardRecordsNothing) {
+  ASSERT_FALSE(Tracer::Global().enabled());
+  {
+    PROVLIN_TRACE_SPAN("test/should_not_appear");
+  }
+  Tracer::Global().Enable(16);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TracerTest, SpansRecordWithNesting) {
+  Tracer::Global().Enable(64);
+  {
+    PROVLIN_TRACE_SPAN("test/outer");
+    {
+      PROVLIN_TRACE_SPAN("test/inner");
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot sorts by start timestamp: outer opened first.
+  EXPECT_EQ(events[0].name, "test/outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "test/inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].dur_us, events[1].dur_us);
+}
+
+TEST_F(TracerTest, SetArgsAttachesAnnotation) {
+  Tracer::Global().Enable(16);
+  {
+    PROVLIN_TRACE_SPAN_VAR(span, "test/with_args");
+    ASSERT_TRUE(span.active());
+    span.SetArgs("k=v");
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args, "k=v");
+}
+
+TEST_F(TracerTest, GuardOpenedWhileDisabledStaysInert) {
+  ASSERT_FALSE(Tracer::Global().enabled());
+  {
+    PROVLIN_TRACE_SPAN_VAR(span, "test/pre_enable");
+    EXPECT_FALSE(span.active());
+    Tracer::Global().Enable(16);
+    // The guard latched its decision at construction: nothing recorded.
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TracerTest, RingWrapsAroundKeepingNewestEvents) {
+  Tracer::Global().Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    Tracer::Global().Record("ev" + std::to_string(i), "",
+                            static_cast<uint64_t>(i), 1, 0);
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "ev6");
+  EXPECT_EQ(events[3].name, "ev9");
+  EXPECT_EQ(Tracer::Global().dropped(), 6u);
+  EXPECT_EQ(Tracer::Global().capacity(), 4u);
+}
+
+TEST_F(TracerTest, ReEnableClearsPreviousCapture) {
+  Tracer::Global().Enable(16);
+  { PROVLIN_TRACE_SPAN("test/first_epoch"); }
+  Tracer::Global().Enable(16);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+}
+
+TEST_F(TracerTest, ChromeExportShapeAndEscaping) {
+  Tracer::Global().Enable(16);
+  Tracer::Global().Record("test/\"quoted\"", "line1\nline2", 5, 7, 2);
+  std::string json = Tracer::Global().ExportChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST_F(TracerTest, ExportOfEmptyCaptureIsValidJson) {
+  Tracer::Global().Enable(16);
+  EXPECT_EQ(Tracer::Global().ExportChromeTrace(), "{\"traceEvents\": [\n]}\n");
+}
+
+TEST_F(TracerTest, ThreadIdsAreDenseAndStable) {
+  uint32_t here = Tracer::ThisThreadId();
+  EXPECT_EQ(Tracer::ThisThreadId(), here);
+  uint32_t other = 0;
+  std::thread t([&other] { other = Tracer::ThisThreadId(); });
+  t.join();
+  EXPECT_NE(other, here);
+  EXPECT_NE(other, 0u);
+}
+
+TEST_F(TracerTest, MultiThreadedStress) {
+  // Hammer the tracer from many threads through enable/disable flips;
+  // run under TSan in CI. Counts are checked only loosely — the flips
+  // drop events by design — the point is data-race freedom and a
+  // well-formed snapshot.
+  Tracer::Global().Enable(1 << 10);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Tracer::Global().Disable();
+      Tracer::Global().Enable(1 << 10);
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        PROVLIN_TRACE_SPAN_VAR(span, "test/stress");
+        if (span.active() && i % 64 == 0) span.SetArgs("i=...");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.name, "test/stress");
+    EXPECT_NE(ev.tid, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace provlin::common::tracing

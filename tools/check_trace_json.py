@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+Usage: check_trace_json.py TRACE.json [--min-events N]
+
+Checks that the file is what Perfetto / chrome://tracing will accept and
+what the tracer promises to emit:
+
+  - top level is an object with a "traceEvents" array,
+  - every event is an object with the required fields (name, ph, ts,
+    pid, tid) of the right types,
+  - duration events are balanced: every "B" has a matching "E" on the
+    same (pid, tid); "X" complete events carry a non-negative "dur",
+  - timestamps are non-negative and sorted non-decreasing across the
+    array (the tracer exports in start-timestamp order).
+
+Exit status 0 on success, 1 with a report on any violation.
+"""
+
+import json
+import sys
+
+REQUIRED_FIELDS = {"name": str, "ph": str, "ts": (int, float), "pid": int,
+                   "tid": int}
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level is not an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not an array"]
+
+    open_stacks = {}  # (pid, tid) -> list of open "B" names
+    last_ts = None
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        bad_field = False
+        for field, types in REQUIRED_FIELDS.items():
+            if field not in ev:
+                errors.append(f"{where}: missing '{field}'")
+                bad_field = True
+            elif not isinstance(ev[field], types):
+                errors.append(
+                    f"{where}: '{field}' has type "
+                    f"{type(ev[field]).__name__}")
+                bad_field = True
+        if bad_field:
+            continue
+        where = f"event {i} ({ev['name']!r})"
+
+        if ev["ts"] < 0:
+            errors.append(f"{where}: negative ts {ev['ts']}")
+        if last_ts is not None and ev["ts"] < last_ts:
+            errors.append(
+                f"{where}: ts {ev['ts']} < previous {last_ts} "
+                "(events must be sorted by start timestamp)")
+        last_ts = ev["ts"]
+
+        key = (ev["pid"], ev["tid"])
+        ph = ev["ph"]
+        if ph == "X":
+            if "dur" not in ev:
+                errors.append(f"{where}: 'X' event without 'dur'")
+            elif not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                errors.append(f"{where}: bad 'dur' {ev['dur']!r}")
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stacks.get(key, [])
+            if not stack:
+                errors.append(f"{where}: 'E' with no open 'B' on {key}")
+            else:
+                stack.pop()
+        elif ph not in ("i", "I", "M", "C"):
+            errors.append(f"{where}: unsupported phase {ph!r}")
+
+    for key, stack in sorted(open_stacks.items()):
+        for name in stack:
+            errors.append(f"unclosed 'B' event {name!r} on {key}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    min_events = 0
+    if len(argv) >= 4 and argv[2] == "--min-events":
+        min_events = int(argv[3])
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"[{path}] unreadable or malformed JSON: {e}")
+        return 1
+
+    errors = validate(doc)
+    n = len(doc.get("traceEvents", [])) if isinstance(doc, dict) else 0
+    if not errors and n < min_events:
+        errors.append(f"only {n} events, expected at least {min_events}")
+    if errors:
+        print(f"[{path}] {len(errors)} violation(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"[{path}] {n} trace events, all well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
