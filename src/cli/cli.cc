@@ -195,15 +195,24 @@ Status DumpStats(const std::string& format, std::ostream& out) {
 }
 
 /// RAII capture window for `--trace-out FILE`: enables the global tracer
-/// for the command's working section and writes the Chrome trace JSON on
-/// scope exit (nothing happens when no path was requested).
+/// for the command's working section and writes the Chrome trace JSON
+/// when the window closes (nothing happens when no path was requested).
+/// Call Finish() right after the traced work to exclude output
+/// formatting from the capture; the destructor is the error-path
+/// fallback so early returns still flush whatever was captured.
 class TraceOutScope {
  public:
   explicit TraceOutScope(const std::string* path) : path_(path) {
     if (path_ != nullptr) common::tracing::Tracer::Global().Enable();
   }
-  ~TraceOutScope() {
-    if (path_ == nullptr) return;
+  ~TraceOutScope() { Finish(); }
+  TraceOutScope(const TraceOutScope&) = delete;
+  TraceOutScope& operator=(const TraceOutScope&) = delete;
+
+  /// Stops the capture and writes the trace file (idempotent).
+  void Finish() {
+    if (path_ == nullptr || finished_) return;
+    finished_ = true;
     common::tracing::Tracer& tracer = common::tracing::Tracer::Global();
     tracer.Disable();
     std::ofstream out(*path_);
@@ -213,11 +222,10 @@ class TraceOutScope {
     }
     out << tracer.ExportChromeTrace();
   }
-  TraceOutScope(const TraceOutScope&) = delete;
-  TraceOutScope& operator=(const TraceOutScope&) = delete;
 
  private:
   const std::string* path_;
+  bool finished_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -329,8 +337,9 @@ Status CmdLineage(const Args& args, std::ostream& out) {
     slow_query_ms = static_cast<double>(n);
   }
 
-  // Span capture covers the query execution below; the file is written
-  // when the scope closes, before the summary lines print.
+  // Span capture covers plan build and query execution; Finish() below
+  // writes the trace file before the summary lines (and any --stats
+  // exposition) print, so output formatting stays out of the trace.
   TraceOutScope trace_scope(args.Get("trace-out"));
 
   lineage::LineageAnswer answer;
@@ -417,6 +426,7 @@ Status CmdLineage(const Args& args, std::ostream& out) {
       PROVLIN_ASSIGN_OR_RETURN(answer, engine->Query(request));
     }
   }
+  trace_scope.Finish();
 
   // The single-query analogue of the service's slow-query log: flags
   // outliers without anyone watching a dashboard.
@@ -501,6 +511,7 @@ Status CmdExplain(const Args& args, std::ostream& out) {
   request.interest = interest;
   PROVLIN_ASSIGN_OR_RETURN(lineage::ExplainResult result,
                            engine.Explain(request));
+  trace_scope.Finish();
   out << result.ToString(store);
   out << "(" << result.answer.bindings.size() << " bindings, "
       << result.answer.timing.trace_probes << " trace probes, "

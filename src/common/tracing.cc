@@ -8,9 +8,15 @@ namespace provlin::common::tracing {
 namespace {
 
 /// Per-thread span nesting depth (only meaningful while enabled; a span
-/// opened under one Enable() and closed under another reports a harmless
-/// approximate depth).
+/// opened under one Enable() and closed under another is dropped at
+/// Record() via its generation stamp, so its depth never surfaces).
 thread_local uint16_t t_depth = 0;
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -55,17 +61,25 @@ void Tracer::Enable(size_t capacity) {
   ring_.reserve(capacity == 0 ? 1 : capacity);
   ring_capacity_ = capacity == 0 ? 1 : capacity;
   total_recorded_ = 0;
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ns_.store(SteadyNowNanos(), std::memory_order_relaxed);
+  // Release ordering on gen_ then enabled_: a guard that acquires either
+  // also sees this Enable()'s epoch, so lock-free NowMicros() reads are
+  // race-free and consistent with the generation it stamps.
+  gen_.fetch_add(1, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
 }
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
 
 uint64_t Tracer::NowMicros() const {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  int64_t now_ns = SteadyNowNanos();
+  int64_t epoch_ns = epoch_ns_.load(std::memory_order_acquire);
+  // A concurrent Enable() can move the epoch past an already-taken clock
+  // reading; clamp instead of underflowing (the span then dies on its
+  // generation check anyway).
+  return now_ns <= epoch_ns
+             ? 0
+             : static_cast<uint64_t>(now_ns - epoch_ns) / 1000;
 }
 
 uint32_t Tracer::ThisThreadId() {
@@ -77,6 +91,12 @@ uint32_t Tracer::ThisThreadId() {
 
 void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
                     uint64_t dur_us, uint16_t depth) {
+  Record(std::move(name), std::move(args), ts_us, dur_us, depth,
+         generation());
+}
+
+void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
+                    uint64_t dur_us, uint16_t depth, uint64_t generation) {
   TraceEvent ev;
   ev.name = std::move(name);
   ev.args = std::move(args);
@@ -86,6 +106,10 @@ void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
   ev.depth = depth;
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
+  // Stale generation: the span opened under a previous Enable(), so its
+  // start timestamp is measured against a dead epoch — drop it rather
+  // than pollute the new capture with a garbage duration.
+  if (generation != gen_.load(std::memory_order_relaxed)) return;
   if (ring_.size() < ring_capacity_) {
     ring_.push_back(std::move(ev));
   } else {
@@ -159,14 +183,19 @@ void SpanGuard::Begin(const char* name) {
   active_ = true;
   name_ = name;
   depth_ = t_depth++;
-  start_us_ = Tracer::Global().NowMicros();
+  Tracer& tracer = Tracer::Global();
+  gen_ = tracer.generation();
+  start_us_ = tracer.NowMicros();
 }
 
 void SpanGuard::End() {
-  uint64_t end_us = Tracer::Global().NowMicros();
+  Tracer& tracer = Tracer::Global();
+  uint64_t end_us = tracer.NowMicros();
   if (t_depth > 0) --t_depth;
-  Tracer::Global().Record(name_, std::move(args_), start_us_,
-                          end_us - start_us_, depth_);
+  // end < start only when an Enable() flip moved the epoch mid-span;
+  // clamp so even a racing stale event carries a sane duration.
+  uint64_t dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  tracer.Record(name_, std::move(args_), start_us_, dur_us, depth_, gen_);
 }
 
 }  // namespace provlin::common::tracing

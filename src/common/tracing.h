@@ -25,9 +25,10 @@ struct TraceEvent {
 
 /// Runtime-switchable span tracer with a bounded ring-buffer sink.
 ///
-/// Disabled (the default) it costs one relaxed atomic load and a branch
-/// per PROVLIN_TRACE_SPAN site — measured ≤ 2% on the probe-bound
-/// lineage benches (EXPERIMENTS.md "Observability overhead"). Enabled,
+/// Disabled (the default) it costs one acquire atomic load (a plain
+/// load on x86) and a branch per PROVLIN_TRACE_SPAN site — measured
+/// ≤ 2% on the probe-bound lineage benches (EXPERIMENTS.md
+/// "Observability overhead"). Enabled,
 /// each span closing takes the ring mutex briefly; the ring overwrites
 /// its oldest events on wraparound (dropped() counts casualties), so
 /// tracing never grows without bound.
@@ -50,15 +51,31 @@ class Tracer {
   void Enable(size_t capacity = 1 << 16);
   void Disable();
 
-  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  // Acquire pairs with the release store in Enable(): a guard that sees
+  // enabled() == true also sees that Enable()'s epoch and generation.
+  static bool enabled() { return enabled_.load(std::memory_order_acquire); }
 
-  /// Records one completed span (called by SpanGuard; usable directly
-  /// for spans whose lifetime does not match a C++ scope).
+  /// Records one completed span stamped with the current enable
+  /// generation (usable directly for spans whose lifetime does not
+  /// match a C++ scope).
   void Record(std::string name, std::string args, uint64_t ts_us,
               uint64_t dur_us, uint16_t depth);
 
+  /// As above, tagged with the enable generation observed when the span
+  /// opened. Events whose generation is stale — the capture was flipped
+  /// off and back on while the span was in flight — are dropped rather
+  /// than recorded with timestamps from a dead epoch.
+  void Record(std::string name, std::string args, uint64_t ts_us,
+              uint64_t dur_us, uint16_t depth, uint64_t generation);
+
   /// Microseconds since the enable epoch.
   uint64_t NowMicros() const;
+
+  /// Monotonic count of Enable() calls. SpanGuard stamps it at span
+  /// start so Record() can reject spans straddling a capture flip.
+  uint64_t generation() const {
+    return gen_.load(std::memory_order_acquire);
+  }
 
   /// Dense id of the calling thread (1, 2, ... in first-use order).
   static uint32_t ThisThreadId();
@@ -81,13 +98,20 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   size_t ring_capacity_ = 0;
   uint64_t total_recorded_ = 0;
-  std::chrono::steady_clock::time_point epoch_;
+  // The epoch is raw steady_clock nanoseconds (not a time_point) so the
+  // lock-free NowMicros() on the span fast path can read it atomically
+  // while Enable() rewrites it under mu_.
+  std::atomic<int64_t> epoch_ns_{0};
+  std::atomic<uint64_t> gen_{0};
 };
 
 /// RAII span: stamps the start on construction and records the completed
 /// event on destruction. When the tracer is disabled at construction the
 /// guard is inert — no clock read, no allocation, nothing recorded (even
-/// if tracing is enabled mid-span).
+/// if tracing is enabled mid-span). A span whose scope straddles a
+/// Disable()+Enable() flip is dropped at Record() — its start timestamp
+/// belongs to the previous epoch, so it has no valid place in the new
+/// capture.
 class SpanGuard {
  public:
   explicit SpanGuard(const char* name) {
@@ -118,6 +142,7 @@ class SpanGuard {
   const char* name_ = nullptr;
   std::string args_;
   uint64_t start_us_ = 0;
+  uint64_t gen_ = 0;
   uint16_t depth_ = 0;
 };
 
@@ -125,7 +150,7 @@ class SpanGuard {
 
 /// Opens a span covering the rest of the enclosing scope:
 ///   PROVLIN_TRACE_SPAN("indexproj/s2_probes");
-/// Compiles to a relaxed load + branch when tracing is disabled.
+/// Compiles to one atomic load + branch when tracing is disabled.
 #define PROVLIN_TRACE_SPAN_CAT2(a, b) a##b
 #define PROVLIN_TRACE_SPAN_CAT(a, b) PROVLIN_TRACE_SPAN_CAT2(a, b)
 #define PROVLIN_TRACE_SPAN(name)                       \

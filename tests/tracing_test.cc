@@ -92,6 +92,24 @@ TEST_F(TracerTest, ReEnableClearsPreviousCapture) {
   EXPECT_EQ(Tracer::Global().dropped(), 0u);
 }
 
+TEST_F(TracerTest, SpanStraddlingCaptureFlipIsDropped) {
+  // A span opened under one Enable() and closed under the next has a
+  // start timestamp from a dead epoch; it must not leak into the new
+  // capture with a garbage duration.
+  Tracer::Global().Enable(16);
+  {
+    PROVLIN_TRACE_SPAN_VAR(span, "test/straddle");
+    ASSERT_TRUE(span.active());
+    Tracer::Global().Disable();
+    Tracer::Global().Enable(16);
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+  // A span opened entirely under the new capture still records.
+  { PROVLIN_TRACE_SPAN("test/post_flip"); }
+  ASSERT_EQ(Tracer::Global().Snapshot().size(), 1u);
+  EXPECT_EQ(Tracer::Global().Snapshot()[0].name, "test/post_flip");
+}
+
 TEST_F(TracerTest, ChromeExportShapeAndEscaping) {
   Tracer::Global().Enable(16);
   Tracer::Global().Record("test/\"quoted\"", "line1\nline2", 5, 7, 2);
