@@ -1,0 +1,93 @@
+#ifndef PROVLIN_COMMON_ANNOTATIONS_H_
+#define PROVLIN_COMMON_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations.
+///
+/// These macros expose the `-Wthread-safety` attribute vocabulary so
+/// lock discipline is checked at compile time: which mutex guards which
+/// data (GUARDED_BY), which functions demand a held lock (REQUIRES),
+/// which acquire/release one (ACQUIRE/RELEASE), and which types *are*
+/// capabilities (CAPABILITY, SCOPED_CAPABILITY). The annotated mutex
+/// wrappers live in common/sync.h; everything concurrent in the tree
+/// uses them, and the static-analysis CI tier builds with
+/// `-Wthread-safety -Werror=thread-safety` so a violated annotation is
+/// a build break, not a TSan lottery ticket.
+///
+/// Under GCC (the tier-1 toolchain) every macro expands to nothing, so
+/// annotations cost nothing where the analysis is unavailable.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define PROVLIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PROVLIN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable). The string argument names
+/// the capability kind in diagnostics ("mutex").
+#define CAPABILITY(x) PROVLIN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock and friends).
+#define SCOPED_CAPABILITY PROVLIN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member requires the given capability to be held for access.
+#define GUARDED_BY(x) PROVLIN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* requires the capability.
+#define PT_GUARDED_BY(x) PROVLIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (acquire `this` before/after the others).
+#define ACQUIRED_BEFORE(...) \
+  PROVLIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PROVLIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function precondition: capability held on entry and on exit.
+#define REQUIRES(...) \
+  PROVLIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PROVLIN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires (and holds past return) the capability.
+#define ACQUIRE(...) \
+  PROVLIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PROVLIN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define RELEASE(...) \
+  PROVLIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PROVLIN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PROVLIN_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  PROVLIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PROVLIN_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (anti-deadlock:
+/// public entry points of a class exclude their own mutex).
+#define EXCLUDES(...) PROVLIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion informing the analysis a capability is held — the
+/// escape hatch for invariants the checker cannot follow (e.g. a lock
+/// taken by a caller through a path it cannot see).
+#define ASSERT_CAPABILITY(x) PROVLIN_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PROVLIN_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) PROVLIN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use carries a comment
+/// explaining why the checker cannot express the pattern (enforced by
+/// review, exercised by the negative-compile tests' positive control).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PROVLIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PROVLIN_COMMON_ANNOTATIONS_H_

@@ -1,11 +1,41 @@
 #include "common/interner.h"
 
-#include <mutex>
+#include <functional>
+#include <utility>
 
 namespace provlin::common {
 
+namespace {
+
+/// Locks two SharedMutexes exclusively in address order — the
+/// deadlock-free protocol for move operations between two internally
+/// synchronized tables (concurrent cross-moves acquire in the same
+/// order). Callers are NO_THREAD_SAFETY_ANALYSIS: a runtime-ordered
+/// dual acquisition has no static capability expression.
+class DualWriterLock {
+ public:
+  DualWriterLock(SharedMutex& a, SharedMutex& b) NO_THREAD_SAFETY_ANALYSIS
+      : first_(std::less<SharedMutex*>{}(&a, &b) ? a : b),
+        second_(std::less<SharedMutex*>{}(&a, &b) ? b : a) {
+    first_.Lock();
+    second_.Lock();
+  }
+  ~DualWriterLock() NO_THREAD_SAFETY_ANALYSIS {
+    second_.Unlock();
+    first_.Unlock();
+  }
+  DualWriterLock(const DualWriterLock&) = delete;
+  DualWriterLock& operator=(const DualWriterLock&) = delete;
+
+ private:
+  SharedMutex& first_;
+  SharedMutex& second_;
+};
+
+}  // namespace
+
 SymbolTable::SymbolTable(SymbolTable&& other) noexcept {
-  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  WriterLock lock(other.mu_);
   names_ = std::move(other.names_);
   ids_ = std::move(other.ids_);
   other.names_.clear();
@@ -14,9 +44,7 @@ SymbolTable::SymbolTable(SymbolTable&& other) noexcept {
 
 SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
   if (this == &other) return *this;
-  std::unique_lock<std::shared_mutex> self_lock(mu_, std::defer_lock);
-  std::unique_lock<std::shared_mutex> other_lock(other.mu_, std::defer_lock);
-  std::lock(self_lock, other_lock);
+  DualWriterLock lock(mu_, other.mu_);
   names_ = std::move(other.names_);
   ids_ = std::move(other.ids_);
   other.names_.clear();
@@ -26,11 +54,11 @@ SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
 
 SymbolId SymbolTable::Intern(std::string_view name) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   // Double-check: another thread may have minted the id between locks.
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
@@ -41,29 +69,29 @@ SymbolId SymbolTable::Intern(std::string_view name) {
 }
 
 std::optional<SymbolId> SymbolTable::Lookup(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = ids_.find(name);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& SymbolTable::NameOf(SymbolId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return names_[id];
 }
 
 size_t SymbolTable::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return names_.size();
 }
 
 std::vector<std::string> SymbolTable::names() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return std::vector<std::string>(names_.begin(), names_.end());
 }
 
 void SymbolTable::Restore(std::vector<std::string> names) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   names_.assign(std::make_move_iterator(names.begin()),
                 std::make_move_iterator(names.end()));
   ids_.clear();
@@ -74,13 +102,13 @@ void SymbolTable::Restore(std::vector<std::string> names) {
 }
 
 void SymbolTable::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   names_.clear();
   ids_.clear();
 }
 
 IndexDictionary::IndexDictionary(IndexDictionary&& other) noexcept {
-  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  WriterLock lock(other.mu_);
   paths_ = std::move(other.paths_);
   ids_ = std::move(other.ids_);
   other.paths_.clear();
@@ -89,9 +117,7 @@ IndexDictionary::IndexDictionary(IndexDictionary&& other) noexcept {
 
 IndexDictionary& IndexDictionary::operator=(IndexDictionary&& other) noexcept {
   if (this == &other) return *this;
-  std::unique_lock<std::shared_mutex> self_lock(mu_, std::defer_lock);
-  std::unique_lock<std::shared_mutex> other_lock(other.mu_, std::defer_lock);
-  std::lock(self_lock, other_lock);
+  DualWriterLock lock(mu_, other.mu_);
   paths_ = std::move(other.paths_);
   ids_ = std::move(other.ids_);
   other.paths_.clear();
@@ -111,11 +137,11 @@ size_t IndexDictionary::PathHash::operator()(
 
 IndexId IndexDictionary::Intern(const std::vector<int32_t>& parts) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = ids_.find(parts);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = ids_.find(parts);
   if (it != ids_.end()) return it->second;
   IndexId id = static_cast<IndexId>(paths_.size());
@@ -126,29 +152,29 @@ IndexId IndexDictionary::Intern(const std::vector<int32_t>& parts) {
 
 std::optional<IndexId> IndexDictionary::Lookup(
     const std::vector<int32_t>& parts) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = ids_.find(parts);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::vector<int32_t>& IndexDictionary::PartsOf(IndexId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return paths_[id];
 }
 
 size_t IndexDictionary::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return paths_.size();
 }
 
 std::vector<std::vector<int32_t>> IndexDictionary::paths() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return std::vector<std::vector<int32_t>>(paths_.begin(), paths_.end());
 }
 
 void IndexDictionary::Restore(std::vector<std::vector<int32_t>> paths) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   paths_.assign(std::make_move_iterator(paths.begin()),
                 std::make_move_iterator(paths.end()));
   ids_.clear();
@@ -159,7 +185,7 @@ void IndexDictionary::Restore(std::vector<std::vector<int32_t>> paths) {
 }
 
 void IndexDictionary::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   paths_.clear();
   ids_.clear();
 }

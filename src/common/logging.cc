@@ -6,6 +6,11 @@
 namespace provlin {
 namespace {
 
+/// Relaxed-atomic by contract: the level is a monotonicity-free tuning
+/// knob read on every log site; racing a SetLogLevel with a log line
+/// may deliver or drop that one line, which is acceptable. No mutex —
+/// message emission itself relies on stdio's per-call FILE locking
+/// (POSIX), so concurrent lines never interleave mid-line.
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
@@ -24,12 +29,14 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), file, line,
                message.c_str());
 }

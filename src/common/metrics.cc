@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
 namespace provlin::common::metrics {
@@ -116,11 +115,11 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = counters_.find(name);
     if (it != counters_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto [it, inserted] =
       counters_.try_emplace(std::string(name), nullptr);
   if (inserted) it->second = std::make_unique<Counter>();
@@ -129,11 +128,11 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = gauges_.find(name);
     if (it != gauges_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
   if (inserted) it->second = std::make_unique<Gauge>();
   return it->second.get();
@@ -142,11 +141,11 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const std::vector<double>& bounds) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
   if (inserted) it->second = std::make_unique<Histogram>(bounds);
   return it->second.get();
@@ -154,7 +153,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) {
@@ -164,14 +163,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   for (const auto& [name, c] : counters_) c->Reset();
   for (const auto& [name, g] : gauges_) g->Reset();
   for (const auto& [name, h] : histograms_) h->Reset();
 }
 
 size_t MetricsRegistry::num_instruments() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -6,11 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace provlin::common::metrics {
 
@@ -34,6 +36,13 @@ namespace provlin::common::metrics {
 /// other's cache lines. Value() sums the shards (racy-exact under
 /// concurrent writers, exact when quiescent — same contract as the
 /// storage layer's TableStats).
+///
+/// Deliberately lock-free: every field is a relaxed atomic, so nothing
+/// here is mutex-guarded and the thread safety analysis has nothing to
+/// check — the whole contract is "individual reads/writes are atomic,
+/// cross-shard sums are racy-exact". The same holds for Gauge and
+/// Histogram below; only the registry's name→instrument maps take a
+/// capability.
 class Counter {
  public:
   Counter() = default;
@@ -179,10 +188,13 @@ class MetricsRegistry {
   size_t num_instruments() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Global-registry conveniences — the forms instrumentation sites use:

@@ -1,0 +1,156 @@
+#ifndef PROVLIN_COMMON_SYNC_H_
+#define PROVLIN_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace provlin::common {
+
+/// The project's synchronization primitives: thin wrappers over the
+/// std primitives that carry Clang Thread Safety annotations, so the
+/// relationship between a lock and the data it guards is checked at
+/// compile time (see common/annotations.h and DESIGN.md §10).
+///
+/// These are the ONLY mutexes the tree may use — tools/lint_provlin.py
+/// rejects raw std::mutex / std::shared_mutex / std::lock_guard /
+/// std::condition_variable anywhere outside this header. std::once_flag
+/// and std::atomic are not capabilities and stay allowed.
+///
+/// Idiom:
+///
+///   class Cache {
+///    public:
+///     void Put(Key k, V v) EXCLUDES(mu_) {
+///       MutexLock lock(mu_);
+///       map_.emplace(std::move(k), std::move(v));
+///     }
+///    private:
+///     Mutex mu_;
+///     std::map<Key, V> map_ GUARDED_BY(mu_);
+///   };
+///
+/// Condition variables pair with explicit predicate loops, not the
+/// lambda-predicate wait overloads: the analysis checks the guarded
+/// reads of the loop condition in the locked enclosing scope, whereas a
+/// predicate lambda is analyzed as a separate unannotated function and
+/// every guarded read in it is flagged:
+///
+///   MutexLock lock(mu_);
+///   while (queue_.empty() && !stop_) not_empty_.Wait(mu_);
+
+/// Exclusive mutex (wraps std::mutex).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this mutex is held on paths it cannot follow
+  /// (no runtime effect). Each call site carries a comment saying who
+  /// really holds the lock.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (wraps std::shared_mutex).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard analogue).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock on a SharedMutex (the write side).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock on a SharedMutex (the read side).
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over provlin::common::Mutex. Wait() requires the
+/// mutex held; the temporary release/reacquire inside is invisible to
+/// the analysis by design (the capability is held at entry and at exit,
+/// which is the contract callers reason with). Use explicit `while
+/// (!condition) cv.Wait(mu);` loops — see the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held std::mutex so the std wait protocol
+    // (unlock, block, relock) runs on it, then release ownership back
+    // to the caller's scoped guard without unlocking.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace provlin::common
+
+#endif  // PROVLIN_COMMON_SYNC_H_

@@ -14,19 +14,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void(size_t)> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -34,16 +34,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit predicate loop: the guarded reads happen here, where the
+  // analysis sees mu_ held (a wait-with-lambda predicate would be
+  // analyzed as a lockless separate function and flagged).
+  while (!queue_.empty() || in_flight_ != 0) idle_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop(size_t worker) {
   for (;;) {
     std::function<void(size_t)> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) wake_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,9 +54,9 @@ void ThreadPool::WorkerLoop(size_t worker) {
     }
     task(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }

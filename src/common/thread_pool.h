@@ -1,13 +1,14 @@
 #ifndef PROVLIN_COMMON_THREAD_POOL_H_
 #define PROVLIN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace provlin::common {
 
@@ -19,6 +20,10 @@ namespace provlin::common {
 /// Submission is thread-safe. Destruction drains the queue: every task
 /// submitted before ~ThreadPool runs to completion before the workers
 /// join.
+///
+/// Lock discipline (checked by -Wthread-safety): all queue state lives
+/// under mu_; the condvars pair with explicit predicate loops so every
+/// guarded read happens in a scope the analysis can see holding mu_.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -31,25 +36,25 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task; it runs on some worker, which passes its index.
-  void Submit(std::function<void(size_t worker)> task);
+  void Submit(std::function<void(size_t worker)> task) EXCLUDES(mu_);
 
   /// Convenience overload for tasks that ignore the worker index.
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is in flight.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
   void WorkerLoop(size_t worker);
 
-  std::mutex mu_;
-  std::condition_variable wake_;       // workers wait for tasks / shutdown
-  std::condition_variable idle_;       // WaitIdle waits for quiescence
-  std::deque<std::function<void(size_t)>> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar wake_;  // workers wait for tasks / shutdown
+  CondVar idle_;  // WaitIdle waits for quiescence
+  std::deque<std::function<void(size_t)>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

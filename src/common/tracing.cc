@@ -56,7 +56,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   ring_.reserve(capacity == 0 ? 1 : capacity);
   ring_capacity_ = capacity == 0 ? 1 : capacity;
@@ -104,7 +104,7 @@ void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
   ev.dur_us = dur_us;
   ev.tid = ThisThreadId();
   ev.depth = depth;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
   // Stale generation: the span opened under a previous Enable(), so its
   // start timestamp is measured against a dead epoch — drop it rather
@@ -123,7 +123,7 @@ void Tracer::Record(std::string name, std::string args, uint64_t ts_us,
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (total_recorded_ <= ring_.size()) {
       out = ring_;
     } else {
@@ -147,14 +147,14 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_recorded_ <= ring_capacity_
              ? 0
              : total_recorded_ - ring_capacity_;
 }
 
 size_t Tracer::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_capacity_;
 }
 

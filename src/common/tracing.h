@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace provlin::common::tracing {
 
@@ -94,10 +96,13 @@ class Tracer {
   // Inline static so SpanGuard's disabled fast path inlines to one
   // relaxed load and a branch, with no call through Global().
   inline static std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t ring_capacity_ = 0;
-  uint64_t total_recorded_ = 0;
+  // The ring and its bookkeeping are the only mutex-guarded state; the
+  // epoch/generation pair stays atomic so the lock-free SpanGuard fast
+  // path (enabled() + NowMicros() + generation()) never touches mu_.
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  size_t ring_capacity_ GUARDED_BY(mu_) = 0;
+  uint64_t total_recorded_ GUARDED_BY(mu_) = 0;
   // The epoch is raw steady_clock nanoseconds (not a time_point) so the
   // lock-free NowMicros() on the span fast path can read it atomically
   // while Enable() rewrites it under mu_.

@@ -203,13 +203,13 @@ Result<std::shared_ptr<const LineagePlan>> IndexProjLineage::Plan(
   // Fast path: shared lock, entry already present.
   std::shared_ptr<CacheEntry> entry;
   {
-    std::shared_lock<std::shared_mutex> lock(cache_->mu);
+    common::ReaderLock lock(cache_->mu);
     auto it = cache_->entries.find(key);
     if (it != cache_->entries.end()) entry = it->second;
   }
   if (entry == nullptr) {
-    std::unique_lock<std::shared_mutex> lock(cache_->mu);
-    auto [it, inserted] = cache_->entries.try_emplace(std::move(key));
+    common::WriterLock lock(cache_->mu);
+    auto [it, inserted] = cache_->entries.try_emplace(key);
     if (inserted) it->second = std::make_shared<CacheEntry>();
     entry = it->second;
   }
@@ -238,23 +238,27 @@ Result<std::shared_ptr<const LineagePlan>> IndexProjLineage::Plan(
     // Evict failed builds so the error is not sticky (e.g. a target that
     // becomes valid after a different workflow is loaded elsewhere).
     Status st = entry->build_status;
-    std::unique_lock<std::shared_mutex> lock(cache_->mu);
-    auto it = cache_->entries.find(MakePlanKey(target, q, interest));
-    if (it != cache_->entries.end() && it->second == entry) {
-      cache_->entries.erase(it);
-    }
+    common::WriterLock lock(cache_->mu);
+    cache_->EraseEntryIfCurrent(key, entry);
     return st;
   }
   return std::shared_ptr<const LineagePlan>(entry, &entry->plan);
 }
 
+void IndexProjLineage::PlanCache::EraseEntryIfCurrent(
+    const std::vector<uint64_t>& key,
+    const std::shared_ptr<CacheEntry>& entry) {
+  auto it = entries.find(key);
+  if (it != entries.end() && it->second == entry) entries.erase(it);
+}
+
 void IndexProjLineage::ClearPlanCache() {
-  std::unique_lock<std::shared_mutex> lock(cache_->mu);
+  common::WriterLock lock(cache_->mu);
   cache_->entries.clear();
 }
 
 size_t IndexProjLineage::plan_cache_size() const {
-  std::shared_lock<std::shared_mutex> lock(cache_->mu);
+  common::ReaderLock lock(cache_->mu);
   return cache_->entries.size();
 }
 

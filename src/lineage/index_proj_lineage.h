@@ -5,13 +5,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <tuple>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/interner.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "lineage/engine.h"
 #include "lineage/query.h"
@@ -145,7 +146,10 @@ class IndexProjLineage : public LineageEngine {
  private:
   /// One cache slot. `once` arbitrates concurrent builders of the same
   /// key: the winner runs the s1 traversal, everyone else blocks briefly
-  /// and then reads the finished plan.
+  /// and then reads the finished plan. `build_status` and `plan` are
+  /// synchronized by the once_flag protocol, not a mutex: call_once
+  /// publishes them with a happens-before edge to every later caller,
+  /// and they are immutable afterwards — so they carry no GUARDED_BY.
   struct CacheEntry {
     std::once_flag once;
     Status build_status;
@@ -155,11 +159,24 @@ class IndexProjLineage : public LineageEngine {
   /// Shared, internally synchronized plan cache. Lives behind a
   /// unique_ptr so the engine stays movable (single-threaded moves only;
   /// moving while queries are in flight is outside the contract).
+  /// Lock order: the plan-cache mutex nests *inside* any service-level
+  /// lock and *outside* the interner's (DESIGN.md §10); exactly-one
+  /// build per key and safe concurrent Clear both hang off `entries`
+  /// being reachable only under `mu` (the shared_ptr keeps evicted
+  /// entries alive for in-flight readers).
   struct PlanCache {
-    mutable std::shared_mutex mu;
-    std::map<std::vector<uint64_t>, std::shared_ptr<CacheEntry>> entries;
+    mutable common::SharedMutex mu;
+    std::map<std::vector<uint64_t>, std::shared_ptr<CacheEntry>> entries
+        GUARDED_BY(mu);
     std::atomic<uint64_t> builds{0};
     std::atomic<uint64_t> hits{0};
+
+    /// Failed-build eviction (REQUIRES the write lock): removes `entry`
+    /// under `key` iff it is still the mapped slot, so a concurrent
+    /// Clear()+rebuild is never clobbered.
+    void EraseEntryIfCurrent(const std::vector<uint64_t>& key,
+                             const std::shared_ptr<CacheEntry>& entry)
+        REQUIRES(mu);
   };
 
   IndexProjLineage(std::shared_ptr<const workflow::Dataflow> dataflow,

@@ -1,7 +1,6 @@
 #include "lineage/service.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -158,9 +157,18 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
     memo = std::make_unique<provenance::ProbeMemo>();
   }
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t remaining = tasks.size();
+  // Batch-completion latch. The annotated local struct lets the
+  // analysis tie `remaining` to its mutex even though it lives on this
+  // stack frame and is touched from every worker.
+  struct BatchDone {
+    common::Mutex mu;
+    common::CondVar cv;
+    size_t remaining GUARDED_BY(mu) = 0;
+  } done;
+  {
+    common::MutexLock lock(done.mu);
+    done.remaining = tasks.size();
+  }
 
   Clock::time_point submit_time = Clock::now();
   WallTimer batch_timer;
@@ -201,24 +209,26 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
       }
       {
         // Notify under the lock: the moment the count hits zero the
-        // waiter may return and destroy done_cv, so the last touch of
+        // waiter may return and destroy the latch, so the last touch of
         // the condvar must happen-before the waiter's re-acquire.
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--remaining == 0) done_cv.notify_all();
+        common::MutexLock lock(done.mu);
+        if (--done.remaining == 0) done.cv.NotifyAll();
       }
     });
   }
 
   {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    common::MutexLock lock(done.mu);
+    // Explicit predicate loop (not wait-with-lambda): the guarded read
+    // of `remaining` stays in this locked scope for the analysis.
+    while (done.remaining != 0) done.cv.Wait(done.mu);
   }
   double batch_wall_ms = batch_timer.ElapsedMillis();
 
   // Per-instance counters under the lock, process-wide registry mirror
   // alongside: the two views accumulate the same deltas, so in a
   // single-service process FromRegistrySnapshot reproduces metrics().
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  common::MutexLock lock(metrics_mu_);
   metrics_.batches += 1;
   metrics_.last_batch_wall_ms = batch_wall_ms;
   Mx().batches->Increment();
@@ -271,12 +281,12 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
 }
 
 ServiceMetrics LineageService::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  common::MutexLock lock(metrics_mu_);
   return metrics_;
 }
 
 void LineageService::ResetMetrics() {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  common::MutexLock lock(metrics_mu_);
   metrics_ = ServiceMetrics{};
   metrics_.per_thread_probes.assign(pool_.num_threads(), 0);
 }

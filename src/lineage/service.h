@@ -2,12 +2,13 @@
 #define PROVLIN_LINEAGE_SERVICE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "lineage/engine.h"
 
@@ -122,21 +123,24 @@ class LineageService {
   /// reported in the response status — one bad request never poisons the
   /// batch. Thread-safe; concurrent batches share the pool.
   std::vector<ServiceResponse> ExecuteBatch(
-      const std::vector<ServiceRequest>& batch);
+      const std::vector<ServiceRequest>& batch) EXCLUDES(metrics_mu_);
 
   /// Snapshot of this service's cumulative counters. The same values are
   /// also published to the process-wide MetricsRegistry under service/*
   /// (see ServiceMetrics::FromRegistrySnapshot).
-  ServiceMetrics metrics() const;
-  void ResetMetrics();
+  ServiceMetrics metrics() const EXCLUDES(metrics_mu_);
+  void ResetMetrics() EXCLUDES(metrics_mu_);
 
   size_t num_threads() const { return pool_.num_threads(); }
 
  private:
   ServiceOptions options_;
   common::ThreadPool pool_;
-  mutable std::mutex metrics_mu_;
-  ServiceMetrics metrics_;
+  /// Leaf lock (DESIGN.md §10 lock order): taken only after a batch's
+  /// workers have quiesced, never while holding or acquiring the plan
+  /// cache, interner, or pool locks.
+  mutable common::Mutex metrics_mu_;
+  ServiceMetrics metrics_ GUARDED_BY(metrics_mu_);
 };
 
 }  // namespace provlin::lineage

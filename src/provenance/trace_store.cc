@@ -426,14 +426,8 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
   if (memo != nullptr) {
     memo->lookups_.fetch_add(1, std::memory_order_relaxed);
     MemoMx().lookups->Increment();
-    std::lock_guard<std::mutex> lock(memo->mu_);
-    auto& map = [&]() -> auto& {
-      if constexpr (std::is_same_v<Record, XformRecord>) {
-        return memo->xform_;
-      } else {
-        return memo->xfer_;
-      }
-    }();
+    common::MutexLock lock(memo->mu_);
+    auto& map = memo->MapFor<Record>();
     auto it = map.find(key);
     if (it != map.end()) {
       memo->hits_.fetch_add(1, std::memory_order_relaxed);
@@ -447,12 +441,8 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
                    [&](const Row& row) { out.push_back(decode(row)); }));
   if (memo != nullptr) {
     auto cached = std::make_shared<const std::vector<Record>>(out);
-    std::lock_guard<std::mutex> lock(memo->mu_);
-    if constexpr (std::is_same_v<Record, XformRecord>) {
-      memo->xform_.emplace(key, std::move(cached));
-    } else {
-      memo->xfer_.emplace(key, std::move(cached));
-    }
+    common::MutexLock lock(memo->mu_);
+    memo->MapFor<Record>().emplace(key, std::move(cached));
   }
   return out;
 }
@@ -483,14 +473,8 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
     }
     memo->lookups_.fetch_add(probes.size(), std::memory_order_relaxed);
     MemoMx().lookups->Add(probes.size());
-    std::lock_guard<std::mutex> lock(memo->mu_);
-    auto& map = [&]() -> auto& {
-      if constexpr (std::is_same_v<Record, XformRecord>) {
-        return memo->xform_;
-      } else {
-        return memo->xfer_;
-      }
-    }();
+    common::MutexLock lock(memo->mu_);
+    auto& map = memo->MapFor<Record>();
     uint64_t hits = 0;
     for (size_t i = 0; i < probes.size(); ++i) {
       auto it = map.find(keys[i]);
@@ -523,14 +507,11 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
         results[misses[m]].push_back(decode(row));
       }));
   if (memo != nullptr) {
-    std::lock_guard<std::mutex> lock(memo->mu_);
+    common::MutexLock lock(memo->mu_);
+    auto& map = memo->MapFor<Record>();
     for (size_t i : misses) {
-      auto cached = std::make_shared<const std::vector<Record>>(results[i]);
-      if constexpr (std::is_same_v<Record, XformRecord>) {
-        memo->xform_.emplace(keys[i], std::move(cached));
-      } else {
-        memo->xfer_.emplace(keys[i], std::move(cached));
-      }
+      map.emplace(keys[i],
+                  std::make_shared<const std::vector<Record>>(results[i]));
     }
   }
   return results;

@@ -5,14 +5,16 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/interner.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "storage/database.h"
 #include "storage/query.h"
@@ -85,9 +87,25 @@ class ProbeMemo {
   /// (probe kind, run, packed (processor, port), index id).
   using Key = std::tuple<int, SymbolId, uint64_t, IndexId>;
 
-  std::mutex mu_;
-  std::map<Key, std::shared_ptr<const std::vector<XformRecord>>> xform_;
-  std::map<Key, std::shared_ptr<const std::vector<XferRecord>>> xfer_;
+  /// Selects the map for a record type; REQUIRES makes every access
+  /// site prove it holds the memo mutex (the maps are only reachable
+  /// through this accessor from TraceStore's memo-aware probes).
+  template <typename Record>
+  auto& MapFor() REQUIRES(mu_) {
+    if constexpr (std::is_same_v<Record, XformRecord>) {
+      return xform_;
+    } else {
+      return xfer_;
+    }
+  }
+
+  common::Mutex mu_;
+  std::map<Key, std::shared_ptr<const std::vector<XformRecord>>> xform_
+      GUARDED_BY(mu_);
+  std::map<Key, std::shared_ptr<const std::vector<XferRecord>>> xfer_
+      GUARDED_BY(mu_);
+  /// Hit/lookup tallies stay relaxed atomics — bumped outside mu_ on
+  /// the probe fast path, racy-exact under concurrency like TableStats.
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> lookups_{0};
 };

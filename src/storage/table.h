@@ -66,6 +66,17 @@ ThreadStats& ThisThreadStats();
 
 /// Heap table with optional secondary indexes. Rows are addressed by a
 /// stable row id (their insertion ordinal); deletes tombstone in place.
+///
+/// Concurrency contract (DESIGN.md §10): the table itself is
+/// single-writer — rows_, deleted_, and indexes_ carry no capability
+/// because mutation is confined to capture/setup phases, while query
+/// phases share the table read-only across threads (the regime the
+/// LineageService batches run in; trace stores must be quiescent during
+/// a batch). The only state touched from concurrent const readers is
+/// StatsCounters, which is relaxed-atomic by design rather than
+/// mutex-guarded: counter bumps sit on the per-probe hot path, and
+/// cross-counter consistency of a snapshot is explicitly not promised
+/// (racy-exact, exact when quiescent).
 class Table {
  public:
   Table(std::string name, Schema schema);

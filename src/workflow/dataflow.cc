@@ -1,8 +1,8 @@
 #include "workflow/dataflow.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "common/sync.h"
 #include "workflow/port_space.h"
 
 namespace provlin::workflow {
@@ -12,9 +12,10 @@ const PortSpace& Dataflow::Ports() const {
   // shared frozen graph at once. A single process-wide mutex suffices:
   // it is only contended on cold builds, and keeps Dataflow copyable.
   // Mutators still invalidate without locking — mutation while readers
-  // are active is outside the contract (the graph must be frozen).
-  static std::mutex build_mu;
-  std::lock_guard<std::mutex> lock(build_mu);
+  // are active is outside the contract (the graph must be frozen), so
+  // port_space_ cannot be GUARDED_BY a function-local capability.
+  static common::Mutex build_mu;
+  common::MutexLock lock(build_mu);
   if (port_space_ == nullptr) {
     port_space_ = std::make_shared<const PortSpace>(*this);
   }

@@ -6,11 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace provlin::common {
 namespace {
@@ -30,12 +30,12 @@ TEST(ThreadPoolTest, WorkerIndexIsInRangeAndStable) {
   ThreadPool pool(kThreads);
   EXPECT_EQ(pool.num_threads(), kThreads);
 
-  std::mutex mu;
+  Mutex mu;
   std::set<size_t> seen;
   for (int i = 0; i < 200; ++i) {
     pool.Submit([&](size_t worker) {
       ASSERT_LT(worker, kThreads);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       seen.insert(worker);
     });
   }
@@ -48,13 +48,38 @@ TEST(ThreadPoolTest, WorkerIndexIsInRangeAndStable) {
 
 TEST(ThreadPoolTest, WaitIdleBlocksUntilInFlightTasksFinish) {
   ThreadPool pool(2);
+  // The task blocks until released, so WaitIdle cannot return before
+  // the release happens — an explicit handshake instead of a sleep.
+  std::atomic<bool> release{false};
   std::atomic<bool> done{false};
-  pool.Submit([&done] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    done.store(true);
+  pool.Submit([&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
   });
+  std::thread releaser([&] { release.store(true, std::memory_order_release); });
   pool.WaitIdle();
-  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+  releaser.join();
+}
+
+// Regression for the annotated predicate-loop rewrite of WaitIdle: a
+// task that enqueues another task leaves the queue non-empty at the
+// moment the first one finishes, so quiescence must consider both the
+// queue and the in-flight count — returning on "queue drained once"
+// would miss the chained half of the work.
+TEST(ThreadPoolTest, ChainedSubmitsDrainBeforeWaitIdleReturns) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      pool.Submit([&] { count.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 128);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
@@ -67,6 +92,24 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     // No WaitIdle: destruction must still run everything queued.
   }
   EXPECT_EQ(count.load(), 64);
+}
+
+// Regression for the shutdown path: shutting_down_ and the queue are
+// read together under the pool mutex, so a destructor racing many
+// still-queued tasks across several workers must both run every task
+// and terminate every worker (no lost wakeups, no early returns with a
+// non-empty queue).
+TEST(ThreadPoolTest, DestructorDrainsUnderManyWorkersRepeatedly) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < 256; ++i) {
+        pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    ASSERT_EQ(count.load(), 256) << "round " << round;
+  }
 }
 
 TEST(ThreadPoolTest, SubmitFromManyThreadsIsSafe) {

@@ -1,0 +1,100 @@
+// Positive control for the negative-compile suite: canonical, correct
+// use of every annotated primitive. This file MUST compile cleanly
+// under -Werror=thread-safety — if it does not, the violation tests
+// prove nothing (the compiler might be rejecting the harness itself,
+// not the seeded bug).
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::CondVar;
+using provlin::common::Mutex;
+using provlin::common::MutexLock;
+using provlin::common::ReaderLock;
+using provlin::common::SharedMutex;
+using provlin::common::WriterLock;
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+  // REQUIRES caller-held lock: the analysis checks every call site.
+  void DepositLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwice(int amount) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    DepositLocked(amount);
+    DepositLocked(amount);
+  }
+
+ private:
+  Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+class Snapshotting {
+ public:
+  int Read() EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
+    return value_;
+  }
+
+  void Write(int v) EXCLUDES(mu_) {
+    WriterLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  SharedMutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Latch {
+ public:
+  void CountDown() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
+  }
+
+  void Await() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    // Explicit predicate loop: the guarded read of count_ stays inside
+    // the locked scope, which is the project idiom (sync.h header doc).
+    while (count_ != 0) cv_.Wait(mu_);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_) = 1;
+};
+
+void Exercise() {
+  Account a;
+  a.Deposit(1);
+  a.DepositTwice(2);
+  (void)a.Balance();
+  Snapshotting s;
+  s.Write(3);
+  (void)s.Read();
+  Latch l;
+  l.CountDown();
+  l.Await();
+}
+
+}  // namespace
+
+int main() {
+  Exercise();
+  return 0;
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Negative-compile tests for the Clang Thread Safety annotations.
+
+Each violation_*.cc in this directory seeds exactly one concurrency bug
+(an unguarded read, a double acquire, a missing REQUIRES at a call site)
+that the analysis must reject; positive_control.cc is the same code
+shapes written correctly and must compile cleanly. A violation file that
+compiles means the annotations in src/common/sync.h have rotted and the
+analysis is no longer protecting the tree.
+
+The analysis is Clang-only. When no compiler supporting -Wthread-safety
+is found (the probe fails for the build compiler and every fallback
+clang++ on PATH), the script exits 77 — wired as SKIP_RETURN_CODE in
+CMake, so ctest reports the test as skipped rather than passed on
+GCC-only machines.
+
+Usage:
+  run_negative_compile.py --include SRC_DIR [--compiler CXX] [--verbose]
+
+Exit status: 0 all expectations met, 1 any violation accepted / control
+rejected, 77 no thread-safety-capable compiler available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SKIP = 77
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+# Diagnostics carry the warning-group suffix, e.g.
+#   [-Werror,-Wthread-safety-analysis] / [-Wthread-safety-precise]
+DIAG_MARKER = "thread-safety"
+
+
+def compile_file(cxx: str, source: Path, include: Path):
+    return subprocess.run(
+        [cxx, *FLAGS, "-I", str(include), str(source)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def supports_thread_safety(cxx: str) -> bool:
+    """True when `cxx` exists and accepts the -Wthread-safety flags."""
+    if shutil.which(cxx) is None:
+        return False
+    with tempfile.TemporaryDirectory() as tmpdir:
+        probe = Path(tmpdir) / "probe_thread_safety.cc"
+        probe.write_text("int main() { return 0; }\n")
+        try:
+            r = subprocess.run(
+                [cxx, *FLAGS, str(probe)], capture_output=True, text=True
+            )
+        except OSError:
+            return False
+    return r.returncode == 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Assert that clang -Wthread-safety rejects each seeded "
+        "violation and accepts the positive control."
+    )
+    parser.add_argument(
+        "--include",
+        type=Path,
+        required=True,
+        help="src/ directory providing common/sync.h and common/annotations.h",
+    )
+    parser.add_argument(
+        "--compiler",
+        default=None,
+        help="compiler to try first (e.g. the CMake build compiler); "
+        "falls back to clang++ variants on PATH",
+    )
+    parser.add_argument("--verbose", action="store_true",
+                        help="print compiler diagnostics for every file")
+    args = parser.parse_args(argv)
+
+    here = Path(__file__).resolve().parent
+    candidates = []
+    if args.compiler:
+        candidates.append(args.compiler)
+    candidates += ["clang++", "clang++-19", "clang++-18", "clang++-17",
+                   "clang++-16", "clang++-15"]
+
+    cxx = next((c for c in candidates if supports_thread_safety(c)), None)
+    if cxx is None:
+        print(
+            "SKIP: no compiler supporting -Wthread-safety found "
+            f"(tried: {', '.join(candidates)})"
+        )
+        return SKIP
+    print(f"using compiler: {cxx}")
+
+    failures = []
+
+    control = here / "positive_control.cc"
+    r = compile_file(cxx, control, args.include)
+    if r.returncode != 0:
+        failures.append(
+            f"{control.name}: must compile cleanly but failed:\n{r.stderr}"
+        )
+    elif args.verbose:
+        print(f"PASS {control.name}: compiles cleanly")
+
+    violations = sorted(here.glob("violation_*.cc"))
+    if not violations:
+        failures.append("no violation_*.cc files found — suite is empty")
+    for v in violations:
+        r = compile_file(cxx, v, args.include)
+        if r.returncode == 0:
+            failures.append(
+                f"{v.name}: compiled cleanly — the seeded thread-safety bug "
+                "was NOT rejected"
+            )
+        elif DIAG_MARKER not in r.stderr:
+            failures.append(
+                f"{v.name}: rejected, but not by the thread-safety analysis "
+                f"(no '{DIAG_MARKER}' in diagnostics):\n{r.stderr}"
+            )
+        else:
+            if args.verbose:
+                print(f"PASS {v.name}: rejected with thread-safety diagnostic")
+
+    if failures:
+        print(f"{len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"all {len(violations)} violations rejected, positive control clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE TEST: acquires a mutex that is already held
+// (self-deadlock on a non-recursive mutex). Clang must reject this
+// under -Werror=thread-safety; the run_negative_compile.py driver
+// asserts the failure.
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::Mutex;
+
+class Widget {
+ public:
+  void Bump() {
+    mu_.Lock();
+    mu_.Lock();  // BUG: mu_ already held — deadlock at runtime
+    ++value_;
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.Bump();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// NEGATIVE-COMPILE TEST: calls a REQUIRES(mu_) function without holding
+// the lock. Clang must reject this under -Werror=thread-safety; the
+// run_negative_compile.py driver asserts the failure.
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::Mutex;
+
+class Ledger {
+ public:
+  void Add(int delta) {
+    AddLocked(delta);  // BUG: caller does not hold mu_
+  }
+
+ private:
+  void AddLocked(int delta) REQUIRES(mu_) { total_ += delta; }
+
+  Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.Add(7);
+  return 0;
+}

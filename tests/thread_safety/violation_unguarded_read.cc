@@ -1,0 +1,35 @@
+// NEGATIVE-COMPILE TEST: reads a GUARDED_BY field without holding its
+// mutex. Clang must reject this under -Werror=thread-safety; the
+// run_negative_compile.py driver asserts the failure.
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::Mutex;
+using provlin::common::MutexLock;
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() {
+    return balance_;  // BUG: guarded read without mu_
+  }
+
+ private:
+  Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.Balance();
+}

@@ -17,6 +17,7 @@ Wall-clock times are never compared — CI machines are not lab machines.
 Exit status 0 on success, 1 with a per-entry report on any violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -28,11 +29,21 @@ def load_entries(path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    bench, baseline = load_entries(argv[1])
-    _, current = load_entries(argv[2])
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSON emission against its checked-in "
+        "baseline (deterministic probe/descent counts only; wall-clock is "
+        "never compared)."
+    )
+    parser.add_argument("baseline", help="checked-in BENCH_<name>.json baseline")
+    parser.add_argument("current", help="freshly emitted BENCH_<name>.json")
+    args = parser.parse_args(argv)
+
+    try:
+        bench, baseline = load_entries(args.baseline)
+        _, current = load_entries(args.current)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+        print(f"error: unreadable or malformed bench JSON: {e}", file=sys.stderr)
+        return 1
 
     failures = []
     checked = 0
@@ -65,4 +76,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

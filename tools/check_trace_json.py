@@ -17,6 +17,7 @@ what the tracer promises to emit:
 Exit status 0 on success, 1 with a report on any violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -86,13 +87,22 @@ def validate(doc):
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    path = argv[1]
-    min_events = 0
-    if len(argv) >= 4 and argv[2] == "--min-events":
-        min_events = int(argv[3])
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON file emitted by "
+        "--trace-out (required fields, balanced B/E pairs, sorted "
+        "timestamps)."
+    )
+    parser.add_argument("trace", help="trace JSON file to validate")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless the file contains at least N events (default 0)",
+    )
+    args = parser.parse_args(argv)
+    path = args.trace
+    min_events = args.min_events
 
     try:
         with open(path) as f:
@@ -115,4 +125,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the provlin tree.
+
+Mechanically enforceable conventions that neither the compiler nor
+clang-tidy check for us:
+
+  1. sync-primitives: raw C++ standard-library synchronization primitives
+     (std::mutex, std::shared_mutex, std::lock_guard, std::unique_lock,
+     std::condition_variable, ...) are banned everywhere except
+     src/common/sync.h, which wraps them in the Clang Thread Safety
+     Analysis-annotated provlin::common types. std::atomic, std::once_flag
+     and std::call_once are NOT capabilities and stay allowed.
+  2. iostream-in-header: no `#include <iostream>` in headers — it drags
+     in static init-order machinery (std::ios_base::Init) for every
+     translation unit that touches the header.
+  3. span-literal: the name argument of PROVLIN_TRACE_SPAN /
+     PROVLIN_TRACE_SPAN_VAR must be a string literal. The tracer stores
+     `const char*` without copying, so a computed name could dangle by
+     the time the ring buffer is snapshotted.
+  4. test-sleep: no std::this_thread::sleep_for in tests used as a
+     synchronization mechanism — sleeps make tests flaky under load and
+     slow everywhere else. Legitimate uses (e.g. timing the sleep itself)
+     carry an explicit `// lint: allow(sleep)` marker on the same line.
+
+Usage:
+  python3 tools/lint_provlin.py [--root DIR] [SUBDIR ...]
+
+Exits 0 when clean, 1 when any finding is reported (or the root is
+missing). Findings are printed one per line as `path:line: rule: detail`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned relative to the repo root, and the extensions that
+# count as C++ sources/headers.
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+CXX_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+HEADER_EXTENSIONS = {".h", ".hpp"}
+
+# The one file allowed to name raw standard-library sync primitives: it
+# defines the annotated wrappers everything else must use.
+SYNC_WRAPPER = Path("src") / "common" / "sync.h"
+
+BANNED_SYNC = (
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::shared_lock",
+    "std::scoped_lock",
+    "std::condition_variable",
+    "std::condition_variable_any",
+)
+# \b on both sides so std::mutex does not also match std::mutex-like
+# longer names handled separately (condition_variable vs _any ordering).
+BANNED_SYNC_RE = re.compile(
+    "|".join(re.escape(t) + r"\b" for t in sorted(BANNED_SYNC, key=len, reverse=True))
+)
+
+IOSTREAM_RE = re.compile(r"^\s*#\s*include\s*<iostream>")
+
+# Name argument of a span macro: PROVLIN_TRACE_SPAN(<name>) or
+# PROVLIN_TRACE_SPAN_VAR(<var>, <name>). The internal CAT helpers and the
+# macro definitions themselves (lines starting with #define) are skipped.
+SPAN_RE = re.compile(r"\bPROVLIN_TRACE_SPAN(_VAR)?\s*\(([^)]*)\)")
+
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+SLEEP_ALLOW = "lint: allow(sleep)"
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_line_comment(line: str) -> str:
+    """Drops a trailing // comment (good enough: no multi-line strings here)."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def lint_file(path: Path, rel: Path, findings: list[str]) -> None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        findings.append(f"{rel}: read-error: {e}")
+        return
+
+    is_header = path.suffix in HEADER_EXTENSIONS
+    is_test = rel.parts[0] == "tests"
+    is_sync_wrapper = rel == SYNC_WRAPPER
+    in_block_comment = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        # Track /* ... */ comments so documentation mentioning the banned
+        # names is not flagged.
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+                break
+            line = line[:start] + line[end + 2 :]
+        code = strip_line_comment(line)
+
+        if not is_sync_wrapper:
+            m = BANNED_SYNC_RE.search(code)
+            if m:
+                findings.append(
+                    f"{rel}:{lineno}: sync-primitives: use provlin::common "
+                    f"sync wrappers (common/sync.h) instead of {m.group(0)}"
+                )
+
+        if is_header and IOSTREAM_RE.search(code):
+            findings.append(
+                f"{rel}:{lineno}: iostream-in-header: include <ostream>/<cstdio> "
+                "in the .cc instead"
+            )
+
+        if not code.lstrip().startswith("#define"):
+            for m in SPAN_RE.finditer(code):
+                args = m.group(2)
+                name_arg = args.split(",", 1)[1] if m.group(1) else args
+                name_arg = name_arg.strip()
+                if name_arg and not name_arg.startswith('"'):
+                    findings.append(
+                        f"{rel}:{lineno}: span-literal: PROVLIN_TRACE_SPAN name "
+                        f"must be a string literal, got `{name_arg}`"
+                    )
+
+        if is_test and SLEEP_RE.search(code) and SLEEP_ALLOW not in raw:
+            findings.append(
+                f"{rel}:{lineno}: test-sleep: sleep_for in a test — synchronize "
+                f"explicitly, or mark `// {SLEEP_ALLOW}` if the sleep itself is "
+                "under test"
+            )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="provlin project lint (sync wrappers, header hygiene, "
+        "span literals, test sleeps)."
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root to scan (default: the repo containing this script)",
+    )
+    parser.add_argument(
+        "dirs",
+        nargs="*",
+        metavar="SUBDIR",
+        help=f"subdirectories of the root to scan (default: {' '.join(SCAN_DIRS)})",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root
+    if not root.is_dir():
+        print(f"error: root {root} is not a directory", file=sys.stderr)
+        return 1
+
+    findings: list[str] = []
+    scanned = 0
+    for d in args.dirs or SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            if args.dirs:  # explicitly requested: missing is an error
+                print(f"error: {base} is not a directory", file=sys.stderr)
+                return 1
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_EXTENSIONS and path.is_file():
+                lint_file(path, path.relative_to(root), findings)
+                scanned += 1
+
+    for f in findings:
+        print(f)
+    print(
+        f"lint_provlin: {scanned} files scanned, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
