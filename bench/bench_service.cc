@@ -209,6 +209,66 @@ int main() {
   }
   amort.Print();
 
+  // Shard-count axis (DESIGN.md §11): the same 256-request batch over
+  // run-sharded stores. Logical probes are shard-invariant (asserted by
+  // the baseline check via the single-threaded entries); descents may
+  // only shrink as per-shard trees get shallower. The 4-thread rows
+  // show whether fan-out across shards helps concurrent querying.
+  std::printf("\nRun-sharded store (batch=%d requests):\n\n", kBatch);
+  {
+    bench::TablePrinter shard_table(
+        {"engine", "shards", "threads", "best_ms", "qps", "probes",
+         "descents"});
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      provenance::TraceStoreOptions store_options;
+      store_options.shards = shards;
+      auto swb = CheckResult(testbed::Workbench::Synthetic(kL, store_options),
+                             "sharded workbench");
+      for (int r = 0; r < kRuns; ++r) {
+        CheckResult(swb->RunSynthetic(kD + r, "r" + std::to_string(r)),
+                    "sharded run");
+      }
+      for (const char* name : {"naive", "indexproj"}) {
+        const lineage::LineageEngine* engine = swb->Engine(name);
+        std::vector<lineage::ServiceRequest> batch = make_batch(engine);
+        for (size_t threads : {size_t{1}, size_t{4}}) {
+          if (threads > 1 && std::string(name) == "naive") continue;
+          lineage::ServiceOptions options;
+          options.num_threads = threads;
+          options.group_same_plan = false;
+          lineage::LineageService service(options);
+          (void)service.ExecuteBatch(batch);
+          double best = CheckResult(
+              bench::BestOfFive([&]() -> Status {
+                std::vector<lineage::ServiceResponse> responses =
+                    service.ExecuteBatch(batch);
+                for (const lineage::ServiceResponse& resp : responses) {
+                  PROVLIN_RETURN_IF_ERROR(resp.status);
+                }
+                return Status::OK();
+              }),
+              "sharded batch");
+          lineage::ServiceMetrics m = service.metrics();
+          uint64_t batches = m.batches ? m.batches : 1;
+          char qps_str[32];
+          std::snprintf(qps_str, sizeof(qps_str), "%.0f",
+                        static_cast<double>(kBatch) / (best / 1000.0));
+          shard_table.AddRow({name, std::to_string(shards),
+                              std::to_string(threads), bench::Ms(best),
+                              qps_str, bench::Num(m.trace_probes / batches),
+                              bench::Num(m.trace_descents / batches)});
+          // Single-threaded counters are deterministic (per-shard fan-out
+          // tasks do fixed work each); multi-threaded ones race the memo.
+          json.Add("shards" + std::to_string(shards) + "_" + name + "_t" +
+                       std::to_string(threads),
+                   best, m.trace_probes / batches, m.trace_descents / batches,
+                   /*deterministic=*/threads == 1);
+        }
+      }
+    }
+    shard_table.Print();
+  }
+
   // Span-tracing overhead on the concurrent service path (IndexProj,
   // 4 workers, the throughput batch), interleaved A/B: disabled-tracer
   // guards must be invisible, the enabled tracer pays per-span ring

@@ -149,6 +149,30 @@ Status RequireFlag(const Args& args, const char* flag) {
   return Status::OK();
 }
 
+/// Store options from the command line: --shards N (0 = auto: keep the
+/// database's recorded count) and --async-ingest true.
+Result<provenance::TraceStoreOptions> ParseStoreOptions(const Args& args) {
+  provenance::TraceStoreOptions options;
+  if (const std::string* shards = args.Get("shards")) {
+    int64_t n = 0;
+    if (!ParseInt64(*shards, &n) || n < 1) {
+      return Status::InvalidArgument("bad --shards value '" + *shards + "'");
+    }
+    options.shards = static_cast<size_t>(n);
+  }
+  if (const std::string* async = args.Get("async-ingest")) {
+    options.async_ingest = *async != "false";
+  }
+  return options;
+}
+
+Result<provenance::TraceStore> OpenStore(const Args& args,
+                                         storage::Database* db) {
+  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStoreOptions options,
+                           ParseStoreOptions(args));
+  return provenance::TraceStore::Open(db, options);
+}
+
 /// Pre-registers the well-known instrument names so `provlin stats`
 /// exposes the whole schema even for counters this process never
 /// bumped: an untouched instrument reads 0, and a stable exposition is
@@ -160,7 +184,8 @@ void TouchWellKnownInstruments() {
         "storage/full_scans", "storage/rows_examined",
         "storage/batched_probes", "storage/descents", "wal/appends",
         "wal/bytes", "wal/flushes", "provenance/xform_rows",
-        "provenance/xfer_rows", "provenance/memo_hits",
+        "provenance/xfer_rows", "provenance/rows_ingested",
+        "provenance/memo_hits",
         "provenance/memo_lookups", "lineage/queries", "lineage/trace_probes",
         "lineage/trace_descents", "lineage/graph_steps",
         "lineage/plan_builds", "lineage/plan_cache_hits", "service/batches",
@@ -178,6 +203,7 @@ void TouchWellKnownInstruments() {
   metrics::GetHistogram("storage/multiseek_batch_size",
                         metrics::DefaultSizeBounds());
   metrics::GetGauge("service/last_batch_wall_us");
+  metrics::GetGauge("provenance/shards");
 }
 
 Status DumpStats(const std::string& format, std::ostream& out) {
@@ -240,14 +266,13 @@ Status CmdRun(const Args& args, std::ostream& out) {
                            LoadWorkflow(*args.Get("workflow")));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
 
-  std::optional<storage::WriteAheadLog> wal;
+  // Capture WALs are store-owned and per-shard: one file per shard plus
+  // a manifest when sharded; at one shard this is exactly the legacy
+  // single-file layout.
   if (const std::string* wal_path = args.Get("wal")) {
-    PROVLIN_ASSIGN_OR_RETURN(storage::WriteAheadLog opened,
-                             storage::WriteAheadLog::Open(*wal_path));
-    wal.emplace(std::move(opened));
-    store.AttachWal(&*wal);
+    PROVLIN_RETURN_IF_ERROR(store.AttachWalFiles(*wal_path));
   }
 
   std::map<std::string, Value> inputs;
@@ -290,7 +315,7 @@ Status CmdRuns(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> runs, store.ListRuns());
   for (const std::string& run : runs) out << run << "\n";
   return Status::OK();
@@ -307,7 +332,7 @@ Status CmdLineage(const Args& args, std::ostream& out) {
                            LoadWorkflow(*args.Get("workflow")));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
 
   PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
                            workflow::ParsePortRef(*args.Get("target")));
@@ -463,7 +488,7 @@ Status CmdStats(const Args& args, std::ostream& out) {
   if (const std::string* db_path = args.Get("db")) {
     PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*db_path));
     PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                             provenance::TraceStore::Open(&db));
+                             OpenStore(args, &db));
     (void)store;
   }
   TouchWellKnownInstruments();
@@ -487,7 +512,7 @@ Status CmdExplain(const Args& args, std::ostream& out) {
                            LoadWorkflow(*args.Get("workflow")));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
                            workflow::ParsePortRef(*args.Get("target")));
   Index index;
@@ -547,7 +572,7 @@ Status CmdDot(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   PROVLIN_ASSIGN_OR_RETURN(
       provenance::ProvenanceGraph graph,
       provenance::ProvenanceGraph::Build(store, *args.Get("run")));
@@ -560,7 +585,7 @@ Status CmdExport(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   PROVLIN_ASSIGN_OR_RETURN(
       std::string json,
       provenance::ExportOpmJson(store, *args.Get("run")));
@@ -572,7 +597,7 @@ Status CmdCounts(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   provenance::TraceCounts counts;
   if (const std::string* run = args.Get("run")) {
     PROVLIN_ASSIGN_OR_RETURN(counts, store.CountRecords(*run));
@@ -621,7 +646,7 @@ Status CmdPrune(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
   PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
   PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(&db));
+                           OpenStore(args, &db));
   PROVLIN_ASSIGN_OR_RETURN(size_t removed,
                            store.DeleteRun(*args.Get("run")));
   PROVLIN_RETURN_IF_ERROR(db.Save(*args.Get("db")));

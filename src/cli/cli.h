@@ -11,14 +11,18 @@ namespace provlin::cli {
 /// drive it in-process. Commands:
 ///
 ///   run      --workflow W --db FILE --run ID --input port=literal ...
-///            [--wal FILE]
+///            [--wal FILE] [--shards N] [--async-ingest true]
 ///            Execute a workflow with provenance capture and persist the
-///            trace database.
+///            trace database. --shards N partitions the trace store into
+///            N run shards (per-shard tables, B+trees, and — with --wal —
+///            per-shard WAL files + a manifest); --async-ingest true
+///            moves WAL appends and B+-tree inserts to per-shard writer
+///            threads.
 ///   runs     --db FILE
 ///            List recorded runs.
 ///   lineage  --db FILE --workflow W --run ID [--run ID]* --target P:X
 ///            [--index 1,2] [--focus P]* [--engine naive|indexproj]
-///            [--forward] [--explain true] [--threads N]
+///            [--forward] [--explain true] [--threads N] [--shards N]
 ///            [--trace-out FILE.json] [--slow-query-ms N] [--stats true]
 ///            Answer a (backward or forward) lineage query. With
 ///            --threads N the runs are answered as a concurrent batch on
@@ -29,7 +33,8 @@ namespace provlin::cli {
 ///            for queries slower than N ms; --stats true appends the
 ///            Prometheus metrics exposition after the answer.
 ///   explain  --db FILE --workflow W --run ID [--run ID]* --target P:X
-///            [--index 1,2] [--focus P]* [--trace-out FILE.json]
+///            [--index 1,2] [--focus P]* [--shards N]
+///            [--trace-out FILE.json]
 ///            EXPLAIN an IndexProj query: print the generated trace
 ///            queries with measured per-step costs (probes, descents,
 ///            rows, bindings, wall time) from a single-probe execution.
@@ -56,6 +61,13 @@ namespace provlin::cli {
 /// (workflow_io format) or one of the builtins: "builtin:gk",
 /// "builtin:pd", "builtin:synthetic:<l>". Query indices are 1-based, as
 /// in the paper's notation.
+///
+/// --shards (run/lineage/explain; DESIGN.md §11) defaults to 0 = auto:
+/// a database that already records a shard count keeps it, otherwise the
+/// store is unsharded. An explicit count that differs from the image's
+/// reshards the database on open. `stats` surfaces per-shard
+/// provenance/shard<k>/{rows,probes} counters once a sharded store has
+/// been opened in the process.
 ///
 /// Returns a process exit code; output goes to `out`, diagnostics to
 /// `err`.

@@ -135,13 +135,16 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
       }
     }
   }
-  // Ties break by duration descending so an enclosing span precedes the
-  // spans it contains — the order trace viewers expect for same-tid "X"
-  // events sharing a start timestamp.
+  // Ties break by duration descending, then depth ascending, so an
+  // enclosing span precedes the spans it contains — the order trace
+  // viewers expect for same-tid "X" events sharing a start timestamp.
+  // The depth tie-break matters when both spans round to 0us: guards
+  // record on destruction, so the ring holds the inner span first.
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-                     return a.dur_us > b.dur_us;
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     return a.depth < b.depth;
                    });
   return out;
 }

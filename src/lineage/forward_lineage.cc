@@ -443,18 +443,16 @@ Status ForwardIndexProjLineage::ExecutePlanBatched(
     const ForwardTraceQuery& q = plan.queries[i];
     auto& probes = q.workflow_output ? xfer_probes : prod_probes;
     slot[i] = probes.size();
-    probes.push_back({q.processor, q.port, q.pattern.KnownPrefix()});
+    probes.push_back({*run_sym, q.processor, q.port, q.pattern.KnownPrefix()});
   }
 
   std::vector<std::vector<XferRecord>> xfer_rows;
   if (!xfer_probes.empty()) {
-    PROVLIN_ASSIGN_OR_RETURN(xfer_rows,
-                             store_->FindXfersIntoBatch(*run_sym, xfer_probes));
+    PROVLIN_ASSIGN_OR_RETURN(xfer_rows, store_->FindXfersIntoBatch(xfer_probes));
   }
   std::vector<std::vector<XformRecord>> prod_rows;
   if (!prod_probes.empty()) {
-    PROVLIN_ASSIGN_OR_RETURN(prod_rows,
-                             store_->FindProducingBatch(*run_sym, prod_probes));
+    PROVLIN_ASSIGN_OR_RETURN(prod_rows, store_->FindProducingBatch(prod_probes));
   }
 
   for (size_t i = 0; i < plan.queries.size(); ++i) {

@@ -318,68 +318,86 @@ Status AppendSourceViaConsumer(const provenance::TraceStore& store,
 }  // namespace
 
 Status IndexProjLineage::ExecutePlanBatched(
-    const LineagePlan& plan, const std::string& run,
+    const LineagePlan& plan, const std::vector<std::string>& runs,
     std::vector<LineageBinding>* bindings) const {
   PROVLIN_TRACE_SPAN_VAR(span, "indexproj/s2_run");
   if (span.active()) {
-    span.SetArgs("run=" + run +
+    span.SetArgs("runs=" + std::to_string(runs.size()) +
                  " queries=" + std::to_string(plan.queries.size()));
   }
-  auto run_sym = store_->LookupSymbol(run);
-  if (!run_sym.has_value()) return Status::OK();
-
   // Every probe the plan issues is determined by the plan alone, so the
-  // whole of s2 flattens into one producing batch (source queries) and
-  // one consuming batch (via-consumer probes + plain queries) before any
-  // result is consumed.
+  // whole of s2 — across *all* runs in scope — flattens into one
+  // producing batch (source queries) and one consuming batch
+  // (via-consumer probes + plain queries) before any result is
+  // consumed. Probes carry their run, so a sharded store groups the
+  // batch by owning shard and fans the sub-batches out concurrently.
   constexpr size_t kNone = static_cast<size_t>(-1);
+  struct RunSlots {
+    const std::string* run = nullptr;
+    SymbolId run_sym = kNoSymbol;
+    std::vector<size_t> producing_slot;
+    std::vector<size_t> consuming_slot;
+  };
+  std::vector<RunSlots> per_run;
   std::vector<provenance::PortProbe> producing;
   std::vector<provenance::PortProbe> consuming;
-  std::vector<size_t> producing_slot(plan.queries.size(), kNone);
-  std::vector<size_t> consuming_slot(plan.queries.size(), kNone);
-  for (size_t i = 0; i < plan.queries.size(); ++i) {
-    const TraceQuery& q = plan.queries[i];
-    if (q.workflow_source) {
-      producing_slot[i] = producing.size();
-      producing.push_back({q.processor, q.port, q.index});
-      if (q.via_processor != kNoSymbol) {
-        consuming_slot[i] = consuming.size();
-        consuming.push_back({q.via_processor, q.via_port, q.index});
+  for (const std::string& run : runs) {
+    // A run the trace never recorded has no rows for any query.
+    auto run_sym = store_->LookupSymbol(run);
+    if (!run_sym.has_value()) continue;
+    RunSlots slots;
+    slots.run = &run;
+    slots.run_sym = *run_sym;
+    slots.producing_slot.assign(plan.queries.size(), kNone);
+    slots.consuming_slot.assign(plan.queries.size(), kNone);
+    for (size_t i = 0; i < plan.queries.size(); ++i) {
+      const TraceQuery& q = plan.queries[i];
+      if (q.workflow_source) {
+        slots.producing_slot[i] = producing.size();
+        producing.push_back({*run_sym, q.processor, q.port, q.index});
+        if (q.via_processor != kNoSymbol) {
+          slots.consuming_slot[i] = consuming.size();
+          consuming.push_back({*run_sym, q.via_processor, q.via_port, q.index});
+        }
+      } else {
+        slots.consuming_slot[i] = consuming.size();
+        consuming.push_back({*run_sym, q.processor, q.port, q.index});
       }
-    } else {
-      consuming_slot[i] = consuming.size();
-      consuming.push_back({q.processor, q.port, q.index});
     }
+    per_run.push_back(std::move(slots));
   }
 
   std::vector<std::vector<XformRecord>> produced;
   if (!producing.empty()) {
-    PROVLIN_ASSIGN_OR_RETURN(produced,
-                             store_->FindProducingBatch(*run_sym, producing));
+    PROVLIN_ASSIGN_OR_RETURN(produced, store_->FindProducingBatch(producing));
   }
   std::vector<std::vector<XformRecord>> consumed;
   if (!consuming.empty()) {
-    PROVLIN_ASSIGN_OR_RETURN(consumed,
-                             store_->FindConsumingBatch(*run_sym, consuming));
+    PROVLIN_ASSIGN_OR_RETURN(consumed, store_->FindConsumingBatch(consuming));
   }
 
-  // Assembly walks the queries in plan order, exactly like the
-  // single-probe path — only the probe physics changed above.
-  for (size_t i = 0; i < plan.queries.size(); ++i) {
-    const TraceQuery& q = plan.queries[i];
-    if (q.workflow_source) {
-      const std::vector<XformRecord>& src_rows = produced[producing_slot[i]];
-      if (q.via_processor == kNoSymbol) {
-        PROVLIN_RETURN_IF_ERROR(
-            AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
+  // Assembly walks runs then queries in plan order, exactly like the
+  // per-run single-probe loop — only the probe physics changed above.
+  for (const RunSlots& slots : per_run) {
+    const std::string& run = *slots.run;
+    for (size_t i = 0; i < plan.queries.size(); ++i) {
+      const TraceQuery& q = plan.queries[i];
+      if (q.workflow_source) {
+        const std::vector<XformRecord>& src_rows =
+            produced[slots.producing_slot[i]];
+        if (q.via_processor == kNoSymbol) {
+          PROVLIN_RETURN_IF_ERROR(
+              AppendSourceBindings(*store_, run, src_rows, q.index, bindings));
+          continue;
+        }
+        PROVLIN_RETURN_IF_ERROR(AppendSourceViaConsumer(
+            *store_, run, src_rows, consumed[slots.consuming_slot[i]],
+            bindings));
         continue;
       }
-      PROVLIN_RETURN_IF_ERROR(AppendSourceViaConsumer(
-          *store_, run, src_rows, consumed[consuming_slot[i]], bindings));
-      continue;
+      PROVLIN_RETURN_IF_ERROR(AppendConsumedBindings(
+          *store_, run, consumed[slots.consuming_slot[i]], bindings));
     }
-    PROVLIN_RETURN_IF_ERROR(AppendConsumedBindings(
-        *store_, run, consumed[consuming_slot[i]], bindings));
   }
   return Status::OK();
 }
@@ -413,7 +431,7 @@ Status IndexProjLineage::ExecutePlan(
     const LineagePlan& plan, const std::string& run,
     std::vector<LineageBinding>* bindings) const {
   if (mode_ == ProbeExecution::kBatched) {
-    return ExecutePlanBatched(plan, run, bindings);
+    return ExecutePlanBatched(plan, {run}, bindings);
   }
   // A run the trace never recorded has no rows for any query in the
   // plan; resolving it once up front skips |queries| futile probes.
@@ -447,8 +465,15 @@ Result<LineageAnswer> IndexProjLineage::Query(
   // other's cost attribution.
   storage::ThreadStats before = storage::ThisThreadStats();
   WallTimer t2;
-  for (const std::string& run : request.runs) {
-    PROVLIN_RETURN_IF_ERROR(ExecutePlan(*plan, run, &answer.bindings));
+  if (mode_ == ProbeExecution::kBatched) {
+    // All runs in one batched execution: one producing + one consuming
+    // batch for the whole scope, fanned out across shards by the store.
+    PROVLIN_RETURN_IF_ERROR(
+        ExecutePlanBatched(*plan, request.runs, &answer.bindings));
+  } else {
+    for (const std::string& run : request.runs) {
+      PROVLIN_RETURN_IF_ERROR(ExecutePlan(*plan, run, &answer.bindings));
+    }
   }
   answer.timing.t2_ms = t2.ElapsedMillis();
   answer.timing.trace_probes =

@@ -206,9 +206,13 @@ class IndexProjLineage : public LineageEngine {
                             uint64_t* rows) const;
 
   /// kBatched s2: every probe the plan will issue is known up front, so
-  /// the whole plan flattens into one producing batch plus one consuming
-  /// batch before per-query assembly.
-  Status ExecutePlanBatched(const LineagePlan& plan, const std::string& run,
+  /// the whole plan — across every run in scope — flattens into one
+  /// producing batch plus one consuming batch before per-query assembly
+  /// (which walks runs then queries, in the per-run loop's order). The
+  /// run-qualified probes let a sharded store fan the batch out by
+  /// owning shard.
+  Status ExecutePlanBatched(const LineagePlan& plan,
+                            const std::vector<std::string>& runs,
                             std::vector<LineageBinding>* bindings) const;
 
   /// Plan cache key: (target processor, target port, index id, resolved

@@ -1,5 +1,6 @@
 #include "lineage/naive_lineage.h"
 
+#include <map>
 #include <set>
 #include <tuple>
 
@@ -25,13 +26,15 @@ enum class Side { kOutput, kInput };
 /// ID-space traversal state: processors, ports, and runs are SymbolIds
 /// and indexes are dense IndexIds, so the visited set and the recursion
 /// compare integers. Strings only reappear in the reported bindings.
+///
+/// One Traversal may span several runs: the visited set and every
+/// frontier entry are run-qualified, and the batched driver sends each
+/// level's probes for *all* runs to the store as one run-qualified
+/// batch — which the sharded store splits by owning shard and fans out.
 class Traversal {
  public:
-  Traversal(const provenance::TraceStore& store, std::string run,
-            SymbolId run_sym, const InterestSet& interest)
+  Traversal(const provenance::TraceStore& store, const InterestSet& interest)
       : store_(store),
-        run_(std::move(run)),
-        run_sym_(run_sym),
         workflow_sym_(store.Intern(kWorkflowProcessor)),
         // Names never recorded can't match any trace row; Resolve drops
         // them so the hot check is a pure integer set lookup.
@@ -40,21 +43,33 @@ class Traversal {
               return store.LookupSymbol(name);
             })) {}
 
-  Status Visit(SymbolId processor, SymbolId port, const Index& q, Side side) {
+  /// Registers a run and seeds the batched frontier with its target.
+  void Seed(std::string run, SymbolId run_sym, SymbolId processor,
+            SymbolId port, const Index& q, Side side) {
+    run_names_.emplace(run_sym, std::move(run));
+    frontier_.push_back({run_sym, processor, port, q, side});
+  }
+
+  /// Registers a run for the recursive (single-probe) driver.
+  void AddRun(std::string run, SymbolId run_sym) {
+    run_names_.emplace(run_sym, std::move(run));
+  }
+
+  Status Visit(SymbolId run, SymbolId processor, SymbolId port, const Index& q,
+               Side side) {
     ++steps_;
-    auto key = std::make_tuple(processor, port, store_.InternIndex(q),
+    auto key = std::make_tuple(run, processor, port, store_.InternIndex(q),
                                side == Side::kOutput);
     if (!visited_.insert(key).second) return Status::OK();
 
     if (side == Side::kOutput) {
-      PROVLIN_ASSIGN_OR_RETURN(
-          std::vector<XformRecord> rows,
-          store_.FindProducing(run_sym_, processor, port, q));
+      PROVLIN_ASSIGN_OR_RETURN(std::vector<XformRecord> rows,
+                               store_.FindProducing(run, processor, port, q));
       if (processor == workflow_sym_) {
         // Workflow-input source rows: traversal terminates here.
         if (IsInteresting(interest_, workflow_sym_)) {
           PROVLIN_RETURN_IF_ERROR(
-              AppendSourceBindings(store_, run_, rows, q, &bindings_));
+              AppendSourceBindings(store_, RunName(run), rows, q, &bindings_));
         }
         return Status::OK();
       }
@@ -64,48 +79,44 @@ class Traversal {
         if (!row.has_in) continue;
         if (interesting) {
           PROVLIN_RETURN_IF_ERROR(
-              AppendInputBinding(store_, run_, row, &bindings_));
+              AppendInputBinding(store_, RunName(run), row, &bindings_));
         }
         next.insert({row.in_port, row.in_index});
       }
       for (const auto& [in_port, idx] : next) {
-        PROVLIN_RETURN_IF_ERROR(Visit(processor, in_port, idx, Side::kInput));
+        PROVLIN_RETURN_IF_ERROR(
+            Visit(run, processor, in_port, idx, Side::kInput));
       }
       return Status::OK();
     }
 
     // Input side: hop the arc backwards. Indices transfer identically,
     // so the recursion keeps q; the xfer rows identify the source port.
-    PROVLIN_ASSIGN_OR_RETURN(
-        std::vector<XferRecord> rows,
-        store_.FindXfersInto(run_sym_, processor, port, q));
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<XferRecord> rows,
+                             store_.FindXfersInto(run, processor, port, q));
     std::set<std::pair<SymbolId, SymbolId>> sources;
     for (const XferRecord& row : rows) {
       sources.insert({row.src_proc, row.src_port});
     }
     for (const auto& [src_proc, src_port] : sources) {
-      PROVLIN_RETURN_IF_ERROR(Visit(src_proc, src_port, q, Side::kOutput));
+      PROVLIN_RETURN_IF_ERROR(Visit(run, src_proc, src_port, q, Side::kOutput));
     }
     return Status::OK();
   }
 
-  /// Frontier-batched form of the same traversal: each BFS level
-  /// collects its pending visits, filters them through the visited set
-  /// (counting every attempt, like the recursive calls do), and issues
-  /// one producing batch and one xfer batch for the whole level. The
-  /// expanded node set — and therefore the logical probe set, step
-  /// count, and answer — is identical to the recursion's; only probe
-  /// physics (shared descents) and visit order differ, and the final
+  /// Frontier-batched form of the same traversal over all seeded runs:
+  /// each BFS level collects its pending visits, filters them through
+  /// the visited set (counting every attempt, like the recursive calls
+  /// do), and issues one producing batch and one xfer batch for the
+  /// whole level. Runs traverse independently (the visited key carries
+  /// the run), so the expanded node set — and therefore the logical
+  /// probe set, step count, and answer — is identical to looping the
+  /// recursion over the runs; only probe physics (shared descents,
+  /// cross-shard fan-out) and visit order differ, and the final
   /// NormalizeBindings erases the order.
-  Status RunBatched(SymbolId processor, SymbolId port, const Index& q,
-                    Side side) {
-    struct Pending {
-      SymbolId processor;
-      SymbolId port;
-      Index index;
-      Side side;
-    };
-    std::vector<Pending> frontier{{processor, port, q, side}};
+  Status RunBatched() {
+    std::vector<Pending> frontier = std::move(frontier_);
+    frontier_.clear();
     while (!frontier.empty()) {
       PROVLIN_TRACE_SPAN_VAR(level_span, "ni/frontier_level");
       if (level_span.active()) {
@@ -115,7 +126,7 @@ class Traversal {
       std::vector<Pending> in_items;
       for (Pending& item : frontier) {
         ++steps_;
-        auto key = std::make_tuple(item.processor, item.port,
+        auto key = std::make_tuple(item.run, item.processor, item.port,
                                    store_.InternIndex(item.index),
                                    item.side == Side::kOutput);
         if (!visited_.insert(key).second) continue;
@@ -128,18 +139,18 @@ class Traversal {
         std::vector<provenance::PortProbe> probes;
         probes.reserve(out_items.size());
         for (const Pending& item : out_items) {
-          probes.push_back({item.processor, item.port, item.index});
+          probes.push_back({item.run, item.processor, item.port, item.index});
         }
         PROVLIN_ASSIGN_OR_RETURN(
             std::vector<std::vector<XformRecord>> results,
-            store_.FindProducingBatch(run_sym_, probes));
+            store_.FindProducingBatch(probes));
         for (size_t i = 0; i < out_items.size(); ++i) {
           const Pending& item = out_items[i];
           const std::vector<XformRecord>& rows = results[i];
           if (item.processor == workflow_sym_) {
             if (IsInteresting(interest_, workflow_sym_)) {
               PROVLIN_RETURN_IF_ERROR(AppendSourceBindings(
-                  store_, run_, rows, item.index, &bindings_));
+                  store_, RunName(item.run), rows, item.index, &bindings_));
             }
             continue;
           }
@@ -148,13 +159,14 @@ class Traversal {
           for (const XformRecord& row : rows) {
             if (!row.has_in) continue;
             if (interesting) {
-              PROVLIN_RETURN_IF_ERROR(
-                  AppendInputBinding(store_, run_, row, &bindings_));
+              PROVLIN_RETURN_IF_ERROR(AppendInputBinding(
+                  store_, RunName(item.run), row, &bindings_));
             }
             successors.insert({row.in_port, row.in_index});
           }
           for (const auto& [in_port, idx] : successors) {
-            next.push_back({item.processor, in_port, idx, Side::kInput});
+            next.push_back(
+                {item.run, item.processor, in_port, idx, Side::kInput});
           }
         }
       }
@@ -163,11 +175,11 @@ class Traversal {
         std::vector<provenance::PortProbe> probes;
         probes.reserve(in_items.size());
         for (const Pending& item : in_items) {
-          probes.push_back({item.processor, item.port, item.index});
+          probes.push_back({item.run, item.processor, item.port, item.index});
         }
         PROVLIN_ASSIGN_OR_RETURN(
             std::vector<std::vector<XferRecord>> results,
-            store_.FindXfersIntoBatch(run_sym_, probes));
+            store_.FindXfersIntoBatch(probes));
         for (size_t i = 0; i < in_items.size(); ++i) {
           const Pending& item = in_items[i];
           std::set<std::pair<SymbolId, SymbolId>> sources;
@@ -175,7 +187,8 @@ class Traversal {
             sources.insert({row.src_proc, row.src_port});
           }
           for (const auto& [src_proc, src_port] : sources) {
-            next.push_back({src_proc, src_port, item.index, Side::kOutput});
+            next.push_back(
+                {item.run, src_proc, src_port, item.index, Side::kOutput});
           }
         }
       }
@@ -189,12 +202,25 @@ class Traversal {
   uint64_t steps() const { return steps_; }
 
  private:
+  struct Pending {
+    SymbolId run;
+    SymbolId processor;
+    SymbolId port;
+    Index index;
+    Side side;
+  };
+
+  const std::string& RunName(SymbolId run) const {
+    return run_names_.at(run);
+  }
+
   const provenance::TraceStore& store_;
-  std::string run_;
-  SymbolId run_sym_;
   SymbolId workflow_sym_;
   InterestIds interest_;
-  std::set<std::tuple<SymbolId, SymbolId, common::IndexId, bool>> visited_;
+  std::map<SymbolId, std::string> run_names_;
+  std::vector<Pending> frontier_;
+  std::set<std::tuple<SymbolId, SymbolId, SymbolId, common::IndexId, bool>>
+      visited_;
   std::vector<LineageBinding> bindings_;
   uint64_t steps_ = 0;
 };
@@ -223,7 +249,7 @@ Result<LineageAnswer> NaiveLineage::QueryOneRun(
     return answer;
   }
 
-  Traversal traversal(*store_, run, *run_sym, interest);
+  Traversal traversal(*store_, interest);
 
   // Auto-detect the starting side: a port with producing xform rows is an
   // output (includes workflow inputs via their source rows); anything
@@ -233,10 +259,12 @@ Result<LineageAnswer> NaiveLineage::QueryOneRun(
       store_->FindProducing(*run_sym, *proc_sym, *port_sym, q));
   Side side = probe.empty() ? Side::kInput : Side::kOutput;
   if (mode == ProbeExecution::kBatched) {
-    PROVLIN_RETURN_IF_ERROR(
-        traversal.RunBatched(*proc_sym, *port_sym, q, side));
+    traversal.Seed(run, *run_sym, *proc_sym, *port_sym, q, side);
+    PROVLIN_RETURN_IF_ERROR(traversal.RunBatched());
   } else {
-    PROVLIN_RETURN_IF_ERROR(traversal.Visit(*proc_sym, *port_sym, q, side));
+    traversal.AddRun(run, *run_sym);
+    PROVLIN_RETURN_IF_ERROR(
+        traversal.Visit(*run_sym, *proc_sym, *port_sym, q, side));
   }
 
   // Per-run bindings stay raw: Query() normalizes once over the combined
@@ -252,6 +280,54 @@ Result<LineageAnswer> NaiveLineage::QueryOneRun(
 }
 
 Result<LineageAnswer> NaiveLineage::Query(const LineageRequest& request) const {
+  // Batched mode traverses all requested runs as one frontier: each
+  // level's probes for every run go to the store as one run-qualified
+  // batch, which a sharded store splits by owning shard and fans out
+  // concurrently. Runs still expand independently (the visited set is
+  // run-qualified), so the node set and bindings match the per-run loop.
+  if (mode_ == ProbeExecution::kBatched && request.runs.size() > 1) {
+    PROVLIN_TRACE_SPAN_VAR(span, "ni/query_multirun");
+    if (span.active()) {
+      span.SetArgs("runs=" + std::to_string(request.runs.size()));
+    }
+    LineageAnswer combined;
+    storage::ThreadStats before = storage::ThisThreadStats();
+    WallTimer timer;
+    auto proc_sym = store_->LookupSymbol(request.target.processor);
+    auto port_sym = store_->LookupSymbol(request.target.port);
+    if (proc_sym && port_sym) {
+      Traversal traversal(*store_, request.interest);
+      // Side auto-detection batches too: one producing probe per run.
+      std::vector<std::string> runs;
+      std::vector<provenance::PortProbe> probes;
+      for (const std::string& run : request.runs) {
+        auto run_sym = store_->LookupSymbol(run);
+        if (!run_sym) continue;  // never recorded: no lineage
+        runs.push_back(run);
+        probes.push_back({*run_sym, *proc_sym, *port_sym, request.index});
+      }
+      PROVLIN_ASSIGN_OR_RETURN(
+          std::vector<std::vector<XformRecord>> detect,
+          store_->FindProducingBatch(probes));
+      for (size_t i = 0; i < runs.size(); ++i) {
+        Side side = detect[i].empty() ? Side::kInput : Side::kOutput;
+        traversal.Seed(runs[i], probes[i].run, *proc_sym, *port_sym,
+                       request.index, side);
+      }
+      PROVLIN_RETURN_IF_ERROR(traversal.RunBatched());
+      combined.bindings = std::move(traversal.bindings());
+      combined.timing.graph_steps = traversal.steps();
+    }
+    combined.timing.t2_ms = timer.ElapsedMillis();
+    combined.timing.trace_probes =
+        storage::ThisThreadStats().probes() - before.probes();
+    combined.timing.trace_descents =
+        storage::ThisThreadStats().descents - before.descents;
+    NormalizeBindings(&combined.bindings);
+    PublishTiming(name(), combined.timing);
+    return combined;
+  }
+
   LineageAnswer combined;
   for (const std::string& run : request.runs) {
     PROVLIN_ASSIGN_OR_RETURN(

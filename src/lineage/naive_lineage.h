@@ -39,8 +39,12 @@ class NaiveLineage : public LineageEngine {
   /// Computes the lineage of ⟨target[index]⟩ over the request's runs.
   /// The target may be any processor port or a workflow output/input
   /// port; the side (output vs. input) is auto-detected from the trace.
-  /// NI has nothing to share across runs, so several runs are a plain
-  /// loop — one full provenance-graph traversal per run (§3.4).
+  /// NI shares no *results* across runs (§3.4), but in kBatched mode a
+  /// multi-run request traverses all runs as one frontier: each level's
+  /// probes carry their run, so a sharded store groups them by owning
+  /// shard and fans the per-shard sub-batches out concurrently. The
+  /// expanded node set per run — and the answer — is identical to the
+  /// per-run loop kSingleProbe still uses.
   Result<LineageAnswer> Query(const LineageRequest& request) const override;
 
   using LineageEngine::Query;

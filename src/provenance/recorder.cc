@@ -112,6 +112,9 @@ void TraceRecorder::OnXfer(const workflow::PortRef& src,
 
 void TraceRecorder::OnRunEnd(const std::string& run_id, const Status& status) {
   (void)run_id;
+  // Barrier async ingest: any error a shard's writer thread latched
+  // while applying this run's rows surfaces on the recorder, not later.
+  Latch(store_->Flush());
   Latch(status);
 }
 

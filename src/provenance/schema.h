@@ -37,6 +37,9 @@ inline constexpr const char* kRuns = "runs";
 inline constexpr const char* kVal = "val";
 inline constexpr const char* kXform = "xform";
 inline constexpr const char* kXfer = "xfer";
+/// Single-row catalog table recording the shard count of a sharded
+/// store image (absent in unsharded images, which predate sharding).
+inline constexpr const char* kShardMeta = "shard_meta";
 }  // namespace tables
 
 namespace indexes {
@@ -51,6 +54,41 @@ inline constexpr const char* kRunsById = "runs_by_id";
 
 /// Creates the four trace tables and their indexes in `db`.
 Status CreateProvenanceSchema(storage::Database* db);
+
+// --- run sharding (DESIGN.md §11) ------------------------------------------
+//
+// A sharded store keeps one physical copy of the trace tables per shard.
+// Shard 0 keeps the legacy unsuffixed names above (so an N=1 store is
+// byte-identical to the historical layout); shard k > 0 uses the base
+// name suffixed with "#k" ("xform#2"). Every table keys rows by run in
+// column 0, so a run's rows live wholly inside the shard its id hashes
+// to — the property the fan-out/merge probe layer and per-shard WALs
+// rely on.
+
+/// Physical table name of `base` in shard `shard`.
+std::string ShardTableName(const char* base, size_t shard);
+
+/// Stable hash of a run id, identical across processes and platforms
+/// (FNV-1a 64); the owning shard of a run is RunShardHash(id) % N.
+uint64_t RunShardHash(std::string_view run_id);
+
+/// Creates the trace tables and indexes for `shards` shards, plus the
+/// shard_meta record when `shards` > 1.
+Status CreateProvenanceSchema(storage::Database* db, size_t shards);
+
+/// Creates shard `shard`'s copy of the four trace tables if missing
+/// (used by resharding to grow a layout in place). Index names need no
+/// suffixing: IndexSpec names are scoped to their table.
+Status EnsureShardTables(storage::Database* db, size_t shard);
+
+/// Shard count recorded in `db`: the shard_meta row if present, 1 if
+/// the (legacy, unsuffixed) schema exists without one, 0 if the
+/// provenance schema has not been created at all.
+Result<size_t> DetectShardCount(const storage::Database& db);
+
+/// Rewrites the shard_meta record (creating or dropping the table as
+/// needed) to record `shards`.
+Status WriteShardMeta(storage::Database* db, size_t shards);
 
 }  // namespace provlin::provenance
 

@@ -1,10 +1,16 @@
 #include "provenance/trace_store.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <type_traits>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "provenance/schema.h"
 #include "storage/serialize.h"
@@ -22,11 +28,14 @@ using storage::Table;
 
 namespace {
 
-// WAL record tags: one per trace table, plus symbol definitions.
-// Symbol ids are positional, so replaying kTagSymbol records in log
-// order re-mints identical ids before any row references them.
+// WAL record tags: one per trace table, plus symbol definitions and run
+// deletions. Symbol ids are positional, so replaying kTagSymbol records
+// in log order re-mints identical ids before any row references them.
+// kTagDeleteRun carries the run id string; replay sweeps the rows of
+// that run inserted so far, so a deleted run stays deleted after
+// recovery without rewriting the log.
 constexpr uint8_t kTagRuns = 0, kTagVal = 1, kTagXform = 2, kTagXfer = 3,
-                  kTagSymbol = 4;
+                  kTagSymbol = 4, kTagDeleteRun = 5;
 
 // Column ordinals, fixed by CreateProvenanceSchema.
 namespace xform_col {
@@ -140,237 +149,16 @@ XferRecord DecodeXfer(const Row& row) {
   return rec;
 }
 
-}  // namespace
-
-Result<TraceStore> TraceStore::Open(storage::Database* db) {
-  if (!db->GetTable(tables::kXform).ok()) {
-    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db));
-  }
-  return TraceStore(db);
-}
-
-SymbolId TraceStore::Intern(std::string_view name) const {
-  return db_->symbols().Intern(name);
-}
-
-std::optional<SymbolId> TraceStore::LookupSymbol(std::string_view name) const {
-  return db_->symbols().Lookup(name);
-}
-
-const std::string& TraceStore::NameOf(SymbolId id) const {
-  return db_->symbols().NameOf(id);
-}
-
-IndexId TraceStore::InternIndex(const Index& index) const {
-  return db_->index_dict().Intern(index.parts());
-}
-
-Status TraceStore::InsertRun(const std::string& run_id,
-                             const std::string& workflow) {
-  PROVLIN_ASSIGN_OR_RETURN(Table * runs, db_->GetTable(tables::kRuns));
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> existing,
-      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
-  if (!existing.empty()) {
-    return Status::AlreadyExists("run '" + run_id + "' already recorded");
-  }
-  int64_t seq = static_cast<int64_t>(runs->num_rows());
-  storage::Row row{Datum(run_id), Datum(workflow), Datum(seq)};
-  PROVLIN_RETURN_IF_ERROR(LogRow(kTagRuns, row));
-  return runs->Insert(row).status();
-}
-
-Result<int64_t> TraceStore::InternValue(const std::string& run_id,
-                                        const std::string& repr) {
-  // Interning is an in-memory write-path optimization: ids are unique per
-  // run, and a freshly opened store only ever writes new runs.
-  SymbolId run = Intern(run_id);
-  auto key = std::make_pair(run, repr);
-  auto it = intern_cache_.find(key);
-  if (it != intern_cache_.end()) return it->second;
-  PROVLIN_ASSIGN_OR_RETURN(Table * val, db_->GetTable(tables::kVal));
-  int64_t id = static_cast<int64_t>(next_value_id_[run]++);
-  storage::Row row{SymDatum(run), Datum(id), Datum(repr)};
-  PROVLIN_RETURN_IF_ERROR(LogRow(kTagVal, row));
-  PROVLIN_RETURN_IF_ERROR(val->Insert(row).status());
-  intern_cache_[key] = id;
-  return id;
-}
-
-Status TraceStore::InsertXform(const XformRecord& rec) {
-  static auto* rows = common::metrics::GetCounter("provenance/xform_rows");
-  rows->Increment();
-  PROVLIN_ASSIGN_OR_RETURN(Table * xform, db_->GetTable(tables::kXform));
-  Row row(8);
-  row[xform_col::kRun] = SymDatum(rec.run);
-  row[xform_col::kEvent] = Datum(rec.event_id);
-  if (rec.has_in) {
-    row[xform_col::kIn] = Datum(IdPair{rec.processor, rec.in_port});
-    row[xform_col::kInIndex] = Datum(IndexPath(rec.in_index.parts()));
-    row[xform_col::kInValue] = Datum(rec.in_value);
-  }
-  if (rec.has_out) {
-    row[xform_col::kOut] = Datum(IdPair{rec.processor, rec.out_port});
-    row[xform_col::kOutIndex] = Datum(IndexPath(rec.out_index.parts()));
-    row[xform_col::kOutValue] = Datum(rec.out_value);
-  }
-  PROVLIN_RETURN_IF_ERROR(LogRow(kTagXform, row));
-  return xform->Insert(row).status();
-}
-
-Status TraceStore::InsertXfer(const XferRecord& rec) {
-  static auto* rows = common::metrics::GetCounter("provenance/xfer_rows");
-  rows->Increment();
-  PROVLIN_ASSIGN_OR_RETURN(Table * xfer, db_->GetTable(tables::kXfer));
-  storage::Row row{SymDatum(rec.run),
-                   Datum(IdPair{rec.src_proc, rec.src_port}),
-                   Datum(IndexPath(rec.src_index.parts())),
-                   Datum(IdPair{rec.dst_proc, rec.dst_port}),
-                   Datum(IndexPath(rec.dst_index.parts())),
-                   Datum(rec.value_id)};
-  PROVLIN_RETURN_IF_ERROR(LogRow(kTagXfer, row));
-  return xfer->Insert(row).status();
-}
-
-Status TraceStore::LogRow(uint8_t table_tag, const storage::Row& row) {
-  if (wal_ == nullptr) return Status::OK();
-  // Flush symbol definitions minted since the last logged record, so a
-  // replay re-interns them in id order before any row references them.
-  const common::SymbolTable& symbols = db_->symbols();
-  while (wal_syms_logged_ < symbols.size()) {
-    storage::BinaryWriter w;
-    w.WriteU8(kTagSymbol);
-    w.WriteString(symbols.NameOf(static_cast<SymbolId>(wal_syms_logged_)));
-    PROVLIN_RETURN_IF_ERROR(wal_->Append(w.buffer()));
-    ++wal_syms_logged_;
-  }
-  storage::BinaryWriter w;
-  w.WriteU8(table_tag);
-  w.WriteRow(row);
-  return wal_->Append(w.buffer());
-}
-
-Result<size_t> TraceStore::ReplayWal(const std::string& wal_path,
-                                     storage::Database* db) {
-  if (!db->GetTable(tables::kXform).ok()) {
-    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db));
-  }
-  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                           storage::WriteAheadLog::Replay(wal_path));
-  size_t applied = 0;
-  for (const std::string& record : records) {
-    storage::BinaryReader r(record);
-    PROVLIN_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
-    if (tag == kTagSymbol) {
-      PROVLIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
-      db->symbols().Intern(name);
-      continue;
-    }
-    PROVLIN_ASSIGN_OR_RETURN(Row row, r.ReadRow());
-    const char* table_name = nullptr;
-    switch (tag) {
-      case kTagRuns:
-        table_name = tables::kRuns;
-        break;
-      case kTagVal:
-        table_name = tables::kVal;
-        break;
-      case kTagXform:
-        table_name = tables::kXform;
-        break;
-      case kTagXfer:
-        table_name = tables::kXfer;
-        break;
-      default:
-        return Status::Corruption("bad WAL table tag " + std::to_string(tag));
-    }
-    PROVLIN_ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
-    PROVLIN_RETURN_IF_ERROR(table->Insert(row).status());
-    ++applied;
-  }
-  return applied;
-}
-
-Result<size_t> TraceStore::DeleteRun(const std::string& run_id) {
-  PROVLIN_ASSIGN_OR_RETURN(Table * runs, db_->GetTable(tables::kRuns));
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> run_rows,
-      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
-  if (run_rows.empty()) {
-    return Status::NotFound("run '" + run_id + "' not recorded");
-  }
-  size_t removed = 0;
-  for (uint64_t rid : run_rows) {
-    PROVLIN_RETURN_IF_ERROR(runs->Delete(rid));
-    ++removed;
-  }
-  // The trace tables key everything by the run symbol in column 0; a run
-  // that never minted a symbol has no trace rows to sweep.
-  std::optional<SymbolId> run_sym = LookupSymbol(run_id);
-  if (run_sym.has_value()) {
-    Datum run_datum = SymDatum(*run_sym);
-    for (const char* name : {tables::kVal, tables::kXform, tables::kXfer}) {
-      PROVLIN_ASSIGN_OR_RETURN(Table * table, db_->GetTable(name));
-      std::vector<uint64_t> to_delete;
-      for (uint64_t rid : table->FullScan()) {
-        PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
-        if (row[0] == run_datum) to_delete.push_back(rid);
-      }
-      for (uint64_t rid : to_delete) {
-        PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
-        ++removed;
-      }
-    }
-    // Drop the write-path caches for the deleted run so a future run may
-    // reuse the id with fresh value ids. (The symbol itself is
-    // append-only and survives; ids must stay stable for other runs.)
-    next_value_id_.erase(*run_sym);
-    for (auto it = intern_cache_.begin(); it != intern_cache_.end();) {
-      if (it->first.first == *run_sym) {
-        it = intern_cache_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  return removed;
-}
-
-Result<std::string> TraceStore::RunWorkflow(const std::string& run_id) const {
-  PROVLIN_ASSIGN_OR_RETURN(const Table* runs, db_->GetTable(tables::kRuns));
-  PROVLIN_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> run_rows,
-      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
-  if (run_rows.empty()) {
-    return Status::NotFound("run '" + run_id + "' not recorded");
-  }
-  PROVLIN_ASSIGN_OR_RETURN(Row row, runs->Get(run_rows.front()));
-  return row[1].AsString();
-}
-
-Result<std::vector<std::string>> TraceStore::ListRuns() const {
-  PROVLIN_ASSIGN_OR_RETURN(const Table* runs, db_->GetTable(tables::kRuns));
-  std::vector<std::string> out;
-  for (uint64_t rid : runs->FullScan()) {
-    PROVLIN_ASSIGN_OR_RETURN(Row row, runs->Get(rid));
-    out.push_back(row[0].AsString());
-  }
-  return out;
-}
-
-ProbeMemoScope::ProbeMemoScope(ProbeMemo* memo) : prev_(g_active_probe_memo) {
-  g_active_probe_memo = memo;
-}
-
-ProbeMemoScope::~ProbeMemoScope() { g_active_probe_memo = prev_; }
-
-ProbeMemo* ProbeMemoScope::Active() { return g_active_probe_memo; }
-
-Status TraceStore::OverlapProbe(
-    const char* table, SymbolId run, const char* pair_col, IdPair pair,
-    const char* index_col, const Index& idx,
-    const std::function<void(const storage::Row&)>& emit) const {
-  PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+/// Runs an equality+overlap probe against one shard's `t` through
+/// independent single ExecuteSelect calls: equality on (run,
+/// pair-column), point probes for q and its proper prefixes, and one
+/// path-prefix range probe for strict extensions. Emits each distinct
+/// matching row once, in discovery order. Rows are borrowed from the
+/// table (zero-copy) — consumed before the caller releases the shard's
+/// reader lock.
+Status OverlapProbe(const Table* t, SymbolId run, const char* pair_col,
+                    IdPair pair, const char* index_col, const Index& idx,
+                    const std::function<void(const Row&)>& emit) {
   std::vector<SelectQuery> queries;
   AppendOverlapQueries(run, pair_col, pair, index_col, idx, &queries);
   storage::SelectOptions zero_copy;
@@ -386,15 +174,18 @@ Status TraceStore::OverlapProbe(
   return Status::OK();
 }
 
-Status TraceStore::OverlapProbeBatch(
-    const char* table, SymbolId run, const char* pair_col,
-    const char* index_col, const std::vector<PortProbe>& probes,
-    const std::function<void(size_t, const storage::Row&)>& emit) const {
-  PROVLIN_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+/// Batched overlap probes against one shard: the whole sub-batch's
+/// queries flatten into one ExecuteMultiSelect pass. emit(i, row) fires
+/// once per distinct row matching probes[i], in the same order
+/// OverlapProbe discovers them. Every probe must belong to this shard.
+Status OverlapProbeBatch(
+    const Table* t, const char* pair_col, const char* index_col,
+    const std::vector<PortProbe>& probes,
+    const std::function<void(size_t, const Row&)>& emit) {
   std::vector<SelectQuery> queries;
   std::vector<size_t> owner;  // flattened query ordinal -> probe ordinal
   for (size_t i = 0; i < probes.size(); ++i) {
-    AppendOverlapQueries(run, pair_col,
+    AppendOverlapQueries(probes[i].run, pair_col,
                          IdPair{probes[i].processor, probes[i].port}, index_col,
                          probes[i].index, &queries);
     owner.resize(queries.size(), i);
@@ -414,6 +205,758 @@ Status TraceStore::OverlapProbeBatch(
   }
   return Status::OK();
 }
+
+/// Completion latch for batch fan-out: the caller blocks until every
+/// per-shard task has signalled.
+struct FanLatch {
+  common::Mutex mu;
+  common::CondVar cv;
+  size_t pending GUARDED_BY(mu) = 0;
+};
+
+/// Per-shard ingest rate cap: an unbounded queue would let a fast
+/// producer outrun the writer without limit.
+constexpr size_t kMaxQueuedRows = 4096;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shard: one partition's tables, WAL, and ingest machinery.
+// Lock order within a shard: ingest_mu before data_mu before the
+// facade's shared-WAL mutex; none of the three is ever acquired in the
+// reverse direction (DESIGN.md §11 extends the §10 lock table).
+// ---------------------------------------------------------------------------
+
+struct TraceStore::Shard {
+  /// One pending ingest row; the WAL tag doubles as the table selector.
+  struct Pending {
+    uint8_t tag = 0;
+    Row row;
+  };
+
+  size_t id = 0;
+  // Physical tables of this shard, cached at Open (stable thereafter).
+  Table* runs = nullptr;
+  Table* val = nullptr;
+  Table* xform = nullptr;
+  Table* xfer = nullptr;
+
+  // --- enqueue side -------------------------------------------------------
+  common::Mutex ingest_mu;
+  common::CondVar work_cv;     // writer thread waits for rows / stop
+  common::CondVar drained_cv;  // readers wait for applied to catch up
+  common::CondVar space_cv;    // producers wait for queue headroom
+  std::deque<Pending> queue GUARDED_BY(ingest_mu);
+  uint64_t enqueued GUARDED_BY(ingest_mu) = 0;
+  uint64_t applied GUARDED_BY(ingest_mu) = 0;
+  bool stop GUARDED_BY(ingest_mu) = false;
+  /// First apply error; the shard refuses further ingest once set.
+  Status ingest_status GUARDED_BY(ingest_mu);
+  /// Write-path value interning: (run, repr) -> id, ids unique per run.
+  std::map<std::pair<SymbolId, std::string>, int64_t> intern_cache
+      GUARDED_BY(ingest_mu);
+  std::map<SymbolId, uint64_t> next_value_id GUARDED_BY(ingest_mu);
+
+  // --- apply side ---------------------------------------------------------
+  /// Readers hold the shared side across a whole probe (zero-copy rows
+  /// must not move underneath them); the writer thread / synchronous
+  /// writers hold the exclusive side per applied batch.
+  common::SharedMutex data_mu;
+  /// Per-shard WAL (AttachWalFiles); shard 0 owns the base file.
+  std::optional<storage::WriteAheadLog> owned_wal GUARDED_BY(data_mu);
+  /// Symbols flushed to owned_wal as definition records; the tail
+  /// [wal_syms_logged, symbols.size()) is flushed before each row.
+  size_t wal_syms_logged GUARDED_BY(data_mu) = 0;
+
+  // Per-shard observability (satellite: surfaced by `stats`).
+  common::metrics::Counter* rows_ctr = nullptr;
+  common::metrics::Counter* probes_ctr = nullptr;
+
+  std::thread writer;  // running iff async ingest is on
+
+  Table* TableFor(uint8_t tag) const {
+    switch (tag) {
+      case kTagRuns:
+        return runs;
+      case kTagVal:
+        return val;
+      case kTagXform:
+        return xform;
+      default:
+        return xfer;
+    }
+  }
+
+  const Table* ProbeTableFor(const char* base) const {
+    return std::strcmp(base, tables::kXform) == 0 ? xform : xfer;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rep: the routing facade's shared state.
+// ---------------------------------------------------------------------------
+
+struct TraceStore::Rep {
+  storage::Database* db = nullptr;
+  size_t nshards = 1;
+  bool async = false;
+  std::vector<std::unique_ptr<Shard>> shards;
+  /// Fan-out pool for batches spanning shards (created iff nshards > 1).
+  std::unique_ptr<common::ThreadPool> fanout;
+
+  /// Run sequence numbers are global, not per shard, so ListRuns can
+  /// merge shards back into insertion order.
+  common::Mutex run_mu;
+  int64_t next_run_seq GUARDED_BY(run_mu) = 0;
+
+  /// Single externally-attached WAL shared by all shards (legacy
+  /// AttachWal surface). Appends from concurrent writer threads
+  /// serialize here; per-shard owned WALs do not take this lock.
+  common::Mutex wal_mu;
+  storage::WriteAheadLog* shared_wal GUARDED_BY(wal_mu) = nullptr;
+  size_t shared_wal_syms GUARDED_BY(wal_mu) = 0;
+
+  common::metrics::Counter* rows_ingested = nullptr;
+
+  ~Rep() {
+    for (auto& s : shards) {
+      if (!s->writer.joinable()) continue;
+      {
+        common::MutexLock lock(s->ingest_mu);
+        s->stop = true;
+        s->work_cv.NotifyAll();
+      }
+      s->writer.join();
+    }
+  }
+
+  size_t ShardIdOfRun(std::string_view run_id) const {
+    return nshards == 1 ? 0 : RunShardHash(run_id) % nshards;
+  }
+
+  size_t ShardIdOfSym(SymbolId run) const {
+    if (nshards == 1) return 0;
+    if (run == common::kNoSymbol || run >= db->symbols().size()) return 0;
+    return ShardIdOfRun(db->symbols().NameOf(run));
+  }
+
+  Shard* ShardForRun(std::string_view run_id) {
+    return shards[ShardIdOfRun(run_id)].get();
+  }
+
+  Shard* ShardForSym(SymbolId run) { return shards[ShardIdOfSym(run)].get(); }
+
+  /// Appends one row to the shared WAL (no-op when detached), flushing
+  /// the symbol-definition tail first. Called with the shard's data_mu
+  /// held exclusively; wal_mu nests inside it.
+  Status LogShared(uint8_t tag, const Row& row) EXCLUDES(wal_mu) {
+    common::MutexLock lock(wal_mu);
+    if (shared_wal == nullptr) return Status::OK();
+    const common::SymbolTable& symbols = db->symbols();
+    while (shared_wal_syms < symbols.size()) {
+      storage::BinaryWriter w;
+      w.WriteU8(kTagSymbol);
+      w.WriteString(symbols.NameOf(static_cast<SymbolId>(shared_wal_syms)));
+      PROVLIN_RETURN_IF_ERROR(shared_wal->Append(w.buffer()));
+      ++shared_wal_syms;
+    }
+    storage::BinaryWriter w;
+    w.WriteU8(tag);
+    w.WriteRow(row);
+    return shared_wal->Append(w.buffer());
+  }
+
+  /// Same for a run-deletion record (string payload, no symbol flush —
+  /// the record carries the run id verbatim).
+  Status LogSharedDelete(const std::string& run_id) EXCLUDES(wal_mu) {
+    common::MutexLock lock(wal_mu);
+    if (shared_wal == nullptr) return Status::OK();
+    storage::BinaryWriter w;
+    w.WriteU8(kTagDeleteRun);
+    w.WriteString(run_id);
+    return shared_wal->Append(w.buffer());
+  }
+
+  /// WAL append + table insert of one pending row, on `s`.
+  Status Apply(Shard* s, const Shard::Pending& p) REQUIRES(s->data_mu) {
+    if (s->owned_wal.has_value()) {
+      const common::SymbolTable& symbols = db->symbols();
+      while (s->wal_syms_logged < symbols.size()) {
+        storage::BinaryWriter w;
+        w.WriteU8(kTagSymbol);
+        w.WriteString(
+            symbols.NameOf(static_cast<SymbolId>(s->wal_syms_logged)));
+        PROVLIN_RETURN_IF_ERROR(s->owned_wal->Append(w.buffer()));
+        ++s->wal_syms_logged;
+      }
+      storage::BinaryWriter w;
+      w.WriteU8(p.tag);
+      w.WriteRow(p.row);
+      PROVLIN_RETURN_IF_ERROR(s->owned_wal->Append(w.buffer()));
+    }
+    PROVLIN_RETURN_IF_ERROR(LogShared(p.tag, p.row));
+    PROVLIN_RETURN_IF_ERROR(s->TableFor(p.tag)->Insert(p.row).status());
+    s->rows_ctr->Increment();
+    rows_ingested->Increment();
+    return Status::OK();
+  }
+
+  /// Routes one write: enqueue for the shard's writer thread (async) or
+  /// apply inline under the shard's exclusive lock (sync).
+  Status EnqueueOrApply(Shard* s, uint8_t tag, Row row) {
+    if (async) {
+      common::MutexLock lock(s->ingest_mu);
+      PROVLIN_RETURN_IF_ERROR(s->ingest_status);
+      while (s->queue.size() >= kMaxQueuedRows && !s->stop) {
+        s->space_cv.Wait(s->ingest_mu);
+      }
+      PROVLIN_RETURN_IF_ERROR(s->ingest_status);
+      s->queue.push_back({tag, std::move(row)});
+      ++s->enqueued;
+      s->work_cv.NotifyOne();
+      return Status::OK();
+    }
+    common::WriterLock data(s->data_mu);
+    return Apply(s, {tag, std::move(row)});
+  }
+
+  /// Read barrier: waits until everything enqueued on `s` before this
+  /// call has been applied, then reports the shard's latched status.
+  Status Drain(Shard* s) const {
+    if (!async) return Status::OK();
+    common::MutexLock lock(s->ingest_mu);
+    const uint64_t target = s->enqueued;
+    while (s->applied < target) s->drained_cv.Wait(s->ingest_mu);
+    return s->ingest_status;
+  }
+
+  /// Dedicated writer: drains the queue in batches, holding the shard's
+  /// exclusive data lock only while applying.
+  void WriterLoop(Shard* s) {
+    for (;;) {
+      std::deque<Shard::Pending> batch;
+      {
+        common::MutexLock lock(s->ingest_mu);
+        while (s->queue.empty() && !s->stop) s->work_cv.Wait(s->ingest_mu);
+        if (s->queue.empty() && s->stop) return;
+        batch.swap(s->queue);
+        s->space_cv.NotifyAll();
+      }
+      Status st = Status::OK();
+      {
+        common::WriterLock data(s->data_mu);
+        for (const Shard::Pending& p : batch) {
+          if (st.ok()) st = Apply(s, p);
+        }
+      }
+      {
+        common::MutexLock lock(s->ingest_mu);
+        s->applied += batch.size();
+        if (!st.ok() && s->ingest_status.ok()) s->ingest_status = st;
+        s->drained_cv.NotifyAll();
+      }
+    }
+  }
+};
+
+namespace {
+
+/// Row migration between shard layouts: moves every row to the shard
+/// its run hashes to under `to` shards, then drops emptied surplus
+/// tables and rewrites shard_meta. Runs single-threaded on a store
+/// that is not yet (or no longer) serving.
+Status ReshardDatabase(storage::Database* db, size_t from, size_t to) {
+  for (size_t k = 0; k < to; ++k) {
+    PROVLIN_RETURN_IF_ERROR(EnsureShardTables(db, k));
+  }
+  const char* bases[] = {tables::kRuns, tables::kVal, tables::kXform,
+                         tables::kXfer};
+  const size_t all = from > to ? from : to;
+  for (size_t s = 0; s < all; ++s) {
+    for (const char* base : bases) {
+      auto src_r = db->GetTable(ShardTableName(base, s));
+      if (!src_r.ok()) continue;
+      Table* src = src_r.value();
+      std::vector<std::pair<uint64_t, size_t>> moves;  // rid -> target shard
+      for (uint64_t rid : src->FullScan()) {
+        PROVLIN_ASSIGN_OR_RETURN(Row row, src->Get(rid));
+        const std::string& run_name =
+            std::strcmp(base, tables::kRuns) == 0
+                ? row[0].AsString()
+                : db->symbols().NameOf(SymOf(row[0]));
+        size_t target = RunShardHash(run_name) % to;
+        if (target != s) moves.push_back({rid, target});
+      }
+      for (const auto& [rid, target] : moves) {
+        PROVLIN_ASSIGN_OR_RETURN(Row row, src->Get(rid));
+        PROVLIN_ASSIGN_OR_RETURN(Table * dst,
+                                 db->GetTable(ShardTableName(base, target)));
+        PROVLIN_RETURN_IF_ERROR(dst->Insert(row).status());
+        PROVLIN_RETURN_IF_ERROR(src->Delete(rid));
+      }
+    }
+  }
+  for (size_t s = to; s < from; ++s) {
+    for (const char* base : bases) {
+      PROVLIN_RETURN_IF_ERROR(db->DropTable(ShardTableName(base, s)));
+    }
+  }
+  return WriteShardMeta(db, to);
+}
+
+/// Deletes every row of `run_id` from one shard's tables (replay-side
+/// twin of TraceStore::DeleteRun's sweep).
+Result<size_t> SweepRunRows(storage::Database* db, size_t shard,
+                            const std::string& run_id) {
+  size_t removed = 0;
+  PROVLIN_ASSIGN_OR_RETURN(
+      Table * runs, db->GetTable(ShardTableName(tables::kRuns, shard)));
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  for (uint64_t rid : run_rows) {
+    PROVLIN_RETURN_IF_ERROR(runs->Delete(rid));
+    ++removed;
+  }
+  std::optional<SymbolId> run_sym = db->symbols().Lookup(run_id);
+  if (run_sym.has_value()) {
+    Datum run_datum = SymDatum(*run_sym);
+    for (const char* base : {tables::kVal, tables::kXform, tables::kXfer}) {
+      PROVLIN_ASSIGN_OR_RETURN(Table * table,
+                               db->GetTable(ShardTableName(base, shard)));
+      std::vector<uint64_t> to_delete;
+      for (uint64_t rid : table->FullScan()) {
+        PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
+        if (row[0] == run_datum) to_delete.push_back(rid);
+      }
+      for (uint64_t rid : to_delete) {
+        PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
+        ++removed;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / lifecycle
+// ---------------------------------------------------------------------------
+
+TraceStore::TraceStore(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+TraceStore::TraceStore(TraceStore&& other) noexcept = default;
+TraceStore& TraceStore::operator=(TraceStore&& other) noexcept = default;
+TraceStore::~TraceStore() = default;
+
+Result<TraceStore> TraceStore::Open(storage::Database* db) {
+  return Open(db, TraceStoreOptions{});
+}
+
+Result<TraceStore> TraceStore::Open(storage::Database* db,
+                                    const TraceStoreOptions& options) {
+  size_t requested = options.shards;
+  PROVLIN_ASSIGN_OR_RETURN(size_t existing, DetectShardCount(*db));
+  if (requested == 0) {
+    if (existing > 0) {
+      requested = existing;
+    } else if (const char* env = std::getenv("PROVLIN_TEST_SHARDS");
+               env != nullptr && env[0] != '\0') {
+      int n = std::atoi(env);
+      requested = n >= 1 ? static_cast<size_t>(n) : 1;
+    } else {
+      requested = 1;
+    }
+  }
+  if (existing == 0) {
+    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db, requested));
+  } else if (existing != requested) {
+    PROVLIN_RETURN_IF_ERROR(ReshardDatabase(db, existing, requested));
+  }
+
+  auto rep = std::make_unique<Rep>();
+  rep->db = db;
+  rep->nshards = requested;
+  rep->async = options.async_ingest;
+  rep->rows_ingested =
+      common::metrics::GetCounter("provenance/rows_ingested");
+  common::metrics::GetGauge("provenance/shards")
+      ->Set(static_cast<int64_t>(requested));
+
+  int64_t max_seq = -1;
+  for (size_t k = 0; k < requested; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = k;
+    PROVLIN_ASSIGN_OR_RETURN(
+        shard->runs, db->GetTable(ShardTableName(tables::kRuns, k)));
+    PROVLIN_ASSIGN_OR_RETURN(shard->val,
+                             db->GetTable(ShardTableName(tables::kVal, k)));
+    PROVLIN_ASSIGN_OR_RETURN(
+        shard->xform, db->GetTable(ShardTableName(tables::kXform, k)));
+    PROVLIN_ASSIGN_OR_RETURN(
+        shard->xfer, db->GetTable(ShardTableName(tables::kXfer, k)));
+    const std::string prefix = "provenance/shard" + std::to_string(k);
+    shard->rows_ctr = common::metrics::GetCounter(prefix + "/rows");
+    shard->probes_ctr = common::metrics::GetCounter(prefix + "/probes");
+    for (uint64_t rid : shard->runs->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, shard->runs->Get(rid));
+      if (row[2].AsInt() > max_seq) max_seq = row[2].AsInt();
+    }
+    rep->shards.push_back(std::move(shard));
+  }
+  {
+    common::MutexLock lock(rep->run_mu);
+    rep->next_run_seq = max_seq + 1;
+  }
+  if (requested > 1) {
+    rep->fanout = std::make_unique<common::ThreadPool>(
+        requested < 8 ? requested : size_t{8});
+  }
+  if (rep->async) {
+    Rep* raw = rep.get();
+    for (auto& shard : rep->shards) {
+      shard->writer = std::thread([raw, s = shard.get()] {
+        raw->WriterLoop(s);
+      });
+    }
+  }
+  return TraceStore(std::move(rep));
+}
+
+size_t TraceStore::shard_count() const { return rep_->nshards; }
+
+size_t TraceStore::ShardOfRun(std::string_view run_id) const {
+  return rep_->ShardIdOfRun(run_id);
+}
+
+Status TraceStore::Flush() {
+  Status first = Status::OK();
+  for (auto& shard : rep_->shards) {
+    Status st = rep_->Drain(shard.get());
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
+storage::Database* TraceStore::db() { return rep_->db; }
+const storage::Database* TraceStore::db() const { return rep_->db; }
+
+// ---------------------------------------------------------------------------
+// Dictionaries
+// ---------------------------------------------------------------------------
+
+SymbolId TraceStore::Intern(std::string_view name) const {
+  return rep_->db->symbols().Intern(name);
+}
+
+std::optional<SymbolId> TraceStore::LookupSymbol(std::string_view name) const {
+  return rep_->db->symbols().Lookup(name);
+}
+
+const std::string& TraceStore::NameOf(SymbolId id) const {
+  return rep_->db->symbols().NameOf(id);
+}
+
+IndexId TraceStore::InternIndex(const Index& index) const {
+  return rep_->db->index_dict().Intern(index.parts());
+}
+
+// ---------------------------------------------------------------------------
+// WAL attach / replay
+// ---------------------------------------------------------------------------
+
+void TraceStore::AttachWal(storage::WriteAheadLog* wal) {
+  common::MutexLock lock(rep_->wal_mu);
+  rep_->shared_wal = wal;
+}
+
+Status TraceStore::AttachWalFiles(const std::string& base) {
+  for (auto& shard : rep_->shards) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        storage::WriteAheadLog wal,
+        storage::WriteAheadLog::Open(storage::ShardWalPath(base, shard->id)));
+    common::WriterLock data(shard->data_mu);
+    shard->owned_wal.emplace(std::move(wal));
+  }
+  if (rep_->nshards > 1) {
+    PROVLIN_RETURN_IF_ERROR(storage::WriteWalManifest(base, rep_->nshards));
+  }
+  return Status::OK();
+}
+
+Result<size_t> TraceStore::ReplayWal(const std::string& wal_path,
+                                     storage::Database* db, size_t shards) {
+  auto manifest = storage::ReadWalManifest(wal_path);
+  const size_t wal_shards = manifest.ok() ? manifest.value() : 1;
+
+  PROVLIN_ASSIGN_OR_RETURN(size_t existing, DetectShardCount(*db));
+  size_t target = shards;
+  if (target == 0) target = existing > 0 ? existing : wal_shards;
+  if (existing == 0) {
+    PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db, target));
+  } else if (existing != target) {
+    PROVLIN_RETURN_IF_ERROR(ReshardDatabase(db, existing, target));
+  }
+
+  size_t applied = 0;
+  for (size_t k = 0; k < wal_shards; ++k) {
+    const std::string path = storage::ShardWalPath(wal_path, k);
+    if (k > 0) {
+      // A shard file can legitimately be missing if the manifest was
+      // written but that shard crashed before creating its log.
+      std::ifstream probe(path, std::ios::binary);
+      if (!probe) continue;
+    }
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                             storage::WriteAheadLog::Replay(path));
+    for (const std::string& record : records) {
+      storage::BinaryReader r(record);
+      PROVLIN_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+      if (tag == kTagSymbol) {
+        PROVLIN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        db->symbols().Intern(name);
+        continue;
+      }
+      if (tag == kTagDeleteRun) {
+        // Replay-skip: sweep the deleted run's rows out of its owning
+        // shard, exactly as the live DeleteRun did.
+        PROVLIN_ASSIGN_OR_RETURN(std::string run_id, r.ReadString());
+        size_t owner = target == 1 ? 0 : RunShardHash(run_id) % target;
+        PROVLIN_RETURN_IF_ERROR(SweepRunRows(db, owner, run_id).status());
+        continue;
+      }
+      if (tag > kTagXfer) {
+        return Status::Corruption("bad WAL table tag " + std::to_string(tag));
+      }
+      PROVLIN_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+      // Route by the row's run under the *target* layout, so replaying
+      // into a differently-sharded database reshards on the fly.
+      const std::string& run_name =
+          tag == kTagRuns ? row[0].AsString()
+                          : db->symbols().NameOf(SymOf(row[0]));
+      size_t owner = target == 1 ? 0 : RunShardHash(run_name) % target;
+      const char* base = tag == kTagRuns  ? tables::kRuns
+                         : tag == kTagVal ? tables::kVal
+                         : tag == kTagXform ? tables::kXform
+                                            : tables::kXfer;
+      PROVLIN_ASSIGN_OR_RETURN(Table * table,
+                               db->GetTable(ShardTableName(base, owner)));
+      PROVLIN_RETURN_IF_ERROR(table->Insert(row).status());
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Write side
+// ---------------------------------------------------------------------------
+
+Status TraceStore::InsertRun(const std::string& run_id,
+                             const std::string& workflow) {
+  Rep* rep = rep_.get();
+  Shard* s = rep->ShardForRun(run_id);
+  // Maintenance ops are synchronous: barrier the shard so the WAL keeps
+  // enqueue order, then write under its exclusive lock.
+  PROVLIN_RETURN_IF_ERROR(rep->Drain(s));
+  int64_t seq = 0;
+  {
+    common::MutexLock lock(rep->run_mu);
+    seq = rep->next_run_seq++;
+  }
+  common::WriterLock data(s->data_mu);
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> existing,
+      s->runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (!existing.empty()) {
+    return Status::AlreadyExists("run '" + run_id + "' already recorded");
+  }
+  return rep->Apply(s, {kTagRuns, Row{Datum(run_id), Datum(workflow),
+                                      Datum(seq)}});
+}
+
+Result<int64_t> TraceStore::InternValue(const std::string& run_id,
+                                        const std::string& repr) {
+  // Interning is an in-memory write-path optimization: ids are unique per
+  // run, and a freshly opened store only ever writes new runs.
+  Rep* rep = rep_.get();
+  SymbolId run = Intern(run_id);
+  Shard* s = rep->ShardForRun(run_id);
+  common::MutexLock lock(s->ingest_mu);
+  PROVLIN_RETURN_IF_ERROR(s->ingest_status);
+  auto key = std::make_pair(run, repr);
+  auto it = s->intern_cache.find(key);
+  if (it != s->intern_cache.end()) return it->second;
+  int64_t id = static_cast<int64_t>(s->next_value_id[run]++);
+  Row row{SymDatum(run), Datum(id), Datum(repr)};
+  if (rep->async) {
+    while (s->queue.size() >= kMaxQueuedRows && !s->stop) {
+      s->space_cv.Wait(s->ingest_mu);
+    }
+    PROVLIN_RETURN_IF_ERROR(s->ingest_status);
+    s->queue.push_back({kTagVal, std::move(row)});
+    ++s->enqueued;
+    s->work_cv.NotifyOne();
+  } else {
+    // Lock order: ingest_mu nests outside data_mu (§11 lock table).
+    common::WriterLock data(s->data_mu);
+    PROVLIN_RETURN_IF_ERROR(rep->Apply(s, {kTagVal, std::move(row)}));
+  }
+  s->intern_cache[key] = id;
+  return id;
+}
+
+Status TraceStore::InsertXform(const XformRecord& rec) {
+  static auto* rows = common::metrics::GetCounter("provenance/xform_rows");
+  rows->Increment();
+  Row row(8);
+  row[xform_col::kRun] = SymDatum(rec.run);
+  row[xform_col::kEvent] = Datum(rec.event_id);
+  if (rec.has_in) {
+    row[xform_col::kIn] = Datum(IdPair{rec.processor, rec.in_port});
+    row[xform_col::kInIndex] = Datum(IndexPath(rec.in_index.parts()));
+    row[xform_col::kInValue] = Datum(rec.in_value);
+  }
+  if (rec.has_out) {
+    row[xform_col::kOut] = Datum(IdPair{rec.processor, rec.out_port});
+    row[xform_col::kOutIndex] = Datum(IndexPath(rec.out_index.parts()));
+    row[xform_col::kOutValue] = Datum(rec.out_value);
+  }
+  Shard* s = rep_->ShardForSym(rec.run);
+  return rep_->EnqueueOrApply(s, kTagXform, std::move(row));
+}
+
+Status TraceStore::InsertXfer(const XferRecord& rec) {
+  static auto* rows = common::metrics::GetCounter("provenance/xfer_rows");
+  rows->Increment();
+  Row row{SymDatum(rec.run),
+          Datum(IdPair{rec.src_proc, rec.src_port}),
+          Datum(IndexPath(rec.src_index.parts())),
+          Datum(IdPair{rec.dst_proc, rec.dst_port}),
+          Datum(IndexPath(rec.dst_index.parts())),
+          Datum(rec.value_id)};
+  Shard* s = rep_->ShardForSym(rec.run);
+  return rep_->EnqueueOrApply(s, kTagXfer, std::move(row));
+}
+
+Result<size_t> TraceStore::DeleteRun(const std::string& run_id) {
+  Rep* rep = rep_.get();
+  Shard* s = rep->ShardForRun(run_id);
+  PROVLIN_RETURN_IF_ERROR(rep->Drain(s));
+  std::optional<SymbolId> run_sym = LookupSymbol(run_id);
+  // Drop the write-path caches for the deleted run so a future run may
+  // reuse the id with fresh value ids. (The symbol itself is
+  // append-only and survives; ids must stay stable for other runs.)
+  // Done before taking data_mu: ingest_mu never nests inside it.
+  if (run_sym.has_value()) {
+    common::MutexLock lock(s->ingest_mu);
+    s->next_value_id.erase(*run_sym);
+    for (auto it = s->intern_cache.begin(); it != s->intern_cache.end();) {
+      if (it->first.first == *run_sym) {
+        it = s->intern_cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  common::WriterLock data(s->data_mu);
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      s->runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (run_rows.empty()) {
+    return Status::NotFound("run '" + run_id + "' not recorded");
+  }
+  size_t removed = 0;
+  for (uint64_t rid : run_rows) {
+    PROVLIN_RETURN_IF_ERROR(s->runs->Delete(rid));
+    ++removed;
+  }
+  // The trace tables key everything by the run symbol in column 0; a run
+  // that never minted a symbol has no trace rows to sweep.
+  if (run_sym.has_value()) {
+    Datum run_datum = SymDatum(*run_sym);
+    for (Table* table : {s->val, s->xform, s->xfer}) {
+      std::vector<uint64_t> to_delete;
+      for (uint64_t rid : table->FullScan()) {
+        PROVLIN_ASSIGN_OR_RETURN(Row row, table->Get(rid));
+        if (row[0] == run_datum) to_delete.push_back(rid);
+      }
+      for (uint64_t rid : to_delete) {
+        PROVLIN_RETURN_IF_ERROR(table->Delete(rid));
+        ++removed;
+      }
+    }
+  }
+  // Deletion touches only the owning shard's WAL: its replay sweeps the
+  // run back out, and no other shard's log ever mentions this run.
+  if (s->owned_wal.has_value()) {
+    storage::BinaryWriter w;
+    w.WriteU8(kTagDeleteRun);
+    w.WriteString(run_id);
+    PROVLIN_RETURN_IF_ERROR(s->owned_wal->Append(w.buffer()));
+  }
+  PROVLIN_RETURN_IF_ERROR(rep->LogSharedDelete(run_id));
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Read side
+// ---------------------------------------------------------------------------
+
+Result<std::string> TraceStore::RunWorkflow(const std::string& run_id) const {
+  Shard* s = rep_->ShardForRun(run_id);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  common::ReaderLock data(s->data_mu);
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      s->runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (run_rows.empty()) {
+    return Status::NotFound("run '" + run_id + "' not recorded");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(Row row, s->runs->Get(run_rows.front()));
+  return row[1].AsString();
+}
+
+Result<std::vector<std::string>> TraceStore::ListRuns() const {
+  // Single shard: pure insertion (rid) order — the legacy behavior,
+  // including for pre-sharding images whose seq column may repeat.
+  if (rep_->nshards == 1) {
+    Shard* s = rep_->shards[0].get();
+    PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+    common::ReaderLock data(s->data_mu);
+    std::vector<std::string> out;
+    for (uint64_t rid : s->runs->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, s->runs->Get(rid));
+      out.push_back(row[0].AsString());
+    }
+    return out;
+  }
+  // Sharded: merge by the global run sequence number.
+  std::vector<std::pair<int64_t, std::string>> acc;
+  for (auto& shard : rep_->shards) {
+    Shard* s = shard.get();
+    PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+    common::ReaderLock data(s->data_mu);
+    for (uint64_t rid : s->runs->FullScan()) {
+      PROVLIN_ASSIGN_OR_RETURN(Row row, s->runs->Get(rid));
+      acc.emplace_back(row[2].AsInt(), row[0].AsString());
+    }
+  }
+  std::stable_sort(acc.begin(), acc.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> out;
+  out.reserve(acc.size());
+  for (auto& [seq, id] : acc) out.push_back(std::move(id));
+  return out;
+}
+
+ProbeMemoScope::ProbeMemoScope(ProbeMemo* memo) : prev_(g_active_probe_memo) {
+  g_active_probe_memo = memo;
+}
+
+ProbeMemoScope::~ProbeMemoScope() { g_active_probe_memo = prev_; }
+
+ProbeMemo* ProbeMemoScope::Active() { return g_active_probe_memo; }
 
 template <typename Record>
 Result<std::vector<Record>> TraceStore::FindOneImpl(
@@ -435,10 +978,16 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
       return *it->second;
     }
   }
+  Shard* s = rep_->ShardForSym(run);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  s->probes_ctr->Increment();
   std::vector<Record> out;
-  PROVLIN_RETURN_IF_ERROR(
-      OverlapProbe(table, run, pair_col, pair, index_col, idx,
-                   [&](const Row& row) { out.push_back(decode(row)); }));
+  {
+    common::ReaderLock data(s->data_mu);
+    PROVLIN_RETURN_IF_ERROR(
+        OverlapProbe(s->ProbeTableFor(table), run, pair_col, pair, index_col,
+                     idx, [&](const Row& row) { out.push_back(decode(row)); }));
+  }
   if (memo != nullptr) {
     auto cached = std::make_shared<const std::vector<Record>>(out);
     common::MutexLock lock(memo->mu_);
@@ -450,7 +999,7 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
 template <typename Record>
 Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
     int kind, const char* table, const char* pair_col, const char* index_col,
-    Record (*decode)(const storage::Row&), SymbolId run,
+    Record (*decode)(const storage::Row&),
     const std::vector<PortProbe>& probes) const {
   PROVLIN_TRACE_SPAN_VAR(span, "trace/find_batch");
   if (span.active()) {
@@ -467,7 +1016,7 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
   } else {
     keys.reserve(probes.size());
     for (const PortProbe& p : probes) {
-      keys.push_back(ProbeMemo::Key{kind, run,
+      keys.push_back(ProbeMemo::Key{kind, p.run,
                                     IdPair{p.processor, p.port}.Packed(),
                                     InternIndex(p.index)});
     }
@@ -492,20 +1041,91 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
   }
   if (misses.empty()) return results;
 
-  // When every probe missed (always true without a memo), probe the
-  // store with the caller's vector directly — copying PortProbes costs
-  // one heap allocation each for the embedded Index.
-  std::vector<PortProbe> miss_probes;
-  if (misses.size() < probes.size()) {
-    miss_probes.reserve(misses.size());
-    for (size_t i : misses) miss_probes.push_back(probes[i]);
+  // Group the missed probes by owning shard, preserving probe order
+  // inside each group. With one shard (or one run) this is a single
+  // group executed inline — the pre-sharding fast path, bit for bit.
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i : misses) {
+    groups[rep_->ShardIdOfSym(probes[i].run)].push_back(i);
   }
-  PROVLIN_RETURN_IF_ERROR(OverlapProbeBatch(
-      table, run, pair_col, index_col,
-      miss_probes.empty() ? probes : miss_probes,
-      [&](size_t m, const Row& row) {
-        results[misses[m]].push_back(decode(row));
-      }));
+
+  // Executes one shard's sub-batch; results land directly in the
+  // caller-ordered slots, so the merge is the index mapping itself.
+  auto run_group = [&](size_t shard_id,
+                       const std::vector<size_t>& idxs) -> Status {
+    Shard* s = rep_->shards[shard_id].get();
+    PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+    s->probes_ctr->Add(idxs.size());
+    std::vector<PortProbe> sub;
+    const std::vector<PortProbe>* batch = &probes;
+    if (idxs.size() != probes.size()) {
+      sub.reserve(idxs.size());
+      for (size_t i : idxs) sub.push_back(probes[i]);
+      batch = &sub;
+    }
+    common::ReaderLock data(s->data_mu);
+    return OverlapProbeBatch(s->ProbeTableFor(table), pair_col, index_col,
+                             *batch, [&](size_t m, const Row& row) {
+                               results[idxs[m]].push_back(decode(row));
+                             });
+  };
+
+  if (groups.size() <= 1) {
+    for (const auto& [shard_id, idxs] : groups) {
+      PROVLIN_RETURN_IF_ERROR(run_group(shard_id, idxs));
+    }
+  } else {
+    // Fan the per-shard sub-batches out over the store's pool. Each task
+    // writes disjoint result slots; probe/descent deltas harvested from
+    // the worker's thread-local stats are credited back to the caller so
+    // cost attribution stays identical to inline execution.
+    struct GroupOutcome {
+      Status status;
+      storage::ThreadStats delta;
+    };
+    std::vector<GroupOutcome> outcomes(groups.size());
+    FanLatch latch;
+    {
+      common::MutexLock lock(latch.mu);
+      latch.pending = groups.size();
+    }
+    size_t slot = 0;
+    for (const auto& [shard_id, idxs] : groups) {
+      const std::vector<size_t>* idxs_p = &idxs;
+      const size_t my_slot = slot++;
+      const size_t my_shard = shard_id;
+      rep_->fanout->Submit([&, idxs_p, my_slot, my_shard]() {
+        storage::ThreadStats& mine = storage::ThisThreadStats();
+        const storage::ThreadStats before = mine;
+        GroupOutcome& out = outcomes[my_slot];
+        out.status = run_group(my_shard, *idxs_p);
+        const storage::ThreadStats after = mine;
+        out.delta.index_probes = after.index_probes - before.index_probes;
+        out.delta.full_scans = after.full_scans - before.full_scans;
+        out.delta.rows_examined = after.rows_examined - before.rows_examined;
+        out.delta.batched_probes = after.batched_probes - before.batched_probes;
+        out.delta.descents = after.descents - before.descents;
+        common::MutexLock lock(latch.mu);
+        if (--latch.pending == 0) latch.cv.NotifyAll();
+      });
+    }
+    {
+      common::MutexLock lock(latch.mu);
+      while (latch.pending > 0) latch.cv.Wait(latch.mu);
+    }
+    storage::ThreadStats& mine = storage::ThisThreadStats();
+    Status first = Status::OK();
+    for (const GroupOutcome& out : outcomes) {
+      mine.index_probes += out.delta.index_probes;
+      mine.full_scans += out.delta.full_scans;
+      mine.rows_examined += out.delta.rows_examined;
+      mine.batched_probes += out.delta.batched_probes;
+      mine.descents += out.delta.descents;
+      if (first.ok() && !out.status.ok()) first = out.status;
+    }
+    PROVLIN_RETURN_IF_ERROR(first);
+  }
+
   if (memo != nullptr) {
     common::MutexLock lock(memo->mu_);
     auto& map = memo->MapFor<Record>();
@@ -526,27 +1146,27 @@ Result<std::vector<XformRecord>> TraceStore::FindProducing(
 }
 
 Result<std::vector<std::vector<XformRecord>>> TraceStore::FindProducingBatch(
-    SymbolId run, const std::vector<PortProbe>& probes) const {
+    const std::vector<PortProbe>& probes) const {
   return FindBatchImpl<XformRecord>(kKindProducing, tables::kXform, "out",
-                                    "out_index", &DecodeXform, run, probes);
+                                    "out_index", &DecodeXform, probes);
 }
 
 Result<std::vector<std::vector<XformRecord>>> TraceStore::FindConsumingBatch(
-    SymbolId run, const std::vector<PortProbe>& probes) const {
+    const std::vector<PortProbe>& probes) const {
   return FindBatchImpl<XformRecord>(kKindConsuming, tables::kXform, "in",
-                                    "in_index", &DecodeXform, run, probes);
+                                    "in_index", &DecodeXform, probes);
 }
 
 Result<std::vector<std::vector<XferRecord>>> TraceStore::FindXfersIntoBatch(
-    SymbolId run, const std::vector<PortProbe>& probes) const {
+    const std::vector<PortProbe>& probes) const {
   return FindBatchImpl<XferRecord>(kKindXferInto, tables::kXfer, "dst",
-                                   "dst_index", &DecodeXfer, run, probes);
+                                   "dst_index", &DecodeXfer, probes);
 }
 
 Result<std::vector<std::vector<XferRecord>>> TraceStore::FindXfersFromBatch(
-    SymbolId run, const std::vector<PortProbe>& probes) const {
+    const std::vector<PortProbe>& probes) const {
   return FindBatchImpl<XferRecord>(kKindXferFrom, tables::kXfer, "src",
-                                   "src_index", &DecodeXfer, run, probes);
+                                   "src_index", &DecodeXfer, probes);
 }
 
 Result<std::vector<XformRecord>> TraceStore::FindProducing(
@@ -616,9 +1236,11 @@ Result<std::vector<XformRecord>> TraceStore::ScanXforms(
   std::optional<SymbolId> run_sym = LookupSymbol(run);
   if (!run_sym.has_value()) return out;
   Datum run_datum = SymDatum(*run_sym);
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
-  for (uint64_t rid : xform->FullScan()) {
-    PROVLIN_ASSIGN_OR_RETURN(Row row, xform->Get(rid));
+  Shard* s = rep_->ShardForRun(run);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  common::ReaderLock data(s->data_mu);
+  for (uint64_t rid : s->xform->FullScan()) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, s->xform->Get(rid));
     if (row[0] == run_datum) out.push_back(DecodeXform(row));
   }
   return out;
@@ -630,9 +1252,11 @@ Result<std::vector<XferRecord>> TraceStore::ScanXfers(
   std::optional<SymbolId> run_sym = LookupSymbol(run);
   if (!run_sym.has_value()) return out;
   Datum run_datum = SymDatum(*run_sym);
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
-  for (uint64_t rid : xfer->FullScan()) {
-    PROVLIN_ASSIGN_OR_RETURN(Row row, xfer->Get(rid));
+  Shard* s = rep_->ShardForRun(run);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  common::ReaderLock data(s->data_mu);
+  for (uint64_t rid : s->xfer->FullScan()) {
+    PROVLIN_ASSIGN_OR_RETURN(Row row, s->xfer->Get(rid));
     if (row[0] == run_datum) out.push_back(DecodeXfer(row));
   }
   return out;
@@ -640,15 +1264,17 @@ Result<std::vector<XferRecord>> TraceStore::ScanXfers(
 
 Result<std::string> TraceStore::GetValueRepr(SymbolId run,
                                              int64_t value_id) const {
-  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
+  Shard* s = rep_->ShardForSym(run);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  common::ReaderLock data(s->data_mu);
   PROVLIN_ASSIGN_OR_RETURN(
       std::vector<uint64_t> rids,
-      val->IndexLookup(indexes::kValById, {SymDatum(run), Datum(value_id)}));
+      s->val->IndexLookup(indexes::kValById, {SymDatum(run), Datum(value_id)}));
   if (rids.empty()) {
     return Status::NotFound("no value " + std::to_string(value_id) +
                             " in run '" + NameOf(run) + "'");
   }
-  PROVLIN_ASSIGN_OR_RETURN(Row row, val->Get(rids.front()));
+  PROVLIN_ASSIGN_OR_RETURN(Row row, s->val->Get(rids.front()));
   return row[2].AsString();
 }
 
@@ -673,9 +1299,9 @@ Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
   std::optional<SymbolId> run_sym = LookupSymbol(run);
   if (!run_sym.has_value()) return counts;
   Datum run_datum = SymDatum(*run_sym);
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
-  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
+  Shard* s = rep_->ShardForRun(run);
+  PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+  common::ReaderLock data(s->data_mu);
   auto count_in = [&](const Table* t) -> Result<size_t> {
     size_t n = 0;
     for (uint64_t rid : t->FullScan()) {
@@ -684,20 +1310,22 @@ Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
     }
     return n;
   };
-  PROVLIN_ASSIGN_OR_RETURN(counts.xform_rows, count_in(xform));
-  PROVLIN_ASSIGN_OR_RETURN(counts.xfer_rows, count_in(xfer));
-  PROVLIN_ASSIGN_OR_RETURN(counts.value_rows, count_in(val));
+  PROVLIN_ASSIGN_OR_RETURN(counts.xform_rows, count_in(s->xform));
+  PROVLIN_ASSIGN_OR_RETURN(counts.xfer_rows, count_in(s->xfer));
+  PROVLIN_ASSIGN_OR_RETURN(counts.value_rows, count_in(s->val));
   return counts;
 }
 
 Result<TraceCounts> TraceStore::CountAllRecords() const {
   TraceCounts counts;
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xform, db_->GetTable(tables::kXform));
-  PROVLIN_ASSIGN_OR_RETURN(const Table* xfer, db_->GetTable(tables::kXfer));
-  PROVLIN_ASSIGN_OR_RETURN(const Table* val, db_->GetTable(tables::kVal));
-  counts.xform_rows = xform->num_rows();
-  counts.xfer_rows = xfer->num_rows();
-  counts.value_rows = val->num_rows();
+  for (auto& shard : rep_->shards) {
+    Shard* s = shard.get();
+    PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
+    common::ReaderLock data(s->data_mu);
+    counts.xform_rows += s->xform->num_rows();
+    counts.xfer_rows += s->xfer->num_rows();
+    counts.value_rows += s->val->num_rows();
+  }
   return counts;
 }
 

@@ -57,10 +57,14 @@ struct XferRecord {
   int64_t value_id = -1;
 };
 
-/// One probe of a batched lineage level: which (processor, port) pair is
-/// asked about, at which index. The same shape serves all four overlap
-/// probes (producing / consuming / xfer-into / xfer-from).
+/// One probe of a batched lineage level: which (processor, port) pair of
+/// which run is asked about, at which index. The same shape serves all
+/// four overlap probes (producing / consuming / xfer-into / xfer-from).
+/// Probes are run-qualified so one batch may span runs — and therefore
+/// shards: the store groups a batch by owning shard, fans the per-shard
+/// sub-batches out, and merges results back in probe order.
 struct PortProbe {
+  SymbolId run = common::kNoSymbol;
   SymbolId processor = common::kNoSymbol;
   SymbolId port = common::kNoSymbol;
   Index index;
@@ -138,19 +142,74 @@ struct TraceCounts {
   size_t TotalDependencyRecords() const { return xform_rows + xfer_rows; }
 };
 
-/// Typed query surface over the relational trace database. All reads go
-/// through the declarative SelectQuery layer, so every trace access uses
-/// an index (asserted by tests) — the property the paper's evaluation
-/// relies on.
+/// How a TraceStore is opened (DESIGN.md §11).
+struct TraceStoreOptions {
+  /// Number of run shards. 0 = auto: the count recorded in the database
+  /// image if one exists, else the PROVLIN_TEST_SHARDS environment
+  /// variable, else 1. An explicit count that differs from the image's
+  /// triggers resharding: rows migrate to the shard their run hashes to
+  /// under the new count.
+  size_t shards = 0;
+  /// When true, each shard runs a dedicated writer thread draining a
+  /// bounded ingest queue: Insert{Xform,Xfer} and value-row writes
+  /// enqueue and return, and WAL append + B+-tree insert happen on the
+  /// shard's writer. Errors latch per shard and surface on the next
+  /// Flush() (or any synchronous op on that shard). When false, writes
+  /// apply synchronously on the calling thread — the legacy behavior.
+  bool async_ingest = false;
+};
+
+/// Typed query surface over the relational trace database — since the
+/// run-sharding refactor, a routing facade over N physical shards
+/// (ShardedTraceStore in DESIGN.md §11). Each shard owns its own copy
+/// of the trace tables (and B+-trees), optionally its own WAL file and
+/// ingest queue + writer thread; a run's rows live wholly in the shard
+/// its id hashes to. Single-run operations route to the owning shard;
+/// the batch finders group probes by shard, fan per-shard MultiSeek
+/// sub-batches out over an internal pool, and merge results back in
+/// the caller's original probe order — so the lineage engines see
+/// byte-identical bindings at any shard count.
+///
+/// All reads go through the declarative SelectQuery layer, so every
+/// trace access uses an index (asserted by tests) — the property the
+/// paper's evaluation relies on.
 ///
 /// Identifier boundary: the hot query surface speaks SymbolIds; the
 /// string overloads are thin shims that resolve names once and delegate.
 /// A string that was never recorded simply yields empty results.
+///
+/// Thread safety: reads are safe concurrently with ingest — each shard
+/// guards its tables with a reader/writer lock, and every read first
+/// waits for the rows enqueued before it started (read-your-writes per
+/// shard). Maintenance ops (InsertRun, DeleteRun) are synchronous and
+/// serialize against the owning shard.
 class TraceStore {
  public:
   /// Wraps an existing database; creates the provenance schema if the
   /// tables are missing. The database must outlive the store.
   static Result<TraceStore> Open(storage::Database* db);
+  static Result<TraceStore> Open(storage::Database* db,
+                                 const TraceStoreOptions& options);
+
+  TraceStore(TraceStore&& other) noexcept;
+  TraceStore& operator=(TraceStore&& other) noexcept;
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+  /// Drains and joins any writer threads.
+  ~TraceStore();
+
+  // --- sharding -----------------------------------------------------------
+
+  /// Number of run shards this store routes over (≥ 1).
+  size_t shard_count() const;
+
+  /// Owning shard of a run id: RunShardHash(run_id) % shard_count().
+  size_t ShardOfRun(std::string_view run_id) const;
+
+  /// Drains every shard's ingest queue and returns the first latched
+  /// ingest error (resetting none — a failed store stays failed).
+  /// A no-op returning OK for synchronous stores.
+  Status Flush();
 
   // --- identifier dictionary ----------------------------------------------
 
@@ -173,17 +232,32 @@ class TraceStore {
 
   // --- write side (used by TraceRecorder) ---------------------------------
 
-  /// Attaches a write-ahead log: every subsequent trace-row insert is
-  /// logged (and flushed) before it reaches the tables, making capture
-  /// crash-safe. Pass nullptr to detach. The WAL must outlive the store.
-  void AttachWal(storage::WriteAheadLog* wal) { wal_ = wal; }
+  /// Attaches a single external write-ahead log shared by every shard:
+  /// subsequent trace-row inserts are logged (and flushed) before they
+  /// reach the tables, making capture crash-safe. Appends from multiple
+  /// shards serialize on an internal mutex. Pass nullptr to detach. The
+  /// WAL must outlive the store.
+  void AttachWal(storage::WriteAheadLog* wal);
+
+  /// Attaches one store-owned WAL file per shard under `base`: shard 0
+  /// logs to `base` itself (so an unsharded store produces exactly the
+  /// legacy single-file layout), shard k to storage::ShardWalPath(base,
+  /// k), and a manifest recording the shard count is written next to
+  /// them when the store has more than one shard. Writer threads append
+  /// to their own file without cross-shard contention.
+  Status AttachWalFiles(const std::string& base);
 
   /// Replays a WAL produced by a (possibly crashed) capture session into
   /// `db`, creating the provenance schema when missing. Returns the
   /// number of rows applied. Symbol-definition records re-intern names
-  /// in logged order, so replayed rows resolve to the same ids.
+  /// in logged order, so replayed rows resolve to the same ids. If a
+  /// manifest exists next to `wal_path`, every shard file it names is
+  /// replayed; rows route to the shard their run hashes to under the
+  /// target schema's shard count (`shards` = 0 keeps the schema already
+  /// in `db`, else the manifest's count, else 1), so replaying into a
+  /// differently-sharded database reshards on the fly.
   static Result<size_t> ReplayWal(const std::string& wal_path,
-                                  storage::Database* db);
+                                  storage::Database* db, size_t shards = 0);
 
   Status InsertRun(const std::string& run_id, const std::string& workflow);
 
@@ -191,7 +265,10 @@ class TraceStore {
   /// accumulate over many runs and old ones eventually get pruned).
   /// Returns the number of rows removed; NotFound when the run does not
   /// exist. Dictionary entries are append-only and survive (ids must
-  /// stay stable for other runs).
+  /// stay stable for other runs). Only the owning shard is touched: its
+  /// tables are swept, and a deletion record is appended to *its* WAL
+  /// only, so replay skips the deleted rows without rewriting other
+  /// shards' logs.
   Result<size_t> DeleteRun(const std::string& run_id);
 
   /// Workflow name a run was recorded under.
@@ -204,7 +281,8 @@ class TraceStore {
 
   // --- read side (used by the lineage engines) ----------------------------
 
-  /// All runs recorded, in insertion order.
+  /// All runs recorded, in insertion order (merged across shards by the
+  /// global run sequence number).
   Result<std::vector<std::string>> ListRuns() const;
 
   /// xform rows of `run`/`processor` whose OUT binding *overlaps* index
@@ -255,19 +333,21 @@ class TraceStore {
 
   // --- batched read side ---------------------------------------------------
   // Each batch variant answers probes[i] exactly as its single-probe
-  // counterpart would (same rows, same order), but flattens the whole
-  // batch into one ExecuteMultiSelect pass per trace table: sorted
-  // probes share B+-tree descents, so the physical descent count drops
-  // while the logical probe count stays identical.
+  // counterpart would (same rows, same order). Probes are run-qualified:
+  // the batch is grouped by owning shard, each shard group flattens into
+  // one ExecuteMultiSelect pass over that shard's trace table (sorted
+  // probes share B+-tree descents), groups spanning multiple shards run
+  // concurrently on the store's fan-out pool, and the CSR-style results
+  // merge back into the caller's original probe order.
 
   Result<std::vector<std::vector<XformRecord>>> FindProducingBatch(
-      SymbolId run, const std::vector<PortProbe>& probes) const;
+      const std::vector<PortProbe>& probes) const;
   Result<std::vector<std::vector<XformRecord>>> FindConsumingBatch(
-      SymbolId run, const std::vector<PortProbe>& probes) const;
+      const std::vector<PortProbe>& probes) const;
   Result<std::vector<std::vector<XferRecord>>> FindXfersIntoBatch(
-      SymbolId run, const std::vector<PortProbe>& probes) const;
+      const std::vector<PortProbe>& probes) const;
   Result<std::vector<std::vector<XferRecord>>> FindXfersFromBatch(
-      SymbolId run, const std::vector<PortProbe>& probes) const;
+      const std::vector<PortProbe>& probes) const;
 
   /// Raw per-run scans (exporters / graph builders; not query paths).
   Result<std::vector<XformRecord>> ScanXforms(const std::string& run) const;
@@ -279,39 +359,21 @@ class TraceStore {
                                    int64_t value_id) const;
   Result<Value> GetValue(const std::string& run, int64_t value_id) const;
 
-  /// Record counts for one run (full-table scan; used by benches and
-  /// EXPERIMENTS.md, not by query paths).
+  /// Record counts for one run (full-table scan of the owning shard;
+  /// used by benches and EXPERIMENTS.md, not by query paths).
   Result<TraceCounts> CountRecords(const std::string& run) const;
 
-  /// Aggregate counts across all runs.
+  /// Aggregate counts across all runs and shards.
   Result<TraceCounts> CountAllRecords() const;
 
-  storage::Database* db() { return db_; }
-  const storage::Database* db() const { return db_; }
+  storage::Database* db();
+  const storage::Database* db() const;
 
  private:
-  explicit TraceStore(storage::Database* db) : db_(db) {}
+  struct Rep;
+  struct Shard;
 
-  /// Runs an equality+overlap probe against `table` through independent
-  /// single ExecuteSelect calls: equality on (run, pair-column), point
-  /// probes for q and its proper prefixes, and one path-prefix range
-  /// probe for strict extensions. Emits each distinct matching row once,
-  /// in discovery order. Rows are borrowed from the table (zero-copy) —
-  /// consumed before any table write.
-  Status OverlapProbe(const char* table, SymbolId run, const char* pair_col,
-                      storage::IdPair pair, const char* index_col,
-                      const Index& idx,
-                      const std::function<void(const storage::Row&)>& emit)
-      const;
-
-  /// Batched overlap probes: the whole batch's sub-queries flatten into
-  /// one ExecuteMultiSelect pass. emit(i, row) fires once per distinct
-  /// row matching probes[i], in the same order OverlapProbe discovers
-  /// them.
-  Status OverlapProbeBatch(
-      const char* table, SymbolId run, const char* pair_col,
-      const char* index_col, const std::vector<PortProbe>& probes,
-      const std::function<void(size_t, const storage::Row&)>& emit) const;
+  explicit TraceStore(std::unique_ptr<Rep> rep);
 
   /// Memo-aware single overlap probe, decoded. `kind` tags the memo key
   /// space (one per public Find* flavor).
@@ -323,25 +385,15 @@ class TraceStore {
                                           SymbolId run, storage::IdPair pair,
                                           const Index& idx) const;
 
-  /// Memo-aware batched overlap probes, decoded; results[i] answers
-  /// probes[i].
+  /// Memo-aware batched overlap probes with shard fan-out/merge;
+  /// results[i] answers probes[i].
   template <typename Record>
   Result<std::vector<std::vector<Record>>> FindBatchImpl(
       int kind, const char* table, const char* pair_col, const char* index_col,
-      Record (*decode)(const storage::Row&), SymbolId run,
+      Record (*decode)(const storage::Row&),
       const std::vector<PortProbe>& probes) const;
 
-  /// Logs a row insert into the WAL (no-op when detached).
-  Status LogRow(uint8_t table_tag, const storage::Row& row);
-
-  storage::Database* db_;
-  storage::WriteAheadLog* wal_ = nullptr;
-  /// How many symbols have been written to the WAL as definition
-  /// records; LogRow flushes the tail [wal_syms_logged_, size) first.
-  size_t wal_syms_logged_ = 0;
-  /// Write-path value interning: (run, repr) -> id, ids unique per run.
-  std::map<std::pair<SymbolId, std::string>, int64_t> intern_cache_;
-  std::map<SymbolId, uint64_t> next_value_id_;
+  std::unique_ptr<Rep> rep_;
 };
 
 }  // namespace provlin::provenance

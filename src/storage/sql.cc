@@ -74,9 +74,11 @@ class Lexer {
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         tok.kind = TokenKind::kIdentifier;
         size_t start = pos_;
+        // '#' is legal inside identifiers: sharded stores name their
+        // physical tables "xform#k" (provenance/schema.h).
         while (pos_ < sql_.size() &&
                (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
-                sql_[pos_] == '_')) {
+                sql_[pos_] == '_' || sql_[pos_] == '#')) {
           ++pos_;
         }
         tok.text = std::string(sql_.substr(start, pos_ - start));

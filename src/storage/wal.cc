@@ -117,4 +117,45 @@ Result<std::vector<std::string>> WriteAheadLog::Replay(
   return records;
 }
 
+std::string ShardWalPath(const std::string& base, size_t shard) {
+  if (shard == 0) return base;
+  return base + ".shard-" + std::to_string(shard);
+}
+
+std::string WalManifestPath(const std::string& base) {
+  return base + ".manifest";
+}
+
+Status WriteWalManifest(const std::string& base, size_t shards) {
+  const std::string path = WalManifestPath(base);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open WAL manifest '" + path +
+                           "' for write");
+  }
+  out << "provlin-wal-manifest v1\nshards " << shards << "\n";
+  out.flush();
+  if (!out) return Status::IoError("short write to WAL manifest '" + path +
+                                   "'");
+  return Status::OK();
+}
+
+Result<size_t> ReadWalManifest(const std::string& base) {
+  const std::string path = WalManifestPath(base);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no WAL manifest at '" + path + "'");
+  std::string header;
+  std::getline(in, header);
+  if (header != "provlin-wal-manifest v1") {
+    return Status::Corruption("bad WAL manifest header in '" + path + "'");
+  }
+  std::string key;
+  size_t shards = 0;
+  if (!(in >> key >> shards) || key != "shards" || shards == 0) {
+    return Status::Corruption("bad shard count in WAL manifest '" + path +
+                              "'");
+  }
+  return shards;
+}
+
 }  // namespace provlin::storage

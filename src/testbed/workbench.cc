@@ -10,11 +10,13 @@ namespace provlin::testbed {
 
 Result<std::unique_ptr<Workbench>> Workbench::Create(
     std::shared_ptr<const workflow::Dataflow> flow,
-    std::shared_ptr<engine::ActivityRegistry> registry) {
+    std::shared_ptr<engine::ActivityRegistry> registry,
+    const provenance::TraceStoreOptions& store_options) {
   auto wb = std::unique_ptr<Workbench>(new Workbench());
   wb->db_ = std::make_unique<storage::Database>();
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           provenance::TraceStore::Open(wb->db_.get()));
+  PROVLIN_ASSIGN_OR_RETURN(
+      provenance::TraceStore store,
+      provenance::TraceStore::Open(wb->db_.get(), store_options));
   wb->store_.emplace(std::move(store));
   wb->flow_ = std::move(flow);
   wb->registry_ = std::move(registry);
@@ -26,29 +28,32 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(
   return wb;
 }
 
-Result<std::unique_ptr<Workbench>> Workbench::Synthetic(int chain_length) {
+Result<std::unique_ptr<Workbench>> Workbench::Synthetic(
+    int chain_length, const provenance::TraceStoreOptions& store_options) {
   PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
                            MakeSyntheticWorkflow(chain_length));
   auto registry = std::make_shared<engine::ActivityRegistry>();
   engine::RegisterBuiltinActivities(registry.get());
-  return Create(std::move(flow), std::move(registry));
+  return Create(std::move(flow), std::move(registry), store_options);
 }
 
-Result<std::unique_ptr<Workbench>> Workbench::GK(uint64_t seed) {
+Result<std::unique_ptr<Workbench>> Workbench::GK(
+    uint64_t seed, const provenance::TraceStoreOptions& store_options) {
   PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
                            MakeGkWorkflow());
   PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<engine::ActivityRegistry> registry,
                            MakeGkRegistry(seed));
-  return Create(std::move(flow), std::move(registry));
+  return Create(std::move(flow), std::move(registry), store_options);
 }
 
-Result<std::unique_ptr<Workbench>> Workbench::PD(int text_steps,
-                                                 uint64_t seed) {
+Result<std::unique_ptr<Workbench>> Workbench::PD(
+    int text_steps, uint64_t seed,
+    const provenance::TraceStoreOptions& store_options) {
   PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<const workflow::Dataflow> flow,
                            MakePdWorkflow(text_steps));
   PROVLIN_ASSIGN_OR_RETURN(std::shared_ptr<engine::ActivityRegistry> registry,
                            MakePdRegistry(seed));
-  return Create(std::move(flow), std::move(registry));
+  return Create(std::move(flow), std::move(registry), store_options);
 }
 
 Result<engine::RunResult> Workbench::Run(

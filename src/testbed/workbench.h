@@ -22,17 +22,25 @@ namespace provlin::testbed {
 /// provenance capture. Tests, benches and examples all build on this.
 class Workbench {
  public:
-  /// The Fig. 5 synthetic family with chain length `l`.
-  static Result<std::unique_ptr<Workbench>> Synthetic(int chain_length);
+  /// The Fig. 5 synthetic family with chain length `l`. `store_options`
+  /// shapes the trace store (shard count, async ingest) — the default
+  /// keeps the legacy unsharded layout (modulo PROVLIN_TEST_SHARDS).
+  static Result<std::unique_ptr<Workbench>> Synthetic(
+      int chain_length,
+      const provenance::TraceStoreOptions& store_options = {});
   /// The genes2Kegg workflow with the simulated KEGG services.
-  static Result<std::unique_ptr<Workbench>> GK(uint64_t seed = 42);
+  static Result<std::unique_ptr<Workbench>> GK(
+      uint64_t seed = 42,
+      const provenance::TraceStoreOptions& store_options = {});
   /// The protein-discovery workflow with the simulated PubMed services.
-  static Result<std::unique_ptr<Workbench>> PD(int text_steps = 22,
-                                               uint64_t seed = 7);
+  static Result<std::unique_ptr<Workbench>> PD(
+      int text_steps = 22, uint64_t seed = 7,
+      const provenance::TraceStoreOptions& store_options = {});
   /// Any dataflow + registry combination.
   static Result<std::unique_ptr<Workbench>> Create(
       std::shared_ptr<const workflow::Dataflow> flow,
-      std::shared_ptr<engine::ActivityRegistry> registry);
+      std::shared_ptr<engine::ActivityRegistry> registry,
+      const provenance::TraceStoreOptions& store_options = {});
 
   /// Executes one run with provenance capture; fails if the recorder hit
   /// a storage error.

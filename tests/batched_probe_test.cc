@@ -78,12 +78,12 @@ TEST(ProbeMemoConcurrency, ManyThreadsShareOneMemoSafely) {
     ASSERT_TRUE(p.has_value()) << proc;
     ASSERT_TRUE(y.has_value());
     for (const Index& q : {Index(), Index({1}), Index({2, 0})}) {
-      probes.push_back(PortProbe{*p, *y, q});
+      probes.push_back(PortProbe{*run, *p, *y, q});
     }
   }
 
   // Unmemoized reference, computed up front on this thread.
-  auto reference = store.FindProducingBatch(*run, probes);
+  auto reference = store.FindProducingBatch(probes);
   ASSERT_TRUE(reference.ok());
 
   auto xform_key = [](const XformRecord& r) {
@@ -110,7 +110,7 @@ TEST(ProbeMemoConcurrency, ManyThreadsShareOneMemoSafely) {
                                        static_cast<size_t>(t + round) %
                                        mine.size()),
                     mine.end());
-        auto got = store.FindProducingBatch(*run, mine);
+        auto got = store.FindProducingBatch(mine);
         if (!got.ok() || got->size() != mine.size()) {
           mismatches.fetch_add(1);
           continue;

@@ -113,8 +113,11 @@ TEST_F(CliTest, ForwardLineage) {
 }
 
 TEST_F(CliTest, SqlQuery) {
+  // Raw SQL addresses physical tables; pin --shards 1 so 'runs' holds
+  // every run regardless of any PROVLIN_TEST_SHARDS environment setting.
   ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
-                 db_path_, "--run", "r0", "--input", "ListSize=2"}),
+                 db_path_, "--run", "r0", "--input", "ListSize=2",
+                 "--shards", "1"}),
             0)
       << err_.str();
   ASSERT_EQ(Run({"sql", "--db", db_path_,
@@ -141,9 +144,11 @@ TEST_F(CliTest, DotAndCounts) {
 }
 
 TEST_F(CliTest, RunWithWalIsRecoverable) {
+  // Pin --shards 1: this test asserts the legacy single-file WAL layout
+  // (a sharded store writes the run's rows to a per-shard .shard-k file).
   ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:1", "--db",
                  db_path_, "--run", "r0", "--input", "ListSize=2", "--wal",
-                 wal_path_}),
+                 wal_path_, "--shards", "1"}),
             0)
       << err_.str();
   std::ifstream wal(wal_path_, std::ios::binary);

@@ -57,6 +57,18 @@ TEST_F(SqlTest, ProjectionSelectsAndOrdersColumns) {
   EXPECT_EQ(r->access_path, AccessPath::kIndexEq);
 }
 
+TEST_F(SqlTest, ShardTableNamesLex) {
+  // Sharded stores name physical tables "xform#k" (provenance/schema.h);
+  // '#' must lex as part of the identifier.
+  Table* t = *db_.CreateTable(
+      "xform#1", Schema({{"run_id", DatumKind::kString}}));
+  ASSERT_TRUE(t->Insert({Datum("r9")}).ok());
+  auto r = Run("SELECT COUNT(*) FROM xform#1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 1);
+}
+
 TEST_F(SqlTest, LikePrefixBecomesRangeScan) {
   auto r = Run("SELECT * FROM xform WHERE run_id = 'r0' AND "
                "processor = 'P0' AND out_index LIKE '0000%'");

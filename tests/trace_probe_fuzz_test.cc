@@ -209,6 +209,7 @@ TEST_P(TraceProbeFuzzTest, BatchFindersMatchSingleProbes) {
         p = probes[rng.Uniform(static_cast<uint64_t>(&p - probes.data()))];
         continue;  // deliberate duplicate of an earlier probe
       }
+      p.run = run;
       p.processor = store.Intern("P" + std::to_string(rng.Uniform(3)));
       p.port = store.Intern((out_side ? "out" : "in") +
                             std::to_string(rng.Uniform(2)));
@@ -219,8 +220,8 @@ TEST_P(TraceProbeFuzzTest, BatchFindersMatchSingleProbes) {
     if (round % 2 == 1) scope.emplace(&memo);
 
     if (out_side) {
-      auto batch = store.FindProducingBatch(run, probes);
-      auto xbatch = store.FindXfersFromBatch(run, probes);
+      auto batch = store.FindProducingBatch(probes);
+      auto xbatch = store.FindXfersFromBatch(probes);
       ASSERT_TRUE(batch.ok());
       ASSERT_TRUE(xbatch.ok());
       ASSERT_EQ(batch->size(), probes.size());
@@ -243,8 +244,8 @@ TEST_P(TraceProbeFuzzTest, BatchFindersMatchSingleProbes) {
         }
       }
     } else {
-      auto batch = store.FindConsumingBatch(run, probes);
-      auto xbatch = store.FindXfersIntoBatch(run, probes);
+      auto batch = store.FindConsumingBatch(probes);
+      auto xbatch = store.FindXfersIntoBatch(probes);
       ASSERT_TRUE(batch.ok());
       ASSERT_TRUE(xbatch.ok());
       ASSERT_EQ(batch->size(), probes.size());

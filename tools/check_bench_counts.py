@@ -15,17 +15,62 @@ deterministic are checked:
 
 Wall-clock times are never compared — CI machines are not lab machines.
 Exit status 0 on success, 1 with a per-entry report on any violation.
+
+With --shard-counters the current emission's trailing "metrics" snapshot
+is additionally validated against the run-sharding accounting invariant
+(DESIGN.md §11): the provenance/shards gauge must be present, per-shard
+provenance/shard<k>/rows counters must form a gapless range starting at
+shard 0, and their sum must equal provenance/rows_ingested — every row
+the process ingested was credited to exactly one shard.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_entries(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def load_entries(doc):
     return doc.get("bench", "?"), {e["label"]: e for e in doc["entries"]}
+
+
+def check_shard_counters(doc):
+    """Returns a list of violations of the per-shard row accounting."""
+    metrics = doc.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    failures = []
+    if "provenance/shards" not in gauges:
+        failures.append("metrics: gauge provenance/shards missing")
+    shard_rows = {}
+    for name, value in counters.items():
+        m = re.fullmatch(r"provenance/shard(\d+)/rows", name)
+        if m:
+            shard_rows[int(m.group(1))] = value
+    if not shard_rows:
+        failures.append("metrics: no provenance/shard<k>/rows counters")
+        return failures
+    expected = set(range(max(shard_rows) + 1))
+    missing = expected - set(shard_rows)
+    if missing:
+        failures.append(
+            f"metrics: shard rows counters have gaps (missing shards "
+            f"{sorted(missing)})"
+        )
+    total = counters.get("provenance/rows_ingested")
+    if total is None:
+        failures.append("metrics: counter provenance/rows_ingested missing")
+    elif sum(shard_rows.values()) != total:
+        failures.append(
+            f"metrics: per-shard rows sum {sum(shard_rows.values())} != "
+            f"provenance/rows_ingested {total}"
+        )
+    return failures
 
 
 def main(argv):
@@ -36,16 +81,26 @@ def main(argv):
     )
     parser.add_argument("baseline", help="checked-in BENCH_<name>.json baseline")
     parser.add_argument("current", help="freshly emitted BENCH_<name>.json")
+    parser.add_argument(
+        "--shard-counters",
+        action="store_true",
+        help="also validate the current emission's per-shard row counters: "
+        "sum(provenance/shard<k>/rows) == provenance/rows_ingested and the "
+        "provenance/shards gauge is present",
+    )
     args = parser.parse_args(argv)
 
     try:
-        bench, baseline = load_entries(args.baseline)
-        _, current = load_entries(args.current)
+        bench, baseline = load_entries(load_doc(args.baseline))
+        current_doc = load_doc(args.current)
+        _, current = load_entries(current_doc)
     except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
         print(f"error: unreadable or malformed bench JSON: {e}", file=sys.stderr)
         return 1
 
     failures = []
+    if args.shard_counters:
+        failures.extend(check_shard_counters(current_doc))
     checked = 0
     for label, base in sorted(baseline.items()):
         if not base.get("deterministic", False):
