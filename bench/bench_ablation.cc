@@ -36,12 +36,12 @@ void AblationPlanCache() {
     double cold = CheckResult(
         bench::BestOfFive([&]() -> Status {
           wb->IndexProj()->ClearPlanCache();
-          return wb->IndexProj()->Query("r0", target, q, interest).status();
+          return wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, interest)).status();
         }),
         "cold");
     double warm = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          return wb->IndexProj()->Query("r0", target, q, interest).status();
+          return wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, interest)).status();
         }),
         "warm");
     char speedup[16];

@@ -70,13 +70,13 @@ int main() {
     auto [best, single_best] = CheckResult(
         bench::BestOfFiveInterleaved(
             [&]() -> Status {
-              auto a = wb->IndexProj()->Query("r0", target, q, interest);
+              auto a = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, interest));
               PROVLIN_RETURN_IF_ERROR(a.status());
               answer = std::move(a).value();
               return Status::OK();
             },
             [&]() -> Status {
-              auto a = single_engine.Query("r0", target, q, interest);
+              auto a = single_engine.Query(lineage::LineageRequest::SingleRun("r0", target, q, interest));
               PROVLIN_RETURN_IF_ERROR(a.status());
               single_answer = std::move(a).value();
               return Status::OK();
@@ -125,7 +125,7 @@ int main() {
   lineage::NaiveLineage naive = wb->Naive();
   double ni = CheckResult(
       bench::BestOfFive([&]() -> Status {
-        return naive.Query("r0", target, q, {testbed::kListGen}).status();
+        return naive.Query(lineage::LineageRequest::SingleRun("r0", target, q, {testbed::kListGen})).status();
       }),
       "ni");
   std::printf("\nNI reference (same target, focused): %.3f ms\n", ni);

@@ -42,8 +42,8 @@ void RunConfig(const Config& cfg, bench::TablePrinter* table) {
     lineage::LineageAnswer answer;
     double best = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          auto a = cfg.wb->IndexProj()->QueryMultiRun(runs, cfg.target,
-                                                      cfg.index, cfg.interest);
+          auto a = cfg.wb->IndexProj()->Query(lineage::LineageRequest::MultiRun(runs, cfg.target,
+                                                      cfg.index, cfg.interest));
           PROVLIN_RETURN_IF_ERROR(a.status());
           answer = std::move(a).value();
           return Status::OK();
@@ -56,7 +56,7 @@ void RunConfig(const Config& cfg, bench::TablePrinter* table) {
     double ni_best = CheckResult(
         bench::BestOfFive([&]() -> Status {
           auto a =
-              naive.QueryMultiRun(runs, cfg.target, cfg.index, cfg.interest);
+              naive.Query(lineage::LineageRequest::MultiRun(runs, cfg.target, cfg.index, cfg.interest));
           PROVLIN_RETURN_IF_ERROR(a.status());
           ni_answer = std::move(a).value();
           return Status::OK();

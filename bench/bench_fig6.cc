@@ -41,7 +41,7 @@ int main() {
     lineage::LineageAnswer answer;
     double best = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          auto a = naive.Query("run0", target, q, interest);
+          auto a = naive.Query(lineage::LineageRequest::SingleRun("run0", target, q, interest));
           PROVLIN_RETURN_IF_ERROR(a.status());
           answer = std::move(a).value();
           return Status::OK();

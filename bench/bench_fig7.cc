@@ -37,7 +37,7 @@ int main() {
       lineage::LineageAnswer answer;
       double best = CheckResult(
           bench::BestOfFive([&]() -> Status {
-            auto a = naive.Query("r0", target, q, interest);
+            auto a = naive.Query(lineage::LineageRequest::SingleRun("r0", target, q, interest));
             PROVLIN_RETURN_IF_ERROR(a.status());
             answer = std::move(a).value();
             return Status::OK();

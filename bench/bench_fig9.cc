@@ -39,7 +39,7 @@ void RunForD(int d, bench::TablePrinter* table, bench::JsonWriter* json) {
     lineage::LineageAnswer ni_answer;
     double ni = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          auto a = naive.Query("r0", target, q, focused);
+          auto a = naive.Query(lineage::LineageRequest::SingleRun("r0", target, q, focused));
           PROVLIN_RETURN_IF_ERROR(a.status());
           ni_answer = std::move(a).value();
           return Status::OK();
@@ -49,7 +49,7 @@ void RunForD(int d, bench::TablePrinter* table, bench::JsonWriter* json) {
     lineage::LineageAnswer ip_answer;
     double ip = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          auto a = wb->IndexProj()->Query("r0", target, q, focused);
+          auto a = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, focused));
           PROVLIN_RETURN_IF_ERROR(a.status());
           ip_answer = std::move(a).value();
           return Status::OK();
@@ -59,7 +59,7 @@ void RunForD(int d, bench::TablePrinter* table, bench::JsonWriter* json) {
     lineage::LineageAnswer un_answer;
     double un = CheckResult(
         bench::BestOfFive([&]() -> Status {
-          auto a = wb->IndexProj()->Query("r0", target, q, unfocused);
+          auto a = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, unfocused));
           PROVLIN_RETURN_IF_ERROR(a.status());
           un_answer = std::move(a).value();
           return Status::OK();
@@ -113,9 +113,9 @@ void MeasureTracingOverhead(bench::JsonWriter* json) {
   };
 
   auto [ni_off, ni_on] = measure(
-      [&]() { return naive.Query("r0", target, q, focused).status(); });
+      [&]() { return naive.Query(lineage::LineageRequest::SingleRun("r0", target, q, focused)).status(); });
   auto [ip_off, ip_on] = measure([&]() {
-    return wb->IndexProj()->Query("r0", target, q, focused).status();
+    return wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, focused)).status();
   });
   tracer.Disable();
 

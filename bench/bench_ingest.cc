@@ -17,14 +17,13 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "provenance/store_open.h"
 #include "provenance/trace_store.h"
-#include "storage/database.h"
 
 int main() {
   using namespace provlin;
   using bench::CheckResult;
   using provenance::TraceStore;
-  using provenance::TraceStoreOptions;
   using provenance::XformRecord;
 
   constexpr size_t kProducers = 4;
@@ -46,12 +45,12 @@ int main() {
   // and the clock stops after Flush() — every row applied, not merely
   // enqueued.
   auto ingest_once = [&](size_t shards, bool async) -> Result<double> {
-    storage::Database db;
-    TraceStoreOptions options;
+    provenance::StoreOptions options;  // empty db_path = in-memory
     options.shards = shards;
     options.async_ingest = async;
-    PROVLIN_ASSIGN_OR_RETURN(TraceStore store,
-                             TraceStore::Open(&db, options));
+    PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                             provenance::OpenStore(options));
+    TraceStore& store = opened.store();
 
     std::vector<std::vector<XformRecord>> streams(kRunsTotal);
     std::vector<std::string> run_ids(kRunsTotal);

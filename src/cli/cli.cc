@@ -1,5 +1,7 @@
 #include "cli/cli.h"
 
+#include <csignal>
+
 #include <fstream>
 #include <map>
 #include <memory>
@@ -20,7 +22,9 @@
 #include "provenance/opm_export.h"
 #include "provenance/provenance_graph.h"
 #include "provenance/recorder.h"
+#include "provenance/store_open.h"
 #include "provenance/trace_store.h"
+#include "server/server.h"
 #include "storage/sql.h"
 #include "storage/wal.h"
 #include "testbed/gk_workflow.h"
@@ -133,6 +137,9 @@ Result<Index> ParseCliIndex(const std::string& text) {
   return Index(std::move(parts));
 }
 
+/// Plain database open for commands that must not touch the shard
+/// layout (`sql` queries physical tables, so resharding under it would
+/// change what it sees).
 Result<storage::Database> OpenDb(const std::string& path) {
   storage::Database db;
   std::ifstream probe(path);
@@ -149,10 +156,13 @@ Status RequireFlag(const Args& args, const char* flag) {
   return Status::OK();
 }
 
-/// Store options from the command line: --shards N (0 = auto: keep the
-/// database's recorded count) and --async-ingest true.
-Result<provenance::TraceStoreOptions> ParseStoreOptions(const Args& args) {
-  provenance::TraceStoreOptions options;
+/// Store options from the command line, one flag per StoreOptions
+/// field: --db PATH, --wal BASE, --shards N (0 = auto: keep the
+/// database's recorded count), --async-ingest true.
+Result<provenance::StoreOptions> CliStoreOptions(const Args& args) {
+  provenance::StoreOptions options;
+  if (const std::string* db = args.Get("db")) options.db_path = *db;
+  if (const std::string* wal = args.Get("wal")) options.wal_base = *wal;
   if (const std::string* shards = args.Get("shards")) {
     int64_t n = 0;
     if (!ParseInt64(*shards, &n) || n < 1) {
@@ -166,11 +176,10 @@ Result<provenance::TraceStoreOptions> ParseStoreOptions(const Args& args) {
   return options;
 }
 
-Result<provenance::TraceStore> OpenStore(const Args& args,
-                                         storage::Database* db) {
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStoreOptions options,
-                           ParseStoreOptions(args));
-  return provenance::TraceStore::Open(db, options);
+Result<provenance::OpenedStore> OpenStoreFromArgs(const Args& args) {
+  PROVLIN_ASSIGN_OR_RETURN(provenance::StoreOptions options,
+                           CliStoreOptions(args));
+  return provenance::OpenStore(options);
 }
 
 /// Pre-registers the well-known instrument names so `provlin stats`
@@ -192,7 +201,11 @@ void TouchWellKnownInstruments() {
         "service/requests", "service/failed_requests",
         "service/plan_cache_hits", "service/trace_probes",
         "service/trace_descents", "service/probe_memo_hits",
-        "service/probe_memo_lookups"}) {
+        "service/probe_memo_lookups", "server/connections_accepted",
+        "server/connections_rejected", "server/requests",
+        "server/responses_ok", "server/responses_error",
+        "server/overload_shed", "server/bad_frames", "net/frames_in",
+        "net/frames_out", "net/bytes_in", "net/bytes_out"}) {
     metrics::GetCounter(name);
   }
   metrics::GetHistogram("lineage/t1_ms");
@@ -202,8 +215,11 @@ void TouchWellKnownInstruments() {
   metrics::GetHistogram("service/batch_wall_ms");
   metrics::GetHistogram("storage/multiseek_batch_size",
                         metrics::DefaultSizeBounds());
+  metrics::GetHistogram("server/request_ms");
+  metrics::GetHistogram("server/batch_size", metrics::DefaultSizeBounds());
   metrics::GetGauge("service/last_batch_wall_us");
   metrics::GetGauge("provenance/shards");
+  metrics::GetGauge("server/queue_depth");
 }
 
 Status DumpStats(const std::string& format, std::ostream& out) {
@@ -264,16 +280,12 @@ Status CmdRun(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
   PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
                            LoadWorkflow(*args.Get("workflow")));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
-
-  // Capture WALs are store-owned and per-shard: one file per shard plus
-  // a manifest when sharded; at one shard this is exactly the legacy
-  // single-file layout.
-  if (const std::string* wal_path = args.Get("wal")) {
-    PROVLIN_RETURN_IF_ERROR(store.AttachWalFiles(*wal_path));
-  }
+  // --wal attaches store-owned per-shard capture WALs: one file per
+  // shard plus a manifest when sharded; at one shard this is exactly
+  // the legacy single-file layout.
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
+  provenance::TraceStore& store = opened.store();
 
   std::map<std::string, Value> inputs;
   for (const std::string& binding : args.GetAll("input")) {
@@ -297,7 +309,7 @@ Status CmdRun(const Args& args, std::ostream& out) {
       engine::RunResult result,
       executor.Execute(*loaded.flow, inputs, *args.Get("run"), options));
   PROVLIN_RETURN_IF_ERROR(recorder.status());
-  PROVLIN_RETURN_IF_ERROR(db.Save(*args.Get("db")));
+  PROVLIN_RETURN_IF_ERROR(opened.Save());
 
   out << "run " << result.run_id << " completed ("
       << result.total_invocations << " invocations";
@@ -313,10 +325,10 @@ Status CmdRun(const Args& args, std::ostream& out) {
 
 Status CmdRuns(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
-  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> runs, store.ListRuns());
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
+  PROVLIN_ASSIGN_OR_RETURN(std::vector<std::string> runs,
+                           opened.store().ListRuns());
   for (const std::string& run : runs) out << run << "\n";
   return Status::OK();
 }
@@ -330,9 +342,9 @@ Status CmdLineage(const Args& args, std::ostream& out) {
 
   PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
                            LoadWorkflow(*args.Get("workflow")));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
+  provenance::TraceStore& store = opened.store();
 
   PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
                            workflow::ParsePortRef(*args.Get("target")));
@@ -485,11 +497,10 @@ Status CmdStats(const Args& args, std::ostream& out) {
   // cost of loading the database (inserts, WAL work); most uses are
   // `lineage --stats true` or embedding, where the registry has real
   // query traffic by the time it is dumped.
-  if (const std::string* db_path = args.Get("db")) {
-    PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*db_path));
-    PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                             OpenStore(args, &db));
-    (void)store;
+  if (args.Get("db") != nullptr) {
+    PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                             OpenStoreFromArgs(args));
+    (void)opened;
   }
   TouchWellKnownInstruments();
   std::string format =
@@ -510,9 +521,9 @@ Status CmdExplain(const Args& args, std::ostream& out) {
 
   PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
                            LoadWorkflow(*args.Get("workflow")));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
+  provenance::TraceStore& store = opened.store();
   PROVLIN_ASSIGN_OR_RETURN(workflow::PortRef target,
                            workflow::ParsePortRef(*args.Get("target")));
   Index index;
@@ -570,12 +581,11 @@ Status CmdSql(const Args& args, std::ostream& out) {
 Status CmdDot(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
   PROVLIN_ASSIGN_OR_RETURN(
       provenance::ProvenanceGraph graph,
-      provenance::ProvenanceGraph::Build(store, *args.Get("run")));
+      provenance::ProvenanceGraph::Build(opened.store(), *args.Get("run")));
   out << graph.ToDot(*args.Get("run"));
   return Status::OK();
 }
@@ -583,26 +593,24 @@ Status CmdDot(const Args& args, std::ostream& out) {
 Status CmdExport(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
   PROVLIN_ASSIGN_OR_RETURN(
       std::string json,
-      provenance::ExportOpmJson(store, *args.Get("run")));
+      provenance::ExportOpmJson(opened.store(), *args.Get("run")));
   out << json;
   return Status::OK();
 }
 
 Status CmdCounts(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
   provenance::TraceCounts counts;
   if (const std::string* run = args.Get("run")) {
-    PROVLIN_ASSIGN_OR_RETURN(counts, store.CountRecords(*run));
+    PROVLIN_ASSIGN_OR_RETURN(counts, opened.store().CountRecords(*run));
   } else {
-    PROVLIN_ASSIGN_OR_RETURN(counts, store.CountAllRecords());
+    PROVLIN_ASSIGN_OR_RETURN(counts, opened.store().CountAllRecords());
   }
   out << "xform rows:  " << counts.xform_rows << "\n";
   out << "xfer rows:   " << counts.xfer_rows << "\n";
@@ -644,21 +652,113 @@ Status CmdDiff(const Args& args, std::ostream& out) {
 Status CmdPrune(const Args& args, std::ostream& out) {
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
   PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "run"));
-  PROVLIN_ASSIGN_OR_RETURN(storage::Database db, OpenDb(*args.Get("db")));
-  PROVLIN_ASSIGN_OR_RETURN(provenance::TraceStore store,
-                           OpenStore(args, &db));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
   PROVLIN_ASSIGN_OR_RETURN(size_t removed,
-                           store.DeleteRun(*args.Get("run")));
-  PROVLIN_RETURN_IF_ERROR(db.Save(*args.Get("db")));
+                           opened.store().DeleteRun(*args.Get("run")));
+  PROVLIN_RETURN_IF_ERROR(opened.Save());
   out << "pruned run '" << *args.Get("run") << "' (" << removed
       << " rows)\n";
   return Status::OK();
 }
 
+/// Parses a non-negative integer flag into `*value`; absent leaves the
+/// default in place.
+Status ParseSizeFlag(const Args& args, const char* flag, size_t* value) {
+  const std::string* text = args.Get(flag);
+  if (text == nullptr) return Status::OK();
+  int64_t n = 0;
+  if (!ParseInt64(*text, &n) || n < 1) {
+    return Status::InvalidArgument(std::string("bad --") + flag + " value '" +
+                                   *text + "'");
+  }
+  *value = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+Status CmdServe(const Args& args, std::ostream& out) {
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "workflow"));
+  PROVLIN_RETURN_IF_ERROR(RequireFlag(args, "db"));
+  PROVLIN_ASSIGN_OR_RETURN(LoadedWorkflow loaded,
+                           LoadWorkflow(*args.Get("workflow")));
+  PROVLIN_ASSIGN_OR_RETURN(provenance::OpenedStore opened,
+                           OpenStoreFromArgs(args));
+  provenance::TraceStore& store = opened.store();
+
+  // Both engines are served; the wire request picks one by name.
+  lineage::NaiveLineage naive(&store);
+  PROVLIN_ASSIGN_OR_RETURN(
+      lineage::IndexProjLineage index_proj,
+      lineage::IndexProjLineage::Create(loaded.flow, &store));
+  server::LineageServer::EngineMap engines;
+  engines["naive"] = &naive;
+  engines["indexproj"] = &index_proj;
+
+  server::ServerOptions options;
+  if (const std::string* port = args.Get("port")) {
+    int64_t n = 0;
+    if (!ParseInt64(*port, &n) || n < 0 || n > 65535) {
+      return Status::InvalidArgument("bad --port value '" + *port + "'");
+    }
+    options.port = static_cast<uint16_t>(n);
+  }
+  PROVLIN_RETURN_IF_ERROR(
+      ParseSizeFlag(args, "threads", &options.service.num_threads));
+  PROVLIN_RETURN_IF_ERROR(ParseSizeFlag(args, "max-queue",
+                                        &options.max_queue));
+  PROVLIN_RETURN_IF_ERROR(ParseSizeFlag(args, "max-batch",
+                                        &options.max_batch));
+  PROVLIN_RETURN_IF_ERROR(ParseSizeFlag(args, "max-connections",
+                                        &options.max_connections));
+
+  // Block the shutdown signals before Start() so every server thread
+  // inherits the mask and only the sigwait below receives them.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  server::LineageServer server(std::move(engines), options);
+  PROVLIN_RETURN_IF_ERROR(server.Start());
+  out << "serving lineage on 127.0.0.1:" << server.port() << " ("
+      << options.service.num_threads << " workers, queue "
+      << options.max_queue << ", batch " << options.max_batch << ")\n";
+  out.flush();
+  // --port-file is how scripts and CI find an ephemeral --port 0: the
+  // file appears only once the server is accepting.
+  if (const std::string* port_file = args.Get("port-file")) {
+    std::ofstream pf(*port_file);
+    if (!pf) {
+      server.Stop();
+      return Status::IoError("cannot write port file '" + *port_file + "'");
+    }
+    pf << server.port() << "\n";
+  }
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  out << "caught " << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+      << ", shutting down\n";
+  server.Stop();
+
+  server::ServerStats stats = server.stats();
+  out << "served " << stats.responses_ok << " ok, " << stats.responses_error
+      << " error, " << stats.overload_shed << " shed over "
+      << stats.connections_accepted << " connections ("
+      << stats.connections_rejected << " rejected, " << stats.bad_frames
+      << " bad frames)\n";
+  if (args.Get("stats") != nullptr && *args.Get("stats") != "false") {
+    TouchWellKnownInstruments();
+    PROVLIN_RETURN_IF_ERROR(DumpStats("prometheus", out));
+  }
+  return Status::OK();
+}
+
 const char* kUsage =
     "usage: provlin <command> [flags]\n"
-    "commands: run, runs, lineage, explain, stats, sql, dot, export, counts,\n"
-    "          workflow, diff, prune\n"
+    "commands: run, runs, lineage, explain, serve, stats, sql, dot, export,\n"
+    "          counts, workflow, diff, prune\n"
     "see src/cli/cli.h for full flag documentation\n";
 
 }  // namespace
@@ -679,6 +779,8 @@ int RunCli(const std::vector<std::string>& argv, std::ostream& out,
     st = CmdLineage(*args, out);
   } else if (args->command == "explain") {
     st = CmdExplain(*args, out);
+  } else if (args->command == "serve") {
+    st = CmdServe(*args, out);
   } else if (args->command == "stats") {
     st = CmdStats(*args, out);
   } else if (args->command == "sql") {

@@ -38,6 +38,21 @@ namespace provlin::cli {
 ///            EXPLAIN an IndexProj query: print the generated trace
 ///            queries with measured per-step costs (probes, descents,
 ///            rows, bindings, wall time) from a single-probe execution.
+///   serve    --workflow W --db FILE [--port N] [--port-file FILE]
+///            [--threads N] [--shards N] [--async-ingest true]
+///            [--max-queue N] [--max-batch N] [--max-connections N]
+///            [--stats true]
+///            Serve lineage queries over loopback TCP (DESIGN.md §12):
+///            length-prefixed wire-protocol frames carrying versioned
+///            LineageRequest envelopes, answered by both engines
+///            ("naive", "indexproj" — the request names one) through a
+///            shared concurrent LineageService. --port 0 (default)
+///            binds an ephemeral port; --port-file writes the bound
+///            port once the server is accepting. A full request queue
+///            sheds load with typed OVERLOADED responses. Stop with
+///            SIGINT/SIGTERM; a served-traffic summary (and with
+///            --stats true the metrics exposition) prints on shutdown.
+///            Drive it with tools/loadgen.
 ///   stats    [--db FILE] [--format prometheus|json] [--reset true]
 ///            Dump the process metrics registry (counters, gauges,
 ///            latency histograms across storage, provenance, lineage,

@@ -95,6 +95,29 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation among `count` sorted observations.
+  double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The +Inf bucket has no finite upper edge to interpolate toward:
+    // report the last finite bound (or 0 for a bound-less histogram).
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    double lo = i == 0 ? 0.0 : bounds[i - 1];
+    double hi = bounds[i];
+    uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return hi;
+    double into = rank - static_cast<double>(cumulative - in_bucket);
+    return lo + (hi - lo) * (into / static_cast<double>(in_bucket));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 const std::vector<double>& DefaultLatencyBoundsMs() {
   static const std::vector<double> kBounds = {
       0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,

@@ -108,6 +108,15 @@ struct HistogramSnapshot {
   std::vector<uint64_t> counts;
   uint64_t count = 0;
   double sum = 0.0;
+
+  /// Estimated value at quantile q in [0, 1] (0.5 = p50, 0.99 = p99) by
+  /// linear interpolation within the bucket the rank falls into — the
+  /// Prometheus histogram_quantile estimator. Observations in the +Inf
+  /// overflow bucket report the last finite bound (the estimate cannot
+  /// exceed what the buckets can represent). Returns 0 for an empty
+  /// histogram. This is how served-latency p50/p95/p99 are derived from
+  /// the registry's fixed-bucket histograms (loadgen, bench reports).
+  double Percentile(double q) const;
 };
 
 /// Fixed-bucket histogram. Bucket bounds are set at registration and

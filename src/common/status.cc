@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

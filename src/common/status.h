@@ -21,6 +21,11 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  /// Transient refusal: the callee is temporarily unable to take the
+  /// work (e.g. the lineage server shed the request under overload).
+  /// Retrying later may succeed — unlike FailedPrecondition, nothing
+  /// about the request itself is wrong.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a code (e.g. "InvalidArgument").
@@ -64,6 +69,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +81,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -32,6 +32,18 @@ struct LineageRequest {
     return req;
   }
 
+  /// Convenience for an explicit run set (§3.4 multi-run sharing).
+  static LineageRequest MultiRun(std::vector<std::string> runs,
+                                 workflow::PortRef target, Index index,
+                                 InterestSet interest = {}) {
+    LineageRequest req;
+    req.runs = std::move(runs);
+    req.target = std::move(target);
+    req.index = std::move(index);
+    req.interest = std::move(interest);
+    return req;
+  }
+
   std::string ToString() const {
     std::string runs_repr;
     for (const std::string& r : runs) {
@@ -69,31 +81,6 @@ class LineageEngine {
   /// Answers one request across all runs in its scope.
   virtual Result<LineageAnswer> Query(const LineageRequest& request) const = 0;
 
-  // --- deprecated positional shims (kept for one PR) ----------------------
-  // The four-positional-argument shape predates LineageRequest; out-of-tree
-  // callers still compile through these. New code should build a
-  // LineageRequest. Derived classes re-export them with
-  // `using LineageEngine::Query;` / `using LineageEngine::QueryMultiRun;`.
-
-  /// Deprecated: use Query(LineageRequest).
-  Result<LineageAnswer> Query(const std::string& run,
-                              const workflow::PortRef& target, const Index& q,
-                              const InterestSet& interest) const {
-    return Query(LineageRequest::SingleRun(run, target, q, interest));
-  }
-
-  /// Deprecated: use Query(LineageRequest) with several runs.
-  Result<LineageAnswer> QueryMultiRun(const std::vector<std::string>& runs,
-                                      const workflow::PortRef& target,
-                                      const Index& q,
-                                      const InterestSet& interest) const {
-    LineageRequest req;
-    req.runs = runs;
-    req.target = target;
-    req.index = q;
-    req.interest = interest;
-    return Query(req);
-  }
 };
 
 }  // namespace provlin::lineage

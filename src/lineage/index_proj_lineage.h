@@ -127,9 +127,6 @@ class IndexProjLineage : public LineageEngine {
   /// per-step attribution forgoes batching.
   Result<ExplainResult> Explain(const LineageRequest& request) const;
 
-  using LineageEngine::Query;
-  using LineageEngine::QueryMultiRun;
-
   /// Wipes the plan cache (used by benches to measure cold planning).
   /// Safe under concurrent queries: in-flight plans stay alive through
   /// their shared_ptr.

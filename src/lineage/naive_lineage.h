@@ -47,9 +47,6 @@ class NaiveLineage : public LineageEngine {
   /// per-run loop kSingleProbe still uses.
   Result<LineageAnswer> Query(const LineageRequest& request) const override;
 
-  using LineageEngine::Query;
-  using LineageEngine::QueryMultiRun;
-
  private:
   /// One full Def. 1 traversal of a single run.
   Result<LineageAnswer> QueryOneRun(const std::string& run,

@@ -134,8 +134,9 @@ Result<LineageAnswer> UserView::Query(IndexProjLineage* engine,
                                       const Index& q,
                                       const InterestSet& view_interest) const {
   PROVLIN_ASSIGN_OR_RETURN(InterestSet lowered, Lower(view_interest));
-  PROVLIN_ASSIGN_OR_RETURN(LineageAnswer answer,
-                           engine->Query(run, target, q, lowered));
+  PROVLIN_ASSIGN_OR_RETURN(
+      LineageAnswer answer,
+      engine->Query(LineageRequest::SingleRun(run, target, q, lowered)));
   return Raise(view_interest, std::move(answer));
 }
 

@@ -61,8 +61,8 @@ VersionedLineage::QueryAcrossVersions(const std::vector<std::string>& runs,
                                IndexProjLineage::Create(*flow, store_));
       eit = engines_.emplace(version, std::move(engine)).first;
     }
-    auto answer =
-        eit->second.QueryMultiRun(version_runs, target, q, interest);
+    auto answer = eit->second.Query(
+        LineageRequest::MultiRun(version_runs, target, q, interest));
     if (!answer.ok()) {
       if (answer.status().IsNotFound()) {
         // Target missing in this version: skip its runs, keep going.

@@ -1,0 +1,273 @@
+#include "lineage/wire.h"
+
+#include <utility>
+
+namespace provlin::lineage::wire {
+namespace {
+
+/// Sanity ceiling on decoded element counts (runs, interest names,
+/// bindings, index components). The length prefixes below are all
+/// validated against the remaining payload before anything is
+/// allocated, but a count field costs only 4 bytes to forge — this cap
+/// keeps a hostile frame from even *starting* a million-element loop.
+constexpr uint32_t kMaxElements = 1u << 20;
+
+Result<uint32_t> ReadCount(storage::BinaryReader* r, const char* what) {
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  if (n > kMaxElements) {
+    return Status::Corruption(std::string("implausible ") + what +
+                              " count " + std::to_string(n));
+  }
+  return n;
+}
+
+void EncodeIndex(const Index& index, storage::BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(index.length()));
+  for (int32_t part : index.parts()) {
+    w->WriteU32(static_cast<uint32_t>(part));
+  }
+}
+
+Result<Index> DecodeIndex(storage::BinaryReader* r) {
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t n, ReadCount(r, "index component"));
+  std::vector<int32_t> parts;
+  parts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(uint32_t part, r->ReadU32());
+    parts.push_back(static_cast<int32_t>(part));
+  }
+  return Index(std::move(parts));
+}
+
+void EncodePortRef(const workflow::PortRef& port, storage::BinaryWriter* w) {
+  w->WriteString(port.processor);
+  w->WriteString(port.port);
+}
+
+Result<workflow::PortRef> DecodePortRef(storage::BinaryReader* r) {
+  workflow::PortRef port;
+  PROVLIN_ASSIGN_OR_RETURN(port.processor, r->ReadString());
+  PROVLIN_ASSIGN_OR_RETURN(port.port, r->ReadString());
+  return port;
+}
+
+void EncodeTiming(const LineageTiming& t, storage::BinaryWriter* w) {
+  w->WriteDouble(t.t1_ms);
+  w->WriteDouble(t.t2_ms);
+  w->WriteU64(t.trace_probes);
+  w->WriteU64(t.trace_descents);
+  w->WriteU64(t.graph_steps);
+  w->WriteU8(t.plan_cache_hit ? 1 : 0);
+}
+
+Result<LineageTiming> DecodeTiming(storage::BinaryReader* r) {
+  LineageTiming t;
+  PROVLIN_ASSIGN_OR_RETURN(t.t1_ms, r->ReadDouble());
+  PROVLIN_ASSIGN_OR_RETURN(t.t2_ms, r->ReadDouble());
+  PROVLIN_ASSIGN_OR_RETURN(t.trace_probes, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.trace_descents, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.graph_steps, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t hit, r->ReadU8());
+  if (hit > 1) {
+    return Status::Corruption("plan_cache_hit flag is " +
+                              std::to_string(hit) + ", not 0/1");
+  }
+  t.plan_cache_hit = hit == 1;
+  return t;
+}
+
+void WriteHeader(uint8_t type, uint64_t request_id,
+                 storage::BinaryWriter* w) {
+  w->WriteU8(kWireVersion);
+  w->WriteU8(type);
+  w->WriteU64(request_id);
+}
+
+/// Reads and validates the common header, returning the request id.
+/// The version byte is checked before anything else so a v2 frame is
+/// rejected as unsupported-version, never misparsed.
+Result<uint64_t> ReadHeader(storage::BinaryReader* r, MessageType expected) {
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kWireVersion) + ")");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t type, r->ReadU8());
+  if (type != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(type));
+  }
+  return r->ReadU64();
+}
+
+Status ExpectEnd(const storage::BinaryReader& r) {
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing garbage after payload at offset " +
+                              std::to_string(r.position()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded:
+      return "OVERLOADED";
+    case ErrorCode::kBadRequest:
+      return "BAD_REQUEST";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeLineageRequest(const LineageRequest& request,
+                          storage::BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(request.runs.size()));
+  for (const std::string& run : request.runs) w->WriteString(run);
+  EncodePortRef(request.target, w);
+  EncodeIndex(request.index, w);
+  w->WriteU32(static_cast<uint32_t>(request.interest.size()));
+  for (const std::string& name : request.interest) w->WriteString(name);
+}
+
+Result<LineageRequest> DecodeLineageRequest(storage::BinaryReader* r) {
+  LineageRequest request;
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t nruns, ReadCount(r, "run"));
+  request.runs.reserve(nruns);
+  for (uint32_t i = 0; i < nruns; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(std::string run, r->ReadString());
+    request.runs.push_back(std::move(run));
+  }
+  PROVLIN_ASSIGN_OR_RETURN(request.target, DecodePortRef(r));
+  PROVLIN_ASSIGN_OR_RETURN(request.index, DecodeIndex(r));
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t ninterest, ReadCount(r, "interest"));
+  for (uint32_t i = 0; i < ninterest; ++i) {
+    PROVLIN_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    request.interest.insert(std::move(name));
+  }
+  return request;
+}
+
+void EncodeLineageAnswer(const LineageAnswer& answer,
+                         storage::BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(answer.bindings.size()));
+  for (const LineageBinding& b : answer.bindings) {
+    w->WriteString(b.run_id);
+    EncodePortRef(b.port, w);
+    EncodeIndex(b.index, w);
+    w->WriteString(b.value_repr);
+  }
+  EncodeTiming(answer.timing, w);
+}
+
+Result<LineageAnswer> DecodeLineageAnswer(storage::BinaryReader* r) {
+  LineageAnswer answer;
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t n, ReadCount(r, "binding"));
+  answer.bindings.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LineageBinding b;
+    PROVLIN_ASSIGN_OR_RETURN(b.run_id, r->ReadString());
+    PROVLIN_ASSIGN_OR_RETURN(b.port, DecodePortRef(r));
+    PROVLIN_ASSIGN_OR_RETURN(b.index, DecodeIndex(r));
+    PROVLIN_ASSIGN_OR_RETURN(b.value_repr, r->ReadString());
+    answer.bindings.push_back(std::move(b));
+  }
+  PROVLIN_ASSIGN_OR_RETURN(answer.timing, DecodeTiming(r));
+  return answer;
+}
+
+Status ResponseEnvelope::ToStatus() const {
+  if (ok) return Status::OK();
+  std::string detail(ErrorCodeName(code));
+  if (!message.empty()) detail += ": " + message;
+  switch (code) {
+    case ErrorCode::kOverloaded:
+      return Status::Unavailable(std::move(detail));
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kUnsupportedVersion:
+      return Status::InvalidArgument(std::move(detail));
+    case ErrorCode::kNotFound:
+      return Status::NotFound(std::move(detail));
+    case ErrorCode::kInternal:
+      return Status::Internal(std::move(detail));
+  }
+  return Status::Internal(std::move(detail));
+}
+
+std::string EncodeRequestEnvelope(const RequestEnvelope& envelope) {
+  storage::BinaryWriter w;
+  WriteHeader(static_cast<uint8_t>(MessageType::kRequest),
+              envelope.request_id, &w);
+  w.WriteString(envelope.engine);
+  EncodeLineageRequest(envelope.request, &w);
+  return w.buffer();
+}
+
+std::string EncodeAnswerResponse(uint64_t request_id,
+                                 const LineageAnswer& answer) {
+  storage::BinaryWriter w;
+  WriteHeader(static_cast<uint8_t>(MessageType::kAnswer), request_id, &w);
+  EncodeLineageAnswer(answer, &w);
+  return w.buffer();
+}
+
+std::string EncodeErrorResponse(uint64_t request_id, ErrorCode code,
+                                std::string_view message) {
+  storage::BinaryWriter w;
+  WriteHeader(static_cast<uint8_t>(MessageType::kError), request_id, &w);
+  w.WriteU8(static_cast<uint8_t>(code));
+  w.WriteString(message);
+  return w.buffer();
+}
+
+Result<RequestEnvelope> DecodeRequestEnvelope(std::string_view payload) {
+  storage::BinaryReader r(payload);
+  RequestEnvelope envelope;
+  PROVLIN_ASSIGN_OR_RETURN(envelope.request_id,
+                           ReadHeader(&r, MessageType::kRequest));
+  PROVLIN_ASSIGN_OR_RETURN(envelope.engine, r.ReadString());
+  PROVLIN_ASSIGN_OR_RETURN(envelope.request, DecodeLineageRequest(&r));
+  PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
+  return envelope;
+}
+
+Result<ResponseEnvelope> DecodeResponseEnvelope(std::string_view payload) {
+  storage::BinaryReader r(payload);
+  ResponseEnvelope envelope;
+  // Responses carry either message type; peek the header by hand since
+  // ReadHeader pins one expected type.
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  PROVLIN_ASSIGN_OR_RETURN(envelope.request_id, r.ReadU64());
+  if (type == static_cast<uint8_t>(MessageType::kAnswer)) {
+    envelope.ok = true;
+    PROVLIN_ASSIGN_OR_RETURN(envelope.answer, DecodeLineageAnswer(&r));
+  } else if (type == static_cast<uint8_t>(MessageType::kError)) {
+    envelope.ok = false;
+    PROVLIN_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+    if (code < static_cast<uint8_t>(ErrorCode::kOverloaded) ||
+        code > static_cast<uint8_t>(ErrorCode::kUnsupportedVersion)) {
+      return Status::Corruption("unknown error code " + std::to_string(code));
+    }
+    envelope.code = static_cast<ErrorCode>(code);
+    PROVLIN_ASSIGN_OR_RETURN(envelope.message, r.ReadString());
+  } else {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(type));
+  }
+  PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
+  return envelope;
+}
+
+}  // namespace provlin::lineage::wire

@@ -1,0 +1,113 @@
+#ifndef PROVLIN_LINEAGE_WIRE_H_
+#define PROVLIN_LINEAGE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "lineage/engine.h"
+#include "lineage/query.h"
+#include "storage/serialize.h"
+
+namespace provlin::lineage::wire {
+
+/// Versioned binary encoding of the lineage request/answer API — the
+/// one wire shape shared by the network server (src/server), the
+/// load-generation client (tools/loadgen), and the codec tests.
+/// LineageRequest::ToString() stays a log format only; nothing parses
+/// it.
+///
+/// Every payload starts with a fixed two-byte header:
+///
+///   [version u8][message type u8][request id u64][body ...]
+///
+/// followed by a type-specific body built from the storage layer's
+/// little-endian primitives (storage/serialize.h): fixed-width
+/// integers, length-prefixed strings. The version byte is checked
+/// before anything else is read, so a future v2 decoder can dispatch
+/// on it (and today's server answers a non-v1 frame with a typed
+/// kUnsupportedVersion error instead of misparsing it). Request ids
+/// are client-assigned and echoed verbatim in the response, which is
+/// what lets one connection pipeline many requests.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Default ceiling on one frame's payload; the server and client both
+/// reject frames whose length prefix exceeds their configured maximum
+/// (DESIGN.md §12 — bounded memory per connection, no allocation from
+/// an untrusted length).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  kRequest = 1,  ///< client → server: RequestEnvelope
+  kAnswer = 2,   ///< server → client: LineageAnswer for the echoed id
+  kError = 3,    ///< server → client: typed ErrorCode + message
+};
+
+/// Typed failure taxonomy of the served API. kOverloaded is the
+/// admission-control response: the server's bounded request queue was
+/// full and the request was shed without executing (clients see it as
+/// Status::Unavailable and may retry later).
+enum class ErrorCode : uint8_t {
+  kOverloaded = 1,
+  kBadRequest = 2,
+  kNotFound = 3,
+  kInternal = 4,
+  kUnsupportedVersion = 5,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// --- field-level codecs ----------------------------------------------------
+// Raw request/answer bodies, without the envelope header. Shared by the
+// envelope encoders below and addressable directly by tests.
+
+void EncodeLineageRequest(const LineageRequest& request,
+                          storage::BinaryWriter* w);
+Result<LineageRequest> DecodeLineageRequest(storage::BinaryReader* r);
+
+void EncodeLineageAnswer(const LineageAnswer& answer,
+                         storage::BinaryWriter* w);
+Result<LineageAnswer> DecodeLineageAnswer(storage::BinaryReader* r);
+
+// --- envelopes -------------------------------------------------------------
+
+/// One served request: which engine ("naive" | "indexproj") answers
+/// which LineageRequest, matched to its response by `request_id`.
+struct RequestEnvelope {
+  uint64_t request_id = 0;
+  std::string engine;
+  LineageRequest request;
+};
+
+/// One served response: the answer for `request_id`, or a typed error.
+struct ResponseEnvelope {
+  uint64_t request_id = 0;
+  bool ok = false;
+  LineageAnswer answer;                    // meaningful iff ok
+  ErrorCode code = ErrorCode::kInternal;   // meaningful iff !ok
+  std::string message;                     // meaningful iff !ok
+
+  /// Status view of an error response: kOverloaded maps to the typed
+  /// Status::Unavailable, kBadRequest/kUnsupportedVersion to
+  /// InvalidArgument, kNotFound to NotFound, the rest to Internal.
+  /// OK for an answer response.
+  Status ToStatus() const;
+};
+
+/// Full payloads (header + body), ready for framing.
+std::string EncodeRequestEnvelope(const RequestEnvelope& envelope);
+std::string EncodeAnswerResponse(uint64_t request_id,
+                                 const LineageAnswer& answer);
+std::string EncodeErrorResponse(uint64_t request_id, ErrorCode code,
+                                std::string_view message);
+
+/// Decoders reject wrong-version, wrong-type, truncated, and
+/// trailing-garbage payloads with Corruption/InvalidArgument — they
+/// never crash on adversarial bytes (fuzzed by tests/wire_test.cc).
+Result<RequestEnvelope> DecodeRequestEnvelope(std::string_view payload);
+Result<ResponseEnvelope> DecodeResponseEnvelope(std::string_view payload);
+
+}  // namespace provlin::lineage::wire
+
+#endif  // PROVLIN_LINEAGE_WIRE_H_

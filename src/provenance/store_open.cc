@@ -1,0 +1,34 @@
+#include "provenance/store_open.h"
+
+#include <fstream>
+#include <utility>
+
+namespace provlin::provenance {
+
+Result<OpenedStore> OpenStore(const StoreOptions& options) {
+  OpenedStore out;
+  out.options_ = options;
+  out.db_ = std::make_unique<storage::Database>();
+  if (!options.db_path.empty()) {
+    std::ifstream probe(options.db_path);
+    if (probe.good()) {
+      PROVLIN_RETURN_IF_ERROR(out.db_->Load(options.db_path));
+    }
+  }
+  PROVLIN_ASSIGN_OR_RETURN(
+      TraceStore store,
+      TraceStore::Open(out.db_.get(), options.ToTraceStoreOptions()));
+  out.store_.emplace(std::move(store));
+  if (!options.wal_base.empty()) {
+    PROVLIN_RETURN_IF_ERROR(out.store_->AttachWalFiles(options.wal_base));
+  }
+  return out;
+}
+
+Status OpenedStore::Save() {
+  PROVLIN_RETURN_IF_ERROR(store_->Flush());
+  if (options_.db_path.empty()) return Status::OK();
+  return db_->Save(options_.db_path);
+}
+
+}  // namespace provlin::provenance

@@ -1,0 +1,81 @@
+#ifndef PROVLIN_PROVENANCE_STORE_OPEN_H_
+#define PROVLIN_PROVENANCE_STORE_OPEN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "provenance/trace_store.h"
+#include "storage/database.h"
+
+namespace provlin::provenance {
+
+/// The one way a trace store is opened from the outside: database path,
+/// shard layout, ingest mode, and WAL attachment in a single options
+/// struct. The CLI (every command), the lineage server, and the benches
+/// all build one of these instead of hand-wiring Database::Load +
+/// TraceStore::Open + AttachWalFiles in their own order.
+struct StoreOptions {
+  /// Database image path. Loaded when the file exists, created fresh
+  /// otherwise. Empty = in-memory only (benches, tests): nothing is
+  /// loaded and Save() is a no-op.
+  std::string db_path;
+  /// When non-empty, store-owned per-shard WAL files are attached under
+  /// this base path (TraceStore::AttachWalFiles): capture becomes
+  /// crash-safe before rows reach the tables.
+  std::string wal_base;
+  /// Run-shard count. 0 = auto: the count recorded in the database
+  /// image, else PROVLIN_TEST_SHARDS, else 1. An explicit count that
+  /// differs from the image's reshards on open (DESIGN.md §11).
+  size_t shards = 0;
+  /// Per-shard writer threads draining bounded ingest queues instead of
+  /// synchronous writes on the caller's thread.
+  bool async_ingest = false;
+
+  /// The storage-layer slice of these options.
+  TraceStoreOptions ToTraceStoreOptions() const {
+    TraceStoreOptions out;
+    out.shards = shards;
+    out.async_ingest = async_ingest;
+    return out;
+  }
+};
+
+/// An opened database + trace store pair with aligned lifetimes (the
+/// store points into the database; moving the OpenedStore keeps the
+/// pointer valid because the database is heap-owned). Movable,
+/// non-copyable.
+class OpenedStore {
+ public:
+  OpenedStore(OpenedStore&&) = default;
+  OpenedStore& operator=(OpenedStore&&) = default;
+  OpenedStore(const OpenedStore&) = delete;
+  OpenedStore& operator=(const OpenedStore&) = delete;
+
+  TraceStore& store() { return *store_; }
+  const TraceStore& store() const { return *store_; }
+  storage::Database& db() { return *db_; }
+
+  /// Persists the database image back to StoreOptions::db_path (no-op
+  /// for an in-memory store). Flushes pending async ingest first.
+  Status Save();
+
+ private:
+  friend Result<OpenedStore> OpenStore(const StoreOptions& options);
+  OpenedStore() = default;
+
+  StoreOptions options_;
+  std::unique_ptr<storage::Database> db_;
+  std::optional<TraceStore> store_;
+};
+
+/// Opens (or creates) the database at options.db_path, opens the trace
+/// store over it with the requested shard layout, and attaches WAL
+/// files when requested — the single replacement for the scattered
+/// OpenDb / TraceStore::Open / AttachWalFiles call shapes.
+Result<OpenedStore> OpenStore(const StoreOptions& options);
+
+}  // namespace provlin::provenance
+
+#endif  // PROVLIN_PROVENANCE_STORE_OPEN_H_

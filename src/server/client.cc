@@ -1,0 +1,44 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace provlin::server {
+
+namespace wire = lineage::wire;
+
+Result<LineageClient> LineageClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             uint32_t max_frame_bytes) {
+  PROVLIN_ASSIGN_OR_RETURN(Socket socket, TcpConnect(host, port));
+  return LineageClient(std::move(socket), max_frame_bytes);
+}
+
+Result<uint64_t> LineageClient::Send(std::string_view engine,
+                                     const lineage::LineageRequest& request) {
+  wire::RequestEnvelope envelope;
+  envelope.request_id = next_id_++;
+  envelope.engine = std::string(engine);
+  envelope.request = request;
+  PROVLIN_RETURN_IF_ERROR(WriteFrame(
+      socket_, wire::EncodeRequestEnvelope(envelope), max_frame_bytes_));
+  return envelope.request_id;
+}
+
+Result<wire::ResponseEnvelope> LineageClient::Receive() {
+  std::string payload;
+  PROVLIN_ASSIGN_OR_RETURN(bool got,
+                           ReadFrame(socket_, &payload, max_frame_bytes_));
+  if (!got) {
+    return Status::Unavailable(
+        "connection closed by server before a response frame");
+  }
+  return wire::DecodeResponseEnvelope(payload);
+}
+
+Result<wire::ResponseEnvelope> LineageClient::Call(
+    std::string_view engine, const lineage::LineageRequest& request) {
+  PROVLIN_RETURN_IF_ERROR(Send(engine, request).status());
+  return Receive();
+}
+
+}  // namespace provlin::server

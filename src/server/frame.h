@@ -1,0 +1,78 @@
+#ifndef PROVLIN_SERVER_FRAME_H_
+#define PROVLIN_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "lineage/wire.h"
+
+namespace provlin::server {
+
+/// Frame transport of the lineage wire protocol (DESIGN.md §12): every
+/// message travels as one length-prefixed frame on a TCP stream,
+///
+///   [payload length u32, little-endian][payload bytes]
+///
+/// where the payload is a wire.h envelope. The length prefix is
+/// validated against a configured ceiling *before* any allocation, so
+/// a hostile or corrupted peer can cost at most 4 bytes of read-ahead —
+/// never an unbounded buffer. Frames are self-delimiting, which is what
+/// lets one connection pipeline many requests and read answers out of
+/// band.
+
+/// Owning file-descriptor handle for sockets (move-only RAII).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// shutdown(2) both directions — unblocks a reader in another thread
+  /// without racing the fd close.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1:`port` (port 0 = kernel-assigned;
+/// recover the bound port with LocalPort). SO_REUSEADDR is set so CI
+/// restarts do not trip over TIME_WAIT.
+Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+
+/// Port a bound socket actually listens on.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking connect to host:port (numeric or resolvable host).
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// Accepts one connection; blocks. Callers multiplex stop-signals by
+/// polling the listener before calling (see LineageServer's accept
+/// loop) or by closing the listener, which fails the accept.
+Result<Socket> Accept(const Socket& listener);
+
+/// Writes one frame (length prefix + payload), looping over partial
+/// writes. Rejects payloads above `max_frame_bytes` without writing.
+Status WriteFrame(const Socket& socket, std::string_view payload,
+                  uint32_t max_frame_bytes = lineage::wire::kDefaultMaxFrameBytes);
+
+/// Reads one frame into `payload`. Returns false on clean EOF at a
+/// frame boundary (peer closed), true when a frame was read. A length
+/// prefix above `max_frame_bytes` is OutOfRange — the connection cannot
+/// be resynchronized and must be closed. EOF inside a frame is
+/// Corruption.
+Result<bool> ReadFrame(const Socket& socket, std::string* payload,
+                       uint32_t max_frame_bytes = lineage::wire::kDefaultMaxFrameBytes);
+
+}  // namespace provlin::server
+
+#endif  // PROVLIN_SERVER_FRAME_H_

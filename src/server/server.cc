@@ -1,0 +1,371 @@
+#include "server/server.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/tracing.h"
+
+namespace provlin::server {
+namespace {
+
+namespace wire = lineage::wire;
+
+struct ServerCounters {
+  common::metrics::Counter* connections_accepted;
+  common::metrics::Counter* connections_rejected;
+  common::metrics::Counter* requests;
+  common::metrics::Counter* responses_ok;
+  common::metrics::Counter* responses_error;
+  common::metrics::Counter* overload_shed;
+  common::metrics::Counter* bad_frames;
+  common::metrics::Histogram* request_ms;
+  common::metrics::Histogram* batch_size;
+  common::metrics::Gauge* queue_depth;
+};
+
+ServerCounters& Counters() {
+  static ServerCounters c = {
+      common::metrics::GetCounter("server/connections_accepted"),
+      common::metrics::GetCounter("server/connections_rejected"),
+      common::metrics::GetCounter("server/requests"),
+      common::metrics::GetCounter("server/responses_ok"),
+      common::metrics::GetCounter("server/responses_error"),
+      common::metrics::GetCounter("server/overload_shed"),
+      common::metrics::GetCounter("server/bad_frames"),
+      common::metrics::GetHistogram("server/request_ms"),
+      common::metrics::GetHistogram("server/batch_size",
+                                    common::metrics::DefaultSizeBounds()),
+      common::metrics::GetGauge("server/queue_depth"),
+  };
+  return c;
+}
+
+/// Engine-status → wire error taxonomy for failed requests.
+wire::ErrorCode CodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return wire::ErrorCode::kNotFound;
+    case StatusCode::kInvalidArgument:
+      return wire::ErrorCode::kBadRequest;
+    case StatusCode::kUnavailable:
+      return wire::ErrorCode::kOverloaded;
+    default:
+      return wire::ErrorCode::kInternal;
+  }
+}
+
+/// Best-effort request id out of a frame that failed full decode: the
+/// id sits at a fixed offset (version u8, type u8, id u64), so even a
+/// bad request can usually get an error matched to it.
+uint64_t SalvageRequestId(std::string_view payload) {
+  if (payload.size() < 10) return 0;
+  uint64_t id = 0;
+  std::memcpy(&id, payload.data() + 2, 8);
+  return id;
+}
+
+}  // namespace
+
+Status LineageServer::Connection::Write(std::string_view payload,
+                                        uint32_t max_frame_bytes) {
+  common::MutexLock lock(write_mu);
+  return WriteFrame(socket, payload, max_frame_bytes);
+}
+
+LineageServer::LineageServer(EngineMap engines, ServerOptions options)
+    : engines_(std::move(engines)),
+      options_(options),
+      service_(options.service) {}
+
+LineageServer::~LineageServer() { Stop(); }
+
+Status LineageServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  PROVLIN_ASSIGN_OR_RETURN(listener_, TcpListen(options_.port));
+  PROVLIN_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+  running_.store(true);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+void LineageServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // 1. Stop accepting. The accept loop never blocks indefinitely — it
+  //    polls the listener with a 100 ms timeout and re-checks
+  //    stopping_ — so joining first and closing the listener after is
+  //    both prompt and race-free (no thread touches the fd once the
+  //    join returns).
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // 2. Stop the readers: shutting the sockets down unblocks recv with
+  //    EOF. Joining them means no new queue entries after this point.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    common::MutexLock lock(conns_mu_);
+    conns = conns_;
+  }
+  for (auto& conn : conns) conn->socket.ShutdownBoth();
+  for (auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  // 3. Stop the dispatcher: it sheds whatever is still queued (typed
+  //    OVERLOADED — the writes may fail against shut-down sockets,
+  //    which is fine) and exits once the queue is empty.
+  {
+    common::MutexLock lock(queue_mu_);
+    paused_ = false;
+    queue_cv_.NotifyAll();
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    common::MutexLock lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+ServerStats LineageServer::stats() const {
+  // The server publishes only to the process-wide registry; the typed
+  // snapshot is rebuilt from it (same pattern as ServiceMetrics).
+  ServerCounters& c = Counters();
+  ServerStats s;
+  s.connections_accepted = c.connections_accepted->Value();
+  s.connections_rejected = c.connections_rejected->Value();
+  s.requests = c.requests->Value();
+  s.responses_ok = c.responses_ok->Value();
+  s.responses_error = c.responses_error->Value();
+  s.overload_shed = c.overload_shed->Value();
+  s.bad_frames = c.bad_frames->Value();
+  return s;
+}
+
+void LineageServer::PauseDispatchForTest() {
+  common::MutexLock lock(queue_mu_);
+  paused_ = true;
+}
+
+void LineageServer::ResumeDispatchForTest() {
+  common::MutexLock lock(queue_mu_);
+  paused_ = false;
+  queue_cv_.NotifyAll();
+}
+
+void LineageServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listener_.fd();
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) {
+      ReapFinishedConnections();
+      continue;
+    }
+    Result<Socket> accepted = Accept(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load()) break;
+      PROVLIN_LOG(Warning) << "accept failed: "
+                           << accepted.status().ToString();
+      continue;
+    }
+    ReapFinishedConnections();
+    size_t live = 0;
+    {
+      common::MutexLock lock(conns_mu_);
+      live = conns_.size();
+    }
+    if (live >= options_.max_connections) {
+      // Bounded thread count: refuse by closing. The client sees EOF
+      // before any frame — distinguishable from a served connection.
+      Counters().connections_rejected->Increment();
+      continue;  // `accepted` closes on scope exit
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(*accepted);
+    Counters().connections_accepted->Increment();
+    {
+      common::MutexLock lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReadLoop(conn); });
+  }
+}
+
+void LineageServer::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    common::MutexLock lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock; responses in flight for a finished
+  // connection keep their shared_ptr alive independently.
+  for (auto& conn : finished) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+void LineageServer::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  while (!stopping_.load()) {
+    Result<bool> frame = ReadFrame(conn->socket, &payload,
+                                   options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Oversized or truncated frame: the stream cannot be resynced.
+      Counters().bad_frames->Increment();
+      break;
+    }
+    if (!*frame) break;  // clean EOF
+    // Version gate before anything else is parsed (wire.h contract):
+    // a non-v1 frame gets a typed UNSUPPORTED_VERSION, not a misparse.
+    if (!payload.empty() &&
+        static_cast<uint8_t>(payload[0]) != wire::kWireVersion) {
+      Counters().bad_frames->Increment();
+      (void)conn->Write(
+          wire::EncodeErrorResponse(
+              SalvageRequestId(payload), wire::ErrorCode::kUnsupportedVersion,
+              "server speaks wire version " +
+                  std::to_string(wire::kWireVersion)),
+          options_.max_frame_bytes);
+      continue;
+    }
+    Result<wire::RequestEnvelope> envelope =
+        wire::DecodeRequestEnvelope(payload);
+    if (!envelope.ok()) {
+      Counters().bad_frames->Increment();
+      (void)conn->Write(
+          wire::EncodeErrorResponse(SalvageRequestId(payload),
+                                    wire::ErrorCode::kBadRequest,
+                                    envelope.status().ToString()),
+          options_.max_frame_bytes);
+      continue;
+    }
+    Counters().requests->Increment();
+    Pending pending;
+    pending.conn = conn;
+    pending.envelope = std::move(*envelope);
+    uint64_t request_id = pending.envelope.request_id;
+    if (!Submit(std::move(pending))) {
+      // Admission control: full queue → typed shed, written from the
+      // reader so the response is immediate and nothing is buffered.
+      Counters().overload_shed->Increment();
+      (void)conn->Write(
+          wire::EncodeErrorResponse(request_id, wire::ErrorCode::kOverloaded,
+                                    "request queue full (" +
+                                        std::to_string(options_.max_queue) +
+                                        " deep); retry later"),
+          options_.max_frame_bytes);
+    }
+  }
+  conn->done.store(true);
+}
+
+bool LineageServer::Submit(Pending pending) {
+  common::MutexLock lock(queue_mu_);
+  if (stopping_.load() || queue_.size() >= options_.max_queue) return false;
+  queue_.push_back(std::move(pending));
+  Counters().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  queue_cv_.NotifyOne();
+  return true;
+}
+
+void LineageServer::DispatchLoop() {
+  while (true) {
+    std::vector<Pending> drain;
+    bool shutting_down = false;
+    {
+      common::MutexLock lock(queue_mu_);
+      while (!stopping_.load() && (queue_.empty() || paused_)) {
+        queue_cv_.Wait(queue_mu_);
+      }
+      shutting_down = stopping_.load();
+      size_t n = queue_.size();
+      if (!shutting_down && n > options_.max_batch) n = options_.max_batch;
+      drain.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        drain.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      Counters().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      if (shutting_down && queue_.empty() && drain.empty()) break;
+    }
+    if (shutting_down) {
+      // Shutdown sheds rather than executes: prompt, bounded, and the
+      // client-visible semantics are the same as overload.
+      for (const Pending& p : drain) {
+        Counters().overload_shed->Increment();
+        (void)p.conn->Write(
+            wire::EncodeErrorResponse(p.envelope.request_id,
+                                      wire::ErrorCode::kOverloaded,
+                                      "server shutting down"),
+            options_.max_frame_bytes);
+      }
+      continue;
+    }
+    if (!drain.empty()) ExecuteDrain(std::move(drain));
+  }
+}
+
+void LineageServer::ExecuteDrain(std::vector<Pending> drain) {
+  PROVLIN_TRACE_SPAN("server/drain");
+  Counters().batch_size->Observe(static_cast<double>(drain.size()));
+  // Resolve engines up front; unknown names answer immediately and are
+  // excluded from the service batch (`requests` keeps positional
+  // alignment via the index vector).
+  std::vector<lineage::ServiceRequest> batch;
+  std::vector<size_t> batch_to_drain;
+  batch.reserve(drain.size());
+  for (size_t i = 0; i < drain.size(); ++i) {
+    const wire::RequestEnvelope& env = drain[i].envelope;
+    auto it = engines_.find(env.engine);
+    if (it == engines_.end()) {
+      Counters().responses_error->Increment();
+      (void)drain[i].conn->Write(
+          wire::EncodeErrorResponse(env.request_id,
+                                    wire::ErrorCode::kBadRequest,
+                                    "unknown engine '" + env.engine + "'"),
+          options_.max_frame_bytes);
+      continue;
+    }
+    batch.push_back({it->second, env.request});
+    batch_to_drain.push_back(i);
+  }
+  if (batch.empty()) return;
+  std::vector<lineage::ServiceResponse> responses =
+      service_.ExecuteBatch(batch);
+  for (size_t b = 0; b < responses.size(); ++b) {
+    Pending& p = drain[batch_to_drain[b]];
+    const lineage::ServiceResponse& r = responses[b];
+    std::string frame;
+    if (r.status.ok()) {
+      Counters().responses_ok->Increment();
+      frame = wire::EncodeAnswerResponse(p.envelope.request_id, r.answer);
+    } else {
+      Counters().responses_error->Increment();
+      frame = wire::EncodeErrorResponse(p.envelope.request_id,
+                                        CodeForStatus(r.status),
+                                        r.status.ToString());
+    }
+    Counters().request_ms->Observe(p.admitted.ElapsedMillis());
+    Status written = p.conn->Write(frame, options_.max_frame_bytes);
+    if (!written.ok() && !stopping_.load()) {
+      PROVLIN_LOG(Warning) << "response write failed (client gone?): "
+                           << written.ToString();
+    }
+  }
+}
+
+}  // namespace provlin::server

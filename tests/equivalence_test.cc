@@ -328,8 +328,8 @@ TEST(EquivalenceFocusedCost, FocusedIndexProjProbesFarLessThanNaive) {
   PortRef target{kWorkflowProcessor, "RESULT"};
   InterestSet focused{testbed::kListGen};
 
-  auto ni = wb->Naive().Query("r0", target, Index({1, 2}), focused);
-  auto ip = wb->IndexProj()->Query("r0", target, Index({1, 2}), focused);
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("r0", target, Index({1, 2}), focused));
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("r0", target, Index({1, 2}), focused));
   ASSERT_TRUE(ni.ok());
   ASSERT_TRUE(ip.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);

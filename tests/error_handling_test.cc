@@ -131,8 +131,8 @@ TEST(ErrorPropagation, ErrorLineageLeadsToCulprit) {
   // the original workflow input element — on both engines.
   PortRef target{kWorkflowProcessor, "out"};
   InterestSet interest{"filter", kWorkflowProcessor};
-  auto ni = wb->Naive().Query("r0", target, Index({1}), interest);
-  auto ip = wb->IndexProj()->Query("r0", target, Index({1}), interest);
+  auto ni = wb->Naive().Query(lineage::LineageRequest::SingleRun("r0", target, Index({1}), interest));
+  auto ip = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, Index({1}), interest));
   ASSERT_TRUE(ni.ok());
   ASSERT_TRUE(ip.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);

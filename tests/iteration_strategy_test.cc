@@ -174,8 +174,8 @@ TEST(StrategyLineage, BackwardEnginesAgreeUnderTreeStrategy) {
     for (const lineage::InterestSet& interest :
          {lineage::InterestSet{}, lineage::InterestSet{kWorkflowProcessor},
           lineage::InterestSet{"combine"}}) {
-      auto ni = wb->Naive().Query("r0", target, q, interest);
-      auto ip = wb->IndexProj()->Query("r0", target, q, interest);
+      auto ni = wb->Naive().Query(lineage::LineageRequest::SingleRun("r0", target, q, interest));
+      auto ip = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, q, interest));
       ASSERT_TRUE(ni.ok());
       ASSERT_TRUE(ip.ok());
       ASSERT_EQ(ni->bindings, ip->bindings)
@@ -184,8 +184,8 @@ TEST(StrategyLineage, BackwardEnginesAgreeUnderTreeStrategy) {
   }
   // Precision check: out[2][3] depends on gene 2 and the (sample,label)
   // pair at position 3 — not on the other pairs.
-  auto lin = wb->IndexProj()->Query("r0", target, Index({1, 2}),
-                                    {kWorkflowProcessor});
+  auto lin = wb->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", target, Index({1, 2}),
+                                    {kWorkflowProcessor}));
   ASSERT_TRUE(lin.ok());
   ASSERT_EQ(lin->bindings.size(), 3u);
   EXPECT_EQ(lin->bindings[0].value_repr, "\"g2\"");   // genes[2]

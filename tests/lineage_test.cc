@@ -69,9 +69,9 @@ TEST(Lineage, PaperFig3WorkedExample) {
   PortRef target{"P", "Y1"};
   Index q({1, 0});  // h=2, l=1 in paper's 1-based notation
 
-  auto ni = wb->Naive().Query("run", target, q, interest);
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", target, q, interest));
   ASSERT_TRUE(ni.ok()) << ni.status().ToString();
-  auto ip = wb->IndexProj()->Query("run", target, q, interest);
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", target, q, interest));
   ASSERT_TRUE(ip.ok()) << ip.status().ToString();
 
   EXPECT_EQ(ni->bindings, ip->bindings);
@@ -89,11 +89,11 @@ TEST(Lineage, PaperFig3WorkedExample) {
 TEST(Lineage, PaperFig3WholeValueQuery) {
   // lin(P:Y[], {Q,R}): coarse query returns every Q element + R whole.
   auto wb = Fig3();
-  auto ip = wb->IndexProj()->Query("run", {"P", "Y1"}, Index(),
-                                   InterestSet{"Q", "R"});
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index(),
+                                   InterestSet{"Q", "R"}));
   ASSERT_TRUE(ip.ok());
-  auto ni = wb->Naive().Query("run", {"P", "Y1"}, Index(),
-                              InterestSet{"Q", "R"});
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index(),
+                              InterestSet{"Q", "R"}));
   ASSERT_TRUE(ni.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
   EXPECT_EQ(ip->bindings.size(), 4u);  // Q:X[1..3] + R:X[]
@@ -103,8 +103,8 @@ TEST(Lineage, ConstantInputAttributedViaP) {
   // Focused on P itself: its input bindings include the constant c.
   auto wb = Fig3();
   auto ip =
-      wb->IndexProj()->Query("run", {"P", "Y1"}, Index({0, 0}),
-                             InterestSet{"P"});
+      wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                             InterestSet{"P"}));
   ASSERT_TRUE(ip.ok());
   ASSERT_EQ(ip->bindings.size(), 3u);
   EXPECT_EQ(ip->bindings[0].port.ToString(), "P:X1");
@@ -116,10 +116,10 @@ TEST(Lineage, ConstantInputAttributedViaP) {
 TEST(Lineage, WorkflowInputsAsInterestSet) {
   auto wb = Fig3();
   InterestSet interest{kWorkflowProcessor};
-  auto ni = wb->Naive().Query("run", {"P", "Y1"}, Index({2, 1}), interest);
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({2, 1}), interest));
   ASSERT_TRUE(ni.ok());
-  auto ip = wb->IndexProj()->Query("run", {"P", "Y1"}, Index({2, 1}),
-                                   interest);
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({2, 1}),
+                                   interest));
   ASSERT_TRUE(ip.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
   // v (fine: element [2]), w (whole), c (whole).
@@ -133,11 +133,11 @@ TEST(Lineage, WorkflowInputsAsInterestSet) {
 
 TEST(Lineage, UnfocusedQueryCollectsEverything) {
   auto wb = Fig3();
-  auto ip = wb->IndexProj()->Query("run", {"P", "Y1"}, Index({0, 0}),
-                                   InterestSet{});
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                                   InterestSet{}));
   ASSERT_TRUE(ip.ok());
   auto ni =
-      wb->Naive().Query("run", {"P", "Y1"}, Index({0, 0}), InterestSet{});
+      wb->Naive().Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}), InterestSet{}));
   ASSERT_TRUE(ni.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
   // P's three inputs + Q:X element + R:X + three workflow inputs.
@@ -146,11 +146,11 @@ TEST(Lineage, UnfocusedQueryCollectsEverything) {
 
 TEST(Lineage, QueryFromIntermediatePort) {
   auto wb = Fig3();
-  auto ip = wb->IndexProj()->Query("run", {"Q", "Y"}, Index({1}),
-                                   InterestSet{kWorkflowProcessor});
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"Q", "Y"}, Index({1}),
+                                   InterestSet{kWorkflowProcessor}));
   ASSERT_TRUE(ip.ok());
-  auto ni = wb->Naive().Query("run", {"Q", "Y"}, Index({1}),
-                              InterestSet{kWorkflowProcessor});
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"Q", "Y"}, Index({1}),
+                              InterestSet{kWorkflowProcessor}));
   ASSERT_TRUE(ni.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
   ASSERT_EQ(ip->bindings.size(), 1u);
@@ -161,23 +161,23 @@ TEST(Lineage, QueryFromIntermediatePort) {
 TEST(Lineage, UnknownTargetsFailCleanly) {
   auto wb = Fig3();
   EXPECT_FALSE(
-      wb->IndexProj()->Query("run", {"ghost", "Y"}, Index(), {}).ok());
+      wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"ghost", "Y"}, Index(), {})).ok());
   EXPECT_FALSE(
-      wb->IndexProj()->Query("run", {"P", "ghost"}, Index(), {}).ok());
+      wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "ghost"}, Index(), {})).ok());
   EXPECT_FALSE(wb->IndexProj()
-                   ->Query("run", {kWorkflowProcessor, "ghost"}, Index(), {})
+                   ->Query(LineageRequest::SingleRun("run", {kWorkflowProcessor, "ghost"}, Index(), {}))
                    .ok());
   // NI on a nonexistent port finds nothing (empty, not an error — the
   // trace simply has no matching events).
-  auto ni = wb->Naive().Query("run", {"ghost", "Y"}, Index(), {});
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"ghost", "Y"}, Index(), {}));
   ASSERT_TRUE(ni.ok());
   EXPECT_TRUE(ni->bindings.empty());
 }
 
 TEST(Lineage, UnknownRunYieldsEmptyAnswer) {
   auto wb = Fig3();
-  auto ip = wb->IndexProj()->Query("nope", {"P", "Y1"}, Index({0, 0}),
-                                   InterestSet{"Q"});
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("nope", {"P", "Y1"}, Index({0, 0}),
+                                   InterestSet{"Q"}));
   ASSERT_TRUE(ip.ok());
   EXPECT_TRUE(ip->bindings.empty());
 }
@@ -185,20 +185,20 @@ TEST(Lineage, UnknownRunYieldsEmptyAnswer) {
 TEST(Lineage, PlanCacheHitsOnRepeatedQueries) {
   auto wb = Fig3();
   wb->IndexProj()->ClearPlanCache();
-  auto first = wb->IndexProj()->Query("run", {"P", "Y1"}, Index({0, 0}),
-                                      InterestSet{"Q"});
+  auto first = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                                      InterestSet{"Q"}));
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->timing.plan_cache_hit);
-  auto second = wb->IndexProj()->Query("run", {"P", "Y1"}, Index({0, 0}),
-                                       InterestSet{"Q"});
+  auto second = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                                       InterestSet{"Q"}));
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->timing.plan_cache_hit);
   EXPECT_EQ(first->bindings, second->bindings);
   EXPECT_EQ(wb->IndexProj()->plan_cache_size(), 1u);
   // A different interest set is a different plan.
   ASSERT_TRUE(wb->IndexProj()
-                  ->Query("run", {"P", "Y1"}, Index({0, 0}),
-                          InterestSet{"R"})
+                  ->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                          InterestSet{"R"}))
                   .ok());
   EXPECT_EQ(wb->IndexProj()->plan_cache_size(), 2u);
 }
@@ -218,9 +218,9 @@ TEST(Lineage, GranularityLossThroughCoarseProcessorIsShared) {
   // precision of the Q branch is preserved independently.
   auto wb = Fig3();
   InterestSet interest{kWorkflowProcessor};
-  auto ni = wb->Naive().Query("run", {"P", "Y3"}, Index({0, 1}), interest);
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"P", "Y3"}, Index({0, 1}), interest));
   auto ip =
-      wb->IndexProj()->Query("run", {"P", "Y3"}, Index({0, 1}), interest);
+      wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y3"}, Index({0, 1}), interest));
   ASSERT_TRUE(ni.ok());
   ASSERT_TRUE(ip.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
@@ -228,15 +228,15 @@ TEST(Lineage, GranularityLossThroughCoarseProcessorIsShared) {
 
 TEST(Lineage, TimingBreakdownPopulated) {
   auto wb = Fig3();
-  auto ip = wb->IndexProj()->Query("run", {"P", "Y1"}, Index({0, 0}),
-                                   InterestSet{"Q"});
+  auto ip = wb->IndexProj()->Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                                   InterestSet{"Q"}));
   ASSERT_TRUE(ip.ok());
   EXPECT_GT(ip->timing.trace_probes, 0u);
   EXPECT_GT(ip->timing.graph_steps, 0u);
   EXPECT_GE(ip->timing.t1_ms, 0.0);
   EXPECT_GE(ip->timing.t2_ms, 0.0);
-  auto ni = wb->Naive().Query("run", {"P", "Y1"}, Index({0, 0}),
-                              InterestSet{"Q"});
+  auto ni = wb->Naive().Query(LineageRequest::SingleRun("run", {"P", "Y1"}, Index({0, 0}),
+                              InterestSet{"Q"}));
   ASSERT_TRUE(ni.ok());
   EXPECT_EQ(ni->timing.t1_ms, 0.0);  // NI has no spec-graph phase
   EXPECT_GT(ni->timing.trace_probes, ip->timing.trace_probes);

@@ -34,7 +34,7 @@ TEST_F(MultiRunTest, AnswersSpanAllRunsInScope) {
   PortRef target{kWorkflowProcessor, "RESULT"};
   InterestSet interest{testbed::kListGen};
   auto answer =
-      wb_->IndexProj()->QueryMultiRun(runs_, target, Index({1, 2}), interest);
+      wb_->IndexProj()->Query(LineageRequest::MultiRun(runs_, target, Index({1, 2}), interest));
   ASSERT_TRUE(answer.ok());
   // One binding (the generator's size input) per run.
   ASSERT_EQ(answer->bindings.size(), runs_.size());
@@ -48,10 +48,10 @@ TEST_F(MultiRunTest, MatchesNaiveMultiRun) {
   for (const InterestSet& interest :
        {InterestSet{testbed::kListGen}, InterestSet{},
         InterestSet{kWorkflowProcessor, "CHAINA_3"}}) {
-    auto ni = wb_->Naive().QueryMultiRun(runs_, target, Index({0, 1}),
-                                         interest);
-    auto ip = wb_->IndexProj()->QueryMultiRun(runs_, target, Index({0, 1}),
-                                              interest);
+    auto ni = wb_->Naive().Query(LineageRequest::MultiRun(runs_, target, Index({0, 1}),
+                                         interest));
+    auto ip = wb_->IndexProj()->Query(LineageRequest::MultiRun(runs_, target, Index({0, 1}),
+                                              interest));
     ASSERT_TRUE(ni.ok());
     ASSERT_TRUE(ip.ok());
     EXPECT_EQ(ni->bindings, ip->bindings);
@@ -62,8 +62,8 @@ TEST_F(MultiRunTest, SubsetOfRunsStaysScoped) {
   PortRef target{kWorkflowProcessor, "RESULT"};
   InterestSet interest{testbed::kListGen};
   std::vector<std::string> subset{runs_[1], runs_[3]};
-  auto answer = wb_->IndexProj()->QueryMultiRun(subset, target,
-                                                Index({0, 0}), interest);
+  auto answer = wb_->IndexProj()->Query(LineageRequest::MultiRun(subset, target,
+                                                Index({0, 0}), interest));
   ASSERT_TRUE(answer.ok());
   ASSERT_EQ(answer->bindings.size(), 2u);
   EXPECT_EQ(answer->bindings[0].run_id, subset[0]);
@@ -76,45 +76,42 @@ TEST_F(MultiRunTest, PlanIsSharedAcrossRuns) {
   wb_->IndexProj()->ClearPlanCache();
 
   auto single =
-      wb_->IndexProj()->Query(runs_[0], target, Index({1, 1}), interest);
+      wb_->IndexProj()->Query(LineageRequest::SingleRun(runs_[0], target, Index({1, 1}), interest));
   ASSERT_TRUE(single.ok());
   uint64_t probes_single = single->timing.trace_probes;
 
   // The multi-run query re-uses the cached plan (graph work once) and
   // issues ~|runs| times the per-run probes.
-  auto multi = wb_->IndexProj()->QueryMultiRun(runs_, target, Index({1, 1}),
-                                               interest);
+  auto multi = wb_->IndexProj()->Query(LineageRequest::MultiRun(runs_, target, Index({1, 1}),
+                                               interest));
   ASSERT_TRUE(multi.ok());
   EXPECT_TRUE(multi->timing.plan_cache_hit);
   EXPECT_EQ(multi->timing.trace_probes, probes_single * runs_.size());
 
   // NI, by contrast, repeats the full traversal per run.
-  auto ni = wb_->Naive().QueryMultiRun(runs_, target, Index({1, 1}),
-                                       interest);
+  auto ni = wb_->Naive().Query(LineageRequest::MultiRun(runs_, target, Index({1, 1}),
+                                       interest));
   ASSERT_TRUE(ni.ok());
   EXPECT_GT(ni->timing.trace_probes, multi->timing.trace_probes * 4);
 }
 
 TEST_F(MultiRunTest, EmptyRunListYieldsEmptyAnswer) {
-  auto answer = wb_->IndexProj()->QueryMultiRun(
-      {}, {kWorkflowProcessor, "RESULT"}, Index(), {testbed::kListGen});
+  auto answer = wb_->IndexProj()->Query(LineageRequest::MultiRun({}, {kWorkflowProcessor, "RESULT"}, Index(), {testbed::kListGen}));
   ASSERT_TRUE(answer.ok());
   EXPECT_TRUE(answer->bindings.empty());
 }
 
 TEST_F(MultiRunTest, UnknownRunsContributeNothing) {
-  auto answer = wb_->IndexProj()->QueryMultiRun(
-      {"ghost-run", runs_[0]}, {kWorkflowProcessor, "RESULT"},
-      Index({0, 0}), {testbed::kListGen});
+  auto answer = wb_->IndexProj()->Query(LineageRequest::MultiRun({"ghost-run", runs_[0]}, {kWorkflowProcessor, "RESULT"},
+      Index({0, 0}), {testbed::kListGen}));
   ASSERT_TRUE(answer.ok());
   ASSERT_EQ(answer->bindings.size(), 1u);
   EXPECT_EQ(answer->bindings[0].run_id, runs_[0]);
 }
 
 TEST_F(MultiRunTest, RunsOverDifferentParametersReportDistinctValues) {
-  auto answer = wb_->IndexProj()->QueryMultiRun(
-      runs_, {kWorkflowProcessor, "RESULT"}, Index({0, 0}),
-      {testbed::kListGen});
+  auto answer = wb_->IndexProj()->Query(LineageRequest::MultiRun(runs_, {kWorkflowProcessor, "RESULT"}, Index({0, 0}),
+      {testbed::kListGen}));
   ASSERT_TRUE(answer.ok());
   std::set<std::string> values;
   for (const auto& b : answer->bindings) values.insert(b.value_repr);

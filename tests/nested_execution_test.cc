@@ -84,10 +84,10 @@ TEST_F(NestedExecutionTest, ExecutionThreadsThroughInlinedProcessors) {
 TEST_F(NestedExecutionTest, LineageFocusedOnInnerProcessor) {
   // Focus on the namespaced inner step directly.
   InterestSet interest{"sub.normalize"};
-  auto ni = wb_->Naive().Query("r0", {kWorkflowProcessor, "out"},
-                               Index({1}), interest);
-  auto ip = wb_->IndexProj()->Query("r0", {kWorkflowProcessor, "out"},
-                                    Index({1}), interest);
+  auto ni = wb_->Naive().Query(lineage::LineageRequest::SingleRun("r0", {kWorkflowProcessor, "out"},
+                               Index({1}), interest));
+  auto ip = wb_->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", {kWorkflowProcessor, "out"},
+                                    Index({1}), interest));
   ASSERT_TRUE(ni.ok());
   ASSERT_TRUE(ip.ok());
   EXPECT_EQ(ni->bindings, ip->bindings);
@@ -98,8 +98,8 @@ TEST_F(NestedExecutionTest, LineageFocusedOnInnerProcessor) {
 }
 
 TEST_F(NestedExecutionTest, QueryTargetInsideTheNest) {
-  auto ip = wb_->IndexProj()->Query("r0", {"sub.tag", "y"}, Index({0}),
-                                    {kWorkflowProcessor});
+  auto ip = wb_->IndexProj()->Query(lineage::LineageRequest::SingleRun("r0", {"sub.tag", "y"}, Index({0}),
+                                    {kWorkflowProcessor}));
   ASSERT_TRUE(ip.ok());
   ASSERT_EQ(ip->bindings.size(), 1u);
   EXPECT_EQ(ip->bindings[0].port.ToString(), "workflow:in");

@@ -61,9 +61,9 @@ TEST_P(PersistenceEquivalenceTest, ReloadedTraceAnswersIdentically) {
     for (const Index& q : indices) {
       for (const InterestSet& interest :
            {InterestSet{}, InterestSet{kWorkflowProcessor}}) {
-        auto live = wb->IndexProj()->Query("r0", target, q, interest);
-        auto cold_ip = engine.Query("r0", target, q, interest);
-        auto cold_ni = naive.Query("r0", target, q, interest);
+        auto live = wb->IndexProj()->Query(LineageRequest::SingleRun("r0", target, q, interest));
+        auto cold_ip = engine.Query(LineageRequest::SingleRun("r0", target, q, interest));
+        auto cold_ni = naive.Query(LineageRequest::SingleRun("r0", target, q, interest));
         ASSERT_TRUE(live.ok());
         ASSERT_TRUE(cold_ip.ok());
         ASSERT_TRUE(cold_ni.ok());

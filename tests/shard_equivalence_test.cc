@@ -363,8 +363,7 @@ TEST(ShardRouting, DeleteRunTouchesOnlyOwningShard) {
   EXPECT_EQ(after.value_rows, before.value_rows - victim.value_rows);
   // The survivors answer exactly as before.
   for (const char* run : {"d0", "d1", "d3", "d4", "d5"}) {
-    auto answer = wb->Naive().Query(
-        run, {kWorkflowProcessor, "RESULT"}, Index({1}), {testbed::kListGen});
+    auto answer = wb->Naive().Query(LineageRequest::SingleRun(run, {kWorkflowProcessor, "RESULT"}, Index({1}), {testbed::kListGen}));
     ASSERT_TRUE(answer.ok()) << run;
     EXPECT_EQ(answer->bindings.size(), 1u) << run;
   }
@@ -438,9 +437,8 @@ TEST(ShardConcurrency, IngestWhileQueryingKeepsAnswersStable) {
   for (int w = 0; w < kWriters; ++w) {
     for (int r = 0; r < kRunsPerWriter; ++r) {
       std::string run = "w" + std::to_string(w) + "_" + std::to_string(r);
-      auto answer = naive.Query(
-          run, {kWorkflowProcessor, "RESULT"}, Index({1}),
-          {testbed::kListGen});
+      auto answer = naive.Query(LineageRequest::SingleRun(run, {kWorkflowProcessor, "RESULT"}, Index({1}),
+          {testbed::kListGen}));
       ASSERT_TRUE(answer.ok()) << run;
       EXPECT_EQ(answer->bindings.size(), 1u) << run;
     }

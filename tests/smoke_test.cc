@@ -36,9 +36,9 @@ TEST(Smoke, SyntheticRunAndLineage) {
   Index q({1, 2});
   lineage::InterestSet interest{testbed::kListGen};
 
-  auto naive = (*wb)->Naive().Query("run0", target, q, interest);
+  auto naive = (*wb)->Naive().Query(lineage::LineageRequest::SingleRun("run0", target, q, interest));
   ASSERT_TRUE(naive.ok()) << naive.status().ToString();
-  auto proj = (*wb)->IndexProj()->Query("run0", target, q, interest);
+  auto proj = (*wb)->IndexProj()->Query(lineage::LineageRequest::SingleRun("run0", target, q, interest));
   ASSERT_TRUE(proj.ok()) << proj.status().ToString();
 
   ASSERT_EQ(naive->bindings.size(), proj->bindings.size());
@@ -62,9 +62,9 @@ TEST(Smoke, GkFineGrainedClaim) {
   PortRef target{workflow::kWorkflowProcessor, "paths_per_gene"};
   lineage::InterestSet interest{"get_pathways_by_genes"};
 
-  auto naive = (*wb)->Naive().Query("gk0", target, Index({1}), interest);
+  auto naive = (*wb)->Naive().Query(lineage::LineageRequest::SingleRun("gk0", target, Index({1}), interest));
   ASSERT_TRUE(naive.ok()) << naive.status().ToString();
-  auto proj = (*wb)->IndexProj()->Query("gk0", target, Index({1}), interest);
+  auto proj = (*wb)->IndexProj()->Query(lineage::LineageRequest::SingleRun("gk0", target, Index({1}), interest));
   ASSERT_TRUE(proj.ok()) << proj.status().ToString();
   EXPECT_EQ(naive->bindings, proj->bindings);
 
@@ -76,8 +76,8 @@ TEST(Smoke, GkFineGrainedClaim) {
   // commonPathways (right branch, flattened) depends on ALL genes.
   PortRef common{workflow::kWorkflowProcessor, "commonPathways"};
   auto common_lin =
-      (*wb)->IndexProj()->Query("gk0", common, Index({0}),
-                                lineage::InterestSet{"get_common_pathways"});
+      (*wb)->IndexProj()->Query(lineage::LineageRequest::SingleRun("gk0", common, Index({0}),
+                                lineage::InterestSet{"get_common_pathways"}));
   ASSERT_TRUE(common_lin.ok()) << common_lin.status().ToString();
   ASSERT_EQ(common_lin->bindings.size(), 1u);
   EXPECT_EQ(common_lin->bindings[0].value_repr,

@@ -68,9 +68,8 @@ TEST_F(TraceMaintenanceTest, RunIdIsReusableAfterDelete) {
   auto rows = *wb_->store()->FindProducing("prune", "CHAINA_1", "y", Index());
   EXPECT_EQ(rows.size(), 5u);
   // Lineage over the re-recorded run works end to end.
-  auto answer = wb_->IndexProj()->Query(
-      "prune", {workflow::kWorkflowProcessor, "RESULT"}, Index({0, 0}),
-      {testbed::kListGen});
+  auto answer = wb_->IndexProj()->Query(lineage::LineageRequest::SingleRun("prune", {workflow::kWorkflowProcessor, "RESULT"}, Index({0, 0}),
+      {testbed::kListGen}));
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   ASSERT_EQ(answer->bindings.size(), 1u);
   EXPECT_EQ(answer->bindings[0].value_repr, "5");

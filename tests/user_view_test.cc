@@ -124,9 +124,8 @@ TEST_F(UserViewTest, MemberAskedExplicitlyPassesThrough) {
 }
 
 TEST_F(UserViewTest, NonCompositeInterestsUnaffected) {
-  auto direct = wb_->IndexProj()->Query(
-      "r0", {kWorkflowProcessor, "paths_per_gene"}, Index({0}),
-      {"normalize_gene_ids"});
+  auto direct = wb_->IndexProj()->Query(LineageRequest::SingleRun("r0", {kWorkflowProcessor, "paths_per_gene"}, Index({0}),
+      {"normalize_gene_ids"}));
   auto viewed = view_->Query(wb_->IndexProj(), "r0",
                              {kWorkflowProcessor, "paths_per_gene"},
                              Index({0}), {"normalize_gene_ids"});

@@ -128,9 +128,8 @@ TEST(WalDurability, CrashedCaptureSessionIsRecoverable) {
   // The recovered trace answers the same lineage queries.
   auto store = *provenance::TraceStore::Open(&recovered);
   lineage::NaiveLineage naive(&store);
-  auto answer = naive.Query(
-      "r0", {workflow::kWorkflowProcessor, "RESULT"}, Index({1, 2}),
-      {testbed::kListGen});
+  auto answer = naive.Query(lineage::LineageRequest::SingleRun("r0", {workflow::kWorkflowProcessor, "RESULT"}, Index({1, 2}),
+      {testbed::kListGen}));
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   ASSERT_EQ(answer->bindings.size(), 1u);
   EXPECT_EQ(answer->bindings[0].value_repr, "4");
@@ -234,14 +233,13 @@ TEST(ShardedWal, PerShardFilesReplayIntoOneDatabase) {
   // The recovered trace answers lineage identically to a clean capture.
   auto clean_wb = std::move(*testbed::Workbench::Synthetic(3));
   ASSERT_TRUE(clean_wb->RunSynthetic(3, runs[0]).ok());
-  auto want = clean_wb->Naive().Query(
-      runs[0], {workflow::kWorkflowProcessor, "RESULT"}, Index({1}),
-      {testbed::kListGen});
+  auto want = clean_wb->Naive().Query(lineage::LineageRequest::SingleRun(runs[0], {workflow::kWorkflowProcessor, "RESULT"}, Index({1}),
+      {testbed::kListGen}));
   ASSERT_TRUE(want.ok());
   lineage::NaiveLineage naive(&store);
   for (const std::string& run : runs) {
-    auto got = naive.Query(run, {workflow::kWorkflowProcessor, "RESULT"},
-                           Index({1}), {testbed::kListGen});
+    auto got = naive.Query(lineage::LineageRequest::SingleRun(run, {workflow::kWorkflowProcessor, "RESULT"},
+                           Index({1}), {testbed::kListGen}));
     ASSERT_TRUE(got.ok()) << run;
     ASSERT_EQ(got->bindings.size(), want->bindings.size()) << run;
     for (size_t i = 0; i < want->bindings.size(); ++i) {

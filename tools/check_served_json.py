@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_served.json file emitted by the loadgen harness.
+
+Usage: check_served_json.py BENCH_served.json [--min-ok N]
+
+Checks the invariants the serve + loadgen pipeline promises:
+
+  - top level is an object with bench == "served" and a config block,
+  - the counters are non-negative integers and balance:
+    sent == ok + overloaded + errors, with sent > 0,
+  - at least --min-ok requests succeeded (default 1),
+  - latency percentiles exist, are non-negative, and are monotone
+    (p50 <= p95 <= p99),
+  - duration_s > 0 and throughput_rps is consistent with sent/duration
+    (within 2x slack — the loadgen measures wall time itself).
+
+Exit status 0 on success, 1 with a report on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTERS = ("sent", "ok", "overloaded", "errors")
+PERCENTILES = ("p50", "p95", "p99")
+
+
+def validate(doc, min_ok):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if doc.get("bench") != "served":
+        errors.append(f"bench is {doc.get('bench')!r}, expected 'served'")
+    if not isinstance(doc.get("config"), dict):
+        errors.append("missing 'config' object")
+
+    counts = {}
+    for name in COUNTERS:
+        value = doc.get(name)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"'{name}' is {value!r}, expected a non-negative "
+                          "integer")
+        else:
+            counts[name] = value
+    if len(counts) == len(COUNTERS):
+        total = counts["ok"] + counts["overloaded"] + counts["errors"]
+        if counts["sent"] != total:
+            errors.append(
+                f"counters do not balance: sent={counts['sent']} but "
+                f"ok+overloaded+errors={total}")
+        if counts["sent"] == 0:
+            errors.append("sent == 0: the harness issued no requests")
+        if counts["ok"] < min_ok:
+            errors.append(f"only {counts['ok']} ok responses, expected at "
+                          f"least {min_ok}")
+
+    latency = doc.get("latency_ms")
+    if not isinstance(latency, dict):
+        errors.append("missing 'latency_ms' object")
+    else:
+        values = []
+        for name in PERCENTILES:
+            value = latency.get(name)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"latency_ms.{name} is {value!r}, expected a "
+                              "non-negative number")
+            else:
+                values.append((name, value))
+        for (lo_name, lo), (hi_name, hi) in zip(values, values[1:]):
+            if lo > hi:
+                errors.append(f"latency_ms.{lo_name}={lo} > "
+                              f"latency_ms.{hi_name}={hi} (percentiles must "
+                              "be monotone)")
+
+    duration = doc.get("duration_s")
+    throughput = doc.get("throughput_rps")
+    if not isinstance(duration, (int, float)) or duration <= 0:
+        errors.append(f"duration_s is {duration!r}, expected > 0")
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        errors.append(f"throughput_rps is {throughput!r}, expected > 0")
+    elif (isinstance(duration, (int, float)) and duration > 0
+          and "sent" in counts):
+        implied = counts["sent"] / duration
+        if not implied / 2 <= throughput <= implied * 2:
+            errors.append(
+                f"throughput_rps={throughput:.1f} inconsistent with "
+                f"sent/duration={implied:.1f}")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate a BENCH_served.json emitted by loadgen "
+        "(balanced counters, monotone percentiles, consistent throughput)."
+    )
+    parser.add_argument("bench", help="BENCH_served.json file to validate")
+    parser.add_argument(
+        "--min-ok",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail unless at least N requests succeeded (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.bench) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"[{args.bench}] unreadable or malformed JSON: {e}")
+        return 1
+
+    errors = validate(doc, args.min_ok)
+    if errors:
+        print(f"[{args.bench}] {len(errors)} violation(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"[{args.bench}] sent={doc['sent']} ok={doc['ok']} "
+          f"p50={doc['latency_ms']['p50']:.3f}ms "
+          f"p99={doc['latency_ms']['p99']:.3f}ms "
+          f"{doc['throughput_rps']:.0f} req/s — all well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
