@@ -1,0 +1,211 @@
+// Compressed trace segments (DESIGN.md §13) at ~10x the paper's trace
+// scale: 100k xform + 100k xfer rows across eight runs on a four-shard
+// store, measured hot (B+tree tier) and then sealed in place. Three
+// measurements:
+//
+//   footprint — resident bytes of the identical rows in each tier
+//               (the headline: sealed should be well under 1/4 of hot),
+//   probe     — a sorted multi-run probe batch answered by the B+tree
+//               MultiSeek path before sealing vs in situ on compressed
+//               blocks after (best-of-five each; sealed must stay
+//               within 2x),
+//   seal      — SealAllRuns throughput, rows/s and encoded bytes/row.
+//
+// One store serves both phases so the process-wide accounting the
+// --compress-ratios check validates stays exact: at exit,
+// sum(provenance/shard<k>/segment_rows) + sum(.../hot_rows) must equal
+// provenance/rows_ingested, the per-shard segments counters must be
+// gapless, and the footprint entries must show ratio >= 1. The logical
+// probe counts are deterministic and MUST be identical across tiers —
+// sealing is purely physical.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "provenance/store_open.h"
+#include "provenance/trace_store.h"
+
+int main() {
+  using namespace provlin;
+  using bench::CheckOk;
+  using bench::CheckResult;
+  using provenance::CompressMode;
+  using provenance::PortProbe;
+  using provenance::TraceStore;
+  using provenance::XferRecord;
+  using provenance::XformRecord;
+
+  constexpr size_t kShards = 4;
+  constexpr size_t kRuns = 8;
+  constexpr int kRowsPerRun = 12500;  // x8 runs = 100k rows per table
+  constexpr int kProcs = 32;
+  constexpr int kFanout = 50;  // distinct top-level indices per run
+
+  std::printf(
+      "Compressed segment tier vs hot B+tree tier "
+      "(%zu runs x %d xform + %d xfer rows, %zu shards)\n\n",
+      kRuns, kRowsPerRun, kRowsPerRun, kShards);
+
+  // Build the store hot: sealing is done explicitly (and timed) after
+  // the hot-tier measurements, hence compress stays pinned off.
+  provenance::StoreOptions options;  // empty db_path = in-memory
+  options.shards = kShards;
+  options.compress = CompressMode::kOff;
+  provenance::OpenedStore opened =
+      CheckResult(provenance::OpenStore(options), "open store");
+  TraceStore& store = opened.store();
+
+  const common::SymbolId port_x = store.Intern("x");
+  const common::SymbolId port_y = store.Intern("y");
+  std::vector<common::SymbolId> procs;
+  for (int p = 0; p < kProcs; ++p) {
+    procs.push_back(store.Intern("P" + std::to_string(p)));
+  }
+  for (size_t r = 0; r < kRuns; ++r) {
+    const std::string run_id = "cmp" + std::to_string(r);
+    CheckOk(store.InsertRun(run_id, "bench"), "InsertRun");
+    const common::SymbolId run = store.Intern(run_id);
+    for (int i = 0; i < kRowsPerRun; ++i) {
+      const auto proc = procs[static_cast<size_t>(i) % procs.size()];
+      const auto next = procs[static_cast<size_t>(i + 1) % procs.size()];
+      XformRecord rec;
+      rec.run = run;
+      rec.event_id = i;
+      rec.processor = proc;
+      rec.has_in = true;
+      rec.in_port = port_x;
+      rec.in_index = Index({static_cast<int32_t>(i % kFanout)});
+      rec.in_value = i;
+      rec.has_out = true;
+      rec.out_port = port_y;
+      rec.out_index = Index({static_cast<int32_t>(i % kFanout),
+                             static_cast<int32_t>(i % 3)});
+      rec.out_value = i;
+      CheckOk(store.InsertXform(rec), "InsertXform");
+      XferRecord arc;
+      arc.run = run;
+      arc.src_proc = proc;
+      arc.src_port = port_y;
+      arc.src_index = rec.out_index;
+      arc.dst_proc = next;
+      arc.dst_port = port_x;
+      arc.dst_index = rec.out_index;
+      arc.value_id = i;
+      CheckOk(store.InsertXfer(arc), "InsertXfer");
+    }
+  }
+  CheckOk(store.Flush(), "Flush");
+
+  // One trace-shaped probe batch spanning all runs and processors —
+  // the sorted multi-probe shape the batched lineage levels issue.
+  std::vector<PortProbe> out_probes;
+  std::vector<PortProbe> into_probes;
+  for (size_t r = 0; r < kRuns; ++r) {
+    const common::SymbolId run = store.Intern("cmp" + std::to_string(r));
+    for (int p = 0; p < kProcs; ++p) {
+      const common::SymbolId proc = procs[static_cast<size_t>(p)];
+      for (int k = 0; k < kFanout; k += 5) {
+        out_probes.push_back(
+            {run, proc, port_y, Index({static_cast<int32_t>(k)})});
+        into_probes.push_back(
+            {run, proc, port_x, Index({static_cast<int32_t>(k)})});
+      }
+    }
+  }
+
+  auto run_batch = [&]() -> Status {
+    PROVLIN_ASSIGN_OR_RETURN(auto produced,
+                             store.FindProducingBatch(out_probes));
+    PROVLIN_ASSIGN_OR_RETURN(auto arcs, store.FindXfersIntoBatch(into_probes));
+    if (produced.size() != out_probes.size() ||
+        arcs.size() != into_probes.size()) {
+      return Status::Internal("batch result shape mismatch");
+    }
+    return Status::OK();
+  };
+
+  auto* probes_ctr = common::metrics::GetCounter("storage/index_probes");
+  auto* descents_ctr = common::metrics::GetCounter("storage/descents");
+  auto counted_batch = [&](uint64_t* probes, uint64_t* descents) {
+    uint64_t p0 = probes_ctr->Value();
+    uint64_t d0 = descents_ctr->Value();
+    CheckOk(run_batch(), "probe batch");
+    *probes = probes_ctr->Value() - p0;
+    *descents = descents_ctr->Value() - d0;
+  };
+
+  // --- hot phase -----------------------------------------------------------
+  TraceStore::TierBytes hot_tiers = store.ApproxMemory();
+  double hot_ms = CheckResult(bench::BestOfFive(run_batch), "hot batch");
+  uint64_t hot_probes = 0, hot_descents = 0;
+  counted_batch(&hot_probes, &hot_descents);
+
+  // --- seal in place -------------------------------------------------------
+  WallTimer seal_timer;
+  CheckOk(store.SealAllRuns(), "SealAllRuns");
+  double seal_ms = seal_timer.ElapsedMillis();
+  TraceStore::TierBytes sealed_tiers = store.ApproxMemory();
+
+  // --- sealed phase --------------------------------------------------------
+  double sealed_ms = CheckResult(bench::BestOfFive(run_batch), "sealed batch");
+  uint64_t sealed_probes = 0, sealed_descents = 0;
+  counted_batch(&sealed_probes, &sealed_descents);
+
+  // --- report --------------------------------------------------------------
+  double ratio = sealed_tiers.sealed_bytes > 0
+                     ? static_cast<double>(hot_tiers.hot_bytes) /
+                           static_cast<double>(sealed_tiers.sealed_bytes)
+                     : 0.0;
+  double bytes_per_row =
+      sealed_tiers.sealed_rows > 0
+          ? static_cast<double>(sealed_tiers.sealed_bytes) /
+                static_cast<double>(sealed_tiers.sealed_rows)
+          : 0.0;
+
+  bench::TablePrinter table({"measure", "hot", "sealed", "ratio"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  table.AddRow({"resident_bytes", bench::Num(hot_tiers.hot_bytes),
+                bench::Num(sealed_tiers.sealed_bytes), buf});
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                hot_ms > 0 ? sealed_ms / hot_ms : 0.0);
+  table.AddRow({"batch_ms", bench::Ms(hot_ms), bench::Ms(sealed_ms), buf});
+  table.AddRow({"batch_descents", bench::Num(hot_descents),
+                bench::Num(sealed_descents), "-"});
+  table.Print();
+  std::printf(
+      "\nseal: %zu rows in %.1f ms (%.0f rows/s), %.2f bytes/row encoded\n",
+      sealed_tiers.sealed_rows, seal_ms,
+      static_cast<double>(sealed_tiers.sealed_rows) / (seal_ms / 1000.0),
+      bytes_per_row);
+
+  // The footprint entries carry bytes in the probes column (their
+  // timings are meaningless and never compared); deterministic=false
+  // keeps them out of the exact-match check while --compress-ratios
+  // reads them for the hot/sealed ratio.
+  bench::JsonWriter json("compress");
+  json.Add("probe_hot", hot_ms, hot_probes, hot_descents);
+  json.Add("probe_sealed", sealed_ms, sealed_probes, sealed_descents);
+  json.Add("seal_rows", seal_ms, sealed_tiers.sealed_rows, 0);
+  json.Add("footprint_hot_bytes", 0.0, hot_tiers.hot_bytes, 0,
+           /*deterministic=*/false);
+  json.Add("footprint_sealed_bytes", 0.0, sealed_tiers.sealed_bytes, 0,
+           /*deterministic=*/false);
+  json.Write();
+
+  if (hot_probes != sealed_probes) {
+    std::fprintf(stderr,
+                 "FATAL: logical probe counts diverge across tiers "
+                 "(hot %llu, sealed %llu)\n",
+                 static_cast<unsigned long long>(hot_probes),
+                 static_cast<unsigned long long>(sealed_probes));
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "storage/bplus_tree.h"
 #include "storage/query.h"
+#include "storage/segment.h"
 #include "storage/table.h"
 
 namespace {
@@ -168,6 +169,77 @@ void BM_TableIndexedSelect(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TableIndexedSelect)->Arg(10000)->Arg(100000);
+
+// Compressed-segment axis (DESIGN.md §13): the same trace-shaped rows
+// sealed into an immutable Segment — encode throughput, and the
+// in-situ probe against the B+tree probes above. The probe mirrors
+// BM_TraceProbeIdKeyed's shape: all rows of one (processor, port) pair
+// under an index prefix, out of n rows of a single run.
+
+std::vector<storage::Row> SegmentBenchRows(int64_t n) {
+  std::vector<storage::Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    storage::Row row(8);
+    row[0] = Datum(static_cast<int64_t>(0));  // run
+    row[1] = Datum(i);                        // event
+    row[2] = Datum(storage::IdPair{static_cast<uint32_t>(i % 100), 3});
+    row[3] = Datum(storage::IndexPath{static_cast<int32_t>(i % 16)});
+    row[4] = Datum(i);
+    row[5] = Datum(storage::IdPair{static_cast<uint32_t>(i % 100), 7});
+    row[6] = Datum(storage::IndexPath{static_cast<int32_t>(i % 16),
+                                      static_cast<int32_t>(i % 8)});
+    row[7] = Datum(i);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void BM_SegmentEncode(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<storage::Row> rows = SegmentBenchRows(n);
+  size_t encoded_bytes = 0;
+  for (auto _ : state) {
+    auto seg = storage::Segment::Build(storage::Segment::Kind::kXform, 0, rows);
+    if (!seg.ok()) state.SkipWithError(seg.status().ToString().c_str());
+    encoded_bytes = seg->bytes().size();
+    benchmark::DoNotOptimize(encoded_bytes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.counters["bytes_per_row"] =
+      static_cast<double>(encoded_bytes) / static_cast<double>(n);
+}
+BENCHMARK(BM_SegmentEncode)->Arg(10000)->Arg(100000);
+
+void BM_TraceProbeSealed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto seg =
+      storage::Segment::Build(storage::Segment::Kind::kXform, 0,
+                              SegmentBenchRows(n));
+  if (!seg.ok()) {
+    state.SkipWithError(seg.status().ToString().c_str());
+    return;
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    storage::Segment::ViewProbe vp;
+    vp.pair = storage::IdPair{static_cast<uint32_t>(probe % 100), 7}.Packed();
+    vp.has_lo = vp.has_hi = true;
+    vp.lo = storage::IndexPath{static_cast<int32_t>(probe % 16)};
+    vp.hi = storage::IndexPath{static_cast<int32_t>(probe % 16), INT32_MAX};
+    ++probe;
+    storage::Segment::Scratch scratch;
+    storage::Segment::ProbeCounts counts;
+    size_t hits = 0;
+    Status st = seg->ProbeView(
+        storage::Segment::kViewOut, vp, &scratch, &counts,
+        [&](uint64_t, const storage::Row&) { ++hits; });
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceProbeSealed)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

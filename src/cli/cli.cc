@@ -158,7 +158,8 @@ Status RequireFlag(const Args& args, const char* flag) {
 
 /// Store options from the command line, one flag per StoreOptions
 /// field: --db PATH, --wal BASE, --shards N (0 = auto: keep the
-/// database's recorded count), --async-ingest true.
+/// database's recorded count), --async-ingest true,
+/// --compress off|seal|always.
 Result<provenance::StoreOptions> CliStoreOptions(const Args& args) {
   provenance::StoreOptions options;
   if (const std::string* db = args.Get("db")) options.db_path = *db;
@@ -172,6 +173,18 @@ Result<provenance::StoreOptions> CliStoreOptions(const Args& args) {
   }
   if (const std::string* async = args.Get("async-ingest")) {
     options.async_ingest = *async != "false";
+  }
+  if (const std::string* compress = args.Get("compress")) {
+    if (*compress == "off") {
+      options.compress = provenance::CompressMode::kOff;
+    } else if (*compress == "seal") {
+      options.compress = provenance::CompressMode::kSeal;
+    } else if (*compress == "always") {
+      options.compress = provenance::CompressMode::kAlways;
+    } else {
+      return Status::InvalidArgument("bad --compress value '" + *compress +
+                                     "' (off|seal|always)");
+    }
   }
   return options;
 }
@@ -191,7 +204,10 @@ void TouchWellKnownInstruments() {
   for (const char* name :
        {"storage/inserts", "storage/deletes", "storage/index_probes",
         "storage/full_scans", "storage/rows_examined",
-        "storage/batched_probes", "storage/descents", "wal/appends",
+        "storage/batched_probes", "storage/descents",
+        "storage/segment_probes", "storage/segment_entries_examined",
+        "storage/segment_searches", "storage/segment_block_decodes",
+        "wal/appends",
         "wal/bytes", "wal/flushes", "provenance/xform_rows",
         "provenance/xfer_rows", "provenance/rows_ingested",
         "provenance/memo_hits",

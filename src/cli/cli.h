@@ -12,6 +12,7 @@ namespace provlin::cli {
 ///
 ///   run      --workflow W --db FILE --run ID --input port=literal ...
 ///            [--wal FILE] [--shards N] [--async-ingest true]
+///            [--compress off|seal|always]
 ///            Execute a workflow with provenance capture and persist the
 ///            trace database. --shards N partitions the trace store into
 ///            N run shards (per-shard tables, B+trees, and — with --wal —
@@ -83,6 +84,15 @@ namespace provlin::cli {
 /// reshards the database on open. `stats` surfaces per-shard
 /// provenance/shard<k>/{rows,probes} counters once a sharded store has
 /// been opened in the process.
+///
+/// --compress (every command that opens a store; DESIGN.md §13) selects
+/// the segment sealing policy: "off" keeps all runs in the mutable
+/// B+tree tier (and decodes any sealed segments back on open), "seal"
+/// seals every run except the latest per shard into compressed
+/// immutable segments probed in place, "always" also seals the latest.
+/// Default: the PROVLIN_TEST_COMPRESS environment variable, else off.
+/// `stats` surfaces provenance/shard<k>/{segments,segment_rows,
+/// segment_bytes,hot_rows} and the storage/segment_* probe counters.
 ///
 /// Returns a process exit code; output goes to `out`, diagnostics to
 /// `err`.

@@ -32,12 +32,16 @@ struct StoreOptions {
   /// Per-shard writer threads draining bounded ingest queues instead of
   /// synchronous writes on the caller's thread.
   bool async_ingest = false;
+  /// Segment sealing policy (DESIGN.md §13). Unset = the
+  /// PROVLIN_TEST_COMPRESS environment variable, else off.
+  std::optional<CompressMode> compress;
 
   /// The storage-layer slice of these options.
   TraceStoreOptions ToTraceStoreOptions() const {
     TraceStoreOptions out;
     out.shards = shards;
     out.async_ingest = async_ingest;
+    out.compress = compress;
     return out;
   }
 };

@@ -1,9 +1,11 @@
 #include "provenance/trace_store.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -13,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "provenance/schema.h"
+#include "storage/segment.h"
 #include "storage/serialize.h"
 #include "values/value_parser.h"
 
@@ -22,6 +25,7 @@ using storage::Datum;
 using storage::IdPair;
 using storage::IndexPath;
 using storage::Row;
+using storage::Segment;
 using storage::SelectQuery;
 using storage::SelectResult;
 using storage::Table;
@@ -206,6 +210,177 @@ Status OverlapProbeBatch(
   return Status::OK();
 }
 
+// --- sealed segment tier (DESIGN.md §13) -----------------------------------
+
+CompressMode ResolveCompressMode(const TraceStoreOptions& options) {
+  if (options.compress.has_value()) return *options.compress;
+  if (const char* env = std::getenv("PROVLIN_TEST_COMPRESS");
+      env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "seal") == 0) return CompressMode::kSeal;
+    if (std::strcmp(env, "always") == 0) return CompressMode::kAlways;
+  }
+  return CompressMode::kOff;
+}
+
+/// Blob catalog keys: "segment/<shard table name>/<run id>". Table
+/// names never contain '/', so the table parses back out as everything
+/// up to the first '/' after the prefix — run ids may contain anything.
+constexpr char kSegmentBlobPrefix[] = "segment/";
+
+std::string SegmentBlobKey(const char* base, size_t shard,
+                           const std::string& run_name) {
+  return kSegmentBlobPrefix + ShardTableName(base, shard) + "/" + run_name;
+}
+
+/// The segment view answering probes against `pair_col` ("out"/"src"
+/// sides share view 0, "in"/"dst" view 1 — Segment's layout contract).
+size_t ViewForPairCol(const char* pair_col) {
+  return std::strcmp(pair_col, "out") == 0 || std::strcmp(pair_col, "src") == 0
+             ? Segment::kViewOut
+             : Segment::kViewIn;
+}
+
+// Twins of the planner's file-local path-prefix bound helpers
+// (storage/query.cc): a prefix probe is boundable iff bumping its last
+// component cannot overflow.
+bool SealedPathBoundable(const IndexPath& p) {
+  return !p.empty() && p.back() != std::numeric_limits<int32_t>::max();
+}
+
+IndexPath SealedPathSuccessor(IndexPath p) {
+  ++p.back();
+  return p;
+}
+
+/// Sealed twin of AppendOverlapQueries: the same probe sequence phrased
+/// as per-view bounds, so both tiers examine the same candidate entries
+/// and their counters agree. The final range probe carries the residual
+/// filter the planner applies row-side: entries within [idx, succ(idx)]
+/// all count as examined, only extensions of idx are emitted.
+void AppendOverlapViewProbes(IdPair pair, const Index& idx,
+                             std::vector<Segment::ViewProbe>* probes) {
+  const uint64_t packed = pair.Packed();
+  if (idx.empty()) {
+    Segment::ViewProbe p;
+    p.pair = packed;
+    probes->push_back(std::move(p));
+    return;
+  }
+  for (size_t k = 0; k <= idx.length(); ++k) {
+    Segment::ViewProbe p;
+    p.pair = packed;
+    p.has_lo = p.has_hi = true;
+    p.lo = IndexPath(idx.Prefix(k).parts());
+    p.hi = p.lo;
+    probes->push_back(std::move(p));
+  }
+  Segment::ViewProbe p;
+  p.pair = packed;
+  p.has_residual = true;
+  p.residual = IndexPath(idx.parts());
+  if (SealedPathBoundable(p.residual)) {
+    p.has_lo = p.has_hi = true;
+    p.lo = p.residual;
+    p.hi = SealedPathSuccessor(p.residual);
+  }
+  probes->push_back(std::move(p));
+}
+
+/// Sealed twin of OverlapProbe: runs one (pair, idx) overlap probe
+/// against a view of the run's segment. Emits each distinct matching
+/// row once, in the same discovery order as the B+tree path. Rows point
+/// into `scratch` and stay valid for its lifetime. `queries` tallies
+/// the logical probes issued (the index_probes equivalent).
+Status SealedOverlapProbe(const Segment& seg, size_t view, IdPair pair,
+                          const Index& idx, Segment::Scratch* scratch,
+                          Segment::ProbeCounts* counts, size_t* queries,
+                          const std::function<void(const Row&)>& emit) {
+  std::vector<Segment::ViewProbe> probes;
+  AppendOverlapViewProbes(pair, idx, &probes);
+  *queries += probes.size();
+  std::set<const Row*, RowPtrLess> seen;
+  for (const Segment::ViewProbe& p : probes) {
+    PROVLIN_RETURN_IF_ERROR(
+        seg.ProbeView(view, p, scratch, counts, [&](uint64_t, const Row& row) {
+          if (seen.insert(&row).second) emit(row);
+        }));
+  }
+  return Status::OK();
+}
+
+/// Global counter surfaces for sealed probes: segment-specific physical
+/// costs under storage/segment_*, plus mirrors onto the storage/*
+/// names the B+tree path bumps so cross-tier totals stay comparable.
+struct SealedProbeMetrics {
+  common::metrics::Counter* probes =
+      common::metrics::GetCounter("storage/segment_probes");
+  common::metrics::Counter* entries =
+      common::metrics::GetCounter("storage/segment_entries_examined");
+  common::metrics::Counter* searches =
+      common::metrics::GetCounter("storage/segment_searches");
+  common::metrics::Counter* blocks =
+      common::metrics::GetCounter("storage/segment_block_decodes");
+  common::metrics::Counter* index_probes =
+      common::metrics::GetCounter("storage/index_probes");
+  common::metrics::Counter* rows_examined =
+      common::metrics::GetCounter("storage/rows_examined");
+  common::metrics::Counter* descents =
+      common::metrics::GetCounter("storage/descents");
+  common::metrics::Counter* batched =
+      common::metrics::GetCounter("storage/batched_probes");
+};
+
+SealedProbeMetrics& SegMx() {
+  static SealedProbeMetrics m;
+  return m;
+}
+
+/// Credits a finished sealed probe run to the same surfaces the hot
+/// path uses: the calling thread's ThreadStats (harvested by the batch
+/// fan-out's delta accounting) and the global storage counters.
+/// entries_examined maps to rows_examined, searches to descents.
+void CreditSealedProbe(size_t queries, const Segment::ProbeCounts& counts,
+                       bool batched) {
+  storage::ThreadStats& ts = storage::ThisThreadStats();
+  ts.index_probes += queries;
+  ts.rows_examined += counts.entries_examined;
+  ts.descents += counts.searches;
+  if (batched) ts.batched_probes += queries;
+  SealedProbeMetrics& mx = SegMx();
+  mx.probes->Add(queries);
+  mx.entries->Add(counts.entries_examined);
+  mx.searches->Add(counts.searches);
+  mx.blocks->Add(counts.blocks_decoded);
+  mx.index_probes->Add(queries);
+  mx.rows_examined->Add(counts.entries_examined);
+  mx.descents->Add(counts.searches);
+  if (batched) mx.batched->Add(queries);
+}
+
+/// Decodes every segment blob back into its hot table and drops the
+/// blob. The escape hatch for CompressMode::kOff, and the
+/// normalization step before physical-layout operations (resharding,
+/// WAL replay) that walk tables directly and must see every row.
+Status UnsealAllBlobs(storage::Database* db) {
+  for (const std::string& key : db->BlobKeys()) {
+    if (key.rfind(kSegmentBlobPrefix, 0) != 0) continue;
+    std::string table_name = key.substr(std::strlen(kSegmentBlobPrefix));
+    const size_t slash = table_name.find('/');
+    if (slash == std::string::npos) {
+      return Status::Corruption("bad segment blob key '" + key + "'");
+    }
+    table_name.resize(slash);
+    PROVLIN_ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
+    PROVLIN_ASSIGN_OR_RETURN(Segment seg, Segment::FromBytes(db->GetBlob(key)));
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<Row> rows, seg.DecodeAllRows());
+    for (Row& row : rows) {
+      PROVLIN_RETURN_IF_ERROR(table->Insert(row).status());
+    }
+    db->DropBlob(key);
+  }
+  return Status::OK();
+}
+
 /// Completion latch for batch fan-out: the caller blocks until every
 /// per-shard task has signalled.
 struct FanLatch {
@@ -268,9 +443,27 @@ struct TraceStore::Shard {
   /// [wal_syms_logged, symbols.size()) is flushed before each row.
   size_t wal_syms_logged GUARDED_BY(data_mu) = 0;
 
+  // --- sealed segment tier (DESIGN.md §13) --------------------------------
+  /// Sealed runs' compressed segments, keyed by run symbol. A run is
+  /// wholly hot or wholly sealed: sealing covers both trace tables at
+  /// once, a side with no rows simply has no entry. Writing a trace row
+  /// to a sealed run unseals it first (Rep::Apply).
+  std::map<SymbolId, std::shared_ptr<const Segment>> sealed_xform
+      GUARDED_BY(data_mu);
+  std::map<SymbolId, std::shared_ptr<const Segment>> sealed_xfer
+      GUARDED_BY(data_mu);
+
   // Per-shard observability (satellite: surfaced by `stats`).
   common::metrics::Counter* rows_ctr = nullptr;
   common::metrics::Counter* probes_ctr = nullptr;
+  /// Segments sealed over the shard's lifetime (monotonic)…
+  common::metrics::Counter* segments_ctr = nullptr;
+  /// …and the current tier split: rows/bytes resident in sealed
+  /// segments vs rows still in the mutable tables (all four), so
+  /// segment_rows + hot_rows tracks rows_ingested absent deletions.
+  common::metrics::Gauge* segment_rows_g = nullptr;
+  common::metrics::Gauge* segment_bytes_g = nullptr;
+  common::metrics::Gauge* hot_rows_g = nullptr;
 
   std::thread writer;  // running iff async ingest is on
 
@@ -290,6 +483,16 @@ struct TraceStore::Shard {
   const Table* ProbeTableFor(const char* base) const {
     return std::strcmp(base, tables::kXform) == 0 ? xform : xfer;
   }
+
+  /// The sealed segment answering probes against `base` for `run`, or
+  /// nullptr when the run is hot (or absent) — the tier routing test.
+  const Segment* SealedSegFor(const char* base, SymbolId run) const
+      REQUIRES_SHARED(data_mu) {
+    const auto& sealed =
+        std::strcmp(base, tables::kXform) == 0 ? sealed_xform : sealed_xfer;
+    auto it = sealed.find(run);
+    return it == sealed.end() ? nullptr : it->second.get();
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -300,6 +503,7 @@ struct TraceStore::Rep {
   storage::Database* db = nullptr;
   size_t nshards = 1;
   bool async = false;
+  CompressMode compress = CompressMode::kOff;
   std::vector<std::unique_ptr<Shard>> shards;
   /// Fan-out pool for batches spanning shards (created iff nshards > 1).
   std::unique_ptr<common::ThreadPool> fanout;
@@ -377,6 +581,101 @@ struct TraceStore::Rep {
     return shared_wal->Append(w.buffer());
   }
 
+  /// Seals one run's trace rows into compressed segments: encode each
+  /// table's rows, delete them from the hot tier, park the encoded
+  /// bytes in the database's blob catalog (so Save persists them).
+  /// Idempotent; a run with no trace rows seals to nothing.
+  Status SealRunLocked(Shard* s, SymbolId run_sym, const std::string& run_name)
+      REQUIRES(s->data_mu) {
+    if (s->sealed_xform.count(run_sym) > 0 ||
+        s->sealed_xfer.count(run_sym) > 0) {
+      return Status::OK();
+    }
+    const Datum run_datum = SymDatum(run_sym);
+    struct Side {
+      Table* table;
+      Segment::Kind kind;
+      const char* base;
+      std::map<SymbolId, std::shared_ptr<const Segment>>* sealed;
+    };
+    const Side sides[] = {
+        {s->xform, Segment::Kind::kXform, tables::kXform, &s->sealed_xform},
+        {s->xfer, Segment::Kind::kXfer, tables::kXfer, &s->sealed_xfer}};
+    for (const Side& side : sides) {
+      std::vector<uint64_t> rids;
+      std::vector<Row> rows;
+      side.table->ForEachLiveRow([&](uint64_t rid, const Row& row) {
+        if (row[0] == run_datum) {
+          rids.push_back(rid);
+          rows.push_back(row);
+        }
+      });
+      if (rows.empty()) continue;
+      PROVLIN_ASSIGN_OR_RETURN(
+          Segment seg,
+          Segment::Build(side.kind, static_cast<uint64_t>(run_sym), rows));
+      for (uint64_t rid : rids) {
+        PROVLIN_RETURN_IF_ERROR(side.table->Delete(rid));
+      }
+      auto shared = std::make_shared<const Segment>(std::move(seg));
+      db->PutBlob(SegmentBlobKey(side.base, s->id, run_name),
+                  shared->shared_bytes());
+      s->segment_rows_g->Add(static_cast<int64_t>(shared->num_rows()));
+      s->segment_bytes_g->Add(static_cast<int64_t>(shared->bytes().size()));
+      s->hot_rows_g->Add(-static_cast<int64_t>(shared->num_rows()));
+      s->segments_ctr->Increment();
+      side.sealed->emplace(run_sym, std::move(shared));
+    }
+    return Status::OK();
+  }
+
+  /// Reverses SealRunLocked: decode the run's segments back into the
+  /// hot tables and drop the blobs. No WAL append and no ingest
+  /// counters — the rows were logged and counted when first inserted.
+  Status UnsealRunLocked(Shard* s, SymbolId run_sym) REQUIRES(s->data_mu) {
+    const std::string& run_name = db->symbols().NameOf(run_sym);
+    struct Side {
+      Table* table;
+      const char* base;
+      std::map<SymbolId, std::shared_ptr<const Segment>>* sealed;
+    };
+    const Side sides[] = {{s->xform, tables::kXform, &s->sealed_xform},
+                          {s->xfer, tables::kXfer, &s->sealed_xfer}};
+    for (const Side& side : sides) {
+      auto it = side.sealed->find(run_sym);
+      if (it == side.sealed->end()) continue;
+      const Segment& seg = *it->second;
+      PROVLIN_ASSIGN_OR_RETURN(std::vector<Row> rows, seg.DecodeAllRows());
+      for (const Row& row : rows) {
+        PROVLIN_RETURN_IF_ERROR(side.table->Insert(row).status());
+      }
+      s->segment_rows_g->Add(-static_cast<int64_t>(seg.num_rows()));
+      s->segment_bytes_g->Add(-static_cast<int64_t>(seg.bytes().size()));
+      s->hot_rows_g->Add(static_cast<int64_t>(seg.num_rows()));
+      db->DropBlob(SegmentBlobKey(side.base, s->id, run_name));
+      side.sealed->erase(it);
+    }
+    return Status::OK();
+  }
+
+  /// Seals every run on `s` except `skip_run` (nullptr = seal all).
+  /// Runs that never minted a symbol have no trace rows and are
+  /// skipped.
+  Status SealShardRunsLocked(Shard* s, const std::string* skip_run)
+      REQUIRES(s->data_mu) {
+    std::vector<std::pair<SymbolId, std::string>> to_seal;
+    s->runs->ForEachLiveRow([&](uint64_t, const Row& row) {
+      const std::string& run_name = row[0].AsString();
+      if (skip_run != nullptr && run_name == *skip_run) return;
+      std::optional<SymbolId> sym = db->symbols().Lookup(run_name);
+      if (sym.has_value()) to_seal.emplace_back(*sym, run_name);
+    });
+    for (const auto& [sym, name] : to_seal) {
+      PROVLIN_RETURN_IF_ERROR(SealRunLocked(s, sym, name));
+    }
+    return Status::OK();
+  }
+
   /// WAL append + table insert of one pending row, on `s`.
   Status Apply(Shard* s, const Shard::Pending& p) REQUIRES(s->data_mu) {
     if (s->owned_wal.has_value()) {
@@ -395,8 +694,18 @@ struct TraceStore::Rep {
       PROVLIN_RETURN_IF_ERROR(s->owned_wal->Append(w.buffer()));
     }
     PROVLIN_RETURN_IF_ERROR(LogShared(p.tag, p.row));
+    // Late writes to a sealed run (out-of-order capture, replayed
+    // rows) transparently pull the run back into the hot tier first.
+    if ((p.tag == kTagXform || p.tag == kTagXfer) &&
+        (!s->sealed_xform.empty() || !s->sealed_xfer.empty())) {
+      const SymbolId run = SymOf(p.row[0]);
+      if (s->sealed_xform.count(run) > 0 || s->sealed_xfer.count(run) > 0) {
+        PROVLIN_RETURN_IF_ERROR(UnsealRunLocked(s, run));
+      }
+    }
     PROVLIN_RETURN_IF_ERROR(s->TableFor(p.tag)->Insert(p.row).status());
     s->rows_ctr->Increment();
+    s->hot_rows_g->Add(1);
     rows_ingested->Increment();
     return Status::OK();
   }
@@ -568,6 +877,13 @@ Result<TraceStore> TraceStore::Open(storage::Database* db,
       requested = 1;
     }
   }
+  const CompressMode compress = ResolveCompressMode(options);
+  // Resharding walks physical tables row by row, and kOff promises a
+  // segment-free store: both need every sealed run decoded back first.
+  if (existing > 0 &&
+      (compress == CompressMode::kOff || existing != requested)) {
+    PROVLIN_RETURN_IF_ERROR(UnsealAllBlobs(db));
+  }
   if (existing == 0) {
     PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db, requested));
   } else if (existing != requested) {
@@ -578,6 +894,7 @@ Result<TraceStore> TraceStore::Open(storage::Database* db,
   rep->db = db;
   rep->nshards = requested;
   rep->async = options.async_ingest;
+  rep->compress = compress;
   rep->rows_ingested =
       common::metrics::GetCounter("provenance/rows_ingested");
   common::metrics::GetGauge("provenance/shards")
@@ -598,9 +915,47 @@ Result<TraceStore> TraceStore::Open(storage::Database* db,
     const std::string prefix = "provenance/shard" + std::to_string(k);
     shard->rows_ctr = common::metrics::GetCounter(prefix + "/rows");
     shard->probes_ctr = common::metrics::GetCounter(prefix + "/probes");
+    shard->segments_ctr = common::metrics::GetCounter(prefix + "/segments");
+    shard->segment_rows_g = common::metrics::GetGauge(prefix + "/segment_rows");
+    shard->segment_bytes_g =
+        common::metrics::GetGauge(prefix + "/segment_bytes");
+    shard->hot_rows_g = common::metrics::GetGauge(prefix + "/hot_rows");
     for (uint64_t rid : shard->runs->FullScan()) {
       PROVLIN_ASSIGN_OR_RETURN(Row row, shard->runs->Get(rid));
       if (row[2].AsInt() > max_seq) max_seq = row[2].AsInt();
+    }
+    {
+      // Re-attach the shard's sealed segments from the image's blob
+      // catalog (none under kOff — everything was just unsealed). The
+      // lock is uncontended here; it satisfies the guard annotations.
+      common::WriterLock data(shard->data_mu);
+      int64_t sealed_rows = 0, sealed_bytes = 0;
+      for (const char* base : {tables::kXform, tables::kXfer}) {
+        const std::string key_prefix =
+            kSegmentBlobPrefix + ShardTableName(base, k) + "/";
+        for (const std::string& key : db->BlobKeys()) {
+          if (key.rfind(key_prefix, 0) != 0) continue;
+          const std::string run_name = key.substr(key_prefix.size());
+          std::optional<SymbolId> sym = db->symbols().Lookup(run_name);
+          if (!sym.has_value()) {
+            return Status::Corruption("segment blob '" + key +
+                                      "' names an unknown run");
+          }
+          PROVLIN_ASSIGN_OR_RETURN(Segment seg,
+                                   Segment::FromBytes(db->GetBlob(key)));
+          sealed_rows += static_cast<int64_t>(seg.num_rows());
+          sealed_bytes += static_cast<int64_t>(seg.bytes().size());
+          auto& sealed = std::strcmp(base, tables::kXform) == 0
+                             ? shard->sealed_xform
+                             : shard->sealed_xfer;
+          sealed.emplace(*sym, std::make_shared<const Segment>(std::move(seg)));
+        }
+      }
+      shard->segment_rows_g->Set(sealed_rows);
+      shard->segment_bytes_g->Set(sealed_bytes);
+      shard->hot_rows_g->Set(static_cast<int64_t>(
+          shard->runs->num_rows() + shard->val->num_rows() +
+          shard->xform->num_rows() + shard->xfer->num_rows()));
     }
     rep->shards.push_back(std::move(shard));
   }
@@ -611,6 +966,31 @@ Result<TraceStore> TraceStore::Open(storage::Database* db,
   if (requested > 1) {
     rep->fanout = std::make_unique<common::ThreadPool>(
         requested < 8 ? requested : size_t{8});
+  }
+  if (compress != CompressMode::kOff) {
+    // Seal cold runs now: everything under kAlways, all but the
+    // latest-inserted run per shard under kSeal (the run most likely
+    // still being captured stays hot).
+    for (auto& shard : rep->shards) {
+      Shard* s = shard.get();
+      common::WriterLock data(s->data_mu);
+      if (compress == CompressMode::kAlways) {
+        PROVLIN_RETURN_IF_ERROR(rep->SealShardRunsLocked(s, nullptr));
+        continue;
+      }
+      std::string latest;
+      int64_t best = -1;
+      bool have = false;
+      s->runs->ForEachLiveRow([&](uint64_t, const Row& row) {
+        if (!have || row[2].AsInt() >= best) {
+          best = row[2].AsInt();
+          latest = row[0].AsString();
+          have = true;
+        }
+      });
+      PROVLIN_RETURN_IF_ERROR(
+          rep->SealShardRunsLocked(s, have ? &latest : nullptr));
+    }
   }
   if (rep->async) {
     Rep* raw = rep.get();
@@ -635,7 +1015,63 @@ Status TraceStore::Flush() {
     Status st = rep_->Drain(shard.get());
     if (first.ok() && !st.ok()) first = st;
   }
+  // kAlways keeps nothing hot across a flush boundary — the freshly
+  // captured run is sealed too.
+  if (first.ok() && rep_->compress == CompressMode::kAlways) {
+    first = SealAllRuns();
+  }
   return first;
+}
+
+CompressMode TraceStore::compress_mode() const { return rep_->compress; }
+
+Status TraceStore::SealRun(const std::string& run_id) {
+  Rep* rep = rep_.get();
+  Shard* s = rep->ShardForRun(run_id);
+  PROVLIN_RETURN_IF_ERROR(rep->Drain(s));
+  common::WriterLock data(s->data_mu);
+  PROVLIN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> run_rows,
+      s->runs->IndexLookup(indexes::kRunsById, {Datum(run_id)}));
+  if (run_rows.empty()) {
+    return Status::NotFound("run '" + run_id + "' not recorded");
+  }
+  std::optional<SymbolId> run_sym = rep->db->symbols().Lookup(run_id);
+  // A run that never minted a symbol has no trace rows to seal.
+  if (!run_sym.has_value()) return Status::OK();
+  return rep->SealRunLocked(s, *run_sym, run_id);
+}
+
+Status TraceStore::SealAllRuns() {
+  Rep* rep = rep_.get();
+  for (auto& shard : rep->shards) {
+    Shard* s = shard.get();
+    PROVLIN_RETURN_IF_ERROR(rep->Drain(s));
+    common::WriterLock data(s->data_mu);
+    PROVLIN_RETURN_IF_ERROR(rep->SealShardRunsLocked(s, nullptr));
+  }
+  return Status::OK();
+}
+
+TraceStore::TierBytes TraceStore::ApproxMemory() const {
+  TierBytes tb;
+  for (auto& shard : rep_->shards) {
+    Shard* s = shard.get();
+    (void)rep_->Drain(s);
+    common::ReaderLock data(s->data_mu);
+    tb.hot_bytes +=
+        s->xform->ApproxMemoryUsage() + s->xfer->ApproxMemoryUsage();
+    tb.hot_rows += s->xform->num_rows() + s->xfer->num_rows();
+    for (const auto& [sym, seg] : s->sealed_xform) {
+      tb.sealed_bytes += seg->ApproxMemoryUsage();
+      tb.sealed_rows += seg->num_rows();
+    }
+    for (const auto& [sym, seg] : s->sealed_xfer) {
+      tb.sealed_bytes += seg->ApproxMemoryUsage();
+      tb.sealed_rows += seg->num_rows();
+    }
+  }
+  return tb;
 }
 
 storage::Database* TraceStore::db() { return rep_->db; }
@@ -692,6 +1128,9 @@ Result<size_t> TraceStore::ReplayWal(const std::string& wal_path,
   PROVLIN_ASSIGN_OR_RETURN(size_t existing, DetectShardCount(*db));
   size_t target = shards;
   if (target == 0) target = existing > 0 ? existing : wal_shards;
+  // Replay inserts and sweeps rows directly in the tables, so a target
+  // database carrying sealed segments decodes them back first.
+  if (existing > 0) PROVLIN_RETURN_IF_ERROR(UnsealAllBlobs(db));
   if (existing == 0) {
     PROVLIN_RETURN_IF_ERROR(CreateProvenanceSchema(db, target));
   } else if (existing != target) {
@@ -771,8 +1210,14 @@ Status TraceStore::InsertRun(const std::string& run_id,
   if (!existing.empty()) {
     return Status::AlreadyExists("run '" + run_id + "' already recorded");
   }
-  return rep->Apply(s, {kTagRuns, Row{Datum(run_id), Datum(workflow),
-                                      Datum(seq)}});
+  PROVLIN_RETURN_IF_ERROR(rep->Apply(
+      s, {kTagRuns, Row{Datum(run_id), Datum(workflow), Datum(seq)}}));
+  // A new run marks the shard's earlier runs cold: seal them so the hot
+  // tier only ever holds the run currently being captured.
+  if (rep->compress != CompressMode::kOff) {
+    PROVLIN_RETURN_IF_ERROR(rep->SealShardRunsLocked(s, &run_id));
+  }
+  return Status::OK();
 }
 
 Result<int64_t> TraceStore::InternValue(const std::string& run_id,
@@ -887,6 +1332,24 @@ Result<size_t> TraceStore::DeleteRun(const std::string& run_id) {
       }
     }
   }
+  s->hot_rows_g->Add(-static_cast<int64_t>(removed));
+  // A sealed run's trace rows drop with their whole segment — no
+  // decode needed, the run is gone either way.
+  if (run_sym.has_value()) {
+    const char* seal_bases[] = {tables::kXform, tables::kXfer};
+    std::map<SymbolId, std::shared_ptr<const Segment>>* sealed_maps[] = {
+        &s->sealed_xform, &s->sealed_xfer};
+    for (size_t m = 0; m < 2; ++m) {
+      auto it = sealed_maps[m]->find(*run_sym);
+      if (it == sealed_maps[m]->end()) continue;
+      const Segment& seg = *it->second;
+      removed += seg.num_rows();
+      s->segment_rows_g->Add(-static_cast<int64_t>(seg.num_rows()));
+      s->segment_bytes_g->Add(-static_cast<int64_t>(seg.bytes().size()));
+      rep->db->DropBlob(SegmentBlobKey(seal_bases[m], s->id, run_id));
+      sealed_maps[m]->erase(it);
+    }
+  }
   // Deletion touches only the owning shard's WAL: its replay sweeps the
   // run back out, and no other shard's log ever mentions this run.
   if (s->owned_wal.has_value()) {
@@ -984,9 +1447,20 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
   std::vector<Record> out;
   {
     common::ReaderLock data(s->data_mu);
-    PROVLIN_RETURN_IF_ERROR(
-        OverlapProbe(s->ProbeTableFor(table), run, pair_col, pair, index_col,
-                     idx, [&](const Row& row) { out.push_back(decode(row)); }));
+    if (const Segment* seg = s->SealedSegFor(table, run)) {
+      // Sealed run: answer in place on the compressed segment.
+      Segment::Scratch scratch;
+      Segment::ProbeCounts counts;
+      size_t queries = 0;
+      PROVLIN_RETURN_IF_ERROR(SealedOverlapProbe(
+          *seg, ViewForPairCol(pair_col), pair, idx, &scratch, &counts,
+          &queries, [&](const Row& row) { out.push_back(decode(row)); }));
+      CreditSealedProbe(queries, counts, /*batched=*/false);
+    } else {
+      PROVLIN_RETURN_IF_ERROR(OverlapProbe(
+          s->ProbeTableFor(table), run, pair_col, pair, index_col, idx,
+          [&](const Row& row) { out.push_back(decode(row)); }));
+    }
   }
   if (memo != nullptr) {
     auto cached = std::make_shared<const std::vector<Record>>(out);
@@ -1056,18 +1530,61 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
     Shard* s = rep_->shards[shard_id].get();
     PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
     s->probes_ctr->Add(idxs.size());
-    std::vector<PortProbe> sub;
-    const std::vector<PortProbe>* batch = &probes;
-    if (idxs.size() != probes.size()) {
-      sub.reserve(idxs.size());
-      for (size_t i : idxs) sub.push_back(probes[i]);
-      batch = &sub;
-    }
     common::ReaderLock data(s->data_mu);
-    return OverlapProbeBatch(s->ProbeTableFor(table), pair_col, index_col,
-                             *batch, [&](size_t m, const Row& row) {
-                               results[idxs[m]].push_back(decode(row));
-                             });
+    // Split the shard's probes by tier: sealed runs answer on their
+    // compressed segments, the rest flatten into one MultiSelect pass
+    // over the hot tables. Results land in caller-ordered slots either
+    // way, so the merge stays the index mapping itself.
+    std::vector<size_t> hot;
+    std::map<SymbolId, std::vector<size_t>> sealed_runs;
+    for (size_t i : idxs) {
+      if (s->SealedSegFor(table, probes[i].run) != nullptr) {
+        sealed_runs[probes[i].run].push_back(i);
+      } else {
+        hot.push_back(i);
+      }
+    }
+    if (!hot.empty()) {
+      std::vector<PortProbe> sub;
+      const std::vector<PortProbe>* batch = &probes;
+      if (hot.size() != probes.size()) {
+        sub.reserve(hot.size());
+        for (size_t i : hot) sub.push_back(probes[i]);
+        batch = &sub;
+      }
+      PROVLIN_RETURN_IF_ERROR(OverlapProbeBatch(
+          s->ProbeTableFor(table), pair_col, index_col, *batch,
+          [&](size_t m, const Row& row) {
+            results[hot[m]].push_back(decode(row));
+          }));
+    }
+    const size_t view = ViewForPairCol(pair_col);
+    for (auto& [run_sym, ridx] : sealed_runs) {
+      const Segment* seg = s->SealedSegFor(table, run_sym);
+      // Sort the run's probes in view key order so the segment cursor
+      // walks forward across them (the MultiSeek equivalent). Empty
+      // indexes sort first within a pair — an unbounded probe must not
+      // reuse a cursor mid-pair.
+      std::stable_sort(ridx.begin(), ridx.end(), [&](size_t a, size_t b) {
+        const uint64_t ka =
+            IdPair{probes[a].processor, probes[a].port}.Packed();
+        const uint64_t kb =
+            IdPair{probes[b].processor, probes[b].port}.Packed();
+        if (ka != kb) return ka < kb;
+        return probes[a].index.parts() < probes[b].index.parts();
+      });
+      Segment::Scratch scratch;
+      Segment::ProbeCounts counts;
+      size_t queries = 0;
+      for (size_t i : ridx) {
+        PROVLIN_RETURN_IF_ERROR(SealedOverlapProbe(
+            *seg, view, IdPair{probes[i].processor, probes[i].port},
+            probes[i].index, &scratch, &counts, &queries,
+            [&](const Row& row) { results[i].push_back(decode(row)); }));
+      }
+      CreditSealedProbe(queries, counts, /*batched=*/true);
+    }
+    return Status::OK();
   };
 
   if (groups.size() <= 1) {
@@ -1239,6 +1756,14 @@ Result<std::vector<XformRecord>> TraceStore::ScanXforms(
   Shard* s = rep_->ShardForRun(run);
   PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
   common::ReaderLock data(s->data_mu);
+  if (const Segment* seg = s->SealedSegFor(tables::kXform, *run_sym)) {
+    // Ordinal order is insertion order — the same order the hot scan
+    // discovers the run's rows in.
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<Row> rows, seg->DecodeAllRows());
+    out.reserve(rows.size());
+    for (const Row& row : rows) out.push_back(DecodeXform(row));
+    return out;
+  }
   for (uint64_t rid : s->xform->FullScan()) {
     PROVLIN_ASSIGN_OR_RETURN(Row row, s->xform->Get(rid));
     if (row[0] == run_datum) out.push_back(DecodeXform(row));
@@ -1255,6 +1780,12 @@ Result<std::vector<XferRecord>> TraceStore::ScanXfers(
   Shard* s = rep_->ShardForRun(run);
   PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
   common::ReaderLock data(s->data_mu);
+  if (const Segment* seg = s->SealedSegFor(tables::kXfer, *run_sym)) {
+    PROVLIN_ASSIGN_OR_RETURN(std::vector<Row> rows, seg->DecodeAllRows());
+    out.reserve(rows.size());
+    for (const Row& row : rows) out.push_back(DecodeXfer(row));
+    return out;
+  }
   for (uint64_t rid : s->xfer->FullScan()) {
     PROVLIN_ASSIGN_OR_RETURN(Row row, s->xfer->Get(rid));
     if (row[0] == run_datum) out.push_back(DecodeXfer(row));
@@ -1310,8 +1841,16 @@ Result<TraceCounts> TraceStore::CountRecords(const std::string& run) const {
     }
     return n;
   };
-  PROVLIN_ASSIGN_OR_RETURN(counts.xform_rows, count_in(s->xform));
-  PROVLIN_ASSIGN_OR_RETURN(counts.xfer_rows, count_in(s->xfer));
+  if (const Segment* seg = s->SealedSegFor(tables::kXform, *run_sym)) {
+    counts.xform_rows = seg->num_rows();
+  } else {
+    PROVLIN_ASSIGN_OR_RETURN(counts.xform_rows, count_in(s->xform));
+  }
+  if (const Segment* seg = s->SealedSegFor(tables::kXfer, *run_sym)) {
+    counts.xfer_rows = seg->num_rows();
+  } else {
+    PROVLIN_ASSIGN_OR_RETURN(counts.xfer_rows, count_in(s->xfer));
+  }
   PROVLIN_ASSIGN_OR_RETURN(counts.value_rows, count_in(s->val));
   return counts;
 }
@@ -1325,6 +1864,12 @@ Result<TraceCounts> TraceStore::CountAllRecords() const {
     counts.xform_rows += s->xform->num_rows();
     counts.xfer_rows += s->xfer->num_rows();
     counts.value_rows += s->val->num_rows();
+    for (const auto& [sym, seg] : s->sealed_xform) {
+      counts.xform_rows += seg->num_rows();
+    }
+    for (const auto& [sym, seg] : s->sealed_xfer) {
+      counts.xfer_rows += seg->num_rows();
+    }
   }
   return counts;
 }

@@ -142,6 +142,25 @@ struct TraceCounts {
   size_t TotalDependencyRecords() const { return xform_rows + xfer_rows; }
 };
 
+/// When (if ever) runs are sealed into compressed immutable segments
+/// (DESIGN.md §13). Sealing is run-granular and per-table: a sealed
+/// run's xform/xfer rows leave the mutable B+-tree tier and live in a
+/// storage::Segment blob; probes against it decode compressed blocks
+/// in place. Writing trace rows to a sealed run transparently unseals
+/// it back into the hot tier first.
+enum class CompressMode {
+  /// Never seal. Opening an image that contains segments decodes them
+  /// back into the hot tier (the escape hatch).
+  kOff = 0,
+  /// Seal cold runs: at Open every run except the latest per shard,
+  /// and at InsertRun every prior run on the new run's shard. The run
+  /// being captured stays hot.
+  kSeal = 1,
+  /// Seal every run, including the latest, at Open and on Flush().
+  /// Maximal footprint reduction; appends pay an unseal.
+  kAlways = 2,
+};
+
 /// How a TraceStore is opened (DESIGN.md §11).
 struct TraceStoreOptions {
   /// Number of run shards. 0 = auto: the count recorded in the database
@@ -157,6 +176,9 @@ struct TraceStoreOptions {
   /// Flush() (or any synchronous op on that shard). When false, writes
   /// apply synchronously on the calling thread — the legacy behavior.
   bool async_ingest = false;
+  /// Segment sealing policy. Unset = the PROVLIN_TEST_COMPRESS
+  /// environment variable ("seal" / "always"), else kOff.
+  std::optional<CompressMode> compress;
 };
 
 /// Typed query surface over the relational trace database — since the
@@ -210,6 +232,32 @@ class TraceStore {
   /// ingest error (resetting none — a failed store stays failed).
   /// A no-op returning OK for synchronous stores.
   Status Flush();
+
+  // --- compressed segment tier (DESIGN.md §13) -----------------------------
+
+  /// The sealing policy this store was opened with.
+  CompressMode compress_mode() const;
+
+  /// Seals one run's trace rows into compressed segments, regardless of
+  /// the store's mode (manual maintenance). Idempotent for an already
+  /// sealed run; NotFound when the run does not exist.
+  Status SealRun(const std::string& run_id);
+
+  /// Seals every run on every shard.
+  Status SealAllRuns();
+
+  /// Approximate resident footprint of the trace tables (xform + xfer),
+  /// split by tier. Hot covers the mutable tables' rows and B+-trees;
+  /// sealed covers the compressed segment blobs plus their decode-ready
+  /// headers. The bytes-per-row ratio between the tiers is the
+  /// compression headline EXPERIMENTS.md reports.
+  struct TierBytes {
+    size_t hot_bytes = 0;
+    size_t hot_rows = 0;
+    size_t sealed_bytes = 0;
+    size_t sealed_rows = 0;
+  };
+  TierBytes ApproxMemory() const;
 
   // --- identifier dictionary ----------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "storage/segment.h"
+
 namespace provlin::storage {
 
 // ---------------------------------------------------------------------------
@@ -586,6 +588,33 @@ Status BPlusTree::CheckInvariants() const {
     return Status::Corruption("leaf chain length disagrees with size()");
   }
   return Status::OK();
+}
+
+size_t BPlusTree::ApproxMemoryUsage() const {
+  struct Walker {
+    static size_t KeyHeap(const Key& key) {
+      // RowApproxBytes counts the vector header too; the Entry already
+      // accounts for it, so strip it back off.
+      return RowApproxBytes(key) - sizeof(Row);
+    }
+    static size_t Walk(const Node* node) {
+      if (node->is_leaf) {
+        const auto* leaf = static_cast<const LeafNode*>(node);
+        size_t total =
+            sizeof(LeafNode) + leaf->entries.capacity() * sizeof(Entry);
+        for (const Entry& e : leaf->entries) total += KeyHeap(e.key);
+        return total;
+      }
+      const auto* inner = static_cast<const InternalNode*>(node);
+      size_t total = sizeof(InternalNode) +
+                     inner->seps.capacity() * sizeof(Entry) +
+                     inner->children.capacity() * sizeof(std::unique_ptr<Node>);
+      for (const Entry& e : inner->seps) total += KeyHeap(e.key);
+      for (const auto& child : inner->children) total += Walk(child.get());
+      return total;
+    }
+  };
+  return sizeof(BPlusTree) + (root_ != nullptr ? Walker::Walk(root_.get()) : 0);
 }
 
 }  // namespace provlin::storage

@@ -92,6 +92,10 @@ class BPlusTree {
   MultiSeekResult MultiSeek(const std::vector<Probe>& probes) const;
 
   size_t size() const { return size_; }
+
+  /// Approximate resident bytes of the whole tree: node objects, entry
+  /// vectors, and every key's datum heap.
+  size_t ApproxMemoryUsage() const;
   bool empty() const { return size_ == 0; }
 
   /// Tree height (1 = a lone leaf). Exposed for tests and stats.

@@ -4,9 +4,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/annotations.h"
 #include "common/interner.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "storage/table.h"
 
 namespace provlin::storage {
@@ -67,10 +70,36 @@ class Database {
   common::IndexDictionary& index_dict() { return index_dict_; }
   const common::IndexDictionary& index_dict() const { return index_dict_; }
 
+  // --- blob catalog ---------------------------------------------------------
+  // Named immutable byte strings riding in the image alongside the
+  // table catalog — compressed trace segments, keyed
+  // "segment/<table>/<run>". Internally synchronized (unlike the table
+  // catalog): sealing runs on different shards holds different shard
+  // locks but shares this one catalog.
+
+  /// Stores (or replaces) a blob. The bytes are shared, not copied.
+  void PutBlob(const std::string& key,
+               std::shared_ptr<const std::string> bytes);
+  /// The blob under `key`, or nullptr when absent.
+  std::shared_ptr<const std::string> GetBlob(const std::string& key) const;
+  /// Removes `key` (no-op when absent).
+  void DropBlob(const std::string& key);
+  /// All blob keys, sorted.
+  std::vector<std::string> BlobKeys() const;
+
  private:
+  /// The catalog lives behind a pointer so Database stays movable
+  /// (common::Mutex is neither movable nor copyable).
+  struct Blobs {
+    mutable common::Mutex mu;
+    std::map<std::string, std::shared_ptr<const std::string>> map
+        GUARDED_BY(mu);
+  };
+
   std::map<std::string, std::unique_ptr<Table>> tables_;
   common::SymbolTable symbols_;
   common::IndexDictionary index_dict_;
+  std::unique_ptr<Blobs> blobs_ = std::make_unique<Blobs>();
 };
 
 }  // namespace provlin::storage

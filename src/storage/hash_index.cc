@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/segment.h"
+
 namespace provlin::storage {
 
 void HashIndex::Insert(const Key& key, uint64_t rid) {
@@ -27,6 +29,19 @@ std::vector<uint64_t> HashIndex::Lookup(const Key& key) const {
   auto it = map_.find(key);
   if (it == map_.end()) return {};
   return it->second;
+}
+
+size_t HashIndex::ApproxMemoryUsage() const {
+  size_t total = sizeof(HashIndex);
+  // Bucket array plus one node allocation per element (libstdc++-style
+  // chaining: node header + the stored pair).
+  total += map_.bucket_count() * sizeof(void*);
+  for (const auto& [key, rids] : map_) {
+    total += 2 * sizeof(void*);  // node overhead
+    total += RowApproxBytes(key);
+    total += sizeof(rids) + rids.capacity() * sizeof(uint64_t);
+  }
+  return total;
 }
 
 }  // namespace provlin::storage

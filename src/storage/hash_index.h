@@ -22,6 +22,10 @@ class HashIndex {
 
   size_t size() const { return size_; }
 
+  /// Approximate resident bytes: bucket array, per-key datum heap, and
+  /// rid vectors.
+  size_t ApproxMemoryUsage() const;
+
  private:
   struct KeyHash {
     size_t operator()(const Key& k) const { return HashKey(k); }

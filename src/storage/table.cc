@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include "common/metrics.h"
+#include "storage/segment.h"
 
 namespace provlin::storage {
 
@@ -137,6 +138,10 @@ Status Table::Delete(uint64_t rid) {
       idx.hash->Erase(key, rid);
     }
   }
+  // Release the payload, not just the slot: sealing a run into a
+  // compressed segment deletes its rows and relies on the tombstones
+  // not pinning the row heap.
+  rows_[rid] = Row();
   deleted_[rid] = true;
   --live_rows_;
   stats_.Bump(stats_.deletes);
@@ -259,6 +264,29 @@ std::vector<uint64_t> Table::FullScan() const {
     if (!deleted_[rid]) out.push_back(rid);
   }
   return out;
+}
+
+void Table::ForEachLiveRow(
+    const std::function<void(uint64_t rid, const Row& row)>& fn) const {
+  for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
+    if (!deleted_[rid]) fn(rid, rows_[rid]);
+  }
+}
+
+size_t Table::ApproxMemoryUsage() const {
+  size_t total = sizeof(Table) + name_.capacity();
+  total += rows_.capacity() * sizeof(Row);
+  for (uint64_t rid = 0; rid < rows_.size(); ++rid) {
+    if (!deleted_[rid]) total += RowApproxBytes(rows_[rid]) - sizeof(Row);
+  }
+  total += deleted_.capacity() / 8;
+  for (const auto& idx : indexes_) {
+    total += sizeof(SecondaryIndex) +
+             idx.column_idx.capacity() * sizeof(size_t);
+    if (idx.btree != nullptr) total += idx.btree->ApproxMemoryUsage();
+    if (idx.hash != nullptr) total += idx.hash->ApproxMemoryUsage();
+  }
+  return total;
 }
 
 Key Table::ExtractKey(const Row& row, const SecondaryIndex& idx) const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -130,6 +131,18 @@ class Table {
 
   /// All live row ids, in insertion order. Counts as a full scan.
   std::vector<uint64_t> FullScan() const;
+
+  /// Visits every live row in rid order without moving any access-path
+  /// counter. Maintenance-path enumeration (segment seal/unseal, image
+  /// writers) — not a query surface, so cost attribution around queries
+  /// stays undisturbed.
+  void ForEachLiveRow(
+      const std::function<void(uint64_t rid, const Row& row)>& fn) const;
+
+  /// Approximate resident bytes: row payloads (live slots only — Delete
+  /// releases a tombstoned row's storage), the slot/tombstone vectors,
+  /// and every secondary index.
+  size_t ApproxMemoryUsage() const;
 
   size_t num_rows() const { return live_rows_; }
   size_t num_slots() const { return rows_.size(); }

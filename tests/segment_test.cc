@@ -1,0 +1,541 @@
+// Codec tests for compressed trace segments (storage/segment.h):
+// round-trips for both table layouts, probe-vs-reference equivalence
+// over randomized workloads, rejection of malformed buffers
+// (truncation at every prefix length, trailing garbage, forged
+// element counts), a seeded mutation-fuzz corpus, and the canonical
+// re-encode property encode(decode(x)) == x — mirroring wire_test.cc.
+
+#include "storage/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace provlin::storage {
+namespace {
+
+constexpr uint64_t kRun = 7;
+
+Row XformRow(int64_t event, bool has_in, IdPair in, IndexPath in_idx,
+             int64_t in_val, bool has_out, IdPair out, IndexPath out_idx,
+             int64_t out_val) {
+  Row row(8);
+  row[0] = Datum(static_cast<int64_t>(kRun));
+  row[1] = Datum(event);
+  if (has_in) {
+    row[2] = Datum(in);
+    row[3] = Datum(std::move(in_idx));
+    row[4] = Datum(in_val);
+  }
+  if (has_out) {
+    row[5] = Datum(out);
+    row[6] = Datum(std::move(out_idx));
+    row[7] = Datum(out_val);
+  }
+  return row;
+}
+
+Row XferRow(IdPair src, IndexPath src_idx, IdPair dst, IndexPath dst_idx,
+            int64_t value) {
+  Row row(6);
+  row[0] = Datum(static_cast<int64_t>(kRun));
+  row[1] = Datum(src);
+  row[2] = Datum(std::move(src_idx));
+  row[3] = Datum(dst);
+  row[4] = Datum(std::move(dst_idx));
+  row[5] = Datum(value);
+  return row;
+}
+
+/// Randomized but deterministic workload generator: repeated
+/// processor/port pairs, dense index-path ranges, occasional nulls —
+/// the shapes the encoder targets, sized to span several 512-row
+/// blocks.
+std::vector<Row> RandomXformRows(Random& rng, size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool has_in = rng.Bernoulli(0.8);
+    bool has_out = rng.Bernoulli(0.8);
+    if (!has_in && !has_out) has_out = true;
+    IdPair in{static_cast<uint32_t>(rng.Uniform(5)),
+              static_cast<uint32_t>(rng.Uniform(3))};
+    IdPair out{static_cast<uint32_t>(rng.Uniform(5)),
+               static_cast<uint32_t>(3 + rng.Uniform(3))};
+    IndexPath in_idx, out_idx;
+    uint64_t depth = rng.Uniform(4);
+    for (uint64_t d = 0; d < depth; ++d) {
+      in_idx.push_back(static_cast<int32_t>(rng.Uniform(6)));
+    }
+    depth = rng.Uniform(4);
+    for (uint64_t d = 0; d < depth; ++d) {
+      out_idx.push_back(static_cast<int32_t>(rng.Uniform(6)));
+    }
+    rows.push_back(XformRow(static_cast<int64_t>(i), has_in, in,
+                            std::move(in_idx), static_cast<int64_t>(100 + i),
+                            has_out, out, std::move(out_idx),
+                            static_cast<int64_t>(200 + i)));
+  }
+  return rows;
+}
+
+std::vector<Row> RandomXferRows(Random& rng, size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    IdPair src{static_cast<uint32_t>(rng.Uniform(4)),
+               static_cast<uint32_t>(rng.Uniform(2))};
+    IdPair dst{static_cast<uint32_t>(4 + rng.Uniform(4)),
+               static_cast<uint32_t>(rng.Uniform(2))};
+    IndexPath src_idx, dst_idx;
+    uint64_t depth = 1 + rng.Uniform(3);
+    for (uint64_t d = 0; d < depth; ++d) {
+      src_idx.push_back(static_cast<int32_t>(rng.Uniform(8)));
+      dst_idx.push_back(static_cast<int32_t>(rng.Uniform(8)));
+    }
+    rows.push_back(XferRow(src, std::move(src_idx), dst, std::move(dst_idx),
+                           static_cast<int64_t>(i)));
+  }
+  return rows;
+}
+
+int ComparePathRef(const IndexPath& a, const IndexPath& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool PathExtendsRef(const IndexPath& path, const IndexPath& prefix) {
+  return path.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), path.begin());
+}
+
+/// Reference probe: brute-force over the original rows, sorted the way
+/// the view promises — (pair, path, ordinal).
+std::vector<std::pair<uint64_t, Row>> ReferenceProbe(
+    const std::vector<Row>& rows, size_t pair_col, size_t path_col,
+    const Segment::ViewProbe& probe) {
+  struct Entry {
+    uint64_t pair;
+    IndexPath path;
+    uint64_t ordinal;
+  };
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i][pair_col].is_null()) continue;
+    entries.push_back(Entry{rows[i][pair_col].AsIdPair().Packed(),
+                            rows[i][path_col].AsIndexPath(), i});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.pair != b.pair) return a.pair < b.pair;
+    int c = ComparePathRef(a.path, b.path);
+    if (c != 0) return c < 0;
+    return a.ordinal < b.ordinal;
+  });
+  std::vector<std::pair<uint64_t, Row>> out;
+  for (const Entry& e : entries) {
+    if (e.pair != probe.pair) continue;
+    if (probe.has_lo && ComparePathRef(e.path, probe.lo) < 0) continue;
+    if (probe.has_hi && ComparePathRef(e.path, probe.hi) > 0) continue;
+    if (probe.has_residual && !PathExtendsRef(e.path, probe.residual)) continue;
+    out.emplace_back(e.ordinal, rows[e.ordinal]);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, Row>> SegmentProbe(const Segment& seg,
+                                                   size_t view,
+                                                   const Segment::ViewProbe& p,
+                                                   Segment::Scratch* scratch) {
+  std::vector<std::pair<uint64_t, Row>> out;
+  Segment::ProbeCounts counts;
+  Status st = seg.ProbeView(
+      view, p, scratch, &counts,
+      [&](uint64_t ordinal, const Row& row) { out.emplace_back(ordinal, row); });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(SegmentTest, XformRoundTrip) {
+  Random rng(1);
+  std::vector<Row> rows = RandomXformRows(rng, 1500);
+  auto seg = Segment::Build(Segment::Kind::kXform, kRun, rows);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg->kind(), Segment::Kind::kXform);
+  EXPECT_EQ(seg->run(), kRun);
+  EXPECT_EQ(seg->num_rows(), rows.size());
+  auto decoded = seg->DecodeAllRows();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], rows[i]) << "row " << i;
+  }
+}
+
+TEST(SegmentTest, XferRoundTrip) {
+  Random rng(2);
+  std::vector<Row> rows = RandomXferRows(rng, 1200);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  auto decoded = seg->DecodeAllRows();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], rows[i]) << "row " << i;
+  }
+}
+
+TEST(SegmentTest, EmptySegment) {
+  auto seg = Segment::Build(Segment::Kind::kXform, kRun, {});
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg->num_rows(), 0u);
+  EXPECT_EQ(seg->view_entries(Segment::kViewOut), 0u);
+  auto decoded = seg->DecodeAllRows();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+  Segment::Scratch scratch;
+  Segment::ViewProbe probe;
+  probe.pair = IdPair{1, 2}.Packed();
+  EXPECT_TRUE(SegmentProbe(*seg, Segment::kViewOut, probe, &scratch).empty());
+}
+
+TEST(SegmentTest, BuildRejectsMalformedRows) {
+  // Wrong run id in the run column.
+  Row bad = XferRow(IdPair{1, 1}, {0}, IdPair{2, 2}, {1}, 5);
+  bad[0] = Datum(static_cast<int64_t>(kRun + 1));
+  EXPECT_FALSE(Segment::Build(Segment::Kind::kXfer, kRun, {bad}).ok());
+  // Wrong width.
+  EXPECT_FALSE(Segment::Build(Segment::Kind::kXform, kRun,
+                              {XferRow(IdPair{1, 1}, {0}, IdPair{2, 2}, {1}, 5)})
+                   .ok());
+  // Xform in-side must be null or present as a whole triple.
+  Row half = XformRow(0, true, IdPair{1, 1}, {0}, 1, false, {}, {}, 0);
+  half[4] = Datum();  // value null while pair set
+  EXPECT_FALSE(Segment::Build(Segment::Kind::kXform, kRun, {half}).ok());
+  // Xfer columns are non-nullable.
+  Row null_dst = XferRow(IdPair{1, 1}, {0}, IdPair{2, 2}, {1}, 5);
+  null_dst[3] = Datum();
+  EXPECT_FALSE(Segment::Build(Segment::Kind::kXfer, kRun, {null_dst}).ok());
+}
+
+TEST(SegmentTest, ProbesMatchReferenceAcrossWorkloads) {
+  // Point, prefix, range, and residual-filtered probes on both views of
+  // both layouts, randomized, against the brute-force reference.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Random rng(seed);
+    std::vector<Row> xform = RandomXformRows(rng, 900);
+    std::vector<Row> xfer = RandomXferRows(rng, 700);
+    auto xform_seg = Segment::Build(Segment::Kind::kXform, kRun, xform);
+    auto xfer_seg = Segment::Build(Segment::Kind::kXfer, kRun, xfer);
+    ASSERT_TRUE(xform_seg.ok() && xfer_seg.ok());
+
+    struct ViewSpec {
+      const Segment* seg;
+      const std::vector<Row>* rows;
+      size_t view;
+      size_t pair_col;
+      size_t path_col;
+    };
+    const ViewSpec specs[] = {
+        {&*xform_seg, &xform, Segment::kViewOut, 5, 6},
+        {&*xform_seg, &xform, Segment::kViewIn, 2, 3},
+        {&*xfer_seg, &xfer, Segment::kViewOut, 1, 2},
+        {&*xfer_seg, &xfer, Segment::kViewIn, 3, 4},
+    };
+    for (const ViewSpec& spec : specs) {
+      for (int trial = 0; trial < 60; ++trial) {
+        Segment::ViewProbe probe;
+        // Mostly pairs that exist; sometimes absent ones.
+        if (rng.Bernoulli(0.85) && !spec.rows->empty()) {
+          const Row& r = (*spec.rows)[rng.Uniform(spec.rows->size())];
+          if (r[spec.pair_col].is_null()) continue;
+          probe.pair = r[spec.pair_col].AsIdPair().Packed();
+        } else {
+          probe.pair = IdPair{static_cast<uint32_t>(rng.Uniform(10)),
+                              static_cast<uint32_t>(rng.Uniform(10))}
+                           .Packed();
+        }
+        switch (rng.Uniform(4)) {
+          case 0:  // prefix probe: whole pair
+            break;
+          case 1: {  // point probe
+            probe.has_lo = probe.has_hi = true;
+            uint64_t depth = rng.Uniform(4);
+            for (uint64_t d = 0; d < depth; ++d) {
+              probe.lo.push_back(static_cast<int32_t>(rng.Uniform(8)));
+            }
+            probe.hi = probe.lo;
+            break;
+          }
+          case 2: {  // range probe
+            probe.has_lo = probe.has_hi = true;
+            probe.lo.push_back(static_cast<int32_t>(rng.Uniform(4)));
+            probe.hi = probe.lo;
+            probe.hi.back() += 1 + static_cast<int32_t>(rng.Uniform(3));
+            break;
+          }
+          default: {  // residual-filtered range (the planner's shape)
+            probe.has_lo = probe.has_hi = probe.has_residual = true;
+            probe.lo.push_back(static_cast<int32_t>(rng.Uniform(4)));
+            probe.residual = probe.lo;
+            probe.hi = probe.lo;
+            probe.hi.back() += 1;
+            break;
+          }
+        }
+        Segment::Scratch scratch;  // fresh: probes are independent
+        auto got = SegmentProbe(*spec.seg, spec.view, probe, &scratch);
+        auto want =
+            ReferenceProbe(*spec.rows, spec.pair_col, spec.path_col, probe);
+        ASSERT_EQ(got.size(), want.size())
+            << "seed " << seed << " view " << spec.view << " trial " << trial;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].first, want[i].first);
+          EXPECT_EQ(got[i].second, want[i].second);
+        }
+      }
+    }
+  }
+}
+
+TEST(SegmentTest, SortedProbeSequenceReusesPositions) {
+  // A sorted batch sharing one Scratch must produce the same answers as
+  // independent probes, with fewer directory searches than probes.
+  Random rng(21);
+  std::vector<Row> rows = RandomXferRows(rng, 2000);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+
+  // Sorted probe batch over existing (pair, path) targets.
+  std::vector<Segment::ViewProbe> probes;
+  for (int i = 0; i < 200; ++i) {
+    const Row& r = rows[rng.Uniform(rows.size())];
+    Segment::ViewProbe p;
+    p.pair = r[1].AsIdPair().Packed();
+    p.has_lo = p.has_hi = true;
+    p.lo = r[2].AsIndexPath();
+    p.hi = p.lo;
+    probes.push_back(std::move(p));
+  }
+  std::sort(probes.begin(), probes.end(),
+            [](const Segment::ViewProbe& a, const Segment::ViewProbe& b) {
+              if (a.pair != b.pair) return a.pair < b.pair;
+              return ComparePathRef(a.lo, b.lo) < 0;
+            });
+
+  Segment::Scratch shared;
+  Segment::ProbeCounts batch_counts;
+  std::vector<std::vector<std::pair<uint64_t, Row>>> batch_results;
+  for (const auto& p : probes) {
+    std::vector<std::pair<uint64_t, Row>> out;
+    Status st = seg->ProbeView(Segment::kViewOut, p, &shared, &batch_counts,
+                               [&](uint64_t ordinal, const Row& row) {
+                                 out.emplace_back(ordinal, row);
+                               });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    batch_results.push_back(std::move(out));
+  }
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Segment::Scratch fresh;
+    auto want = SegmentProbe(*seg, Segment::kViewOut, probes[i], &fresh);
+    ASSERT_EQ(batch_results[i].size(), want.size()) << "probe " << i;
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(batch_results[i][j].first, want[j].first);
+      EXPECT_EQ(batch_results[i][j].second, want[j].second);
+    }
+  }
+  // Forward reuse must have kicked in: strictly fewer searches than
+  // probes (duplicates and near-neighbours continue from position).
+  EXPECT_LT(batch_counts.searches, probes.size());
+  EXPECT_GT(batch_counts.entries_examined, 0u);
+}
+
+TEST(SegmentTest, ScratchRowReferencesStayValid) {
+  // Rows handed to emit callbacks point into the scratch cache and must
+  // stay valid across later probes on the same scratch.
+  Random rng(31);
+  std::vector<Row> rows = RandomXferRows(rng, 1100);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+  Segment::Scratch scratch;
+  std::vector<const Row*> pinned;
+  std::vector<Row> copies;
+  for (int i = 0; i < 50; ++i) {
+    const Row& r = rows[rng.Uniform(rows.size())];
+    Segment::ViewProbe p;
+    p.pair = r[1].AsIdPair().Packed();
+    p.has_lo = p.has_hi = true;
+    p.lo = r[2].AsIndexPath();
+    p.hi = p.lo;
+    Segment::ProbeCounts counts;
+    Status st = seg->ProbeView(Segment::kViewOut, p, &scratch, &counts,
+                               [&](uint64_t, const Row& row) {
+                                 pinned.push_back(&row);
+                                 copies.push_back(row);
+                               });
+    ASSERT_TRUE(st.ok());
+  }
+  for (size_t i = 0; i < pinned.size(); ++i) {
+    EXPECT_EQ(*pinned[i], copies[i]) << "row reference " << i << " invalidated";
+  }
+}
+
+TEST(SegmentTest, RejectsTruncationAtEveryLength) {
+  Random rng(41);
+  std::vector<Row> rows = RandomXferRows(rng, 60);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+  const std::string& bytes = seg->bytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto truncated = Segment::FromBytes(
+        std::make_shared<const std::string>(bytes.substr(0, len)));
+    EXPECT_FALSE(truncated.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(SegmentTest, RejectsTrailingGarbage) {
+  Random rng(42);
+  std::vector<Row> rows = RandomXformRows(rng, 40);
+  auto seg = Segment::Build(Segment::Kind::kXform, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+  auto bad = Segment::FromBytes(
+      std::make_shared<const std::string>(seg->bytes() + "x"));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SegmentTest, RejectsForgedElementCounts) {
+  // A short buffer claiming a huge dictionary must be rejected by the
+  // length check, not by attempting the allocation.
+  std::string forged;
+  forged += "PSEG";
+  forged.push_back(1);  // version
+  forged.push_back(0);  // kind
+  forged.push_back(3);  // run
+  forged.push_back(0);  // nrows
+  // npairs = 2^35 as a varint: 0x80 0x80 0x80 0x80 0x80 0x01
+  for (int i = 0; i < 5; ++i) forged.push_back(static_cast<char>(0x80));
+  forged.push_back(0x01);
+  auto parsed =
+      Segment::FromBytes(std::make_shared<const std::string>(forged));
+  EXPECT_FALSE(parsed.ok());
+
+  // Likewise a row-block count inconsistent with nrows.
+  Random rng(43);
+  std::vector<Row> rows = RandomXferRows(rng, 10);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+  std::string bytes = seg->bytes();
+  // nrows is a single varint byte (10) right after magic+version+kind+run.
+  ASSERT_EQ(bytes[7], 10);
+  bytes[7] = 11;
+  EXPECT_FALSE(
+      Segment::FromBytes(std::make_shared<const std::string>(bytes)).ok());
+}
+
+TEST(SegmentTest, FuzzedPayloadsNeverCrash) {
+  // Mutation corpus over valid segments of both kinds: random byte
+  // flips, truncations, extensions. FromBytes must return a Status —
+  // never crash, hang, or allocate from an untrusted count — and any
+  // mutant that still parses must also survive a full decode and a few
+  // probes (parse acceptance implies decode safety).
+  Random rng(20260808);
+  std::vector<std::string> seeds;
+  {
+    Random gen(51);
+    seeds.push_back(
+        Segment::Build(Segment::Kind::kXform, kRun, RandomXformRows(gen, 700))
+            ->bytes());
+    seeds.push_back(
+        Segment::Build(Segment::Kind::kXfer, kRun, RandomXferRows(gen, 600))
+            ->bytes());
+    seeds.push_back(Segment::Build(Segment::Kind::kXform, kRun, {})->bytes());
+  }
+  for (const std::string& seed : seeds) {
+    for (int i = 0; i < 2000; ++i) {
+      std::string mutant = seed;
+      switch (rng.Uniform(3)) {
+        case 0: {  // flip 1-4 bytes
+          uint64_t flips = 1 + rng.Uniform(4);
+          for (uint64_t f = 0; f < flips; ++f) {
+            mutant[rng.Uniform(mutant.size())] =
+                static_cast<char>(rng.Uniform(256));
+          }
+          break;
+        }
+        case 1:  // truncate
+          mutant.resize(rng.Uniform(mutant.size()));
+          break;
+        default:  // extend with junk
+          mutant.append(1 + rng.Uniform(16), static_cast<char>(rng.Next()));
+          break;
+      }
+      auto parsed =
+          Segment::FromBytes(std::make_shared<const std::string>(mutant));
+      if (!parsed.ok()) continue;
+      auto rows = parsed->DecodeAllRows();
+      if (rows.ok()) {
+        EXPECT_EQ(rows->size(), parsed->num_rows());
+      }
+      Segment::Scratch scratch;
+      Segment::ViewProbe probe;
+      probe.pair = IdPair{1, 1}.Packed();
+      Segment::ProbeCounts counts;
+      (void)parsed->ProbeView(Segment::kViewOut, probe, &scratch, &counts,
+                              [](uint64_t, const Row&) {});
+    }
+  }
+}
+
+TEST(SegmentTest, CanonicalReencode) {
+  // Build(DecodeAllRows(seg)) must reproduce the exact bytes: there is
+  // one encoding per logical content, which is what makes segment blobs
+  // in saved images comparable byte-for-byte.
+  for (uint64_t seed : {61u, 62u}) {
+    Random rng(seed);
+    std::vector<Row> xform = RandomXformRows(rng, 800);
+    auto seg = Segment::Build(Segment::Kind::kXform, kRun, xform);
+    ASSERT_TRUE(seg.ok());
+    auto rows = seg->DecodeAllRows();
+    ASSERT_TRUE(rows.ok());
+    auto again = Segment::Build(Segment::Kind::kXform, kRun, *rows);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->bytes(), seg->bytes());
+
+    std::vector<Row> xfer = RandomXferRows(rng, 650);
+    auto xseg = Segment::Build(Segment::Kind::kXfer, kRun, xfer);
+    ASSERT_TRUE(xseg.ok());
+    auto xrows = xseg->DecodeAllRows();
+    ASSERT_TRUE(xrows.ok());
+    auto xagain = Segment::Build(Segment::Kind::kXfer, kRun, *xrows);
+    ASSERT_TRUE(xagain.ok());
+    EXPECT_EQ(xagain->bytes(), xseg->bytes());
+  }
+}
+
+TEST(SegmentTest, FromBytesRoundTripsSharedBuffer) {
+  Random rng(71);
+  std::vector<Row> rows = RandomXferRows(rng, 300);
+  auto seg = Segment::Build(Segment::Kind::kXfer, kRun, rows);
+  ASSERT_TRUE(seg.ok());
+  auto reparsed = Segment::FromBytes(seg->shared_bytes());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->num_rows(), rows.size());
+  EXPECT_EQ(reparsed->bytes(), seg->bytes());
+  // Footprint is dominated by the shared buffer, far below the
+  // materialized rows.
+  size_t raw = 0;
+  for (const Row& r : rows) raw += RowApproxBytes(r);
+  EXPECT_LT(seg->ApproxMemoryUsage(), raw);
+}
+
+}  // namespace
+}  // namespace provlin::storage

@@ -22,6 +22,15 @@ is additionally validated against the run-sharding accounting invariant
 provenance/shard<k>/rows counters must form a gapless range starting at
 shard 0, and their sum must equal provenance/rows_ingested — every row
 the process ingested was credited to exactly one shard.
+
+With --compress-ratios the emission is validated against the segment
+tier accounting (DESIGN.md §13): the footprint entries must show a
+compression ratio >= 1 (sealed never larger than hot), the per-shard
+provenance/shard<k>/segments counters must form a gapless range
+starting at shard 0, and the segment_rows + hot_rows gauges must sum to
+provenance/rows_ingested — sealing moves rows between tiers, it never
+drops or duplicates them. (The gauge invariant assumes a single-store
+process, which every bench that emits these metrics is.)
 """
 
 import argparse
@@ -73,6 +82,71 @@ def check_shard_counters(doc):
     return failures
 
 
+def check_compress_ratios(doc):
+    """Returns a list of violations of the segment tier accounting."""
+    failures = []
+
+    # Footprint: the sealed tier never exceeds the hot tier it replaced.
+    entries = {e["label"]: e for e in doc.get("entries", [])}
+    hot = entries.get("footprint_hot_bytes")
+    sealed = entries.get("footprint_sealed_bytes")
+    if hot is None or sealed is None:
+        failures.append(
+            "entries: footprint_hot_bytes / footprint_sealed_bytes missing "
+            "(bench did not record the tier footprints)"
+        )
+    elif sealed["probes"] <= 0:
+        failures.append("entries: footprint_sealed_bytes is zero — nothing sealed")
+    elif hot["probes"] < sealed["probes"]:
+        failures.append(
+            f"entries: compression ratio "
+            f"{hot['probes'] / sealed['probes']:.2f} < 1 "
+            f"(hot {hot['probes']} bytes, sealed {sealed['probes']} bytes)"
+        )
+
+    metrics = doc.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+
+    # Per-shard segment counters are gapless from shard 0.
+    segments = {}
+    for name, value in counters.items():
+        m = re.fullmatch(r"provenance/shard(\d+)/segments", name)
+        if m:
+            segments[int(m.group(1))] = value
+    if not segments:
+        failures.append("metrics: no provenance/shard<k>/segments counters")
+        return failures
+    missing = set(range(max(segments) + 1)) - set(segments)
+    if missing:
+        failures.append(
+            f"metrics: segment counters have gaps (missing shards "
+            f"{sorted(missing)})"
+        )
+
+    # Tier row accounting: every ingested row is resident in exactly one
+    # tier (the benches never delete).
+    segment_rows = sum(
+        value
+        for name, value in gauges.items()
+        if re.fullmatch(r"provenance/shard\d+/segment_rows", name)
+    )
+    hot_rows = sum(
+        value
+        for name, value in gauges.items()
+        if re.fullmatch(r"provenance/shard\d+/hot_rows", name)
+    )
+    total = counters.get("provenance/rows_ingested")
+    if total is None:
+        failures.append("metrics: counter provenance/rows_ingested missing")
+    elif segment_rows + hot_rows != total:
+        failures.append(
+            f"metrics: segment_rows {segment_rows} + hot_rows {hot_rows} "
+            f"!= provenance/rows_ingested {total}"
+        )
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Compare a bench JSON emission against its checked-in "
@@ -88,6 +162,14 @@ def main(argv):
         "sum(provenance/shard<k>/rows) == provenance/rows_ingested and the "
         "provenance/shards gauge is present",
     )
+    parser.add_argument(
+        "--compress-ratios",
+        action="store_true",
+        help="also validate the current emission's segment tier accounting: "
+        "footprint compression ratio >= 1, gapless per-shard "
+        "provenance/shard<k>/segments counters, and segment_rows + hot_rows "
+        "gauges summing to provenance/rows_ingested",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -101,6 +183,8 @@ def main(argv):
     failures = []
     if args.shard_counters:
         failures.extend(check_shard_counters(current_doc))
+    if args.compress_ratios:
+        failures.extend(check_compress_ratios(current_doc))
     checked = 0
     for label, base in sorted(baseline.items()):
         if not base.get("deterministic", False):
