@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/tracing.h"
@@ -24,6 +25,7 @@
 #include "provenance/recorder.h"
 #include "provenance/store_open.h"
 #include "provenance/trace_store.h"
+#include "server/client.h"
 #include "server/server.h"
 #include "storage/sql.h"
 #include "storage/wal.h"
@@ -198,47 +200,30 @@ Result<provenance::OpenedStore> OpenStoreFromArgs(const Args& args) {
 /// Pre-registers the well-known instrument names so `provlin stats`
 /// exposes the whole schema even for counters this process never
 /// bumped: an untouched instrument reads 0, and a stable exposition is
-/// what scrapers and the CLI tests key on.
+/// what scrapers and the CLI tests key on. The names come from the one
+/// authoritative list in common/metric_names.h — the same list the
+/// project lint holds every registration site to.
 void TouchWellKnownInstruments() {
   namespace metrics = common::metrics;
-  for (const char* name :
-       {"storage/inserts", "storage/deletes", "storage/index_probes",
-        "storage/full_scans", "storage/rows_examined",
-        "storage/batched_probes", "storage/descents",
-        "storage/segment_probes", "storage/segment_entries_examined",
-        "storage/segment_searches", "storage/segment_block_decodes",
-        "wal/appends",
-        "wal/bytes", "wal/flushes", "provenance/xform_rows",
-        "provenance/xfer_rows", "provenance/rows_ingested",
-        "provenance/memo_hits",
-        "provenance/memo_lookups", "lineage/queries", "lineage/trace_probes",
-        "lineage/trace_descents", "lineage/graph_steps",
-        "lineage/plan_builds", "lineage/plan_cache_hits", "service/batches",
-        "service/requests", "service/failed_requests",
-        "service/plan_cache_hits", "service/trace_probes",
-        "service/trace_descents", "service/probe_memo_hits",
-        "service/probe_memo_lookups", "server/connections_accepted",
-        "server/connections_rejected", "server/requests",
-        "server/responses_ok", "server/responses_error",
-        "server/overload_shed", "server/bad_frames", "net/frames_in",
-        "net/frames_out", "net/bytes_in", "net/bytes_out"}) {
+  namespace names = common::metrics::names;
+  for (std::string_view name : names::kCounterNames) {
     metrics::GetCounter(name);
   }
-  metrics::GetHistogram("lineage/t1_ms");
-  metrics::GetHistogram("lineage/t2_ms");
-  metrics::GetHistogram("service/queue_wait_ms");
-  metrics::GetHistogram("service/exec_ms");
-  metrics::GetHistogram("service/batch_wall_ms");
-  metrics::GetHistogram("storage/multiseek_batch_size",
-                        metrics::DefaultSizeBounds());
-  metrics::GetHistogram("server/request_ms");
-  metrics::GetHistogram("server/batch_size", metrics::DefaultSizeBounds());
-  metrics::GetGauge("service/last_batch_wall_us");
-  metrics::GetGauge("provenance/shards");
-  metrics::GetGauge("server/queue_depth");
+  for (std::string_view name : names::kGaugeNames) {
+    metrics::GetGauge(name);
+  }
+  for (std::string_view name : names::kLatencyHistogramNames) {
+    metrics::GetHistogram(name);
+  }
+  for (std::string_view name : names::kSizeHistogramNames) {
+    metrics::GetHistogram(name, metrics::DefaultSizeBounds());
+  }
 }
 
 Status DumpStats(const std::string& format, std::ostream& out) {
+  // Fold the tracer ring's health into the snapshot so dropped spans
+  // and ring occupancy show up in the default text output.
+  common::tracing::PublishTracingStats();
   common::metrics::MetricsSnapshot snap =
       common::metrics::MetricsRegistry::Global().Snapshot();
   if (format == "prometheus") {
@@ -508,7 +493,62 @@ Status CmdLineage(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// `stats --connect HOST:PORT`: scrape a live server's registry (and
+/// optionally its tracer ring) over the wire's STATS message instead of
+/// dumping this process's counters. The scrape is answered on the
+/// server's reader thread, so it works even while the dispatch queue is
+/// saturated.
+Status CmdStatsRemote(const Args& args, const std::string& connect,
+                      std::ostream& out) {
+  size_t colon = connect.rfind(':');
+  int64_t port_n = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64(connect.substr(colon + 1), &port_n) || port_n < 1 ||
+      port_n > 65535) {
+    return Status::InvalidArgument("bad --connect value '" + connect +
+                                   "' (expected HOST:PORT)");
+  }
+  const std::string host = connect.substr(0, colon);
+  const std::string* trace_out = args.Get("trace-out");
+  uint8_t want = lineage::wire::kStatsWantMetrics;
+  if (trace_out != nullptr) want |= lineage::wire::kStatsWantTrace;
+
+  PROVLIN_ASSIGN_OR_RETURN(
+      server::LineageClient client,
+      server::LineageClient::Connect(host, static_cast<uint16_t>(port_n)));
+  PROVLIN_ASSIGN_OR_RETURN(lineage::wire::StatsResponse response,
+                           client.Stats(want));
+  std::string format =
+      args.Get("format") != nullptr ? *args.Get("format") : "prometheus";
+  if (format == "prometheus") {
+    out << response.prometheus_text;
+  } else if (format == "json") {
+    out << response.metrics_json << "\n";
+  } else {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (prometheus|json)");
+  }
+  if (trace_out != nullptr) {
+    if (!response.has_trace) {
+      return Status::FailedPrecondition(
+          "server did not return a trace ring (is tracing enabled? serve "
+          "--trace true)");
+    }
+    std::ofstream trace_file(*trace_out);
+    if (!trace_file) {
+      return Status::IoError("cannot write trace file '" + *trace_out + "'");
+    }
+    trace_file << response.trace_json;
+    out << "# trace: " << response.trace_events << " events ("
+        << response.trace_dropped << " dropped) -> " << *trace_out << "\n";
+  }
+  return Status::OK();
+}
+
 Status CmdStats(const Args& args, std::ostream& out) {
+  if (const std::string* connect = args.Get("connect")) {
+    return CmdStatsRemote(args, *connect, out);
+  }
   // Counters cover this process: with --db the exposition reflects the
   // cost of loading the database (inserts, WAL work); most uses are
   // `lineage --stats true` or embedding, where the registry has real
@@ -726,6 +766,31 @@ Status CmdServe(const Args& args, std::ostream& out) {
                                         &options.max_batch));
   PROVLIN_RETURN_IF_ERROR(ParseSizeFlag(args, "max-connections",
                                         &options.max_connections));
+  if (const std::string* slow = args.Get("slow-request-ms")) {
+    double ms = 0.0;
+    if (!ParseDouble(*slow, &ms) || ms < 0.0) {
+      return Status::InvalidArgument("bad --slow-request-ms value '" + *slow +
+                                     "' (non-negative ms; 0 logs everything)");
+    }
+    options.slow_request_ms = ms;
+  }
+  if (const std::string* path = args.Get("slow-log")) {
+    options.slow_log_path = *path;
+  }
+  if (const std::string* cap = args.Get("slow-log-max-bytes")) {
+    int64_t n = 0;
+    if (!ParseInt64(*cap, &n) || n < 1) {
+      return Status::InvalidArgument("bad --slow-log-max-bytes value '" +
+                                     *cap + "'");
+    }
+    options.slow_log_max_bytes = static_cast<uint64_t>(n);
+  }
+  // --trace true turns the in-process tracer ring on for the server's
+  // lifetime so `provlin stats --connect HOST:PORT --trace-out FILE`
+  // can scrape span data from a live process.
+  if (args.Get("trace") != nullptr && *args.Get("trace") != "false") {
+    common::tracing::Tracer::Global().Enable();
+  }
 
   // Block the shutdown signals before Start() so every server thread
   // inherits the mask and only the sigwait below receives them.
@@ -736,6 +801,17 @@ Status CmdServe(const Args& args, std::ostream& out) {
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
   server::LineageServer server(std::move(engines), options);
+  // Slow-request records carry the same EXPLAIN step costs the CLI's
+  // `explain` command prints (re-measured for the offending request).
+  // `index_proj` and `store` are stack locals declared above the server
+  // and so outlive it.
+  server.SetExplainer(
+      "indexproj",
+      [&index_proj, &store](const lineage::LineageRequest& request) {
+        Result<lineage::ExplainResult> explained = index_proj.Explain(request);
+        if (!explained.ok()) return std::string();
+        return explained->ToJson(store);
+      });
   PROVLIN_RETURN_IF_ERROR(server.Start());
   out << "serving lineage on 127.0.0.1:" << server.port() << " ("
       << options.service.num_threads << " workers, queue "
@@ -763,7 +839,11 @@ Status CmdServe(const Args& args, std::ostream& out) {
       << " error, " << stats.overload_shed << " shed over "
       << stats.connections_accepted << " connections ("
       << stats.connections_rejected << " rejected, " << stats.bad_frames
-      << " bad frames)\n";
+      << " bad frames, " << stats.stats_requests << " stats scrapes)\n";
+  if (stats.slow_requests_logged > 0) {
+    out << "slow-request log: " << stats.slow_requests_logged
+        << " records -> " << options.slow_log_path << "\n";
+  }
   if (args.Get("stats") != nullptr && *args.Get("stats") != "false") {
     TouchWellKnownInstruments();
     PROVLIN_RETURN_IF_ERROR(DumpStats("prometheus", out));

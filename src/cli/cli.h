@@ -42,7 +42,8 @@ namespace provlin::cli {
 ///   serve    --workflow W --db FILE [--port N] [--port-file FILE]
 ///            [--threads N] [--shards N] [--async-ingest true]
 ///            [--max-queue N] [--max-batch N] [--max-connections N]
-///            [--stats true]
+///            [--slow-request-ms N] [--slow-log FILE]
+///            [--slow-log-max-bytes N] [--trace true] [--stats true]
 ///            Serve lineage queries over loopback TCP (DESIGN.md §12):
 ///            length-prefixed wire-protocol frames carrying versioned
 ///            LineageRequest envelopes, answered by both engines
@@ -50,14 +51,27 @@ namespace provlin::cli {
 ///            shared concurrent LineageService. --port 0 (default)
 ///            binds an ephemeral port; --port-file writes the bound
 ///            port once the server is accepting. A full request queue
-///            sheds load with typed OVERLOADED responses. Stop with
-///            SIGINT/SIGTERM; a served-traffic summary (and with
-///            --stats true the metrics exposition) prints on shutdown.
-///            Drive it with tools/loadgen.
+///            sheds load with typed OVERLOADED responses.
+///            --slow-request-ms N appends a structured JSON-lines record
+///            (phase timeline, shard fan-out, probe counts, EXPLAIN
+///            payload — DESIGN.md §14) for every served request at or
+///            over N ms to --slow-log (default slow_requests.jsonl,
+///            rotated at --slow-log-max-bytes); N=0 logs everything.
+///            --trace true keeps the tracer ring live so remote scrapes
+///            can pull it. Stop with SIGINT/SIGTERM; a served-traffic
+///            summary (and with --stats true the metrics exposition)
+///            prints on shutdown. Drive it with tools/loadgen.
 ///   stats    [--db FILE] [--format prometheus|json] [--reset true]
+///            [--connect HOST:PORT] [--trace-out FILE.json]
 ///            Dump the process metrics registry (counters, gauges,
 ///            latency histograms across storage, provenance, lineage,
-///            and service tiers).
+///            and service tiers), including the tracer ring's health
+///            gauges (tracing/ring_events, ring_dropped). With
+///            --connect the registry of a *live server* is scraped over
+///            the wire's STATS message instead (answered on the
+///            server's reader thread, so it works under dispatch
+///            saturation); --trace-out additionally pulls the server's
+///            tracer ring as Chrome trace-event JSON.
 ///   sql      --db FILE "SELECT ..."
 ///            Run a SQL query against the trace database.
 ///   dot      --db FILE --run ID

@@ -96,7 +96,7 @@ void Histogram::Reset() {
 }
 
 double HistogramSnapshot::Percentile(double q) const {
-  if (count == 0 || counts.empty()) return 0.0;
+  if (count == 0 || counts.empty()) return kEmptyHistogramPercentile;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target observation among `count` sorted observations.

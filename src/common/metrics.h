@@ -100,6 +100,16 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
+/// What HistogramSnapshot::Percentile reports for a histogram with no
+/// observations. Deliberately 0.0 rather than NaN: every consumer
+/// (loadgen's BENCH_served.json, bench reports, the stats command)
+/// feeds percentiles straight into JSON or arithmetic, where a NaN
+/// would silently poison the output, while 0.0 reads as "no latency
+/// observed" and keeps monotonicity checks (p50 ≤ p95 ≤ p99) trivially
+/// true. Callers that must distinguish "empty" from "all zeros" check
+/// HistogramSnapshot::count themselves.
+inline constexpr double kEmptyHistogramPercentile = 0.0;
+
 /// Point-in-time histogram contents (value snapshot).
 struct HistogramSnapshot {
   /// Upper bounds of the finite buckets; counts has bounds.size() + 1
@@ -113,9 +123,11 @@ struct HistogramSnapshot {
   /// linear interpolation within the bucket the rank falls into — the
   /// Prometheus histogram_quantile estimator. Observations in the +Inf
   /// overflow bucket report the last finite bound (the estimate cannot
-  /// exceed what the buckets can represent). Returns 0 for an empty
-  /// histogram. This is how served-latency p50/p95/p99 are derived from
-  /// the registry's fixed-bucket histograms (loadgen, bench reports).
+  /// exceed what the buckets can represent). An empty histogram (count
+  /// == 0, or a snapshot with no buckets at all) returns the
+  /// kEmptyHistogramPercentile sentinel for every q. This is how
+  /// served-latency p50/p95/p99 are derived from the registry's
+  /// fixed-bucket histograms (loadgen, bench reports).
   double Percentile(double q) const;
 };
 

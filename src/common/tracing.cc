@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/metrics.h"
+
 namespace provlin::common::tracing {
+
+namespace metrics = ::provlin::common::metrics;
 
 namespace {
 
@@ -199,6 +203,18 @@ void SpanGuard::End() {
   // clamp so even a racing stale event carries a sane duration.
   uint64_t dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
   tracer.Record(name_, std::move(args_), start_us_, dur_us, depth_, gen_);
+}
+
+void PublishTracingStats() {
+  Tracer& tracer = Tracer::Global();
+  static metrics::Gauge* enabled = metrics::GetGauge("tracing/enabled");
+  static metrics::Gauge* events = metrics::GetGauge("tracing/ring_events");
+  static metrics::Gauge* capacity = metrics::GetGauge("tracing/ring_capacity");
+  static metrics::Gauge* dropped = metrics::GetGauge("tracing/ring_dropped");
+  enabled->Set(Tracer::enabled() ? 1 : 0);
+  events->Set(static_cast<int64_t>(tracer.Snapshot().size()));
+  capacity->Set(static_cast<int64_t>(tracer.capacity()));
+  dropped->Set(static_cast<int64_t>(tracer.dropped()));
 }
 
 }  // namespace provlin::common::tracing

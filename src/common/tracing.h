@@ -151,6 +151,15 @@ class SpanGuard {
   uint16_t depth_ = 0;
 };
 
+/// Publishes the global tracer's ring-sink health as registry gauges —
+/// tracing/enabled (0/1), tracing/ring_events (captured events
+/// surviving in the ring), tracing/ring_capacity, and
+/// tracing/ring_dropped (events lost to wraparound) — so `provlin
+/// stats` and the server's STATS scrape expose whether a capture is
+/// live and whether it has been overrunning. Call at snapshot points;
+/// the gauges are last-write-wins.
+void PublishTracingStats();
+
 }  // namespace provlin::common::tracing
 
 /// Opens a span covering the rest of the enclosing scope:

@@ -568,4 +568,63 @@ std::string ExplainResult::ToString(
   return out;
 }
 
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainResult::ToJson(const provenance::TraceStore& store) const {
+  std::string out = "{";
+  out += "\"plan_cache_hit\":" + std::string(plan_cache_hit ? "true" : "false");
+  out += ",\"plan_ms\":" + std::to_string(plan_ms);
+  out += ",\"graph_steps\":" + std::to_string(graph_steps);
+  out += ",\"steps\":[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const ExplainStep& s = steps[i];
+    const char* kind =
+        s.query.workflow_source
+            ? (s.query.via_processor != common::kNoSymbol ? "source-via"
+                                                          : "source")
+            : "consume";
+    if (i > 0) out += ",";
+    out += "{\"kind\":\"" + std::string(kind) + "\"";
+    out += ",\"query\":" + JsonQuote(s.query.ToString(store));
+    out += ",\"trace_probes\":" + std::to_string(s.trace_probes);
+    out += ",\"trace_descents\":" + std::to_string(s.trace_descents);
+    out += ",\"rows\":" + std::to_string(s.rows);
+    out += ",\"bindings\":" + std::to_string(s.bindings);
+    out += ",\"ms\":" + std::to_string(s.ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace provlin::lineage

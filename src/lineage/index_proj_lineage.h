@@ -71,6 +71,12 @@ struct ExplainResult {
 
   /// Human-readable plan: one line per trace query with measured costs.
   std::string ToString(const provenance::TraceStore& store) const;
+
+  /// The same plan and measured step costs as one JSON object — the
+  /// slow-request log's EXPLAIN payload (DESIGN.md §14). Field-for-field
+  /// what ToString() prints, so the CLI's `explain` and a logged slow
+  /// request can be compared directly.
+  std::string ToJson(const provenance::TraceStore& store) const;
 };
 
 /// The product of the s1 spec-graph traversal: the focused trace queries

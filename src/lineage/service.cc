@@ -191,9 +191,14 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
                            req.request.ToString());
         }
         storage::ThreadStats before = storage::ThisThreadStats();
+        WallTimer exec_timer;
         if (req.engine == nullptr) {
           resp.status = Status::InvalidArgument("request has no engine");
         } else {
+          // The breakdown scope makes the trace store attribute this
+          // request's physical probes per shard and per tier into
+          // resp.breakdown (each response slot belongs to one worker).
+          provenance::ProbeBreakdownScope breakdown_scope(&resp.breakdown);
           Result<LineageAnswer> answer = req.engine->Query(req.request);
           if (answer.ok()) {
             resp.answer = std::move(answer).value();
@@ -201,6 +206,9 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
             resp.status = answer.status();
           }
         }
+        resp.exec_ms = exec_timer.ElapsedMillis();
+        resp.rows_examined =
+            storage::ThisThreadStats().rows_examined - before.rows_examined;
         worker_probes[worker] +=
             storage::ThisThreadStats().probes() - before.probes();
         // Only the first request of a chained group pays the queue wait;

@@ -11,6 +11,7 @@
 #include "common/sync.h"
 #include "common/thread_pool.h"
 #include "lineage/engine.h"
+#include "provenance/trace_store.h"
 
 namespace provlin::lineage {
 
@@ -54,8 +55,17 @@ struct ServiceResponse {
   LineageAnswer answer;  // meaningful iff status.ok()
   /// Time between batch submission and the request starting to execute.
   double queue_wait_ms = 0.0;
+  /// Wall time of the engine Query() call itself (set for failures too,
+  /// unlike answer.timing which only exists on success).
+  double exec_ms = 0.0;
   /// Worker thread (0 .. num_threads-1) that executed the request.
   size_t worker = 0;
+  /// Rows/entries the storage layer examined for this request (worker
+  /// ThreadStats delta around the Query() call).
+  uint64_t rows_examined = 0;
+  /// Per-shard / per-tier physical probe work (DESIGN.md §14), filled
+  /// through the ProbeBreakdownScope the worker installs per request.
+  provenance::ProbeBreakdown breakdown;
 };
 
 /// Cumulative service counters — a value snapshot, consumable by the CLI

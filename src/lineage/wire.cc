@@ -1,13 +1,14 @@
 #include "lineage/wire.h"
 
+#include <cmath>
 #include <utility>
 
 namespace provlin::lineage::wire {
 namespace {
 
 /// Sanity ceiling on decoded element counts (runs, interest names,
-/// bindings, index components). The length prefixes below are all
-/// validated against the remaining payload before anything is
+/// bindings, index components, shard costs). The length prefixes below
+/// are all validated against the remaining payload before anything is
 /// allocated, but a count field costs only 4 bytes to forge — this cap
 /// keeps a hostile frame from even *starting* a million-element loop.
 constexpr uint32_t kMaxElements = 1u << 20;
@@ -19,6 +20,17 @@ Result<uint32_t> ReadCount(storage::BinaryReader* r, const char* what) {
                               " count " + std::to_string(n));
   }
   return n;
+}
+
+/// Durations on the wire must be finite and non-negative: a NaN or a
+/// negative phase would poison every aggregate a client computes.
+Result<double> ReadDurationMs(storage::BinaryReader* r, const char* what) {
+  PROVLIN_ASSIGN_OR_RETURN(double ms, r->ReadDouble());
+  if (!std::isfinite(ms) || ms < 0) {
+    return Status::Corruption(std::string("implausible ") + what +
+                              " duration");
+  }
+  return ms;
 }
 
 void EncodeIndex(const Index& index, storage::BinaryWriter* w) {
@@ -76,29 +88,44 @@ Result<LineageTiming> DecodeTiming(storage::BinaryReader* r) {
   return t;
 }
 
-void WriteHeader(uint8_t type, uint64_t request_id,
+void WriteHeader(uint8_t version, uint8_t type, uint64_t request_id,
                  storage::BinaryWriter* w) {
-  w->WriteU8(kWireVersion);
+  w->WriteU8(version);
   w->WriteU8(type);
   w->WriteU64(request_id);
 }
 
-/// Reads and validates the common header, returning the request id.
-/// The version byte is checked before anything else so a v2 frame is
-/// rejected as unsupported-version, never misparsed.
-Result<uint64_t> ReadHeader(storage::BinaryReader* r, MessageType expected) {
+/// Reads and validates the version byte, which gates everything else:
+/// an unsupported version is rejected before a single body byte is
+/// parsed.
+Result<uint8_t> ReadVersion(storage::BinaryReader* r) {
   PROVLIN_ASSIGN_OR_RETURN(uint8_t version, r->ReadU8());
-  if (version != kWireVersion) {
+  if (!IsSupportedWireVersion(version)) {
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(version) + " (expected " +
+                                   std::to_string(kWireVersionLegacy) + " or " +
                                    std::to_string(kWireVersion) + ")");
   }
+  return version;
+}
+
+/// Reads and validates the common header for a single expected type,
+/// returning {version, request id}.
+struct Header {
+  uint8_t version = 0;
+  uint64_t request_id = 0;
+};
+
+Result<Header> ReadHeader(storage::BinaryReader* r, MessageType expected) {
+  Header h;
+  PROVLIN_ASSIGN_OR_RETURN(h.version, ReadVersion(r));
   PROVLIN_ASSIGN_OR_RETURN(uint8_t type, r->ReadU8());
   if (type != static_cast<uint8_t>(expected)) {
     return Status::InvalidArgument("unexpected message type " +
                                    std::to_string(type));
   }
-  return r->ReadU64();
+  PROVLIN_ASSIGN_OR_RETURN(h.request_id, r->ReadU64());
+  return h;
 }
 
 Status ExpectEnd(const storage::BinaryReader& r) {
@@ -183,6 +210,54 @@ Result<LineageAnswer> DecodeLineageAnswer(storage::BinaryReader* r) {
   return answer;
 }
 
+void EncodeRequestTimeline(const RequestTimeline& t,
+                           storage::BinaryWriter* w) {
+  w->WriteDouble(t.queue_ms);
+  w->WriteDouble(t.dispatch_ms);
+  w->WriteDouble(t.execute_ms);
+  w->WriteDouble(t.serialize_ms);
+  w->WriteDouble(t.write_ms);
+  w->WriteDouble(t.total_ms);
+  w->WriteU64(t.trace_probes);
+  w->WriteU64(t.trace_descents);
+  w->WriteU64(t.rows_examined);
+  w->WriteU64(t.hot_probes);
+  w->WriteU64(t.sealed_probes);
+  w->WriteU32(static_cast<uint32_t>(t.shards.size()));
+  for (const ShardCost& s : t.shards) {
+    w->WriteU32(s.shard);
+    w->WriteU64(s.probes);
+    w->WriteU64(s.descents);
+    w->WriteU64(s.rows);
+  }
+}
+
+Result<RequestTimeline> DecodeRequestTimeline(storage::BinaryReader* r) {
+  RequestTimeline t;
+  PROVLIN_ASSIGN_OR_RETURN(t.queue_ms, ReadDurationMs(r, "queue"));
+  PROVLIN_ASSIGN_OR_RETURN(t.dispatch_ms, ReadDurationMs(r, "dispatch"));
+  PROVLIN_ASSIGN_OR_RETURN(t.execute_ms, ReadDurationMs(r, "execute"));
+  PROVLIN_ASSIGN_OR_RETURN(t.serialize_ms, ReadDurationMs(r, "serialize"));
+  PROVLIN_ASSIGN_OR_RETURN(t.write_ms, ReadDurationMs(r, "write"));
+  PROVLIN_ASSIGN_OR_RETURN(t.total_ms, ReadDurationMs(r, "total"));
+  PROVLIN_ASSIGN_OR_RETURN(t.trace_probes, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.trace_descents, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.rows_examined, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.hot_probes, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(t.sealed_probes, r->ReadU64());
+  PROVLIN_ASSIGN_OR_RETURN(uint32_t nshards, ReadCount(r, "shard cost"));
+  t.shards.reserve(nshards);
+  for (uint32_t i = 0; i < nshards; ++i) {
+    ShardCost s;
+    PROVLIN_ASSIGN_OR_RETURN(s.shard, r->ReadU32());
+    PROVLIN_ASSIGN_OR_RETURN(s.probes, r->ReadU64());
+    PROVLIN_ASSIGN_OR_RETURN(s.descents, r->ReadU64());
+    PROVLIN_ASSIGN_OR_RETURN(s.rows, r->ReadU64());
+    t.shards.push_back(s);
+  }
+  return t;
+}
+
 Status ResponseEnvelope::ToStatus() const {
   if (ok) return Status::OK();
   std::string detail(ErrorCodeName(code));
@@ -202,9 +277,15 @@ Status ResponseEnvelope::ToStatus() const {
 }
 
 std::string EncodeRequestEnvelope(const RequestEnvelope& envelope) {
+  const uint8_t version = IsSupportedWireVersion(envelope.version)
+                              ? envelope.version
+                              : kWireVersion;
   storage::BinaryWriter w;
-  WriteHeader(static_cast<uint8_t>(MessageType::kRequest),
+  WriteHeader(version, static_cast<uint8_t>(MessageType::kRequest),
               envelope.request_id, &w);
+  if (version >= kWireVersion) {
+    w.WriteU8(envelope.want_timeline ? kRequestFlagWantTimeline : 0);
+  }
   w.WriteString(envelope.engine);
   EncodeLineageRequest(envelope.request, &w);
   return w.buffer();
@@ -213,25 +294,75 @@ std::string EncodeRequestEnvelope(const RequestEnvelope& envelope) {
 std::string EncodeAnswerResponse(uint64_t request_id,
                                  const LineageAnswer& answer) {
   storage::BinaryWriter w;
-  WriteHeader(static_cast<uint8_t>(MessageType::kAnswer), request_id, &w);
+  WriteHeader(kWireVersionLegacy, static_cast<uint8_t>(MessageType::kAnswer),
+              request_id, &w);
   EncodeLineageAnswer(answer, &w);
   return w.buffer();
 }
 
-std::string EncodeErrorResponse(uint64_t request_id, ErrorCode code,
-                                std::string_view message) {
+std::string EncodeAnswerResponseV2(uint64_t request_id,
+                                   const LineageAnswer& answer,
+                                   const RequestTimeline* timeline) {
   storage::BinaryWriter w;
-  WriteHeader(static_cast<uint8_t>(MessageType::kError), request_id, &w);
+  WriteHeader(kWireVersion, static_cast<uint8_t>(MessageType::kAnswer),
+              request_id, &w);
+  EncodeLineageAnswer(answer, &w);
+  w.WriteU8(timeline != nullptr ? 1 : 0);
+  if (timeline != nullptr) EncodeRequestTimeline(*timeline, &w);
+  return w.buffer();
+}
+
+std::string EncodeErrorResponse(uint64_t request_id, ErrorCode code,
+                                std::string_view message, uint8_t version) {
+  if (!IsSupportedWireVersion(version)) version = kWireVersionLegacy;
+  storage::BinaryWriter w;
+  WriteHeader(version, static_cast<uint8_t>(MessageType::kError), request_id,
+              &w);
   w.WriteU8(static_cast<uint8_t>(code));
   w.WriteString(message);
+  return w.buffer();
+}
+
+std::string EncodeStatsRequest(const StatsRequest& request) {
+  storage::BinaryWriter w;
+  WriteHeader(kWireVersion, static_cast<uint8_t>(MessageType::kStatsRequest),
+              request.request_id, &w);
+  w.WriteU8(request.want);
+  return w.buffer();
+}
+
+std::string EncodeStatsResponse(const StatsResponse& response) {
+  storage::BinaryWriter w;
+  WriteHeader(kWireVersion, static_cast<uint8_t>(MessageType::kStatsResponse),
+              response.request_id, &w);
+  w.WriteU8(response.has_metrics ? 1 : 0);
+  if (response.has_metrics) {
+    w.WriteString(response.prometheus_text);
+    w.WriteString(response.metrics_json);
+  }
+  w.WriteU8(response.has_trace ? 1 : 0);
+  if (response.has_trace) {
+    w.WriteString(response.trace_json);
+    w.WriteU64(response.trace_events);
+    w.WriteU64(response.trace_dropped);
+  }
   return w.buffer();
 }
 
 Result<RequestEnvelope> DecodeRequestEnvelope(std::string_view payload) {
   storage::BinaryReader r(payload);
   RequestEnvelope envelope;
-  PROVLIN_ASSIGN_OR_RETURN(envelope.request_id,
-                           ReadHeader(&r, MessageType::kRequest));
+  PROVLIN_ASSIGN_OR_RETURN(Header h, ReadHeader(&r, MessageType::kRequest));
+  envelope.version = h.version;
+  envelope.request_id = h.request_id;
+  if (h.version >= kWireVersion) {
+    PROVLIN_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+    if ((flags & ~kKnownRequestFlags) != 0) {
+      return Status::Corruption("unknown request flags 0x" +
+                                std::to_string(flags));
+    }
+    envelope.want_timeline = (flags & kRequestFlagWantTimeline) != 0;
+  }
   PROVLIN_ASSIGN_OR_RETURN(envelope.engine, r.ReadString());
   PROVLIN_ASSIGN_OR_RETURN(envelope.request, DecodeLineageRequest(&r));
   PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
@@ -243,16 +374,23 @@ Result<ResponseEnvelope> DecodeResponseEnvelope(std::string_view payload) {
   ResponseEnvelope envelope;
   // Responses carry either message type; peek the header by hand since
   // ReadHeader pins one expected type.
-  PROVLIN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
-  if (version != kWireVersion) {
-    return Status::InvalidArgument("unsupported wire version " +
-                                   std::to_string(version));
-  }
+  PROVLIN_ASSIGN_OR_RETURN(envelope.version, ReadVersion(&r));
   PROVLIN_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
   PROVLIN_ASSIGN_OR_RETURN(envelope.request_id, r.ReadU64());
   if (type == static_cast<uint8_t>(MessageType::kAnswer)) {
     envelope.ok = true;
     PROVLIN_ASSIGN_OR_RETURN(envelope.answer, DecodeLineageAnswer(&r));
+    if (envelope.version >= kWireVersion) {
+      PROVLIN_ASSIGN_OR_RETURN(uint8_t has, r.ReadU8());
+      if (has > 1) {
+        return Status::Corruption("timeline flag is " + std::to_string(has) +
+                                  ", not 0/1");
+      }
+      envelope.has_timeline = has == 1;
+      if (envelope.has_timeline) {
+        PROVLIN_ASSIGN_OR_RETURN(envelope.timeline, DecodeRequestTimeline(&r));
+      }
+    }
   } else if (type == static_cast<uint8_t>(MessageType::kError)) {
     envelope.ok = false;
     PROVLIN_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
@@ -268,6 +406,60 @@ Result<ResponseEnvelope> DecodeResponseEnvelope(std::string_view payload) {
   }
   PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
   return envelope;
+}
+
+Result<StatsRequest> DecodeStatsRequest(std::string_view payload) {
+  storage::BinaryReader r(payload);
+  StatsRequest request;
+  PROVLIN_ASSIGN_OR_RETURN(Header h,
+                           ReadHeader(&r, MessageType::kStatsRequest));
+  if (h.version < kWireVersion) {
+    return Status::InvalidArgument("STATS requires wire version " +
+                                   std::to_string(kWireVersion));
+  }
+  request.request_id = h.request_id;
+  PROVLIN_ASSIGN_OR_RETURN(request.want, r.ReadU8());
+  if ((request.want & ~kKnownStatsWants) != 0) {
+    return Status::Corruption("unknown stats-want bits 0x" +
+                              std::to_string(request.want));
+  }
+  PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
+  return request;
+}
+
+Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
+  storage::BinaryReader r(payload);
+  StatsResponse response;
+  PROVLIN_ASSIGN_OR_RETURN(Header h,
+                           ReadHeader(&r, MessageType::kStatsResponse));
+  if (h.version < kWireVersion) {
+    return Status::InvalidArgument("STATS requires wire version " +
+                                   std::to_string(kWireVersion));
+  }
+  response.request_id = h.request_id;
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t has_metrics, r.ReadU8());
+  if (has_metrics > 1) {
+    return Status::Corruption("metrics flag is " + std::to_string(has_metrics) +
+                              ", not 0/1");
+  }
+  response.has_metrics = has_metrics == 1;
+  if (response.has_metrics) {
+    PROVLIN_ASSIGN_OR_RETURN(response.prometheus_text, r.ReadString());
+    PROVLIN_ASSIGN_OR_RETURN(response.metrics_json, r.ReadString());
+  }
+  PROVLIN_ASSIGN_OR_RETURN(uint8_t has_trace, r.ReadU8());
+  if (has_trace > 1) {
+    return Status::Corruption("trace flag is " + std::to_string(has_trace) +
+                              ", not 0/1");
+  }
+  response.has_trace = has_trace == 1;
+  if (response.has_trace) {
+    PROVLIN_ASSIGN_OR_RETURN(response.trace_json, r.ReadString());
+    PROVLIN_ASSIGN_OR_RETURN(response.trace_events, r.ReadU64());
+    PROVLIN_ASSIGN_OR_RETURN(response.trace_dropped, r.ReadU64());
+  }
+  PROVLIN_RETURN_IF_ERROR(ExpectEnd(r));
+  return response;
 }
 
 }  // namespace provlin::lineage::wire

@@ -123,6 +123,7 @@ void AppendOverlapQueries(SymbolId run, const char* pair_col, IdPair pair,
 }
 
 thread_local ProbeMemo* g_active_probe_memo = nullptr;
+thread_local ProbeBreakdown* g_active_probe_breakdown = nullptr;
 
 /// Registry mirrors of the per-memo hit/lookup atomics: process-wide
 /// totals across all memos, exposed as provenance/memo_* in `stats`.
@@ -1421,6 +1422,19 @@ ProbeMemoScope::~ProbeMemoScope() { g_active_probe_memo = prev_; }
 
 ProbeMemo* ProbeMemoScope::Active() { return g_active_probe_memo; }
 
+ProbeBreakdownScope::ProbeBreakdownScope(ProbeBreakdown* breakdown)
+    : prev_(g_active_probe_breakdown) {
+  g_active_probe_breakdown = breakdown;
+}
+
+ProbeBreakdownScope::~ProbeBreakdownScope() {
+  g_active_probe_breakdown = prev_;
+}
+
+ProbeBreakdown* ProbeBreakdownScope::Active() {
+  return g_active_probe_breakdown;
+}
+
 template <typename Record>
 Result<std::vector<Record>> TraceStore::FindOneImpl(
     int kind, const char* table, const char* pair_col, const char* index_col,
@@ -1441,10 +1455,13 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
       return *it->second;
     }
   }
-  Shard* s = rep_->ShardForSym(run);
+  const size_t shard_id = rep_->ShardIdOfSym(run);
+  Shard* s = rep_->shards[shard_id].get();
   PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
   s->probes_ctr->Increment();
   std::vector<Record> out;
+  ProbeBreakdown* breakdown = ProbeBreakdownScope::Active();
+  const storage::ThreadStats before = storage::ThisThreadStats();
   {
     common::ReaderLock data(s->data_mu);
     if (const Segment* seg = s->SealedSegFor(table, run)) {
@@ -1456,11 +1473,21 @@ Result<std::vector<Record>> TraceStore::FindOneImpl(
           *seg, ViewForPairCol(pair_col), pair, idx, &scratch, &counts,
           &queries, [&](const Row& row) { out.push_back(decode(row)); }));
       CreditSealedProbe(queries, counts, /*batched=*/false);
+      if (breakdown != nullptr) {
+        breakdown->CreditSealed(queries, counts.entries_examined);
+      }
     } else {
       PROVLIN_RETURN_IF_ERROR(OverlapProbe(
           s->ProbeTableFor(table), run, pair_col, pair, index_col, idx,
           [&](const Row& row) { out.push_back(decode(row)); }));
     }
+  }
+  if (breakdown != nullptr) {
+    const storage::ThreadStats after = storage::ThisThreadStats();
+    breakdown->CreditShard(static_cast<uint32_t>(shard_id),
+                           after.index_probes - before.index_probes,
+                           after.descents - before.descents,
+                           after.rows_examined - before.rows_examined);
   }
   if (memo != nullptr) {
     auto cached = std::make_shared<const std::vector<Record>>(out);
@@ -1525,8 +1552,11 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
 
   // Executes one shard's sub-batch; results land directly in the
   // caller-ordered slots, so the merge is the index mapping itself.
-  auto run_group = [&](size_t shard_id,
-                       const std::vector<size_t>& idxs) -> Status {
+  // `sealed_probes`/`sealed_rows` accumulate the slice of the work the
+  // sealed tier answered, for per-tier attribution by the caller.
+  auto run_group = [&](size_t shard_id, const std::vector<size_t>& idxs,
+                       uint64_t* sealed_probes,
+                       uint64_t* sealed_rows) -> Status {
     Shard* s = rep_->shards[shard_id].get();
     PROVLIN_RETURN_IF_ERROR(rep_->Drain(s));
     s->probes_ctr->Add(idxs.size());
@@ -1583,13 +1613,28 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
             [&](const Row& row) { results[i].push_back(decode(row)); }));
       }
       CreditSealedProbe(queries, counts, /*batched=*/true);
+      *sealed_probes += queries;
+      *sealed_rows += counts.entries_examined;
     }
     return Status::OK();
   };
 
+  ProbeBreakdown* breakdown = ProbeBreakdownScope::Active();
   if (groups.size() <= 1) {
     for (const auto& [shard_id, idxs] : groups) {
-      PROVLIN_RETURN_IF_ERROR(run_group(shard_id, idxs));
+      const storage::ThreadStats before = storage::ThisThreadStats();
+      uint64_t sealed_probes = 0;
+      uint64_t sealed_rows = 0;
+      PROVLIN_RETURN_IF_ERROR(
+          run_group(shard_id, idxs, &sealed_probes, &sealed_rows));
+      if (breakdown != nullptr) {
+        const storage::ThreadStats after = storage::ThisThreadStats();
+        breakdown->CreditShard(static_cast<uint32_t>(shard_id),
+                               after.index_probes - before.index_probes,
+                               after.descents - before.descents,
+                               after.rows_examined - before.rows_examined);
+        breakdown->CreditSealed(sealed_probes, sealed_rows);
+      }
     }
   } else {
     // Fan the per-shard sub-batches out over the store's pool. Each task
@@ -1599,6 +1644,9 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
     struct GroupOutcome {
       Status status;
       storage::ThreadStats delta;
+      size_t shard_id = 0;
+      uint64_t sealed_probes = 0;
+      uint64_t sealed_rows = 0;
     };
     std::vector<GroupOutcome> outcomes(groups.size());
     FanLatch latch;
@@ -1615,7 +1663,9 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
         storage::ThreadStats& mine = storage::ThisThreadStats();
         const storage::ThreadStats before = mine;
         GroupOutcome& out = outcomes[my_slot];
-        out.status = run_group(my_shard, *idxs_p);
+        out.shard_id = my_shard;
+        out.status = run_group(my_shard, *idxs_p, &out.sealed_probes,
+                               &out.sealed_rows);
         const storage::ThreadStats after = mine;
         out.delta.index_probes = after.index_probes - before.index_probes;
         out.delta.full_scans = after.full_scans - before.full_scans;
@@ -1638,6 +1688,12 @@ Result<std::vector<std::vector<Record>>> TraceStore::FindBatchImpl(
       mine.rows_examined += out.delta.rows_examined;
       mine.batched_probes += out.delta.batched_probes;
       mine.descents += out.delta.descents;
+      if (breakdown != nullptr) {
+        breakdown->CreditShard(static_cast<uint32_t>(out.shard_id),
+                               out.delta.index_probes, out.delta.descents,
+                               out.delta.rows_examined);
+        breakdown->CreditSealed(out.sealed_probes, out.sealed_rows);
+      }
       if (first.ok() && !out.status.ok()) first = out.status;
     }
     PROVLIN_RETURN_IF_ERROR(first);

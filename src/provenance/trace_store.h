@@ -132,6 +132,56 @@ class ProbeMemoScope {
   ProbeMemo* prev_;
 };
 
+/// Per-shard / per-tier attribution of one request's physical probe
+/// work, filled in by TraceStore's Find* probes when a scope is
+/// installed (DESIGN.md §14). Only *physical* probes are credited: a
+/// probe answered from the batch's ProbeMemo touched no storage and
+/// contributes nothing here (the memo hit is visible separately via
+/// ProbeMemo::hits()). Unlike ProbeMemo this is not internally
+/// synchronized — a breakdown belongs to exactly one request and is
+/// only ever credited on the thread that installed the scope (the
+/// batch fan-out harvests worker deltas back to the caller thread
+/// first, the same path that keeps ThreadStats attribution exact).
+struct ProbeBreakdown {
+  struct PerShard {
+    uint64_t probes = 0;    ///< logical index probes issued to the shard
+    uint64_t descents = 0;  ///< physical descents (tree or segment search)
+    uint64_t rows = 0;      ///< rows/entries examined
+  };
+  std::map<uint32_t, PerShard> shards;
+  uint64_t sealed_probes = 0;  ///< probes answered by sealed segments
+  uint64_t sealed_rows = 0;    ///< entries examined inside segments
+
+  void CreditShard(uint32_t shard, uint64_t probes, uint64_t descents,
+                   uint64_t rows) {
+    PerShard& s = shards[shard];
+    s.probes += probes;
+    s.descents += descents;
+    s.rows += rows;
+  }
+  void CreditSealed(uint64_t probes, uint64_t rows) {
+    sealed_probes += probes;
+    sealed_rows += rows;
+  }
+};
+
+/// RAII installer mirroring ProbeMemoScope: makes `breakdown` the
+/// calling thread's active probe breakdown (scopes nest; the previous
+/// breakdown is restored on destruction).
+class ProbeBreakdownScope {
+ public:
+  explicit ProbeBreakdownScope(ProbeBreakdown* breakdown);
+  ~ProbeBreakdownScope();
+  ProbeBreakdownScope(const ProbeBreakdownScope&) = delete;
+  ProbeBreakdownScope& operator=(const ProbeBreakdownScope&) = delete;
+
+  /// The calling thread's active breakdown (nullptr outside any scope).
+  static ProbeBreakdown* Active();
+
+ private:
+  ProbeBreakdown* prev_;
+};
+
 /// Per-run record counts (the paper's "number of trace database
 /// records", Table 1: xform + xfer rows).
 struct TraceCounts {

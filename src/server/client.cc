@@ -14,11 +14,16 @@ Result<LineageClient> LineageClient::Connect(const std::string& host,
 }
 
 Result<uint64_t> LineageClient::Send(std::string_view engine,
-                                     const lineage::LineageRequest& request) {
+                                     const lineage::LineageRequest& request,
+                                     bool want_timeline) {
   wire::RequestEnvelope envelope;
   envelope.request_id = next_id_++;
   envelope.engine = std::string(engine);
   envelope.request = request;
+  if (want_timeline) {
+    envelope.version = wire::kWireVersion;
+    envelope.want_timeline = true;
+  }
   PROVLIN_RETURN_IF_ERROR(WriteFrame(
       socket_, wire::EncodeRequestEnvelope(envelope), max_frame_bytes_));
   return envelope.request_id;
@@ -36,9 +41,31 @@ Result<wire::ResponseEnvelope> LineageClient::Receive() {
 }
 
 Result<wire::ResponseEnvelope> LineageClient::Call(
-    std::string_view engine, const lineage::LineageRequest& request) {
-  PROVLIN_RETURN_IF_ERROR(Send(engine, request).status());
+    std::string_view engine, const lineage::LineageRequest& request,
+    bool want_timeline) {
+  PROVLIN_RETURN_IF_ERROR(Send(engine, request, want_timeline).status());
   return Receive();
+}
+
+Result<wire::StatsResponse> LineageClient::Stats(uint8_t want) {
+  wire::StatsRequest scrape;
+  scrape.request_id = next_id_++;
+  scrape.want = want;
+  PROVLIN_RETURN_IF_ERROR(WriteFrame(socket_, wire::EncodeStatsRequest(scrape),
+                                     max_frame_bytes_));
+  std::string payload;
+  PROVLIN_ASSIGN_OR_RETURN(bool got,
+                           ReadFrame(socket_, &payload, max_frame_bytes_));
+  if (!got) {
+    return Status::Unavailable(
+        "connection closed by server before the STATS response");
+  }
+  PROVLIN_ASSIGN_OR_RETURN(wire::StatsResponse response,
+                           wire::DecodeStatsResponse(payload));
+  if (response.request_id != scrape.request_id) {
+    return Status::Corruption("STATS response id mismatch");
+  }
+  return response;
 }
 
 }  // namespace provlin::server

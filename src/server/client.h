@@ -28,9 +28,13 @@ class LineageClient {
   LineageClient& operator=(LineageClient&&) = default;
 
   /// Sends one request frame; returns the request id it was assigned
-  /// (monotonic per client, echoed back in the response).
+  /// (monotonic per client, echoed back in the response). The default
+  /// encodes wire v1 — byte-identical to every pre-timeline client.
+  /// Passing want_timeline=true upgrades the frame to wire v2 and asks
+  /// the server to attach its per-phase RequestTimeline to the answer.
   Result<uint64_t> Send(std::string_view engine,
-                        const lineage::LineageRequest& request);
+                        const lineage::LineageRequest& request,
+                        bool want_timeline = false);
 
   /// Id the next Send() will use. Lets a pipelining caller register
   /// per-request state (e.g. intended send time) *before* the frame is
@@ -47,7 +51,17 @@ class LineageClient {
 
   /// Send + Receive for the strictly synchronous case.
   Result<lineage::wire::ResponseEnvelope> Call(
-      std::string_view engine, const lineage::LineageRequest& request);
+      std::string_view engine, const lineage::LineageRequest& request,
+      bool want_timeline = false);
+
+  /// Synchronous STATS scrape (wire v2): asks the server for a metrics
+  /// snapshot and/or its tracer ring without touching the dispatch
+  /// queue. `want` is a bitmask of wire::kStatsWantMetrics /
+  /// kStatsWantTrace. Must not be interleaved with pipelined Send()s
+  /// that still have responses in flight — the scrape reply would
+  /// arrive out of band.
+  Result<lineage::wire::StatsResponse> Stats(
+      uint8_t want = lineage::wire::kStatsWantMetrics);
 
   const Socket& socket() const { return socket_; }
 

@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -23,8 +24,17 @@ struct ServerCounters {
   common::metrics::Counter* responses_error;
   common::metrics::Counter* overload_shed;
   common::metrics::Counter* bad_frames;
+  common::metrics::Counter* stats_requests;
+  common::metrics::Counter* slow_logged;
   common::metrics::Histogram* request_ms;
   common::metrics::Histogram* batch_size;
+  // Per-phase decomposition of every served request (DESIGN.md §14);
+  // always on — the overhead budget is held by EXPERIMENTS.md's A/B run.
+  common::metrics::Histogram* queue_ms;
+  common::metrics::Histogram* dispatch_ms;
+  common::metrics::Histogram* execute_ms;
+  common::metrics::Histogram* serialize_ms;
+  common::metrics::Histogram* write_ms;
   common::metrics::Gauge* queue_depth;
 };
 
@@ -37,9 +47,16 @@ ServerCounters& Counters() {
       common::metrics::GetCounter("server/responses_error"),
       common::metrics::GetCounter("server/overload_shed"),
       common::metrics::GetCounter("server/bad_frames"),
+      common::metrics::GetCounter("server/stats_requests"),
+      common::metrics::GetCounter("server/slow_requests_logged"),
       common::metrics::GetHistogram("server/request_ms"),
       common::metrics::GetHistogram("server/batch_size",
                                     common::metrics::DefaultSizeBounds()),
+      common::metrics::GetHistogram("server/queue_ms"),
+      common::metrics::GetHistogram("server/dispatch_ms"),
+      common::metrics::GetHistogram("server/execute_ms"),
+      common::metrics::GetHistogram("server/serialize_ms"),
+      common::metrics::GetHistogram("server/write_ms"),
       common::metrics::GetGauge("server/queue_depth"),
   };
   return c;
@@ -84,8 +101,17 @@ LineageServer::LineageServer(EngineMap engines, ServerOptions options)
 
 LineageServer::~LineageServer() { Stop(); }
 
+void LineageServer::SetExplainer(std::string engine, ExplainFn fn) {
+  explainers_[std::move(engine)] = std::move(fn);
+}
+
 Status LineageServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already started");
+  if (options_.slow_request_ms >= 0 && slow_log_ == nullptr) {
+    PROVLIN_ASSIGN_OR_RETURN(
+        slow_log_, SlowRequestLog::Open(
+                       {options_.slow_log_path, options_.slow_log_max_bytes}));
+  }
   PROVLIN_ASSIGN_OR_RETURN(listener_, TcpListen(options_.port));
   PROVLIN_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
   running_.store(true);
@@ -143,6 +169,8 @@ ServerStats LineageServer::stats() const {
   s.responses_error = c.responses_error->Value();
   s.overload_shed = c.overload_shed->Value();
   s.bad_frames = c.bad_frames->Value();
+  s.stats_requests = c.stats_requests->Value();
+  s.slow_requests_logged = c.slow_logged->Value();
   return s;
 }
 
@@ -229,17 +257,29 @@ void LineageServer::ReadLoop(std::shared_ptr<Connection> conn) {
       break;
     }
     if (!*frame) break;  // clean EOF
-    // Version gate before anything else is parsed (wire.h contract):
-    // a non-v1 frame gets a typed UNSUPPORTED_VERSION, not a misparse.
-    if (!payload.empty() &&
-        static_cast<uint8_t>(payload[0]) != wire::kWireVersion) {
+    // Version gate before anything else is parsed (wire.h contract): a
+    // frame in neither live version gets a typed UNSUPPORTED_VERSION,
+    // not a misparse. Every response is encoded in the version of the
+    // frame it answers, so a v1 client never sees v2 bytes.
+    if (payload.empty() ||
+        !wire::IsSupportedWireVersion(static_cast<uint8_t>(payload[0]))) {
       Counters().bad_frames->Increment();
       (void)conn->Write(
           wire::EncodeErrorResponse(
               SalvageRequestId(payload), wire::ErrorCode::kUnsupportedVersion,
-              "server speaks wire version " +
+              "server speaks wire versions " +
+                  std::to_string(wire::kWireVersionLegacy) + ".." +
                   std::to_string(wire::kWireVersion)),
           options_.max_frame_bytes);
+      continue;
+    }
+    // STATS scrapes are answered inline on the reader thread: a scrape
+    // never touches the dispatch queue, so a monitoring poll can
+    // neither be shed by admission control nor block serving.
+    if (payload.size() >= 2 &&
+        static_cast<uint8_t>(payload[1]) ==
+            static_cast<uint8_t>(wire::MessageType::kStatsRequest)) {
+      HandleStatsScrape(conn, payload);
       continue;
     }
     Result<wire::RequestEnvelope> envelope =
@@ -258,6 +298,7 @@ void LineageServer::ReadLoop(std::shared_ptr<Connection> conn) {
     pending.conn = conn;
     pending.envelope = std::move(*envelope);
     uint64_t request_id = pending.envelope.request_id;
+    uint8_t version = pending.envelope.version;
     if (!Submit(std::move(pending))) {
       // Admission control: full queue → typed shed, written from the
       // reader so the response is immediate and nothing is buffered.
@@ -266,18 +307,61 @@ void LineageServer::ReadLoop(std::shared_ptr<Connection> conn) {
           wire::EncodeErrorResponse(request_id, wire::ErrorCode::kOverloaded,
                                     "request queue full (" +
                                         std::to_string(options_.max_queue) +
-                                        " deep); retry later"),
+                                        " deep); retry later",
+                                    version),
           options_.max_frame_bytes);
     }
   }
   conn->done.store(true);
 }
 
+void LineageServer::HandleStatsScrape(
+    const std::shared_ptr<Connection>& conn, std::string_view payload) {
+  Result<wire::StatsRequest> request = wire::DecodeStatsRequest(payload);
+  if (!request.ok()) {
+    Counters().bad_frames->Increment();
+    (void)conn->Write(
+        wire::EncodeErrorResponse(SalvageRequestId(payload),
+                                  wire::ErrorCode::kBadRequest,
+                                  request.status().ToString(),
+                                  wire::kWireVersion),
+        options_.max_frame_bytes);
+    return;
+  }
+  // Scrapes are counted apart from served requests so the snapshot
+  // balance invariant (responses_ok + responses_error + overload_shed
+  // == requests) holds under concurrent scraping.
+  Counters().stats_requests->Increment();
+  wire::StatsResponse response;
+  response.request_id = request->request_id;
+  if ((request->want & wire::kStatsWantMetrics) != 0) {
+    common::tracing::PublishTracingStats();
+    common::metrics::MetricsSnapshot snap =
+        common::metrics::MetricsRegistry::Global().Snapshot();
+    response.has_metrics = true;
+    response.prometheus_text = snap.ToPrometheusText();
+    response.metrics_json = snap.ToJson();
+  }
+  if ((request->want & wire::kStatsWantTrace) != 0) {
+    common::tracing::Tracer& tracer = common::tracing::Tracer::Global();
+    response.has_trace = true;
+    response.trace_json = tracer.ExportChromeTrace();
+    response.trace_events = tracer.Snapshot().size();
+    response.trace_dropped = tracer.dropped();
+  }
+  (void)conn->Write(wire::EncodeStatsResponse(response),
+                    options_.max_frame_bytes);
+}
+
+void LineageServer::UpdateQueueDepthLocked() {
+  Counters().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+}
+
 bool LineageServer::Submit(Pending pending) {
   common::MutexLock lock(queue_mu_);
   if (stopping_.load() || queue_.size() >= options_.max_queue) return false;
   queue_.push_back(std::move(pending));
-  Counters().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  UpdateQueueDepthLocked();
   queue_cv_.NotifyOne();
   return true;
 }
@@ -296,10 +380,12 @@ void LineageServer::DispatchLoop() {
       if (!shutting_down && n > options_.max_batch) n = options_.max_batch;
       drain.reserve(n);
       for (size_t i = 0; i < n; ++i) {
+        // Dequeue closes the request's queue phase.
+        queue_.front().queue_ms = queue_.front().admitted.ElapsedMillis();
         drain.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      Counters().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      UpdateQueueDepthLocked();
       if (shutting_down && queue_.empty() && drain.empty()) break;
     }
     if (shutting_down) {
@@ -310,7 +396,8 @@ void LineageServer::DispatchLoop() {
         (void)p.conn->Write(
             wire::EncodeErrorResponse(p.envelope.request_id,
                                       wire::ErrorCode::kOverloaded,
-                                      "server shutting down"),
+                                      "server shutting down",
+                                      p.envelope.version),
             options_.max_frame_bytes);
       }
       continue;
@@ -322,6 +409,7 @@ void LineageServer::DispatchLoop() {
 void LineageServer::ExecuteDrain(std::vector<Pending> drain) {
   PROVLIN_TRACE_SPAN("server/drain");
   Counters().batch_size->Observe(static_cast<double>(drain.size()));
+  WallTimer dispatch_timer;
   // Resolve engines up front; unknown names answer immediately and are
   // excluded from the service batch (`requests` keeps positional
   // alignment via the index vector).
@@ -336,7 +424,8 @@ void LineageServer::ExecuteDrain(std::vector<Pending> drain) {
       (void)drain[i].conn->Write(
           wire::EncodeErrorResponse(env.request_id,
                                     wire::ErrorCode::kBadRequest,
-                                    "unknown engine '" + env.engine + "'"),
+                                    "unknown engine '" + env.engine + "'",
+                                    env.version),
           options_.max_frame_bytes);
       continue;
     }
@@ -344,27 +433,138 @@ void LineageServer::ExecuteDrain(std::vector<Pending> drain) {
     batch_to_drain.push_back(i);
   }
   if (batch.empty()) return;
+  // Dispatch work done on this thread before the batch is handed to
+  // the service; the per-request remainder of the dispatch phase is
+  // the service-internal wait until a worker picks the request up.
+  const double predispatch_ms = dispatch_timer.ElapsedMillis();
   std::vector<lineage::ServiceResponse> responses =
       service_.ExecuteBatch(batch);
   for (size_t b = 0; b < responses.size(); ++b) {
     Pending& p = drain[batch_to_drain[b]];
     const lineage::ServiceResponse& r = responses[b];
+    // Assemble the phase timeline for every request — recording is
+    // always on (it feeds the server/*_ms histograms and the slow log);
+    // the wire only carries it when the client asked.
+    wire::RequestTimeline timeline;
+    timeline.queue_ms = p.queue_ms;
+    timeline.dispatch_ms = predispatch_ms + r.queue_wait_ms;
+    timeline.execute_ms = r.exec_ms;
+    timeline.rows_examined = r.rows_examined;
+    if (r.status.ok()) {
+      timeline.trace_probes = r.answer.timing.trace_probes;
+      timeline.trace_descents = r.answer.timing.trace_descents;
+    }
+    uint64_t physical_probes = 0;
+    for (const auto& [shard, cost] : r.breakdown.shards) {
+      timeline.shards.push_back(
+          {shard, cost.probes, cost.descents, cost.rows});
+      physical_probes += cost.probes;
+    }
+    timeline.sealed_probes = r.breakdown.sealed_probes;
+    timeline.hot_probes = physical_probes >= r.breakdown.sealed_probes
+                              ? physical_probes - r.breakdown.sealed_probes
+                              : 0;
+    // Total closes just before the frame encode: serialize_ms/write_ms
+    // are structurally unknowable at encode time and stay 0 on the
+    // wire (wire.h contract) — the histograms and slow log get the
+    // real values below.
+    timeline.total_ms = p.admitted.ElapsedMillis();
     std::string frame;
+    WallTimer serialize_timer;
     if (r.status.ok()) {
       Counters().responses_ok->Increment();
-      frame = wire::EncodeAnswerResponse(p.envelope.request_id, r.answer);
+      if (p.envelope.version >= wire::kWireVersion) {
+        frame = wire::EncodeAnswerResponseV2(
+            p.envelope.request_id, r.answer,
+            p.envelope.want_timeline ? &timeline : nullptr);
+      } else {
+        frame = wire::EncodeAnswerResponse(p.envelope.request_id, r.answer);
+      }
     } else {
       Counters().responses_error->Increment();
       frame = wire::EncodeErrorResponse(p.envelope.request_id,
                                         CodeForStatus(r.status),
-                                        r.status.ToString());
+                                        r.status.ToString(),
+                                        p.envelope.version);
     }
+    const double serialize_ms = serialize_timer.ElapsedMillis();
     Counters().request_ms->Observe(p.admitted.ElapsedMillis());
+    WallTimer write_timer;
     Status written = p.conn->Write(frame, options_.max_frame_bytes);
+    const double write_ms = write_timer.ElapsedMillis();
     if (!written.ok() && !stopping_.load()) {
       PROVLIN_LOG(Warning) << "response write failed (client gone?): "
                            << written.ToString();
     }
+    ServerCounters& c = Counters();
+    c.queue_ms->Observe(timeline.queue_ms);
+    c.dispatch_ms->Observe(timeline.dispatch_ms);
+    c.execute_ms->Observe(timeline.execute_ms);
+    c.serialize_ms->Observe(serialize_ms);
+    c.write_ms->Observe(write_ms);
+    if (slow_log_ != nullptr && timeline.total_ms >= options_.slow_request_ms) {
+      timeline.serialize_ms = serialize_ms;
+      timeline.write_ms = write_ms;
+      // Re-stamp the total so it covers the serialize and write phases
+      // the record now carries — the logged invariant is
+      // queue + dispatch + execute + serialize + write <= total.
+      timeline.total_ms = p.admitted.ElapsedMillis();
+      LogSlowRequest(p, timeline, r.status);
+    }
+  }
+}
+
+void LineageServer::LogSlowRequest(const Pending& pending,
+                                   const wire::RequestTimeline& timeline,
+                                   const Status& status) {
+  const wire::RequestEnvelope& env = pending.envelope;
+  std::string explain = "null";
+  auto it = explainers_.find(env.engine);
+  if (it != explainers_.end() && it->second != nullptr) {
+    std::string payload = it->second(env.request);
+    if (!payload.empty()) explain = std::move(payload);
+  }
+  const double now_s = std::chrono::duration<double>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  std::string rec = "{";
+  rec += "\"ts\":" + std::to_string(now_s);
+  rec += ",\"request_id\":" + std::to_string(env.request_id);
+  rec += ",\"engine\":\"" + JsonEscape(env.engine) + "\"";
+  rec += ",\"request\":\"" + JsonEscape(env.request.ToString()) + "\"";
+  rec += ",\"status\":\"" +
+         JsonEscape(status.ok() ? "OK" : status.ToString()) + "\"";
+  rec += ",\"timeline\":{";
+  rec += "\"queue_ms\":" + std::to_string(timeline.queue_ms);
+  rec += ",\"dispatch_ms\":" + std::to_string(timeline.dispatch_ms);
+  rec += ",\"execute_ms\":" + std::to_string(timeline.execute_ms);
+  rec += ",\"serialize_ms\":" + std::to_string(timeline.serialize_ms);
+  rec += ",\"write_ms\":" + std::to_string(timeline.write_ms);
+  rec += ",\"total_ms\":" + std::to_string(timeline.total_ms);
+  rec += "}";
+  rec += ",\"trace_probes\":" + std::to_string(timeline.trace_probes);
+  rec += ",\"trace_descents\":" + std::to_string(timeline.trace_descents);
+  rec += ",\"rows_examined\":" + std::to_string(timeline.rows_examined);
+  rec += ",\"hot_probes\":" + std::to_string(timeline.hot_probes);
+  rec += ",\"sealed_probes\":" + std::to_string(timeline.sealed_probes);
+  rec += ",\"shards\":[";
+  for (size_t i = 0; i < timeline.shards.size(); ++i) {
+    const wire::ShardCost& s = timeline.shards[i];
+    if (i > 0) rec += ",";
+    rec += "{\"shard\":" + std::to_string(s.shard) +
+           ",\"probes\":" + std::to_string(s.probes) +
+           ",\"descents\":" + std::to_string(s.descents) +
+           ",\"rows\":" + std::to_string(s.rows) + "}";
+  }
+  rec += "]";
+  rec += ",\"explain\":" + explain;
+  rec += "}";
+  Status appended = slow_log_->Append(rec);
+  if (appended.ok()) {
+    Counters().slow_logged->Increment();
+  } else {
+    PROVLIN_LOG(Warning) << "slow-request log append failed: "
+                         << appended.ToString();
   }
 }
 

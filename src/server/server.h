@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "lineage/service.h"
 #include "lineage/wire.h"
 #include "server/frame.h"
+#include "server/slow_log.h"
 
 namespace provlin::server {
 
@@ -41,6 +43,16 @@ struct ServerOptions {
   uint32_t max_frame_bytes = lineage::wire::kDefaultMaxFrameBytes;
   /// Worker pool / batching behaviour of the underlying LineageService.
   lineage::ServiceOptions service;
+  /// Slow-request log threshold in milliseconds: a served request whose
+  /// admission-to-encode total meets or exceeds it is appended to the
+  /// structured JSON-lines log at `slow_log_path` (timeline, engine,
+  /// shard fan-out, probe counts, EXPLAIN payload — DESIGN.md §14).
+  /// Negative disables the log entirely; 0 logs every request (the
+  /// round-trip test mode).
+  double slow_request_ms = -1.0;
+  std::string slow_log_path = "slow_requests.jsonl";
+  /// Rotation bound for the slow-request log's live file.
+  uint64_t slow_log_max_bytes = 4u << 20;
 };
 
 /// Cumulative served-traffic counters (value snapshot; also published
@@ -53,6 +65,8 @@ struct ServerStats {
   uint64_t responses_error = 0;  ///< typed errors other than OVERLOADED
   uint64_t overload_shed = 0;    ///< requests refused by admission control
   uint64_t bad_frames = 0;       ///< frames that failed envelope decode
+  uint64_t stats_requests = 0;   ///< STATS scrapes (separate from requests)
+  uint64_t slow_requests_logged = 0;  ///< records appended to the slow log
 };
 
 /// The network front-end of the lineage API: accepts loopback TCP
@@ -86,11 +100,23 @@ class LineageServer {
   using EngineMap =
       std::map<std::string, const lineage::LineageEngine*, std::less<>>;
 
+  /// Produces the EXPLAIN payload (a JSON object as a string) for a
+  /// request against one engine — the same step costs the CLI's
+  /// `explain` command prints. Must be safe for calls concurrent with
+  /// Query() on the same engine. An empty string means "no explanation
+  /// available" and is logged as JSON null.
+  using ExplainFn = std::function<std::string(const lineage::LineageRequest&)>;
+
   LineageServer(EngineMap engines, ServerOptions options = {});
   /// Stops and joins if still running.
   ~LineageServer();
   LineageServer(const LineageServer&) = delete;
   LineageServer& operator=(const LineageServer&) = delete;
+
+  /// Registers the EXPLAIN producer for a wire engine name, used by the
+  /// slow-request log. Call before Start() — the map is read without a
+  /// lock once serving.
+  void SetExplainer(std::string engine, ExplainFn fn);
 
   /// Binds, listens, and spawns the accept + dispatch threads.
   Status Start();
@@ -129,20 +155,41 @@ class LineageServer {
     std::shared_ptr<Connection> conn;
     lineage::wire::RequestEnvelope envelope;
     WallTimer admitted;  ///< request_ms measures admission → response
+    /// Queue phase (admission → dispatcher dequeue), stamped by the
+    /// dispatcher as it pulls the request off the queue.
+    double queue_ms = 0.0;
   };
 
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> conn);
+  /// Answers one STATS scrape inline on the reader thread — a scrape
+  /// never enters the dispatch queue, so it cannot be blocked by (or
+  /// block) request dispatch.
+  void HandleStatsScrape(const std::shared_ptr<Connection>& conn,
+                         std::string_view payload);
   void DispatchLoop();
   void ExecuteDrain(std::vector<Pending> drain);
   /// Queue admission: true = queued, false = shed (caller answers
   /// OVERLOADED).
   bool Submit(Pending pending) EXCLUDES(queue_mu_);
+  /// The one place server/queue_depth is written: every enqueue,
+  /// dequeue, and shed path updates the gauge while still holding
+  /// queue_mu_, so it can never go stale against queue_.size().
+  void UpdateQueueDepthLocked() REQUIRES(queue_mu_);
   void ReapFinishedConnections() EXCLUDES(conns_mu_);
+  /// Appends one slow-request record (timeline + EXPLAIN payload).
+  void LogSlowRequest(const Pending& pending,
+                      const lineage::wire::RequestTimeline& timeline,
+                      const Status& status);
 
   EngineMap engines_;
   ServerOptions options_;
   lineage::LineageService service_;
+  /// Wire engine name → EXPLAIN producer (slow-request log). Written
+  /// before Start(), read-only while serving.
+  std::map<std::string, ExplainFn, std::less<>> explainers_;
+  /// Non-null iff options_.slow_request_ms >= 0 and the log opened.
+  std::unique_ptr<SlowRequestLog> slow_log_;
 
   Socket listener_;
   uint16_t port_ = 0;

@@ -329,6 +329,35 @@ TEST_F(CliTest, StatsCommandExposesRegistry) {
   EXPECT_EQ(Run({"stats", "--format", "xml"}), 1);
 }
 
+TEST_F(CliTest, StatsShowsTracerRingAndShardTierGauges) {
+  // The tracer-ring health gauges are folded into every scrape
+  // (PublishTracingStats), so dropped-span visibility is in the default
+  // text output even with tracing off — all series present, at zero.
+  ASSERT_EQ(Run({"stats"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("# TYPE provlin_tracing_ring_dropped gauge"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("provlin_tracing_ring_dropped 0"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("provlin_tracing_ring_events 0"),
+            std::string::npos);
+
+  // Opening a store registers the per-shard two-tier occupancy gauges
+  // (provenance/shard<k>/{hot_rows,segment_bytes}); after a real run
+  // the hot tier holds every ingested row.
+  ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
+                 db_path_, "--run", "r0", "--input", "ListSize=3"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"stats", "--db", db_path_}), 0) << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("provlin_provenance_shard0_hot_rows"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("provlin_provenance_shard0_segment_bytes"),
+            std::string::npos);
+}
+
 TEST_F(CliTest, LineageStatsFlagShowsQueryTraffic) {
   ASSERT_EQ(Run({"run", "--workflow", "builtin:synthetic:2", "--db",
                  db_path_, "--run", "r0", "--input", "ListSize=3"}),

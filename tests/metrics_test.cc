@@ -63,6 +63,28 @@ TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
   EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 5.0 + 100.5);
 }
 
+TEST(HistogramTest, EmptyPercentileReturnsDocumentedSentinel) {
+  // An empty histogram reports kEmptyHistogramPercentile (0.0, not
+  // NaN) at every quantile, so percentile consumers that feed straight
+  // into JSON/arithmetic never see a poison value; "no data" vs "all
+  // zeros" is distinguished by snap.count.
+  Histogram h({1.0, 10.0, 100.0});
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 0u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Percentile(q), kEmptyHistogramPercentile) << "q=" << q;
+  }
+  // A default-constructed snapshot (no buckets at all) hits the same
+  // sentinel instead of indexing into empty vectors.
+  HistogramSnapshot none;
+  EXPECT_EQ(none.Percentile(0.5), kEmptyHistogramPercentile);
+  // And after Reset the histogram is "empty" again for Percentile too.
+  h.Observe(5.0);
+  EXPECT_GT(h.Snapshot().Percentile(0.5), 0.0);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().Percentile(0.5), kEmptyHistogramPercentile);
+}
+
 TEST(HistogramTest, ResetClearsCountsAndSum) {
   Histogram h({1.0});
   h.Observe(0.5);

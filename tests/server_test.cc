@@ -18,17 +18,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "lineage/engine.h"
+#include "lineage/index_proj_lineage.h"
 #include "lineage/wire.h"
 #include "provenance/trace_store.h"
 #include "server/client.h"
 #include "server/frame.h"
+#include "server/slow_log.h"
 #include "testbed/synthetic.h"
 #include "testbed/workbench.h"
 
@@ -63,7 +70,8 @@ struct Served {
   ServerStats before;
 };
 
-Served StartSynthetic(size_t shards, ServerOptions options = {}) {
+Served StartSynthetic(size_t shards, ServerOptions options = {},
+                      const std::function<void(Served&)>& before_start = {}) {
   Served s;
   TraceStoreOptions store_options;
   store_options.shards = shards;
@@ -79,6 +87,9 @@ Served StartSynthetic(size_t shards, ServerOptions options = {}) {
   engines["naive"] = s.wb->Engine("naive");
   engines["indexproj"] = s.wb->Engine("indexproj");
   s.server = std::make_unique<LineageServer>(std::move(engines), options);
+  // Pre-Start configuration (e.g. SetExplainer, which must not be
+  // called once the server is serving).
+  if (before_start) before_start(s);
   EXPECT_TRUE(s.server->Start().ok());
   s.before = s.server->stats();
   return s;
@@ -342,6 +353,341 @@ TEST(ServerTest, OversizedFrameDropsConnection) {
   std::string response_payload;
   auto got = ReadFrame(*socket, &response_payload);
   EXPECT_TRUE(!got.ok() || !*got);
+}
+
+TEST(ServerTest, TimelineAttachedOnlyWhenRequested) {
+  Served s = StartSynthetic(4);
+  auto client = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(client.ok());
+  LineageRequest req = LineageRequest::SingleRun(
+      "r1", {kWorkflowProcessor, "RESULT"}, Index({1}));
+
+  // v1 call: the answer must be byte-identical to the legacy shape —
+  // no timeline, version 1, same bindings as in-process.
+  auto v1 = client->Call("indexproj", req);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ASSERT_TRUE(v1->ok) << v1->message;
+  EXPECT_EQ(v1->version, wire::kWireVersionLegacy);
+  EXPECT_FALSE(v1->has_timeline);
+
+  // v2 call asking for the timeline: same answer, plus the phase
+  // decomposition with its invariants.
+  auto v2 = client->Call("indexproj", req, /*want_timeline=*/true);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_TRUE(v2->ok) << v2->message;
+  EXPECT_EQ(v2->version, wire::kWireVersion);
+  ASSERT_TRUE(v2->has_timeline);
+  EXPECT_EQ(AnswerBytes(v2->answer), AnswerBytes(v1->answer));
+
+  const wire::RequestTimeline& tl = v2->timeline;
+  EXPECT_GE(tl.queue_ms, 0.0);
+  EXPECT_GE(tl.dispatch_ms, 0.0);
+  EXPECT_GT(tl.total_ms, 0.0);
+  // serialize/write are structurally unknowable at encode time and are
+  // always 0 on the wire (wire.h contract).
+  EXPECT_EQ(tl.serialize_ms, 0.0);
+  EXPECT_EQ(tl.write_ms, 0.0);
+  // The phases nest inside the total (all measured on the server from
+  // the same admission timer; tiny fp slack only).
+  EXPECT_LE(tl.queue_ms + tl.dispatch_ms + tl.execute_ms,
+            tl.total_ms + 1e-6);
+  // An indexproj query does physical probe work, attributed per shard;
+  // the hot/sealed split must cover exactly the per-shard sum.
+  EXPECT_GT(tl.trace_probes, 0u);
+  ASSERT_FALSE(tl.shards.empty());
+  uint64_t shard_probes = 0;
+  for (const wire::ShardCost& sc : tl.shards) {
+    EXPECT_LT(sc.shard, 4u);
+    shard_probes += sc.probes;
+  }
+  EXPECT_GT(shard_probes, 0u);
+  EXPECT_EQ(tl.hot_probes + tl.sealed_probes, shard_probes);
+  s.server->Stop();
+}
+
+TEST(ServerTest, StatsScrapeAnsweredWhileDispatchIsFrozen) {
+  // The STATS path must never enter the dispatch queue: freeze the
+  // dispatcher, fill the queue to the brim, and a scrape on a fresh
+  // connection still answers immediately.
+  ServerOptions options;
+  options.max_queue = 2;
+  Served s = StartSynthetic(1, options);
+  s.server->PauseDispatchForTest();
+
+  auto busy = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(busy.ok());
+  LineageRequest req = LineageRequest::SingleRun(
+      "r0", {kWorkflowProcessor, "RESULT"}, Index());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(busy->Send("naive", req).ok());
+  }
+  // The shed response for request 3 proves the queue is full.
+  auto shed = busy->Receive();
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, wire::ErrorCode::kOverloaded);
+
+  auto scraper = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(scraper.ok());
+  auto stats = scraper->Stats(wire::kStatsWantMetrics);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->has_metrics);
+  EXPECT_NE(stats->prometheus_text.find("provlin_server_queue_depth"),
+            std::string::npos);
+  EXPECT_FALSE(stats->has_trace);
+
+  // Scrapes are accounted separately from requests: the request
+  // counters still balance without them.
+  ServerStats after = s.server->stats();
+  EXPECT_EQ(after.stats_requests - s.before.stats_requests, 1u);
+  EXPECT_EQ(after.requests - s.before.requests, 3u);
+
+  s.server->ResumeDispatchForTest();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(busy->Receive().ok());
+  }
+  s.server->Stop();
+}
+
+TEST(ServerTest, ConcurrentScrapesDuringTraffic) {
+  // TSan-hammered: several client threads serve real queries while a
+  // scraper thread pulls STATS snapshots from its own connection. At
+  // the end the served-request balance must hold exactly:
+  // answers + errors + sheds == requests admitted.
+  Served s = StartSynthetic(4);
+  std::vector<NamedRequest> mix = BuildMix(s.runs);
+
+  constexpr size_t kClients = 3;
+  constexpr int kScrapes = 25;
+  std::vector<std::string> failures(kClients + 1);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = LineageClient::Connect("127.0.0.1", s.server->port());
+      if (!client.ok()) {
+        failures[c] = client.status().ToString();
+        return;
+      }
+      for (size_t i = 0; i < mix.size(); ++i) {
+        auto response =
+            client->Call(mix[i].engine, mix[i].request, i % 2 == 0);
+        if (!response.ok()) {
+          failures[c] = response.status().ToString();
+          return;
+        }
+        if (!response->ok) {
+          failures[c] = response->message;
+          return;
+        }
+        if ((i % 2 == 0) != response->has_timeline) {
+          failures[c] = "timeline presence does not match the request flag";
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    auto scraper = LineageClient::Connect("127.0.0.1", s.server->port());
+    if (!scraper.ok()) {
+      failures[kClients] = scraper.status().ToString();
+      return;
+    }
+    for (int i = 0; i < kScrapes; ++i) {
+      auto stats = scraper->Stats(wire::kStatsWantMetrics);
+      if (!stats.ok()) {
+        failures[kClients] = stats.status().ToString();
+        return;
+      }
+      if (!stats->has_metrics || stats->prometheus_text.empty()) {
+        failures[kClients] = "scrape returned no metrics";
+        return;
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < failures.size(); ++i) {
+    EXPECT_EQ(failures[i], "") << "thread " << i;
+  }
+
+  ServerStats stats = s.server->stats();
+  EXPECT_EQ(stats.requests - s.before.requests, kClients * mix.size());
+  EXPECT_EQ((stats.responses_ok - s.before.responses_ok) +
+                (stats.responses_error - s.before.responses_error) +
+                (stats.overload_shed - s.before.overload_shed),
+            stats.requests - s.before.requests);
+  EXPECT_EQ(stats.stats_requests - s.before.stats_requests,
+            static_cast<uint64_t>(kScrapes));
+  s.server->Stop();
+}
+
+TEST(ServerTest, QueueDepthGaugeTracksQueueAndDrainsToZero) {
+  common::metrics::Gauge* depth =
+      common::metrics::GetGauge("server/queue_depth");
+  ServerOptions options;
+  options.max_queue = 2;
+  Served s = StartSynthetic(1, options);
+  s.server->PauseDispatchForTest();
+
+  auto client = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(client.ok());
+  LineageRequest req = LineageRequest::SingleRun(
+      "r0", {kWorkflowProcessor, "RESULT"}, Index());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->Send("naive", req).ok());
+  }
+  // The shed response for request 3 proves both earlier requests were
+  // admitted — with the dispatcher frozen the gauge must read exactly
+  // the queue bound.
+  auto shed = client->Receive();
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed->code, wire::ErrorCode::kOverloaded);
+  EXPECT_EQ(depth->Value(), 2);
+
+  s.server->ResumeDispatchForTest();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client->Receive().ok());
+  }
+  // Both responses received ⇒ the dispatcher has dequeued everything;
+  // the gauge was updated under the queue lock at every transition.
+  EXPECT_EQ(depth->Value(), 0);
+  s.server->Stop();
+  EXPECT_EQ(depth->Value(), 0);
+}
+
+TEST(ServerTest, QueueDepthGaugeZeroAfterStopSheds) {
+  common::metrics::Gauge* depth =
+      common::metrics::GetGauge("server/queue_depth");
+  ServerOptions options;
+  options.max_queue = 4;
+  Served s = StartSynthetic(1, options);
+  s.server->PauseDispatchForTest();
+
+  auto client = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(client.ok());
+  LineageRequest req = LineageRequest::SingleRun(
+      "r0", {kWorkflowProcessor, "RESULT"}, Index());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client->Send("naive", req).ok());
+  }
+  auto shed = client->Receive();
+  ASSERT_TRUE(shed.ok());
+  ASSERT_EQ(shed->code, wire::ErrorCode::kOverloaded);
+  EXPECT_EQ(depth->Value(), 4);
+
+  // Stop with four requests still queued: the shutdown shed path must
+  // leave the gauge at zero, not frozen at the old occupancy.
+  s.server->Stop();
+  EXPECT_EQ(depth->Value(), 0);
+  EXPECT_EQ(s.server->stats().overload_shed - s.before.overload_shed, 5u);
+}
+
+TEST(ServerTest, SlowLogRecordsEveryRequestAtThresholdZero) {
+  std::string log_path =
+      ::testing::TempDir() + "/slow_requests_test.jsonl";
+  std::remove(log_path.c_str());
+  ServerOptions options;
+  options.slow_request_ms = 0.0;  // log every served request
+  options.slow_log_path = log_path;
+
+  // The EXPLAIN payload in the log is produced exactly like the CLI's
+  // `explain` output (ExplainResult::ToJson over the same engine).
+  Served s = StartSynthetic(1, options, [](Served& served) {
+    lineage::IndexProjLineage* engine = served.wb->IndexProj();
+    provenance::TraceStore* store = served.wb->store();
+    served.server->SetExplainer(
+        "indexproj", [engine, store](const LineageRequest& request) {
+          auto explained = engine->Explain(request);
+          if (!explained.ok()) return std::string();
+          return explained->ToJson(*store);
+        });
+  });
+  lineage::IndexProjLineage* engine = s.wb->IndexProj();
+  provenance::TraceStore* store = s.wb->store();
+
+  auto client = LineageClient::Connect("127.0.0.1", s.server->port());
+  ASSERT_TRUE(client.ok());
+  LineageRequest req = LineageRequest::SingleRun(
+      "r0", {kWorkflowProcessor, "RESULT"}, Index({1}));
+  auto indexed = client->Call("indexproj", req, /*want_timeline=*/true);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(indexed->ok) << indexed->message;
+  auto naive = client->Call("naive", req);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(naive->ok);
+  s.server->Stop();
+  EXPECT_EQ(s.server->stats().slow_requests_logged -
+                s.before.slow_requests_logged,
+            2u);
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+
+  // First record: the indexproj request, with an EXPLAIN payload whose
+  // step structure matches an in-process Explain of the same request.
+  const std::string& rec = lines[0];
+  EXPECT_NE(rec.find("\"engine\":\"indexproj\""), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"status\":\"OK\""), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"timeline\":{"), std::string::npos) << rec;
+  EXPECT_NE(rec.find("\"queue_ms\":"), std::string::npos);
+  EXPECT_NE(rec.find("\"serialize_ms\":"), std::string::npos);
+  EXPECT_NE(rec.find("\"write_ms\":"), std::string::npos);
+  EXPECT_NE(rec.find("\"shards\":["), std::string::npos);
+  auto explained = engine->Explain(req);
+  ASSERT_TRUE(explained.ok());
+  std::string explain_json = explained->ToJson(*store);
+  // Wall-times differ run to run; the plan identity (every generated
+  // trace query, in order) must match the CLI's exactly.
+  for (const lineage::ExplainStep& step : explained->steps) {
+    std::string quoted;
+    {
+      std::string raw = step.query.ToString(*store);
+      quoted.reserve(raw.size());
+      for (char ch : raw) {
+        if (ch == '"' || ch == '\\') quoted += '\\';
+        quoted += ch;
+      }
+    }
+    EXPECT_NE(rec.find(quoted), std::string::npos)
+        << "slow-log EXPLAIN lacks step " << step.query.ToString(*store);
+  }
+  EXPECT_NE(rec.find("\"plan_cache_hit\":"), std::string::npos);
+  // Second record: naive engine has no registered explainer → null.
+  EXPECT_NE(lines[1].find("\"engine\":\"naive\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"explain\":null"), std::string::npos);
+  std::remove(log_path.c_str());
+  std::remove((log_path + ".1").c_str());
+}
+
+TEST(ServerTest, SlowLogRotatesAtByteBound) {
+  std::string path = ::testing::TempDir() + "/slow_rotate_test.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  SlowRequestLog::Options options;
+  options.path = path;
+  options.max_bytes = 256;
+  auto log = SlowRequestLog::Open(options);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  const std::string record(100, 'x');
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*log)->Append("{\"r\":\"" + record + "\"}").ok());
+  }
+  EXPECT_EQ((*log)->records(), 5u);
+
+  // The live file was rotated: it must hold fewer than max_bytes' worth
+  // of records, and the previous generation sits at <path>.1.
+  std::ifstream live(path);
+  ASSERT_TRUE(live.is_open());
+  std::string all((std::istreambuf_iterator<char>(live)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_LE(all.size(), options.max_bytes);
+  EXPECT_GT(all.size(), 0u);
+  std::ifstream rotated(path + ".1");
+  EXPECT_TRUE(rotated.is_open());
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
 }
 
 TEST(ServerTest, StopShedsQueuedRequests) {

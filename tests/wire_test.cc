@@ -134,11 +134,175 @@ TEST(WireTest, RejectsWrongVersion) {
   RequestEnvelope envelope;
   envelope.engine = "naive";
   std::string payload = EncodeRequestEnvelope(envelope);
-  payload[0] = 2;  // future version
+  payload[0] = 3;  // future version (both 1 and 2 are live)
   auto decoded = DecodeRequestEnvelope(payload);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsInvalidArgument());
   EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos);
+}
+
+RequestTimeline MakeTimeline() {
+  RequestTimeline t;
+  t.queue_ms = 0.25;
+  t.dispatch_ms = 0.5;
+  t.execute_ms = 2.75;
+  t.total_ms = 3.5;  // serialize_ms/write_ms stay 0: the wire contract
+  t.trace_probes = 17;
+  t.trace_descents = 5;
+  t.rows_examined = 120;
+  t.hot_probes = 11;
+  t.sealed_probes = 6;
+  t.shards = {{0, 9, 3, 80}, {3, 8, 2, 40}};
+  return t;
+}
+
+TEST(WireTest, V2RequestRoundTripCarriesTimelineFlag) {
+  RequestEnvelope envelope;
+  envelope.request_id = 77;
+  envelope.engine = "indexproj";
+  envelope.request = MakeRequest();
+  envelope.version = kWireVersion;
+  envelope.want_timeline = true;
+  std::string payload = EncodeRequestEnvelope(envelope);
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), kWireVersion);
+  auto decoded = DecodeRequestEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_TRUE(decoded->want_timeline);
+  EXPECT_EQ(decoded->request.runs, envelope.request.runs);
+  // A v1 frame of the same envelope is byte-identical to the legacy
+  // codec: the version upgrade costs old peers nothing.
+  envelope.version = kWireVersionLegacy;
+  envelope.want_timeline = false;
+  EXPECT_EQ(EncodeRequestEnvelope(envelope),
+            EncodeRequestEnvelope(RequestEnvelope{77, "indexproj",
+                                                  MakeRequest()}));
+}
+
+TEST(WireTest, V2RequestRejectsUnknownFlagBits) {
+  RequestEnvelope envelope;
+  envelope.engine = "naive";
+  envelope.version = kWireVersion;
+  envelope.want_timeline = true;
+  std::string payload = EncodeRequestEnvelope(envelope);
+  // The flags byte sits right after the 10-byte header in a v2 frame.
+  payload[10] = static_cast<char>(kKnownRequestFlags | 0x80);
+  auto decoded = DecodeRequestEnvelope(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, TimelineRoundTripOnV2Answer) {
+  LineageAnswer answer = MakeAnswer();
+  RequestTimeline timeline = MakeTimeline();
+  std::string payload = EncodeAnswerResponseV2(21, answer, &timeline);
+  auto decoded = DecodeResponseEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 21u);
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->version, kWireVersion);
+  ASSERT_TRUE(decoded->has_timeline);
+  EXPECT_EQ(decoded->timeline, timeline);
+  ASSERT_EQ(decoded->timeline.shards.size(), 2u);
+  EXPECT_EQ(decoded->timeline.shards[1], (ShardCost{3, 8, 2, 40}));
+}
+
+TEST(WireTest, V2AnswerWithoutTimeline) {
+  std::string payload = EncodeAnswerResponseV2(22, MakeAnswer(), nullptr);
+  auto decoded = DecodeResponseEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_FALSE(decoded->has_timeline);
+}
+
+TEST(WireTest, V2AnswerRejectsBadTimelineMarker) {
+  std::string payload = EncodeAnswerResponseV2(23, MakeAnswer(), nullptr);
+  payload.back() = 2;  // has_timeline marker must be 0 or 1
+  EXPECT_FALSE(DecodeResponseEnvelope(payload).ok());
+}
+
+TEST(WireTest, V2ErrorResponseRoundTrip) {
+  std::string payload = EncodeErrorResponse(
+      24, ErrorCode::kOverloaded, "queue full", kWireVersion);
+  auto decoded = DecodeResponseEnvelope(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->code, ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded->message, "queue full");
+}
+
+TEST(WireTest, StatsRequestRoundTrip) {
+  StatsRequest request;
+  request.request_id = 31;
+  request.want = kStatsWantMetrics | kStatsWantTrace;
+  std::string payload = EncodeStatsRequest(request);
+  auto decoded = DecodeStatsRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 31u);
+  EXPECT_EQ(decoded->want, request.want);
+}
+
+TEST(WireTest, StatsRequestRejectsUnknownWantBits) {
+  StatsRequest request;
+  request.request_id = 32;
+  std::string payload = EncodeStatsRequest(request);
+  payload.back() = static_cast<char>(kKnownStatsWants | 0x40);
+  EXPECT_FALSE(DecodeStatsRequest(payload).ok());
+}
+
+TEST(WireTest, StatsResponseRoundTrip) {
+  StatsResponse response;
+  response.request_id = 33;
+  response.has_metrics = true;
+  response.prometheus_text = "provlin_server_requests 5\n";
+  response.metrics_json = "{\"counters\": {}}";
+  response.has_trace = true;
+  response.trace_json = "{\"traceEvents\": []}\n";
+  response.trace_events = 128;
+  response.trace_dropped = 3;
+  std::string payload = EncodeStatsResponse(response);
+  auto decoded = DecodeStatsResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 33u);
+  EXPECT_TRUE(decoded->has_metrics);
+  EXPECT_EQ(decoded->prometheus_text, response.prometheus_text);
+  EXPECT_EQ(decoded->metrics_json, response.metrics_json);
+  EXPECT_TRUE(decoded->has_trace);
+  EXPECT_EQ(decoded->trace_json, response.trace_json);
+  EXPECT_EQ(decoded->trace_events, 128u);
+  EXPECT_EQ(decoded->trace_dropped, 3u);
+}
+
+TEST(WireTest, StatsRejectsTruncationAtEveryLength) {
+  StatsRequest request;
+  request.request_id = 34;
+  request.want = kStatsWantMetrics;
+  std::string req_payload = EncodeStatsRequest(request);
+  for (size_t len = 0; len < req_payload.size(); ++len) {
+    EXPECT_FALSE(DecodeStatsRequest(req_payload.substr(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+  StatsResponse response;
+  response.request_id = 35;
+  response.has_metrics = true;
+  response.prometheus_text = "provlin_x 1\n";
+  response.metrics_json = "{}";
+  std::string rsp_payload = EncodeStatsResponse(response);
+  for (size_t len = 0; len < rsp_payload.size(); ++len) {
+    EXPECT_FALSE(DecodeStatsResponse(rsp_payload.substr(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireTest, TimelineRejectsTruncationAtEveryLength) {
+  RequestTimeline timeline = MakeTimeline();
+  std::string payload = EncodeAnswerResponseV2(36, MakeAnswer(), &timeline);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeResponseEnvelope(payload.substr(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
 }
 
 TEST(WireTest, RejectsWrongMessageType) {
@@ -177,7 +341,7 @@ TEST(WireTest, RejectsForgedElementCounts) {
   // A 13-byte payload claiming 2^32-1 runs must be rejected from the
   // length check, not by attempting a four-billion-iteration loop.
   storage::BinaryWriter w;
-  w.WriteU8(kWireVersion);
+  w.WriteU8(kWireVersionLegacy);
   w.WriteU8(static_cast<uint8_t>(MessageType::kRequest));
   w.WriteU64(1);
   w.WriteString("naive");
@@ -194,11 +358,27 @@ TEST(WireTest, FuzzedPayloadsNeverCrash) {
   // re-encode must be canonical (encode(decode(x)) == x only for the
   // untouched payload; mutants merely must not crash).
   Random rng(20260808);
+  RequestEnvelope v2_envelope;
+  v2_envelope.request_id = 45;
+  v2_envelope.engine = "naive";
+  v2_envelope.request = MakeRequest();
+  v2_envelope.version = kWireVersion;
+  v2_envelope.want_timeline = true;
+  RequestTimeline timeline = MakeTimeline();
+  StatsResponse stats_response;
+  stats_response.request_id = 47;
+  stats_response.has_metrics = true;
+  stats_response.prometheus_text = "provlin_server_requests 5\n";
+  stats_response.metrics_json = "{}";
   const std::string seeds[] = {
       EncodeRequestEnvelope(
           {42, "indexproj", MakeRequest()}),
       EncodeAnswerResponse(43, MakeAnswer()),
       EncodeErrorResponse(44, ErrorCode::kOverloaded, "queue full"),
+      EncodeRequestEnvelope(v2_envelope),
+      EncodeAnswerResponseV2(45, MakeAnswer(), &timeline),
+      EncodeStatsRequest({46, kStatsWantMetrics | kStatsWantTrace}),
+      EncodeStatsResponse(stats_response),
   };
   for (const std::string& seed : seeds) {
     for (int i = 0; i < 2000; ++i) {
@@ -219,9 +399,11 @@ TEST(WireTest, FuzzedPayloadsNeverCrash) {
           mutant.append(1 + rng.Uniform(16), static_cast<char>(rng.Next()));
           break;
       }
-      // Either decoder; both must be robust against both shapes.
+      // Every decoder; all must be robust against every shape.
       (void)DecodeRequestEnvelope(mutant);
       (void)DecodeResponseEnvelope(mutant);
+      (void)DecodeStatsRequest(mutant);
+      (void)DecodeStatsResponse(mutant);
     }
   }
 }
@@ -243,6 +425,24 @@ TEST(WireTest, CanonicalReencode) {
   auto decoded_response = DecodeResponseEnvelope(response);
   ASSERT_TRUE(decoded_response.ok());
   EXPECT_EQ(EncodeAnswerResponse(10, decoded_response->answer), response);
+
+  // v2 frames re-encode canonically too, timeline included.
+  envelope.version = kWireVersion;
+  envelope.want_timeline = true;
+  std::string v2_payload = EncodeRequestEnvelope(envelope);
+  auto v2_decoded = DecodeRequestEnvelope(v2_payload);
+  ASSERT_TRUE(v2_decoded.ok());
+  EXPECT_EQ(EncodeRequestEnvelope(*v2_decoded), v2_payload);
+
+  RequestTimeline timeline = MakeTimeline();
+  std::string v2_response = EncodeAnswerResponseV2(11, MakeAnswer(),
+                                                   &timeline);
+  auto v2_decoded_response = DecodeResponseEnvelope(v2_response);
+  ASSERT_TRUE(v2_decoded_response.ok());
+  ASSERT_TRUE(v2_decoded_response->has_timeline);
+  EXPECT_EQ(EncodeAnswerResponseV2(11, v2_decoded_response->answer,
+                                   &v2_decoded_response->timeline),
+            v2_response);
 }
 
 }  // namespace

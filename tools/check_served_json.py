@@ -12,7 +12,14 @@ Checks the invariants the serve + loadgen pipeline promises:
   - latency percentiles exist, are non-negative, and are monotone
     (p50 <= p95 <= p99),
   - duration_s > 0 and throughput_rps is consistent with sent/duration
-    (within 2x slack — the loadgen measures wall time itself).
+    (within 2x slack — the loadgen measures wall time itself),
+  - when a "timeline" block is present (loadgen --timelines true): every
+    phase has non-negative monotone percentiles, the phases were
+    observed for at least one answer, and the median server-side phases
+    (queue + dispatch + execute) sum to no more than the median
+    client-observed request latency (with slack for bucket
+    interpolation — phases are measured inside the server, the request
+    latency includes the wire).
 
 Exit status 0 on success, 1 with a report on any violation.
 """
@@ -23,9 +30,80 @@ import sys
 
 COUNTERS = ("sent", "ok", "overloaded", "errors")
 PERCENTILES = ("p50", "p95", "p99")
+TIMELINE_PHASES = ("queue_ms", "dispatch_ms", "execute_ms", "total_ms")
 
 
-def validate(doc, min_ok):
+def validate_timeline(timeline, latency):
+    """Checks the server-side phase breakdown block (--timelines true)."""
+    errors = []
+    if not isinstance(timeline, dict):
+        return ["'timeline' is not an object"]
+    p50s = {}
+    counts = set()
+    for phase in TIMELINE_PHASES:
+        block = timeline.get(phase)
+        if not isinstance(block, dict):
+            errors.append(f"timeline.{phase} missing or not an object")
+            continue
+        count = block.get("count")
+        if not isinstance(count, int) or count < 0:
+            errors.append(f"timeline.{phase}.count is {count!r}, expected a "
+                          "non-negative integer")
+        else:
+            counts.add(count)
+        mean = block.get("mean")
+        if not isinstance(mean, (int, float)) or mean < 0:
+            errors.append(f"timeline.{phase}.mean is {mean!r}, expected a "
+                          "non-negative number")
+        values = []
+        for name in PERCENTILES:
+            value = block.get(name)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"timeline.{phase}.{name} is {value!r}, "
+                              "expected a non-negative number")
+            else:
+                values.append((name, value))
+        for (lo_name, lo), (hi_name, hi) in zip(values, values[1:]):
+            if lo > hi:
+                errors.append(
+                    f"timeline.{phase}.{lo_name}={lo} > "
+                    f"timeline.{phase}.{hi_name}={hi} (percentiles must be "
+                    "monotone)")
+        if isinstance(block.get("p50"), (int, float)):
+            p50s[phase] = block["p50"]
+    if counts == {0}:
+        errors.append("timeline block present but no answer carried one "
+                      "(did the server honor the want-timeline flag?)")
+    elif len(counts) > 1:
+        errors.append(f"timeline phase counts disagree: {sorted(counts)} "
+                      "(every timeline carries all phases)")
+    # The phases are nested inside the request: per frame,
+    # queue + dispatch + execute <= total. Medians of the aggregated
+    # histograms only approximate this, so allow generous slack for
+    # bucket interpolation before calling it a violation.
+    if len(p50s) == len(TIMELINE_PHASES):
+        phase_sum = p50s["queue_ms"] + p50s["dispatch_ms"] + p50s["execute_ms"]
+        budget = p50s["total_ms"] * 1.5 + 1.0
+        if phase_sum > budget:
+            errors.append(
+                f"median phases sum to {phase_sum:.3f}ms, more than the "
+                f"median total {p50s['total_ms']:.3f}ms allows (budget "
+                f"{budget:.3f}ms)")
+        if isinstance(latency, dict) and isinstance(
+                latency.get("p50"), (int, float)):
+            # total_ms starts at server admission, after the client's
+            # intended send time — it cannot exceed the client-observed
+            # latency by more than estimator slack.
+            bound = latency["p50"] * 2.0 + 5.0
+            if p50s["total_ms"] > bound:
+                errors.append(
+                    f"timeline.total_ms.p50={p50s['total_ms']:.3f} exceeds "
+                    f"client latency p50={latency['p50']:.3f} beyond slack "
+                    f"(bound {bound:.3f}ms)")
+    return errors
+
+
+def validate(doc, min_ok, require_timeline=False):
     errors = []
     if not isinstance(doc, dict):
         return ["top level is not an object"]
@@ -72,6 +150,12 @@ def validate(doc, min_ok):
                               f"latency_ms.{hi_name}={hi} (percentiles must "
                               "be monotone)")
 
+    if "timeline" in doc:
+        errors.extend(validate_timeline(doc["timeline"], latency))
+    elif require_timeline:
+        errors.append("missing 'timeline' block (was loadgen run with "
+                      "--timelines true?)")
+
     duration = doc.get("duration_s")
     throughput = doc.get("throughput_rps")
     if not isinstance(duration, (int, float)) or duration <= 0:
@@ -101,6 +185,11 @@ def main(argv):
         metavar="N",
         help="fail unless at least N requests succeeded (default 1)",
     )
+    parser.add_argument(
+        "--require-timeline",
+        action="store_true",
+        help="fail when the document has no 'timeline' block",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -110,7 +199,7 @@ def main(argv):
         print(f"[{args.bench}] unreadable or malformed JSON: {e}")
         return 1
 
-    errors = validate(doc, args.min_ok)
+    errors = validate(doc, args.min_ok, args.require_timeline)
     if errors:
         print(f"[{args.bench}] {len(errors)} violation(s):")
         for e in errors:

@@ -21,6 +21,14 @@ clang-tidy check for us:
      synchronization mechanism — sleeps make tests flaky under load and
      slow everywhere else. Legitimate uses (e.g. timing the sleep itself)
      carry an explicit `// lint: allow(sleep)` marker on the same line.
+  5. metric-name: a string-literal instrument name passed to
+     GetCounter / GetGauge / GetHistogram under src/ or tools/ must
+     appear in the authoritative lists in src/common/metric_names.h —
+     one schema, so `provlin stats` and scrapers always see every name
+     and a typo'd registration cannot silently fork an instrument.
+     Tests are exempt (they register throwaway names), and computed
+     names (the sanctioned per-shard `"provenance/shard" + k + ...`
+     pattern) are not literals and are skipped.
 
 Usage:
   python3 tools/lint_provlin.py [--root DIR] [SUBDIR ...]
@@ -76,6 +84,26 @@ SPAN_RE = re.compile(r"\bPROVLIN_TRACE_SPAN(_VAR)?\s*\(([^)]*)\)")
 SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
 SLEEP_ALLOW = "lint: allow(sleep)"
 
+# A registration call whose first argument is a *complete* string
+# literal: GetCounter("..."), GetGauge("..."), GetHistogram("...", ...).
+# A literal followed by `+` (the sanctioned dynamic patterns —
+# per-shard, per-engine) is a computed name and is not checked.
+METRIC_CALL_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)\"\s*[,)]"
+)
+METRIC_NAMES_HEADER = Path("src") / "common" / "metric_names.h"
+STRING_LITERAL_RE = re.compile(r"\"([^\"]+)\"")
+
+
+def load_registered_metric_names(root: Path) -> set[str] | None:
+    """Every string literal in metric_names.h — the authoritative schema."""
+    path = root / METRIC_NAMES_HEADER
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    return set(STRING_LITERAL_RE.findall(text))
+
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
 
@@ -84,7 +112,12 @@ def strip_line_comment(line: str) -> str:
     return LINE_COMMENT_RE.sub("", line)
 
 
-def lint_file(path: Path, rel: Path, findings: list[str]) -> None:
+def lint_file(
+    path: Path,
+    rel: Path,
+    findings: list[str],
+    metric_names: set[str] | None = None,
+) -> None:
     try:
         text = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as e:
@@ -94,6 +127,11 @@ def lint_file(path: Path, rel: Path, findings: list[str]) -> None:
     is_header = path.suffix in HEADER_EXTENSIONS
     is_test = rel.parts[0] == "tests"
     is_sync_wrapper = rel == SYNC_WRAPPER
+    check_metric_names = (
+        metric_names is not None
+        and rel.parts[0] in ("src", "tools")
+        and rel != METRIC_NAMES_HEADER
+    )
     in_block_comment = False
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -143,6 +181,16 @@ def lint_file(path: Path, rel: Path, findings: list[str]) -> None:
                         f"must be a string literal, got `{name_arg}`"
                     )
 
+        if check_metric_names:
+            for m in METRIC_CALL_RE.finditer(code):
+                name = m.group(1)
+                if name not in metric_names:
+                    findings.append(
+                        f"{rel}:{lineno}: metric-name: '{name}' is not listed "
+                        "in src/common/metric_names.h — add it to the schema "
+                        "there (one authoritative list per instrument kind)"
+                    )
+
         if is_test and SLEEP_RE.search(code) and SLEEP_ALLOW not in raw:
             findings.append(
                 f"{rel}:{lineno}: test-sleep: sleep_for in a test — synchronize "
@@ -177,6 +225,12 @@ def main(argv: list[str]) -> int:
 
     findings: list[str] = []
     scanned = 0
+    metric_names = load_registered_metric_names(root)
+    if metric_names is None:
+        findings.append(
+            f"{METRIC_NAMES_HEADER}: read-error: the authoritative metric "
+            "name schema is missing (metric-name rule cannot run)"
+        )
     for d in args.dirs or SCAN_DIRS:
         base = root / d
         if not base.is_dir():
@@ -186,7 +240,7 @@ def main(argv: list[str]) -> int:
             continue
         for path in sorted(base.rglob("*")):
             if path.suffix in CXX_EXTENSIONS and path.is_file():
-                lint_file(path, path.relative_to(root), findings)
+                lint_file(path, path.relative_to(root), findings, metric_names)
                 scanned += 1
 
     for f in findings:

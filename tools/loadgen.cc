@@ -15,8 +15,13 @@
 // Usage:
 //   loadgen --port-file /tmp/port [--host 127.0.0.1] [--connections 4]
 //           [--rate 200] [--duration-s 3 | --requests N]
-//           [--engine naive|indexproj|mix]
+//           [--engine naive|indexproj|mix] [--timelines true]
 //           [--run r0]* [--target P:X]* [--index 1,2]* [--focus P]*
+//
+// --timelines true sends wire-v2 requests asking the server to attach
+// its per-phase RequestTimeline to every answer; the phases aggregate
+// into loadgen/timeline_* histograms and a "timeline" block (per-phase
+// mean/p50/p95/p99) in BENCH_served.json.
 
 #include <chrono>
 #include <cstdio>
@@ -52,6 +57,7 @@ struct Options {
   double duration_s = 3.0;
   size_t requests = 0;  // 0 = derive from rate * duration
   std::string engine = "indexproj";
+  bool timelines = false;
   std::vector<std::string> runs;
   std::vector<std::string> targets;
   std::vector<std::string> indexes;
@@ -115,6 +121,7 @@ Options ParseOptions(int argc, char** argv) {
   opt.requests = static_cast<size_t>(get_int("requests", 1, 100000000,
                                              0));
   if (const std::string* s = get("engine")) opt.engine = *s;
+  if (const std::string* s = get("timelines")) opt.timelines = *s != "false";
   if (opt.engine != "naive" && opt.engine != "indexproj" &&
       opt.engine != "mix") {
     Die("--engine must be naive, indexproj, or mix");
@@ -184,6 +191,11 @@ struct Totals {
   common::metrics::Counter* overloaded;
   common::metrics::Counter* errors;
   common::metrics::Histogram* latency_ms;
+  /// Server-reported phase timelines (filled only under --timelines).
+  common::metrics::Histogram* timeline_queue_ms;
+  common::metrics::Histogram* timeline_dispatch_ms;
+  common::metrics::Histogram* timeline_execute_ms;
+  common::metrics::Histogram* timeline_total_ms;
 };
 
 Totals& Counters() {
@@ -193,6 +205,10 @@ Totals& Counters() {
       common::metrics::GetCounter("loadgen/overloaded"),
       common::metrics::GetCounter("loadgen/errors"),
       common::metrics::GetHistogram("loadgen/latency_ms"),
+      common::metrics::GetHistogram("loadgen/timeline_queue_ms"),
+      common::metrics::GetHistogram("loadgen/timeline_dispatch_ms"),
+      common::metrics::GetHistogram("loadgen/timeline_execute_ms"),
+      common::metrics::GetHistogram("loadgen/timeline_total_ms"),
   };
   return t;
 }
@@ -212,7 +228,7 @@ struct Conn {
 void SenderLoop(Conn* conn, const std::vector<lineage::LineageRequest>& mix,
                 const std::vector<std::string>& engines, size_t conn_index,
                 size_t connections, size_t total_requests, double rate,
-                Clock::time_point t0) {
+                bool timelines, Clock::time_point t0) {
   for (size_t k = conn_index; k < total_requests; k += connections) {
     int64_t intended_us =
         static_cast<int64_t>(static_cast<double>(k) * 1e6 / rate);
@@ -226,7 +242,7 @@ void SenderLoop(Conn* conn, const std::vector<lineage::LineageRequest>& mix,
       common::MutexLock lock(conn->mu);
       conn->intended.emplace(id, intended_us);
     }
-    Result<uint64_t> sent = conn->client.Send(engine, req);
+    Result<uint64_t> sent = conn->client.Send(engine, req, timelines);
     if (!sent.ok()) {
       // Connection-level failure: everything this sender still owed is
       // accounted as an error by the receiver when the stream dies.
@@ -266,6 +282,13 @@ void ReceiverLoop(Conn* conn, size_t expected, Clock::time_point t0) {
     }
     if (response->ok) {
       Counters().ok->Increment();
+      if (response->has_timeline) {
+        const wire::RequestTimeline& tl = response->timeline;
+        Counters().timeline_queue_ms->Observe(tl.queue_ms);
+        Counters().timeline_dispatch_ms->Observe(tl.dispatch_ms);
+        Counters().timeline_execute_ms->Observe(tl.execute_ms);
+        Counters().timeline_total_ms->Observe(tl.total_ms);
+      }
     } else if (response->code == wire::ErrorCode::kOverloaded) {
       Counters().overloaded->Increment();
     } else {
@@ -305,6 +328,30 @@ void WriteJson(const Options& opt, size_t total_requests, double duration_s,
                "\"p99\": %.3f},\n",
                duration_s, throughput, lat.Percentile(0.50),
                lat.Percentile(0.95), lat.Percentile(0.99));
+  if (opt.timelines) {
+    // Server-side phase breakdown, aggregated across every answer that
+    // carried a timeline. Validated by tools/check_served_json.py:
+    // percentiles must be monotone and phase medians must not exceed
+    // the client-observed request latency.
+    auto phase = [&](const char* name, common::metrics::Histogram* h,
+                     const char* trailer) {
+      common::metrics::HistogramSnapshot s = h->Snapshot();
+      double mean = s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0;
+      std::fprintf(f,
+                   "    \"%s\": {\"count\": %llu, \"mean\": %.3f, "
+                   "\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}%s\n",
+                   name, static_cast<unsigned long long>(s.count), mean,
+                   s.Percentile(0.50), s.Percentile(0.95), s.Percentile(0.99),
+                   trailer);
+    };
+    const Totals& tt = Counters();
+    std::fprintf(f, "  \"timeline\": {\n");
+    phase("queue_ms", tt.timeline_queue_ms, ",");
+    phase("dispatch_ms", tt.timeline_dispatch_ms, ",");
+    phase("execute_ms", tt.timeline_execute_ms, ",");
+    phase("total_ms", tt.timeline_total_ms, "");
+    std::fprintf(f, "  },\n");
+  }
   std::fprintf(f, "  \"metrics\": %s\n}\n",
                common::metrics::MetricsRegistry::Global()
                    .Snapshot()
@@ -358,7 +405,7 @@ int Run(int argc, char** argv) {
     threads.emplace_back([conn, &mix, &engines, c, &opt, total_requests,
                           t0] {
       SenderLoop(conn, mix, engines, c, opt.connections, total_requests,
-                 opt.rate, t0);
+                 opt.rate, opt.timelines, t0);
     });
     threads.emplace_back(
         [conn, expected, t0] { ReceiverLoop(conn, expected, t0); });
@@ -389,6 +436,21 @@ int Run(int argc, char** argv) {
               lat.Percentile(0.50), lat.Percentile(0.95),
               lat.Percentile(0.99),
               static_cast<unsigned long long>(lat.count));
+  if (opt.timelines) {
+    common::metrics::HistogramSnapshot q =
+        totals.timeline_queue_ms->Snapshot();
+    common::metrics::HistogramSnapshot d =
+        totals.timeline_dispatch_ms->Snapshot();
+    common::metrics::HistogramSnapshot e =
+        totals.timeline_execute_ms->Snapshot();
+    common::metrics::HistogramSnapshot tot =
+        totals.timeline_total_ms->Snapshot();
+    std::printf(
+        "timeline p50 queue %.3fms  dispatch %.3fms  execute %.3fms  "
+        "total %.3fms (%llu timelines)\n",
+        q.Percentile(0.50), d.Percentile(0.50), e.Percentile(0.50),
+        tot.Percentile(0.50), static_cast<unsigned long long>(tot.count));
+  }
   WriteJson(opt, total_requests, duration_s, throughput);
   return totals.ok->Value() > 0 ? 0 : 1;
 }
