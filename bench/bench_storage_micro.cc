@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
+#include "common/sync.h"
 #include "storage/bplus_tree.h"
 #include "storage/query.h"
 #include "storage/segment.h"
@@ -240,6 +241,32 @@ void BM_TraceProbeSealed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TraceProbeSealed)->Arg(10000)->Arg(100000);
+
+// Guards the zero-overhead contract of the ranked sync wrappers: in a
+// release build (PROVLIN_LOCK_DEBUG off) an uncontended Lock/Unlock
+// round trip must cost what the raw std primitive costs — sync.h
+// static-asserts the layout half; these expose any per-acquisition
+// regression. In a lock-debug build they instead measure the detector
+// itself (useful, but not comparable against release baselines).
+void BM_MutexLockUnlock(benchmark::State& state) {
+  common::Mutex mu{common::LockRank::kTestOuter};
+  for (auto _ : state) {
+    common::MutexLock lock(mu);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+void BM_SharedMutexReadLock(benchmark::State& state) {
+  common::SharedMutex mu{common::LockRank::kTestOuter};
+  for (auto _ : state) {
+    common::ReaderLock lock(mu);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SharedMutexReadLock);
 
 }  // namespace
 

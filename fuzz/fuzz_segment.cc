@@ -1,0 +1,53 @@
+// libFuzzer harness for the sealed-segment codec
+// (storage::Segment::FromBytes, src/storage/segment.h).
+//
+// Segment blobs are parsed back from the database file on open, so
+// FromBytes must reject any corruption with a Status — never crash or
+// allocate from an untrusted count. Any input that parses must also
+// survive a full row decode (with the row count it promised) and a few
+// view probes: parse acceptance implies decode safety.
+//
+// Built only under -DPROVLIN_FUZZ=ON; see fuzz_wire.cc for the
+// clang/GCC driver split.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "storage/segment.h"
+
+using provlin::storage::IdPair;
+using provlin::storage::Row;
+using provlin::storage::Segment;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  auto bytes = std::make_shared<const std::string>(
+      reinterpret_cast<const char*>(data), size);
+  auto parsed = Segment::FromBytes(bytes);
+  if (!parsed.ok()) return 0;
+
+  if (auto rows = parsed->DecodeAllRows(); rows.ok()) {
+    if (rows->size() != parsed->num_rows()) {
+      std::fprintf(stderr,
+                   "fuzz_segment: DecodeAllRows returned %zu rows, header "
+                   "promised %zu\n",
+                   rows->size(), parsed->num_rows());
+      std::abort();
+    }
+  }
+
+  Segment::Scratch scratch;
+  Segment::ProbeCounts counts;
+  for (uint32_t p = 0; p < 4; ++p) {
+    Segment::ViewProbe probe;
+    probe.pair = IdPair{p, p % 2}.Packed();
+    (void)parsed->ProbeView(Segment::kViewOut, probe, &scratch, &counts,
+                            [](uint64_t, const Row&) {});
+    (void)parsed->ProbeView(Segment::kViewIn, probe, &scratch, &counts,
+                            [](uint64_t, const Row&) {});
+  }
+  return 0;
+}

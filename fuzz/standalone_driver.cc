@@ -1,0 +1,91 @@
+// Fallback driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer is clang-only; the local GCC image and
+// any non-sanitizer build land here). It gives the harness the same
+// entry point contract:
+//
+//   standalone_fuzz_<name> FILE...        replay each file once
+//   PROVLIN_FUZZ_MUTATE_RUNS=N <same>     additionally run N random
+//                                         mutants (flip/truncate/extend)
+//                                         derived from the input files
+//
+// Replay keeps crash reproducers usable everywhere; the mutation mode
+// is a bounded smoke of the harness logic itself — the real coverage-
+// guided search only happens under clang + libFuzzer in CI.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::string ReadFile(const char* path, bool* ok) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return {};
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  *ok = true;
+  return content;
+}
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    bool ok = false;
+    std::string content = ReadFile(argv[i], &ok);
+    if (!ok) {
+      std::fprintf(stderr, "standalone_driver: cannot read %s\n", argv[i]);
+      return 2;
+    }
+    RunOne(content);
+    inputs.push_back(std::move(content));
+  }
+  std::printf("standalone_driver: %zu file(s) replayed\n", inputs.size());
+
+  const char* runs_env = std::getenv("PROVLIN_FUZZ_MUTATE_RUNS");
+  if (runs_env == nullptr || inputs.empty()) return 0;
+  long runs = std::strtol(runs_env, nullptr, 10);
+  std::mt19937_64 rng(20260808);
+  for (long r = 0; r < runs; ++r) {
+    std::string mutant = inputs[rng() % inputs.size()];
+    switch (rng() % 3) {
+      case 0: {  // flip 1-4 bytes
+        if (mutant.empty()) break;
+        uint64_t flips = 1 + rng() % 4;
+        for (uint64_t f = 0; f < flips; ++f) {
+          mutant[rng() % mutant.size()] = static_cast<char>(rng() % 256);
+        }
+        break;
+      }
+      case 1:  // truncate
+        if (mutant.empty()) break;
+        mutant.resize(rng() % mutant.size());
+        break;
+      default:  // extend with junk
+        mutant.append(1 + rng() % 16, static_cast<char>(rng() % 256));
+        break;
+    }
+    RunOne(mutant);
+  }
+  std::printf("standalone_driver: %ld mutant(s) survived\n", runs);
+  return 0;
+}

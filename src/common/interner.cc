@@ -11,12 +11,16 @@ namespace {
 /// deadlock-free protocol for move operations between two internally
 /// synchronized tables (concurrent cross-moves acquire in the same
 /// order). Callers are NO_THREAD_SAFETY_ANALYSIS: a runtime-ordered
-/// dual acquisition has no static capability expression.
+/// dual acquisition has no static capability expression. The two
+/// instances share one LockRank, so the second acquisition runs under
+/// the lock-debug same-rank exemption — the address ordering supplies
+/// the total order the rank check cannot see (DESIGN.md §15).
 class DualWriterLock {
  public:
   DualWriterLock(SharedMutex& a, SharedMutex& b) NO_THREAD_SAFETY_ANALYSIS
       : first_(std::less<SharedMutex*>{}(&a, &b) ? a : b),
         second_(std::less<SharedMutex*>{}(&a, &b) ? b : a) {
+    [[maybe_unused]] lock_debug::SameRankExemptionScope exempt;
     first_.Lock();
     second_.Lock();
   }

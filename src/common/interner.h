@@ -93,7 +93,7 @@ class SymbolTable {
     }
   };
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kSymbolTable};
   std::deque<std::string> names_ GUARDED_BY(mu_);
   std::unordered_map<std::string_view, SymbolId, StringHash, std::equal_to<>>
       ids_ GUARDED_BY(mu_);
@@ -146,7 +146,7 @@ class IndexDictionary {
     size_t operator()(const std::vector<int32_t>& parts) const;
   };
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kIndexDictionary};
   std::deque<std::vector<int32_t>> paths_ GUARDED_BY(mu_);
   std::unordered_map<std::vector<int32_t>, IndexId, PathHash> ids_
       GUARDED_BY(mu_);

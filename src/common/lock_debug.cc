@@ -1,0 +1,293 @@
+#include "common/lock_debug.h"
+
+#if PROVLIN_LOCK_DEBUG
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+// The runtime half of the ranked lock hierarchy (DESIGN.md §15).
+//
+// Two detectors share the bookkeeping here:
+//
+//  1. Per-thread rank stack: every blocking acquisition must carry a
+//     rank strictly greater than the deepest rank the thread already
+//     holds (same rank allowed only under SameRankExemptionScope).
+//     This catches an inversion the moment either conflicting
+//     interleaving RUNS.
+//  2. Process-global lock-order graph: every acquired-while-held pair
+//     adds an instance-level edge; a new edge that closes a cycle
+//     aborts. This catches inversions whose two sides never run in the
+//     same test — thread A takes L1→L2 in one test, thread B takes
+//     L2→L1 in another, and the second edge trips even though neither
+//     interleaving deadlocked. It is also the only net under the
+//     same-rank exemption, where the per-thread check is mute.
+//
+// Deliberately self-contained: this file must not take any provlin
+// lock (metrics, tracing, interner — they all route back through
+// common/sync.h and would recurse), so the graph is protected by a raw
+// atomic_flag spin lock. The graph singleton is leaked to stay usable
+// during static destruction.
+
+namespace provlin::common::lock_debug {
+namespace {
+
+struct Held {
+  const void* lock = nullptr;
+  LockRank rank = LockRank::kTestOuter;
+  std::source_location site;
+};
+
+struct ThreadState {
+  // Deeper nesting than this is a bug by itself.
+  static constexpr size_t kMaxHeld = 64;
+  Held held[kMaxHeld];
+  size_t depth = 0;
+  int exempt = 0;  // SameRankExemptionScope nesting count
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+/// One acquired-while-held edge: `to` was acquired while `from` was
+/// held. Sites are the two acquisitions that first recorded the edge.
+struct Edge {
+  const void* to = nullptr;
+  LockRank to_rank = LockRank::kTestOuter;
+  std::source_location from_site;
+  std::source_location to_site;
+};
+
+struct Node {
+  LockRank rank = LockRank::kTestOuter;
+  std::vector<Edge> out;
+};
+
+/// Process-global order graph, spin-locked (see file comment). Leaked:
+/// locks destroyed during static teardown may still call OnDestroy.
+struct Graph {
+  std::atomic_flag spin = ATOMIC_FLAG_INIT;
+  std::map<const void*, Node> nodes;
+
+  void Lock() {
+    while (spin.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() { spin.clear(std::memory_order_release); }
+};
+
+Graph& G() {
+  static Graph* graph = new Graph;
+  return *graph;
+}
+
+void PrintSite(const char* prefix, const std::source_location& site) {
+  std::fprintf(stderr, "%s%s:%u\n", prefix, site.file_name(),
+               static_cast<unsigned>(site.line()));
+}
+
+[[noreturn]] void DieRankViolation(LockRank rank,
+                                   const std::source_location& site,
+                                   const Held& deepest) {
+  std::fprintf(stderr,
+               "provlin lock-rank violation: acquiring '%s' (rank %u)\n",
+               LockRankName(rank), static_cast<unsigned>(rank));
+  PrintSite("  at ", site);
+  std::fprintf(stderr, "  while holding '%s' (rank %u)\n",
+               LockRankName(deepest.rank),
+               static_cast<unsigned>(deepest.rank));
+  PrintSite("  acquired at ", deepest.site);
+  std::fprintf(stderr,
+               "lock ranks must strictly increase along each thread's "
+               "acquisition chain\n(same-rank only under "
+               "lock_debug::SameRankExemptionScope); see DESIGN.md "
+               "S15.\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void DieAlreadyHeld(LockRank rank,
+                                 const std::source_location& site,
+                                 const Held& prior) {
+  std::fprintf(stderr,
+               "provlin lock-rank violation: re-acquiring '%s' (rank %u) "
+               "already held by this thread\n",
+               LockRankName(rank), static_cast<unsigned>(rank));
+  PrintSite("  at ", site);
+  PrintSite("  first acquired at ", prior.site);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Depth-first search for a path `src` → ... → `dst` in the order
+/// graph (REQUIRES the graph spin lock). Fills `path` with the edges
+/// walked when found.
+bool FindPath(Graph& g, const void* src, const void* dst,
+              std::vector<const Edge*>* path,
+              std::vector<const void*>* visited) {
+  for (const void* v : *visited) {
+    if (v == src) return false;
+  }
+  visited->push_back(src);
+  auto it = g.nodes.find(src);
+  if (it == g.nodes.end()) return false;
+  for (const Edge& e : it->second.out) {
+    path->push_back(&e);
+    if (e.to == dst || FindPath(g, e.to, dst, path, visited)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void DieCycle(const Held& from, LockRank to_rank,
+                           const std::source_location& to_site,
+                           const std::vector<const Edge*>& back_path) {
+  std::fprintf(
+      stderr,
+      "provlin lock-order cycle: acquiring '%s' (rank %u) while holding "
+      "'%s' (rank %u) closes a cycle in the process-global lock-order "
+      "graph\n",
+      LockRankName(to_rank), static_cast<unsigned>(to_rank),
+      LockRankName(from.rank), static_cast<unsigned>(from.rank));
+  PrintSite("  closing edge acquired at ", to_site);
+  PrintSite("  while held since ", from.site);
+  std::fprintf(stderr, "  conflicting order recorded earlier:\n");
+  for (const Edge* e : back_path) {
+    std::fprintf(stderr, "    -> '%s' (rank %u):\n", LockRankName(e->to_rank),
+                 static_cast<unsigned>(e->to_rank));
+    PrintSite("      acquired at ", e->to_site);
+    PrintSite("      while holding the lock acquired at ", e->from_site);
+  }
+  std::fprintf(stderr,
+               "two threads disagree on the acquisition order of these "
+               "locks; see DESIGN.md S15.\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Records the edge held→acquired and aborts if it closes a cycle.
+void AddEdgeAndCheck(const Held& from, const void* to, LockRank to_rank,
+                     const std::source_location& to_site) {
+  Graph& g = G();
+  g.Lock();
+  Node& node = g.nodes[from.lock];
+  node.rank = from.rank;
+  bool known = false;
+  for (const Edge& e : node.out) {
+    if (e.to == to) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    node.out.push_back(Edge{to, to_rank, from.site, to_site});
+    g.nodes[to].rank = to_rank;  // ensure the node exists for DFS
+  }
+  // Cycle test: is `from` reachable FROM `to`? (The new edge from→to
+  // plus any to→...→from path is a cycle.) Checked even for known
+  // edges: the reverse path may have appeared since.
+  std::vector<const Edge*> path;
+  std::vector<const void*> visited;
+  if (FindPath(g, to, from.lock, &path, &visited)) {
+    DieCycle(from, to_rank, to_site, path);  // aborts; spin lock moot
+  }
+  g.Unlock();
+}
+
+void Push(ThreadState& s, const void* lock, LockRank rank,
+          const std::source_location& site) {
+  if (s.depth >= ThreadState::kMaxHeld) {
+    std::fprintf(stderr,
+                 "provlin lock-rank violation: thread holds more than %zu "
+                 "locks\n",
+                 ThreadState::kMaxHeld);
+    std::fflush(stderr);
+    std::abort();
+  }
+  s.held[s.depth++] = Held{lock, rank, site};
+}
+
+/// The held entry with the greatest rank, or nullptr when none held.
+const Held* Deepest(const ThreadState& s) {
+  const Held* deepest = nullptr;
+  for (size_t i = 0; i < s.depth; ++i) {
+    if (deepest == nullptr || s.held[i].rank >= deepest->rank) {
+      deepest = &s.held[i];
+    }
+  }
+  return deepest;
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, LockRank rank,
+               const std::source_location& site) {
+  ThreadState& s = State();
+  for (size_t i = 0; i < s.depth; ++i) {
+    if (s.held[i].lock == lock) DieAlreadyHeld(rank, site, s.held[i]);
+  }
+  if (const Held* deepest = Deepest(s)) {
+    if (rank < deepest->rank ||
+        (rank == deepest->rank && s.exempt == 0)) {
+      DieRankViolation(rank, site, *deepest);
+    }
+    // Feed the order graph with every held→acquired pair, not just the
+    // deepest: the cycle detector is instance-granular and cheap here.
+    for (size_t i = 0; i < s.depth; ++i) {
+      AddEdgeAndCheck(s.held[i], lock, rank, site);
+    }
+  }
+  Push(s, lock, rank, site);
+}
+
+void OnTryAcquire(const void* lock, LockRank rank,
+                  const std::source_location& site) {
+  ThreadState& s = State();
+  for (size_t i = 0; i < s.depth; ++i) {
+    if (s.held[i].lock == lock) DieAlreadyHeld(rank, site, s.held[i]);
+  }
+  Push(s, lock, rank, site);
+}
+
+void OnRelease(const void* lock) {
+  ThreadState& s = State();
+  // Search top-down: releases are almost always LIFO, but guards of
+  // independent ranks may unwind in either order.
+  for (size_t i = s.depth; i > 0; --i) {
+    if (s.held[i - 1].lock == lock) {
+      for (size_t j = i - 1; j + 1 < s.depth; ++j) s.held[j] = s.held[j + 1];
+      --s.depth;
+      return;
+    }
+  }
+  // Releasing a lock this thread does not hold: tolerated (another
+  // thread may legitimately unlock a handoff mutex), just untracked.
+}
+
+void OnDestroy(const void* lock) {
+  Graph& g = G();
+  g.Lock();
+  g.nodes.erase(lock);
+  for (auto& [node, data] : g.nodes) {
+    (void)node;
+    for (size_t i = data.out.size(); i > 0; --i) {
+      if (data.out[i - 1].to == lock) {
+        data.out.erase(data.out.begin() + static_cast<long>(i) - 1);
+      }
+    }
+  }
+  g.Unlock();
+}
+
+size_t HeldDepth() { return State().depth; }
+
+SameRankExemptionScope::SameRankExemptionScope() { ++State().exempt; }
+SameRankExemptionScope::~SameRankExemptionScope() { --State().exempt; }
+
+}  // namespace provlin::common::lock_debug
+
+#endif  // PROVLIN_LOCK_DEBUG

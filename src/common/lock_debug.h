@@ -1,0 +1,88 @@
+#ifndef PROVLIN_COMMON_LOCK_DEBUG_H_
+#define PROVLIN_COMMON_LOCK_DEBUG_H_
+
+#include <cstddef>
+
+#include "common/lock_rank.h"
+
+#ifndef PROVLIN_LOCK_DEBUG
+#define PROVLIN_LOCK_DEBUG 0
+#endif
+
+#if PROVLIN_LOCK_DEBUG
+#include <source_location>
+#endif
+
+namespace provlin::common {
+
+/// True when this build carries the runtime ranked-lock deadlock
+/// detector (cmake -DPROVLIN_LOCK_DEBUG=ON; DESIGN.md §15). In release
+/// builds every hook below compiles to nothing and common/sync.h
+/// static-asserts that Mutex/SharedMutex are layout-identical to the
+/// raw std primitives.
+inline constexpr bool kLockDebugEnabled = PROVLIN_LOCK_DEBUG != 0;
+
+namespace lock_debug {
+
+#if PROVLIN_LOCK_DEBUG
+
+/// Rank-checks and records a blocking acquisition about to happen on
+/// the calling thread. Aborts (with both acquisition sites) when `rank`
+/// is ≤ the deepest rank the thread already holds — unless the two
+/// ranks are equal and a SameRankExemptionScope is active — or when the
+/// new acquired-while-held edge closes a cycle in the process-global
+/// lock-order graph. Called by common/sync.h only.
+void OnAcquire(const void* lock, LockRank rank,
+               const std::source_location& site);
+
+/// Records a *successful* try-acquisition. A try-lock cannot block, so
+/// its own ordering is not checked and it contributes no order-graph
+/// edge — but the lock is now held, so it participates in the
+/// deepest-held-rank check for every later blocking acquisition.
+void OnTryAcquire(const void* lock, LockRank rank,
+                  const std::source_location& site);
+
+/// Pops `lock` from the calling thread's held set.
+void OnRelease(const void* lock);
+
+/// Forgets a destroyed lock: removes its node (and every incident
+/// edge) from the process-global order graph so a reused address
+/// cannot alias stale edges.
+void OnDestroy(const void* lock);
+
+/// Number of locks the calling thread currently holds (tests).
+size_t HeldDepth();
+
+/// While alive on a thread, acquiring a lock whose rank EQUALS the
+/// deepest held rank is permitted on that thread (strictly lower still
+/// aborts, and the acquisition still feeds the cycle detector). The
+/// one production user is the interner's DualWriterLock, which locks
+/// two same-rank instances in address order. Scopes nest.
+class SameRankExemptionScope {
+ public:
+  SameRankExemptionScope();
+  ~SameRankExemptionScope();
+  SameRankExemptionScope(const SameRankExemptionScope&) = delete;
+  SameRankExemptionScope& operator=(const SameRankExemptionScope&) = delete;
+};
+
+#else  // !PROVLIN_LOCK_DEBUG
+
+// Release builds: the detector does not exist. HeldDepth() is constant
+// 0 even while locks are held — tests/lock_debug_test.cc uses exactly
+// that to prove the tracking state compiled out.
+inline constexpr size_t HeldDepth() { return 0; }
+
+class SameRankExemptionScope {
+ public:
+  SameRankExemptionScope() = default;
+  SameRankExemptionScope(const SameRankExemptionScope&) = delete;
+  SameRankExemptionScope& operator=(const SameRankExemptionScope&) = delete;
+};
+
+#endif  // PROVLIN_LOCK_DEBUG
+
+}  // namespace lock_debug
+}  // namespace provlin::common
+
+#endif  // PROVLIN_COMMON_LOCK_DEBUG_H_

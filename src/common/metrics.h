@@ -209,7 +209,7 @@ class MetricsRegistry {
   size_t num_instruments() const;
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

@@ -6,6 +6,8 @@
 #include <shared_mutex>
 
 #include "common/annotations.h"
+#include "common/lock_debug.h"
+#include "common/lock_rank.h"
 
 namespace provlin::common {
 
@@ -19,6 +21,17 @@ namespace provlin::common {
 /// std::condition_variable anywhere outside this header. std::once_flag
 /// and std::atomic are not capabilities and stay allowed.
 ///
+/// Every mutex is constructed with a named LockRank from the central
+/// registry in common/lock_rank.h — the rank-less constructor is
+/// deleted, and the lint additionally rejects construction sites whose
+/// initializer does not spell a `LockRank::` enumerator. Release
+/// builds discard the rank at construction (layout-asserted identical
+/// to the raw std types below); PROVLIN_LOCK_DEBUG builds keep it and
+/// enforce the §10/§11 lock hierarchy at runtime, aborting on the
+/// first out-of-order acquisition with both acquisition sites, plus a
+/// process-global lock-order graph with cycle detection (DESIGN.md
+/// §15 and common/lock_debug.h).
+///
 /// Idiom:
 ///
 ///   class Cache {
@@ -28,7 +41,7 @@ namespace provlin::common {
 ///       map_.emplace(std::move(k), std::move(v));
 ///     }
 ///    private:
-///     Mutex mu_;
+///     Mutex mu_{LockRank::kMyCache};
 ///     std::map<Key, V> map_ GUARDED_BY(mu_);
 ///   };
 ///
@@ -44,13 +57,37 @@ namespace provlin::common {
 /// Exclusive mutex (wraps std::mutex).
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
-  Mutex(const Mutex&) = delete;
-  Mutex& operator=(const Mutex&) = delete;
+  /// Every Mutex carries a rank from the central hierarchy
+  /// (common/lock_rank.h); construction without one must not compile.
+  Mutex() = delete;
+#if PROVLIN_LOCK_DEBUG
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+  ~Mutex() { lock_debug::OnDestroy(this); }
+
+  void Lock(const std::source_location& site =
+                std::source_location::current()) ACQUIRE() {
+    lock_debug::OnAcquire(this, rank_, site);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_debug::OnRelease(this);
+  }
+  bool TryLock(const std::source_location& site =
+                   std::source_location::current()) TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_debug::OnTryAcquire(this, rank_, site);
+    return true;
+  }
+#else
+  explicit Mutex(LockRank rank) { (void)rank; }
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
 
   /// Tells the analysis this mutex is held on paths it cannot follow
   /// (no runtime effect). Each call site carries a comment saying who
@@ -60,14 +97,54 @@ class CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+#if PROVLIN_LOCK_DEBUG
+  LockRank rank_;
+#endif
 };
 
 /// Reader/writer mutex (wraps std::shared_mutex).
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
-  SharedMutex(const SharedMutex&) = delete;
-  SharedMutex& operator=(const SharedMutex&) = delete;
+  /// Ranked like Mutex: rank-less construction must not compile.
+  SharedMutex() = delete;
+#if PROVLIN_LOCK_DEBUG
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
+  ~SharedMutex() { lock_debug::OnDestroy(this); }
+
+  void Lock(const std::source_location& site =
+                std::source_location::current()) ACQUIRE() {
+    lock_debug::OnAcquire(this, rank_, site);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_debug::OnRelease(this);
+  }
+  bool TryLock(const std::source_location& site =
+                   std::source_location::current()) TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_debug::OnTryAcquire(this, rank_, site);
+    return true;
+  }
+
+  void LockShared(const std::source_location& site =
+                      std::source_location::current()) ACQUIRE_SHARED() {
+    lock_debug::OnAcquire(this, rank_, site);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_debug::OnRelease(this);
+  }
+  bool TryLockShared(const std::source_location& site =
+                         std::source_location::current())
+      TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    lock_debug::OnTryAcquire(this, rank_, site);
+    return true;
+  }
+#else
+  explicit SharedMutex(LockRank rank) { (void)rank; }
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
@@ -78,18 +155,46 @@ class CAPABILITY("shared_mutex") SharedMutex {
   bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
     return mu_.try_lock_shared();
   }
+#endif
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
 
   void AssertHeld() ASSERT_CAPABILITY(this) {}
   void AssertReaderHeld() ASSERT_SHARED_CAPABILITY(this) {}
 
  private:
   std::shared_mutex mu_;
+#if PROVLIN_LOCK_DEBUG
+  LockRank rank_;
+#endif
 };
+
+#if !PROVLIN_LOCK_DEBUG
+// The zero-overhead contract: without the detector, the rank is
+// consumed at construction and the wrappers are layout-identical to
+// the raw primitives — no per-lock state, no per-acquisition work
+// (tests/lock_debug_test.cc verifies the behavioral half, and
+// bench_storage_micro BM_MutexLockUnlock / BM_SharedMutexReadLock
+// guard the cost).
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release-build Mutex must not carry lock-debug state");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "release-build SharedMutex must not carry lock-debug state");
+#endif
 
 /// Scoped exclusive lock on a Mutex (the std::lock_guard analogue).
 class SCOPED_CAPABILITY MutexLock {
  public:
+#if PROVLIN_LOCK_DEBUG
+  explicit MutexLock(Mutex& mu, const std::source_location& site =
+                                    std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+#endif
   ~MutexLock() RELEASE() { mu_.Unlock(); }
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -101,7 +206,16 @@ class SCOPED_CAPABILITY MutexLock {
 /// Scoped exclusive lock on a SharedMutex (the write side).
 class SCOPED_CAPABILITY WriterLock {
  public:
+#if PROVLIN_LOCK_DEBUG
+  explicit WriterLock(SharedMutex& mu, const std::source_location& site =
+                                           std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(site);
+  }
+#else
   explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+#endif
   ~WriterLock() RELEASE() { mu_.Unlock(); }
   WriterLock(const WriterLock&) = delete;
   WriterLock& operator=(const WriterLock&) = delete;
@@ -113,9 +227,18 @@ class SCOPED_CAPABILITY WriterLock {
 /// Scoped shared lock on a SharedMutex (the read side).
 class SCOPED_CAPABILITY ReaderLock {
  public:
+#if PROVLIN_LOCK_DEBUG
+  explicit ReaderLock(SharedMutex& mu, const std::source_location& site =
+                                           std::source_location::current())
+      ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared(site);
+  }
+#else
   explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
     mu_.LockShared();
   }
+#endif
   ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
   ReaderLock(const ReaderLock&) = delete;
   ReaderLock& operator=(const ReaderLock&) = delete;
@@ -126,9 +249,10 @@ class SCOPED_CAPABILITY ReaderLock {
 
 /// Condition variable over provlin::common::Mutex. Wait() requires the
 /// mutex held; the temporary release/reacquire inside is invisible to
-/// the analysis by design (the capability is held at entry and at exit,
-/// which is the contract callers reason with). Use explicit `while
-/// (!condition) cv.Wait(mu);` loops — see the header comment.
+/// the analysis (and to the lock-debug held stack) by design — the
+/// capability is held at entry and at exit, which is the contract
+/// callers reason with. Use explicit `while (!condition) cv.Wait(mu);`
+/// loops — see the header comment.
 class CondVar {
  public:
   CondVar() = default;

@@ -49,7 +49,7 @@ class ThreadPool {
  private:
   void WorkerLoop(size_t worker);
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool};
   CondVar wake_;  // workers wait for tasks / shutdown
   CondVar idle_;  // WaitIdle waits for quiescence
   std::deque<std::function<void(size_t)>> queue_ GUARDED_BY(mu_);

@@ -99,7 +99,7 @@ class Tracer {
   // The ring and its bookkeeping are the only mutex-guarded state; the
   // epoch/generation pair stays atomic so the lock-free SpanGuard fast
   // path (enabled() + NowMicros() + generation()) never touches mu_.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTracer};
   std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
   size_t ring_capacity_ GUARDED_BY(mu_) = 0;
   uint64_t total_recorded_ GUARDED_BY(mu_) = 0;

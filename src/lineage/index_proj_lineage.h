@@ -168,7 +168,7 @@ class IndexProjLineage : public LineageEngine {
   /// being reachable only under `mu` (the shared_ptr keeps evicted
   /// entries alive for in-flight readers).
   struct PlanCache {
-    mutable common::SharedMutex mu;
+    mutable common::SharedMutex mu{common::LockRank::kPlanCache};
     std::map<std::vector<uint64_t>, std::shared_ptr<CacheEntry>> entries
         GUARDED_BY(mu);
     std::atomic<uint64_t> builds{0};

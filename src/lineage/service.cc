@@ -161,7 +161,7 @@ std::vector<ServiceResponse> LineageService::ExecuteBatch(
   // analysis tie `remaining` to its mutex even though it lives on this
   // stack frame and is touched from every worker.
   struct BatchDone {
-    common::Mutex mu;
+    common::Mutex mu{common::LockRank::kServiceBatchLatch};
     common::CondVar cv;
     size_t remaining GUARDED_BY(mu) = 0;
   } done;

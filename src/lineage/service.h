@@ -149,7 +149,7 @@ class LineageService {
   /// Leaf lock (DESIGN.md §10 lock order): taken only after a batch's
   /// workers have quiesced, never while holding or acquiring the plan
   /// cache, interner, or pool locks.
-  mutable common::Mutex metrics_mu_;
+  mutable common::Mutex metrics_mu_{common::LockRank::kServiceMetrics};
   ServiceMetrics metrics_ GUARDED_BY(metrics_mu_);
 };
 

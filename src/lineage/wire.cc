@@ -177,6 +177,16 @@ Result<LineageRequest> DecodeLineageRequest(storage::BinaryReader* r) {
   PROVLIN_ASSIGN_OR_RETURN(uint32_t ninterest, ReadCount(r, "interest"));
   for (uint32_t i = 0; i < ninterest; ++i) {
     PROVLIN_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    // The interest set is encoded in sorted order (std::set iteration);
+    // requiring strictly-increasing names on decode keeps the format
+    // canonical — encode(decode(x)) == x for every accepted payload —
+    // which the served byte-comparison tests and the fuzz harness rely
+    // on. Found by fuzz_wire: an unsorted or duplicated sequence used
+    // to decode fine but re-encode differently.
+    if (!request.interest.empty() && name <= *request.interest.rbegin()) {
+      return Status::Corruption(
+          "interest names not in canonical sorted order");
+    }
     request.interest.insert(std::move(name));
   }
   return request;

@@ -385,7 +385,7 @@ Status UnsealAllBlobs(storage::Database* db) {
 /// Completion latch for batch fan-out: the caller blocks until every
 /// per-shard task has signalled.
 struct FanLatch {
-  common::Mutex mu;
+  common::Mutex mu{common::LockRank::kStoreFanLatch};
   common::CondVar cv;
   size_t pending GUARDED_BY(mu) = 0;
 };
@@ -418,7 +418,7 @@ struct TraceStore::Shard {
   Table* xfer = nullptr;
 
   // --- enqueue side -------------------------------------------------------
-  common::Mutex ingest_mu;
+  common::Mutex ingest_mu{common::LockRank::kShardIngest};
   common::CondVar work_cv;     // writer thread waits for rows / stop
   common::CondVar drained_cv;  // readers wait for applied to catch up
   common::CondVar space_cv;    // producers wait for queue headroom
@@ -437,7 +437,7 @@ struct TraceStore::Shard {
   /// Readers hold the shared side across a whole probe (zero-copy rows
   /// must not move underneath them); the writer thread / synchronous
   /// writers hold the exclusive side per applied batch.
-  common::SharedMutex data_mu;
+  common::SharedMutex data_mu{common::LockRank::kShardData};
   /// Per-shard WAL (AttachWalFiles); shard 0 owns the base file.
   std::optional<storage::WriteAheadLog> owned_wal GUARDED_BY(data_mu);
   /// Symbols flushed to owned_wal as definition records; the tail
@@ -511,13 +511,13 @@ struct TraceStore::Rep {
 
   /// Run sequence numbers are global, not per shard, so ListRuns can
   /// merge shards back into insertion order.
-  common::Mutex run_mu;
+  common::Mutex run_mu{common::LockRank::kStoreRunSeq};
   int64_t next_run_seq GUARDED_BY(run_mu) = 0;
 
   /// Single externally-attached WAL shared by all shards (legacy
   /// AttachWal surface). Appends from concurrent writer threads
   /// serialize here; per-shard owned WALs do not take this lock.
-  common::Mutex wal_mu;
+  common::Mutex wal_mu{common::LockRank::kStoreSharedWal};
   storage::WriteAheadLog* shared_wal GUARDED_BY(wal_mu) = nullptr;
   size_t shared_wal_syms GUARDED_BY(wal_mu) = 0;
 

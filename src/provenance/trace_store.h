@@ -103,7 +103,7 @@ class ProbeMemo {
     }
   }
 
-  common::Mutex mu_;
+  common::Mutex mu_{common::LockRank::kProbeMemo};
   std::map<Key, std::shared_ptr<const std::vector<XformRecord>>> xform_
       GUARDED_BY(mu_);
   std::map<Key, std::shared_ptr<const std::vector<XferRecord>>> xfer_

@@ -142,7 +142,7 @@ class LineageServer {
   /// reader thread draining request frames.
   struct Connection {
     Socket socket;
-    common::Mutex write_mu;
+    common::Mutex write_mu{common::LockRank::kServerConnWrite};
     std::thread reader;
     std::atomic<bool> done{false};
 
@@ -196,12 +196,12 @@ class LineageServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  common::Mutex queue_mu_;
+  common::Mutex queue_mu_{common::LockRank::kServerQueue};
   common::CondVar queue_cv_;
   std::deque<Pending> queue_ GUARDED_BY(queue_mu_);
   bool paused_ GUARDED_BY(queue_mu_) = false;
 
-  mutable common::Mutex conns_mu_;
+  mutable common::Mutex conns_mu_{common::LockRank::kServerConnections};
   std::vector<std::shared_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
 
   std::thread accept_thread_;

@@ -57,7 +57,7 @@ class SlowRequestLog {
   Status RotateLocked() REQUIRES(mu_);
 
   const Options options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kServerSlowLog};
   std::FILE* file_ GUARDED_BY(mu_) = nullptr;
   uint64_t bytes_ GUARDED_BY(mu_) = 0;
   uint64_t records_ GUARDED_BY(mu_) = 0;

@@ -91,7 +91,7 @@ class Database {
   /// The catalog lives behind a pointer so Database stays movable
   /// (common::Mutex is neither movable nor copyable).
   struct Blobs {
-    mutable common::Mutex mu;
+    mutable common::Mutex mu{common::LockRank::kDatabaseBlobs};
     std::map<std::string, std::shared_ptr<const std::string>> map
         GUARDED_BY(mu);
   };

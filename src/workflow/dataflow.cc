@@ -14,7 +14,7 @@ const PortSpace& Dataflow::Ports() const {
   // Mutators still invalidate without locking — mutation while readers
   // are active is outside the contract (the graph must be frozen), so
   // port_space_ cannot be GUARDED_BY a function-local capability.
-  static common::Mutex build_mu;
+  static common::Mutex build_mu{common::LockRank::kDataflowPorts};
   common::MutexLock lock(build_mu);
   if (port_space_ == nullptr) {
     port_space_ = std::make_shared<const PortSpace>(*this);

@@ -1,0 +1,160 @@
+// The PROVLIN_LOCK_DEBUG runtime deadlock detector (DESIGN.md §15):
+// rank-inversion aborts with both acquisition sites, the process-global
+// order graph catches cycles assembled by different threads, the
+// DualWriterLock same-rank exemption stays legal, and release builds
+// compile the tracking out entirely.
+//
+// The death tests run only in PROVLIN_LOCK_DEBUG builds (the
+// tier1-lockdebug CI job); in release builds they skip and the
+// zero-overhead test takes over.
+
+#include "common/lock_debug.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+
+#include "common/interner.h"
+#include "common/sync.h"
+
+namespace provlin::common {
+namespace {
+
+TEST(LockDebugTest, HeldDepthMatchesBuildMode) {
+  Mutex mu{LockRank::kTestOuter};
+  MutexLock lock(mu);
+  // Debug builds track the held stack; release builds compile it out
+  // and HeldDepth() is a constant 0 even while the lock is held.
+  EXPECT_EQ(lock_debug::HeldDepth(), kLockDebugEnabled ? 1u : 0u);
+}
+
+TEST(LockDebugTest, OrderedAcquisitionChainIsAccepted) {
+  Mutex outer{LockRank::kTestOuter};
+  SharedMutex middle{LockRank::kTestMiddle};
+  Mutex inner{LockRank::kTestInner};
+  MutexLock a(outer);
+  ReaderLock b(middle);
+  MutexLock c(inner);
+  EXPECT_EQ(lock_debug::HeldDepth(), kLockDebugEnabled ? 3u : 0u);
+}
+
+TEST(LockDebugTest, DualWriterLockExemptionAllowsSameRankPair) {
+  // The interner's move assignment locks both tables' same-rank mutexes
+  // in address order under SameRankExemptionScope. Both assignment
+  // directions must survive a PROVLIN_LOCK_DEBUG build (the address
+  // order — not the rank order — is what makes the pair safe).
+  SymbolTable a;
+  SymbolTable b;
+  a.Intern("alpha");
+  b.Intern("beta");
+  a = std::move(b);
+  EXPECT_EQ(a.Lookup("beta"), std::make_optional<SymbolId>(0));
+  SymbolTable c;
+  c.Intern("gamma");
+  a = std::move(c);
+  EXPECT_EQ(a.Lookup("gamma"), std::make_optional<SymbolId>(0));
+}
+
+TEST(LockDebugTest, ExemptionScopePermitsDirectSameRankNesting) {
+  if (!kLockDebugEnabled) GTEST_SKIP() << "detector compiled out";
+  Mutex a{LockRank::kTestOuter};
+  Mutex b{LockRank::kTestOuter};
+  [[maybe_unused]] lock_debug::SameRankExemptionScope exempt;
+  MutexLock la(a);
+  MutexLock lb(b);  // same rank: legal only under the exemption
+  EXPECT_EQ(lock_debug::HeldDepth(), 2u);
+}
+
+#if PROVLIN_LOCK_DEBUG
+
+using LockDebugDeathTest = ::testing::Test;
+
+TEST(LockDebugDeathTest, RankInversionAbortsWithBothSites) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The DESIGN.md §11 in-shard order is ingest_mu < data_mu; seed the
+  // inversion the detector exists for. The abort message must name the
+  // violating acquisition AND the site where the deeper lock was taken
+  // — both of which are lines of this file.
+  EXPECT_DEATH(
+      {
+        SharedMutex data{LockRank::kShardData};
+        Mutex ingest{LockRank::kShardIngest};
+        WriterLock hold_data(data);
+        MutexLock inverted(ingest);
+      },
+      "lock-rank violation: acquiring 'trace_store\\.shard\\.ingest_mu'"
+      ".*at .*lock_debug_test\\.cc:"
+      ".*while holding 'trace_store\\.shard\\.data_mu'"
+      ".*acquired at .*lock_debug_test\\.cc:");
+}
+
+TEST(LockDebugDeathTest, SameRankWithoutExemptionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a{LockRank::kTestOuter};
+        Mutex b{LockRank::kTestOuter};
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "lock-rank violation: acquiring 'test\\.outer'");
+}
+
+TEST(LockDebugDeathTest, ReacquiringAHeldLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu{LockRank::kTestOuter};
+        mu.Lock();
+        mu.Lock();
+      },
+      "re-acquiring 'test\\.outer' .*already held by this thread");
+}
+
+TEST(LockDebugDeathTest, CycleAcrossThreadsEachTakingOneEdge) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Neither thread's acquisition chain violates the rank check (both
+  // pairs are same-rank under an exemption, as a DualWriterLock-style
+  // protocol would be), and the two conflicting chains never run
+  // concurrently — only the process-global order graph can see that
+  // thread one recorded a→b while thread two records b→a.
+  EXPECT_DEATH(
+      {
+        Mutex a{LockRank::kTestOuter};
+        Mutex b{LockRank::kTestOuter};
+        std::thread t1([&] {
+          lock_debug::SameRankExemptionScope exempt;
+          MutexLock la(a);
+          MutexLock lb(b);  // edge a -> b
+        });
+        t1.join();
+        std::thread t2([&] {
+          lock_debug::SameRankExemptionScope exempt;
+          MutexLock lb(b);
+          MutexLock la(a);  // edge b -> a: closes the cycle
+        });
+        t2.join();
+      },
+      "lock-order cycle: acquiring 'test\\.outer'"
+      ".*conflicting order recorded earlier");
+}
+
+#else  // !PROVLIN_LOCK_DEBUG
+
+TEST(LockDebugReleaseTest, RankStateIsCompiledOut) {
+  // The layout half of the zero-overhead contract is a static_assert in
+  // common/sync.h (sizeof(Mutex) == sizeof(std::mutex)); this pins the
+  // behavioral half: an inverted acquisition is NOT detected, because
+  // there is no detector to pay for.
+  SharedMutex data{LockRank::kShardData};
+  Mutex ingest{LockRank::kShardIngest};
+  WriterLock hold_data(data);
+  MutexLock inverted(ingest);  // would abort under PROVLIN_LOCK_DEBUG
+  EXPECT_EQ(lock_debug::HeldDepth(), 0u);
+}
+
+#endif  // PROVLIN_LOCK_DEBUG
+
+}  // namespace
+}  // namespace provlin::common

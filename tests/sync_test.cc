@@ -15,7 +15,7 @@ namespace provlin::common {
 namespace {
 
 TEST(MutexTest, MutualExclusionUnderContention) {
-  Mutex mu;
+  Mutex mu{LockRank::kTestOuter};
   int counter = 0;  // deliberately non-atomic: the mutex is the guard
   std::vector<std::thread> threads;
   threads.reserve(4);
@@ -32,7 +32,7 @@ TEST(MutexTest, MutualExclusionUnderContention) {
 }
 
 TEST(MutexTest, TryLockFailsWhenHeldSucceedsWhenFree) {
-  Mutex mu;
+  Mutex mu{LockRank::kTestOuter};
   mu.Lock();
   // A second thread must observe the mutex as busy (same-thread TryLock
   // on a held std::mutex is undefined behavior, so probe from another).
@@ -48,13 +48,13 @@ TEST(MutexTest, TryLockFailsWhenHeldSucceedsWhenFree) {
 }
 
 TEST(MutexTest, AssertHeldIsANoOpAtRuntime) {
-  Mutex mu;
+  Mutex mu{LockRank::kTestOuter};
   MutexLock lock(mu);
   mu.AssertHeld();  // must not block or crash while holding
 }
 
 TEST(SharedMutexTest, ManyConcurrentReaders) {
-  SharedMutex mu;
+  SharedMutex mu{LockRank::kTestOuter};
   std::atomic<int> concurrent{0};
   std::atomic<int> peak{0};
   std::atomic<bool> go{false};
@@ -84,7 +84,7 @@ TEST(SharedMutexTest, ManyConcurrentReaders) {
 }
 
 TEST(SharedMutexTest, WriterExcludesReadersAndWriters) {
-  SharedMutex mu;
+  SharedMutex mu{LockRank::kTestOuter};
   int value = 0;
   std::vector<std::thread> threads;
   threads.reserve(6);
@@ -111,7 +111,7 @@ TEST(SharedMutexTest, WriterExcludesReadersAndWriters) {
 }
 
 TEST(SharedMutexTest, TryLockVariants) {
-  SharedMutex mu;
+  SharedMutex mu{LockRank::kTestOuter};
   ASSERT_TRUE(mu.TryLock());
   bool shared_while_exclusive = true;
   std::thread prober([&] { shared_while_exclusive = mu.TryLockShared(); });
@@ -134,7 +134,7 @@ TEST(SharedMutexTest, TryLockVariants) {
 
 TEST(CondVarTest, LatchWaitAndNotify) {
   struct Latch {
-    Mutex mu;
+    Mutex mu{LockRank::kTestOuter};
     CondVar cv;
     int count GUARDED_BY(mu) = 3;
   } latch;
@@ -157,7 +157,7 @@ TEST(CondVarTest, LatchWaitAndNotify) {
 
 TEST(CondVarTest, NotifyOneWakesAWaiter) {
   struct Box {
-    Mutex mu;
+    Mutex mu{LockRank::kTestOuter};
     CondVar cv;
     bool ready GUARDED_BY(mu) = false;
     int consumed GUARDED_BY(mu) = 0;
@@ -178,8 +178,22 @@ TEST(CondVarTest, NotifyOneWakesAWaiter) {
   EXPECT_EQ(box.consumed, 1);
 }
 
+TEST(ZeroOverheadTest, ReleaseBuildsCompileRankTrackingOut) {
+  // The layout half is a static_assert in sync.h (release Mutex ==
+  // std primitive). The behavioral half: without PROVLIN_LOCK_DEBUG,
+  // HeldDepth() is a constexpr 0 even while a lock is held — there is
+  // no per-thread stack to push onto.
+  Mutex mu{LockRank::kTestOuter};
+  MutexLock lock(mu);
+  if (kLockDebugEnabled) {
+    EXPECT_EQ(lock_debug::HeldDepth(), 1u);
+  } else {
+    EXPECT_EQ(lock_debug::HeldDepth(), 0u);
+  }
+}
+
 TEST(GuardTest, MutexLockReleasesOnScopeExit) {
-  Mutex mu;
+  Mutex mu{LockRank::kTestOuter};
   {
     MutexLock lock(mu);
   }
@@ -189,7 +203,7 @@ TEST(GuardTest, MutexLockReleasesOnScopeExit) {
 }
 
 TEST(GuardTest, ReaderAndWriterLocksReleaseOnScopeExit) {
-  SharedMutex mu;
+  SharedMutex mu{LockRank::kTestOuter};
   {
     WriterLock lock(mu);
   }

@@ -30,7 +30,7 @@ TEST(ThreadPoolTest, WorkerIndexIsInRangeAndStable) {
   ThreadPool pool(kThreads);
   EXPECT_EQ(pool.num_threads(), kThreads);
 
-  Mutex mu;
+  Mutex mu{LockRank::kTestOuter};
   std::set<size_t> seen;
   for (int i = 0; i < 200; ++i) {
     pool.Submit([&](size_t worker) {

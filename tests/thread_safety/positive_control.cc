@@ -10,6 +10,7 @@
 namespace {
 
 using provlin::common::CondVar;
+using provlin::common::LockRank;
 using provlin::common::Mutex;
 using provlin::common::MutexLock;
 using provlin::common::ReaderLock;
@@ -38,7 +39,7 @@ class Account {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestOuter};
   int balance_ GUARDED_BY(mu_) = 0;
 };
 
@@ -55,7 +56,7 @@ class Snapshotting {
   }
 
  private:
-  SharedMutex mu_;
+  SharedMutex mu_{LockRank::kTestMiddle};
   int value_ GUARDED_BY(mu_) = 0;
 };
 
@@ -74,7 +75,7 @@ class Latch {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestInner};
   CondVar cv_;
   int count_ GUARDED_BY(mu_) = 1;
 };

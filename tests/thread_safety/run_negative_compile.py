@@ -1,29 +1,44 @@
 #!/usr/bin/env python3
-"""Negative-compile tests for the Clang Thread Safety annotations.
+"""Negative-compile tests for the annotated sync primitives.
 
-Each violation_*.cc in this directory seeds exactly one concurrency bug
-(an unguarded read, a double acquire, a missing REQUIRES at a call site)
-that the analysis must reject; positive_control.cc is the same code
-shapes written correctly and must compile cleanly. A violation file that
-compiles means the annotations in src/common/sync.h have rotted and the
-analysis is no longer protecting the tree.
+Each violation_*.cc in this directory seeds exactly one bug that the
+compiler must reject; positive_control.cc is the same code shapes
+written correctly and must compile cleanly. A violation file that
+compiles means the protections in src/common/sync.h have rotted and are
+no longer guarding the tree.
+
+Two kinds of violation are covered, selected per file by a marker
+comment:
+
+  // negative-compile-expect: thread-safety   (the default when absent)
+      The seeded bug is a Clang Thread Safety Analysis violation (an
+      unguarded read, a double acquire, a missing REQUIRES); the
+      rejection must carry a thread-safety diagnostic.
+  // negative-compile-expect: deleted
+      The seeded bug is rank-less Mutex/SharedMutex construction; the
+      rejection must name the deleted constructor.
 
 The analysis is Clang-only. When no compiler supporting -Wthread-safety
-is found (the probe fails for the build compiler and every fallback
-clang++ on PATH), the script exits 77 — wired as SKIP_RETURN_CODE in
-CMake, so ctest reports the test as skipped rather than passed on
-GCC-only machines.
+is found, the script prints one line per candidate explaining WHY it was
+rejected (not on PATH, or the flag probe's exit status) and exits 77 —
+wired as SKIP_RETURN_CODE in CMake, so ctest reports the test as skipped
+rather than passed on GCC-only machines. CI passes --forbid-skip in the
+static-analysis job, turning that skip into a hard failure: the job
+exists to run this suite, so silently skipping it there would be a
+false green.
 
 Usage:
-  run_negative_compile.py --include SRC_DIR [--compiler CXX] [--verbose]
+  run_negative_compile.py --include SRC_DIR [--compiler CXX]
+                          [--forbid-skip] [--verbose]
 
 Exit status: 0 all expectations met, 1 any violation accepted / control
-rejected, 77 no thread-safety-capable compiler available.
+rejected / skip forbidden, 77 no thread-safety-capable compiler found.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import shutil
 import subprocess
 import sys
@@ -35,7 +50,15 @@ FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
          "-Werror=thread-safety"]
 # Diagnostics carry the warning-group suffix, e.g.
 #   [-Werror,-Wthread-safety-analysis] / [-Wthread-safety-precise]
-DIAG_MARKER = "thread-safety"
+DEFAULT_MARKER = "thread-safety"
+
+EXPECT_RE = re.compile(r"//\s*negative-compile-expect:\s*(\S+)")
+
+
+def expected_marker(source: Path) -> str:
+    """The per-file expectation marker, defaulting to thread-safety."""
+    m = EXPECT_RE.search(source.read_text(encoding="utf-8"))
+    return m.group(1) if m else DEFAULT_MARKER
 
 
 def compile_file(cxx: str, source: Path, include: Path):
@@ -46,10 +69,11 @@ def compile_file(cxx: str, source: Path, include: Path):
     )
 
 
-def supports_thread_safety(cxx: str) -> bool:
-    """True when `cxx` exists and accepts the -Wthread-safety flags."""
+def probe_compiler(cxx: str) -> str | None:
+    """None when `cxx` accepts the -Wthread-safety flags, else a one-line
+    reason why this candidate is unusable."""
     if shutil.which(cxx) is None:
-        return False
+        return "not found on PATH"
     with tempfile.TemporaryDirectory() as tmpdir:
         probe = Path(tmpdir) / "probe_thread_safety.cc"
         probe.write_text("int main() { return 0; }\n")
@@ -57,15 +81,19 @@ def supports_thread_safety(cxx: str) -> bool:
             r = subprocess.run(
                 [cxx, *FLAGS, str(probe)], capture_output=True, text=True
             )
-        except OSError:
-            return False
-    return r.returncode == 0
+        except OSError as e:
+            return f"failed to execute ({e})"
+    if r.returncode != 0:
+        first = (r.stderr.strip().splitlines() or ["(no diagnostics)"])[0]
+        return (f"rejected {' '.join(FLAGS)} "
+                f"(exit {r.returncode}: {first})")
+    return None
 
 
 def main(argv):
     parser = argparse.ArgumentParser(
-        description="Assert that clang -Wthread-safety rejects each seeded "
-        "violation and accepts the positive control."
+        description="Assert that clang rejects each seeded violation and "
+        "accepts the positive control."
     )
     parser.add_argument(
         "--include",
@@ -79,6 +107,12 @@ def main(argv):
         help="compiler to try first (e.g. the CMake build compiler); "
         "falls back to clang++ variants on PATH",
     )
+    parser.add_argument(
+        "--forbid-skip",
+        action="store_true",
+        help="treat 'no capable compiler' as a failure instead of a skip "
+        "(CI static-analysis job: skipping there is a false green)",
+    )
     parser.add_argument("--verbose", action="store_true",
                         help="print compiler diagnostics for every file")
     args = parser.parse_args(argv)
@@ -90,12 +124,22 @@ def main(argv):
     candidates += ["clang++", "clang++-19", "clang++-18", "clang++-17",
                    "clang++-16", "clang++-15"]
 
-    cxx = next((c for c in candidates if supports_thread_safety(c)), None)
+    cxx = None
+    reasons = []
+    for c in candidates:
+        reason = probe_compiler(c)
+        if reason is None:
+            cxx = c
+            break
+        reasons.append(f"  {c}: {reason}")
     if cxx is None:
-        print(
-            "SKIP: no compiler supporting -Wthread-safety found "
-            f"(tried: {', '.join(candidates)})"
-        )
+        print("SKIP: no compiler supporting -Wthread-safety found:")
+        for line in reasons:
+            print(line)
+        if args.forbid_skip:
+            print("--forbid-skip: this environment must run the "
+                  "negative-compile suite — failing instead of skipping")
+            return 1
         return SKIP
     print(f"using compiler: {cxx}")
 
@@ -114,20 +158,21 @@ def main(argv):
     if not violations:
         failures.append("no violation_*.cc files found — suite is empty")
     for v in violations:
+        marker = expected_marker(v)
         r = compile_file(cxx, v, args.include)
         if r.returncode == 0:
             failures.append(
-                f"{v.name}: compiled cleanly — the seeded thread-safety bug "
-                "was NOT rejected"
+                f"{v.name}: compiled cleanly — the seeded bug was NOT "
+                "rejected"
             )
-        elif DIAG_MARKER not in r.stderr:
+        elif marker not in r.stderr:
             failures.append(
-                f"{v.name}: rejected, but not by the thread-safety analysis "
-                f"(no '{DIAG_MARKER}' in diagnostics):\n{r.stderr}"
+                f"{v.name}: rejected, but not for the expected reason "
+                f"(no '{marker}' in diagnostics):\n{r.stderr}"
             )
         else:
             if args.verbose:
-                print(f"PASS {v.name}: rejected with thread-safety diagnostic")
+                print(f"PASS {v.name}: rejected with '{marker}' diagnostic")
 
     if failures:
         print(f"{len(failures)} failure(s):")

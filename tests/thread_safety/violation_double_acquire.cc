@@ -8,6 +8,7 @@
 
 namespace {
 
+using provlin::common::LockRank;
 using provlin::common::Mutex;
 
 class Widget {
@@ -21,7 +22,7 @@ class Widget {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestOuter};
   int value_ GUARDED_BY(mu_) = 0;
 };
 

@@ -7,6 +7,7 @@
 
 namespace {
 
+using provlin::common::LockRank;
 using provlin::common::Mutex;
 
 class Ledger {
@@ -18,7 +19,7 @@ class Ledger {
  private:
   void AddLocked(int delta) REQUIRES(mu_) { total_ += delta; }
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestOuter};
   int total_ GUARDED_BY(mu_) = 0;
 };
 

@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE TEST: constructs a Mutex without a LockRank. The
+// rank-less constructor is deleted (common/sync.h) — every mutex must
+// name its place in the central hierarchy (common/lock_rank.h), or the
+// PROVLIN_LOCK_DEBUG detector has nothing to check. The compiler must
+// reject the defaulted member initialization below.
+// negative-compile-expect: deleted
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::Mutex;
+using provlin::common::MutexLock;
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  Mutex mu_;  // BUG: no LockRank — must not compile
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

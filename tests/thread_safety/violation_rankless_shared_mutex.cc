@@ -1,0 +1,23 @@
+// NEGATIVE-COMPILE TEST: constructs a SharedMutex without a LockRank.
+// Same contract as violation_rankless_mutex.cc — the rank-less
+// constructor is deleted, so the local declaration below must not
+// compile.
+// negative-compile-expect: deleted
+
+#include "common/annotations.h"
+#include "common/sync.h"
+
+namespace {
+
+using provlin::common::ReaderLock;
+using provlin::common::SharedMutex;
+
+int Snapshot() {
+  SharedMutex mu;  // BUG: no LockRank — must not compile
+  ReaderLock lock(mu);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Snapshot(); }

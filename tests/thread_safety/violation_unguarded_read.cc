@@ -7,6 +7,7 @@
 
 namespace {
 
+using provlin::common::LockRank;
 using provlin::common::Mutex;
 using provlin::common::MutexLock;
 
@@ -22,7 +23,7 @@ class Account {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kTestOuter};
   int balance_ GUARDED_BY(mu_) = 0;
 };
 

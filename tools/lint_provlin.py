@@ -29,6 +29,14 @@ clang-tidy check for us:
      Tests are exempt (they register throwaway names), and computed
      names (the sanctioned per-shard `"provenance/shard" + k + ...`
      pattern) are not literals and are skipped.
+  6. lock-rank: every Mutex / SharedMutex declared under src/ or tools/
+     must be constructed with a spelled-out `LockRank::` enumerator from
+     the central registry (src/common/lock_rank.h). The rank-less
+     constructor is already deleted, but the compiler would accept an
+     unregistered `static_cast<LockRank>(n)` or a rank forwarded through
+     a variable; the lint pins construction sites to named registry
+     entries so the DESIGN.md lock tables stay the single source of
+     truth. sync.h itself (the wrapper definition) is exempt.
 
 Usage:
   python3 tools/lint_provlin.py [--root DIR] [SUBDIR ...]
@@ -104,6 +112,16 @@ def load_registered_metric_names(root: Path) -> set[str] | None:
         return None
     return set(STRING_LITERAL_RE.findall(text))
 
+# A Mutex/SharedMutex *object* declaration: optional qualifiers, the
+# type, one identifier, then `;` / `{` / `=` / `(`. References, pointers
+# and the guard types (MutexLock etc.) do not match (`Mutex` requires a
+# word boundary on both sides). The initializer — the rest of the
+# matched line — must spell a LockRank:: enumerator.
+LOCK_DECL_RE = re.compile(
+    r"\b(?:provlin::)?(?:common::)?(?:Shared)?Mutex\s+\w+\s*[;{=(]"
+)
+LOCK_RANK_TOKEN = "LockRank::"
+
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
 
@@ -127,6 +145,7 @@ def lint_file(
     is_header = path.suffix in HEADER_EXTENSIONS
     is_test = rel.parts[0] == "tests"
     is_sync_wrapper = rel == SYNC_WRAPPER
+    check_lock_ranks = rel.parts[0] in ("src", "tools") and not is_sync_wrapper
     check_metric_names = (
         metric_names is not None
         and rel.parts[0] in ("src", "tools")
@@ -190,6 +209,15 @@ def lint_file(
                         "in src/common/metric_names.h — add it to the schema "
                         "there (one authoritative list per instrument kind)"
                     )
+
+        if check_lock_ranks:
+            m = LOCK_DECL_RE.search(code)
+            if m and LOCK_RANK_TOKEN not in code:
+                findings.append(
+                    f"{rel}:{lineno}: lock-rank: Mutex/SharedMutex must be "
+                    "constructed with a named LockRank:: enumerator from "
+                    "src/common/lock_rank.h (see DESIGN.md §15)"
+                )
 
         if is_test and SLEEP_RE.search(code) and SLEEP_ALLOW not in raw:
             findings.append(

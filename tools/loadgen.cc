@@ -220,7 +220,7 @@ struct Conn {
       : client(std::move(client_in)) {}
 
   server::LineageClient client;
-  common::Mutex mu;
+  common::Mutex mu{common::LockRank::kLoadgenConn};
   /// request id → intended send offset from t0, microseconds.
   std::unordered_map<uint64_t, int64_t> intended GUARDED_BY(mu);
 };
